@@ -1,0 +1,294 @@
+//! The interaction graph: encoded slots over physical devices (§5.1).
+//!
+//! "We expand the physical connectivity graph between the ququarts … and
+//! treat each ququart as two connected qubits. Each qubit in the expanded
+//! ququart is fully connected to the qubits in the neighboring ququarts."
+
+use crate::Topology;
+
+/// A location a logical qubit can occupy: a (device, slot) pair.
+///
+/// Qubit-only interaction graphs have one slot per device; encoded graphs
+/// have two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Site {
+    /// Physical device index.
+    pub device: usize,
+    /// Slot within the device (0 for bare qubits; 0/1 for ququarts).
+    pub slot: usize,
+}
+
+impl Site {
+    /// Creates a site.
+    pub fn new(device: usize, slot: usize) -> Self {
+        Site { device, slot }
+    }
+}
+
+/// The expanded connectivity graph the compiler maps and routes on.
+///
+/// # Example
+///
+/// ```
+/// use waltz_arch::{InteractionGraph, Topology};
+/// use waltz_arch::Site;
+///
+/// let g = InteractionGraph::encoded(Topology::line(3));
+/// assert_eq!(g.n_sites(), 6);
+/// // Sibling slots are adjacent (internal gates)...
+/// assert!(g.adjacent(Site::new(0, 0), Site::new(0, 1)));
+/// // ...and every slot couples to both slots of a neighbouring device.
+/// assert!(g.adjacent(Site::new(0, 1), Site::new(1, 0)));
+/// assert!(!g.adjacent(Site::new(0, 0), Site::new(2, 0)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct InteractionGraph {
+    topology: Topology,
+    slots_per_device: usize,
+}
+
+impl InteractionGraph {
+    /// One slot per device: the plain qubit connectivity graph.
+    pub fn qubit_only(topology: Topology) -> Self {
+        InteractionGraph {
+            topology,
+            slots_per_device: 1,
+        }
+    }
+
+    /// Two slots per device: the qubits-on-ququarts graph of Fig. 3.
+    pub fn encoded(topology: Topology) -> Self {
+        InteractionGraph {
+            topology,
+            slots_per_device: 2,
+        }
+    }
+
+    /// The underlying device topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Slots per device (1 or 2).
+    pub fn slots_per_device(&self) -> usize {
+        self.slots_per_device
+    }
+
+    /// Total number of sites.
+    pub fn n_sites(&self) -> usize {
+        self.topology.n_devices() * self.slots_per_device
+    }
+
+    /// Linear index of a site (row-major: `device * slots + slot`).
+    pub fn index_of(&self, site: Site) -> usize {
+        debug_assert!(site.slot < self.slots_per_device);
+        site.device * self.slots_per_device + site.slot
+    }
+
+    /// Site from a linear index.
+    pub fn site_at(&self, index: usize) -> Site {
+        Site::new(index / self.slots_per_device, index % self.slots_per_device)
+    }
+
+    /// All sites.
+    pub fn sites(&self) -> impl Iterator<Item = Site> + '_ {
+        (0..self.n_sites()).map(|i| self.site_at(i))
+    }
+
+    /// Whether a one-pulse interaction exists between two sites: sibling
+    /// slots of one device, or any slots of coupled devices.
+    pub fn adjacent(&self, a: Site, b: Site) -> bool {
+        if a == b {
+            return false;
+        }
+        if a.device == b.device {
+            return true; // internal gate
+        }
+        self.topology.are_adjacent(a.device, b.device)
+    }
+
+    /// Sites reachable from `a` in one interaction.
+    pub fn neighbors(&self, a: Site) -> Vec<Site> {
+        let mut out = Vec::new();
+        for s in 0..self.slots_per_device {
+            if s != a.slot {
+                out.push(Site::new(a.device, s));
+            }
+        }
+        for &d in self.topology.neighbors(a.device) {
+            for s in 0..self.slots_per_device {
+                out.push(Site::new(d, s));
+            }
+        }
+        out
+    }
+
+    /// All-pairs weighted distances between sites: internal hops cost
+    /// `internal_cost`, inter-device hops cost `external_cost`.
+    ///
+    /// This is the paper's "specialized fidelity function … estimating the
+    /// possibility of error along the communication path" (§5.2): with
+    /// `internal_cost` ≈ the internal-SWAP error and `external_cost` ≈ the
+    /// inter-device SWAP error, shortest paths prefer cheap internal moves.
+    ///
+    /// Uses Floyd–Warshall (site counts stay ≤ a few hundred).
+    pub fn distances(&self, internal_cost: f64, external_cost: f64) -> Vec<Vec<f64>> {
+        let n = self.n_sites();
+        let mut dist = vec![vec![f64::INFINITY; n]; n];
+        for (i, row) in dist.iter_mut().enumerate() {
+            row[i] = 0.0;
+            let a = self.site_at(i);
+            for b in self.neighbors(a) {
+                let cost = if a.device == b.device {
+                    internal_cost
+                } else {
+                    external_cost
+                };
+                row[self.index_of(b)] = cost;
+            }
+        }
+        for k in 0..n {
+            for i in 0..n {
+                if dist[i][k].is_infinite() {
+                    continue;
+                }
+                for j in 0..n {
+                    let through = dist[i][k] + dist[k][j];
+                    if through < dist[i][j] {
+                        dist[i][j] = through;
+                    }
+                }
+            }
+        }
+        dist
+    }
+
+    /// Unweighted hop distances between sites.
+    pub fn hop_distances(&self) -> Vec<Vec<f64>> {
+        self.distances(1.0, 1.0)
+    }
+
+    /// The site at the center device, slot 0 — the paper's initial
+    /// placement anchor (§5.2).
+    pub fn center_site(&self) -> Site {
+        Site::new(self.topology.center(), 0)
+    }
+
+    /// Counts triangles of mutually adjacent sites that span exactly two
+    /// devices — the three-qubit interaction surfaces of Fig. 3.
+    pub fn two_device_triangles(&self) -> usize {
+        let mut count = 0;
+        let n = self.n_sites();
+        for i in 0..n {
+            for j in i + 1..n {
+                for k in j + 1..n {
+                    let (a, b, c) = (self.site_at(i), self.site_at(j), self.site_at(k));
+                    let devices = {
+                        let mut d = [a.device, b.device, c.device];
+                        d.sort_unstable();
+                        d.windows(2).filter(|w| w[0] != w[1]).count() + 1
+                    };
+                    if devices == 2
+                        && self.adjacent(a, b)
+                        && self.adjacent(b, c)
+                        && self.adjacent(a, c)
+                    {
+                        count += 1;
+                    }
+                }
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qubit_only_matches_topology() {
+        let g = InteractionGraph::qubit_only(Topology::line(4));
+        assert_eq!(g.n_sites(), 4);
+        assert!(g.adjacent(Site::new(0, 0), Site::new(1, 0)));
+        assert!(!g.adjacent(Site::new(0, 0), Site::new(2, 0)));
+        assert_eq!(g.neighbors(Site::new(1, 0)).len(), 2);
+    }
+
+    #[test]
+    fn encoded_graph_doubles_sites() {
+        let g = InteractionGraph::encoded(Topology::line(3));
+        assert_eq!(g.n_sites(), 6);
+        // Internal adjacency.
+        assert!(g.adjacent(Site::new(1, 0), Site::new(1, 1)));
+        // Full bipartite coupling between neighbouring devices' slots.
+        for sa in 0..2 {
+            for sb in 0..2 {
+                assert!(g.adjacent(Site::new(0, sa), Site::new(1, sb)));
+            }
+        }
+    }
+
+    #[test]
+    fn site_index_round_trip() {
+        let g = InteractionGraph::encoded(Topology::grid(6));
+        for i in 0..g.n_sites() {
+            assert_eq!(g.index_of(g.site_at(i)), i);
+        }
+    }
+
+    #[test]
+    fn encoding_creates_triangles() {
+        // Fig. 3: a qubit-only line has no triangles; the encoded line has
+        // many two-device triangles.
+        let bare = InteractionGraph::qubit_only(Topology::line(3));
+        assert_eq!(bare.two_device_triangles(), 0);
+        let enc = InteractionGraph::encoded(Topology::line(3));
+        // Each device pair contributes 4 triangles (2 internal-pair choices
+        // x 2 opposite slots): 2 pairs x 4 = 8.
+        assert_eq!(enc.two_device_triangles(), 8);
+    }
+
+    #[test]
+    fn weighted_distances_prefer_internal_moves() {
+        let g = InteractionGraph::encoded(Topology::line(3));
+        let d = g.distances(0.1, 1.0);
+        let i00 = g.index_of(Site::new(0, 0));
+        let i01 = g.index_of(Site::new(0, 1));
+        let i10 = g.index_of(Site::new(1, 0));
+        assert!((d[i00][i01] - 0.1).abs() < 1e-12);
+        assert!((d[i00][i10] - 1.0).abs() < 1e-12);
+        // Distance is a metric: triangle inequality on a sample.
+        let i21 = g.index_of(Site::new(2, 1));
+        assert!(d[i00][i21] <= d[i00][i10] + d[i10][i21] + 1e-12);
+    }
+
+    #[test]
+    fn hop_distance_growth_along_line() {
+        let g = InteractionGraph::encoded(Topology::line(4));
+        let d = g.hop_distances();
+        let at = |dev: usize| g.index_of(Site::new(dev, 0));
+        assert_eq!(d[at(0)][at(3)], 3.0);
+        assert_eq!(d[at(0)][at(1)], 1.0);
+    }
+
+    #[test]
+    fn center_site_is_on_center_device() {
+        let g = InteractionGraph::encoded(Topology::grid(9));
+        assert_eq!(g.center_site().device, 4);
+        assert_eq!(g.center_site().slot, 0);
+    }
+
+    #[test]
+    fn connectivity_advantage_over_qubit_only() {
+        // §3.4: between two ququarts there are four fully connected
+        // computational qubits.
+        let g = InteractionGraph::encoded(Topology::line(2));
+        let sites: Vec<Site> = g.sites().collect();
+        for (i, &a) in sites.iter().enumerate() {
+            for &b in sites.iter().skip(i + 1) {
+                assert!(g.adjacent(a, b), "{a:?} {b:?} should be adjacent");
+            }
+        }
+    }
+}

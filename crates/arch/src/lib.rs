@@ -1,0 +1,22 @@
+//! Device topologies and the qubits-on-ququarts interaction graph
+//! (paper §4.1, §6.2, Fig. 3).
+//!
+//! The evaluation hardware is a 2D mesh of dimensions
+//! `ceil(sqrt(n)) x ceil(n / ceil(sqrt(n)))` with nearest-neighbour
+//! coupling (§6.2) — denser than IBM's heavy-hex, comparable to Google's
+//! Sycamore. [`Topology`] also provides lines, heavy-hex and
+//! fully-connected graphs for comparison studies.
+//!
+//! [`InteractionGraph`] expands each physical device into its encoded
+//! *slots*: with two qubits per ququart every slot is connected to its
+//! sibling slot (internal gates) and to all slots of neighbouring devices
+//! (mixed-radix / full-ququart gates), producing the triangle connectivity
+//! of Fig. 3.
+
+#![warn(missing_docs)]
+
+mod interaction;
+mod topology;
+
+pub use interaction::{InteractionGraph, Site};
+pub use topology::{Topology, TopologyKind};

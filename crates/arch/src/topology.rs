@@ -1,0 +1,268 @@
+//! Physical device coupling graphs.
+
+use std::collections::VecDeque;
+
+/// The family a [`Topology`] was generated from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TopologyKind {
+    /// 1D chain.
+    Line,
+    /// 2D mesh with nearest-neighbour coupling (the paper's evaluation
+    /// target, §6.2).
+    Grid,
+    /// IBM-style heavy-hex lattice (sparser than the mesh).
+    HeavyHex,
+    /// All-to-all coupling.
+    FullyConnected,
+}
+
+/// An undirected device coupling graph.
+///
+/// # Example
+///
+/// ```
+/// use waltz_arch::Topology;
+/// let grid = Topology::grid(9); // 3 x 3 mesh
+/// assert_eq!(grid.n_devices(), 9);
+/// assert!(grid.are_adjacent(0, 1));
+/// assert!(grid.are_adjacent(0, 3));
+/// assert!(!grid.are_adjacent(0, 4)); // no diagonals
+/// ```
+#[derive(Debug, Clone)]
+pub struct Topology {
+    kind: TopologyKind,
+    n_devices: usize,
+    adjacency: Vec<Vec<usize>>,
+}
+
+impl Topology {
+    fn from_edges(kind: TopologyKind, n_devices: usize, edges: &[(usize, usize)]) -> Self {
+        let mut adjacency = vec![Vec::new(); n_devices];
+        for &(a, b) in edges {
+            assert!(a < n_devices && b < n_devices && a != b, "bad edge ({a},{b})");
+            if !adjacency[a].contains(&b) {
+                adjacency[a].push(b);
+                adjacency[b].push(a);
+            }
+        }
+        for l in &mut adjacency {
+            l.sort_unstable();
+        }
+        Topology {
+            kind,
+            n_devices,
+            adjacency,
+        }
+    }
+
+    /// 1D chain of `n` devices.
+    pub fn line(n: usize) -> Self {
+        let edges: Vec<_> = (1..n).map(|i| (i - 1, i)).collect();
+        Topology::from_edges(TopologyKind::Line, n, &edges)
+    }
+
+    /// The paper's 2D mesh for `n` devices: `ceil(sqrt(n))` columns, row
+    /// major, nearest-neighbour coupling (§6.2).
+    pub fn grid(n: usize) -> Self {
+        let cols = (n as f64).sqrt().ceil() as usize;
+        Topology::grid_dims(n, cols.max(1))
+    }
+
+    /// A 2D mesh with `n` devices laid out row-major over `cols` columns.
+    pub fn grid_dims(n: usize, cols: usize) -> Self {
+        assert!(cols >= 1, "grid needs at least one column");
+        let mut edges = Vec::new();
+        for i in 0..n {
+            let (r, c) = (i / cols, i % cols);
+            if c + 1 < cols && i + 1 < n {
+                edges.push((i, i + 1));
+            }
+            if i + cols < n {
+                edges.push((i, i + cols));
+            }
+            let _ = r;
+        }
+        Topology::from_edges(TopologyKind::Grid, n, &edges)
+    }
+
+    /// A simplified IBM-style heavy-hex lattice covering at least `n`
+    /// devices: rows of length `cols` joined by bridge devices every four
+    /// columns with the row-parity offset of the heavy-hex unit cell.
+    pub fn heavy_hex(rows: usize, cols: usize) -> Self {
+        assert!(rows >= 1 && cols >= 1);
+        // Row qubits: rows x cols, then bridges appended.
+        let row_site = |r: usize, c: usize| r * cols + c;
+        let mut edges = Vec::new();
+        for r in 0..rows {
+            for c in 1..cols {
+                edges.push((row_site(r, c - 1), row_site(r, c)));
+            }
+        }
+        let mut next = rows * cols;
+        for r in 1..rows {
+            let offset = if r % 2 == 1 { 0 } else { 2 };
+            let mut c = offset;
+            while c < cols {
+                edges.push((row_site(r - 1, c), next));
+                edges.push((next, row_site(r, c)));
+                next += 1;
+                c += 4;
+            }
+        }
+        Topology::from_edges(TopologyKind::HeavyHex, next, &edges)
+    }
+
+    /// All-to-all coupling of `n` devices.
+    pub fn fully_connected(n: usize) -> Self {
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in a + 1..n {
+                edges.push((a, b));
+            }
+        }
+        Topology::from_edges(TopologyKind::FullyConnected, n, &edges)
+    }
+
+    /// Which family this topology came from.
+    pub fn kind(&self) -> TopologyKind {
+        self.kind
+    }
+
+    /// Number of devices.
+    pub fn n_devices(&self) -> usize {
+        self.n_devices
+    }
+
+    /// Neighbours of a device, sorted.
+    pub fn neighbors(&self, device: usize) -> &[usize] {
+        &self.adjacency[device]
+    }
+
+    /// Whether two devices share a coupler.
+    pub fn are_adjacent(&self, a: usize, b: usize) -> bool {
+        self.adjacency[a].binary_search(&b).is_ok()
+    }
+
+    /// All-pairs hop distances by BFS. `usize::MAX` marks disconnected
+    /// pairs.
+    pub fn distances(&self) -> Vec<Vec<usize>> {
+        (0..self.n_devices).map(|s| self.bfs(s)).collect()
+    }
+
+    fn bfs(&self, start: usize) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.n_devices];
+        dist[start] = 0;
+        let mut queue = VecDeque::from([start]);
+        while let Some(d) = queue.pop_front() {
+            for &n in &self.adjacency[d] {
+                if dist[n] == usize::MAX {
+                    dist[n] = dist[d] + 1;
+                    queue.push_back(n);
+                }
+            }
+        }
+        dist
+    }
+
+    /// The device minimizing total distance to all others — where the
+    /// paper's mapper places the heaviest-weight qubit ("the center-most
+    /// qudit", §5.2).
+    pub fn center(&self) -> usize {
+        let dist = self.distances();
+        (0..self.n_devices)
+            .min_by_key(|&d| {
+                dist[d]
+                    .iter()
+                    .map(|&x| if x == usize::MAX { 1_000_000 } else { x })
+                    .sum::<usize>()
+            })
+            .expect("topology has at least one device")
+    }
+
+    /// Whether every device can reach every other.
+    pub fn is_connected(&self) -> bool {
+        if self.n_devices == 0 {
+            return true;
+        }
+        self.bfs(0).iter().all(|&d| d != usize::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_structure() {
+        let t = Topology::line(5);
+        assert!(t.are_adjacent(0, 1) && t.are_adjacent(3, 4));
+        assert!(!t.are_adjacent(0, 2));
+        assert_eq!(t.neighbors(2), &[1, 3]);
+        assert_eq!(t.distances()[0][4], 4);
+        assert_eq!(t.center(), 2);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn grid_dimensions_match_paper_formula() {
+        // n = 10 -> ceil(sqrt(10)) = 4 columns.
+        let t = Topology::grid(10);
+        assert_eq!(t.n_devices(), 10);
+        assert!(t.are_adjacent(0, 1));
+        assert!(t.are_adjacent(0, 4));
+        assert!(!t.are_adjacent(3, 4)); // row wrap is not an edge
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn grid_has_no_diagonal_edges() {
+        let t = Topology::grid(9);
+        assert!(!t.are_adjacent(0, 4));
+        assert!(!t.are_adjacent(1, 3));
+        // 3x3 grid: corner degree 2, center degree 4.
+        assert_eq!(t.neighbors(0).len(), 2);
+        assert_eq!(t.neighbors(4).len(), 4);
+        assert_eq!(t.center(), 4);
+    }
+
+    #[test]
+    fn heavy_hex_is_sparser_than_grid() {
+        let hh = Topology::heavy_hex(3, 8);
+        assert!(hh.is_connected());
+        let max_degree = (0..hh.n_devices())
+            .map(|d| hh.neighbors(d).len())
+            .max()
+            .unwrap();
+        assert!(max_degree <= 3, "heavy-hex degree must be <= 3");
+    }
+
+    #[test]
+    fn fully_connected_distances_are_one() {
+        let t = Topology::fully_connected(5);
+        let d = t.distances();
+        for a in 0..5 {
+            for b in 0..5 {
+                assert_eq!(d[a][b], usize::from(a != b));
+            }
+        }
+    }
+
+    #[test]
+    fn single_device_topologies() {
+        for t in [Topology::line(1), Topology::grid(1), Topology::fully_connected(1)] {
+            assert_eq!(t.n_devices(), 1);
+            assert!(t.is_connected());
+            assert_eq!(t.center(), 0);
+        }
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let t = Topology::grid(12);
+        for a in 0..12 {
+            for b in 0..12 {
+                assert_eq!(t.are_adjacent(a, b), t.are_adjacent(b, a));
+            }
+        }
+    }
+}

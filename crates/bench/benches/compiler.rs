@@ -1,0 +1,45 @@
+//! Criterion micro-benchmarks of the compiler pipeline: mapping, routing,
+//! configuration selection and scheduling per strategy and benchmark.
+
+use criterion::{Criterion, criterion_group, criterion_main};
+
+use waltz_circuits::{cuccaro_adder, generalized_toffoli, qram};
+use waltz_core::{Strategy, compile};
+use waltz_gates::GateLibrary;
+use waltz_noise::CoherenceModel;
+
+fn bench_compile(c: &mut Criterion) {
+    let lib = GateLibrary::paper();
+    let mut group = c.benchmark_group("compile");
+    group.sample_size(20);
+    for (name, circuit) in [
+        ("cnu-8q", generalized_toffoli(4)),
+        ("adder-10q", cuccaro_adder(4)),
+        ("qram-7q", qram(2)),
+    ] {
+        for strategy in [
+            Strategy::qubit_only(),
+            Strategy::qubit_only_itoffoli(),
+            Strategy::mixed_radix_ccz(),
+            Strategy::full_ququart(),
+        ] {
+            group.bench_function(format!("{name}/{}", strategy.name()), |b| {
+                b.iter(|| compile(std::hint::black_box(&circuit), &strategy, &lib).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_eps(c: &mut Criterion) {
+    let lib = GateLibrary::paper();
+    let model = CoherenceModel::paper();
+    let circuit = generalized_toffoli(6);
+    let compiled = compile(&circuit, &Strategy::mixed_radix_ccz(), &lib).unwrap();
+    c.bench_function("eps/cnu-12q-mixed-radix", |b| {
+        b.iter(|| std::hint::black_box(&compiled).eps(&model))
+    });
+}
+
+criterion_group!(benches, bench_compile, bench_eps);
+criterion_main!(benches);

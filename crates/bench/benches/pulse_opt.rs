@@ -1,0 +1,45 @@
+//! Criterion micro-benchmarks of the optimal-control stack: propagator
+//! construction and GRAPE iterations on the Eq. 2 Hamiltonian.
+
+use criterion::{Criterion, criterion_group, criterion_main};
+
+use waltz_pulse::propagate::{Pulse, total_propagator};
+use waltz_pulse::{GrapeOptions, TransmonSystem, optimize};
+
+fn bench_propagation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pulse");
+    group.sample_size(20);
+    let qubit = TransmonSystem::paper(1, 2, 1);
+    let pulse = Pulse::zeros(40, qubit.n_controls(), 35.0);
+    group.bench_function("propagate/1-transmon-40-slices", |b| {
+        b.iter(|| total_propagator(&qubit, std::hint::black_box(&pulse)))
+    });
+    let pair = TransmonSystem::paper(2, 2, 1); // 9-dim
+    let pulse2 = Pulse::zeros(40, pair.n_controls(), 80.0);
+    group.bench_function("propagate/2-transmon-40-slices", |b| {
+        b.iter(|| total_propagator(&pair, std::hint::black_box(&pulse2)))
+    });
+    group.finish();
+}
+
+fn bench_grape_iterations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grape");
+    group.sample_size(10);
+    let system = TransmonSystem::paper(1, 2, 1);
+    let target = waltz_gates::standard::x();
+    let opts = GrapeOptions {
+        max_iters: 10,
+        infidelity_target: 0.0,
+        ..GrapeOptions::default()
+    };
+    group.bench_function("10-iterations/x-gate", |b| {
+        b.iter(|| {
+            let pulse = Pulse::zeros(40, system.n_controls(), 35.0);
+            optimize(&system, &target, pulse, &opts)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_propagation, bench_grape_iterations);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks of the trajectory simulator: gate
+//! application, damping steps and whole-circuit trajectories.
+
+use criterion::{Criterion, criterion_group, criterion_main};
+use rand::SeedableRng;
+use rand::rngs::StdRng;
+
+use waltz_circuits::generalized_toffoli;
+use waltz_core::{Strategy, compile};
+use waltz_gates::GateLibrary;
+use waltz_noise::{CoherenceModel, NoiseModel};
+use waltz_sim::{Register, State, trajectory};
+
+fn bench_gate_application(c: &mut Criterion) {
+    let mut group = c.benchmark_group("state");
+    group.sample_size(30);
+    // Two-ququart gate on an 8-ququart register (4^8 = 65536 amplitudes).
+    let reg = Register::ququarts(8);
+    let mut rng = StdRng::seed_from_u64(1);
+    let state = State::random_qubit_product(&reg, &mut rng);
+    let gate = waltz_gates::full_quart::cz(waltz_gates::Slot::S0, waltz_gates::Slot::S1);
+    group.bench_function("apply-2ququart-gate/4^8", |b| {
+        b.iter(|| {
+            let mut s = state.clone();
+            s.apply_unitary(&gate, &[3, 4]);
+            s
+        })
+    });
+    let model = CoherenceModel::paper();
+    group.bench_function("damping-step/4^8", |b| {
+        b.iter(|| {
+            let mut s = state.clone();
+            s.damping_step(&model, 3, 500.0, &mut rng);
+            s
+        })
+    });
+    group.finish();
+}
+
+fn bench_trajectories(c: &mut Criterion) {
+    let lib = GateLibrary::paper();
+    let noise = NoiseModel::paper();
+    let circuit = generalized_toffoli(3); // 6 qubits
+    let mut group = c.benchmark_group("trajectory");
+    group.sample_size(10);
+    for strategy in [Strategy::qubit_only(), Strategy::full_ququart()] {
+        let compiled = compile(&circuit, &strategy, &lib).unwrap();
+        group.bench_function(format!("cnu-6q/{}", strategy.name()), |b| {
+            b.iter(|| {
+                trajectory::average_fidelity_with(&compiled.timed, &noise, 8, 3, |_, rng| {
+                    compiled.random_product_initial_state(rng)
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gate_application, bench_trajectories);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figure 1's narrative, quantified: what a single Toffoli costs under
+//! each compilation regime — pulse census, two-device gate count and
+//! wall-clock duration.
+//!
+//! Paper: "a decomposition that uses eight two-qubit gates … can be
+//! reduced to one two-qudit gate that has a shorter duration."
+//!
+//! Run: `cargo run -p waltz-bench --release --bin fig1_census`
+
+use waltz_circuit::Circuit;
+use waltz_core::{Strategy, compile};
+use waltz_gates::GateLibrary;
+
+fn main() {
+    let mut circuit = Circuit::new(3);
+    circuit.ccx(0, 1, 2);
+    let lib = GateLibrary::paper();
+
+    println!("== Fig. 1: one Toffoli under each regime ==\n");
+    for strategy in [
+        Strategy::qubit_only(),
+        Strategy::qubit_only_itoffoli(),
+        Strategy::mixed_radix_ccz(),
+        Strategy::full_ququart(),
+    ] {
+        let compiled = compile(&circuit, &strategy, &lib).expect("compiles");
+        let (one, two, three) = compiled.timed.pulse_counts();
+        println!("--- {} ---", strategy.name());
+        println!(
+            "  pulses: {one} single-device, {two} two-device, {three} three-device"
+        );
+        println!("  duration: {:.0} ns", compiled.stats.total_duration_ns);
+        let mut histogram: std::collections::BTreeMap<&str, usize> = Default::default();
+        for op in &compiled.timed.ops {
+            *histogram.entry(op.label.as_str()).or_insert(0) += 1;
+        }
+        for (label, count) in histogram {
+            println!("    {count} x {label}");
+        }
+        println!();
+    }
+    println!("paper: 8 two-qubit gates (qubit-only) vs a single two-qudit pulse");
+    println!("(mixed-radix CCZ window / full-ququart CCZ) with shorter duration.");
+}

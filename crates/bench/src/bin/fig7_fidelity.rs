@@ -1,0 +1,96 @@
+//! Figure 7: simulated fidelity vs circuit size (5–21 qubits) for QRAM,
+//! Generalized Toffoli, Cuccaro Adder and Select under every compilation
+//! strategy, plus the Fig. 7e average-improvement series.
+//!
+//! Paper shape to reproduce: every mixed-radix / full-ququart strategy
+//! beats qubit-only; mixed-radix ≈ iToffoli; full-ququart best; average
+//! improvement ≈2x (mixed-radix) and up to ≈3x (full-ququart) as size
+//! grows; mixed-radix simulation stops at 12 qubits (memory).
+//!
+//! Run: `cargo run -p waltz-bench --release --bin fig7_fidelity`
+//! (defaults to reduced sizes/trajectories; `-- --full` for paper scale).
+
+use waltz_bench::runner::{self, HarnessConfig};
+use waltz_circuits::Benchmark;
+use waltz_core::Strategy;
+use waltz_gates::GateLibrary;
+use waltz_noise::NoiseModel;
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let sizes: Vec<usize> = cfg.sizes.clone().unwrap_or(if cfg.full {
+        vec![5, 8, 11, 14, 17, 21]
+    } else {
+        vec![5, 8, 11]
+    });
+    let trajectories = cfg.effective_trajectories();
+    let lib = GateLibrary::paper();
+    let noise = NoiseModel::paper();
+    let strategies = runner::fig7_strategies();
+    // Reduced-mode memory guard: mixed-radix models every device with four
+    // levels, so cap at 9 qubits unless --full (paper cap: 12).
+    let mr_cap = if cfg.full { 12 } else { 9 };
+
+    println!(
+        "== Fig. 7: average fidelity, {} trajectories/point, seed {} ==",
+        trajectories, cfg.seed
+    );
+    // improvement[strategy] -> (sum of ratios vs qubit-only, count)
+    let mut improvement: Vec<(f64, usize)> = vec![(0.0, 0); strategies.len()];
+
+    for bench in Benchmark::all() {
+        println!("\n--- {} ---", bench.name());
+        let header: Vec<String> = std::iter::once("qubits".to_string())
+            .chain(strategies.iter().map(|s| s.name()))
+            .collect();
+        let widths: Vec<usize> = header.iter().map(|h| h.len().max(8)).collect();
+        runner::print_row(&header, &widths);
+
+        let mut seen_sizes = std::collections::BTreeSet::new();
+        for &size in &sizes {
+            let Some(circuit) = bench.build(size) else {
+                continue;
+            };
+            let n = circuit.n_qubits();
+            if !seen_sizes.insert(n) {
+                continue; // the family rounds to the same instance
+            }
+            let mut cols = vec![format!("{n}")];
+            let mut qubit_only_fid = None;
+            for (si, strategy) in strategies.iter().enumerate() {
+                let cap = match strategy {
+                    Strategy::MixedRadix { .. } => mr_cap,
+                    _ => 24,
+                };
+                if n > cap || !runner::simulable(strategy, n) {
+                    cols.push("-".into());
+                    continue;
+                }
+                let point = runner::evaluate(&circuit, strategy, &lib, &noise, trajectories, cfg.seed)
+                    .expect("compilation succeeds");
+                cols.push(format!(
+                    "{:.3}±{:.3}",
+                    point.fidelity.mean, point.fidelity.std_error
+                ));
+                if si == 0 {
+                    qubit_only_fid = Some(point.fidelity.mean);
+                } else if let Some(base) = qubit_only_fid {
+                    if base > 1e-6 {
+                        improvement[si].0 += point.fidelity.mean / base;
+                        improvement[si].1 += 1;
+                    }
+                }
+            }
+            runner::print_row(&cols, &widths);
+        }
+    }
+
+    println!("\n--- Fig. 7e: average fidelity improvement over qubit-only ---");
+    println!("paper: mixed-radix ~2x by 12 qubits, full-ququart up to ~3x");
+    for (si, strategy) in strategies.iter().enumerate().skip(1) {
+        let (sum, count) = improvement[si];
+        if count > 0 {
+            println!("  {:<28} {:>5.2}x (over {count} points)", strategy.name(), sum / count as f64);
+        }
+    }
+}

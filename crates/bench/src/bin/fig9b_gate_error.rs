@@ -1,0 +1,83 @@
+//! Figure 9b: sensitivity to ququart gate error on the Cuccaro adder.
+//!
+//! Paper shape: mixed-radix crosses below the qubit-only baseline when
+//! ququart-touching gates are ~2–4x worse than qubit gates; full-ququart
+//! survives until ~4–6x; the iToffoli baseline overtakes full-ququart
+//! around 3x.
+//!
+//! Run: `cargo run -p waltz-bench --release --bin fig9b_gate_error`
+
+use waltz_bench::runner::{self, HarnessConfig};
+use waltz_circuits::cuccaro_adder;
+use waltz_core::Strategy;
+use waltz_gates::GateLibrary;
+use waltz_noise::NoiseModel;
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let trajectories = cfg.effective_trajectories();
+    let noise = NoiseModel::paper();
+    // Paper uses an 11-qubit Cuccaro adder (2n+2 gives 10 qubits at n = 4);
+    // reduced mode trims to 8 qubits so the 4^n mixed-radix register stays
+    // affordable on one core.
+    let circuit = cuccaro_adder(if cfg.full { 4 } else { 3 });
+    let n = circuit.n_qubits();
+
+    println!(
+        "== Fig. 9b: ququart gate-error sensitivity ({}-qubit Cuccaro, {} traj) ==\n",
+        n, trajectories
+    );
+
+    // Baselines are error-scale independent.
+    let base_lib = GateLibrary::paper();
+    let qo = runner::evaluate(&circuit, &Strategy::qubit_only(), &base_lib, &noise, trajectories, cfg.seed)
+        .unwrap();
+    let it = runner::evaluate(
+        &circuit,
+        &Strategy::qubit_only_itoffoli(),
+        &base_lib,
+        &noise,
+        trajectories,
+        cfg.seed,
+    )
+    .unwrap();
+    println!("  qubit-only (8CX)    : {:.3} (black line)", qo.fidelity.mean);
+    println!("  qubit-only iToffoli : {:.3} (red line)\n", it.fidelity.mean);
+
+    let widths = vec![11, 14, 14];
+    runner::print_row(
+        &["error scale".into(), "mixed-radix".into(), "full-ququart".into()],
+        &widths,
+    );
+    let mut mr_cross = None;
+    let mut fq_cross = None;
+    for scale in [1.0f64, 2.0, 3.0, 4.0, 5.0, 6.0] {
+        let lib = GateLibrary::paper().with_ququart_error_scale(scale);
+        let mr = runner::evaluate(&circuit, &Strategy::mixed_radix_ccz(), &lib, &noise, trajectories, cfg.seed)
+            .unwrap();
+        let fq = runner::evaluate(&circuit, &Strategy::full_ququart(), &lib, &noise, trajectories, cfg.seed)
+            .unwrap();
+        runner::print_row(
+            &[
+                format!("{scale:.0}x"),
+                format!("{:.3}±{:.3}", mr.fidelity.mean, mr.fidelity.std_error),
+                format!("{:.3}±{:.3}", fq.fidelity.mean, fq.fidelity.std_error),
+            ],
+            &widths,
+        );
+        if mr_cross.is_none() && mr.fidelity.mean < qo.fidelity.mean {
+            mr_cross = Some(scale);
+        }
+        if fq_cross.is_none() && fq.fidelity.mean < qo.fidelity.mean {
+            fq_cross = Some(scale);
+        }
+    }
+    println!(
+        "\n  mixed-radix crosses qubit-only at  : {} (paper: between 2x and 4x)",
+        mr_cross.map_or("never (<=6x)".into(), |s| format!("{s:.0}x")),
+    );
+    println!(
+        "  full-ququart crosses qubit-only at : {} (paper: between 4x and 6x)",
+        fq_cross.map_or("never (<=6x)".into(), |s| format!("{s:.0}x")),
+    );
+}

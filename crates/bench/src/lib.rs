@@ -1,0 +1,6 @@
+//! Shared experiment-runner machinery for the table/figure harness
+//! binaries (see DESIGN.md §3 for the experiment index).
+
+#![warn(missing_docs)]
+
+pub mod runner;

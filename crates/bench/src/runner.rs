@@ -1,0 +1,223 @@
+//! Compile-then-simulate sweeps shared by every harness binary.
+
+use waltz_circuit::Circuit;
+use waltz_core::{CompiledCircuit, CompileError, Strategy, compile};
+use waltz_gates::GateLibrary;
+use waltz_noise::{CoherenceModel, NoiseModel};
+use waltz_sim::trajectory::{self, FidelityEstimate};
+
+/// Harness options, parsed from the command line.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Monte-Carlo trajectories per data point (the paper uses 1000+).
+    pub trajectories: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Run at paper scale (all sizes, 1000 trajectories).
+    pub full: bool,
+    /// Override for the size sweep.
+    pub sizes: Option<Vec<usize>>,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            trajectories: 120,
+            seed: 20230617,
+            full: false,
+            sizes: None,
+        }
+    }
+}
+
+impl HarnessConfig {
+    /// Parses `--trajectories N`, `--seed N`, `--sizes a,b,c`, `--full`
+    /// from `std::env::args`.
+    pub fn from_args() -> Self {
+        let mut cfg = HarnessConfig::default();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--trajectories" => {
+                    cfg.trajectories = args[i + 1].parse().expect("bad --trajectories");
+                    i += 2;
+                }
+                "--seed" => {
+                    cfg.seed = args[i + 1].parse().expect("bad --seed");
+                    i += 2;
+                }
+                "--sizes" => {
+                    cfg.sizes = Some(
+                        args[i + 1]
+                            .split(',')
+                            .map(|s| s.parse().expect("bad --sizes"))
+                            .collect(),
+                    );
+                    i += 2;
+                }
+                "--full" => {
+                    cfg.full = true;
+                    cfg.trajectories = cfg.trajectories.max(1000);
+                    i += 1;
+                }
+                other => panic!("unknown flag {other}"),
+            }
+        }
+        cfg
+    }
+
+    /// Effective trajectory count.
+    pub fn effective_trajectories(&self) -> usize {
+        if self.full {
+            self.trajectories.max(1000)
+        } else {
+            self.trajectories
+        }
+    }
+}
+
+/// The strategy set of the Fig. 7 comparison.
+pub fn fig7_strategies() -> Vec<Strategy> {
+    vec![
+        Strategy::qubit_only(),
+        Strategy::qubit_only_itoffoli(),
+        Strategy::mixed_radix_raw(),
+        Strategy::mixed_radix_retarget(),
+        Strategy::mixed_radix_ccz(),
+        Strategy::full_ququart(),
+    ]
+}
+
+/// One simulated data point.
+#[derive(Debug, Clone)]
+pub struct DataPoint {
+    /// Strategy evaluated.
+    pub strategy: Strategy,
+    /// Trajectory-method fidelity estimate.
+    pub fidelity: FidelityEstimate,
+    /// Analytic gate EPS (product of pulse fidelities).
+    pub eps_gate: f64,
+    /// Coherence EPS.
+    pub eps_coherence: f64,
+    /// Scheduled circuit duration (ns).
+    pub duration_ns: f64,
+    /// Hardware pulse count.
+    pub pulses: usize,
+}
+
+/// Compiles `circuit` under `strategy` and estimates its fidelity with the
+/// trajectory method on random product inputs (§6.4).
+///
+/// # Errors
+///
+/// Propagates compiler errors.
+pub fn evaluate(
+    circuit: &Circuit,
+    strategy: &Strategy,
+    lib: &GateLibrary,
+    noise: &NoiseModel,
+    trajectories: usize,
+    seed: u64,
+) -> Result<DataPoint, CompileError> {
+    let compiled = compile(circuit, strategy, lib)?;
+    let fidelity = simulate(&compiled, noise, trajectories, seed);
+    let eps = compiled.eps(&noise.coherence);
+    Ok(DataPoint {
+        strategy: *strategy,
+        fidelity,
+        eps_gate: eps.gate,
+        eps_coherence: eps.coherence,
+        duration_ns: compiled.stats.total_duration_ns,
+        pulses: compiled.stats.hw_ops,
+    })
+}
+
+/// Trajectory-method fidelity of an already-compiled circuit.
+pub fn simulate(
+    compiled: &CompiledCircuit,
+    noise: &NoiseModel,
+    trajectories: usize,
+    seed: u64,
+) -> FidelityEstimate {
+    trajectory::average_fidelity_with(&compiled.timed, noise, trajectories, seed, |_, rng| {
+        compiled.random_product_initial_state(rng)
+    })
+}
+
+/// EPS-only evaluation (no simulation) — used where the paper itself falls
+/// back to the analytic model (Fig. 8, large mixed-radix sizes).
+///
+/// # Errors
+///
+/// Propagates compiler errors.
+pub fn evaluate_eps_only(
+    circuit: &Circuit,
+    strategy: &Strategy,
+    lib: &GateLibrary,
+    model: &CoherenceModel,
+) -> Result<(f64, f64, f64), CompileError> {
+    let compiled = compile(circuit, strategy, lib)?;
+    let eps = compiled.eps(model);
+    Ok((eps.gate, eps.coherence, eps.total()))
+}
+
+/// Memory guard matching the paper's limitation: mixed-radix simulation
+/// models *every* device with four levels, so sizes beyond 12 qubits are
+/// out of reach (§6.4/§7); qubit-only and full-ququart scale further.
+pub fn simulable(strategy: &Strategy, n_qubits: usize) -> bool {
+    match strategy {
+        Strategy::MixedRadix { .. } => n_qubits <= 12,
+        Strategy::QubitOnly { .. } => n_qubits <= 24,
+        Strategy::FullQuquart { .. } => n_qubits <= 24,
+    }
+}
+
+/// Prints an aligned table row.
+pub fn print_row(cols: &[String], widths: &[usize]) {
+    let mut line = String::new();
+    for (c, w) in cols.iter().zip(widths) {
+        line.push_str(&format!("{c:<w$}  ", w = w));
+    }
+    println!("{}", line.trim_end());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waltz_circuits::generalized_toffoli;
+
+    #[test]
+    fn headline_ordering_on_small_cnu() {
+        // The paper's core claim (Fig. 7): mixed-radix and full-ququart
+        // beat qubit-only on Toffoli-heavy circuits.
+        let circuit = generalized_toffoli(3); // 6 qubits
+        let lib = GateLibrary::paper();
+        let noise = NoiseModel::paper();
+        let qo = evaluate(&circuit, &Strategy::qubit_only(), &lib, &noise, 60, 1).unwrap();
+        let mr = evaluate(&circuit, &Strategy::mixed_radix_ccz(), &lib, &noise, 60, 1).unwrap();
+        let fq = evaluate(&circuit, &Strategy::full_ququart(), &lib, &noise, 60, 1).unwrap();
+        assert!(
+            mr.fidelity.mean > qo.fidelity.mean,
+            "mixed-radix {} should beat qubit-only {}",
+            mr.fidelity.mean,
+            qo.fidelity.mean
+        );
+        assert!(
+            fq.fidelity.mean > qo.fidelity.mean,
+            "full-ququart {} should beat qubit-only {}",
+            fq.fidelity.mean,
+            qo.fidelity.mean
+        );
+        // EPS agrees with the ordering.
+        assert!(fq.eps_gate * fq.eps_coherence > qo.eps_gate * qo.eps_coherence);
+    }
+
+    #[test]
+    fn simulable_limits_match_paper() {
+        assert!(simulable(&Strategy::mixed_radix_ccz(), 12));
+        assert!(!simulable(&Strategy::mixed_radix_ccz(), 13));
+        assert!(simulable(&Strategy::full_ququart(), 21));
+        assert!(simulable(&Strategy::qubit_only(), 21));
+    }
+}

@@ -1,0 +1,291 @@
+//! The [`Circuit`] container and its builder API.
+
+use std::fmt;
+
+use waltz_gates::Q1Gate;
+
+use crate::gate::{Gate, GateKind};
+
+/// An ordered list of logical gates over `n` qubits.
+///
+/// The builder methods return `&mut Self` so circuits can be written
+/// fluently:
+///
+/// ```
+/// use waltz_circuit::Circuit;
+/// let mut bell = Circuit::new(2);
+/// bell.h(0).cx(0, 1);
+/// assert_eq!(bell.depth(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Circuit {
+    n_qubits: usize,
+    gates: Vec<Gate>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit over `n_qubits`.
+    pub fn new(n_qubits: usize) -> Self {
+        Circuit {
+            n_qubits,
+            gates: Vec::new(),
+        }
+    }
+
+    /// Number of logical qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Number of gates.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Whether the circuit contains no gates.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// The gates in program order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Iterates over the gates in program order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Gate> {
+        self.gates.iter()
+    }
+
+    /// Appends a gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operand is out of range.
+    pub fn push(&mut self, gate: Gate) -> &mut Self {
+        for &q in &gate.qubits {
+            assert!(
+                q < self.n_qubits,
+                "qubit {q} out of range for {}-qubit circuit",
+                self.n_qubits
+            );
+        }
+        self.gates.push(gate);
+        self
+    }
+
+    /// Appends all gates of `other` (qubit indices shared).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` uses more qubits than `self`.
+    pub fn extend(&mut self, other: &Circuit) -> &mut Self {
+        assert!(other.n_qubits <= self.n_qubits, "circuit too wide to append");
+        for g in &other.gates {
+            self.push(g.clone());
+        }
+        self
+    }
+
+    /// Appends an arbitrary single-qubit gate.
+    pub fn one(&mut self, g: Q1Gate, q: usize) -> &mut Self {
+        self.push(Gate::new(GateKind::One(g), vec![q]))
+    }
+
+    /// Appends a Hadamard.
+    pub fn h(&mut self, q: usize) -> &mut Self {
+        self.one(Q1Gate::H, q)
+    }
+
+    /// Appends a Pauli X.
+    pub fn x(&mut self, q: usize) -> &mut Self {
+        self.one(Q1Gate::X, q)
+    }
+
+    /// Appends a T gate.
+    pub fn t(&mut self, q: usize) -> &mut Self {
+        self.one(Q1Gate::T, q)
+    }
+
+    /// Appends a T†.
+    pub fn tdg(&mut self, q: usize) -> &mut Self {
+        self.one(Q1Gate::Tdg, q)
+    }
+
+    /// Appends a CNOT.
+    pub fn cx(&mut self, control: usize, target: usize) -> &mut Self {
+        self.push(Gate::new(GateKind::Cx, vec![control, target]))
+    }
+
+    /// Appends a CZ.
+    pub fn cz(&mut self, a: usize, b: usize) -> &mut Self {
+        self.push(Gate::new(GateKind::Cz, vec![a, b]))
+    }
+
+    /// Appends a SWAP.
+    pub fn swap(&mut self, a: usize, b: usize) -> &mut Self {
+        self.push(Gate::new(GateKind::Swap, vec![a, b]))
+    }
+
+    /// Appends a controlled-S†.
+    pub fn csdg(&mut self, control: usize, target: usize) -> &mut Self {
+        self.push(Gate::new(GateKind::Csdg, vec![control, target]))
+    }
+
+    /// Appends a Toffoli.
+    pub fn ccx(&mut self, c1: usize, c2: usize, target: usize) -> &mut Self {
+        self.push(Gate::new(GateKind::Ccx, vec![c1, c2, target]))
+    }
+
+    /// Appends a CCZ.
+    pub fn ccz(&mut self, a: usize, b: usize, c: usize) -> &mut Self {
+        self.push(Gate::new(GateKind::Ccz, vec![a, b, c]))
+    }
+
+    /// Appends a Fredkin (CSWAP).
+    pub fn cswap(&mut self, control: usize, t1: usize, t2: usize) -> &mut Self {
+        self.push(Gate::new(GateKind::Cswap, vec![control, t1, t2]))
+    }
+
+    /// Gate count grouped by arity `(1q, 2q, 3q)`.
+    pub fn gate_counts(&self) -> (usize, usize, usize) {
+        let mut counts = (0, 0, 0);
+        for g in &self.gates {
+            match g.arity() {
+                1 => counts.0 += 1,
+                2 => counts.1 += 1,
+                _ => counts.2 += 1,
+            }
+        }
+        counts
+    }
+
+    /// Number of three-qubit gates.
+    pub fn three_qubit_gate_count(&self) -> usize {
+        self.gate_counts().2
+    }
+
+    /// Number of two-qubit gates.
+    pub fn two_qubit_gate_count(&self) -> usize {
+        self.gate_counts().1
+    }
+
+    /// Circuit depth: the number of ASAP moments (see [`crate::moments`]).
+    pub fn depth(&self) -> usize {
+        crate::moments::moments(self).len()
+    }
+
+    /// The inverse circuit: reversed gate order with each gate inverted.
+    pub fn dagger(&self) -> Circuit {
+        let mut out = Circuit::new(self.n_qubits);
+        for g in self.gates.iter().rev() {
+            for inv in g.dagger_gates() {
+                out.push(inv);
+            }
+        }
+        out
+    }
+
+    /// Returns the circuit with qubit indices remapped through `map`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map.len() != self.n_qubits()` or a mapped index exceeds
+    /// `new_width`.
+    pub fn remap(&self, map: &[usize], new_width: usize) -> Circuit {
+        assert_eq!(map.len(), self.n_qubits, "remap table width mismatch");
+        let mut out = Circuit::new(new_width);
+        for g in &self.gates {
+            let qubits: Vec<usize> = g.qubits.iter().map(|&q| map[q]).collect();
+            out.push(Gate::new(g.kind.clone(), qubits));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Circuit({} qubits, {} gates)", self.n_qubits, self.gates.len())?;
+        for g in &self.gates {
+            writeln!(f, "  {:?} {:?}", g.kind, g.qubits)?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a Circuit {
+    type Item = &'a Gate;
+    type IntoIter = std::slice::Iter<'a, Gate>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.gates.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unitary;
+
+    #[test]
+    fn builder_chains() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).ccz(0, 1, 2).cswap(2, 0, 1);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.gate_counts(), (1, 1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_qubit_panics() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 2);
+    }
+
+    #[test]
+    fn depth_of_parallel_gates_is_one() {
+        let mut c = Circuit::new(4);
+        c.h(0).h(1).h(2).h(3);
+        assert_eq!(c.depth(), 1);
+        c.cx(0, 1).cx(2, 3);
+        assert_eq!(c.depth(), 2);
+        c.cx(1, 2);
+        assert_eq!(c.depth(), 3);
+    }
+
+    #[test]
+    fn dagger_inverts_the_unitary() {
+        let mut c = Circuit::new(2);
+        c.h(0).t(1).cx(0, 1).csdg(1, 0).swap(0, 1);
+        let u = unitary::circuit_unitary(&c);
+        let udg = unitary::circuit_unitary(&c.dagger());
+        assert!(u.matmul(&udg).is_identity(1e-12));
+    }
+
+    #[test]
+    fn remap_moves_operands() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        let r = c.remap(&[3, 1], 4);
+        assert_eq!(r.gates()[0].qubits, vec![3, 1]);
+        assert_eq!(r.n_qubits(), 4);
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = Circuit::new(2);
+        a.h(0);
+        let mut b = Circuit::new(2);
+        b.cx(0, 1);
+        a.extend(&b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn display_lists_gates() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        let s = format!("{c}");
+        assert!(s.contains("Circuit(2 qubits, 1 gates)"));
+        assert!(s.contains("One(H)"));
+    }
+}

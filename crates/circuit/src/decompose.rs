@@ -1,0 +1,241 @@
+//! Three-qubit gate decompositions (paper Fig. 6 and §5.1).
+//!
+//! * [`ccx_to_6cx`] — the textbook 6-CNOT Toffoli (all-to-all
+//!   connectivity).
+//! * [`ccz_to_8cx_line`] / [`ccx_to_8cx_line`] — the 8-CNOT
+//!   nearest-neighbour decomposition used by the paper's qubit-only
+//!   baseline (§5.1.1, "a decomposition into eight CX operations"): only
+//!   CX gates between adjacent wires of the line `a–b–c` appear.
+//! * [`ccx_via_ccz`] — Fig. 6c: CCX = H(t) · CCZ · H(t).
+//! * [`ccx_retargeted`] — Fig. 6b: Hadamards exchange the second control
+//!   and the target ("re-targeting", §5.1.2).
+//! * [`cswap_to_ccx`] / [`cswap_via_ccz`] — Fredkin expansions used by the
+//!   §7.1 CSWAP case study.
+
+use crate::Circuit;
+
+/// Textbook 6-CNOT Toffoli decomposition (requires all-to-all coupling
+/// between the three operands).
+pub fn ccx_to_6cx(c1: usize, c2: usize, t: usize, width: usize) -> Circuit {
+    let mut c = Circuit::new(width);
+    c.h(t)
+        .cx(c2, t)
+        .tdg(t)
+        .cx(c1, t)
+        .t(t)
+        .cx(c2, t)
+        .tdg(t)
+        .cx(c1, t)
+        .t(c2)
+        .t(t)
+        .h(t)
+        .cx(c1, c2)
+        .t(c1)
+        .tdg(c2)
+        .cx(c1, c2);
+    c
+}
+
+/// 8-CNOT CCZ on a line `a–b–c`: every CX acts between adjacent wires.
+///
+/// Construction: phase-polynomial form of CCZ
+/// `(-1)^{abc} = exp(i pi/4 (a + b + c - a^b - a^c - b^c + a^b^c))`,
+/// realized by walking the parities `a^b, a^b^c, a^c, b^c` onto wires `b`
+/// and `c` with nearest-neighbour CNOTs and undoing them at the end.
+pub fn ccz_to_8cx_line(a: usize, b: usize, c: usize, width: usize) -> Circuit {
+    let mut k = Circuit::new(width);
+    k.t(a).t(b).t(c);
+    k.cx(a, b).tdg(b); // b holds a^b
+    k.cx(b, c).t(c); // c holds a^b^c
+    k.cx(a, b); // b holds b
+    k.cx(b, c).tdg(c); // c holds a^c
+    k.cx(a, b); // b holds a^b
+    k.cx(b, c).tdg(c); // c holds b^c
+    k.cx(a, b); // b holds b
+    k.cx(b, c); // c holds c
+    k
+}
+
+/// 8-CNOT Toffoli on a line `c1–c2–t` (Hadamard-conjugated
+/// [`ccz_to_8cx_line`]). This is the paper's qubit-only baseline
+/// decomposition: 8 two-qubit gates plus single-qubit gates.
+pub fn ccx_to_8cx_line(c1: usize, c2: usize, t: usize, width: usize) -> Circuit {
+    let mut k = Circuit::new(width);
+    k.h(t);
+    k.extend(&ccz_to_8cx_line(c1, c2, t, width));
+    k.h(t);
+    k
+}
+
+/// Fig. 6c: `CCX(c1, c2, t) = H(t) CCZ(c1, c2, t) H(t)` with the CCZ kept
+/// as a native three-qubit gate (the compiler's "CCZ transform", §5.1.2).
+pub fn ccx_via_ccz(c1: usize, c2: usize, t: usize, width: usize) -> Circuit {
+    let mut c = Circuit::new(width);
+    c.h(t).ccz(c1, c2, t).h(t);
+    c
+}
+
+/// Fig. 6b: re-targeting — Hadamards on the second control and the target
+/// exchange their roles, so the emitted Toffoli is `CCX(c1, t, c2)`.
+///
+/// Used when routing happens to co-locate a control with the target: the
+/// compiler flips roles to reach the fast controls-together configuration.
+pub fn ccx_retargeted(c1: usize, c2: usize, t: usize, width: usize) -> Circuit {
+    let mut c = Circuit::new(width);
+    c.h(c2).h(t).ccx(c1, t, c2).h(c2).h(t);
+    c
+}
+
+/// `CSWAP(c, t1, t2) = CX(t2, t1) · CCX(c, t1, t2) · CX(t2, t1)` — the
+/// standard Fredkin expansion ("two CX gates and one CCX gate", §7.1).
+pub fn cswap_to_ccx(control: usize, t1: usize, t2: usize, width: usize) -> Circuit {
+    let mut c = Circuit::new(width);
+    c.cx(t2, t1).ccx(control, t1, t2).cx(t2, t1);
+    c
+}
+
+/// Fredkin via a native CCZ: `CX(t2,t1) · H(t2) · CCZ(c,t1,t2) · H(t2) ·
+/// CX(t2,t1)`.
+pub fn cswap_via_ccz(control: usize, t1: usize, t2: usize, width: usize) -> Circuit {
+    let mut c = Circuit::new(width);
+    c.cx(t2, t1).h(t2).ccz(control, t1, t2).h(t2).cx(t2, t1);
+    c
+}
+
+/// Replaces every three-qubit gate in `circuit` with its 8-CX
+/// nearest-neighbour expansion (CSWAPs first expand through
+/// [`cswap_to_ccx`]). The result contains only 1- and 2-qubit gates.
+pub fn decompose_all_three_qubit(circuit: &Circuit) -> Circuit {
+    use crate::GateKind;
+    let w = circuit.n_qubits();
+    let mut out = Circuit::new(w);
+    for g in circuit.iter() {
+        match &g.kind {
+            GateKind::Ccx => {
+                out.extend(&ccx_to_8cx_line(g.qubits[0], g.qubits[1], g.qubits[2], w));
+            }
+            GateKind::Ccz => {
+                out.extend(&ccz_to_8cx_line(g.qubits[0], g.qubits[1], g.qubits[2], w));
+            }
+            GateKind::Cswap => {
+                let (c, t1, t2) = (g.qubits[0], g.qubits[1], g.qubits[2]);
+                out.cx(t2, t1);
+                out.extend(&ccx_to_8cx_line(c, t1, t2, w));
+                out.cx(t2, t1);
+            }
+            _ => {
+                out.push(g.clone());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unitary::{circuit_unitary, equivalent};
+    use crate::{Circuit, GateKind};
+
+    fn reference(kind: GateKind, qubits: Vec<usize>, width: usize) -> Circuit {
+        let mut c = Circuit::new(width);
+        c.push(crate::Gate::new(kind, qubits));
+        c
+    }
+
+    #[test]
+    fn six_cx_toffoli_is_exact() {
+        let built = ccx_to_6cx(0, 1, 2, 3);
+        let reference = reference(GateKind::Ccx, vec![0, 1, 2], 3);
+        assert!(equivalent(&built, &reference, 1e-12));
+        assert_eq!(built.two_qubit_gate_count(), 6);
+    }
+
+    #[test]
+    fn eight_cx_ccz_is_exact_and_nearest_neighbour() {
+        let built = ccz_to_8cx_line(0, 1, 2, 3);
+        let reference = reference(GateKind::Ccz, vec![0, 1, 2], 3);
+        assert!(equivalent(&built, &reference, 1e-12));
+        assert_eq!(built.two_qubit_gate_count(), 8);
+        // Nearest neighbour on the line 0-1-2: no CX between 0 and 2.
+        for g in built.iter() {
+            if g.arity() == 2 {
+                let (a, b) = (g.qubits[0], g.qubits[1]);
+                assert_eq!((a as i64 - b as i64).abs(), 1, "non-adjacent CX {a},{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn eight_cx_toffoli_is_exact() {
+        let built = ccx_to_8cx_line(0, 1, 2, 3);
+        let reference = reference(GateKind::Ccx, vec![0, 1, 2], 3);
+        assert!(equivalent(&built, &reference, 1e-12));
+        assert_eq!(built.two_qubit_gate_count(), 8);
+    }
+
+    #[test]
+    fn eight_cx_works_for_scrambled_operands() {
+        let built = ccx_to_8cx_line(2, 0, 1, 3);
+        let reference = reference(GateKind::Ccx, vec![2, 0, 1], 3);
+        assert!(equivalent(&built, &reference, 1e-12));
+    }
+
+    #[test]
+    fn ccx_via_ccz_is_exact() {
+        let built = ccx_via_ccz(0, 1, 2, 3);
+        let reference = reference(GateKind::Ccx, vec![0, 1, 2], 3);
+        assert!(equivalent(&built, &reference, 1e-12));
+    }
+
+    #[test]
+    fn retargeting_is_exact() {
+        let built = ccx_retargeted(0, 1, 2, 3);
+        let want = reference(GateKind::Ccx, vec![0, 1, 2], 3);
+        assert!(equivalent(&built, &want, 1e-12));
+        // And in a wider circuit with different roles.
+        let built = ccx_retargeted(3, 0, 2, 4);
+        let want = reference(GateKind::Ccx, vec![3, 0, 2], 4);
+        assert!(equivalent(&built, &want, 1e-12));
+    }
+
+    #[test]
+    fn cswap_expansions_are_exact() {
+        let reference = reference(GateKind::Cswap, vec![0, 1, 2], 3);
+        assert!(equivalent(&cswap_to_ccx(0, 1, 2, 3), &reference, 1e-12));
+        assert!(equivalent(&cswap_via_ccz(0, 1, 2, 3), &reference, 1e-12));
+    }
+
+    #[test]
+    fn full_decomposition_removes_three_qubit_gates() {
+        let mut c = Circuit::new(4);
+        c.h(0).ccx(0, 1, 2).cswap(3, 1, 0).ccz(1, 2, 3).cx(0, 3);
+        let d = decompose_all_three_qubit(&c);
+        assert_eq!(d.three_qubit_gate_count(), 0);
+        assert!(equivalent(&c, &d, 1e-12));
+    }
+
+    #[test]
+    fn ccz_is_symmetric_in_its_operands() {
+        for perm in [[0, 1, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]] {
+            let built = ccz_to_8cx_line(perm[0], perm[1], perm[2], 3);
+            let reference = reference(GateKind::Ccz, vec![0, 1, 2], 3);
+            assert!(equivalent(&built, &reference, 1e-12), "perm {perm:?}");
+        }
+    }
+
+    #[test]
+    fn gate_counts_match_paper_shape() {
+        // §5.1.1: "eight two-qubit gates and 14 one-qubit gates" for the
+        // qubit-only Toffoli. Our phase-polynomial variant uses 8 CX and 9
+        // one-qubit gates — the same two-qubit cost, which is what the
+        // fidelity model keys on.
+        let built = ccx_to_8cx_line(0, 1, 2, 3);
+        let (oneq, twoq, threeq) = built.gate_counts();
+        assert_eq!(twoq, 8);
+        assert_eq!(threeq, 0);
+        assert!(oneq >= 9);
+        let u = circuit_unitary(&built);
+        assert!(u.is_unitary(1e-12));
+    }
+}

@@ -1,0 +1,186 @@
+//! Logical gates over qubits.
+
+use waltz_gates::Q1Gate;
+use waltz_math::Matrix;
+
+/// The logical gate vocabulary after decomposition to the compiler's native
+/// set (§5.2).
+#[derive(Debug, Clone, PartialEq)]
+pub enum GateKind {
+    /// A single-qubit gate.
+    One(Q1Gate),
+    /// CNOT (control, target).
+    Cx,
+    /// Controlled-Z (symmetric).
+    Cz,
+    /// SWAP.
+    Swap,
+    /// Controlled-S† (control, target) — used by the iToffoli correction.
+    Csdg,
+    /// Toffoli (control, control, target).
+    Ccx,
+    /// Doubly-controlled Z (symmetric / target-independent).
+    Ccz,
+    /// Fredkin (control, target, target).
+    Cswap,
+}
+
+impl GateKind {
+    /// Number of operands.
+    pub fn arity(&self) -> usize {
+        match self {
+            GateKind::One(_) => 1,
+            GateKind::Cx | GateKind::Cz | GateKind::Swap | GateKind::Csdg => 2,
+            GateKind::Ccx | GateKind::Ccz | GateKind::Cswap => 3,
+        }
+    }
+
+    /// The unitary on the operand space (first operand most significant).
+    pub fn unitary(&self) -> Matrix {
+        use waltz_gates::standard;
+        match self {
+            GateKind::One(g) => g.matrix(),
+            GateKind::Cx => standard::cx(),
+            GateKind::Cz => standard::cz(),
+            GateKind::Swap => standard::swap(),
+            GateKind::Csdg => standard::csdg(),
+            GateKind::Ccx => standard::ccx(),
+            GateKind::Ccz => standard::ccz(),
+            GateKind::Cswap => standard::cswap(),
+        }
+    }
+
+    /// Whether this is one of the three-qubit gates the compiler executes
+    /// natively on ququarts.
+    pub fn is_three_qubit(&self) -> bool {
+        self.arity() == 3
+    }
+
+    /// The inverse gate kind (all native gates are self-inverse except
+    /// parameterized rotations, S/T phases and CS†).
+    pub fn dagger(&self) -> GateKind {
+        match self {
+            GateKind::One(g) => GateKind::One(g.dagger()),
+            // CS† is not self-inverse; its inverse (CS) is representable as
+            // CS† preceded/followed by nothing in our set, so callers that
+            // need exact inversion go through `Gate::dagger_gates`.
+            other => other.clone(),
+        }
+    }
+}
+
+/// A gate applied to specific logical qubits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gate {
+    /// What gate.
+    pub kind: GateKind,
+    /// Operand qubits in the kind's conventional order (controls first).
+    pub qubits: Vec<usize>,
+}
+
+impl Gate {
+    /// Creates a gate, validating arity and operand distinctness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand count does not match the gate arity or if an
+    /// operand repeats.
+    pub fn new(kind: GateKind, qubits: Vec<usize>) -> Self {
+        assert_eq!(
+            qubits.len(),
+            kind.arity(),
+            "gate {kind:?} expects {} operands, got {}",
+            kind.arity(),
+            qubits.len()
+        );
+        for (i, a) in qubits.iter().enumerate() {
+            for b in qubits.iter().skip(i + 1) {
+                assert_ne!(a, b, "gate operands must be distinct: {qubits:?}");
+            }
+        }
+        Gate { kind, qubits }
+    }
+
+    /// Number of operands.
+    pub fn arity(&self) -> usize {
+        self.qubits.len()
+    }
+
+    /// The sequence of gates implementing this gate's inverse.
+    pub fn dagger_gates(&self) -> Vec<Gate> {
+        match &self.kind {
+            GateKind::Csdg => {
+                // CS = (CS†)^3 — cheapest expression inside the native set
+                // is Z-rotations, but for circuit-level inversion three
+                // repetitions are exact and only used in tests.
+                vec![
+                    Gate::new(GateKind::Csdg, self.qubits.clone()),
+                    Gate::new(GateKind::Csdg, self.qubits.clone()),
+                    Gate::new(GateKind::Csdg, self.qubits.clone()),
+                ]
+            }
+            kind => vec![Gate::new(kind.dagger(), self.qubits.clone())],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_table() {
+        assert_eq!(GateKind::One(Q1Gate::H).arity(), 1);
+        assert_eq!(GateKind::Cx.arity(), 2);
+        assert_eq!(GateKind::Ccz.arity(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 operands")]
+    fn wrong_operand_count_panics() {
+        let _ = Gate::new(GateKind::Cx, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn repeated_operand_panics() {
+        let _ = Gate::new(GateKind::Ccx, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn unitaries_are_unitary() {
+        for kind in [
+            GateKind::One(Q1Gate::T),
+            GateKind::Cx,
+            GateKind::Cz,
+            GateKind::Swap,
+            GateKind::Csdg,
+            GateKind::Ccx,
+            GateKind::Ccz,
+            GateKind::Cswap,
+        ] {
+            assert!(kind.unitary().is_unitary(1e-12), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn dagger_of_self_inverse_gates() {
+        assert_eq!(GateKind::Cx.dagger(), GateKind::Cx);
+        assert_eq!(
+            GateKind::One(Q1Gate::T).dagger(),
+            GateKind::One(Q1Gate::Tdg)
+        );
+    }
+
+    #[test]
+    fn csdg_dagger_gates_compose_to_cs() {
+        let g = Gate::new(GateKind::Csdg, vec![0, 1]);
+        let inv = g.dagger_gates();
+        assert_eq!(inv.len(), 3);
+        let mut u = waltz_math::Matrix::identity(4);
+        for gate in &inv {
+            u = gate.kind.unitary().matmul(&u);
+        }
+        assert!(u.approx_eq(&waltz_gates::standard::cs(), 1e-12));
+    }
+}

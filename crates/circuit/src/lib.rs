@@ -1,0 +1,37 @@
+//! Logical quantum circuit IR for the Quantum Waltz compiler.
+//!
+//! Circuits here are written over *logical qubits* — exactly what "the
+//! general programmer" writes in the paper's flow (§5.2); all translation
+//! to ququart hardware happens later in `waltz-core`. The IR supports the
+//! paper's native gate set after decomposition: parameterized single-qubit
+//! rotations, `CX`/`CZ`/`SWAP`/`CS†`, and the three-qubit `CCX`/`CCZ`/
+//! `CSWAP` (§5.2: "we decompose to the CX, CCX, CCZ or CSWAP along with a
+//! parameterized single-qubit rotation gate").
+//!
+//! [`decompose`] implements every decomposition the paper uses (Fig. 6 and
+//! §5.1): the 8-CX nearest-neighbour Toffoli, the CCZ form, the
+//! iToffoli-with-CS† form, Hadamard retargeting and CSWAP expansions.
+//!
+//! # Example
+//!
+//! ```
+//! use waltz_circuit::Circuit;
+//!
+//! let mut c = Circuit::new(3);
+//! c.h(0).cx(0, 1).ccx(0, 1, 2);
+//! assert_eq!(c.len(), 3);
+//! assert_eq!(c.three_qubit_gate_count(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod circuit;
+mod gate;
+
+pub mod decompose;
+pub mod moments;
+pub mod unitary;
+
+pub use circuit::Circuit;
+pub use gate::{Gate, GateKind};
+pub use waltz_gates::Q1Gate;

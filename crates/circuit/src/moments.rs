@@ -1,0 +1,130 @@
+//! ASAP moment scheduling of logical circuits.
+//!
+//! Moments drive two things: circuit depth, and the paper's mapping weight
+//! function `w(i, j) = sum_t o(i, j, t) / t` (§5.2), whose lookahead decay
+//! needs each gate's time step.
+
+use crate::{Circuit, Gate};
+
+
+/// Greedy as-soon-as-possible layering: each gate lands in the earliest
+/// moment after the previous use of all of its operands.
+///
+/// # Example
+///
+/// ```
+/// use waltz_circuit::{moments, Circuit};
+/// let mut c = Circuit::new(3);
+/// c.h(0).h(1).cx(0, 1).h(2);
+/// let layers = moments::moments(&c);
+/// assert_eq!(layers.len(), 2);
+/// assert_eq!(layers[0].len(), 3); // h(0), h(1), h(2)
+/// ```
+pub fn moments(circuit: &Circuit) -> Vec<Vec<&Gate>> {
+    let mut frontier = vec![0usize; circuit.n_qubits()];
+    let mut layers: Vec<Vec<&Gate>> = Vec::new();
+    for gate in circuit.iter() {
+        let slot = gate.qubits.iter().map(|&q| frontier[q]).max().unwrap_or(0);
+        if slot == layers.len() {
+            layers.push(Vec::new());
+        }
+        layers[slot].push(gate);
+        for &q in &gate.qubits {
+            frontier[q] = slot + 1;
+        }
+    }
+    layers
+}
+
+/// The moment index of every gate, aligned with `circuit.gates()`.
+pub fn moment_of_each_gate(circuit: &Circuit) -> Vec<usize> {
+    let mut frontier = vec![0usize; circuit.n_qubits()];
+    let mut out = Vec::with_capacity(circuit.len());
+    for gate in circuit.iter() {
+        let slot = gate.qubits.iter().map(|&q| frontier[q]).max().unwrap_or(0);
+        out.push(slot);
+        for &q in &gate.qubits {
+            frontier[q] = slot + 1;
+        }
+    }
+    out
+}
+
+/// The paper's §5.2 interaction weight matrix with lookahead decay:
+/// `w(i, j) = sum over gates g containing both i and j of 1 / (t_g + 1)`
+/// where `t_g` is the gate's moment (1-based in the paper; we use `t + 1`
+/// to avoid dividing by zero for the first moment).
+pub fn interaction_weights(circuit: &Circuit) -> Vec<Vec<f64>> {
+    let n = circuit.n_qubits();
+    let mut w = vec![vec![0.0f64; n]; n];
+    let moments_idx = moment_of_each_gate(circuit);
+    for (gate, &t) in circuit.iter().zip(moments_idx.iter()) {
+        let decay = 1.0 / (t as f64 + 1.0);
+        for (i, &a) in gate.qubits.iter().enumerate() {
+            for &b in gate.qubits.iter().skip(i + 1) {
+                w[a][b] += decay;
+                w[b][a] += decay;
+            }
+        }
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_chain_has_one_gate_per_moment() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).cx(0, 1).cx(0, 1);
+        let layers = moments(&c);
+        assert_eq!(layers.len(), 3);
+        assert!(layers.iter().all(|l| l.len() == 1));
+    }
+
+    #[test]
+    fn three_qubit_gate_blocks_all_operands() {
+        let mut c = Circuit::new(3);
+        c.ccx(0, 1, 2).h(0).h(1).h(2);
+        let layers = moments(&c);
+        assert_eq!(layers.len(), 2);
+        assert_eq!(layers[1].len(), 3);
+    }
+
+    #[test]
+    fn moment_indices_align_with_layers() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).h(2).ccz(0, 1, 2);
+        let idx = moment_of_each_gate(&c);
+        assert_eq!(idx, vec![0, 1, 0, 2]);
+    }
+
+    #[test]
+    fn weights_decay_with_time() {
+        let mut c = Circuit::new(3);
+        c.cx(0, 1); // moment 0: weight 1
+        c.cx(1, 2); // moment 1: weight 1/2
+        let w = interaction_weights(&c);
+        assert!((w[0][1] - 1.0).abs() < 1e-12);
+        assert!((w[1][2] - 0.5).abs() < 1e-12);
+        assert_eq!(w[0][2], 0.0);
+        // Symmetry.
+        assert_eq!(w[0][1], w[1][0]);
+    }
+
+    #[test]
+    fn three_qubit_gate_weights_all_pairs() {
+        let mut c = Circuit::new(3);
+        c.ccx(0, 1, 2);
+        let w = interaction_weights(&c);
+        assert!(w[0][1] > 0.0 && w[0][2] > 0.0 && w[1][2] > 0.0);
+    }
+
+    #[test]
+    fn empty_circuit() {
+        let c = Circuit::new(3);
+        assert!(moments(&c).is_empty());
+        assert_eq!(c.depth(), 0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Dense reference semantics for logical circuits (small qubit counts).
+//!
+//! Used by tests across the workspace to verify that decompositions and
+//! compiled circuits implement the same operator. Exponential in qubit
+//! count — intended for `n <= ~12`.
+
+use waltz_math::{C64, Matrix};
+
+use crate::{Circuit, Gate};
+
+/// Applies `gate` to an `n`-qubit state vector (qubit 0 most significant).
+///
+/// # Panics
+///
+/// Panics if the state length is not `2^n` for some `n` covering all
+/// operands.
+pub fn apply_gate(state: &mut [C64], gate: &Gate, n_qubits: usize) {
+    assert_eq!(state.len(), 1 << n_qubits, "state length mismatch");
+    let u = gate.kind.unitary();
+    let k = gate.arity();
+    let block = 1 << k;
+    // Bit position (from the left / MSB) of each operand.
+    let shifts: Vec<usize> = gate.qubits.iter().map(|&q| n_qubits - 1 - q).collect();
+
+    // Iterate over all assignments of the non-operand bits.
+    let mask: usize = shifts.iter().fold(0, |m, &s| m | (1 << s));
+    let mut scratch = vec![C64::ZERO; block];
+    let full = 1 << n_qubits;
+    let mut base = 0usize;
+    loop {
+        // `base` has zeros in all operand bit positions.
+        for sub in 0..block {
+            let mut idx = base;
+            for (j, &s) in shifts.iter().enumerate() {
+                if (sub >> (k - 1 - j)) & 1 == 1 {
+                    idx |= 1 << s;
+                }
+            }
+            scratch[sub] = state[idx];
+        }
+        for row in 0..block {
+            let mut acc = C64::ZERO;
+            for (col, &amp) in scratch.iter().enumerate() {
+                let coeff = u[(row, col)];
+                if coeff != C64::ZERO {
+                    acc += coeff * amp;
+                }
+            }
+            let mut idx = base;
+            for (j, &s) in shifts.iter().enumerate() {
+                if (row >> (k - 1 - j)) & 1 == 1 {
+                    idx |= 1 << s;
+                }
+            }
+            state[idx] = acc;
+        }
+        // Advance `base` skipping operand bits (carry trick).
+        base = (base | mask).wrapping_add(1) & !mask;
+        if base == 0 || base >= full {
+            break;
+        }
+    }
+}
+
+/// Applies the whole circuit to a state vector.
+pub fn apply_circuit(state: &mut [C64], circuit: &Circuit) {
+    for g in circuit.iter() {
+        apply_gate(state, g, circuit.n_qubits());
+    }
+}
+
+/// The full `2^n x 2^n` unitary of a circuit.
+pub fn circuit_unitary(circuit: &Circuit) -> Matrix {
+    let n = circuit.n_qubits();
+    let dim = 1usize << n;
+    let mut m = Matrix::zeros(dim, dim);
+    for col in 0..dim {
+        let mut state = vec![C64::ZERO; dim];
+        state[col] = C64::ONE;
+        apply_circuit(&mut state, circuit);
+        for row in 0..dim {
+            m[(row, col)] = state[row];
+        }
+    }
+    m
+}
+
+/// Checks that two circuits implement the same unitary within `tol`,
+/// ignoring global phase.
+pub fn equivalent(a: &Circuit, b: &Circuit, tol: f64) -> bool {
+    assert_eq!(a.n_qubits(), b.n_qubits(), "width mismatch");
+    circuit_unitary(a).approx_eq_up_to_phase(&circuit_unitary(b), tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GateKind;
+    use waltz_gates::standard;
+
+    #[test]
+    fn single_gate_unitary_matches_kron_embedding() {
+        // X on qubit 1 of 3: I (x) X (x) I.
+        let mut c = Circuit::new(3);
+        c.x(1);
+        let expected = Matrix::identity(2)
+            .kron(&standard::x())
+            .kron(&Matrix::identity(2));
+        assert!(circuit_unitary(&c).approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn cx_on_non_adjacent_bits() {
+        // CX(control=2, target=0) on 3 qubits.
+        let mut c = Circuit::new(3);
+        c.cx(2, 0);
+        let u = circuit_unitary(&c);
+        // |001> (idx 1) -> |101> (idx 5)
+        let mut v = vec![C64::ZERO; 8];
+        v[1] = C64::ONE;
+        let out = u.apply(&v);
+        assert!(out[5].approx_eq(C64::ONE, 1e-12));
+    }
+
+    #[test]
+    fn bell_circuit_produces_bell_state() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let mut state = vec![C64::ZERO; 4];
+        state[0] = C64::ONE;
+        apply_circuit(&mut state, &c);
+        let r = std::f64::consts::FRAC_1_SQRT_2;
+        assert!(state[0].approx_eq(C64::real(r), 1e-12));
+        assert!(state[3].approx_eq(C64::real(r), 1e-12));
+        assert!(state[1].abs() < 1e-12 && state[2].abs() < 1e-12);
+    }
+
+    #[test]
+    fn ccx_with_scrambled_operands() {
+        // CCX(2, 0, 1): controls qubits 2 and 0, target 1.
+        let mut c = Circuit::new(3);
+        c.ccx(2, 0, 1);
+        let u = circuit_unitary(&c);
+        // |101> (q0=1, q1=0, q2=1): controls (q2=1, q0=1) set -> flip q1 -> |111>.
+        let mut v = vec![C64::ZERO; 8];
+        v[0b101] = C64::ONE;
+        assert!(u.apply(&v)[0b111].approx_eq(C64::ONE, 1e-12));
+        // |100>: control q2=0 -> unchanged.
+        let mut v = vec![C64::ZERO; 8];
+        v[0b100] = C64::ONE;
+        assert!(u.apply(&v)[0b100].approx_eq(C64::ONE, 1e-12));
+    }
+
+    #[test]
+    fn unitary_is_unitary_for_random_circuit() {
+        let mut c = Circuit::new(4);
+        c.h(0).t(1).cx(1, 2).ccz(0, 2, 3).cswap(3, 0, 1).swap(1, 3);
+        assert!(circuit_unitary(&c).is_unitary(1e-12));
+    }
+
+    #[test]
+    fn equivalence_detects_equal_and_unequal() {
+        let mut a = Circuit::new(2);
+        a.h(0).h(0);
+        let b = Circuit::new(2);
+        assert!(equivalent(&a, &b, 1e-12));
+        let mut c = Circuit::new(2);
+        c.x(0);
+        assert!(!equivalent(&a, &c, 1e-12));
+    }
+
+    #[test]
+    fn swap_matches_gate_kind_unitary() {
+        let mut c = Circuit::new(2);
+        c.swap(0, 1);
+        assert!(circuit_unitary(&c).approx_eq(&GateKind::Swap.unitary(), 1e-12));
+    }
+}

@@ -1,0 +1,135 @@
+//! The Cuccaro ripple-carry adder (quant-ph/0410184): 2n + 2 qubits,
+//! nearly fully serialized, a mix of 1-, 2- and 3-qubit gates (§6.1).
+
+use waltz_circuit::Circuit;
+
+/// Qubit layout for [`cuccaro_adder`] on `n`-bit operands:
+///
+/// * qubit 0 — incoming carry `c0`
+/// * qubits `1 + 2i` — `b[i]` (replaced by the sum bits `s[i]`)
+/// * qubits `2 + 2i` — `a[i]` (restored)
+/// * qubit `2n + 1` — carry-out `z`
+///
+/// The MAJ/UMA blocks follow the original paper:
+/// `MAJ(c, b, a) = CX(a, b) · CX(a, c) · CCX(c, b, a)` and
+/// `UMA(c, b, a) = CCX(c, b, a) · CX(a, c) · CX(c, b)`.
+pub fn cuccaro_adder(n: usize) -> Circuit {
+    assert!(n >= 1, "adder needs at least one bit");
+    let width = 2 * n + 2;
+    let mut circ = Circuit::new(width);
+    let b = |i: usize| 1 + 2 * i;
+    let a = |i: usize| 2 + 2 * i;
+    let z = width - 1;
+
+    let maj = |c: &mut Circuit, x: usize, y: usize, w: usize| {
+        c.cx(w, y).cx(w, x).ccx(x, y, w);
+    };
+    let uma = |c: &mut Circuit, x: usize, y: usize, w: usize| {
+        c.ccx(x, y, w).cx(w, x).cx(x, y);
+    };
+
+    // Ripple the carry up: MAJ(c0, b0, a0), then MAJ(a[i-1], b[i], a[i]).
+    maj(&mut circ, 0, b(0), a(0));
+    for i in 1..n {
+        maj(&mut circ, a(i - 1), b(i), a(i));
+    }
+    // Carry out.
+    circ.cx(a(n - 1), z);
+    // Unwind with UMA, leaving sums in b and restoring a and c0.
+    for i in (1..n).rev() {
+        uma(&mut circ, a(i - 1), b(i), a(i));
+    }
+    uma(&mut circ, 0, b(0), a(0));
+    circ
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waltz_circuit::unitary::apply_circuit;
+    use waltz_math::C64;
+
+    /// Runs the adder on basis input (a, b, cin) and returns (sum, a_out,
+    /// carry_out, cin_out).
+    fn run_adder(n: usize, a_val: usize, b_val: usize, cin: usize) -> (usize, usize, usize, usize) {
+        let circ = cuccaro_adder(n);
+        let width = circ.n_qubits();
+        let mut idx = 0usize;
+        let set = |idx: &mut usize, qubit: usize| *idx |= 1 << (width - 1 - qubit);
+        if cin == 1 {
+            set(&mut idx, 0);
+        }
+        for i in 0..n {
+            if (b_val >> i) & 1 == 1 {
+                set(&mut idx, 1 + 2 * i);
+            }
+            if (a_val >> i) & 1 == 1 {
+                set(&mut idx, 2 + 2 * i);
+            }
+        }
+        let mut state = vec![C64::ZERO; 1 << width];
+        state[idx] = C64::ONE;
+        apply_circuit(&mut state, &circ);
+        let out = state
+            .iter()
+            .position(|amp| amp.abs() > 0.999)
+            .expect("output must stay a basis state");
+        let bit = |qubit: usize| (out >> (width - 1 - qubit)) & 1;
+        let mut sum = 0usize;
+        let mut a_out = 0usize;
+        for i in 0..n {
+            sum |= bit(1 + 2 * i) << i;
+            a_out |= bit(2 + 2 * i) << i;
+        }
+        (sum, a_out, bit(width - 1), bit(0))
+    }
+
+    #[test]
+    fn one_bit_addition_exhaustive() {
+        for a in 0..2 {
+            for b in 0..2 {
+                for cin in 0..2 {
+                    let (sum, a_out, cout, cin_out) = run_adder(1, a, b, cin);
+                    let total = a + b + cin;
+                    assert_eq!(sum, total & 1, "a={a} b={b} cin={cin}");
+                    assert_eq!(cout, total >> 1, "a={a} b={b} cin={cin}");
+                    assert_eq!(a_out, a, "a must be restored");
+                    assert_eq!(cin_out, cin, "cin must be restored");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_bit_addition_exhaustive() {
+        for a in 0..4 {
+            for b in 0..4 {
+                let (sum, a_out, cout, _) = run_adder(2, a, b, 0);
+                let total = a + b;
+                assert_eq!(sum, total & 0b11, "a={a} b={b}");
+                assert_eq!(cout, total >> 2, "a={a} b={b}");
+                assert_eq!(a_out, a);
+            }
+        }
+    }
+
+    #[test]
+    fn three_bit_spot_checks() {
+        for (a, b, cin) in [(5, 3, 0), (7, 7, 1), (4, 2, 1), (0, 0, 0)] {
+            let (sum, _, cout, _) = run_adder(3, a, b, cin);
+            let total = a + b + cin;
+            assert_eq!(sum, total & 0b111);
+            assert_eq!(cout, total >> 3);
+        }
+    }
+
+    #[test]
+    fn structure_matches_paper() {
+        let c = cuccaro_adder(4);
+        assert_eq!(c.n_qubits(), 10); // 2n + 2
+        // One CCX per MAJ and per UMA: 2n three-qubit gates.
+        assert_eq!(c.three_qubit_gate_count(), 8);
+        // Nearly fully serialized: depth close to gate count.
+        assert!(c.depth() * 2 > c.len());
+    }
+}

@@ -1,0 +1,135 @@
+//! The Generalized Toffoli (CNU) circuit of Baker, Duckering, Hoover &
+//! Chong: a binary tree of Toffolis ANDs all controls into ancillas, a CX
+//! flips the target, and the tree uncomputes. Highly parallel (§6.1).
+
+use waltz_circuit::Circuit;
+
+/// Total qubits used by [`generalized_toffoli`] with `controls` controls:
+/// `controls` + (`controls` − 1) ancillas + 1 target.
+pub fn generalized_toffoli_total_qubits(controls: usize) -> usize {
+    2 * controls
+}
+
+/// Builds the CNU circuit: flips the last qubit iff the first `controls`
+/// qubits are all `|1>`. Ancillas occupy qubits `controls..2*controls-1`
+/// and are returned to `|0>`.
+///
+/// # Panics
+///
+/// Panics if `controls < 2`.
+///
+/// # Example
+///
+/// ```
+/// let c = waltz_circuits::generalized_toffoli(4);
+/// assert_eq!(c.n_qubits(), 8);
+/// assert!(c.three_qubit_gate_count() > 0);
+/// ```
+pub fn generalized_toffoli(controls: usize) -> Circuit {
+    assert!(controls >= 2, "CNU needs at least two controls");
+    let n = generalized_toffoli_total_qubits(controls);
+    let target = n - 1;
+    let mut circ = Circuit::new(n);
+    let mut next_ancilla = controls;
+
+    // Compute: AND-reduce the control set, pairing whatever survives each
+    // round. `frontier` holds wires whose conjunction equals the AND of all
+    // original controls consumed so far.
+    let mut frontier: Vec<usize> = (0..controls).collect();
+    let mut compute_ops: Vec<(usize, usize, usize)> = Vec::new();
+    while frontier.len() > 1 {
+        let mut next = Vec::with_capacity(frontier.len().div_ceil(2));
+        let mut iter = frontier.chunks_exact(2);
+        for pair in iter.by_ref() {
+            let a = next_ancilla;
+            next_ancilla += 1;
+            compute_ops.push((pair[0], pair[1], a));
+            next.push(a);
+        }
+        next.extend(iter.remainder().iter().copied());
+        frontier = next;
+    }
+    let root = frontier[0];
+    for &(c1, c2, a) in &compute_ops {
+        circ.ccx(c1, c2, a);
+    }
+    circ.cx(root, target);
+    for &(c1, c2, a) in compute_ops.iter().rev() {
+        circ.ccx(c1, c2, a);
+    }
+    circ
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waltz_circuit::unitary::apply_circuit;
+    use waltz_math::C64;
+
+    /// Classical truth-table check: for every basis input, the target flips
+    /// iff all controls are one, and ancillas return to zero.
+    fn check_truth_table(controls: usize) {
+        let circ = generalized_toffoli(controls);
+        let n = circ.n_qubits();
+        for input in 0..(1usize << controls) {
+            // Build |controls, ancillas=0, target=0>.
+            let mut idx = 0usize;
+            for c in 0..controls {
+                if (input >> c) & 1 == 1 {
+                    idx |= 1 << (n - 1 - c);
+                }
+            }
+            let mut state = vec![C64::ZERO; 1 << n];
+            state[idx] = C64::ONE;
+            apply_circuit(&mut state, &circ);
+            let all_ones = input == (1 << controls) - 1;
+            let expected = if all_ones { idx | 1 } else { idx };
+            assert!(
+                state[expected].abs() > 0.999,
+                "controls={controls} input={input:b}: wrong output"
+            );
+        }
+    }
+
+    #[test]
+    fn truth_table_two_controls() {
+        check_truth_table(2);
+    }
+
+    #[test]
+    fn truth_table_three_controls() {
+        check_truth_table(3);
+    }
+
+    #[test]
+    fn truth_table_four_controls() {
+        check_truth_table(4);
+    }
+
+    #[test]
+    fn is_self_inverse_on_ancilla_free_space() {
+        // Applying CNU twice must be the identity.
+        let circ = generalized_toffoli(3);
+        let mut twice = waltz_circuit::Circuit::new(circ.n_qubits());
+        twice.extend(&circ).extend(&circ);
+        let u = waltz_circuit::unitary::circuit_unitary(&twice);
+        assert!(u.is_identity(1e-10));
+    }
+
+    #[test]
+    fn tree_is_parallel() {
+        // With 4 controls the two leaf Toffolis share no qubits, so depth
+        // is much lower than gate count.
+        let circ = generalized_toffoli(4);
+        assert!(circ.depth() < circ.len());
+        // 3 compute Toffolis + CX + 3 uncompute.
+        assert_eq!(circ.three_qubit_gate_count(), 6);
+        assert_eq!(circ.two_qubit_gate_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two controls")]
+    fn single_control_rejected() {
+        let _ = generalized_toffoli(1);
+    }
+}

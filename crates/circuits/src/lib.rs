@@ -1,0 +1,135 @@
+//! Benchmark circuit generators (paper §6.1).
+//!
+//! Five parameterized families drive the evaluation:
+//!
+//! * [`generalized_toffoli`](fn@generalized_toffoli) — the CNU circuit of Baker et al.: flips a
+//!   target iff all controls are one, via a highly parallel binary tree of
+//!   Toffolis over ancillas.
+//! * [`cuccaro_adder`](fn@cuccaro_adder) — the ripple-carry adder (2n + 2 qubits, nearly
+//!   fully serialized, mixed 1-/2-/3-qubit gates).
+//! * [`qram`](fn@qram) — a CSWAP-routing memory fetch: address-controlled swap
+//!   network selecting one of `2^m` words onto a bus qubit.
+//! * [`select`](fn@select) — the QPE preparation mechanism: applies one of several
+//!   Pauli strings to data qubits selected by an index register (the paper
+//!   selects on two random index values, §6.1).
+//! * [`synthetic`](fn@synthetic) — random circuits with a controlled CX : CCX ratio
+//!   (Fig. 9d).
+
+#![warn(missing_docs)]
+
+pub mod adder;
+pub mod cnu;
+pub mod qram;
+pub mod select;
+pub mod synthetic;
+
+pub use adder::cuccaro_adder;
+pub use cnu::{generalized_toffoli, generalized_toffoli_total_qubits};
+pub use qram::{qram, qram_total_qubits};
+pub use select::select;
+pub use synthetic::synthetic;
+
+use waltz_circuit::Circuit;
+
+/// The benchmark families of the paper's Fig. 7 sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// Generalized Toffoli (CNU).
+    Cnu,
+    /// Cuccaro ripple-carry adder.
+    CuccaroAdder,
+    /// CSWAP-based QRAM fetch.
+    Qram,
+    /// Select (QPE preparation).
+    Select,
+}
+
+impl Benchmark {
+    /// All four Fig. 7 benchmarks.
+    pub fn all() -> [Benchmark; 4] {
+        [
+            Benchmark::Cnu,
+            Benchmark::CuccaroAdder,
+            Benchmark::Qram,
+            Benchmark::Select,
+        ]
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Benchmark::Cnu => "Generalized Toffoli",
+            Benchmark::CuccaroAdder => "Cuccaro Adder",
+            Benchmark::Qram => "QRAM",
+            Benchmark::Select => "Select",
+        }
+    }
+
+    /// Builds the family instance with at most `max_qubits` qubits,
+    /// choosing the largest parameterization that fits. Returns `None`
+    /// when even the smallest instance does not fit.
+    pub fn build(&self, max_qubits: usize) -> Option<Circuit> {
+        match self {
+            Benchmark::Cnu => {
+                let controls = (1..)
+                    .take_while(|&c| generalized_toffoli_total_qubits(c) <= max_qubits)
+                    .last()?;
+                if controls < 2 {
+                    return None;
+                }
+                Some(generalized_toffoli(controls))
+            }
+            Benchmark::CuccaroAdder => {
+                // 2n + 2 qubits for n-bit operands.
+                if max_qubits < 4 {
+                    return None;
+                }
+                let n = (max_qubits - 2) / 2;
+                Some(cuccaro_adder(n))
+            }
+            Benchmark::Qram => {
+                let m = (1..)
+                    .take_while(|&m| qram_total_qubits(m) <= max_qubits)
+                    .last()?;
+                Some(qram(m))
+            }
+            Benchmark::Select => {
+                // index m, m-1 ancilla, rest data; keep index small.
+                if max_qubits < 5 {
+                    return None;
+                }
+                let m = if max_qubits >= 13 { 3 } else { 2 };
+                let data = max_qubits - (2 * m - 1);
+                Some(select(m, data, 2, 0xC0FFEE))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_respects_qubit_budget() {
+        for b in Benchmark::all() {
+            for max in [5usize, 8, 11, 14, 17, 21] {
+                if let Some(c) = b.build(max) {
+                    assert!(
+                        c.n_qubits() <= max,
+                        "{} built {} qubits for budget {max}",
+                        b.name(),
+                        c.n_qubits()
+                    );
+                    assert!(c.three_qubit_gate_count() > 0, "{} has no 3q gates", b.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_budgets_yield_none() {
+        assert!(Benchmark::Cnu.build(3).is_none());
+        assert!(Benchmark::Qram.build(3).is_none());
+    }
+}

@@ -1,0 +1,137 @@
+//! A CSWAP-routing QRAM fetch (§6.1): "uses primarily CSWAP gates to
+//! retrieve data from or move data into a set of qubits".
+//!
+//! Layout for `m` address bits: `m` address qubits, `2^m` word qubits and
+//! one bus. A log-depth swap network controlled by the address bits routes
+//! the selected word to word-slot 0, a CX copies it onto the bus, and the
+//! network unroutes. After decomposing each CSWAP into 2 CX + 1 CCX the
+//! circuit has the CX-heavy profile the paper discusses in §7
+//! ("more than double the CX gates as Toffolis").
+
+use waltz_circuit::Circuit;
+
+/// Total qubits used by [`qram`] with `m` address bits:
+/// `m + 2^m + 1`.
+pub fn qram_total_qubits(m: usize) -> usize {
+    m + (1 << m) + 1
+}
+
+/// Builds the QRAM fetch circuit for `m` address bits.
+///
+/// Qubit layout: `0..m` address, `m..m+2^m` words (word `w` holds the
+/// memory bit for address `w`), last qubit is the bus. After execution the
+/// bus holds `bus XOR memory[address]` and every other qubit is restored.
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+pub fn qram(m: usize) -> Circuit {
+    assert!(m >= 1, "QRAM needs at least one address bit");
+    let words = 1usize << m;
+    let width = qram_total_qubits(m);
+    let word = |w: usize| m + w;
+    let bus = width - 1;
+    let mut circ = Circuit::new(width);
+
+    // Route the selected word to slot 0: examining address bits from the
+    // least significant, conditionally swap blocks at stride 2^bit.
+    let mut route: Vec<(usize, usize, usize)> = Vec::new();
+    for bit in 0..m {
+        let stride = 1usize << bit;
+        let mut base = 0usize;
+        while base + stride < words {
+            // If address bit `bit` is 1, the selected word lies in the
+            // upper half of this block pair: swap it down.
+            route.push((bit, base, base + stride));
+            base += stride * 2;
+        }
+    }
+    for &(bit, lo, hi) in &route {
+        circ.cswap(bit, word(lo), word(hi));
+    }
+    circ.cx(word(0), bus);
+    for &(bit, lo, hi) in route.iter().rev() {
+        circ.cswap(bit, word(lo), word(hi));
+    }
+    circ
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waltz_circuit::unitary::apply_circuit;
+    use waltz_math::C64;
+
+    /// Classical check: for every address and memory content, the bus
+    /// receives memory[address] and all other qubits are restored.
+    fn check_fetch(m: usize) {
+        let circ = qram(m);
+        let width = circ.n_qubits();
+        let words = 1usize << m;
+        for addr in 0..words {
+            for memory in 0..(1usize << words) {
+                let mut idx = 0usize;
+                let set = |idx: &mut usize, q: usize| *idx |= 1 << (width - 1 - q);
+                for bit in 0..m {
+                    if (addr >> bit) & 1 == 1 {
+                        set(&mut idx, bit);
+                    }
+                }
+                for w in 0..words {
+                    if (memory >> w) & 1 == 1 {
+                        set(&mut idx, m + w);
+                    }
+                }
+                let mut state = vec![C64::ZERO; 1 << width];
+                state[idx] = C64::ONE;
+                apply_circuit(&mut state, &circ);
+                let expected_bit = (memory >> addr) & 1;
+                let expected = if expected_bit == 1 { idx | 1 } else { idx };
+                let pos = state.iter().position(|a| a.abs() > 0.999).unwrap();
+                assert_eq!(
+                    pos, expected,
+                    "m={m} addr={addr} mem={memory:b}: wrong fetch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fetch_one_address_bit() {
+        check_fetch(1);
+    }
+
+    #[test]
+    fn fetch_two_address_bits() {
+        check_fetch(2);
+    }
+
+    #[test]
+    fn qubit_counts() {
+        assert_eq!(qram_total_qubits(1), 4);
+        assert_eq!(qram_total_qubits(2), 7);
+        assert_eq!(qram_total_qubits(3), 12);
+        assert_eq!(qram_total_qubits(4), 21);
+        assert_eq!(qram(2).n_qubits(), 7);
+    }
+
+    #[test]
+    fn cswap_heavy_profile() {
+        let c = qram(3);
+        let (_, twoq, threeq) = c.gate_counts();
+        assert!(threeq > 2 * twoq, "QRAM should be CSWAP-dominated");
+        // After CSWAP -> 2 CX + CCX, CX count exceeds 2x CCX count (§7).
+        let d = waltz_circuit::decompose::decompose_all_three_qubit(&c);
+        assert!(d.two_qubit_gate_count() > 0);
+    }
+
+    #[test]
+    fn is_self_inverse_when_bus_untouched() {
+        // Running the fetch twice XORs the bus twice: identity.
+        let circ = qram(1);
+        let mut twice = waltz_circuit::Circuit::new(circ.n_qubits());
+        twice.extend(&circ).extend(&circ);
+        let u = waltz_circuit::unitary::circuit_unitary(&twice);
+        assert!(u.is_identity(1e-10));
+    }
+}

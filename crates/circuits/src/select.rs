@@ -1,0 +1,164 @@
+//! The Select circuit (§6.1): the preparation mechanism of Quantum Phase
+//! Estimation / qubitization. For each chosen index value, a Pauli string
+//! is applied to the data qubits controlled on the index register being in
+//! that value. The paper selects on **two random values** "to keep the
+//! fidelity of circuit simulation within comparable bounds".
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand::rngs::StdRng;
+
+use waltz_circuit::Circuit;
+
+/// Builds the Select circuit.
+///
+/// Layout: `m` index qubits, `m - 1` AND-tree ancillas, `data` data qubits.
+/// For each of `terms` randomly chosen index values `v`: X gates flip the
+/// index qubits where `v` has a 0 bit, a Toffoli tree ANDs the index into
+/// the last ancilla, a random nontrivial Pauli string (CX / CZ per data
+/// qubit) fires from that ancilla, and everything uncomputes.
+///
+/// # Panics
+///
+/// Panics if `m < 2`, `data == 0` or `terms > 2^m`.
+pub fn select(m: usize, data: usize, terms: usize, seed: u64) -> Circuit {
+    assert!(m >= 2, "select needs at least two index qubits");
+    assert!(data >= 1, "select needs data qubits");
+    assert!(terms <= (1 << m), "more terms than index values");
+    let ancillas = m - 1;
+    let width = m + ancillas + data;
+    let anc = |i: usize| m + i;
+    let dat = |i: usize| m + ancillas + i;
+    let mut circ = Circuit::new(width);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Choose distinct index values.
+    let mut values: Vec<usize> = Vec::new();
+    while values.len() < terms {
+        let v = rng.gen_range(0..(1usize << m));
+        if !values.contains(&v) {
+            values.push(v);
+        }
+    }
+
+    for v in values {
+        // Pauli string on the data register: at least one nontrivial term.
+        let paulis: Vec<u8> = loop {
+            let p: Vec<u8> = (0..data).map(|_| rng.gen_range(0..3)).collect();
+            if p.iter().any(|&x| x != 0) {
+                break p;
+            }
+        };
+        // Flip index zeros so the AND fires exactly on |v>.
+        let flips: Vec<usize> = (0..m).filter(|&b| (v >> b) & 1 == 0).collect();
+        for &b in &flips {
+            circ.x(b);
+        }
+        // AND-tree: pair index qubits into ancillas.
+        let mut compute: Vec<(usize, usize, usize)> = Vec::new();
+        let mut frontier: Vec<usize> = (0..m).collect();
+        let mut next_anc = 0usize;
+        while frontier.len() > 1 {
+            let mut next = Vec::new();
+            let mut iter = frontier.chunks_exact(2);
+            for pair in iter.by_ref() {
+                let a = anc(next_anc);
+                next_anc += 1;
+                compute.push((pair[0], pair[1], a));
+                next.push(a);
+            }
+            next.extend(iter.remainder().iter().copied());
+            frontier = next;
+        }
+        let root = frontier[0];
+        for &(c1, c2, a) in &compute {
+            circ.ccx(c1, c2, a);
+        }
+        // Controlled Pauli string from the AND root.
+        for (i, &p) in paulis.iter().enumerate() {
+            match p {
+                1 => {
+                    circ.cx(root, dat(i));
+                }
+                2 => {
+                    circ.cz(root, dat(i));
+                }
+                _ => {}
+            }
+        }
+        for &(c1, c2, a) in compute.iter().rev() {
+            circ.ccx(c1, c2, a);
+        }
+        for &b in &flips {
+            circ.x(b);
+        }
+    }
+    circ
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waltz_circuit::unitary::circuit_unitary;
+
+    #[test]
+    fn dimensions_and_gate_mix() {
+        let c = select(2, 3, 2, 7);
+        assert_eq!(c.n_qubits(), 2 + 1 + 3);
+        assert!(c.three_qubit_gate_count() >= 2, "needs Toffoli trees");
+        assert!(c.two_qubit_gate_count() >= 1, "needs controlled Paulis");
+    }
+
+    #[test]
+    fn is_deterministic_in_seed() {
+        let a = select(3, 4, 2, 11);
+        let b = select(3, 4, 2, 11);
+        assert_eq!(a, b);
+        let c = select(3, 4, 2, 12);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn select_is_unitary_and_restores_ancillas() {
+        let c = select(2, 2, 2, 3);
+        let u = circuit_unitary(&c);
+        assert!(u.is_unitary(1e-10));
+        // For every basis input with ancilla = 0, the output keeps
+        // ancilla = 0 (it was computed and uncomputed).
+        let width = c.n_qubits();
+        let anc_bit = width - 1 - 2; // ancilla qubit index 2 -> bit position
+        for input in 0..(1usize << width) {
+            if (input >> anc_bit) & 1 == 1 {
+                continue;
+            }
+            for row in 0..(1usize << width) {
+                if u[(row, input)].abs() > 1e-9 {
+                    assert_eq!((row >> anc_bit) & 1, 0, "ancilla polluted");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn index_register_is_preserved() {
+        // Select only applies Paulis to data; index qubits are restored.
+        let c = select(2, 2, 1, 5);
+        let u = circuit_unitary(&c);
+        let width = c.n_qubits();
+        for input in 0..(1usize << width) {
+            for row in 0..(1usize << width) {
+                if u[(row, input)].abs() > 1e-9 {
+                    // Index bits (qubits 0,1) unchanged.
+                    let idx_mask = 0b11 << (width - 2);
+                    assert_eq!(row & idx_mask, input & idx_mask);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two index qubits")]
+    fn tiny_index_rejected() {
+        let _ = select(1, 2, 1, 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Synthetic circuits with a controlled CX : CCX mix (§6.1, Fig. 9d):
+//! "a purely synthetic circuit to study relative strength of our
+//! architecture on potential distributions of CX versus CCX gates".
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand::rngs::StdRng;
+
+use waltz_circuit::Circuit;
+
+/// Builds a random circuit over `n` qubits with `gates` gates of which a
+/// fraction `cx_fraction` are CX (the rest are CCX) on uniformly random
+/// distinct operands.
+///
+/// # Panics
+///
+/// Panics if `n < 3` or `cx_fraction` is outside `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// let c = waltz_circuits::synthetic(11, 60, 0.5, 7);
+/// assert_eq!(c.n_qubits(), 11);
+/// assert_eq!(c.len(), 60);
+/// ```
+pub fn synthetic(n: usize, gates: usize, cx_fraction: f64, seed: u64) -> Circuit {
+    assert!(n >= 3, "synthetic circuits need at least three qubits");
+    assert!(
+        (0.0..=1.0).contains(&cx_fraction),
+        "cx_fraction must be within [0, 1]"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut circ = Circuit::new(n);
+    // Deterministic counts: exactly round(gates * fraction) CX gates,
+    // shuffled among the CCXs, so sweeps are smooth in the fraction.
+    let cx_count = (gates as f64 * cx_fraction).round() as usize;
+    let mut kinds: Vec<bool> = (0..gates).map(|i| i < cx_count).collect();
+    // Fisher-Yates shuffle.
+    for i in (1..kinds.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        kinds.swap(i, j);
+    }
+    for is_cx in kinds {
+        if is_cx {
+            let a = rng.gen_range(0..n);
+            let b = loop {
+                let b = rng.gen_range(0..n);
+                if b != a {
+                    break b;
+                }
+            };
+            circ.cx(a, b);
+        } else {
+            let mut ops = [0usize; 3];
+            ops[0] = rng.gen_range(0..n);
+            for k in 1..3 {
+                ops[k] = loop {
+                    let c = rng.gen_range(0..n);
+                    if !ops[..k].contains(&c) {
+                        break c;
+                    }
+                };
+            }
+            circ.ccx(ops[0], ops[1], ops[2]);
+        }
+    }
+    circ
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_gate_mix() {
+        for frac in [0.0, 0.25, 0.5, 0.8, 1.0] {
+            let c = synthetic(11, 40, frac, 3);
+            let (_, twoq, threeq) = c.gate_counts();
+            let expect_cx = (40.0 * frac).round() as usize;
+            assert_eq!(twoq, expect_cx, "fraction {frac}");
+            assert_eq!(threeq, 40 - expect_cx);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(synthetic(5, 20, 0.5, 1), synthetic(5, 20, 0.5, 1));
+        assert_ne!(synthetic(5, 20, 0.5, 1), synthetic(5, 20, 0.5, 2));
+    }
+
+    #[test]
+    fn operands_always_distinct_and_in_range() {
+        let c = synthetic(4, 200, 0.4, 9);
+        for g in c.iter() {
+            let mut q = g.qubits.clone();
+            q.sort_unstable();
+            q.dedup();
+            assert_eq!(q.len(), g.qubits.len());
+            assert!(q.iter().all(|&x| x < 4));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least three qubits")]
+    fn too_narrow_rejected() {
+        let _ = synthetic(2, 5, 0.5, 0);
+    }
+}

@@ -1,0 +1,415 @@
+//! The end-to-end compilation pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+use waltz_arch::{InteractionGraph, Site, Topology};
+use waltz_circuit::Circuit;
+use waltz_gates::GateLibrary;
+use waltz_math::C64;
+use waltz_noise::CoherenceModel;
+use waltz_sim::{Register, State, TimedCircuit};
+
+use crate::eps::{self, CoherenceSpan, EpsBreakdown};
+use crate::lower::{self, LowerOutput};
+use crate::strategy::Strategy;
+
+/// Compilation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The circuit has no qubits.
+    EmptyCircuit,
+    /// The device topology cannot host the circuit (too few devices, or a
+    /// three-qubit gate on a degree-deficient graph).
+    TopologyTooSmall {
+        /// Devices needed.
+        needed: usize,
+        /// Devices available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::EmptyCircuit => write!(f, "circuit has no qubits"),
+            CompileError::TopologyTooSmall { needed, available } => write!(
+                f,
+                "topology provides {available} devices but the strategy needs {needed}"
+            ),
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+/// Aggregate compilation statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompileStats {
+    /// Routing swaps inserted (all flavours).
+    pub routing_swaps: usize,
+    /// ENC/DEC windows emitted (mixed radix only).
+    pub enc_windows: usize,
+    /// Total hardware pulses.
+    pub hw_ops: usize,
+    /// Scheduled wall-clock duration (ns).
+    pub total_duration_ns: f64,
+}
+
+/// The compiler's output: a scheduled circuit plus everything needed to
+/// simulate, estimate and verify it.
+#[derive(Debug, Clone)]
+pub struct CompiledCircuit {
+    /// The scheduled hardware circuit.
+    pub timed: TimedCircuit,
+    /// The strategy that produced it.
+    pub strategy: Strategy,
+    /// Logical-qubit sites at circuit start.
+    pub initial_sites: Vec<Site>,
+    /// Logical-qubit sites at circuit end (after routing permutations).
+    pub final_sites: Vec<Site>,
+    /// Per-device maximum-level timeline for the coherence EPS (§6.3).
+    pub coherence_spans: Vec<CoherenceSpan>,
+    /// Aggregate statistics.
+    pub stats: CompileStats,
+    slots_per_device: usize,
+}
+
+impl CompiledCircuit {
+    /// EPS estimate under a coherence model (§6.3).
+    pub fn eps(&self, model: &CoherenceModel) -> EpsBreakdown {
+        eps::eps(&self.timed, &self.coherence_spans, model)
+    }
+
+    /// Encoded-basis weight of a logical qubit sitting at `site`: its bit
+    /// contributes `weight * bit` to the device's level.
+    fn site_weight(&self, site: Site) -> usize {
+        if self.slots_per_device == 2 && site.slot == 0 {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// A product of Haar-random single-qubit states over the *logical*
+    /// qubits, embedded at the compiler's initial placement — the random
+    /// inputs of the paper's §6.4 simulations.
+    pub fn random_product_initial_state<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> State {
+        let register: Register = self.timed.register.clone();
+        let mut factors: Vec<Vec<C64>> = (0..register.n_qudits())
+            .map(|d| {
+                let mut f = vec![C64::ZERO; register.dim(d)];
+                f[0] = C64::ONE;
+                f
+            })
+            .collect();
+        for &site in &self.initial_sites {
+            let qs = waltz_math::linalg::haar_state(2, rng);
+            let weight = self.site_weight(site);
+            let old = factors[site.device].clone();
+            let f = &mut factors[site.device];
+            for (level, amp) in f.iter_mut().enumerate() {
+                *amp = C64::ZERO;
+                let bit = (level / weight) % 2;
+                let rest = level - bit * weight;
+                // Only levels reachable as rest + bit*weight contribute.
+                if rest + bit * weight == level {
+                    *amp = old[rest] * qs[bit];
+                }
+            }
+        }
+        State::from_product(&register, &factors)
+    }
+
+    /// Decodes a measured device-register basis index into the logical
+    /// bitstring (qubit 0 = most significant bit), reading each qubit out
+    /// of its *final* site — "the measured state would be decoded
+    /// according to the compression strategy" (§5.2).
+    pub fn decode_device_index(&self, device_index: usize) -> usize {
+        let reg = &self.timed.register;
+        let n = self.final_sites.len();
+        let mut out = 0usize;
+        for (q, &site) in self.final_sites.iter().enumerate() {
+            let digit = reg.digit(device_index, site.device);
+            let bit = (digit / self.site_weight(site)) % 2;
+            out |= bit << (n - 1 - q);
+        }
+        out
+    }
+
+    /// Samples `shots` measurement outcomes from a final device state and
+    /// returns decoded logical bitstring counts.
+    pub fn sample_decoded<R: rand::Rng + ?Sized>(
+        &self,
+        state: &State,
+        shots: usize,
+        rng: &mut R,
+    ) -> std::collections::BTreeMap<usize, usize> {
+        let mut counts = std::collections::BTreeMap::new();
+        for _ in 0..shots {
+            let raw = state.sample_basis(rng);
+            *counts.entry(self.decode_device_index(raw)).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Embeds an `n`-qubit logical state into the device register using the
+    /// given per-qubit sites (use [`CompiledCircuit::initial_sites`] to
+    /// prepare inputs, [`CompiledCircuit::final_sites`] to decode outputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amps.len() != 2^n` with `n = sites.len()`.
+    pub fn embed_logical_state(&self, amps: &[C64], sites: &[Site]) -> State {
+        let n = sites.len();
+        assert_eq!(amps.len(), 1usize << n, "logical amplitude count mismatch");
+        let register: Register = self.timed.register.clone();
+        let mut out = vec![C64::ZERO; register.total_dim()];
+        for (logical_idx, &amp) in amps.iter().enumerate() {
+            if amp == C64::ZERO {
+                continue;
+            }
+            let mut digits = vec![0usize; register.n_qudits()];
+            for (q, &site) in sites.iter().enumerate() {
+                let bit = (logical_idx >> (n - 1 - q)) & 1;
+                digits[site.device] += bit * self.site_weight(site);
+            }
+            out[register.index_of(&digits)] = amp;
+        }
+        State::from_amplitudes(&register, out)
+    }
+}
+
+/// Compiles `circuit` under `strategy` on the paper's 2D-mesh topology
+/// sized for the strategy's device count (§6.2).
+///
+/// # Errors
+///
+/// Returns [`CompileError`] when the circuit is empty.
+pub fn compile(
+    circuit: &Circuit,
+    strategy: &Strategy,
+    lib: &GateLibrary,
+) -> Result<CompiledCircuit, CompileError> {
+    let devices = strategy.device_count(circuit.n_qubits());
+    // Three-qubit gates need a hub with two neighbours; a 1xN mesh of
+    // width >= 3 or any 2D mesh provides one.
+    let topology = Topology::grid(devices.max(1));
+    compile_on(circuit, topology, strategy, lib)
+}
+
+/// Compiles `circuit` under `strategy` on a caller-provided topology.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] when the circuit is empty or the topology is
+/// too small for the strategy.
+pub fn compile_on(
+    circuit: &Circuit,
+    topology: Topology,
+    strategy: &Strategy,
+    lib: &GateLibrary,
+) -> Result<CompiledCircuit, CompileError> {
+    if circuit.n_qubits() == 0 {
+        return Err(CompileError::EmptyCircuit);
+    }
+    let needed = strategy.device_count(circuit.n_qubits());
+    if topology.n_devices() < needed {
+        return Err(CompileError::TopologyTooSmall {
+            needed,
+            available: topology.n_devices(),
+        });
+    }
+
+    let out: LowerOutput = match strategy {
+        Strategy::QubitOnly { ccx } => {
+            let graph = InteractionGraph::qubit_only(topology);
+            lower::qubit_only::lower(circuit, *ccx, graph, lib)
+        }
+        Strategy::MixedRadix { ccx, native_cswap } => {
+            let graph = InteractionGraph::qubit_only(topology);
+            lower::mixed_radix::lower(circuit, *ccx, *native_cswap, graph, lib)
+        }
+        Strategy::FullQuquart { use_ccz, cswap } => {
+            let graph = InteractionGraph::encoded(topology);
+            lower::full_ququart::lower(circuit, *use_ccz, *cswap, graph, lib)
+        }
+    };
+
+    let timed = out.prog.schedule(lib);
+    let coherence_spans = build_spans(strategy, &out, &timed);
+    let stats = CompileStats {
+        routing_swaps: out.swaps,
+        enc_windows: out.enc_windows.len(),
+        hw_ops: timed.len(),
+        total_duration_ns: timed.total_duration_ns,
+    };
+    Ok(CompiledCircuit {
+        timed,
+        strategy: *strategy,
+        initial_sites: out.initial_sites,
+        final_sites: out.final_sites,
+        coherence_spans,
+        stats,
+        slots_per_device: out.graph.slots_per_device(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Strategy;
+    use waltz_circuit::Circuit;
+
+    #[test]
+    fn decode_inverts_embed_for_basis_states() {
+        let mut c = Circuit::new(4);
+        c.ccx(0, 1, 2).cx(2, 3).cswap(3, 0, 1);
+        let lib = GateLibrary::paper();
+        for strategy in [
+            Strategy::qubit_only(),
+            Strategy::mixed_radix_ccz(),
+            Strategy::full_ququart(),
+        ] {
+            let compiled = compile(&c, &strategy, &lib).unwrap();
+            for logical in 0..16usize {
+                let mut amps = vec![C64::ZERO; 16];
+                amps[logical] = C64::ONE;
+                // Embed at the FINAL sites, then decode: must round-trip.
+                let state = compiled.embed_logical_state(&amps, &compiled.final_sites);
+                let raw = state
+                    .amplitudes()
+                    .iter()
+                    .position(|a| a.abs() > 0.999)
+                    .expect("basis state stays basis");
+                assert_eq!(
+                    compiled.decode_device_index(raw),
+                    logical,
+                    "{} logical {logical}",
+                    strategy.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_product_states_are_normalized_for_every_strategy() {
+        use rand::SeedableRng;
+        let mut c = Circuit::new(5);
+        c.ccz(0, 1, 2).ccx(2, 3, 4);
+        let lib = GateLibrary::paper();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for strategy in [
+            Strategy::qubit_only(),
+            Strategy::mixed_radix_ccz(),
+            Strategy::full_ququart(),
+        ] {
+            let compiled = compile(&c, &strategy, &lib).unwrap();
+            let s = compiled.random_product_initial_state(&mut rng);
+            assert!((s.norm() - 1.0).abs() < 1e-10, "{}", strategy.name());
+        }
+    }
+
+    #[test]
+    fn topology_too_small_is_reported() {
+        let mut c = Circuit::new(4);
+        c.cx(0, 3);
+        let lib = GateLibrary::paper();
+        let err = compile_on(
+            &c,
+            Topology::grid(2),
+            &Strategy::qubit_only(),
+            &lib,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CompileError::TopologyTooSmall { needed: 4, available: 2 }));
+        assert!(err.to_string().contains("2 devices"));
+    }
+
+    #[test]
+    fn mixed_radix_coherence_spans_partition_the_timeline() {
+        let mut c = Circuit::new(3);
+        c.ccx(0, 1, 2).ccz(0, 1, 2);
+        let lib = GateLibrary::paper();
+        let compiled = compile(&c, &Strategy::mixed_radix_ccz(), &lib).unwrap();
+        // For each device, spans must tile [0, total] without overlap.
+        let total = compiled.stats.total_duration_ns;
+        for device in 0..compiled.timed.register.n_qudits() {
+            let mut spans: Vec<_> = compiled
+                .coherence_spans
+                .iter()
+                .filter(|s| s.device == device)
+                .collect();
+            spans.sort_by(|a, b| a.start_ns.partial_cmp(&b.start_ns).unwrap());
+            let mut cursor = 0.0;
+            for s in &spans {
+                assert!((s.start_ns - cursor).abs() < 1e-6, "gap/overlap at device {device}");
+                cursor = s.end_ns;
+            }
+            assert!((cursor - total).abs() < 1e-6, "device {device} timeline incomplete");
+        }
+    }
+}
+
+/// Builds the per-device maximum-level timeline (§6.3): weight 1 in the
+/// qubit regime, 3 while encoded.
+fn build_spans(strategy: &Strategy, out: &LowerOutput, timed: &TimedCircuit) -> Vec<CoherenceSpan> {
+    let n_devices = out.graph.topology().n_devices();
+    let total = timed.total_duration_ns;
+    match strategy {
+        Strategy::QubitOnly { .. } => eps::uniform_spans(n_devices, &vec![1; n_devices], total),
+        Strategy::FullQuquart { .. } => {
+            // Devices holding two qubits live at level 3; half-filled
+            // devices stay in the qubit regime (level <= slot weight).
+            let mut level = vec![0usize; n_devices];
+            for site in &out.initial_sites {
+                level[site.device] += if site.slot == 0 { 2 } else { 1 };
+            }
+            for l in &mut level {
+                *l = (*l).min(3).max(1);
+            }
+            eps::uniform_spans(n_devices, &level, total)
+        }
+        Strategy::MixedRadix { .. } => {
+            // Level 1 everywhere, lifted to level 3 on the host inside each
+            // ENC..DEC window.
+            let mut spans = Vec::new();
+            let mut windows_per_device: Vec<Vec<(f64, f64)>> = vec![Vec::new(); n_devices];
+            for w in &out.enc_windows {
+                let start = timed.ops[w.enc_idx].start_ns;
+                let end = timed.ops[w.dec_idx].end_ns();
+                windows_per_device[w.host].push((start, end));
+            }
+            for (device, windows) in windows_per_device.iter_mut().enumerate() {
+                windows.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+                let mut cursor = 0.0f64;
+                for &(start, end) in windows.iter() {
+                    if start > cursor {
+                        spans.push(CoherenceSpan {
+                            device,
+                            level: 1,
+                            start_ns: cursor,
+                            end_ns: start,
+                        });
+                    }
+                    spans.push(CoherenceSpan {
+                        device,
+                        level: 3,
+                        start_ns: start,
+                        end_ns: end,
+                    });
+                    cursor = end;
+                }
+                if cursor < total {
+                    spans.push(CoherenceSpan {
+                        device,
+                        level: 1,
+                        start_ns: cursor,
+                        end_ns: total,
+                    });
+                }
+            }
+            spans
+        }
+    }
+}

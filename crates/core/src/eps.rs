@@ -1,0 +1,137 @@
+//! Expected-probability-of-success estimation (§6.3).
+//!
+//! Two multiplicative factors:
+//!
+//! * **Gate EPS** — the product of all gate success rates.
+//! * **Coherence EPS** — `prod_qudits exp(-sum_k k * t_k / T1)` where `t_k`
+//!   is the time the qudit spends with maximum occupied level `k`: weight 1
+//!   while in the qubit regime (`|1>` highest), weight 3 while encoded
+//!   (`|3>` highest).
+
+use waltz_noise::CoherenceModel;
+use waltz_sim::TimedCircuit;
+
+/// A window during which a device's maximum occupied level is `level`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoherenceSpan {
+    /// Physical device.
+    pub device: usize,
+    /// Maximum occupied level during the span (1 = qubit regime, 3 =
+    /// encoded ququart).
+    pub level: usize,
+    /// Span start (ns).
+    pub start_ns: f64,
+    /// Span end (ns).
+    pub end_ns: f64,
+}
+
+impl CoherenceSpan {
+    /// Span duration in nanoseconds.
+    pub fn duration_ns(&self) -> f64 {
+        (self.end_ns - self.start_ns).max(0.0)
+    }
+}
+
+/// The EPS estimate, factored as the paper's Fig. 8 reports it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpsBreakdown {
+    /// Product of gate success rates.
+    pub gate: f64,
+    /// Probability of no decoherence event.
+    pub coherence: f64,
+}
+
+impl EpsBreakdown {
+    /// Total EPS: gate x coherence.
+    pub fn total(&self) -> f64 {
+        self.gate * self.coherence
+    }
+}
+
+/// Computes the EPS of a scheduled circuit given its coherence timeline.
+pub fn eps(
+    timed: &TimedCircuit,
+    spans: &[CoherenceSpan],
+    model: &CoherenceModel,
+) -> EpsBreakdown {
+    let gate = timed.gate_eps();
+    let mut log_coherence = 0.0f64;
+    for span in spans {
+        // survival = exp(-rate(level) * duration)
+        let s = model.survival(span.level, span.duration_ns());
+        log_coherence += s.ln();
+    }
+    EpsBreakdown {
+        gate,
+        coherence: log_coherence.exp(),
+    }
+}
+
+/// Builds a constant-level timeline: every device holds `level` for the
+/// whole circuit duration (used by the qubit-only and full-ququart
+/// regimes).
+pub fn uniform_spans(n_devices: usize, level_per_device: &[usize], total_ns: f64) -> Vec<CoherenceSpan> {
+    assert_eq!(level_per_device.len(), n_devices);
+    (0..n_devices)
+        .map(|d| CoherenceSpan {
+            device: d,
+            level: level_per_device[d],
+            start_ns: 0.0,
+            end_ns: total_ns,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waltz_sim::Register;
+
+    #[test]
+    fn eps_combines_gate_and_coherence() {
+        let reg = Register::qubits(2);
+        let mut tc = TimedCircuit::new(reg);
+        tc.ops.push(waltz_sim::TimedOp {
+            label: "cx".into(),
+            unitary: waltz_gates::standard::cx(),
+            operands: vec![0, 1],
+            error_dims: vec![2, 2],
+            start_ns: 0.0,
+            duration_ns: 251.0,
+            fidelity: 0.99,
+        });
+        tc.total_duration_ns = 251.0;
+        let model = CoherenceModel::paper();
+        let spans = uniform_spans(2, &[1, 1], 251.0);
+        let e = eps(&tc, &spans, &model);
+        assert!((e.gate - 0.99).abs() < 1e-12);
+        let expected_coh = (-2.0 * 251.0 / 163_450.0f64).exp();
+        assert!((e.coherence - expected_coh).abs() < 1e-12);
+        assert!((e.total() - e.gate * e.coherence).abs() < 1e-15);
+    }
+
+    #[test]
+    fn encoded_spans_decay_three_times_faster() {
+        let model = CoherenceModel::paper();
+        let qubit_span = [CoherenceSpan { device: 0, level: 1, start_ns: 0.0, end_ns: 1000.0 }];
+        let quart_span = [CoherenceSpan { device: 0, level: 3, start_ns: 0.0, end_ns: 1000.0 }];
+        let tc = TimedCircuit::new(Register::qubits(1));
+        let a = eps(&tc, &qubit_span, &model).coherence;
+        let b = eps(&tc, &quart_span, &model).coherence;
+        assert!((b - a.powi(3)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_circuit_has_unit_eps() {
+        let tc = TimedCircuit::new(Register::qubits(1));
+        let e = eps(&tc, &[], &CoherenceModel::paper());
+        assert_eq!(e.gate, 1.0);
+        assert_eq!(e.coherence, 1.0);
+    }
+
+    #[test]
+    fn negative_duration_spans_are_clamped() {
+        let s = CoherenceSpan { device: 0, level: 3, start_ns: 10.0, end_ns: 5.0 };
+        assert_eq!(s.duration_ns(), 0.0);
+    }
+}

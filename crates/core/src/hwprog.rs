@@ -1,0 +1,192 @@
+//! The unscheduled hardware program and its ASAP scheduler.
+
+use waltz_gates::{GateLibrary, HwGate, embed};
+use waltz_sim::{Register, TimedCircuit, TimedOp};
+
+/// One hardware gate bound to physical devices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HwOp {
+    /// The pulse.
+    pub gate: HwGate,
+    /// Operand devices, in the gate's conventional order.
+    pub devices: Vec<usize>,
+}
+
+/// An ordered hardware program over a device register, prior to
+/// scheduling.
+#[derive(Debug, Clone)]
+pub struct HwProgram {
+    dims: Vec<u8>,
+    ops: Vec<HwOp>,
+}
+
+impl HwProgram {
+    /// An empty program over devices with the given simulated dimensions.
+    pub fn new(dims: Vec<u8>) -> Self {
+        HwProgram { dims, ops: Vec::new() }
+    }
+
+    /// Device dimensions.
+    pub fn dims(&self) -> &[u8] {
+        &self.dims
+    }
+
+    /// The ops in program order.
+    pub fn ops(&self) -> &[HwOp] {
+        &self.ops
+    }
+
+    /// Number of ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Appends a gate on the given devices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand count mismatches the gate arity, a device
+    /// repeats or is out of range, or a logical dimension exceeds the
+    /// device dimension.
+    pub fn push(&mut self, gate: HwGate, devices: Vec<usize>) {
+        let dims = gate.logical_dims();
+        assert_eq!(devices.len(), dims.len(), "operand count mismatch for {gate:?}");
+        for (i, &d) in devices.iter().enumerate() {
+            assert!(d < self.dims.len(), "device {d} out of range");
+            assert!(
+                dims[i] <= self.dims[d] as usize,
+                "gate {gate:?} needs a {}-level device at operand {i}, device {d} has {}",
+                dims[i],
+                self.dims[d]
+            );
+            for &other in devices.iter().skip(i + 1) {
+                assert_ne!(d, other, "repeated device operand in {gate:?}");
+            }
+        }
+        self.ops.push(HwOp { gate, devices });
+    }
+
+    /// Counts ops per hardware-gate label.
+    pub fn histogram(&self) -> std::collections::BTreeMap<String, usize> {
+        let mut h = std::collections::BTreeMap::new();
+        for op in &self.ops {
+            *h.entry(label_of(&op.gate)).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// ASAP-schedules the program with the library's calibrated durations,
+    /// embedding each unitary to the device dimensions.
+    pub fn schedule(&self, lib: &GateLibrary) -> TimedCircuit {
+        let register = Register::new(self.dims.clone());
+        let mut free_at = vec![0.0f64; self.dims.len()];
+        let mut timed = TimedCircuit::new(register);
+        let mut total: f64 = 0.0;
+        for op in &self.ops {
+            let logical_dims = op.gate.logical_dims();
+            let dev_dims: Vec<usize> = op.devices.iter().map(|&d| self.dims[d] as usize).collect();
+            let unitary = embed(&op.gate.unitary(), &logical_dims, &dev_dims);
+            let start = op
+                .devices
+                .iter()
+                .map(|&d| free_at[d])
+                .fold(0.0f64, f64::max);
+            let duration = lib.duration(&op.gate);
+            for &d in &op.devices {
+                free_at[d] = start + duration;
+            }
+            total = total.max(start + duration);
+            timed.ops.push(TimedOp {
+                label: label_of(&op.gate),
+                unitary,
+                operands: op.devices.clone(),
+                error_dims: logical_dims.iter().map(|&d| d as u8).collect(),
+                start_ns: start,
+                duration_ns: duration,
+                fidelity: lib.fidelity(&op.gate),
+            });
+        }
+        timed.total_duration_ns = total;
+        timed
+    }
+}
+
+/// Short display label for a hardware gate.
+pub fn label_of(gate: &HwGate) -> String {
+    match gate {
+        HwGate::QubitU(g) => format!("U({g:?})"),
+        HwGate::QuartU { slot, gate } => format!("QuartU{}({gate:?})", slot.index()),
+        HwGate::QuartU2 { .. } => "QuartU01".into(),
+        HwGate::MrCcx(c) => format!("MrCcx::{c:?}"),
+        HwGate::MrCswap(c) => format!("MrCswap::{c:?}"),
+        HwGate::FqCcx(c) => format!("FqCcx::{c:?}"),
+        HwGate::FqCswap(c) => format!("FqCswap::{c:?}"),
+        other => format!("{other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waltz_gates::Q1Gate;
+
+    #[test]
+    fn schedule_is_asap_and_valid() {
+        let mut p = HwProgram::new(vec![2, 2, 2]);
+        p.push(HwGate::QubitU(Q1Gate::H), vec![0]);
+        p.push(HwGate::QubitU(Q1Gate::H), vec![2]);
+        p.push(HwGate::QubitCx, vec![0, 1]);
+        p.push(HwGate::QubitCx, vec![1, 2]);
+        let lib = GateLibrary::paper();
+        let tc = p.schedule(&lib);
+        assert!(tc.validate().is_ok());
+        // H gates run in parallel at t=0.
+        assert_eq!(tc.ops[0].start_ns, 0.0);
+        assert_eq!(tc.ops[1].start_ns, 0.0);
+        // First CX waits for H on 0.
+        assert_eq!(tc.ops[2].start_ns, 35.0);
+        // Second CX waits for first (shares device 1) and H(2).
+        assert_eq!(tc.ops[3].start_ns, 35.0 + 251.0);
+        assert_eq!(tc.total_duration_ns, 35.0 + 251.0 + 251.0);
+    }
+
+    #[test]
+    fn schedule_embeds_to_device_dims() {
+        let mut p = HwProgram::new(vec![4, 4]);
+        p.push(HwGate::QubitCx, vec![0, 1]);
+        let tc = p.schedule(&GateLibrary::paper());
+        assert_eq!(tc.ops[0].unitary.rows(), 16);
+        assert_eq!(tc.ops[0].error_dims, vec![2, 2]);
+        assert!(tc.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a 4-level device")]
+    fn quart_gate_on_qubit_device_rejected() {
+        let mut p = HwProgram::new(vec![2]);
+        p.push(HwGate::QuartCx0, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated device")]
+    fn repeated_operand_rejected() {
+        let mut p = HwProgram::new(vec![2, 2]);
+        p.push(HwGate::QubitCx, vec![1, 1]);
+    }
+
+    #[test]
+    fn histogram_counts_labels() {
+        let mut p = HwProgram::new(vec![2, 2]);
+        p.push(HwGate::QubitCx, vec![0, 1]);
+        p.push(HwGate::QubitCx, vec![0, 1]);
+        p.push(HwGate::QubitU(Q1Gate::H), vec![0]);
+        let h = p.histogram();
+        assert_eq!(h["QubitCx"], 2);
+        assert_eq!(h["U(H)"], 1);
+    }
+}

@@ -1,0 +1,198 @@
+//! Tracking where logical qubits live on the interaction graph.
+
+use waltz_arch::{InteractionGraph, Site};
+
+/// A bijective (partial) assignment of logical qubits to sites.
+///
+/// The router mutates the layout as it inserts physical swaps; the final
+/// layout tells the verifier (and the measurement decoder) where each
+/// logical qubit ended up.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    graph: InteractionGraph,
+    site_of: Vec<Option<usize>>,
+    qubit_at: Vec<Option<usize>>,
+}
+
+impl Layout {
+    /// An empty layout for `n_qubits` over `graph`.
+    pub fn new(graph: InteractionGraph, n_qubits: usize) -> Self {
+        let sites = graph.n_sites();
+        Layout {
+            graph,
+            site_of: vec![None; n_qubits],
+            qubit_at: vec![None; sites],
+        }
+    }
+
+    /// The interaction graph.
+    pub fn graph(&self) -> &InteractionGraph {
+        &self.graph
+    }
+
+    /// Number of logical qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.site_of.len()
+    }
+
+    /// Places `qubit` at `site`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit is already placed or the site is occupied.
+    pub fn place(&mut self, qubit: usize, site: Site) {
+        let idx = self.graph.index_of(site);
+        assert!(self.site_of[qubit].is_none(), "qubit {qubit} already placed");
+        assert!(self.qubit_at[idx].is_none(), "site {site:?} occupied");
+        self.site_of[qubit] = Some(idx);
+        self.qubit_at[idx] = Some(qubit);
+    }
+
+    /// Site of a placed qubit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit is unplaced.
+    pub fn site_of(&self, qubit: usize) -> Site {
+        let idx = self.site_of[qubit].expect("qubit not placed");
+        self.graph.site_at(idx)
+    }
+
+    /// Device of a placed qubit.
+    pub fn device_of(&self, qubit: usize) -> usize {
+        self.site_of(qubit).device
+    }
+
+    /// Logical qubit at `site`, if any.
+    pub fn qubit_at(&self, site: Site) -> Option<usize> {
+        self.qubit_at[self.graph.index_of(site)]
+    }
+
+    /// Exchanges whatever occupies the two sites (either may be empty).
+    pub fn swap_sites(&mut self, a: Site, b: Site) {
+        let ia = self.graph.index_of(a);
+        let ib = self.graph.index_of(b);
+        let qa = self.qubit_at[ia];
+        let qb = self.qubit_at[ib];
+        self.qubit_at[ia] = qb;
+        self.qubit_at[ib] = qa;
+        if let Some(q) = qa {
+            self.site_of[q] = Some(ib);
+        }
+        if let Some(q) = qb {
+            self.site_of[q] = Some(ia);
+        }
+    }
+
+    /// Relabels two logical qubits in place (a zero-cost virtual SWAP).
+    pub fn relabel(&mut self, a: usize, b: usize) {
+        let sa = self.site_of[a];
+        let sb = self.site_of[b];
+        self.site_of[a] = sb;
+        self.site_of[b] = sa;
+        if let Some(idx) = sa {
+            self.qubit_at[idx] = Some(b);
+        }
+        if let Some(idx) = sb {
+            self.qubit_at[idx] = Some(a);
+        }
+    }
+
+    /// Number of logical qubits on a device.
+    pub fn device_occupancy(&self, device: usize) -> usize {
+        (0..self.graph.slots_per_device())
+            .filter(|&s| self.qubit_at[self.graph.index_of(Site::new(device, s))].is_some())
+            .count()
+    }
+
+    /// The logical qubits on a device, by slot order.
+    pub fn qubits_on_device(&self, device: usize) -> Vec<usize> {
+        (0..self.graph.slots_per_device())
+            .filter_map(|s| self.qubit_at[self.graph.index_of(Site::new(device, s))])
+            .collect()
+    }
+
+    /// An empty slot on `device`, if any.
+    pub fn empty_slot(&self, device: usize) -> Option<Site> {
+        (0..self.graph.slots_per_device())
+            .map(|s| Site::new(device, s))
+            .find(|&s| self.qubit_at[self.graph.index_of(s)].is_none())
+    }
+
+    /// The full assignment (qubit -> site), failing if any qubit is
+    /// unplaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a qubit has no site.
+    pub fn assignment(&self) -> Vec<Site> {
+        (0..self.n_qubits()).map(|q| self.site_of(q)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waltz_arch::Topology;
+
+    fn graph() -> InteractionGraph {
+        InteractionGraph::encoded(Topology::line(3))
+    }
+
+    #[test]
+    fn place_and_lookup() {
+        let mut l = Layout::new(graph(), 2);
+        l.place(0, Site::new(1, 0));
+        l.place(1, Site::new(1, 1));
+        assert_eq!(l.site_of(0), Site::new(1, 0));
+        assert_eq!(l.qubit_at(Site::new(1, 1)), Some(1));
+        assert_eq!(l.device_occupancy(1), 2);
+        assert_eq!(l.device_occupancy(0), 0);
+        assert_eq!(l.qubits_on_device(1), vec![0, 1]);
+    }
+
+    #[test]
+    fn swap_with_empty_site_moves_qubit() {
+        let mut l = Layout::new(graph(), 1);
+        l.place(0, Site::new(0, 0));
+        l.swap_sites(Site::new(0, 0), Site::new(2, 1));
+        assert_eq!(l.site_of(0), Site::new(2, 1));
+        assert_eq!(l.qubit_at(Site::new(0, 0)), None);
+    }
+
+    #[test]
+    fn swap_two_occupied_sites() {
+        let mut l = Layout::new(graph(), 2);
+        l.place(0, Site::new(0, 0));
+        l.place(1, Site::new(1, 0));
+        l.swap_sites(Site::new(0, 0), Site::new(1, 0));
+        assert_eq!(l.site_of(0), Site::new(1, 0));
+        assert_eq!(l.site_of(1), Site::new(0, 0));
+    }
+
+    #[test]
+    fn relabel_is_virtual() {
+        let mut l = Layout::new(graph(), 2);
+        l.place(0, Site::new(0, 0));
+        l.place(1, Site::new(2, 1));
+        l.relabel(0, 1);
+        assert_eq!(l.site_of(0), Site::new(2, 1));
+        assert_eq!(l.site_of(1), Site::new(0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "occupied")]
+    fn double_placement_rejected() {
+        let mut l = Layout::new(graph(), 2);
+        l.place(0, Site::new(0, 0));
+        l.place(1, Site::new(0, 0));
+    }
+
+    #[test]
+    fn empty_slot_lookup() {
+        let mut l = Layout::new(graph(), 1);
+        l.place(0, Site::new(0, 0));
+        assert_eq!(l.empty_slot(0), Some(Site::new(0, 1)));
+        assert_eq!(l.empty_slot(1), Some(Site::new(1, 0)));
+    }
+}

@@ -1,0 +1,57 @@
+//! **The Quantum Waltz compiler** — the paper's primary contribution (§5).
+//!
+//! Pipeline (driven by [`compile`]):
+//!
+//! 1. **Decompose** the logical circuit to the native set — `CX`, `CZ`,
+//!    `SWAP`, single-qubit rotations, and the three-qubit `CCX`/`CCZ`/
+//!    `CSWAP` — applying the strategy's transform (8-CX expansion,
+//!    CCX→CCZ, CSWAP orientation, Hadamard retargeting).
+//! 2. **Map** logical qubits onto the strategy's interaction graph using
+//!    the §5.2 lookahead weights (`w(i,j) = Σ_t o(i,j,t)/t`): heaviest
+//!    qubit at the centre device, greedy weighted placement after.
+//! 3. **Route & select gates**: bring operands into an executable
+//!    configuration with the cheapest swaps (internal swaps ≪ inter-device
+//!    swaps), then emit the best calibrated pulse configuration — controls
+//!    together for `CCX`, targets together for `CSWAP`, target-independent
+//!    `CCZ` whenever allowed (§4.2, §5.1).
+//! 4. **Schedule** ASAP, tracking per-device busy/idle windows, producing a
+//!    [`waltz_sim::TimedCircuit`] plus the coherence-span timeline the EPS
+//!    model consumes (§6.3).
+//!
+//! Three regimes are supported, matching the paper's comparison points:
+//! qubit-only (8-CX or iToffoli baselines), intermediate mixed-radix
+//! (temporary `ENC`/`DEC` around each three-qubit gate) and full-ququart
+//! (two qubits per device at all times).
+//!
+//! # Example
+//!
+//! ```
+//! use waltz_core::{compile, Strategy};
+//! use waltz_circuit::Circuit;
+//! use waltz_gates::GateLibrary;
+//!
+//! let mut c = Circuit::new(3);
+//! c.h(0).ccx(0, 1, 2);
+//! let out = compile(&c, &Strategy::mixed_radix_ccz(), &GateLibrary::paper()).unwrap();
+//! assert!(out.timed.validate().is_ok());
+//! assert!(out.timed.gate_eps() > 0.9);
+//! ```
+
+#![warn(missing_docs)]
+
+mod compile;
+mod hwprog;
+mod layout;
+mod lower;
+mod mapping;
+
+pub mod eps;
+pub mod verify;
+
+pub use compile::{CompileError, CompiledCircuit, CompileStats, compile, compile_on};
+pub use eps::{CoherenceSpan, EpsBreakdown};
+pub use hwprog::HwProgram;
+pub use layout::Layout;
+pub use strategy::{FqCswapMode, MrCcxMode, QubitCcxMode, Strategy};
+
+mod strategy;

@@ -1,0 +1,284 @@
+//! Full-ququart lowering (§5.1.3): two qubits per device at all times.
+//!
+//! Single-qubit gates become encoded `QuartU` pulses, two-qubit gates are
+//! internal (`CX0`/`CX1`/`SWAP_in`) when co-located and full-ququart
+//! (`CX{s}{t}`, `CZ{s}{t}`) across devices, and three-qubit gates route
+//! into an adjacent device pair with the configuration chosen by the
+//! paper's preferences: controls (or targets) together when it does not
+//! cost an extra swap (§5.1.3), always together in the "oriented" CSWAP
+//! variant (§7.1).
+
+use waltz_arch::InteractionGraph;
+use waltz_circuit::{Circuit, GateKind, decompose};
+use waltz_gates::hw::{FqCcxConfig, FqCswapConfig};
+use waltz_gates::{GateLibrary, HwGate, Slot};
+
+use crate::lower::common::{RadixMode, Router};
+use crate::mapping;
+use crate::strategy::FqCswapMode;
+
+use super::LowerOutput;
+
+/// Which roles co-locate for a three-qubit gate.
+#[derive(Debug, Clone, Copy)]
+struct Plan {
+    /// The two qubits that share a device.
+    pair: (usize, usize),
+    /// The lone qubit on the adjacent device.
+    third: usize,
+    kind: PlanKind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum PlanKind {
+    /// CCZ with the pair co-located (symmetric).
+    Ccz,
+    /// CCX with both controls co-located (pair = controls, third = target).
+    CcxControlsPair,
+    /// CCX with split controls: pair = (control, target), third = control.
+    CcxSplit,
+    /// CSWAP with targets co-located: pair = targets, third = control.
+    CswapTargetsPair,
+    /// CSWAP split: pair = (control, target), third = other target.
+    CswapSplit,
+}
+
+/// Lowers `circuit` in the full-ququart regime.
+pub fn lower(
+    circuit: &Circuit,
+    use_ccz: bool,
+    cswap_mode: FqCswapMode,
+    graph: InteractionGraph,
+    lib: &GateLibrary,
+) -> LowerOutput {
+    let prepared = preprocess(circuit, use_ccz, cswap_mode);
+    let layout = mapping::place(&prepared, &graph);
+    let initial_sites = layout.assignment();
+    let n_devices = graph.topology().n_devices();
+    let mut r = Router::new(layout, vec![4; n_devices], RadixMode::Encoded);
+
+    for gate in prepared.iter() {
+        match (&gate.kind, gate.qubits.as_slice()) {
+            (GateKind::One(g), &[q]) => {
+                let d = r.layout.device_of(q);
+                let slot = r.slot_of(q);
+                r.prog.push(HwGate::QuartU { slot, gate: *g }, vec![d]);
+            }
+            (GateKind::Swap, &[a, b]) => {
+                r.layout.relabel(a, b);
+            }
+            (GateKind::Cx, &[a, b]) => {
+                if r.layout.device_of(a) == r.layout.device_of(b) {
+                    // Internal CNOT: target slot determines the pulse.
+                    let hw = match r.slot_of(b) {
+                        Slot::S0 => HwGate::QuartCx0,
+                        Slot::S1 => HwGate::QuartCx1,
+                    };
+                    r.prog.push(hw, vec![r.layout.device_of(a)]);
+                } else {
+                    ensure_adjacent(&mut r, a, b);
+                    r.prog.push(
+                        HwGate::FqCx {
+                            ctrl: r.slot_of(a),
+                            tgt: r.slot_of(b),
+                        },
+                        vec![r.layout.device_of(a), r.layout.device_of(b)],
+                    );
+                }
+            }
+            (GateKind::Cz, &[a, b]) => {
+                if r.layout.device_of(a) == r.layout.device_of(b) {
+                    r.prog.push(HwGate::QuartCzIn, vec![r.layout.device_of(a)]);
+                } else {
+                    ensure_adjacent(&mut r, a, b);
+                    r.prog.push(
+                        HwGate::FqCz {
+                            a: r.slot_of(a),
+                            b: r.slot_of(b),
+                        },
+                        vec![r.layout.device_of(a), r.layout.device_of(b)],
+                    );
+                }
+            }
+            (GateKind::Csdg, &[a, b]) => {
+                // No calibrated cross-device CS† pulse: co-locate and run
+                // the internal-class pulse.
+                if r.layout.device_of(a) != r.layout.device_of(b) {
+                    let target = r.layout.device_of(b);
+                    r.route_to_device(a, target, &[b]);
+                }
+                // CS† is diagonal and symmetric, so slot order is moot.
+                r.prog.push(HwGate::QuartCsdgIn, vec![r.layout.device_of(a)]);
+            }
+            (kind @ (GateKind::Ccx | GateKind::Ccz | GateKind::Cswap), ops) => {
+                let plan = choose_plan(&r, lib, kind, ops, cswap_mode);
+                emit_three_qubit(&mut r, &plan);
+            }
+            (kind, qs) => unreachable!("malformed gate: {kind:?} {qs:?}"),
+        }
+    }
+
+    let (prog, layout, swaps) = r.finish();
+    LowerOutput {
+        prog,
+        graph,
+        initial_sites,
+        final_sites: layout.assignment(),
+        swaps,
+        enc_windows: Vec::new(),
+        layout,
+    }
+}
+
+fn preprocess(circuit: &Circuit, use_ccz: bool, cswap_mode: FqCswapMode) -> Circuit {
+    let w = circuit.n_qubits();
+    let mut out = Circuit::new(w);
+    for g in circuit.iter() {
+        match (&g.kind, g.qubits.as_slice()) {
+            (GateKind::Ccx, &[c1, c2, t]) if use_ccz => {
+                out.extend(&decompose::ccx_via_ccz(c1, c2, t, w));
+            }
+            (GateKind::Cswap, &[c, t1, t2]) if cswap_mode == FqCswapMode::Decompose => {
+                if use_ccz {
+                    out.extend(&decompose::cswap_via_ccz(c, t1, t2, w));
+                } else {
+                    out.extend(&decompose::cswap_to_ccx(c, t1, t2, w));
+                }
+            }
+            _ => {
+                out.push(g.clone());
+            }
+        }
+    }
+    out
+}
+
+/// Moves `a` until its device couples to `b`'s.
+fn ensure_adjacent(r: &mut Router, a: usize, b: usize) {
+    let da = r.layout.device_of(a);
+    let db = r.layout.device_of(b);
+    if da != db && r.ddist(da, db) > 1 {
+        r.route_adjacent(a, b);
+    }
+}
+
+fn choose_plan(
+    r: &Router,
+    lib: &GateLibrary,
+    kind: &GateKind,
+    ops: &[usize],
+    cswap_mode: FqCswapMode,
+) -> Plan {
+    let mut candidates: Vec<Plan> = Vec::new();
+    match kind {
+        GateKind::Ccz => {
+            let [a, b, c] = [ops[0], ops[1], ops[2]];
+            for (pair, third) in [((a, b), c), ((a, c), b), ((b, c), a)] {
+                candidates.push(Plan { pair, third, kind: PlanKind::Ccz });
+            }
+        }
+        GateKind::Ccx => {
+            let [c1, c2, t] = [ops[0], ops[1], ops[2]];
+            candidates.push(Plan {
+                pair: (c1, c2),
+                third: t,
+                kind: PlanKind::CcxControlsPair,
+            });
+            for (kept, other) in [(c1, c2), (c2, c1)] {
+                candidates.push(Plan {
+                    pair: (kept, t),
+                    third: other,
+                    kind: PlanKind::CcxSplit,
+                });
+            }
+        }
+        GateKind::Cswap => {
+            let [c, t1, t2] = [ops[0], ops[1], ops[2]];
+            candidates.push(Plan {
+                pair: (t1, t2),
+                third: c,
+                kind: PlanKind::CswapTargetsPair,
+            });
+            if cswap_mode != FqCswapMode::NativeOriented {
+                for (tin, tout) in [(t1, t2), (t2, t1)] {
+                    candidates.push(Plan {
+                        pair: (c, tin),
+                        third: tout,
+                        kind: PlanKind::CswapSplit,
+                    });
+                }
+            }
+        }
+        _ => unreachable!("not a three-qubit gate"),
+    }
+
+    // Estimated pulse duration per plan kind (slot-independent lower
+    // bound), plus routing hops x a representative swap cost.
+    let swap_dur = lib.duration(&HwGate::FqSwap { a: Slot::S0, b: Slot::S1 });
+    let gate_dur = |k: PlanKind| -> f64 {
+        match k {
+            PlanKind::Ccz => 232.0,
+            PlanKind::CcxControlsPair => 536.0,
+            PlanKind::CcxSplit => 680.0,
+            PlanKind::CswapTargetsPair => 432.0,
+            PlanKind::CswapSplit => 680.0,
+        }
+    };
+    candidates
+        .into_iter()
+        .min_by(|x, y| {
+            let cost = |p: &Plan| -> f64 {
+                let hops = r.plan_pair(p.pair.0, p.pair.1, p.third).2 as f64;
+                hops * swap_dur + gate_dur(p.kind)
+            };
+            cost(x).partial_cmp(&cost(y)).unwrap()
+        })
+        .expect("at least one candidate per gate")
+}
+
+fn emit_three_qubit(r: &mut Router, plan: &Plan) {
+    let (pair_dev, third_dev) = r.route_pair(plan.pair.0, plan.pair.1, plan.third);
+    match plan.kind {
+        PlanKind::Ccz => {
+            r.prog.push(
+                HwGate::FqCcz { tgt: r.slot_of(plan.third) },
+                vec![pair_dev, third_dev],
+            );
+        }
+        PlanKind::CcxControlsPair => {
+            r.prog.push(
+                HwGate::FqCcx(FqCcxConfig::ControlsPair { tgt: r.slot_of(plan.third) }),
+                vec![pair_dev, third_dev],
+            );
+        }
+        PlanKind::CcxSplit => {
+            // pair = (control, target) co-located; third = other control.
+            // Operand order (control device, pair device): the target is
+            // automatically the pair device's other slot.
+            r.prog.push(
+                HwGate::FqCcx(FqCcxConfig::Split {
+                    actrl: r.slot_of(plan.third),
+                    bctrl: r.slot_of(plan.pair.0),
+                }),
+                vec![third_dev, pair_dev],
+            );
+        }
+        PlanKind::CswapTargetsPair => {
+            // Operand order (control device, targets device).
+            r.prog.push(
+                HwGate::FqCswap(FqCswapConfig::TargetsPair { ctrl: r.slot_of(plan.third) }),
+                vec![third_dev, pair_dev],
+            );
+        }
+        PlanKind::CswapSplit => {
+            // pair = (control, one target); third = the other target.
+            r.prog.push(
+                HwGate::FqCswap(FqCswapConfig::Split {
+                    ctrl: r.slot_of(plan.pair.0),
+                    btgt: r.slot_of(plan.third),
+                }),
+                vec![pair_dev, third_dev],
+            );
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Intermediate mixed-radix lowering (§5.1.2): devices stay bare except
+//! for a temporary ENC / three-qubit-gate / DEC window around each native
+//! three-qubit gate.
+
+use waltz_arch::InteractionGraph;
+use waltz_circuit::{Circuit, GateKind, decompose};
+use waltz_gates::hw::{MrCcxConfig, MrCswapConfig};
+use waltz_gates::{GateLibrary, HwGate, Q1Gate};
+
+use crate::lower::common::{RadixMode, Router};
+use crate::mapping;
+use crate::strategy::MrCcxMode;
+
+use super::{EncWindow, LowerOutput};
+
+/// A candidate encoding plan for one three-qubit gate: `pair.0` encodes
+/// into slot 0 of the host, `pair.1` into slot 1, `third` stays bare.
+struct Plan {
+    pair: (usize, usize),
+    third: usize,
+    gate: HwGate,
+    /// Hadamard pre/post gates (retargeting / CCZ sandwich), applied while
+    /// every operand is still bare.
+    wrap: Vec<usize>,
+}
+
+/// Lowers `circuit` in the mixed-radix regime.
+pub fn lower(
+    circuit: &Circuit,
+    ccx_mode: MrCcxMode,
+    native_cswap: bool,
+    graph: InteractionGraph,
+    lib: &GateLibrary,
+) -> LowerOutput {
+    let prepared = preprocess(circuit, ccx_mode, native_cswap);
+    let layout = mapping::place(&prepared, &graph);
+    let initial_sites = layout.assignment();
+    let n_devices = graph.topology().n_devices();
+    let mut r = Router::new(layout, vec![4; n_devices], RadixMode::Bare);
+    let mut enc_windows = Vec::new();
+
+    for gate in prepared.iter() {
+        match (&gate.kind, gate.qubits.as_slice()) {
+            (GateKind::One(g), &[q]) => {
+                let d = r.layout.device_of(q);
+                r.prog.push(HwGate::QubitU(*g), vec![d]);
+            }
+            (GateKind::Swap, &[a, b]) => {
+                r.layout.relabel(a, b);
+            }
+            (GateKind::Cx, &[a, b]) | (GateKind::Cz, &[a, b]) | (GateKind::Csdg, &[a, b]) => {
+                let da = r.layout.device_of(a);
+                let db = r.layout.device_of(b);
+                if r.ddist(da, db) > 1 {
+                    r.route_adjacent(a, b);
+                }
+                let hw = match gate.kind {
+                    GateKind::Cx => HwGate::QubitCx,
+                    GateKind::Cz => HwGate::QubitCz,
+                    _ => HwGate::QubitCsdg,
+                };
+                r.prog
+                    .push(hw, vec![r.layout.device_of(a), r.layout.device_of(b)]);
+            }
+            (kind @ (GateKind::Ccx | GateKind::Ccz | GateKind::Cswap), ops) => {
+                let plan = choose_plan(&r, lib, kind, ops, ccx_mode);
+                emit_window(&mut r, &plan, &mut enc_windows);
+            }
+            (kind, qs) => unreachable!("unexpected gate after preprocessing: {kind:?} {qs:?}"),
+        }
+    }
+
+    let (prog, layout, swaps) = r.finish();
+    LowerOutput {
+        prog,
+        graph,
+        initial_sites,
+        final_sites: layout.assignment(),
+        swaps,
+        enc_windows,
+        layout,
+    }
+}
+
+/// Expands the circuit per the strategy's transforms.
+fn preprocess(circuit: &Circuit, ccx_mode: MrCcxMode, native_cswap: bool) -> Circuit {
+    let w = circuit.n_qubits();
+    let mut out = Circuit::new(w);
+    for g in circuit.iter() {
+        match (&g.kind, g.qubits.as_slice()) {
+            (GateKind::Ccx, &[c1, c2, t]) if ccx_mode == MrCcxMode::CczTransform => {
+                out.extend(&decompose::ccx_via_ccz(c1, c2, t, w));
+            }
+            (GateKind::Cswap, &[c, t1, t2]) if !native_cswap => {
+                if ccx_mode == MrCcxMode::CczTransform {
+                    out.extend(&decompose::cswap_via_ccz(c, t1, t2, w));
+                } else {
+                    out.extend(&decompose::cswap_to_ccx(c, t1, t2, w));
+                }
+            }
+            _ => {
+                out.push(g.clone());
+            }
+        }
+    }
+    out
+}
+
+/// Enumerates the allowed encoding plans for a three-qubit gate and picks
+/// the cheapest (routing hops x SWAP duration + pulse duration + wrapper
+/// single-qubit gates).
+fn choose_plan(
+    r: &Router,
+    lib: &GateLibrary,
+    kind: &GateKind,
+    ops: &[usize],
+    ccx_mode: MrCcxMode,
+) -> Plan {
+    let mut candidates: Vec<Plan> = Vec::new();
+    match kind {
+        GateKind::Ccz => {
+            let [a, b, c] = [ops[0], ops[1], ops[2]];
+            for (pair, third) in [((a, b), c), ((a, c), b), ((b, c), a)] {
+                candidates.push(Plan {
+                    pair,
+                    third,
+                    gate: HwGate::MrCcz,
+                    wrap: vec![],
+                });
+            }
+        }
+        GateKind::Ccx => {
+            let [c1, c2, t] = [ops[0], ops[1], ops[2]];
+            // Controls together: the fast CCX01q configuration.
+            candidates.push(Plan {
+                pair: (c1, c2),
+                third: t,
+                gate: HwGate::MrCcx(MrCcxConfig::ControlsEncoded),
+                wrap: vec![],
+            });
+            match ccx_mode {
+                MrCcxMode::Raw => {
+                    // Split controls: encode (control, target) directly.
+                    for (ctrl, other) in [(c1, c2), (c2, c1)] {
+                        candidates.push(Plan {
+                            pair: (ctrl, t),
+                            third: other,
+                            gate: HwGate::MrCcx(MrCcxConfig::CtrlQubitAndSlot0TargetSlot1),
+                            wrap: vec![],
+                        });
+                    }
+                }
+                MrCcxMode::Retarget => {
+                    // Fig. 6b: H on (other control, target) swaps their
+                    // roles, so (kept control, target) encode as the new
+                    // control pair and the fast configuration applies.
+                    for (kept, swapped) in [(c1, c2), (c2, c1)] {
+                        candidates.push(Plan {
+                            pair: (kept, t),
+                            third: swapped,
+                            gate: HwGate::MrCcx(MrCcxConfig::ControlsEncoded),
+                            wrap: vec![swapped, t],
+                        });
+                    }
+                }
+                MrCcxMode::CczTransform => unreachable!("CCX removed by preprocessing"),
+            }
+        }
+        GateKind::Cswap => {
+            let [c, t1, t2] = [ops[0], ops[1], ops[2]];
+            // Targets together: the fast CSWAPq01 configuration.
+            candidates.push(Plan {
+                pair: (t1, t2),
+                third: c,
+                gate: HwGate::MrCswap(MrCswapConfig::TargetsEncoded),
+                wrap: vec![],
+            });
+            for (tin, tout) in [(t1, t2), (t2, t1)] {
+                candidates.push(Plan {
+                    pair: (c, tin),
+                    third: tout,
+                    gate: HwGate::MrCswap(MrCswapConfig::CtrlSlot0),
+                    wrap: vec![],
+                });
+            }
+        }
+        _ => unreachable!("not a three-qubit gate"),
+    }
+
+    let swap_dur = lib.duration(&HwGate::QubitSwap);
+    let h_dur = lib.duration(&HwGate::QubitU(Q1Gate::H));
+    candidates
+        .into_iter()
+        .min_by(|x, y| {
+            let cost = |p: &Plan| -> f64 {
+                let hops = r.plan_star(p.pair.0, p.pair.1, p.third).3 as f64;
+                hops * swap_dur
+                    + lib.duration(&p.gate)
+                    + 2.0 * p.wrap.len() as f64 * h_dur
+            };
+            cost(x).partial_cmp(&cost(y)).unwrap()
+        })
+        .expect("at least one candidate per gate")
+}
+
+/// Routes and emits one ENC / gate / DEC window.
+fn emit_window(r: &mut Router, plan: &Plan, windows: &mut Vec<EncWindow>) {
+    let (host, partner_dev, third_dev) = r.route_star(plan.pair.0, plan.pair.1, plan.third);
+    for &q in &plan.wrap {
+        let d = r.layout.device_of(q);
+        r.prog.push(HwGate::QubitU(Q1Gate::H), vec![d]);
+    }
+    let enc_idx = r.prog.len();
+    r.prog.push(HwGate::Enc, vec![host, partner_dev]);
+    r.prog.push(plan.gate.clone(), vec![host, third_dev]);
+    let dec_idx = r.prog.len();
+    r.prog.push(HwGate::Dec, vec![host, partner_dev]);
+    windows.push(EncWindow {
+        host,
+        enc_idx,
+        dec_idx,
+    });
+    for &q in &plan.wrap {
+        let d = r.layout.device_of(q);
+        r.prog.push(HwGate::QubitU(Q1Gate::H), vec![d]);
+    }
+}

@@ -1,0 +1,32 @@
+//! Strategy-specific lowering: routing and gate-configuration selection.
+
+use waltz_arch::{InteractionGraph, Site};
+
+use crate::hwprog::HwProgram;
+use crate::layout::Layout;
+
+pub(crate) mod common;
+pub(crate) mod full_ququart;
+pub(crate) mod mixed_radix;
+pub(crate) mod qubit_only;
+
+/// A mixed-radix ENC/DEC window: host device and the program indices of
+/// the ENC and DEC ops (used to build the coherence timeline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct EncWindow {
+    pub host: usize,
+    pub enc_idx: usize,
+    pub dec_idx: usize,
+}
+
+/// What every lowering pass produces.
+pub(crate) struct LowerOutput {
+    pub prog: HwProgram,
+    pub graph: InteractionGraph,
+    pub initial_sites: Vec<Site>,
+    pub final_sites: Vec<Site>,
+    pub swaps: usize,
+    pub enc_windows: Vec<EncWindow>,
+    #[allow(dead_code)]
+    pub layout: Layout,
+}

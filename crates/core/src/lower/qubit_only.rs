@@ -1,0 +1,162 @@
+//! Qubit-only lowering: the paper's two baselines (§5.1.1, §6.2).
+//!
+//! * **8-CX**: every three-qubit gate expands to the nearest-neighbour
+//!   8-CNOT form before mapping; routing then only handles 2-qubit gates.
+//! * **iToffoli**: Toffolis execute as one native 912 ns pulse across three
+//!   devices with the target routed to the middle (Hadamard-retargeting
+//!   when cheaper), followed by the Fig. 6d CS† correction — which needs an
+//!   extra SWAP because the controls are not adjacent ("We must insert an
+//!   extra SWAP gate to perform the corrective Controlled-S gate", §7).
+
+use waltz_arch::InteractionGraph;
+use waltz_circuit::{Circuit, GateKind, decompose};
+use waltz_gates::{GateLibrary, HwGate, Q1Gate};
+
+use crate::lower::common::{RadixMode, Router};
+use crate::mapping;
+use crate::strategy::QubitCcxMode;
+
+use super::LowerOutput;
+
+/// Lowers `circuit` in the qubit-only regime.
+pub fn lower(
+    circuit: &Circuit,
+    mode: QubitCcxMode,
+    graph: InteractionGraph,
+    lib: &GateLibrary,
+) -> LowerOutput {
+    let prepared = preprocess(circuit, mode);
+    let layout = mapping::place(&prepared, &graph);
+    let initial_sites = layout.assignment();
+    let n_devices = graph.topology().n_devices();
+    let mut r = Router::new(layout, vec![2; n_devices], RadixMode::Bare);
+
+    for gate in prepared.iter() {
+        match (&gate.kind, gate.qubits.as_slice()) {
+            (GateKind::One(g), &[q]) => {
+                let d = r.layout.device_of(q);
+                r.prog.push(HwGate::QubitU(*g), vec![d]);
+            }
+            (GateKind::Swap, &[a, b]) => {
+                r.layout.relabel(a, b);
+            }
+            (GateKind::Cx, &[a, b]) | (GateKind::Cz, &[a, b]) | (GateKind::Csdg, &[a, b]) => {
+                if r.layout.device_of(a) != r.layout.device_of(b) {
+                    let da = r.layout.device_of(a);
+                    let db = r.layout.device_of(b);
+                    if r.ddist(da, db) > 1 {
+                        r.route_adjacent(a, b);
+                    }
+                }
+                let hw = match gate.kind {
+                    GateKind::Cx => HwGate::QubitCx,
+                    GateKind::Cz => HwGate::QubitCz,
+                    _ => HwGate::QubitCsdg,
+                };
+                r.prog
+                    .push(hw, vec![r.layout.device_of(a), r.layout.device_of(b)]);
+            }
+            (GateKind::Ccx, &[c1, c2, t]) => {
+                debug_assert_eq!(mode, QubitCcxMode::IToffoli);
+                lower_itoffoli(&mut r, lib, c1, c2, t);
+            }
+            (kind, qs) => unreachable!("unexpected gate after preprocessing: {kind:?} {qs:?}"),
+        }
+    }
+
+    let (prog, layout, swaps) = r.finish();
+    LowerOutput {
+        prog,
+        graph,
+        initial_sites,
+        final_sites: layout.assignment(),
+        swaps,
+        enc_windows: Vec::new(),
+        layout,
+    }
+}
+
+/// Expands the circuit to what this regime executes natively.
+fn preprocess(circuit: &Circuit, mode: QubitCcxMode) -> Circuit {
+    match mode {
+        QubitCcxMode::EightCx => decompose::decompose_all_three_qubit(circuit),
+        QubitCcxMode::IToffoli => {
+            // Keep CCX; expand CCZ and CSWAP through it.
+            let w = circuit.n_qubits();
+            let mut out = Circuit::new(w);
+            for g in circuit.iter() {
+                match (&g.kind, g.qubits.as_slice()) {
+                    (GateKind::Ccz, &[a, b, c]) => {
+                        out.h(c).ccx(a, b, c).h(c);
+                    }
+                    (GateKind::Cswap, &[c, t1, t2]) => {
+                        out.cx(t2, t1).ccx(c, t1, t2).cx(t2, t1);
+                    }
+                    _ => {
+                        out.push(g.clone());
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Emits one Toffoli as iToffoli + CS† correction (Fig. 6d).
+fn lower_itoffoli(r: &mut Router, lib: &GateLibrary, c1: usize, c2: usize, t: usize) {
+    // Candidate middles: the natural target, or either control via
+    // Hadamard retargeting (Fig. 6b). `(middle, left-ctrl, right-ctrl,
+    // retarget-partner)`.
+    let h_cost = 4.0 * lib.duration(&HwGate::QubitU(Q1Gate::H));
+    let candidates = [
+        (t, c1, c2, None),
+        (c2, c1, t, Some(c2)),
+        (c1, c2, t, Some(c1)),
+    ];
+    let (mid, cl, cr, retarget) = candidates
+        .iter()
+        .copied()
+        .min_by(|a, b| {
+            let cost = |c: &(usize, usize, usize, Option<usize>)| -> f64 {
+                let (_, _, _, re) = c;
+                let hops = r.plan_star(c.0, c.1, c.2).3 as f64;
+                hops * lib.duration(&HwGate::QubitSwap)
+                    + if re.is_some() { h_cost } else { 0.0 }
+            };
+            cost(a).partial_cmp(&cost(b)).unwrap()
+        })
+        .unwrap();
+
+    // Retargeting sandwich: H on the swapped control and the original
+    // target turns CCX(c1, c2, t) into CCX with `mid` as target.
+    if let Some(rq) = retarget {
+        for q in [rq, t] {
+            let d = r.layout.device_of(q);
+            r.prog.push(HwGate::QubitU(Q1Gate::H), vec![d]);
+        }
+    }
+    let (_h, _n1, _n2) = r.route_star(mid, cl, cr);
+    r.prog.push(
+        HwGate::IToffoli,
+        vec![
+            r.layout.device_of(cl),
+            r.layout.device_of(cr),
+            r.layout.device_of(mid),
+        ],
+    );
+    // CS† correction between the controls: swap the middle qubit with one
+    // control so the controls become adjacent (the paper's extra SWAP).
+    let mid_site = r.layout.site_of(mid);
+    let cr_site = r.layout.site_of(cr);
+    r.emit_swap(mid_site, cr_site);
+    r.prog.push(
+        HwGate::QubitCsdg,
+        vec![r.layout.device_of(cl), r.layout.device_of(cr)],
+    );
+    if let Some(rq) = retarget {
+        for q in [rq, t] {
+            let d = r.layout.device_of(q);
+            r.prog.push(HwGate::QubitU(Q1Gate::H), vec![d]);
+        }
+    }
+}

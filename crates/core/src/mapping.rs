@@ -1,0 +1,177 @@
+//! Initial placement (§5.2).
+//!
+//! Weights come from the moment-decayed interaction matrix
+//! `w(i,j) = sum_t o(i,j,t)/t`. The qubit with the greatest total weight is
+//! placed at the centre device; each subsequent qubit (greatest weight to
+//! the already-placed set) lands on the free site minimizing
+//! `sum_{placed j} w(i,j) * d(site, site(j))` with the fidelity-aware
+//! distance `d`, restricted to sites adjacent to the placed region when
+//! possible.
+
+use waltz_arch::{InteractionGraph, Site};
+use waltz_circuit::{Circuit, moments};
+
+use crate::Layout;
+
+/// Relative path cost of an internal (in-ququart) hop versus an
+/// inter-device hop, approximating the error ratio of the corresponding
+/// SWAP pulses (0.999 vs 0.99 — about 10x).
+pub const INTERNAL_HOP_COST: f64 = 0.1;
+/// Inter-device hop cost.
+pub const EXTERNAL_HOP_COST: f64 = 1.0;
+
+/// Produces the initial layout for `circuit` on `graph`.
+///
+/// # Panics
+///
+/// Panics if the graph has fewer sites than the circuit has qubits.
+pub fn place(circuit: &Circuit, graph: &InteractionGraph) -> Layout {
+    let n = circuit.n_qubits();
+    assert!(
+        graph.n_sites() >= n,
+        "interaction graph has {} sites for {} qubits",
+        graph.n_sites(),
+        n
+    );
+    let w = moments::interaction_weights(circuit);
+    let dist = graph.distances(INTERNAL_HOP_COST, EXTERNAL_HOP_COST);
+    let mut layout = Layout::new(graph.clone(), n);
+
+    if n == 0 {
+        return layout;
+    }
+
+    // First qubit: greatest total weight, placed at the centre.
+    let first = (0..n)
+        .max_by(|&a, &b| {
+            let wa: f64 = w[a].iter().sum();
+            let wb: f64 = w[b].iter().sum();
+            wa.partial_cmp(&wb).unwrap()
+        })
+        .unwrap();
+    layout.place(first, graph.center_site());
+
+    let mut placed = vec![false; n];
+    placed[first] = true;
+    for _ in 1..n {
+        // Next qubit: max weight to the placed set.
+        let next = (0..n)
+            .filter(|&q| !placed[q])
+            .max_by(|&a, &b| {
+                let wa: f64 = (0..n).filter(|&j| placed[j]).map(|j| w[a][j]).sum();
+                let wb: f64 = (0..n).filter(|&j| placed[j]).map(|j| w[b][j]).sum();
+                wa.partial_cmp(&wb).unwrap()
+            })
+            .unwrap();
+        // Candidate sites: free sites adjacent to the placed region.
+        let mut candidates: Vec<Site> = graph
+            .sites()
+            .filter(|&s| layout.qubit_at(s).is_none())
+            .filter(|&s| {
+                (0..n)
+                    .filter(|&j| placed[j])
+                    .any(|j| graph.adjacent(s, layout.site_of(j)))
+            })
+            .collect();
+        if candidates.is_empty() {
+            candidates = graph
+                .sites()
+                .filter(|&s| layout.qubit_at(s).is_none())
+                .collect();
+        }
+        let best = candidates
+            .into_iter()
+            .min_by(|&a, &b| {
+                let cost = |s: Site| -> f64 {
+                    (0..n)
+                        .filter(|&j| placed[j])
+                        .map(|j| {
+                            w[next][j]
+                                * dist[graph.index_of(s)][graph.index_of(layout.site_of(j))]
+                        })
+                        .sum()
+                };
+                cost(a).partial_cmp(&cost(b)).unwrap()
+            })
+            .expect("at least one free site");
+        layout.place(next, best);
+        placed[next] = true;
+    }
+    layout
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waltz_arch::Topology;
+
+    #[test]
+    fn heavily_interacting_qubits_are_packed_together() {
+        // Qubits 0,1 interact constantly; 2 joins later.
+        let mut c = Circuit::new(3);
+        for _ in 0..5 {
+            c.cx(0, 1);
+        }
+        c.cx(1, 2);
+        let g = InteractionGraph::encoded(Topology::line(3));
+        let layout = place(&c, &g);
+        // 0 and 1 should share a device (internal distance is cheapest).
+        assert_eq!(layout.device_of(0), layout.device_of(1));
+        // 2 must be adjacent to that device.
+        let d = layout.device_of(2);
+        assert!(
+            d == layout.device_of(0)
+                || g.topology().are_adjacent(d, layout.device_of(0))
+        );
+    }
+
+    #[test]
+    fn qubit_only_mapping_spreads_over_devices() {
+        let mut c = Circuit::new(4);
+        c.cx(0, 1).cx(1, 2).cx(2, 3);
+        let g = InteractionGraph::qubit_only(Topology::line(4));
+        let layout = place(&c, &g);
+        let mut devices: Vec<usize> = (0..4).map(|q| layout.device_of(q)).collect();
+        devices.sort_unstable();
+        devices.dedup();
+        assert_eq!(devices.len(), 4, "each qubit gets its own device");
+        // Chain neighbours should be adjacent after mapping.
+        for (a, b) in [(0, 1), (1, 2), (2, 3)] {
+            assert!(
+                g.topology()
+                    .are_adjacent(layout.device_of(a), layout.device_of(b)),
+                "{a}-{b} not adjacent"
+            );
+        }
+    }
+
+    #[test]
+    fn all_qubits_are_placed() {
+        let mut c = Circuit::new(5);
+        c.ccx(0, 1, 2).ccx(2, 3, 4);
+        let g = InteractionGraph::encoded(Topology::grid(3));
+        let layout = place(&c, &g);
+        let assignment = layout.assignment();
+        let mut sites: Vec<_> = assignment.iter().map(|s| (s.device, s.slot)).collect();
+        sites.sort_unstable();
+        sites.dedup();
+        assert_eq!(sites.len(), 5, "no two qubits share a site");
+    }
+
+    #[test]
+    fn isolated_qubits_still_get_sites() {
+        // A circuit with no gates at all.
+        let c = Circuit::new(3);
+        let g = InteractionGraph::qubit_only(Topology::grid(4));
+        let layout = place(&c, &g);
+        assert_eq!(layout.assignment().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "sites for")]
+    fn too_many_qubits_rejected() {
+        let c = Circuit::new(5);
+        let g = InteractionGraph::qubit_only(Topology::line(3));
+        let _ = place(&c, &g);
+    }
+}

@@ -1,0 +1,198 @@
+//! Compilation strategies: the paper's comparison points (§5.1, §6.2).
+
+/// How a qubit-only compilation executes Toffolis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QubitCcxMode {
+    /// Decompose every three-qubit gate into the 8-CX nearest-neighbour
+    /// expansion (the paper's primary baseline, §5.1.1).
+    EightCx,
+    /// Execute a native three-qubit iToffoli pulse (912 ns, 99 %) with the
+    /// CS† correction of Fig. 6d, retargeting so the target sits between
+    /// the controls (§6.2).
+    IToffoli,
+}
+
+/// How a mixed-radix compilation prepares Toffolis (§5.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MrCcxMode {
+    /// Use whichever tabulated CCX configuration the routed layout offers.
+    Raw,
+    /// Hadamard-retarget so both controls encode together (Fig. 6b).
+    Retarget,
+    /// Transform CCX into the target-independent CCZ (Fig. 6c) — the
+    /// paper's best mixed-radix strategy.
+    CczTransform,
+}
+
+/// How full-ququart compilation handles CSWAP gates (§7.1, Fig. 9a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FqCswapMode {
+    /// Expand CSWAP through CCX/CCZ like any other gate.
+    Decompose,
+    /// Keep native CSWAP pulses, using whatever configuration the layout
+    /// offers ("basic").
+    Native,
+    /// Keep native CSWAP pulses and spend internal swaps to co-locate the
+    /// two targets — the paper's best variant ("targets together").
+    NativeOriented,
+}
+
+/// A complete compilation strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Two-level devices only.
+    QubitOnly {
+        /// Toffoli handling.
+        ccx: QubitCcxMode,
+    },
+    /// Bare devices with temporary ENC/DEC windows around three-qubit
+    /// gates (§5.1.2).
+    MixedRadix {
+        /// Toffoli handling.
+        ccx: MrCcxMode,
+        /// Keep CSWAPs as native mixed-radix pulses instead of expanding
+        /// them (the §7.1 case study).
+        native_cswap: bool,
+    },
+    /// Two qubits per ququart at all times (§5.1.3).
+    FullQuquart {
+        /// Replace CCX with the fast target-independent CCZ.
+        use_ccz: bool,
+        /// CSWAP handling (Fig. 9a).
+        cswap: FqCswapMode,
+    },
+}
+
+impl Strategy {
+    /// Qubit-only with the 8-CX Toffoli expansion.
+    pub fn qubit_only() -> Self {
+        Strategy::QubitOnly {
+            ccx: QubitCcxMode::EightCx,
+        }
+    }
+
+    /// Qubit-only with the native iToffoli pulse.
+    pub fn qubit_only_itoffoli() -> Self {
+        Strategy::QubitOnly {
+            ccx: QubitCcxMode::IToffoli,
+        }
+    }
+
+    /// Mixed-radix, raw CCX configurations.
+    pub fn mixed_radix_raw() -> Self {
+        Strategy::MixedRadix {
+            ccx: MrCcxMode::Raw,
+            native_cswap: false,
+        }
+    }
+
+    /// Mixed-radix with Hadamard retargeting.
+    pub fn mixed_radix_retarget() -> Self {
+        Strategy::MixedRadix {
+            ccx: MrCcxMode::Retarget,
+            native_cswap: false,
+        }
+    }
+
+    /// Mixed-radix with the CCZ transform — the paper's best mixed-radix
+    /// compilation.
+    pub fn mixed_radix_ccz() -> Self {
+        Strategy::MixedRadix {
+            ccx: MrCcxMode::CczTransform,
+            native_cswap: false,
+        }
+    }
+
+    /// Full-ququart with the CCZ transform — the paper's best strategy.
+    pub fn full_ququart() -> Self {
+        Strategy::FullQuquart {
+            use_ccz: true,
+            cswap: FqCswapMode::Decompose,
+        }
+    }
+
+    /// Human-readable name used by the benchmark harness.
+    pub fn name(&self) -> String {
+        match self {
+            Strategy::QubitOnly { ccx: QubitCcxMode::EightCx } => "Qubit-Only (8CX)".into(),
+            Strategy::QubitOnly { ccx: QubitCcxMode::IToffoli } => "Qubit-Only iToffoli".into(),
+            Strategy::MixedRadix { ccx, native_cswap } => {
+                let base = match ccx {
+                    MrCcxMode::Raw => "Mixed-Radix (raw CCX)",
+                    MrCcxMode::Retarget => "Mixed-Radix (H-retarget)",
+                    MrCcxMode::CczTransform => "Mixed-Radix (CCZ)",
+                };
+                if *native_cswap {
+                    format!("{base} + native CSWAP")
+                } else {
+                    base.into()
+                }
+            }
+            Strategy::FullQuquart { use_ccz, cswap } => {
+                let base = if *use_ccz {
+                    "Full-Ququart (CCZ)"
+                } else {
+                    "Full-Ququart (CCX)"
+                };
+                match cswap {
+                    FqCswapMode::Decompose => base.into(),
+                    FqCswapMode::Native => format!("{base} + native CSWAP"),
+                    FqCswapMode::NativeOriented => format!("{base} + oriented CSWAP"),
+                }
+            }
+        }
+    }
+
+    /// Whether devices are simulated as 4-level transmons (§6.4: mixed
+    /// radix "must be modeled as if entirely on ququarts").
+    pub fn uses_ququarts(&self) -> bool {
+        !matches!(self, Strategy::QubitOnly { .. })
+    }
+
+    /// Number of physical devices needed for `n_qubits` logical qubits.
+    pub fn device_count(&self, n_qubits: usize) -> usize {
+        match self {
+            Strategy::FullQuquart { .. } => n_qubits.div_ceil(2),
+            _ => n_qubits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_counts() {
+        assert_eq!(Strategy::qubit_only().device_count(7), 7);
+        assert_eq!(Strategy::mixed_radix_ccz().device_count(7), 7);
+        assert_eq!(Strategy::full_ququart().device_count(7), 4);
+        assert_eq!(Strategy::full_ququart().device_count(8), 4);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: Vec<String> = [
+            Strategy::qubit_only(),
+            Strategy::qubit_only_itoffoli(),
+            Strategy::mixed_radix_raw(),
+            Strategy::mixed_radix_retarget(),
+            Strategy::mixed_radix_ccz(),
+            Strategy::full_ququart(),
+        ]
+        .iter()
+        .map(|s| s.name())
+        .collect();
+        let mut unique = names.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), names.len());
+    }
+
+    #[test]
+    fn simulation_radix() {
+        assert!(!Strategy::qubit_only().uses_ququarts());
+        assert!(Strategy::mixed_radix_ccz().uses_ququarts());
+        assert!(Strategy::full_ququart().uses_ququarts());
+    }
+}

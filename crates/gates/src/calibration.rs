@@ -1,0 +1,351 @@
+//! Calibrated gate durations (Tables 1–2) and fidelity classes, with the
+//! sensitivity knobs of the paper's Fig. 9 studies.
+
+use crate::hw::{FqCcxConfig, FqCswapConfig, GateClass, HwGate, MrCcxConfig, MrCswapConfig, Slot};
+
+/// Calibration database: pulse durations and fidelity classes.
+///
+/// [`GateLibrary::paper`] loads the exact numbers published in Tables 1–2
+/// with the §3.3 fidelity targets (0.999 single-qudit, 0.99 two-qudit) and
+/// the §6.2 iToffoli baseline (0.99, 912 ns).
+///
+/// The Fig. 9b sensitivity study is driven by
+/// [`GateLibrary::with_ququart_error_scale`], which multiplies the *error*
+/// (1 − F) of every gate touching ququart levels.
+///
+/// # Example
+///
+/// ```
+/// use waltz_gates::{GateLibrary, HwGate};
+///
+/// let lib = GateLibrary::paper();
+/// assert_eq!(lib.duration(&HwGate::QubitCx), 251.0);
+/// assert!((lib.fidelity(&HwGate::QubitCx) - 0.99).abs() < 1e-12);
+///
+/// // Three-times-worse ququart gates (Fig. 9b x-axis point 3):
+/// let degraded = GateLibrary::paper().with_ququart_error_scale(3.0);
+/// assert!((degraded.fidelity(&HwGate::MrCcz) - 0.97).abs() < 1e-12);
+/// assert_eq!(degraded.fidelity(&HwGate::QubitCx), lib.fidelity(&HwGate::QubitCx));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateLibrary {
+    single_qubit_fidelity: f64,
+    single_quart_fidelity: f64,
+    two_qubit_fidelity: f64,
+    two_device_quart_fidelity: f64,
+    itoffoli_fidelity: f64,
+    ququart_error_scale: f64,
+}
+
+impl GateLibrary {
+    /// The paper's calibration: §3.3 fidelity targets and Table 1–2
+    /// durations.
+    pub fn paper() -> Self {
+        GateLibrary {
+            single_qubit_fidelity: 0.999,
+            single_quart_fidelity: 0.999,
+            two_qubit_fidelity: 0.99,
+            two_device_quart_fidelity: 0.99,
+            itoffoli_fidelity: 0.99,
+            ququart_error_scale: 1.0,
+        }
+    }
+
+    /// Scales the error `(1 - F)` of every ququart-touching gate by
+    /// `scale` (Fig. 9b sensitivity study).
+    #[must_use]
+    pub fn with_ququart_error_scale(mut self, scale: f64) -> Self {
+        assert!(scale >= 0.0, "error scale must be non-negative");
+        self.ququart_error_scale = scale;
+        self
+    }
+
+    /// Overrides the base fidelity of a calibration class.
+    #[must_use]
+    pub fn with_class_fidelity(mut self, class: GateClass, fidelity: f64) -> Self {
+        assert!((0.0..=1.0).contains(&fidelity), "fidelity must be in [0,1]");
+        match class {
+            GateClass::SingleQubit => self.single_qubit_fidelity = fidelity,
+            GateClass::SingleQuart => self.single_quart_fidelity = fidelity,
+            GateClass::TwoQubit => self.two_qubit_fidelity = fidelity,
+            GateClass::TwoDeviceQuart => self.two_device_quart_fidelity = fidelity,
+            GateClass::IToffoli => self.itoffoli_fidelity = fidelity,
+        }
+        self
+    }
+
+    /// Current ququart error scale.
+    pub fn ququart_error_scale(&self) -> f64 {
+        self.ququart_error_scale
+    }
+
+    /// Pulse duration in nanoseconds (Tables 1–2).
+    pub fn duration(&self, gate: &HwGate) -> f64 {
+        use HwGate::*;
+        match gate {
+            QubitU(_) => 35.0,
+            QubitCx => 251.0,
+            QubitCz => 236.0,
+            QubitCsdg => 126.0,
+            QubitSwap => 504.0,
+            IToffoli => 912.0,
+            QuartU { slot: Slot::S0, .. } => 87.0,
+            QuartU { slot: Slot::S1, .. } => 66.0,
+            QuartU2 { .. } => 86.0,
+            QuartCx0 => 83.0,
+            QuartCx1 => 84.0,
+            QuartSwapIn => 78.0,
+            // Internal CZ / CS† are not tabulated; same class/complexity as
+            // the internal CX pulses (see DESIGN.md additions).
+            QuartCzIn | QuartCsdgIn => 83.0,
+            MrCxQuartCtrl { slot: Slot::S0 } => 560.0,
+            MrCxQuartCtrl { slot: Slot::S1 } => 632.0,
+            MrCxQubitCtrl { slot: Slot::S0 } => 880.0,
+            MrCxQubitCtrl { slot: Slot::S1 } => 812.0,
+            MrCz { slot: Slot::S0 } => 384.0,
+            MrCz { slot: Slot::S1 } => 404.0,
+            MrSwap { slot: Slot::S0 } => 680.0,
+            MrSwap { slot: Slot::S1 } => 792.0,
+            Enc | Dec => 608.0,
+            MrCcx(MrCcxConfig::ControlsEncoded) => 412.0,
+            MrCcx(MrCcxConfig::CtrlQubitAndSlot0TargetSlot1) => 619.0,
+            MrCcx(MrCcxConfig::CtrlSlot1AndQubitTargetSlot0) => 697.0,
+            MrCcz => 264.0,
+            MrCswap(MrCswapConfig::TargetsEncoded) => 444.0,
+            MrCswap(MrCswapConfig::CtrlSlot0) => 684.0,
+            MrCswap(MrCswapConfig::CtrlSlot1) => 762.0,
+            FqCx { ctrl: Slot::S0, .. } => 544.0,
+            FqCx { ctrl: Slot::S1, .. } => 700.0,
+            FqCz { a: Slot::S0, b: Slot::S0 } => 392.0,
+            FqCz { a: Slot::S1, b: Slot::S1 } => 776.0,
+            FqCz { .. } => 488.0,
+            FqSwap { a: Slot::S0, b: Slot::S0 } => 916.0,
+            FqSwap { a: Slot::S1, b: Slot::S1 } => 964.0,
+            FqSwap { .. } => 892.0,
+            FqCcx(FqCcxConfig::ControlsPair { tgt: Slot::S0 }) => 536.0,
+            FqCcx(FqCcxConfig::ControlsPair { tgt: Slot::S1 }) => 552.0,
+            FqCcx(FqCcxConfig::Split { actrl: Slot::S1, bctrl: Slot::S0 }) => 680.0,
+            FqCcx(FqCcxConfig::Split { .. }) => 785.0,
+            FqCcz { tgt: Slot::S0 } => 232.0,
+            FqCcz { tgt: Slot::S1 } => 310.0,
+            FqCswap(FqCswapConfig::TargetsPair { ctrl: Slot::S0 }) => 510.0,
+            FqCswap(FqCswapConfig::TargetsPair { ctrl: Slot::S1 }) => 432.0,
+            FqCswap(FqCswapConfig::Split { ctrl: Slot::S0, btgt: Slot::S0 }) => 680.0,
+            FqCswap(FqCswapConfig::Split { ctrl: Slot::S0, btgt: Slot::S1 }) => 744.0,
+            FqCswap(FqCswapConfig::Split { ctrl: Slot::S1, btgt: Slot::S0 }) => 758.0,
+            FqCswap(FqCswapConfig::Split { ctrl: Slot::S1, btgt: Slot::S1 }) => 822.0,
+        }
+    }
+
+    /// Gate success probability, with the ququart error scale applied to
+    /// ququart-touching classes.
+    pub fn fidelity(&self, gate: &HwGate) -> f64 {
+        let base = match gate.class() {
+            GateClass::SingleQubit => self.single_qubit_fidelity,
+            GateClass::SingleQuart => self.single_quart_fidelity,
+            GateClass::TwoQubit => self.two_qubit_fidelity,
+            GateClass::TwoDeviceQuart => self.two_device_quart_fidelity,
+            GateClass::IToffoli => self.itoffoli_fidelity,
+        };
+        if gate.touches_ququart() {
+            (1.0 - self.ququart_error_scale * (1.0 - base)).max(0.0)
+        } else {
+            base
+        }
+    }
+}
+
+impl Default for GateLibrary {
+    fn default() -> Self {
+        GateLibrary::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_qubit_only_durations() {
+        let lib = GateLibrary::paper();
+        assert_eq!(lib.duration(&HwGate::QubitU(crate::Q1Gate::X)), 35.0);
+        assert_eq!(lib.duration(&HwGate::QubitCx), 251.0);
+        assert_eq!(lib.duration(&HwGate::QubitCz), 236.0);
+        assert_eq!(lib.duration(&HwGate::QubitCsdg), 126.0);
+        assert_eq!(lib.duration(&HwGate::QubitSwap), 504.0);
+        assert_eq!(lib.duration(&HwGate::IToffoli), 912.0);
+    }
+
+    #[test]
+    fn table1_qudit_internal_durations() {
+        let lib = GateLibrary::paper();
+        assert_eq!(
+            lib.duration(&HwGate::QuartU { slot: Slot::S0, gate: crate::Q1Gate::H }),
+            87.0
+        );
+        assert_eq!(
+            lib.duration(&HwGate::QuartU { slot: Slot::S1, gate: crate::Q1Gate::H }),
+            66.0
+        );
+        assert_eq!(
+            lib.duration(&HwGate::QuartU2 { g0: crate::Q1Gate::H, g1: crate::Q1Gate::H }),
+            86.0
+        );
+        assert_eq!(lib.duration(&HwGate::QuartCx0), 83.0);
+        assert_eq!(lib.duration(&HwGate::QuartCx1), 84.0);
+        assert_eq!(lib.duration(&HwGate::QuartSwapIn), 78.0);
+    }
+
+    #[test]
+    fn table1_mixed_radix_durations() {
+        let lib = GateLibrary::paper();
+        assert_eq!(lib.duration(&HwGate::MrCxQuartCtrl { slot: Slot::S0 }), 560.0);
+        assert_eq!(lib.duration(&HwGate::MrCxQuartCtrl { slot: Slot::S1 }), 632.0);
+        assert_eq!(lib.duration(&HwGate::MrCxQubitCtrl { slot: Slot::S0 }), 880.0);
+        assert_eq!(lib.duration(&HwGate::MrCxQubitCtrl { slot: Slot::S1 }), 812.0);
+        assert_eq!(lib.duration(&HwGate::MrCz { slot: Slot::S0 }), 384.0);
+        assert_eq!(lib.duration(&HwGate::MrCz { slot: Slot::S1 }), 404.0);
+        assert_eq!(lib.duration(&HwGate::MrSwap { slot: Slot::S0 }), 680.0);
+        assert_eq!(lib.duration(&HwGate::MrSwap { slot: Slot::S1 }), 792.0);
+        assert_eq!(lib.duration(&HwGate::Enc), 608.0);
+    }
+
+    #[test]
+    fn table1_full_ququart_durations() {
+        let lib = GateLibrary::paper();
+        assert_eq!(lib.duration(&HwGate::FqCx { ctrl: Slot::S0, tgt: Slot::S0 }), 544.0);
+        assert_eq!(lib.duration(&HwGate::FqCx { ctrl: Slot::S0, tgt: Slot::S1 }), 544.0);
+        assert_eq!(lib.duration(&HwGate::FqCx { ctrl: Slot::S1, tgt: Slot::S0 }), 700.0);
+        assert_eq!(lib.duration(&HwGate::FqCx { ctrl: Slot::S1, tgt: Slot::S1 }), 700.0);
+        assert_eq!(lib.duration(&HwGate::FqCz { a: Slot::S0, b: Slot::S0 }), 392.0);
+        assert_eq!(lib.duration(&HwGate::FqCz { a: Slot::S0, b: Slot::S1 }), 488.0);
+        assert_eq!(lib.duration(&HwGate::FqCz { a: Slot::S1, b: Slot::S1 }), 776.0);
+        assert_eq!(lib.duration(&HwGate::FqSwap { a: Slot::S0, b: Slot::S0 }), 916.0);
+        assert_eq!(lib.duration(&HwGate::FqSwap { a: Slot::S0, b: Slot::S1 }), 892.0);
+        assert_eq!(lib.duration(&HwGate::FqSwap { a: Slot::S1, b: Slot::S1 }), 964.0);
+    }
+
+    #[test]
+    fn table2_mixed_radix_three_qubit_durations() {
+        let lib = GateLibrary::paper();
+        assert_eq!(lib.duration(&HwGate::MrCcx(MrCcxConfig::ControlsEncoded)), 412.0);
+        assert_eq!(
+            lib.duration(&HwGate::MrCcx(MrCcxConfig::CtrlQubitAndSlot0TargetSlot1)),
+            619.0
+        );
+        assert_eq!(
+            lib.duration(&HwGate::MrCcx(MrCcxConfig::CtrlSlot1AndQubitTargetSlot0)),
+            697.0
+        );
+        assert_eq!(lib.duration(&HwGate::MrCcz), 264.0);
+        assert_eq!(lib.duration(&HwGate::MrCswap(MrCswapConfig::TargetsEncoded)), 444.0);
+        assert_eq!(lib.duration(&HwGate::MrCswap(MrCswapConfig::CtrlSlot0)), 684.0);
+        assert_eq!(lib.duration(&HwGate::MrCswap(MrCswapConfig::CtrlSlot1)), 762.0);
+    }
+
+    #[test]
+    fn table2_full_ququart_three_qubit_durations() {
+        let lib = GateLibrary::paper();
+        assert_eq!(
+            lib.duration(&HwGate::FqCcx(FqCcxConfig::ControlsPair { tgt: Slot::S0 })),
+            536.0
+        );
+        assert_eq!(
+            lib.duration(&HwGate::FqCcx(FqCcxConfig::ControlsPair { tgt: Slot::S1 })),
+            552.0
+        );
+        assert_eq!(
+            lib.duration(&HwGate::FqCcx(FqCcxConfig::Split {
+                actrl: Slot::S0,
+                bctrl: Slot::S0
+            })),
+            785.0
+        );
+        assert_eq!(
+            lib.duration(&HwGate::FqCcx(FqCcxConfig::Split {
+                actrl: Slot::S1,
+                bctrl: Slot::S0
+            })),
+            680.0
+        );
+        assert_eq!(lib.duration(&HwGate::FqCcz { tgt: Slot::S0 }), 232.0);
+        assert_eq!(lib.duration(&HwGate::FqCcz { tgt: Slot::S1 }), 310.0);
+        assert_eq!(
+            lib.duration(&HwGate::FqCswap(FqCswapConfig::TargetsPair { ctrl: Slot::S0 })),
+            510.0
+        );
+        assert_eq!(
+            lib.duration(&HwGate::FqCswap(FqCswapConfig::TargetsPair { ctrl: Slot::S1 })),
+            432.0
+        );
+        assert_eq!(
+            lib.duration(&HwGate::FqCswap(FqCswapConfig::Split {
+                ctrl: Slot::S0,
+                btgt: Slot::S0
+            })),
+            680.0
+        );
+        assert_eq!(
+            lib.duration(&HwGate::FqCswap(FqCswapConfig::Split {
+                ctrl: Slot::S1,
+                btgt: Slot::S1
+            })),
+            822.0
+        );
+    }
+
+    #[test]
+    fn fidelity_classes_match_paper_targets() {
+        let lib = GateLibrary::paper();
+        assert!((lib.fidelity(&HwGate::QubitU(crate::Q1Gate::X)) - 0.999).abs() < 1e-12);
+        assert!((lib.fidelity(&HwGate::QuartCx0) - 0.999).abs() < 1e-12);
+        assert!((lib.fidelity(&HwGate::QubitCx) - 0.99).abs() < 1e-12);
+        assert!((lib.fidelity(&HwGate::MrCcz) - 0.99).abs() < 1e-12);
+        assert!((lib.fidelity(&HwGate::IToffoli) - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_scale_only_touches_ququart_gates() {
+        let lib = GateLibrary::paper().with_ququart_error_scale(4.0);
+        assert!((lib.fidelity(&HwGate::MrCcz) - 0.96).abs() < 1e-12);
+        assert!((lib.fidelity(&HwGate::QuartCx0) - 0.996).abs() < 1e-12);
+        assert!((lib.fidelity(&HwGate::QubitCx) - 0.99).abs() < 1e-12);
+        assert!((lib.fidelity(&HwGate::IToffoli) - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fidelity_clamped_at_zero() {
+        let lib = GateLibrary::paper().with_ququart_error_scale(1000.0);
+        assert_eq!(lib.fidelity(&HwGate::MrCcz), 0.0);
+    }
+
+    #[test]
+    fn class_fidelity_override() {
+        let lib = GateLibrary::paper().with_class_fidelity(GateClass::TwoQubit, 0.95);
+        assert!((lib.fidelity(&HwGate::QubitCx) - 0.95).abs() < 1e-12);
+        assert!((lib.fidelity(&HwGate::MrCcz) - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn internal_gates_are_faster_and_better_than_qubit_cx() {
+        // Paper §3.4: encoded-pair gates are faster and higher fidelity than
+        // two-device qubit gates.
+        let lib = GateLibrary::paper();
+        assert!(lib.duration(&HwGate::QuartCx0) < lib.duration(&HwGate::QubitCx));
+        assert!(lib.fidelity(&HwGate::QuartCx0) > lib.fidelity(&HwGate::QubitCx));
+        assert!(
+            lib.duration(&HwGate::QuartSwapIn) * 5.0 < lib.duration(&HwGate::QubitSwap) * 1.01
+        );
+    }
+
+    #[test]
+    fn ccz_configurations_are_fastest_three_qubit_gates() {
+        // §4.2.2: CCZ pulses are remarkably fast — on par with 2q gates.
+        let lib = GateLibrary::paper();
+        assert!(lib.duration(&HwGate::MrCcz) < lib.duration(&HwGate::MrCcx(MrCcxConfig::ControlsEncoded)));
+        assert!(
+            lib.duration(&HwGate::FqCcz { tgt: Slot::S0 })
+                < lib.duration(&HwGate::FqCcx(FqCcxConfig::ControlsPair { tgt: Slot::S0 }))
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! The two-qubits-per-ququart compression and qubit gates lifted onto
+//! encoded ququarts (paper §3.1–§3.2).
+//!
+//! The encoding is `|q0 q1> -> |2 q0 + q1>`: slot 0 is the most significant
+//! encoded qubit. Because the workspace orders composite indices row-major
+//! with the first qudit most significant, the 2-qubit state-vector index
+//! *equals* the ququart level — the compression is the identity on
+//! amplitudes, which is exactly why it is information-preserving (§3.1).
+
+use waltz_math::Matrix;
+
+use crate::standard;
+
+/// Ququart level storing the encoded pair `(q0, q1)`.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(waltz_gates::encoding::encode_index(1, 0), 2);
+/// ```
+#[inline]
+pub fn encode_index(q0: u8, q1: u8) -> usize {
+    debug_assert!(q0 < 2 && q1 < 2);
+    (2 * q0 + q1) as usize
+}
+
+/// Inverse of [`encode_index`]: the encoded pair stored at `level`.
+#[inline]
+pub fn decode_index(level: usize) -> (u8, u8) {
+    debug_assert!(level < 4);
+    ((level >> 1) as u8, (level & 1) as u8)
+}
+
+/// `U0 = U (x) I`: applies a single-qubit gate to encoded qubit 0 (87 ns).
+pub fn lift_u0(u: &Matrix) -> Matrix {
+    assert_eq!(u.rows(), 2, "lift_u0 expects a single-qubit gate");
+    u.kron(&Matrix::identity(2))
+}
+
+/// `U1 = I (x) U`: applies a single-qubit gate to encoded qubit 1 (66 ns).
+pub fn lift_u1(u: &Matrix) -> Matrix {
+    assert_eq!(u.rows(), 2, "lift_u1 expects a single-qubit gate");
+    Matrix::identity(2).kron(u)
+}
+
+/// `U0,1 = U (x) V`: applies gates to both encoded qubits at once (86 ns).
+pub fn lift_u01(u: &Matrix, v: &Matrix) -> Matrix {
+    assert_eq!(u.rows(), 2);
+    assert_eq!(v.rows(), 2);
+    u.kron(v)
+}
+
+/// Internal CNOT targeting encoded qubit 0 (control = encoded qubit 1):
+/// the single-ququart gate swapping levels `|1>` and `|3>` (§3.2; 83 ns).
+pub fn internal_cx0() -> Matrix {
+    Matrix::permutation(&[0, 3, 2, 1])
+}
+
+/// Internal CNOT targeting encoded qubit 1 (control = encoded qubit 0):
+/// swaps levels `|2>` and `|3>` (84 ns).
+pub fn internal_cx1() -> Matrix {
+    Matrix::permutation(&[0, 1, 3, 2])
+}
+
+/// Internal SWAP of the encoded pair: exchanges levels `|1>` and `|2>`
+/// (78 ns). `SWAP |q1 q2> = |q2 q1>`.
+pub fn internal_swap() -> Matrix {
+    Matrix::permutation(&[0, 2, 1, 3])
+}
+
+/// Internal controlled-Z between the encoded pair: `diag(1, 1, 1, -1)`.
+///
+/// Not tabulated by the paper but any single-ququart unitary is one pulse of
+/// the internal-gate class; see DESIGN.md ("Additions").
+pub fn internal_cz() -> Matrix {
+    standard::cz()
+}
+
+/// An arbitrary two-qubit unitary applied to the encoded pair. Because the
+/// encoding equals the composite index, the matrix is used verbatim.
+pub fn internal_two_qubit(u: &Matrix) -> Matrix {
+    assert_eq!(u.rows(), 4, "internal_two_qubit expects a 4x4 unitary");
+    u.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waltz_math::C64;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for q0 in 0..2u8 {
+            for q1 in 0..2u8 {
+                let l = encode_index(q0, q1);
+                assert_eq!(decode_index(l), (q0, q1));
+            }
+        }
+        assert_eq!(encode_index(0, 0), 0);
+        assert_eq!(encode_index(0, 1), 1);
+        assert_eq!(encode_index(1, 0), 2);
+        assert_eq!(encode_index(1, 1), 3);
+    }
+
+    #[test]
+    fn internal_cx0_swaps_1_and_3() {
+        // Paper §3.2: CX0 is controlled on the *second* qubit, targeting the
+        // first, equivalent to swapping |1> and |3>.
+        let m = internal_cx0();
+        let mut v = vec![C64::ZERO; 4];
+        v[1] = C64::ONE;
+        assert!(m.apply(&v)[3].approx_eq(C64::ONE, 0.0));
+        // As a 2-qubit operation it is CX(control=q1, target=q0).
+        let sw = standard::swap();
+        let expected = sw.matmul(&standard::cx()).matmul(&sw);
+        assert!(m.approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn internal_cx1_swaps_2_and_3() {
+        let m = internal_cx1();
+        let mut v = vec![C64::ZERO; 4];
+        v[2] = C64::ONE;
+        assert!(m.apply(&v)[3].approx_eq(C64::ONE, 0.0));
+        // CX(control=q0, target=q1) in the encoded basis is plain CX.
+        assert!(m.approx_eq(&standard::cx(), 1e-12));
+    }
+
+    #[test]
+    fn internal_swap_exchanges_encoded_qubits() {
+        assert!(internal_swap().approx_eq(&standard::swap(), 1e-12));
+    }
+
+    #[test]
+    fn lifts_act_on_correct_slot() {
+        let x0 = lift_u0(&standard::x());
+        // X on q0: |00> (level 0) -> |10> (level 2).
+        let mut v = vec![C64::ZERO; 4];
+        v[0] = C64::ONE;
+        assert!(x0.apply(&v)[2].approx_eq(C64::ONE, 0.0));
+
+        let x1 = lift_u1(&standard::x());
+        // X on q1: level 0 -> level 1.
+        assert!(x1.apply(&v)[1].approx_eq(C64::ONE, 0.0));
+
+        let xx = lift_u01(&standard::x(), &standard::x());
+        // X on both: level 0 -> level 3.
+        assert!(xx.apply(&v)[3].approx_eq(C64::ONE, 0.0));
+    }
+
+    #[test]
+    fn lifted_gates_commute_across_slots() {
+        let a = lift_u0(&standard::h());
+        let b = lift_u1(&standard::t());
+        assert!(a.matmul(&b).approx_eq(&b.matmul(&a), 1e-12));
+        assert!(
+            a.matmul(&b)
+                .approx_eq(&lift_u01(&standard::h(), &standard::t()), 1e-12)
+        );
+    }
+
+    #[test]
+    fn internal_cz_is_symmetric_under_swap() {
+        let sw = internal_swap();
+        let cz = internal_cz();
+        assert!(sw.matmul(&cz).matmul(&sw).approx_eq(&cz, 1e-12));
+    }
+
+    #[test]
+    fn all_internal_gates_unitary() {
+        for m in [internal_cx0(), internal_cx1(), internal_swap(), internal_cz()] {
+            assert!(m.is_unitary(1e-12));
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! Full-ququart gates: two adjacent ququarts, four encoded qubits
+//! (paper §3.2, Tables 1d and 2b).
+//!
+//! All matrices act on the composite space **(ququart A, ququart B)** —
+//! dimension 16, index `4 * level_A + level_B` — with A as the most
+//! significant digit. Encoded qubits are `(a0, a1)` in A and `(b0, b1)` in
+//! B, slot 0 being the most significant bit of the level.
+
+use waltz_math::{C64, Matrix};
+
+use crate::Slot;
+
+/// Bit layout of the 4 encoded qubits inside a 16-dim composite index.
+#[inline]
+fn bits_of(idx: usize) -> [usize; 4] {
+    let la = idx >> 2;
+    let lb = idx & 3;
+    [la >> 1, la & 1, lb >> 1, lb & 1] // [a0, a1, b0, b1]
+}
+
+#[inline]
+fn idx_of(bits: [usize; 4]) -> usize {
+    ((bits[0] << 1 | bits[1]) << 2) | (bits[2] << 1 | bits[3])
+}
+
+/// Builds a 16-dim permutation from a map on the 4 encoded-qubit bits.
+fn perm_from(f: impl Fn([usize; 4]) -> [usize; 4]) -> Matrix {
+    let mut perm = vec![0usize; 16];
+    for (i, p) in perm.iter_mut().enumerate() {
+        *p = idx_of(f(bits_of(i)));
+    }
+    Matrix::permutation(&perm)
+}
+
+/// Builds a 16-dim diagonal gate from a phase predicate on the bits.
+fn diag_from(f: impl Fn([usize; 4]) -> bool) -> Matrix {
+    let d: Vec<C64> = (0..16)
+        .map(|i| if f(bits_of(i)) { -C64::ONE } else { C64::ONE })
+        .collect();
+    Matrix::from_diag(&d)
+}
+
+#[inline]
+fn a_bit(slot: Slot) -> usize {
+    match slot {
+        Slot::S0 => 0,
+        Slot::S1 => 1,
+    }
+}
+
+#[inline]
+fn b_bit(slot: Slot) -> usize {
+    match slot {
+        Slot::S0 => 2,
+        Slot::S1 => 3,
+    }
+}
+
+/// `CX{c}{t}`: CNOT with control in slot `ctrl` of ququart A and target in
+/// slot `tgt` of ququart B (544/544/700/700 ns for 00/01/10/11).
+pub fn cx(ctrl: Slot, tgt: Slot) -> Matrix {
+    perm_from(|mut b| {
+        if b[a_bit(ctrl)] == 1 {
+            b[b_bit(tgt)] ^= 1;
+        }
+        b
+    })
+}
+
+/// `CZ{s}{t}`: controlled-Z between slot `a` of ququart A and slot `b` of
+/// ququart B (392/488/776 ns for 00/01 or 10/11). Symmetric in its operands.
+pub fn cz(a: Slot, b: Slot) -> Matrix {
+    diag_from(|bits| bits[a_bit(a)] == 1 && bits[b_bit(b)] == 1)
+}
+
+/// `SWAP{s}{t}`: exchanges slot `a` of ququart A with slot `b` of ququart B
+/// (916/892/964 ns for 00/01 or 10/11).
+pub fn swap(a: Slot, b: Slot) -> Matrix {
+    perm_from(|mut bits| {
+        bits.swap(a_bit(a), b_bit(b));
+        bits
+    })
+}
+
+/// Configuration of a full-ququart Toffoli (Table 2b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FqCcxConfig {
+    /// `CCX01,t` (536/552 ns): both controls encoded together in ququart A,
+    /// target in slot `t` of ququart B — the fast configuration (§4.2.1).
+    ControlsPair {
+        /// Target slot in ququart B.
+        tgt: Slot,
+    },
+    /// `CCX{a},{c}{t}` (680–785 ns): controls split across the ququarts —
+    /// slot `actrl` of A and slot `bctrl` of B — with the target in the
+    /// remaining slot of B.
+    Split {
+        /// Control slot in ququart A.
+        actrl: Slot,
+        /// Control slot in ququart B (the target is B's other slot).
+        bctrl: Slot,
+    },
+}
+
+/// Full-ququart Toffoli unitary for `config`.
+pub fn ccx(config: FqCcxConfig) -> Matrix {
+    match config {
+        FqCcxConfig::ControlsPair { tgt } => perm_from(|mut b| {
+            if b[0] == 1 && b[1] == 1 {
+                b[b_bit(tgt)] ^= 1;
+            }
+            b
+        }),
+        FqCcxConfig::Split { actrl, bctrl } => {
+            let btgt = bctrl.other();
+            perm_from(move |mut b| {
+                if b[a_bit(actrl)] == 1 && b[b_bit(bctrl)] == 1 {
+                    b[b_bit(btgt)] ^= 1;
+                }
+                b
+            })
+        }
+    }
+}
+
+/// `CCZ01,t` (232/310 ns): doubly-controlled Z with the "pair" in ququart A
+/// and the third operand in slot `t` of B. Target-independent (§4.2.2).
+pub fn ccz(t: Slot) -> Matrix {
+    diag_from(|b| b[0] == 1 && b[1] == 1 && b[b_bit(t)] == 1)
+}
+
+/// Configuration of a full-ququart CSWAP (Table 2b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FqCswapConfig {
+    /// `CSWAP{c},01` (510/432 ns): control in slot `ctrl` of A, both targets
+    /// encoded together in B — the fast "targets together" configuration.
+    TargetsPair {
+        /// Control slot in ququart A.
+        ctrl: Slot,
+    },
+    /// `CSWAP{c}{a},{t}` (680–822 ns): control in slot `ctrl` of A, targets
+    /// split between A's other slot and slot `btgt` of B.
+    Split {
+        /// Control slot in ququart A (the A-side target is the other slot).
+        ctrl: Slot,
+        /// Target slot in ququart B.
+        btgt: Slot,
+    },
+}
+
+/// Full-ququart CSWAP unitary for `config`.
+pub fn cswap(config: FqCswapConfig) -> Matrix {
+    match config {
+        FqCswapConfig::TargetsPair { ctrl } => perm_from(move |mut b| {
+            if b[a_bit(ctrl)] == 1 {
+                b.swap(2, 3);
+            }
+            b
+        }),
+        FqCswapConfig::Split { ctrl, btgt } => {
+            let atgt = ctrl.other();
+            perm_from(move |mut b| {
+                if b[a_bit(ctrl)] == 1 {
+                    b.swap(a_bit(atgt), b_bit(btgt));
+                }
+                b
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::standard;
+
+    /// Expected 16-dim unitary from a k-qubit gate and the bit positions of
+    /// its operands (0=a0, 1=a1, 2=b0, 3=b1).
+    fn from_k_qubit(u: &Matrix, layout: &[usize]) -> Matrix {
+        let k = layout.len();
+        assert_eq!(u.rows(), 1 << k);
+        let mut m = Matrix::zeros(16, 16);
+        for col in 0..16usize {
+            let cb = bits_of(col);
+            let lc = layout
+                .iter()
+                .fold(0usize, |acc, &pos| (acc << 1) | cb[pos]);
+            for lr in 0..(1 << k) {
+                let amp = u[(lr, lc)];
+                if amp == C64::ZERO {
+                    continue;
+                }
+                // Write logical row bits back into the fixed bits of col.
+                let mut rb = cb;
+                for (j, &pos) in layout.iter().enumerate() {
+                    rb[pos] = (lr >> (k - 1 - j)) & 1;
+                }
+                m[(idx_of(rb), col)] = m[(idx_of(rb), col)] + amp;
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn all_full_ququart_gates_are_unitary() {
+        let mut all = vec![];
+        for a in [Slot::S0, Slot::S1] {
+            for b in [Slot::S0, Slot::S1] {
+                all.push(cx(a, b));
+                all.push(cz(a, b));
+                all.push(swap(a, b));
+                all.push(ccx(FqCcxConfig::Split { actrl: a, bctrl: b }));
+                all.push(cswap(FqCswapConfig::Split { ctrl: a, btgt: b }));
+            }
+            all.push(ccx(FqCcxConfig::ControlsPair { tgt: a }));
+            all.push(ccz(a));
+            all.push(cswap(FqCswapConfig::TargetsPair { ctrl: a }));
+        }
+        for m in all {
+            assert!(m.is_unitary(1e-12));
+        }
+    }
+
+    #[test]
+    fn cx_matches_logical_layouts() {
+        // control a0 (bit 0), target b1 (bit 3).
+        let expected = from_k_qubit(&standard::cx(), &[0, 3]);
+        assert!(cx(Slot::S0, Slot::S1).approx_eq(&expected, 1e-12));
+        let expected = from_k_qubit(&standard::cx(), &[1, 2]);
+        assert!(cx(Slot::S1, Slot::S0).approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn cz_is_symmetric() {
+        let expected = from_k_qubit(&standard::cz(), &[1, 3]);
+        assert!(cz(Slot::S1, Slot::S1).approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn swap_exchanges_cross_device_qubits() {
+        let expected = from_k_qubit(&standard::swap(), &[0, 2]);
+        assert!(swap(Slot::S0, Slot::S0).approx_eq(&expected, 1e-12));
+        // |a0=1, rest 0> = idx 8 -> |b0=1, rest 0> = idx 2.
+        let m = swap(Slot::S0, Slot::S0);
+        let mut v = vec![C64::ZERO; 16];
+        v[8] = C64::ONE;
+        assert!(m.apply(&v)[2].approx_eq(C64::ONE, 0.0));
+    }
+
+    #[test]
+    fn ccx_controls_pair_matches_toffoli() {
+        let expected = from_k_qubit(&standard::ccx(), &[0, 1, 2]);
+        assert!(ccx(FqCcxConfig::ControlsPair { tgt: Slot::S0 }).approx_eq(&expected, 1e-12));
+        let expected = from_k_qubit(&standard::ccx(), &[0, 1, 3]);
+        assert!(ccx(FqCcxConfig::ControlsPair { tgt: Slot::S1 }).approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn ccx_split_matches_toffoli() {
+        // controls a0, b0; target b1.
+        let expected = from_k_qubit(&standard::ccx(), &[0, 2, 3]);
+        assert!(
+            ccx(FqCcxConfig::Split { actrl: Slot::S0, bctrl: Slot::S0 })
+                .approx_eq(&expected, 1e-12)
+        );
+        // controls a1, b0; target b1.
+        let expected = from_k_qubit(&standard::ccx(), &[1, 2, 3]);
+        assert!(
+            ccx(FqCcxConfig::Split { actrl: Slot::S1, bctrl: Slot::S0 })
+                .approx_eq(&expected, 1e-12)
+        );
+    }
+
+    #[test]
+    fn ccz_matches_and_is_layout_independent() {
+        for t in [Slot::S0, Slot::S1] {
+            let bit = match t {
+                Slot::S0 => 2,
+                Slot::S1 => 3,
+            };
+            for layout in [[0, 1, bit], [bit, 0, 1], [1, bit, 0]] {
+                let expected = from_k_qubit(&standard::ccz(), &layout);
+                assert!(ccz(t).approx_eq(&expected, 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn cswap_targets_pair_swaps_b_slots() {
+        let expected = from_k_qubit(&standard::cswap(), &[0, 2, 3]);
+        assert!(
+            cswap(FqCswapConfig::TargetsPair { ctrl: Slot::S0 }).approx_eq(&expected, 1e-12)
+        );
+        let expected = from_k_qubit(&standard::cswap(), &[1, 2, 3]);
+        assert!(
+            cswap(FqCswapConfig::TargetsPair { ctrl: Slot::S1 }).approx_eq(&expected, 1e-12)
+        );
+    }
+
+    #[test]
+    fn cswap_split_matches_fredkin() {
+        // control a0, targets a1 and b1.
+        let expected = from_k_qubit(&standard::cswap(), &[0, 1, 3]);
+        assert!(
+            cswap(FqCswapConfig::Split { ctrl: Slot::S0, btgt: Slot::S1 })
+                .approx_eq(&expected, 1e-12)
+        );
+        // control a1, targets a0 and b0.
+        let expected = from_k_qubit(&standard::cswap(), &[1, 0, 2]);
+        assert!(
+            cswap(FqCswapConfig::Split { ctrl: Slot::S1, btgt: Slot::S0 })
+                .approx_eq(&expected, 1e-12)
+        );
+    }
+
+    #[test]
+    fn ccx_equals_h_conjugated_ccz() {
+        // H on b0 converts CCZ01,0 into CCX01,0.
+        let h_b0 = Matrix::identity(4).kron(&crate::encoding::lift_u0(&standard::h()));
+        let built = h_b0.matmul(&ccz(Slot::S0)).matmul(&h_b0);
+        assert!(built.approx_eq(&ccx(FqCcxConfig::ControlsPair { tgt: Slot::S0 }), 1e-12));
+    }
+}

@@ -1,0 +1,455 @@
+//! The hardware-gate vocabulary: every pulse the architecture can execute.
+//!
+//! [`HwGate`] is the interface between the compiler (`waltz-core`), the
+//! calibration tables ([`crate::calibration`]) and the simulator
+//! (`waltz-sim`). Each variant corresponds to one optimal-control pulse of
+//! Tables 1–2 and knows its exact unitary and logical operand dimensions.
+
+use waltz_math::Matrix;
+
+use crate::{encoding, full_quart, mixed, standard};
+
+pub use crate::full_quart::{FqCcxConfig, FqCswapConfig};
+pub use crate::mixed::{MrCcxConfig, MrCswapConfig};
+
+/// One of the two encoded-qubit slots inside a ququart.
+///
+/// Slot 0 is the most significant bit of the ququart level under the
+/// encoding `|q0 q1> -> |2 q0 + q1>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Slot {
+    /// Encoded qubit 0 (level bit 1).
+    S0,
+    /// Encoded qubit 1 (level bit 0).
+    S1,
+}
+
+impl Slot {
+    /// Slot index, 0 or 1.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Slot::S0 => 0,
+            Slot::S1 => 1,
+        }
+    }
+
+    /// The other slot.
+    #[inline]
+    pub fn other(self) -> Slot {
+        match self {
+            Slot::S0 => Slot::S1,
+            Slot::S1 => Slot::S0,
+        }
+    }
+
+    /// Slot from an index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > 1`.
+    #[inline]
+    pub fn from_index(i: usize) -> Slot {
+        match i {
+            0 => Slot::S0,
+            1 => Slot::S1,
+            _ => panic!("slot index must be 0 or 1, got {i}"),
+        }
+    }
+}
+
+/// A calibrated single-qubit gate (35 ns on a bare qubit).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Q1Gate {
+    /// Identity (used for explicit idles).
+    I,
+    /// Pauli X.
+    X,
+    /// Pauli Y.
+    Y,
+    /// Pauli Z.
+    Z,
+    /// Hadamard.
+    H,
+    /// Phase gate S.
+    S,
+    /// S†.
+    Sdg,
+    /// T gate.
+    T,
+    /// T†.
+    Tdg,
+    /// X rotation by an angle.
+    Rx(f64),
+    /// Y rotation by an angle.
+    Ry(f64),
+    /// Z rotation by an angle.
+    Rz(f64),
+}
+
+impl Q1Gate {
+    /// The 2x2 unitary.
+    pub fn matrix(&self) -> Matrix {
+        match self {
+            Q1Gate::I => standard::id2(),
+            Q1Gate::X => standard::x(),
+            Q1Gate::Y => standard::y(),
+            Q1Gate::Z => standard::z(),
+            Q1Gate::H => standard::h(),
+            Q1Gate::S => standard::s(),
+            Q1Gate::Sdg => standard::sdg(),
+            Q1Gate::T => standard::t(),
+            Q1Gate::Tdg => standard::tdg(),
+            Q1Gate::Rx(t) => standard::rx(*t),
+            Q1Gate::Ry(t) => standard::ry(*t),
+            Q1Gate::Rz(t) => standard::rz(*t),
+        }
+    }
+
+    /// The inverse gate.
+    pub fn dagger(&self) -> Q1Gate {
+        match self {
+            Q1Gate::S => Q1Gate::Sdg,
+            Q1Gate::Sdg => Q1Gate::S,
+            Q1Gate::T => Q1Gate::Tdg,
+            Q1Gate::Tdg => Q1Gate::T,
+            Q1Gate::Rx(t) => Q1Gate::Rx(-t),
+            Q1Gate::Ry(t) => Q1Gate::Ry(-t),
+            Q1Gate::Rz(t) => Q1Gate::Rz(-t),
+            self_inverse => *self_inverse,
+        }
+    }
+}
+
+/// Coarse calibration class of a hardware gate, determining its fidelity
+/// (§3.3: 0.999 single-qudit, 0.99 two-qudit; §6.2: iToffoli 0.99).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateClass {
+    /// Single bare-qubit pulse.
+    SingleQubit,
+    /// Single-ququart pulse (encoded 1q gates and internal 2q gates).
+    SingleQuart,
+    /// Two-device pulse between bare qubits.
+    TwoQubit,
+    /// Two-device pulse involving at least one ququart (mixed-radix,
+    /// full-ququart, ENC/DEC).
+    TwoDeviceQuart,
+    /// The three-qubit iToffoli pulse across three bare qubits.
+    IToffoli,
+}
+
+/// A hardware gate: one calibrated pulse from the paper's gate set.
+///
+/// Operand order conventions (matching the unitary constructors):
+/// mixed-radix gates list **(ququart, qubit)**; `Enc`/`Dec` list
+/// **(host, source)**; full-ququart gates list **(A, B)** with the
+/// control/pair side first as named in the configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HwGate {
+    /// Single-qubit gate on a bare qubit (35 ns).
+    QubitU(Q1Gate),
+    /// CNOT between bare qubits, control first (251 ns).
+    QubitCx,
+    /// CZ between bare qubits (236 ns).
+    QubitCz,
+    /// Controlled-S† between bare qubits (126 ns); iToffoli correction.
+    QubitCsdg,
+    /// SWAP between bare qubits (504 ns).
+    QubitSwap,
+    /// iToffoli across three bare qubits, controls first (912 ns).
+    IToffoli,
+    /// Single-qubit gate on one encoded slot (87 ns slot 0, 66 ns slot 1).
+    QuartU {
+        /// Which encoded qubit the gate acts on.
+        slot: Slot,
+        /// The gate applied.
+        gate: Q1Gate,
+    },
+    /// Simultaneous single-qubit gates on both encoded slots (86 ns).
+    QuartU2 {
+        /// Gate on slot 0.
+        g0: Q1Gate,
+        /// Gate on slot 1.
+        g1: Q1Gate,
+    },
+    /// Internal CNOT targeting slot 0 (swap levels 1↔3; 83 ns).
+    QuartCx0,
+    /// Internal CNOT targeting slot 1 (swap levels 2↔3; 84 ns).
+    QuartCx1,
+    /// Internal SWAP of the encoded pair (swap levels 1↔2; 78 ns).
+    QuartSwapIn,
+    /// Internal CZ between the encoded pair (83 ns; see DESIGN.md additions).
+    QuartCzIn,
+    /// Internal CS† between the encoded pair (83 ns; see DESIGN.md
+    /// additions — any single-ququart unitary is one internal-class pulse).
+    QuartCsdgIn,
+    /// Mixed-radix CNOT, control on encoded `slot`, target bare qubit
+    /// (560/632 ns).
+    MrCxQuartCtrl {
+        /// Control slot.
+        slot: Slot,
+    },
+    /// Mixed-radix CNOT, control on the bare qubit, target encoded `slot`
+    /// (880/812 ns).
+    MrCxQubitCtrl {
+        /// Target slot.
+        slot: Slot,
+    },
+    /// Mixed-radix CZ between the bare qubit and encoded `slot` (384/404 ns).
+    MrCz {
+        /// Encoded slot participating in the CZ.
+        slot: Slot,
+    },
+    /// Mixed-radix SWAP between the bare qubit and encoded `slot`
+    /// (680/792 ns).
+    MrSwap {
+        /// Encoded slot being exchanged.
+        slot: Slot,
+    },
+    /// Encode: compress the source device's qubit into the host ququart
+    /// (608 ns). Operands (host, source).
+    Enc,
+    /// Decode: inverse of [`HwGate::Enc`] (608 ns).
+    Dec,
+    /// Mixed-radix Toffoli (412–697 ns depending on configuration).
+    MrCcx(MrCcxConfig),
+    /// Mixed-radix CCZ, target independent (264 ns).
+    MrCcz,
+    /// Mixed-radix CSWAP (444–762 ns depending on configuration).
+    MrCswap(MrCswapConfig),
+    /// Full-ququart CNOT, control slot in A, target slot in B (544–700 ns).
+    FqCx {
+        /// Control slot in ququart A.
+        ctrl: Slot,
+        /// Target slot in ququart B.
+        tgt: Slot,
+    },
+    /// Full-ququart CZ (392–776 ns). Symmetric.
+    FqCz {
+        /// Slot in ququart A.
+        a: Slot,
+        /// Slot in ququart B.
+        b: Slot,
+    },
+    /// Full-ququart SWAP (892–964 ns).
+    FqSwap {
+        /// Slot in ququart A.
+        a: Slot,
+        /// Slot in ququart B.
+        b: Slot,
+    },
+    /// Full-ququart Toffoli (536–785 ns depending on configuration).
+    FqCcx(FqCcxConfig),
+    /// Full-ququart CCZ, pair in A, third operand in B (232/310 ns).
+    FqCcz {
+        /// Slot of the third operand in ququart B.
+        tgt: Slot,
+    },
+    /// Full-ququart CSWAP (432–822 ns depending on configuration).
+    FqCswap(FqCswapConfig),
+}
+
+impl HwGate {
+    /// Logical dimensions of the operands, in operand-list order.
+    pub fn logical_dims(&self) -> Vec<usize> {
+        use HwGate::*;
+        match self {
+            QubitU(_) => vec![2],
+            QubitCx | QubitCz | QubitCsdg | QubitSwap => vec![2, 2],
+            IToffoli => vec![2, 2, 2],
+            QuartU { .. } | QuartU2 { .. } | QuartCx0 | QuartCx1 | QuartSwapIn
+            | QuartCzIn | QuartCsdgIn => vec![4],
+            MrCxQuartCtrl { .. } | MrCxQubitCtrl { .. } | MrCz { .. } | MrSwap { .. }
+            | MrCcx(_) | MrCcz | MrCswap(_) => vec![4, 2],
+            Enc | Dec => vec![4, 4],
+            FqCx { .. } | FqCz { .. } | FqSwap { .. } | FqCcx(_) | FqCcz { .. }
+            | FqCswap(_) => vec![4, 4],
+        }
+    }
+
+    /// Number of physical devices the pulse drives.
+    pub fn arity(&self) -> usize {
+        self.logical_dims().len()
+    }
+
+    /// The exact unitary on the logical operand space (see
+    /// [`crate::embed`] for execution on larger simulated devices).
+    pub fn unitary(&self) -> Matrix {
+        use HwGate::*;
+        match self {
+            QubitU(g) => g.matrix(),
+            QubitCx => standard::cx(),
+            QubitCz => standard::cz(),
+            QubitCsdg => standard::csdg(),
+            QubitSwap => standard::swap(),
+            IToffoli => standard::itoffoli(),
+            QuartU { slot: Slot::S0, gate } => encoding::lift_u0(&gate.matrix()),
+            QuartU { slot: Slot::S1, gate } => encoding::lift_u1(&gate.matrix()),
+            QuartU2 { g0, g1 } => encoding::lift_u01(&g0.matrix(), &g1.matrix()),
+            QuartCx0 => encoding::internal_cx0(),
+            QuartCx1 => encoding::internal_cx1(),
+            QuartSwapIn => encoding::internal_swap(),
+            QuartCzIn => encoding::internal_cz(),
+            QuartCsdgIn => encoding::internal_two_qubit(&standard::csdg()),
+            MrCxQuartCtrl { slot } => mixed::cx_quart_ctrl(*slot),
+            MrCxQubitCtrl { slot } => mixed::cx_qubit_ctrl(*slot),
+            MrCz { slot } => mixed::cz(*slot),
+            MrSwap { slot } => mixed::swap(*slot),
+            Enc => mixed::enc(),
+            Dec => mixed::dec(),
+            MrCcx(cfg) => mixed::ccx(*cfg),
+            MrCcz => mixed::ccz(),
+            MrCswap(cfg) => mixed::cswap(*cfg),
+            FqCx { ctrl, tgt } => full_quart::cx(*ctrl, *tgt),
+            FqCz { a, b } => full_quart::cz(*a, *b),
+            FqSwap { a, b } => full_quart::swap(*a, *b),
+            FqCcx(cfg) => full_quart::ccx(*cfg),
+            FqCcz { tgt } => full_quart::ccz(*tgt),
+            FqCswap(cfg) => full_quart::cswap(*cfg),
+        }
+    }
+
+    /// Calibration class (determines the fidelity bucket).
+    pub fn class(&self) -> GateClass {
+        use HwGate::*;
+        match self {
+            QubitU(_) => GateClass::SingleQubit,
+            QubitCx | QubitCz | QubitCsdg | QubitSwap => GateClass::TwoQubit,
+            IToffoli => GateClass::IToffoli,
+            QuartU { .. } | QuartU2 { .. } | QuartCx0 | QuartCx1 | QuartSwapIn
+            | QuartCzIn | QuartCsdgIn => GateClass::SingleQuart,
+            _ => GateClass::TwoDeviceQuart,
+        }
+    }
+
+    /// Whether the pulse manipulates ququart levels |2>/|3> — the gates
+    /// whose error is scaled in the Fig. 9b sensitivity study.
+    pub fn touches_ququart(&self) -> bool {
+        matches!(
+            self.class(),
+            GateClass::SingleQuart | GateClass::TwoDeviceQuart
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_gates() -> Vec<HwGate> {
+        use HwGate::*;
+        let mut gates = vec![
+            QubitU(Q1Gate::H),
+            QubitU(Q1Gate::Rz(0.3)),
+            QubitCx,
+            QubitCz,
+            QubitCsdg,
+            QubitSwap,
+            IToffoli,
+            QuartU { slot: Slot::S0, gate: Q1Gate::H },
+            QuartU { slot: Slot::S1, gate: Q1Gate::T },
+            QuartU2 { g0: Q1Gate::H, g1: Q1Gate::H },
+            QuartCx0,
+            QuartCx1,
+            QuartSwapIn,
+            QuartCzIn,
+            Enc,
+            Dec,
+            MrCcz,
+        ];
+        for slot in [Slot::S0, Slot::S1] {
+            gates.push(MrCxQuartCtrl { slot });
+            gates.push(MrCxQubitCtrl { slot });
+            gates.push(MrCz { slot });
+            gates.push(MrSwap { slot });
+            gates.push(FqCcz { tgt: slot });
+        }
+        gates.push(MrCcx(MrCcxConfig::ControlsEncoded));
+        gates.push(MrCcx(MrCcxConfig::CtrlQubitAndSlot0TargetSlot1));
+        gates.push(MrCcx(MrCcxConfig::CtrlSlot1AndQubitTargetSlot0));
+        gates.push(MrCswap(MrCswapConfig::TargetsEncoded));
+        gates.push(MrCswap(MrCswapConfig::CtrlSlot0));
+        gates.push(MrCswap(MrCswapConfig::CtrlSlot1));
+        for a in [Slot::S0, Slot::S1] {
+            for b in [Slot::S0, Slot::S1] {
+                gates.push(FqCx { ctrl: a, tgt: b });
+                gates.push(FqCz { a, b });
+                gates.push(FqSwap { a, b });
+                gates.push(FqCcx(FqCcxConfig::Split { actrl: a, bctrl: b }));
+                gates.push(FqCswap(FqCswapConfig::Split { ctrl: a, btgt: b }));
+            }
+            gates.push(FqCcx(FqCcxConfig::ControlsPair { tgt: a }));
+            gates.push(FqCswap(FqCswapConfig::TargetsPair { ctrl: a }));
+        }
+        gates
+    }
+
+    #[test]
+    fn every_gate_unitary_matches_logical_dims() {
+        for g in sample_gates() {
+            let dims: usize = g.logical_dims().iter().product();
+            let u = g.unitary();
+            assert_eq!(u.rows(), dims, "{g:?}");
+            assert!(u.is_unitary(1e-12), "{g:?}");
+        }
+    }
+
+    #[test]
+    fn arity_matches_dims() {
+        assert_eq!(HwGate::IToffoli.arity(), 3);
+        assert_eq!(HwGate::Enc.arity(), 2);
+        assert_eq!(HwGate::QuartCx0.arity(), 1);
+        assert_eq!(HwGate::QubitU(Q1Gate::X).arity(), 1);
+    }
+
+    #[test]
+    fn classes_are_assigned_correctly() {
+        assert_eq!(HwGate::QubitU(Q1Gate::X).class(), GateClass::SingleQubit);
+        assert_eq!(HwGate::QuartSwapIn.class(), GateClass::SingleQuart);
+        assert_eq!(HwGate::QubitCx.class(), GateClass::TwoQubit);
+        assert_eq!(HwGate::Enc.class(), GateClass::TwoDeviceQuart);
+        assert_eq!(
+            HwGate::MrCcx(MrCcxConfig::ControlsEncoded).class(),
+            GateClass::TwoDeviceQuart
+        );
+        assert_eq!(HwGate::IToffoli.class(), GateClass::IToffoli);
+    }
+
+    #[test]
+    fn touches_ququart_flags() {
+        assert!(!HwGate::QubitCx.touches_ququart());
+        assert!(!HwGate::IToffoli.touches_ququart());
+        assert!(HwGate::QuartCx0.touches_ququart());
+        assert!(HwGate::MrCcz.touches_ququart());
+        assert!(HwGate::FqCz { a: Slot::S0, b: Slot::S1 }.touches_ququart());
+    }
+
+    #[test]
+    fn q1_dagger_inverts() {
+        for g in [
+            Q1Gate::I,
+            Q1Gate::X,
+            Q1Gate::H,
+            Q1Gate::S,
+            Q1Gate::T,
+            Q1Gate::Rx(0.7),
+            Q1Gate::Rz(-1.1),
+        ] {
+            let prod = g.matrix().matmul(&g.dagger().matrix());
+            assert!(prod.is_identity(1e-12), "{g:?}");
+        }
+    }
+
+    #[test]
+    fn slot_helpers() {
+        assert_eq!(Slot::S0.other(), Slot::S1);
+        assert_eq!(Slot::from_index(1), Slot::S1);
+        assert_eq!(Slot::S1.index(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot index")]
+    fn slot_from_bad_index_panics() {
+        let _ = Slot::from_index(2);
+    }
+}

@@ -1,0 +1,382 @@
+//! Mixed-radix gates: one ququart interacting with one bare qubit
+//! (paper §3.2, §4.2, Tables 1c and 2a).
+//!
+//! All matrices act on the composite space **(ququart, qubit)** — dimension
+//! 8, index `2 * level + q` — with the ququart as the most significant
+//! digit. The compiler always lists the ququart first when emitting these
+//! gates, so the simulator can use the matrices verbatim.
+
+use waltz_math::{C64, Matrix};
+
+use crate::Slot;
+
+/// Builds an 8-dimensional permutation gate from a map on `(level, q)`.
+fn perm_from(f: impl Fn(usize, usize) -> (usize, usize)) -> Matrix {
+    let mut perm = vec![0usize; 8];
+    for l in 0..4 {
+        for q in 0..2 {
+            let (l2, q2) = f(l, q);
+            debug_assert!(l2 < 4 && q2 < 2);
+            perm[2 * l + q] = 2 * l2 + q2;
+        }
+    }
+    Matrix::permutation(&perm)
+}
+
+/// Value of the encoded qubit stored in `slot` for ququart `level`.
+#[inline]
+fn slot_val(level: usize, slot: Slot) -> usize {
+    match slot {
+        Slot::S0 => level >> 1,
+        Slot::S1 => level & 1,
+    }
+}
+
+/// Ququart level after flipping the encoded qubit in `slot`.
+#[inline]
+fn flip_slot(level: usize, slot: Slot) -> usize {
+    match slot {
+        Slot::S0 => level ^ 0b10,
+        Slot::S1 => level ^ 0b01,
+    }
+}
+
+/// Ququart level after writing `v` into `slot`.
+#[inline]
+fn set_slot(level: usize, slot: Slot, v: usize) -> usize {
+    match slot {
+        Slot::S0 => (level & 0b01) | (v << 1),
+        Slot::S1 => (level & 0b10) | v,
+    }
+}
+
+/// `CX{slot}q`: CNOT controlled on encoded qubit `slot`, targeting the bare
+/// qubit (560 ns for slot 0, 632 ns for slot 1).
+pub fn cx_quart_ctrl(slot: Slot) -> Matrix {
+    perm_from(|l, q| if slot_val(l, slot) == 1 { (l, q ^ 1) } else { (l, q) })
+}
+
+/// `CXq{slot}`: CNOT controlled on the bare qubit, targeting encoded qubit
+/// `slot` (880 ns for slot 0, 812 ns for slot 1).
+pub fn cx_qubit_ctrl(slot: Slot) -> Matrix {
+    perm_from(|l, q| if q == 1 { (flip_slot(l, slot), q) } else { (l, q) })
+}
+
+/// `CZq{slot}`: controlled-Z between the bare qubit and encoded qubit `slot`
+/// (384 ns for slot 0, 404 ns for slot 1). Symmetric in its operands.
+pub fn cz(slot: Slot) -> Matrix {
+    let mut d = vec![C64::ONE; 8];
+    for l in 0..4 {
+        if slot_val(l, slot) == 1 {
+            d[2 * l + 1] = -C64::ONE;
+        }
+    }
+    Matrix::from_diag(&d)
+}
+
+/// `SWAPq{slot}`: exchanges the bare qubit with encoded qubit `slot`
+/// (680 ns for slot 0, 792 ns for slot 1).
+pub fn swap(slot: Slot) -> Matrix {
+    perm_from(|l, q| {
+        let s = slot_val(l, slot);
+        (set_slot(l, slot, q), s)
+    })
+}
+
+/// Configuration of a mixed-radix Toffoli (Table 2a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MrCcxConfig {
+    /// `CCX01q` (412 ns): both controls encoded in the ququart, target is
+    /// the bare qubit — the fast "controls together" configuration (§4.2.1).
+    ControlsEncoded,
+    /// `CCXq01` (619 ns): controls are the bare qubit and encoded qubit 0,
+    /// target is encoded qubit 1 (split controls).
+    CtrlQubitAndSlot0TargetSlot1,
+    /// `CCX1q0` (697 ns): controls are encoded qubit 1 and the bare qubit,
+    /// target is encoded qubit 0 (split controls).
+    CtrlSlot1AndQubitTargetSlot0,
+}
+
+/// Mixed-radix Toffoli unitary for `config`.
+pub fn ccx(config: MrCcxConfig) -> Matrix {
+    match config {
+        MrCcxConfig::ControlsEncoded => {
+            // Flip the qubit iff the ququart is |3> (both encoded qubits 1).
+            perm_from(|l, q| if l == 3 { (l, q ^ 1) } else { (l, q) })
+        }
+        MrCcxConfig::CtrlQubitAndSlot0TargetSlot1 => perm_from(|l, q| {
+            if q == 1 && slot_val(l, Slot::S0) == 1 {
+                (flip_slot(l, Slot::S1), q)
+            } else {
+                (l, q)
+            }
+        }),
+        MrCcxConfig::CtrlSlot1AndQubitTargetSlot0 => perm_from(|l, q| {
+            if q == 1 && slot_val(l, Slot::S1) == 1 {
+                (flip_slot(l, Slot::S0), q)
+            } else {
+                (l, q)
+            }
+        }),
+    }
+}
+
+/// `CCZ01q` (264 ns): target-independent doubly-controlled Z — phase `-1`
+/// exactly when all three qubits are `|1>`, i.e. ququart `|3>` and qubit
+/// `|1>` (§4.2.2).
+pub fn ccz() -> Matrix {
+    let mut d = vec![C64::ONE; 8];
+    d[2 * 3 + 1] = -C64::ONE;
+    Matrix::from_diag(&d)
+}
+
+/// Configuration of a mixed-radix Fredkin / CSWAP (Table 2a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MrCswapConfig {
+    /// `CSWAPq01` (444 ns): control on the bare qubit, both targets encoded
+    /// — the fast "targets together" configuration (state changes confined
+    /// to levels |1> and |2>, §4.2.3).
+    TargetsEncoded,
+    /// `CSWAP01q` (684 ns): control on encoded qubit 0, targets encoded
+    /// qubit 1 and the bare qubit.
+    CtrlSlot0,
+    /// `CSWAP10q` (762 ns): control on encoded qubit 1, targets encoded
+    /// qubit 0 and the bare qubit.
+    CtrlSlot1,
+}
+
+/// Mixed-radix CSWAP unitary for `config`.
+pub fn cswap(config: MrCswapConfig) -> Matrix {
+    match config {
+        MrCswapConfig::TargetsEncoded => perm_from(|l, q| {
+            if q == 1 {
+                // Swap the encoded pair: levels 1 <-> 2.
+                let l2 = match l {
+                    1 => 2,
+                    2 => 1,
+                    other => other,
+                };
+                (l2, q)
+            } else {
+                (l, q)
+            }
+        }),
+        MrCswapConfig::CtrlSlot0 => perm_from(|l, q| {
+            if slot_val(l, Slot::S0) == 1 {
+                let s1 = slot_val(l, Slot::S1);
+                (set_slot(l, Slot::S1, q), s1)
+            } else {
+                (l, q)
+            }
+        }),
+        MrCswapConfig::CtrlSlot1 => perm_from(|l, q| {
+            if slot_val(l, Slot::S1) == 1 {
+                let s0 = slot_val(l, Slot::S0);
+                (set_slot(l, Slot::S0, q), s0)
+            } else {
+                (l, q)
+            }
+        }),
+    }
+}
+
+/// `ENC` (608 ns): compresses the qubit held in device B into the host
+/// ququart A: `|a>_A |b>_B -> |2a + b>_A |0>_B` on the logical subspace.
+///
+/// Operands are **(host, source)**, both modeled as 4-level devices. The
+/// unitary is a 16-dimensional permutation completing the logical map
+/// bijectively (the completion is irrelevant for logical inputs; see
+/// DESIGN.md §4).
+pub fn enc() -> Matrix {
+    // index = 4 * level_A + level_B.
+    let mut perm: Vec<usize> = (0..16).collect();
+    // Logical block: a, b in {0,1}.
+    perm[0] = 0; // |0,0> -> |0,0>
+    perm[1] = 4; // |0,1> -> |1,0>
+    perm[4] = 8; // |1,0> -> |2,0>
+    perm[5] = 12; // |1,1> -> |3,0>
+    // Completion: images 4, 8, 12 were vacated by inputs 8, 12 (a >= 2, b < 2).
+    perm[8] = 1;
+    perm[12] = 5;
+    Matrix::permutation(&perm)
+}
+
+/// `DEC = ENC†` (608 ns): decodes the ququart back into two devices.
+pub fn dec() -> Matrix {
+    enc().dagger()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::standard;
+
+    /// Builds the expected 8-dim unitary from a 3-qubit gate and an operand
+    /// layout: `layout[k]` says where logical qubit `k` of `u3` lives
+    /// (0 = slot0, 1 = slot1, 2 = bare qubit).
+    fn from_three_qubit(u3: &Matrix, layout: [usize; 3]) -> Matrix {
+        let mut m = Matrix::zeros(8, 8);
+        // Composite index: (s0, s1, q) -> 2*(2*s0+s1)+q; logical index of u3:
+        // bits in operand order.
+        let phys_of = |bits: [usize; 3]| -> usize {
+            // bits[k] = value of logical qubit k; place into its physical home.
+            let mut s = [0usize; 3]; // s0, s1, q
+            for k in 0..3 {
+                s[layout[k]] = bits[k];
+            }
+            2 * (2 * s[0] + s[1]) + s[2]
+        };
+        for col in 0..8 {
+            let cb = [(col >> 2) & 1, (col >> 1) & 1, col & 1];
+            for row in 0..8 {
+                let rb = [(row >> 2) & 1, (row >> 1) & 1, row & 1];
+                m[(phys_of(rb), phys_of(cb))] = u3[(row, col)];
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn all_mixed_gates_are_unitary() {
+        for m in [
+            cx_quart_ctrl(Slot::S0),
+            cx_quart_ctrl(Slot::S1),
+            cx_qubit_ctrl(Slot::S0),
+            cx_qubit_ctrl(Slot::S1),
+            cz(Slot::S0),
+            cz(Slot::S1),
+            swap(Slot::S0),
+            swap(Slot::S1),
+            ccx(MrCcxConfig::ControlsEncoded),
+            ccx(MrCcxConfig::CtrlQubitAndSlot0TargetSlot1),
+            ccx(MrCcxConfig::CtrlSlot1AndQubitTargetSlot0),
+            ccz(),
+            cswap(MrCswapConfig::TargetsEncoded),
+            cswap(MrCswapConfig::CtrlSlot0),
+            cswap(MrCswapConfig::CtrlSlot1),
+            enc(),
+            dec(),
+        ] {
+            assert!(m.is_unitary(1e-12));
+        }
+    }
+
+    #[test]
+    fn cx_quart_ctrl_matches_logical_cx() {
+        // Control slot0, target bare qubit: logical CX(q0_enc, qubit).
+        let expected =
+            from_three_qubit(&Matrix::identity(2).kron(&standard::cx()), [1, 0, 2]);
+        // The identity factor acts on slot1; CX acts on (slot0, qubit).
+        assert!(cx_quart_ctrl(Slot::S0).approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn cx_qubit_ctrl_flips_correct_slot() {
+        // Control qubit, target slot1: |L0, q1> -> |L1, q1>.
+        let m = cx_qubit_ctrl(Slot::S1);
+        let mut v = vec![waltz_math::C64::ZERO; 8];
+        v[1] = waltz_math::C64::ONE; // level 0, q=1
+        assert!(m.apply(&v)[3].approx_eq(waltz_math::C64::ONE, 0.0)); // level 1, q=1
+    }
+
+    #[test]
+    fn ccx_controls_encoded_equals_toffoli_on_layout() {
+        // CCX(controls = s0, s1; target = qubit).
+        let expected = from_three_qubit(&standard::ccx(), [0, 1, 2]);
+        assert!(ccx(MrCcxConfig::ControlsEncoded).approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn ccx_split_controls_match_layouts() {
+        // CCXq01: controls (qubit, s0), target s1.
+        let expected = from_three_qubit(&standard::ccx(), [2, 0, 1]);
+        assert!(
+            ccx(MrCcxConfig::CtrlQubitAndSlot0TargetSlot1).approx_eq(&expected, 1e-12)
+        );
+        // CCX1q0: controls (s1, qubit), target s0.
+        let expected = from_three_qubit(&standard::ccx(), [1, 2, 0]);
+        assert!(
+            ccx(MrCcxConfig::CtrlSlot1AndQubitTargetSlot0).approx_eq(&expected, 1e-12)
+        );
+    }
+
+    #[test]
+    fn ccz_matches_three_qubit_ccz_any_layout() {
+        // CCZ is target independent: all layouts give the same matrix.
+        for layout in [[0, 1, 2], [2, 0, 1], [1, 2, 0]] {
+            let expected = from_three_qubit(&standard::ccz(), layout);
+            assert!(ccz().approx_eq(&expected, 1e-12), "layout {layout:?}");
+        }
+    }
+
+    #[test]
+    fn cswap_configs_match_layouts() {
+        // Control qubit, targets (s0, s1).
+        let expected = from_three_qubit(&standard::cswap(), [2, 0, 1]);
+        assert!(cswap(MrCswapConfig::TargetsEncoded).approx_eq(&expected, 1e-12));
+        // Control s0, targets (s1, qubit).
+        let expected = from_three_qubit(&standard::cswap(), [0, 1, 2]);
+        assert!(cswap(MrCswapConfig::CtrlSlot0).approx_eq(&expected, 1e-12));
+        // Control s1, targets (s0, qubit).
+        let expected = from_three_qubit(&standard::cswap(), [1, 0, 2]);
+        assert!(cswap(MrCswapConfig::CtrlSlot1).approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn ccx_is_ccz_conjugated_by_hadamard_on_target() {
+        // H on the bare qubit (target) converts CCZ01q into CCX01q (Fig. 6c).
+        let h_on_qubit = Matrix::identity(4).kron(&standard::h());
+        let built = h_on_qubit.matmul(&ccz()).matmul(&h_on_qubit);
+        assert!(built.approx_eq(&ccx(MrCcxConfig::ControlsEncoded), 1e-12));
+    }
+
+    #[test]
+    fn enc_maps_logical_states() {
+        let m = enc();
+        // |a=1>_A |b=0>_B = index 4 -> |2>_A |0>_B = index 8.
+        let mut v = vec![waltz_math::C64::ZERO; 16];
+        v[4] = waltz_math::C64::ONE;
+        assert!(m.apply(&v)[8].approx_eq(waltz_math::C64::ONE, 0.0));
+        // |1,1> = index 5 -> |3,0> = index 12.
+        let mut v = vec![waltz_math::C64::ZERO; 16];
+        v[5] = waltz_math::C64::ONE;
+        assert!(m.apply(&v)[12].approx_eq(waltz_math::C64::ONE, 0.0));
+    }
+
+    #[test]
+    fn enc_dec_round_trip() {
+        assert!(enc().matmul(&dec()).is_identity(1e-12));
+        assert!(dec().matmul(&enc()).is_identity(1e-12));
+    }
+
+    #[test]
+    fn enc_then_internal_gate_equals_two_qubit_gate_then_enc() {
+        // ENC . (CX2 on A,B) == (internal CX1) . ENC on the logical subspace:
+        // CX(control = a, target = b) becomes internal CX with control slot0.
+        let cx_ab = crate::embed(&standard::cx(), &[2, 2], &[4, 4]);
+        let internal = crate::encoding::internal_cx1().kron(&Matrix::identity(4));
+        let lhs = enc().matmul(&cx_ab);
+        let rhs = internal.matmul(&enc());
+        // Compare action on the logical subspace only.
+        for a in 0..2usize {
+            for b in 0..2usize {
+                let mut v = vec![waltz_math::C64::ZERO; 16];
+                v[4 * a + b] = waltz_math::C64::ONE;
+                let l = lhs.apply(&v);
+                let r = rhs.apply(&v);
+                for k in 0..16 {
+                    assert!(l[k].approx_eq(r[k], 1e-12), "a={a} b={b} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_swap_moves_qubit_into_slot() {
+        // SWAPq0: |L0, q1> <-> |L2, q0>.
+        let m = swap(Slot::S0);
+        let mut v = vec![waltz_math::C64::ZERO; 8];
+        v[1] = waltz_math::C64::ONE;
+        assert!(m.apply(&v)[4].approx_eq(waltz_math::C64::ONE, 0.0));
+    }
+}

@@ -1,0 +1,314 @@
+//! Textbook qubit gate unitaries.
+//!
+//! Conventions: states are indexed row-major with the **first operand as the
+//! most significant digit**; multi-qubit controlled gates list controls
+//! before targets, e.g. [`cx`] is `CX(control, target)` and [`ccx`] is
+//! `CCX(control, control, target)`.
+
+use std::f64::consts::FRAC_1_SQRT_2;
+
+use waltz_math::{C64, Matrix};
+
+/// 2x2 identity.
+pub fn id2() -> Matrix {
+    Matrix::identity(2)
+}
+
+/// Pauli X.
+pub fn x() -> Matrix {
+    Matrix::from_rows(&[vec![C64::ZERO, C64::ONE], vec![C64::ONE, C64::ZERO]])
+}
+
+/// Pauli Y.
+pub fn y() -> Matrix {
+    Matrix::from_rows(&[vec![C64::ZERO, -C64::I], vec![C64::I, C64::ZERO]])
+}
+
+/// Pauli Z.
+pub fn z() -> Matrix {
+    Matrix::from_diag(&[C64::ONE, -C64::ONE])
+}
+
+/// Hadamard.
+pub fn h() -> Matrix {
+    let c = C64::real(FRAC_1_SQRT_2);
+    Matrix::from_rows(&[vec![c, c], vec![c, -c]])
+}
+
+/// Phase gate S = diag(1, i).
+pub fn s() -> Matrix {
+    Matrix::from_diag(&[C64::ONE, C64::I])
+}
+
+/// Inverse phase gate S† = diag(1, -i).
+pub fn sdg() -> Matrix {
+    Matrix::from_diag(&[C64::ONE, -C64::I])
+}
+
+/// T gate = diag(1, e^{i pi/4}).
+pub fn t() -> Matrix {
+    Matrix::from_diag(&[C64::ONE, C64::cis(std::f64::consts::FRAC_PI_4)])
+}
+
+/// T† gate.
+pub fn tdg() -> Matrix {
+    Matrix::from_diag(&[C64::ONE, C64::cis(-std::f64::consts::FRAC_PI_4)])
+}
+
+/// Rotation about X: `exp(-i theta X / 2)`.
+pub fn rx(theta: f64) -> Matrix {
+    let c = C64::real((theta / 2.0).cos());
+    let s = C64::new(0.0, -(theta / 2.0).sin());
+    Matrix::from_rows(&[vec![c, s], vec![s, c]])
+}
+
+/// Rotation about Y: `exp(-i theta Y / 2)`.
+pub fn ry(theta: f64) -> Matrix {
+    let c = C64::real((theta / 2.0).cos());
+    let s = C64::real((theta / 2.0).sin());
+    Matrix::from_rows(&[vec![c, -s], vec![s, c]])
+}
+
+/// Rotation about Z: `exp(-i theta Z / 2)`.
+pub fn rz(theta: f64) -> Matrix {
+    Matrix::from_diag(&[C64::cis(-theta / 2.0), C64::cis(theta / 2.0)])
+}
+
+/// CNOT with the first operand as control: `CX |c t> = |c, t xor c>`.
+pub fn cx() -> Matrix {
+    Matrix::permutation(&[0, 1, 3, 2])
+}
+
+/// Controlled-Z (symmetric): phase -1 on `|11>`.
+pub fn cz() -> Matrix {
+    Matrix::from_diag(&[C64::ONE, C64::ONE, C64::ONE, -C64::ONE])
+}
+
+/// Controlled-S: phase i on `|11>`.
+pub fn cs() -> Matrix {
+    Matrix::from_diag(&[C64::ONE, C64::ONE, C64::ONE, C64::I])
+}
+
+/// Controlled-S†: phase -i on `|11>`. Needed by the iToffoli decomposition
+/// (paper Fig. 6d).
+pub fn csdg() -> Matrix {
+    Matrix::from_diag(&[C64::ONE, C64::ONE, C64::ONE, -C64::I])
+}
+
+/// Two-qubit SWAP.
+pub fn swap() -> Matrix {
+    Matrix::permutation(&[0, 2, 1, 3])
+}
+
+/// Toffoli `CCX(control, control, target)`.
+pub fn ccx() -> Matrix {
+    Matrix::permutation(&[0, 1, 2, 3, 4, 5, 7, 6])
+}
+
+/// Doubly-controlled Z: phase -1 on `|111>`. Target-independent (§4.2.2).
+pub fn ccz() -> Matrix {
+    let mut d = vec![C64::ONE; 8];
+    d[7] = -C64::ONE;
+    Matrix::from_diag(&d)
+}
+
+/// Fredkin `CSWAP(control, target, target)`.
+pub fn cswap() -> Matrix {
+    Matrix::permutation(&[0, 1, 2, 3, 4, 6, 5, 7])
+}
+
+/// The iToffoli gate of Kim et al.: acts as `i X` on the target when both
+/// controls are `|1>` (off-diagonal block `[[0, i], [i, 0]]` on
+/// `|110>, |111>`).
+pub fn itoffoli() -> Matrix {
+    let mut m = Matrix::identity(8);
+    m[(6, 6)] = C64::ZERO;
+    m[(7, 7)] = C64::ZERO;
+    m[(6, 7)] = C64::I;
+    m[(7, 6)] = C64::I;
+    m
+}
+
+/// Generic controlled-`u` on two qubits (control first).
+pub fn controlled(u: &Matrix) -> Matrix {
+    assert_eq!(u.rows(), 2, "controlled() expects a single-qubit gate");
+    let mut m = Matrix::identity(4);
+    for i in 0..2 {
+        for j in 0..2 {
+            m[(2 + i, 2 + j)] = u[(i, j)];
+        }
+    }
+    m
+}
+
+/// Generalized qudit shift `X_d : |j> -> |j+1 mod d>`.
+pub fn shift_d(d: usize) -> Matrix {
+    let perm: Vec<usize> = (0..d).map(|j| (j + 1) % d).collect();
+    Matrix::permutation(&perm)
+}
+
+/// Generalized qudit clock `Z_d = diag(1, w, w^2, ...)` with `w = e^{2 pi i/d}`.
+pub fn clock_d(d: usize) -> Matrix {
+    let w = 2.0 * std::f64::consts::PI / d as f64;
+    let diag: Vec<C64> = (0..d).map(|j| C64::cis(w * j as f64)).collect();
+    Matrix::from_diag(&diag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waltz_math::metrics::gate_fidelity;
+
+    #[test]
+    fn all_standard_gates_are_unitary() {
+        for (name, m) in [
+            ("x", x()),
+            ("y", y()),
+            ("z", z()),
+            ("h", h()),
+            ("s", s()),
+            ("sdg", sdg()),
+            ("t", t()),
+            ("tdg", tdg()),
+            ("rx", rx(0.7)),
+            ("ry", ry(-1.2)),
+            ("rz", rz(2.5)),
+            ("cx", cx()),
+            ("cz", cz()),
+            ("cs", cs()),
+            ("csdg", csdg()),
+            ("swap", swap()),
+            ("ccx", ccx()),
+            ("ccz", ccz()),
+            ("cswap", cswap()),
+            ("itoffoli", itoffoli()),
+        ] {
+            assert!(m.is_unitary(1e-12), "{name} is not unitary");
+        }
+    }
+
+    #[test]
+    fn hadamard_conjugates_x_to_z() {
+        let hxh = h().matmul(&x()).matmul(&h());
+        assert!(hxh.approx_eq(&z(), 1e-12));
+    }
+
+    #[test]
+    fn s_squared_is_z_and_t_squared_is_s() {
+        assert!(s().matmul(&s()).approx_eq(&z(), 1e-12));
+        assert!(t().matmul(&t()).approx_eq(&s(), 1e-12));
+        assert!(s().matmul(&sdg()).is_identity(1e-12));
+        assert!(t().matmul(&tdg()).is_identity(1e-12));
+    }
+
+    #[test]
+    fn rotations_at_pi_match_paulis_up_to_phase() {
+        use std::f64::consts::PI;
+        assert!(rx(PI).approx_eq_up_to_phase(&x(), 1e-12));
+        assert!(ry(PI).approx_eq_up_to_phase(&y(), 1e-12));
+        assert!(rz(PI).approx_eq_up_to_phase(&z(), 1e-12));
+    }
+
+    #[test]
+    fn cx_truth_table() {
+        let m = cx();
+        // |10> -> |11>
+        let mut v = vec![C64::ZERO; 4];
+        v[2] = C64::ONE;
+        assert!(m.apply(&v)[3].approx_eq(C64::ONE, 0.0));
+        // |01> -> |01>
+        let mut v = vec![C64::ZERO; 4];
+        v[1] = C64::ONE;
+        assert!(m.apply(&v)[1].approx_eq(C64::ONE, 0.0));
+    }
+
+    #[test]
+    fn ccx_only_flips_when_both_controls_set() {
+        let m = ccx();
+        for c in 0..8usize {
+            let mut v = vec![C64::ZERO; 8];
+            v[c] = C64::ONE;
+            let out = m.apply(&v);
+            let expect = if c >= 6 { c ^ 1 } else { c };
+            assert!(out[expect].approx_eq(C64::ONE, 0.0), "input {c}");
+        }
+    }
+
+    #[test]
+    fn ccz_is_target_independent() {
+        // CCZ = (I (x) I (x) H) CCX (I (x) I (x) H), and symmetric under any
+        // qubit permutation.
+        let h3 = Matrix::identity(4).kron(&h());
+        let built = h3.matmul(&ccx()).matmul(&h3);
+        assert!(built.approx_eq(&ccz(), 1e-12));
+    }
+
+    #[test]
+    fn itoffoli_decomposition_fig6d() {
+        // CCX = CS†(c1, c2) . iToffoli  (paper Fig. 6d, §5.1.1).
+        let csdg_on_controls = csdg().kron(&id2());
+        let built = csdg_on_controls.matmul(&itoffoli());
+        assert!(built.approx_eq(&ccx(), 1e-12));
+    }
+
+    #[test]
+    fn cswap_swaps_targets_iff_control() {
+        let m = cswap();
+        // |1 0 1> (index 5) -> |1 1 0> (index 6)
+        let mut v = vec![C64::ZERO; 8];
+        v[5] = C64::ONE;
+        assert!(m.apply(&v)[6].approx_eq(C64::ONE, 0.0));
+        // |0 0 1> (index 1) unchanged
+        let mut v = vec![C64::ZERO; 8];
+        v[1] = C64::ONE;
+        assert!(m.apply(&v)[1].approx_eq(C64::ONE, 0.0));
+    }
+
+    #[test]
+    fn controlled_builder_matches_cx_and_cz() {
+        assert!(controlled(&x()).approx_eq(&cx(), 0.0));
+        assert!(controlled(&z()).approx_eq(&cz(), 0.0));
+        assert!(controlled(&sdg()).approx_eq(&csdg(), 0.0));
+    }
+
+    #[test]
+    fn generalized_paulis() {
+        let x4 = shift_d(4);
+        let z4 = clock_d(4);
+        assert!(x4.is_unitary(1e-12));
+        assert!(z4.is_unitary(1e-12));
+        // X_d^d = I, Z_d^d = I
+        let mut xp = Matrix::identity(4);
+        let mut zp = Matrix::identity(4);
+        for _ in 0..4 {
+            xp = xp.matmul(&x4);
+            zp = zp.matmul(&z4);
+        }
+        assert!(xp.is_identity(1e-12));
+        assert!(zp.is_identity(1e-12));
+        // Weyl commutation: Z X = w X Z
+        let w = C64::cis(std::f64::consts::FRAC_PI_2);
+        let lhs = z4.matmul(&x4);
+        let rhs = x4.matmul(&z4).scale(w);
+        assert!(lhs.approx_eq(&rhs, 1e-12));
+    }
+
+    #[test]
+    fn swap_decomposes_into_three_cnots() {
+        let cx_ab = cx();
+        let cx_ba = {
+            // CX with control second, target first = SWAP . CX . SWAP
+            let sw = swap();
+            sw.matmul(&cx()).matmul(&sw)
+        };
+        let built = cx_ab.matmul(&cx_ba).matmul(&cx_ab);
+        assert!(built.approx_eq(&swap(), 1e-12));
+    }
+
+    #[test]
+    fn gate_fidelity_of_x_vs_rx_pi() {
+        // Process fidelity is phase-insensitive.
+        let f = gate_fidelity(&rx(std::f64::consts::PI), &x());
+        assert!((f - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,342 @@
+//! Double-precision complex scalar.
+
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A double-precision complex number.
+///
+/// The workspace's sanctioned dependencies include no complex-number crate,
+/// so this is a from-scratch implementation covering exactly the operations
+/// quantum simulation needs: field arithmetic, conjugation, modulus, polar
+/// form and the exponential.
+///
+/// # Example
+///
+/// ```
+/// use waltz_math::C64;
+///
+/// let i = C64::I;
+/// assert_eq!(i * i, -C64::ONE);
+/// assert!((C64::from_polar(1.0, std::f64::consts::PI) + C64::ONE).abs() < 1e-15);
+/// ```
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit `0 + 1i`.
+    pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from its real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        C64 { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        C64 { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar coordinates `r * e^{i theta}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        C64::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Returns `e^{i theta}`, a unit-modulus phase factor.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        C64::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        C64::new(self.re, -self.im)
+    }
+
+    /// Squared modulus `|z|^2`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Argument (phase angle) in `(-pi, pi]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        C64::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Principal square root.
+    pub fn sqrt(self) -> Self {
+        C64::from_polar(self.abs().sqrt(), self.arg() / 2.0)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `z` is exactly zero.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let n = self.norm_sqr();
+        debug_assert!(n != 0.0, "reciprocal of zero complex number");
+        C64::new(self.re / n, -self.im / n)
+    }
+
+    /// Returns `true` when both parts are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Returns `true` when `|self - other| <= tol`.
+    #[inline]
+    pub fn approx_eq(self, other: C64, tol: f64) -> bool {
+        (self - other).abs() <= tol
+    }
+}
+
+impl From<f64> for C64 {
+    fn from(re: f64) -> Self {
+        C64::real(re)
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, rhs: C64) -> C64 {
+        C64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, rhs: C64) -> C64 {
+        C64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        C64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for C64 {
+    type Output = C64;
+    #[inline]
+    fn div(self, rhs: C64) -> C64 {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    #[inline]
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: f64) -> C64 {
+        C64::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+impl Mul<C64> for f64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        rhs * self
+    }
+}
+
+impl Div<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn div(self, rhs: f64) -> C64 {
+        C64::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl AddAssign for C64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: C64) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for C64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: C64) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for C64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: C64) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for C64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: C64) {
+        *self = *self / rhs;
+    }
+}
+
+impl MulAssign<f64> for C64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: f64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Sum for C64 {
+    fn sum<I: Iterator<Item = C64>>(iter: I) -> C64 {
+        iter.fold(C64::ZERO, |a, b| a + b)
+    }
+}
+
+impl Product for C64 {
+    fn product<I: Iterator<Item = C64>>(iter: I) -> C64 {
+        iter.fold(C64::ONE, |a, b| a * b)
+    }
+}
+
+impl fmt::Debug for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.6}+{:.6}i", self.re, self.im)
+        } else {
+            write!(f, "{:.6}-{:.6}i", self.re, -self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn field_axioms_on_samples() {
+        let a = C64::new(1.5, -2.0);
+        let b = C64::new(-0.25, 3.0);
+        let c = C64::new(0.75, 0.5);
+        assert!(((a + b) + c).approx_eq(a + (b + c), TOL));
+        assert!(((a * b) * c).approx_eq(a * (b * c), TOL));
+        assert!((a * (b + c)).approx_eq(a * b + a * c, TOL));
+        assert!((a + -a).approx_eq(C64::ZERO, TOL));
+        assert!((a * a.recip()).approx_eq(C64::ONE, TOL));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert_eq!(C64::I * C64::I, -C64::ONE);
+    }
+
+    #[test]
+    fn conjugation_properties() {
+        let a = C64::new(2.0, -3.0);
+        let b = C64::new(-1.0, 0.5);
+        assert!((a * b).conj().approx_eq(a.conj() * b.conj(), TOL));
+        assert!((a.conj() * a).approx_eq(C64::real(a.norm_sqr()), TOL));
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = C64::new(-1.25, 0.75);
+        let w = C64::from_polar(z.abs(), z.arg());
+        assert!(z.approx_eq(w, TOL));
+    }
+
+    #[test]
+    fn exp_matches_euler() {
+        let theta = 0.7;
+        let z = C64::new(0.0, theta).exp();
+        assert!((z.re - theta.cos()).abs() < TOL);
+        assert!((z.im - theta.sin()).abs() < TOL);
+        // e^{a+bi} = e^a e^{bi}
+        let w = C64::new(0.3, -1.1).exp();
+        assert!((w.abs() - (0.3f64).exp()).abs() < TOL);
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        for &z in &[
+            C64::new(4.0, 0.0),
+            C64::new(0.0, 2.0),
+            C64::new(-1.0, 0.0),
+            C64::new(-3.0, 4.0),
+        ] {
+            let r = z.sqrt();
+            assert!((r * r).approx_eq(z, 1e-10), "sqrt failed for {z}");
+        }
+    }
+
+    #[test]
+    fn division_is_multiplication_by_reciprocal() {
+        let a = C64::new(3.0, -1.0);
+        let b = C64::new(0.5, 2.5);
+        assert!((a / b * b).approx_eq(a, TOL));
+    }
+
+    #[test]
+    fn sum_and_product_fold() {
+        let zs = [C64::ONE, C64::I, C64::new(2.0, 0.0)];
+        let s: C64 = zs.iter().copied().sum();
+        assert!(s.approx_eq(C64::new(3.0, 1.0), TOL));
+        let p: C64 = zs.iter().copied().product();
+        assert!(p.approx_eq(C64::new(0.0, 2.0), TOL));
+    }
+
+    #[test]
+    fn display_is_nonempty_and_signed() {
+        assert_eq!(format!("{}", C64::new(1.0, -1.0)), "1.000000-1.000000i");
+        assert!(!format!("{:?}", C64::ZERO).is_empty());
+    }
+}

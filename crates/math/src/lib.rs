@@ -1,0 +1,47 @@
+//! Complex dense linear algebra substrate for the Quantum Waltz reproduction.
+//!
+//! The sanctioned dependency set contains no linear-algebra or complex-number
+//! crates, so this crate implements everything the rest of the workspace
+//! needs from scratch:
+//!
+//! * [`C64`] — a `Copy` double-precision complex scalar with the full
+//!   arithmetic operator surface.
+//! * [`Matrix`] — a dense row-major complex matrix with Kronecker products,
+//!   adjoints and unitarity checks; the common currency for gate unitaries.
+//! * [`linalg`] — LU decomposition with partial pivoting (solve / inverse),
+//!   modified Gram–Schmidt QR and Haar-random unitary sampling.
+//! * [`expm`] — the scaling-and-squaring Padé-13 matrix exponential used by
+//!   the pulse-level simulator (`waltz-pulse`).
+//! * [`metrics`] — the gate-fidelity objective of the paper's Eq. (1) and
+//!   state-overlap fidelities used throughout the evaluation.
+//!
+//! # Example
+//!
+//! ```
+//! use waltz_math::{C64, Matrix};
+//!
+//! // exp(-i (pi/2) X) is -i X up to global phase: it maps |0> to -i|1>.
+//! let x = Matrix::from_rows(&[
+//!     vec![C64::ZERO, C64::ONE],
+//!     vec![C64::ONE, C64::ZERO],
+//! ]);
+//! let u = waltz_math::expm::expm(&x.scale(C64::new(0.0, -std::f64::consts::FRAC_PI_2)));
+//! assert!(u.is_unitary(1e-12));
+//! let ket0 = [C64::ONE, C64::ZERO];
+//! let out = u.apply(&ket0);
+//! assert!((out[1] - C64::new(0.0, -1.0)).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+
+mod complex;
+mod matrix;
+
+pub mod expm;
+pub mod linalg;
+pub mod metrics;
+pub mod vector;
+
+pub use complex::C64;
+pub use linalg::LinalgError;
+pub use matrix::Matrix;

@@ -1,0 +1,362 @@
+//! LU and QR decompositions, linear solves and Haar-random unitaries.
+
+use std::error::Error;
+use std::fmt;
+
+use rand::Rng;
+
+use crate::{C64, Matrix};
+
+/// Error produced by the linear-algebra routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// The matrix was numerically singular during factorization.
+    Singular,
+    /// The operation requires a square matrix.
+    NotSquare,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::Singular => write!(f, "matrix is numerically singular"),
+            LinalgError::NotSquare => write!(f, "operation requires a square matrix"),
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+/// LU decomposition with partial pivoting, `P A = L U`.
+///
+/// Stored compactly: `L` (unit diagonal) in the strict lower triangle of
+/// `lu`, `U` in the upper triangle. `perm[i]` records which source row was
+/// moved to row `i`.
+#[derive(Debug, Clone)]
+pub struct LuDecomposition {
+    lu: Matrix,
+    perm: Vec<usize>,
+}
+
+impl LuDecomposition {
+    /// Factorizes a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] for non-square input and
+    /// [`LinalgError::Singular`] when a pivot collapses below `1e-300`.
+    pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare);
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for col in 0..n {
+            // Partial pivot: largest modulus in this column at or below diag.
+            let mut pivot_row = col;
+            let mut pivot_abs = lu[(col, col)].abs();
+            for r in col + 1..n {
+                let a = lu[(r, col)].abs();
+                if a > pivot_abs {
+                    pivot_abs = a;
+                    pivot_row = r;
+                }
+            }
+            if pivot_abs < 1e-300 {
+                return Err(LinalgError::Singular);
+            }
+            lu.swap_rows(col, pivot_row);
+            perm.swap(col, pivot_row);
+            let pivot = lu[(col, col)];
+            for r in col + 1..n {
+                let factor = lu[(r, col)] / pivot;
+                lu[(r, col)] = factor;
+                for c in col + 1..n {
+                    let sub = factor * lu[(col, c)];
+                    lu[(r, c)] -= sub;
+                }
+            }
+        }
+        Ok(LuDecomposition { lu, perm })
+    }
+
+    /// Solves `A x = b` for a single right-hand side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the matrix dimension.
+    pub fn solve_vec(&self, b: &[C64]) -> Vec<C64> {
+        let n = self.lu.rows();
+        assert_eq!(b.len(), n, "solve dimension mismatch");
+        // Forward substitution with permutation.
+        let mut y = vec![C64::ZERO; n];
+        for i in 0..n {
+            let mut acc = b[self.perm[i]];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * y[j];
+            }
+            y[i] = acc;
+        }
+        // Back substitution.
+        let mut x = vec![C64::ZERO; n];
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in i + 1..n {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        x
+    }
+
+    /// Solves `A X = B` column by column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `B` has a different row count than `A`.
+    pub fn solve(&self, b: &Matrix) -> Matrix {
+        let n = self.lu.rows();
+        assert_eq!(b.rows(), n, "solve dimension mismatch");
+        let mut out = Matrix::zeros(n, b.cols());
+        for c in 0..b.cols() {
+            let col: Vec<C64> = (0..n).map(|r| b[(r, c)]).collect();
+            let x = self.solve_vec(&col);
+            for r in 0..n {
+                out[(r, c)] = x[r];
+            }
+        }
+        out
+    }
+}
+
+/// Inverts a square matrix via LU decomposition.
+///
+/// # Errors
+///
+/// Returns an error when the matrix is singular or non-square.
+///
+/// # Example
+///
+/// ```
+/// use waltz_math::{linalg, C64, Matrix};
+/// # fn main() -> Result<(), waltz_math::LinalgError> {
+/// let m = Matrix::from_diag(&[C64::new(2.0, 0.0), C64::I]);
+/// let inv = linalg::inverse(&m)?;
+/// assert!(m.matmul(&inv).is_identity(1e-12));
+/// # Ok(())
+/// # }
+/// ```
+pub fn inverse(a: &Matrix) -> Result<Matrix, LinalgError> {
+    let lu = LuDecomposition::new(a)?;
+    Ok(lu.solve(&Matrix::identity(a.rows())))
+}
+
+/// Solves the linear system `A X = B`.
+///
+/// # Errors
+///
+/// Returns an error when `A` is singular or non-square.
+pub fn solve(a: &Matrix, b: &Matrix) -> Result<Matrix, LinalgError> {
+    Ok(LuDecomposition::new(a)?.solve(b))
+}
+
+/// QR decomposition by modified Gram–Schmidt: `A = Q R` with `Q` having
+/// orthonormal columns and `R` upper triangular.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Singular`] when the columns are linearly
+/// dependent (a zero column norm appears during orthogonalization).
+pub fn qr(a: &Matrix) -> Result<(Matrix, Matrix), LinalgError> {
+    let m = a.rows();
+    let n = a.cols();
+    let mut q = a.clone();
+    let mut r = Matrix::zeros(n, n);
+    for j in 0..n {
+        for i in 0..j {
+            // r_ij = <q_i, a_j>
+            let mut dot = C64::ZERO;
+            for k in 0..m {
+                dot += q[(k, i)].conj() * q[(k, j)];
+            }
+            r[(i, j)] = dot;
+            for k in 0..m {
+                let sub = dot * q[(k, i)];
+                q[(k, j)] -= sub;
+            }
+        }
+        let mut nrm = 0.0;
+        for k in 0..m {
+            nrm += q[(k, j)].norm_sqr();
+        }
+        let nrm = nrm.sqrt();
+        if nrm < 1e-300 {
+            return Err(LinalgError::Singular);
+        }
+        r[(j, j)] = C64::real(nrm);
+        for k in 0..m {
+            q[(k, j)] = q[(k, j)] / nrm;
+        }
+    }
+    Ok((q, r))
+}
+
+/// Samples an `n x n` unitary from the Haar measure.
+///
+/// Uses the Ginibre-ensemble + QR construction with the standard phase fix
+/// (divide each `Q` column by the phase of the corresponding `R` diagonal)
+/// so the distribution is exactly Haar rather than merely unitary.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let u = waltz_math::linalg::haar_unitary(4, &mut rng);
+/// assert!(u.is_unitary(1e-10));
+/// ```
+pub fn haar_unitary<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Matrix {
+    let g = Matrix::from_fn(n, n, |_, _| C64::new(gauss(rng), gauss(rng)));
+    let (mut q, r) = qr(&g).expect("Ginibre matrix is almost surely full rank");
+    for j in 0..n {
+        let d = r[(j, j)];
+        let phase = if d.abs() > 0.0 { d / d.abs() } else { C64::ONE };
+        for i in 0..n {
+            q[(i, j)] = q[(i, j)] / phase;
+        }
+    }
+    q
+}
+
+/// Samples a Haar-random pure state of dimension `n`.
+pub fn haar_state<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<C64> {
+    let mut v: Vec<C64> = (0..n).map(|_| C64::new(gauss(rng), gauss(rng))).collect();
+    crate::vector::normalize(&mut v);
+    v
+}
+
+/// Standard normal sample via Box–Muller (avoids a distributions dependency).
+fn gauss<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+
+    fn random_matrix(n: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Matrix::from_fn(n, n, |_, _| C64::new(gauss(&mut rng), gauss(&mut rng)))
+    }
+
+    #[test]
+    fn lu_solve_recovers_known_solution() {
+        let a = Matrix::from_rows(&[
+            vec![C64::real(2.0), C64::real(1.0)],
+            vec![C64::real(1.0), C64::real(3.0)],
+        ]);
+        // x = (1, -1) => b = (1, -2)
+        let b = [C64::real(1.0), C64::real(-2.0)];
+        let lu = LuDecomposition::new(&a).unwrap();
+        let x = lu.solve_vec(&b);
+        assert!(x[0].approx_eq(C64::real(1.0), 1e-12));
+        assert!(x[1].approx_eq(C64::real(-1.0), 1e-12));
+    }
+
+    #[test]
+    fn inverse_of_random_matrices() {
+        for seed in 0..5 {
+            let a = random_matrix(6, seed);
+            let inv = inverse(&a).unwrap();
+            assert!(
+                a.matmul(&inv).is_identity(1e-9),
+                "A * A^-1 != I for seed {seed}"
+            );
+            assert!(inv.matmul(&a).is_identity(1e-9));
+        }
+    }
+
+    #[test]
+    fn singular_matrix_is_rejected() {
+        let a = Matrix::from_rows(&[
+            vec![C64::ONE, C64::ONE],
+            vec![C64::ONE, C64::ONE],
+        ]);
+        assert_eq!(LuDecomposition::new(&a).unwrap_err(), LinalgError::Singular);
+    }
+
+    #[test]
+    fn non_square_is_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert_eq!(inverse(&a).unwrap_err(), LinalgError::NotSquare);
+    }
+
+    #[test]
+    fn qr_reconstructs_input() {
+        let a = random_matrix(5, 42);
+        let (q, r) = qr(&a).unwrap();
+        assert!(q.matmul(&r).approx_eq(&a, 1e-10));
+        assert!(q.dagger().matmul(&q).is_identity(1e-10));
+        // R is upper triangular.
+        for i in 1..5 {
+            for j in 0..i {
+                assert!(r[(i, j)].abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn haar_unitary_is_unitary_across_dims() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [2usize, 3, 4, 8, 16] {
+            let u = haar_unitary(n, &mut rng);
+            assert!(u.is_unitary(1e-9), "dim {n}");
+        }
+    }
+
+    #[test]
+    fn haar_unitary_mean_entry_is_near_zero() {
+        // Haar columns have mean zero; a gross phase-fix bug would bias them.
+        let mut rng = StdRng::seed_from_u64(2);
+        let samples = 200;
+        let mut acc = C64::ZERO;
+        for _ in 0..samples {
+            let u = haar_unitary(2, &mut rng);
+            acc += u[(0, 0)];
+        }
+        assert!(acc.abs() / samples as f64 * (samples as f64).sqrt() < 3.0);
+    }
+
+    #[test]
+    fn haar_state_is_normalized() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let v = haar_state(16, &mut rng);
+        assert!((crate::vector::norm(&v) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_matrix_right_hand_side() {
+        let a = random_matrix(4, 9);
+        let b = random_matrix(4, 10);
+        let x = solve(&a, &b).unwrap();
+        assert!(a.matmul(&x).approx_eq(&b, 1e-9));
+    }
+
+    #[test]
+    fn error_display_is_meaningful() {
+        assert_eq!(
+            LinalgError::Singular.to_string(),
+            "matrix is numerically singular"
+        );
+    }
+}

@@ -1,0 +1,530 @@
+//! Dense row-major complex matrices.
+
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+use crate::C64;
+
+/// A dense, row-major complex matrix.
+///
+/// This is the common currency for gate unitaries throughout the workspace.
+/// Dimensions are fixed at construction; all binary operations panic on
+/// dimension mismatch (quantum gate algebra has no meaningful broadcasting).
+///
+/// # Example
+///
+/// ```
+/// use waltz_math::{C64, Matrix};
+///
+/// let x = Matrix::from_rows(&[
+///     vec![C64::ZERO, C64::ONE],
+///     vec![C64::ONE, C64::ZERO],
+/// ]);
+/// let xx = x.kron(&x);
+/// assert_eq!(xx.rows(), 4);
+/// assert!(xx.is_unitary(1e-12));
+/// assert!((&x * &x).is_identity(1e-12));
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<C64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![C64::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = C64::ONE;
+        }
+        m
+    }
+
+    /// Builds a matrix from rows of equal length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or the rows have differing lengths.
+    pub fn from_rows(rows: &[Vec<C64>]) -> Self {
+        assert!(!rows.is_empty(), "matrix must have at least one row");
+        let cols = rows[0].len();
+        assert!(
+            rows.iter().all(|r| r.len() == cols),
+            "all rows must have equal length"
+        );
+        let data = rows.iter().flat_map(|r| r.iter().copied()).collect();
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Builds a `rows x cols` matrix by evaluating `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> C64) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m[(r, c)] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Builds a square diagonal matrix from its diagonal entries.
+    pub fn from_diag(diag: &[C64]) -> Self {
+        let mut m = Matrix::zeros(diag.len(), diag.len());
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Builds the permutation matrix sending basis state `j` to `perm[j]`,
+    /// i.e. `M |j> = |perm[j]>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..perm.len()`.
+    pub fn permutation(perm: &[usize]) -> Self {
+        let n = perm.len();
+        let mut seen = vec![false; n];
+        for &p in perm {
+            assert!(p < n && !seen[p], "permutation must be a bijection");
+            seen[p] = true;
+        }
+        let mut m = Matrix::zeros(n, n);
+        for (j, &p) in perm.iter().enumerate() {
+            m[(p, j)] = C64::ONE;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `true` for a square matrix.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Raw row-major data slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[C64] {
+        &self.data
+    }
+
+    /// Mutable raw row-major data slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [C64] {
+        &mut self.data
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul dimension mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == C64::ZERO {
+                    continue;
+                }
+                let row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let dst = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (d, &b) in dst.iter_mut().zip(row.iter()) {
+                    *d += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Applies the matrix to a state vector, returning `self * v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn apply(&self, v: &[C64]) -> Vec<C64> {
+        assert_eq!(v.len(), self.cols, "apply dimension mismatch");
+        let mut out = vec![C64::ZERO; self.rows];
+        for (i, o) in out.iter_mut().enumerate() {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let mut acc = C64::ZERO;
+            for (&a, &x) in row.iter().zip(v.iter()) {
+                acc += a * x;
+            }
+            *o = acc;
+        }
+        out
+    }
+
+    /// Conjugate transpose (adjoint, dagger).
+    pub fn dagger(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self[(c, r)].conj())
+    }
+
+    /// Transpose without conjugation.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+    }
+
+    /// Entry-wise complex conjugate.
+    pub fn conj(&self) -> Matrix {
+        Matrix::from_fn(self.rows, self.cols, |r, c| self[(r, c)].conj())
+    }
+
+    /// Scales every entry by `z`.
+    pub fn scale(&self, z: C64) -> Matrix {
+        let mut out = self.clone();
+        for e in &mut out.data {
+            *e = *e * z;
+        }
+        out
+    }
+
+    /// Trace of a square matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn trace(&self) -> C64 {
+        assert!(self.is_square(), "trace of non-square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Kronecker (tensor) product `self (x) rhs`.
+    ///
+    /// The result acts on the composite space with `self` as the most
+    /// significant factor, matching the workspace's row-major state-index
+    /// convention (first operand = most significant digit).
+    pub fn kron(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows * rhs.rows, self.cols * rhs.cols);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let a = self[(i, j)];
+                if a == C64::ZERO {
+                    continue;
+                }
+                for k in 0..rhs.rows {
+                    for l in 0..rhs.cols {
+                        out[(i * rhs.rows + k, j * rhs.cols + l)] = a * rhs[(k, l)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Maximum absolute entry-wise difference to `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Returns `true` when all entries are within `tol` of `other`.
+    pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
+        self.rows == other.rows && self.cols == other.cols && self.max_abs_diff(other) <= tol
+    }
+
+    /// Returns `true` when `self` equals `other` up to a single global phase.
+    pub fn approx_eq_up_to_phase(&self, other: &Matrix, tol: f64) -> bool {
+        if self.rows != other.rows || self.cols != other.cols {
+            return false;
+        }
+        // Find the largest entry of `other` to anchor the phase.
+        let mut best = 0usize;
+        let mut best_abs = 0.0;
+        for (i, e) in other.data.iter().enumerate() {
+            if e.abs() > best_abs {
+                best_abs = e.abs();
+                best = i;
+            }
+        }
+        if best_abs < tol {
+            return self.data.iter().all(|e| e.abs() <= tol);
+        }
+        if self.data[best].abs() < tol {
+            return false;
+        }
+        let phase = self.data[best] / other.data[best];
+        let phase = phase / phase.abs();
+        self.approx_eq(&other.scale(phase), tol)
+    }
+
+    /// Induced 1-norm (maximum absolute column sum).
+    pub fn norm_one(&self) -> f64 {
+        (0..self.cols)
+            .map(|c| (0..self.rows).map(|r| self[(r, c)].abs()).sum::<f64>())
+            .fold(0.0, f64::max)
+    }
+
+    /// Frobenius norm.
+    pub fn norm_frobenius(&self) -> f64 {
+        self.data.iter().map(|e| e.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Returns `true` when `self * self^dagger` is the identity within `tol`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        self.is_square() && self.matmul(&self.dagger()).is_identity(tol)
+    }
+
+    /// Returns `true` when the matrix is the identity within `tol`.
+    pub fn is_identity(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let want = if r == c { C64::ONE } else { C64::ZERO };
+                if !self[(r, c)].approx_eq(want, tol) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Returns `true` when `self` is Hermitian within `tol`.
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        self.is_square() && self.approx_eq(&self.dagger(), tol)
+    }
+
+    /// Swaps two rows in place.
+    pub(crate) fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for c in 0..self.cols {
+            self.data.swap(a * self.cols + c, b * self.cols + c);
+        }
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = C64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &C64 {
+        debug_assert!(r < self.rows && c < self.cols, "matrix index out of range");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut C64 {
+        debug_assert!(r < self.rows && c < self.cols, "matrix index out of range");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows);
+        assert_eq!(self.cols, rhs.cols);
+        let mut out = self.clone();
+        for (a, b) in out.data.iter_mut().zip(rhs.data.iter()) {
+            *a += *b;
+        }
+        out
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows);
+        assert_eq!(self.cols, rhs.cols);
+        let mut out = self.clone();
+        for (a, b) in out.data.iter_mut().zip(rhs.data.iter()) {
+            *a -= *b;
+        }
+        out
+    }
+}
+
+impl Mul for &Matrix {
+    type Output = Matrix;
+    fn mul(self, rhs: &Matrix) -> Matrix {
+        self.matmul(rhs)
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            write!(f, "  ")?;
+            for c in 0..self.cols {
+                write!(f, "{} ", self[(r, c)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pauli_x() -> Matrix {
+        Matrix::from_rows(&[vec![C64::ZERO, C64::ONE], vec![C64::ONE, C64::ZERO]])
+    }
+
+    fn pauli_z() -> Matrix {
+        Matrix::from_diag(&[C64::ONE, -C64::ONE])
+    }
+
+    #[test]
+    fn identity_is_multiplicative_unit() {
+        let x = pauli_x();
+        let id = Matrix::identity(2);
+        assert!(x.matmul(&id).approx_eq(&x, 0.0));
+        assert!(id.matmul(&x).approx_eq(&x, 0.0));
+    }
+
+    #[test]
+    fn pauli_algebra() {
+        let x = pauli_x();
+        let z = pauli_z();
+        // XZ = -ZX
+        let xz = x.matmul(&z);
+        let zx = z.matmul(&x).scale(-C64::ONE);
+        assert!(xz.approx_eq(&zx, 1e-15));
+        // X^2 = I
+        assert!(x.matmul(&x).is_identity(1e-15));
+    }
+
+    #[test]
+    fn kron_of_paulis_has_expected_entries() {
+        let x = pauli_x();
+        let z = pauli_z();
+        let xz = x.kron(&z);
+        assert_eq!(xz.rows(), 4);
+        // (X (x) Z)|00> = |10>  (qudit 0 is MSB)
+        let v = xz.apply(&[C64::ONE, C64::ZERO, C64::ZERO, C64::ZERO]);
+        assert!(v[2].approx_eq(C64::ONE, 1e-15));
+        // (X (x) Z)|01> = -|11>
+        let v = xz.apply(&[C64::ZERO, C64::ONE, C64::ZERO, C64::ZERO]);
+        assert!(v[3].approx_eq(-C64::ONE, 1e-15));
+    }
+
+    #[test]
+    fn kron_mixed_dimensions() {
+        let a = Matrix::identity(2);
+        let b = Matrix::identity(4);
+        let ab = a.kron(&b);
+        assert_eq!(ab.rows(), 8);
+        assert!(ab.is_identity(0.0));
+    }
+
+    #[test]
+    fn dagger_reverses_products() {
+        let x = pauli_x();
+        let z = pauli_z();
+        let lhs = x.matmul(&z).dagger();
+        let rhs = z.dagger().matmul(&x.dagger());
+        assert!(lhs.approx_eq(&rhs, 1e-15));
+    }
+
+    #[test]
+    fn permutation_matrix_moves_basis_states() {
+        // Cyclic shift |j> -> |j+1 mod 3|
+        let p = Matrix::permutation(&[1, 2, 0]);
+        let v = p.apply(&[C64::ONE, C64::ZERO, C64::ZERO]);
+        assert!(v[1].approx_eq(C64::ONE, 0.0));
+        assert!(p.is_unitary(1e-15));
+    }
+
+    #[test]
+    #[should_panic(expected = "bijection")]
+    fn permutation_rejects_non_bijection() {
+        let _ = Matrix::permutation(&[0, 0, 1]);
+    }
+
+    #[test]
+    fn trace_and_norms() {
+        let z = pauli_z();
+        assert!(z.trace().approx_eq(C64::ZERO, 0.0));
+        assert!((z.norm_frobenius() - 2.0f64.sqrt()).abs() < 1e-15);
+        assert!((z.norm_one() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn unitarity_checks() {
+        assert!(pauli_x().is_unitary(1e-15));
+        let not_unitary = Matrix::from_diag(&[C64::ONE, C64::new(2.0, 0.0)]);
+        assert!(!not_unitary.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn phase_insensitive_equality() {
+        let x = pauli_x();
+        let ix = x.scale(C64::I);
+        assert!(ix.approx_eq_up_to_phase(&x, 1e-15));
+        assert!(!ix.approx_eq(&x, 1e-15));
+        assert!(!pauli_z().approx_eq_up_to_phase(&x, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matmul_rejects_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn hermitian_check() {
+        assert!(pauli_x().is_hermitian(0.0));
+        let y = Matrix::from_rows(&[vec![C64::ZERO, -C64::I], vec![C64::I, C64::ZERO]]);
+        assert!(y.is_hermitian(0.0));
+        let s = Matrix::from_diag(&[C64::ONE, C64::I]);
+        assert!(!s.is_hermitian(1e-12));
+    }
+
+    #[test]
+    fn debug_output_is_nonempty() {
+        assert!(!format!("{:?}", Matrix::identity(2)).is_empty());
+    }
+}

@@ -1,0 +1,154 @@
+//! Gate- and state-fidelity metrics used throughout the evaluation.
+
+use crate::{C64, Matrix};
+
+/// Gate fidelity of the paper's Eq. (1):
+/// `F = |Tr(U_T^dagger V)|^2 / h^2`
+/// where `h` is the dimension of the logical subspace.
+///
+/// When `U` and `V` act directly on the logical subspace, `h` is simply
+/// their dimension. The pulse optimizer evaluates this on the logical block
+/// of a larger simulation space (guard levels excluded).
+///
+/// # Panics
+///
+/// Panics if the matrices have mismatched dimensions.
+///
+/// # Example
+///
+/// ```
+/// use waltz_math::{metrics, Matrix, C64};
+/// let id = Matrix::identity(4);
+/// assert!((metrics::gate_fidelity(&id, &id) - 1.0).abs() < 1e-15);
+/// // A global phase does not change the fidelity.
+/// let phased = id.scale(C64::cis(0.7));
+/// assert!((metrics::gate_fidelity(&phased, &id) - 1.0).abs() < 1e-12);
+/// ```
+pub fn gate_fidelity(u: &Matrix, v: &Matrix) -> f64 {
+    assert_eq!(u.rows(), v.rows(), "gate fidelity dimension mismatch");
+    assert_eq!(u.cols(), v.cols(), "gate fidelity dimension mismatch");
+    let h = u.rows() as f64;
+    let tr = u.dagger().matmul(v).trace();
+    tr.norm_sqr() / (h * h)
+}
+
+/// Gate fidelity evaluated on a logical sub-block of a larger space.
+///
+/// `logical` lists the basis indices of the full space that span the logical
+/// subspace (e.g. `[0, 1]` for a qubit embedded in a 4-level transmon).
+/// Leakage out of the subspace lowers the fidelity because the projected
+/// block of a leaky `U` is not unitary.
+///
+/// # Panics
+///
+/// Panics if the matrices mismatch or an index is out of range.
+pub fn subspace_gate_fidelity(u_full: &Matrix, v_logical: &Matrix, logical: &[usize]) -> f64 {
+    assert_eq!(u_full.rows(), u_full.cols());
+    assert_eq!(v_logical.rows(), logical.len());
+    let h = logical.len() as f64;
+    // Tr(P U^dagger P V) restricted to the logical block.
+    let mut tr = C64::ZERO;
+    for (i, &gi) in logical.iter().enumerate() {
+        for (j, &gj) in logical.iter().enumerate() {
+            tr += u_full[(gj, gi)].conj() * v_logical[(j, i)];
+        }
+    }
+    tr.norm_sqr() / (h * h)
+}
+
+/// Average-gate-fidelity of a `d`-dimensional depolarizing channel with
+/// decay parameter `alpha`, as extracted by randomized benchmarking:
+/// `F = 1 - (1 - alpha) (d - 1) / d`.
+pub fn fidelity_from_rb_decay(alpha: f64, d: usize) -> f64 {
+    let d = d as f64;
+    1.0 - (1.0 - alpha) * (d - 1.0) / d
+}
+
+/// Inverse of [`fidelity_from_rb_decay`]: decay parameter from fidelity.
+pub fn rb_decay_from_fidelity(fidelity: f64, d: usize) -> f64 {
+    let d = d as f64;
+    1.0 - (1.0 - fidelity) * d / (d - 1.0)
+}
+
+/// Converts a process (entanglement) fidelity `F_pro = |Tr(U^dag V)|^2/d^2`
+/// to the average gate fidelity `F_avg = (d F_pro + 1) / (d + 1)`.
+pub fn average_fidelity_from_process(process: f64, d: usize) -> f64 {
+    let d = d as f64;
+    (d * process + 1.0) / (d + 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orthogonal_gates_have_zero_fidelity() {
+        let x = Matrix::from_rows(&[vec![C64::ZERO, C64::ONE], vec![C64::ONE, C64::ZERO]]);
+        let z = Matrix::from_diag(&[C64::ONE, -C64::ONE]);
+        assert!(gate_fidelity(&x, &z) < 1e-15);
+    }
+
+    #[test]
+    fn fidelity_is_symmetric() {
+        let s = Matrix::from_diag(&[C64::ONE, C64::I]);
+        let t = Matrix::from_diag(&[C64::ONE, C64::cis(std::f64::consts::FRAC_PI_4)]);
+        let a = gate_fidelity(&s, &t);
+        let b = gate_fidelity(&t, &s);
+        assert!((a - b).abs() < 1e-15);
+        assert!(a > 0.5 && a < 1.0);
+    }
+
+    #[test]
+    fn subspace_fidelity_ignores_guard_levels() {
+        // A 3-level unitary that acts as X on the {0,1} block and arbitrarily
+        // on level 2 has perfect qubit-subspace fidelity with X.
+        let mut u = Matrix::zeros(3, 3);
+        u[(0, 1)] = C64::ONE;
+        u[(1, 0)] = C64::ONE;
+        u[(2, 2)] = C64::cis(1.1);
+        let x = Matrix::from_rows(&[vec![C64::ZERO, C64::ONE], vec![C64::ONE, C64::ZERO]]);
+        assert!((subspace_gate_fidelity(&u, &x, &[0, 1]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subspace_fidelity_penalizes_leakage() {
+        // Identity that leaks half the |1> population to |2>.
+        let c = C64::real(std::f64::consts::FRAC_1_SQRT_2);
+        let mut u = Matrix::zeros(3, 3);
+        u[(0, 0)] = C64::ONE;
+        u[(1, 1)] = c;
+        u[(2, 1)] = c;
+        u[(1, 2)] = -c;
+        u[(2, 2)] = c;
+        assert!(u.is_unitary(1e-12));
+        let id = Matrix::identity(2);
+        let f = subspace_gate_fidelity(&u, &id, &[0, 1]);
+        assert!(f < 0.8, "leakage should cost fidelity, got {f}");
+    }
+
+    #[test]
+    fn rb_decay_round_trip() {
+        for d in [2usize, 4] {
+            for f in [0.9, 0.958, 0.99, 0.999] {
+                let alpha = rb_decay_from_fidelity(f, d);
+                let back = fidelity_from_rb_decay(alpha, d);
+                assert!((back - f).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_rb_numbers_are_consistent() {
+        // F_RB ~ 95.8% on d=4 corresponds to alpha ~ 0.944.
+        let alpha = rb_decay_from_fidelity(0.958, 4);
+        assert!((alpha - 0.944).abs() < 1e-3);
+    }
+
+    #[test]
+    fn average_fidelity_conversion_identity_channel() {
+        assert!((average_fidelity_from_process(1.0, 4) - 1.0).abs() < 1e-15);
+        // Fully depolarized process fidelity 1/d^2 -> average fidelity 1/d... sanity bound.
+        let f = average_fidelity_from_process(1.0 / 16.0, 4);
+        assert!(f > 0.0 && f < 0.5);
+    }
+}

@@ -1,0 +1,107 @@
+//! State-vector helpers shared across the workspace.
+
+use crate::C64;
+
+/// Hermitian inner product `<a|b> = sum_i conj(a_i) * b_i`.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+///
+/// # Example
+///
+/// ```
+/// use waltz_math::{vector, C64};
+/// let a = [C64::ONE, C64::ZERO];
+/// let b = [C64::ZERO, C64::ONE];
+/// assert_eq!(vector::inner(&a, &b), C64::ZERO);
+/// ```
+pub fn inner(a: &[C64], b: &[C64]) -> C64 {
+    assert_eq!(a.len(), b.len(), "inner product length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x.conj() * *y).sum()
+}
+
+/// Euclidean norm of a state vector.
+pub fn norm(v: &[C64]) -> f64 {
+    v.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+}
+
+/// Normalizes `v` in place and returns the pre-normalization norm.
+///
+/// Leaves `v` untouched (and returns 0) when its norm is zero.
+pub fn normalize(v: &mut [C64]) -> f64 {
+    let n = norm(v);
+    if n > 0.0 {
+        let inv = 1.0 / n;
+        for z in v.iter_mut() {
+            *z = *z * inv;
+        }
+    }
+    n
+}
+
+/// State fidelity `|<a|b>|^2` between two pure states.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn state_fidelity(a: &[C64], b: &[C64]) -> f64 {
+    inner(a, b).norm_sqr()
+}
+
+/// Returns the computational-basis probability distribution of `v`.
+pub fn probabilities(v: &[C64]) -> Vec<f64> {
+    v.iter().map(|z| z.norm_sqr()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inner_is_conjugate_linear_in_first_argument() {
+        let a = [C64::new(0.0, 1.0), C64::new(1.0, 0.0)];
+        let b = [C64::new(1.0, 0.0), C64::new(0.0, 1.0)];
+        let lhs = inner(&a, &b);
+        // <ia|b> = -i <a|b>
+        let ia: Vec<C64> = a.iter().map(|z| *z * C64::I).collect();
+        let rhs = inner(&ia, &b);
+        assert!(rhs.approx_eq(lhs * (-C64::I), 1e-15));
+    }
+
+    #[test]
+    fn normalize_produces_unit_norm() {
+        let mut v = vec![C64::new(3.0, 0.0), C64::new(0.0, 4.0)];
+        let n = normalize(&mut v);
+        assert!((n - 5.0).abs() < 1e-15);
+        assert!((norm(&v) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn normalize_zero_vector_is_noop() {
+        let mut v = vec![C64::ZERO; 4];
+        assert_eq!(normalize(&mut v), 0.0);
+        assert!(v.iter().all(|z| *z == C64::ZERO));
+    }
+
+    #[test]
+    fn fidelity_bounds() {
+        let a = [C64::ONE, C64::ZERO];
+        assert!((state_fidelity(&a, &a) - 1.0).abs() < 1e-15);
+        let b = [C64::ZERO, C64::ONE];
+        assert_eq!(state_fidelity(&a, &b), 0.0);
+        let h = [
+            C64::real(std::f64::consts::FRAC_1_SQRT_2),
+            C64::real(std::f64::consts::FRAC_1_SQRT_2),
+        ];
+        assert!((state_fidelity(&a, &h) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one_for_unit_states() {
+        let mut v = vec![C64::new(1.0, 2.0), C64::new(-0.5, 0.25), C64::I];
+        normalize(&mut v);
+        let p: f64 = probabilities(&v).iter().sum();
+        assert!((p - 1.0).abs() < 1e-14);
+    }
+}

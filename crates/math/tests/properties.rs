@@ -1,0 +1,124 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand::rngs::StdRng;
+
+use waltz_math::{C64, Matrix, expm, linalg, metrics, vector};
+
+fn random_unitary(n: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    linalg::haar_unitary(n, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn complex_field_properties(
+        (ar, ai, br, bi, cr, ci) in (-10.0f64..10.0, -10.0f64..10.0, -10.0f64..10.0,
+                                     -10.0f64..10.0, -10.0f64..10.0, -10.0f64..10.0)
+    ) {
+        let a = C64::new(ar, ai);
+        let b = C64::new(br, bi);
+        let c = C64::new(cr, ci);
+        prop_assert!(((a + b) * c).approx_eq(a * c + b * c, 1e-9));
+        prop_assert!((a * b).approx_eq(b * a, 1e-12));
+        prop_assert!((a * b).conj().approx_eq(a.conj() * b.conj(), 1e-9));
+        prop_assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn haar_unitaries_compose_and_invert(seed in 0u64..500, n in 2usize..6) {
+        let u = random_unitary(n, seed);
+        let v = random_unitary(n, seed.wrapping_add(1));
+        let uv = u.matmul(&v);
+        prop_assert!(uv.is_unitary(1e-8));
+        prop_assert!(uv.dagger().approx_eq(&v.dagger().matmul(&u.dagger()), 1e-9));
+        let inv = linalg::inverse(&uv).unwrap();
+        prop_assert!(inv.approx_eq(&uv.dagger(), 1e-7));
+    }
+
+    #[test]
+    fn kron_mixed_product_property(seed in 0u64..200) {
+        // (A (x) B)(C (x) D) = AC (x) BD
+        let a = random_unitary(2, seed);
+        let b = random_unitary(3, seed + 1);
+        let c = random_unitary(2, seed + 2);
+        let d = random_unitary(3, seed + 3);
+        let lhs = a.kron(&b).matmul(&c.kron(&d));
+        let rhs = a.matmul(&c).kron(&b.matmul(&d));
+        prop_assert!(lhs.approx_eq(&rhs, 1e-9));
+    }
+
+    #[test]
+    fn expm_of_skew_hermitian_is_unitary_and_invertible(seed in 0u64..200, t in 0.01f64..5.0) {
+        // H = U D U† Hermitian; exp(-iHt) exp(+iHt) = I.
+        let u = random_unitary(4, seed);
+        let d = Matrix::from_diag(&[
+            C64::real(0.3), C64::real(-1.1), C64::real(2.0), C64::real(0.7),
+        ]);
+        let h = u.matmul(&d).matmul(&u.dagger());
+        let fwd = expm::expm(&h.scale(C64::new(0.0, -t)));
+        let bwd = expm::expm(&h.scale(C64::new(0.0, t)));
+        prop_assert!(fwd.is_unitary(1e-8));
+        prop_assert!(fwd.matmul(&bwd).is_identity(1e-8));
+    }
+
+    #[test]
+    fn lu_solves_random_systems(seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_unitary(5, seed).scale(C64::real(2.0));
+        let x: Vec<C64> = linalg::haar_state(5, &mut rng);
+        let b = a.apply(&x);
+        let solved = linalg::LuDecomposition::new(&a).unwrap().solve_vec(&b);
+        for (got, want) in solved.iter().zip(x.iter()) {
+            prop_assert!(got.approx_eq(*want, 1e-8));
+        }
+    }
+
+    #[test]
+    fn gate_fidelity_is_unitarily_invariant(seed in 0u64..200) {
+        // F(WU, WV) = F(U, V) for unitary W.
+        let u = random_unitary(4, seed);
+        let v = random_unitary(4, seed + 7);
+        let w = random_unitary(4, seed + 13);
+        let f1 = metrics::gate_fidelity(&u, &v);
+        let f2 = metrics::gate_fidelity(&w.matmul(&u), &w.matmul(&v));
+        prop_assert!((f1 - f2).abs() < 1e-9);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&f1));
+    }
+
+    #[test]
+    fn unitaries_preserve_norm_and_inner_products(seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let u = random_unitary(6, seed);
+        let a = linalg::haar_state(6, &mut rng);
+        let b = linalg::haar_state(6, &mut rng);
+        let ua = u.apply(&a);
+        let ub = u.apply(&b);
+        prop_assert!((vector::norm(&ua) - 1.0).abs() < 1e-9);
+        prop_assert!(vector::inner(&ua, &ub).approx_eq(vector::inner(&a, &b), 1e-9));
+    }
+
+    #[test]
+    fn permutations_compose_like_functions(perm in proptest::sample::subsequence(vec![0usize,1,2,3,4], 5)) {
+        // Only full permutations: skip shorter subsequences.
+        if perm.len() == 5 {
+            let m = Matrix::permutation(&perm);
+            prop_assert!(m.is_unitary(1e-12));
+            // M^k eventually returns to identity (order divides 5! but we
+            // just check a bounded power).
+            let mut acc = Matrix::identity(5);
+            let mut returned = false;
+            for _ in 0..121 {
+                acc = acc.matmul(&m);
+                if acc.is_identity(1e-9) {
+                    returned = true;
+                    break;
+                }
+            }
+            prop_assert!(returned);
+        }
+    }
+}

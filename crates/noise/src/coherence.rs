@@ -1,0 +1,142 @@
+//! T1 coherence parameters (§6.2, §6.3).
+//!
+//! The paper uses T1 = 163.45 µs from an IBM device; level `k` decays at
+//! rate `k / T1` ("each state decays at a rate of o(1/k)"), giving
+//! effective T1 values of 81.73 µs for `|2>` and ≈54.5 µs for `|3>`.
+
+/// Coherence model: base T1 and the Fig. 9c sensitivity knob.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoherenceModel {
+    t1_ns: f64,
+    high_level_rate_scale: f64,
+}
+
+impl CoherenceModel {
+    /// The paper's parameters: T1 = 163.45 µs, theoretical `1/k` scaling.
+    pub fn paper() -> Self {
+        CoherenceModel {
+            t1_ns: 163_450.0,
+            high_level_rate_scale: 1.0,
+        }
+    }
+
+    /// A model with a custom base T1 (nanoseconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t1_ns` is not positive.
+    pub fn with_t1_ns(t1_ns: f64) -> Self {
+        assert!(t1_ns > 0.0, "T1 must be positive");
+        CoherenceModel {
+            t1_ns,
+            high_level_rate_scale: 1.0,
+        }
+    }
+
+    /// Scales the decay *rate* of levels `|2>` and `|3>` by `scale`
+    /// (Fig. 9c sensitivity study). `scale = 1` is the theoretical `1/k`
+    /// law; larger values model worse-than-theory higher levels.
+    #[must_use]
+    pub fn with_high_level_rate_scale(mut self, scale: f64) -> Self {
+        assert!(scale >= 0.0, "rate scale must be non-negative");
+        self.high_level_rate_scale = scale;
+        self
+    }
+
+    /// Base T1 in nanoseconds.
+    pub fn t1_ns(&self) -> f64 {
+        self.t1_ns
+    }
+
+    /// Current high-level rate scale.
+    pub fn high_level_rate_scale(&self) -> f64 {
+        self.high_level_rate_scale
+    }
+
+    /// Decay rate of `level` in 1/ns: `level / T1`, scaled for levels ≥ 2.
+    pub fn decay_rate(&self, level: usize) -> f64 {
+        let base = level as f64 / self.t1_ns;
+        if level >= 2 {
+            base * self.high_level_rate_scale
+        } else {
+            base
+        }
+    }
+
+    /// Effective T1 of `level` in nanoseconds (∞ for the ground state).
+    pub fn effective_t1(&self, level: usize) -> f64 {
+        let r = self.decay_rate(level);
+        if r == 0.0 { f64::INFINITY } else { 1.0 / r }
+    }
+
+    /// Damping probability of `level` over `dt` nanoseconds:
+    /// `lambda_m = 1 - exp(-m dt / T1)` (§6.5), with the high-level scale
+    /// folded into the rate.
+    pub fn lambda(&self, level: usize, dt_ns: f64) -> f64 {
+        debug_assert!(dt_ns >= 0.0, "negative idle duration");
+        1.0 - (-self.decay_rate(level) * dt_ns).exp()
+    }
+
+    /// Probability that a qudit sitting in `level` does **not** decay over
+    /// `dt` nanoseconds — the per-qudit factor of the paper's coherence EPS
+    /// `exp(-k t_k / T1)` (§6.3).
+    pub fn survival(&self, level: usize, dt_ns: f64) -> f64 {
+        (-self.decay_rate(level) * dt_ns).exp()
+    }
+}
+
+impl Default for CoherenceModel {
+    fn default() -> Self {
+        CoherenceModel::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_effective_t1_values() {
+        let m = CoherenceModel::paper();
+        assert!((m.effective_t1(1) - 163_450.0).abs() < 1e-6);
+        // |2>: 81.73 us, |3>: ~54.48 us (paper rounds to 54.15).
+        assert!((m.effective_t1(2) - 81_725.0).abs() < 1.0);
+        assert!((m.effective_t1(3) - 54_483.33).abs() < 1.0);
+        assert!(m.effective_t1(0).is_infinite());
+    }
+
+    #[test]
+    fn lambda_increases_with_level_and_time() {
+        let m = CoherenceModel::paper();
+        assert!(m.lambda(1, 1000.0) < m.lambda(2, 1000.0));
+        assert!(m.lambda(2, 1000.0) < m.lambda(3, 1000.0));
+        assert!(m.lambda(1, 1000.0) < m.lambda(1, 5000.0));
+        assert_eq!(m.lambda(0, 1e9), 0.0);
+        assert_eq!(m.lambda(1, 0.0), 0.0);
+    }
+
+    #[test]
+    fn survival_complements_lambda() {
+        let m = CoherenceModel::paper();
+        for level in 0..4 {
+            for dt in [0.0, 100.0, 10_000.0] {
+                assert!((m.survival(level, dt) + m.lambda(level, dt) - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn high_level_scale_only_touches_levels_2_and_3() {
+        let m = CoherenceModel::paper().with_high_level_rate_scale(4.0);
+        let base = CoherenceModel::paper();
+        assert_eq!(m.decay_rate(1), base.decay_rate(1));
+        assert!((m.decay_rate(2) - 4.0 * base.decay_rate(2)).abs() < 1e-18);
+        assert!((m.decay_rate(3) - 4.0 * base.decay_rate(3)).abs() < 1e-18);
+    }
+
+    #[test]
+    #[should_panic(expected = "T1 must be positive")]
+    fn zero_t1_rejected() {
+        let _ = CoherenceModel::with_t1_ns(0.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Amplitude-damping Kraus operators for qudits (§6.5).
+//!
+//! `K_0 = diag(1, sqrt(1-l_1), ..., sqrt(1-l_{d-1}))`, and for each excited
+//! level `m`, `K_m = sqrt(l_m) e_{0,m}` — decay straight to the ground
+//! state with `l_m = 1 - exp(-m dt / T1)`.
+
+use waltz_math::{C64, Matrix};
+
+use crate::CoherenceModel;
+
+/// Per-level damping probabilities for a `dim`-level qudit idling `dt_ns`.
+pub fn lambdas(model: &CoherenceModel, dim: usize, dt_ns: f64) -> Vec<f64> {
+    (1..dim).map(|m| model.lambda(m, dt_ns)).collect()
+}
+
+/// The full Kraus set `{K_0, K_1, ..., K_{d-1}}` for the damping channel.
+///
+/// # Example
+///
+/// ```
+/// use waltz_noise::{damping, CoherenceModel};
+/// let ks = damping::kraus_operators(&CoherenceModel::paper(), 4, 1000.0);
+/// assert_eq!(ks.len(), 4);
+/// ```
+pub fn kraus_operators(model: &CoherenceModel, dim: usize, dt_ns: f64) -> Vec<Matrix> {
+    let ls = lambdas(model, dim, dt_ns);
+    let mut out = Vec::with_capacity(dim);
+    let mut k0 = Matrix::zeros(dim, dim);
+    k0[(0, 0)] = C64::ONE;
+    for (m, &l) in ls.iter().enumerate() {
+        k0[(m + 1, m + 1)] = C64::real((1.0 - l).sqrt());
+    }
+    out.push(k0);
+    for (m, &l) in ls.iter().enumerate() {
+        let mut k = Matrix::zeros(dim, dim);
+        k[(0, m + 1)] = C64::real(l.sqrt());
+        out.push(k);
+    }
+    out
+}
+
+/// Verifies `sum_m K_m^dagger K_m = I` within `tol` (trace preservation).
+pub fn is_trace_preserving(kraus: &[Matrix], tol: f64) -> bool {
+    let dim = kraus[0].rows();
+    let mut acc = Matrix::zeros(dim, dim);
+    for k in kraus {
+        acc = &acc + &k.dagger().matmul(k);
+    }
+    acc.is_identity(tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kraus_set_is_trace_preserving() {
+        let m = CoherenceModel::paper();
+        for dim in [2usize, 4] {
+            for dt in [0.0, 500.0, 50_000.0, 1e7] {
+                let ks = kraus_operators(&m, dim, dt);
+                assert!(is_trace_preserving(&ks, 1e-12), "dim {dim} dt {dt}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_time_channel_is_identity() {
+        let ks = kraus_operators(&CoherenceModel::paper(), 4, 0.0);
+        assert!(ks[0].is_identity(1e-12));
+        for k in &ks[1..] {
+            assert!(k.norm_frobenius() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn long_time_fully_damps() {
+        let ks = kraus_operators(&CoherenceModel::paper(), 4, 1e12);
+        // K0 keeps only the ground state.
+        assert!(ks[0][(1, 1)].abs() < 1e-6);
+        assert!(ks[0][(3, 3)].abs() < 1e-6);
+        // Jump operators carry full weight.
+        assert!((ks[1][(0, 1)].abs() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn higher_levels_damp_faster() {
+        let ls = lambdas(&CoherenceModel::paper(), 4, 10_000.0);
+        assert!(ls[0] < ls[1] && ls[1] < ls[2]);
+    }
+
+    #[test]
+    fn jump_probability_matches_lambda_for_pure_level() {
+        // For |m>, p(jump m) = <m|K_m† K_m|m> = lambda_m.
+        let model = CoherenceModel::paper();
+        let dt = 2000.0;
+        let ks = kraus_operators(&model, 4, dt);
+        for m in 1..4usize {
+            let mut v = vec![C64::ZERO; 4];
+            v[m] = C64::ONE;
+            let out = ks[m].apply(&v);
+            let p: f64 = out.iter().map(|z| z.norm_sqr()).sum();
+            assert!((p - model.lambda(m, dt)).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Noise model for qudit systems (paper §6.5).
+//!
+//! Two error processes drive the paper's simulations:
+//!
+//! * **Symmetric depolarizing** after each gate: a uniform draw over the
+//!   non-identity generalized Paulis `X_d^a Z_d^b` of the participating
+//!   qudits — `p/15` per channel for a two-qubit gate, `p/255` for a
+//!   two-ququart gate, and mixed products `P_2 (x) P_4` for mixed-radix
+//!   gates ([`pauli`]).
+//! * **Amplitude damping** during idle (and optionally busy) time, with
+//!   per-level decay `lambda_m = 1 - exp(-m dt / T1)` so level `k`
+//!   effectively decoheres at `T1 / k` ([`damping`], [`CoherenceModel`]).
+//!
+//! The Fig. 9c sensitivity study scales the decay rate of levels ≥ 2 via
+//! [`CoherenceModel::with_high_level_rate_scale`].
+
+#![warn(missing_docs)]
+
+pub mod coherence;
+pub mod damping;
+pub mod pauli;
+
+pub use coherence::CoherenceModel;
+pub use pauli::PauliOp;
+
+/// Which stochastic error processes a simulation applies.
+///
+/// # Example
+///
+/// ```
+/// use waltz_noise::NoiseModel;
+/// let nm = NoiseModel::paper();
+/// assert!(nm.depolarizing && nm.damping);
+/// let ideal = NoiseModel::noiseless();
+/// assert!(!ideal.depolarizing && !ideal.damping);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseModel {
+    /// Coherence (T1) parameters.
+    pub coherence: CoherenceModel,
+    /// Draw a generalized-Pauli error after each gate with probability
+    /// `1 - F_gate`.
+    pub depolarizing: bool,
+    /// Apply amplitude damping for accumulated idle time before each gate
+    /// (the paper's trajectory-method modification, §6.4).
+    pub damping: bool,
+    /// Also damp operands for the gate's own duration, so shorter pulses
+    /// pay less decoherence (§7: "the shorter duration of the gates
+    /// counteracts the increased decoherence rate").
+    pub busy_time_damping: bool,
+}
+
+impl NoiseModel {
+    /// The paper's full noise model.
+    pub fn paper() -> Self {
+        NoiseModel {
+            coherence: CoherenceModel::paper(),
+            depolarizing: true,
+            damping: true,
+            busy_time_damping: true,
+        }
+    }
+
+    /// No stochastic errors (ideal simulation).
+    pub fn noiseless() -> Self {
+        NoiseModel {
+            coherence: CoherenceModel::paper(),
+            depolarizing: false,
+            damping: false,
+            busy_time_damping: false,
+        }
+    }
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        NoiseModel::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper() {
+        assert_eq!(NoiseModel::default(), NoiseModel::paper());
+    }
+}

@@ -1,0 +1,199 @@
+//! Generalized qudit Pauli operators and depolarizing-error sampling.
+//!
+//! For dimension `d` the error basis is `{X_d^a Z_d^b : 0 <= a, b < d}`
+//! with `X_d |j> = |j+1 mod d>` and `Z_d = diag(1, w, w^2, ...)`,
+//! `w = e^{2 pi i / d}` (§6.5). Multi-qudit errors are tensor products of
+//! per-operand Paulis; the all-identity product is excluded, giving
+//! `prod(d_k^2) - 1` equiprobable channels — 15 for two qubits, 255 for two
+//! ququarts, 63 for a mixed qubit-ququart pair.
+
+use rand::Rng;
+
+use waltz_math::{C64, Matrix};
+
+/// A single-qudit generalized Pauli `X^a Z^b` on dimension `d`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PauliOp {
+    /// Shift power (bit-flip component).
+    pub a: u8,
+    /// Clock power (phase-flip component).
+    pub b: u8,
+    /// Qudit dimension.
+    pub d: u8,
+}
+
+impl PauliOp {
+    /// The identity on dimension `d`.
+    pub fn identity(d: u8) -> Self {
+        PauliOp { a: 0, b: 0, d }
+    }
+
+    /// Whether this is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.a == 0 && self.b == 0
+    }
+
+    /// Dense matrix `X^a Z^b`.
+    pub fn matrix(&self) -> Matrix {
+        let d = self.d as usize;
+        let w = 2.0 * std::f64::consts::PI / d as f64;
+        let mut m = Matrix::zeros(d, d);
+        for j in 0..d {
+            // X^a Z^b |j> = w^{b j} |j + a mod d>
+            let row = (j + self.a as usize) % d;
+            m[(row, j)] = C64::cis(w * (self.b as usize * j) as f64);
+        }
+        m
+    }
+
+    /// Applies the Pauli in place to the amplitudes of a single qudit whose
+    /// basis index is `j` (used by the simulator without materializing the
+    /// matrix): returns `(new_j, phase)` for basis state `j`.
+    #[inline]
+    pub fn act_on_basis(&self, j: usize) -> (usize, C64) {
+        let d = self.d as usize;
+        let w = 2.0 * std::f64::consts::PI / d as f64;
+        (
+            (j + self.a as usize) % d,
+            C64::cis(w * (self.b as usize * j) as f64),
+        )
+    }
+}
+
+/// All `d^2 - 1` non-identity Paulis of dimension `d`.
+pub fn non_identity_paulis(d: u8) -> Vec<PauliOp> {
+    let mut out = Vec::with_capacity((d as usize).pow(2) - 1);
+    for a in 0..d {
+        for b in 0..d {
+            if a != 0 || b != 0 {
+                out.push(PauliOp { a, b, d });
+            }
+        }
+    }
+    out
+}
+
+/// Number of non-identity error channels for a gate over `dims`
+/// (e.g. `[2, 2] -> 15`, `[4, 4] -> 255`, `[4, 2] -> 63`).
+pub fn channel_count(dims: &[u8]) -> usize {
+    dims.iter().map(|&d| (d as usize).pow(2)).product::<usize>() - 1
+}
+
+/// Samples a uniform non-identity generalized-Pauli error over the operand
+/// dimensions: each operand `k` receives a Pauli from `P_{dims[k]}`, and
+/// the all-identity assignment is excluded (§6.5: mixed-radix errors are
+/// drawn from `P_2 (x) P_4`, not `P_4 (x) P_4`).
+///
+/// # Panics
+///
+/// Panics if `dims` is empty.
+pub fn sample_error<R: Rng + ?Sized>(dims: &[u8], rng: &mut R) -> Vec<PauliOp> {
+    assert!(!dims.is_empty(), "error sampling needs at least one operand");
+    let total: usize = dims.iter().map(|&d| (d as usize).pow(2)).product();
+    // Uniform over 1..total — index 0 is the excluded all-identity.
+    let mut idx = rng.gen_range(1..total);
+    let mut out = Vec::with_capacity(dims.len());
+    for &d in dims.iter().rev() {
+        let dd = (d as usize).pow(2);
+        let local = idx % dd;
+        idx /= dd;
+        out.push(PauliOp {
+            a: (local / d as usize) as u8,
+            b: (local % d as usize) as u8,
+            d,
+        });
+    }
+    out.reverse();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn qubit_paulis_match_textbook() {
+        let x = PauliOp { a: 1, b: 0, d: 2 }.matrix();
+        let z = PauliOp { a: 0, b: 1, d: 2 }.matrix();
+        assert!(x.approx_eq(&waltz_math::Matrix::permutation(&[1, 0]), 1e-12));
+        let zref = waltz_math::Matrix::from_diag(&[C64::ONE, -C64::ONE]);
+        assert!(z.approx_eq(&zref, 1e-12));
+        // Y = XZ up to phase.
+        let xz = PauliOp { a: 1, b: 1, d: 2 }.matrix();
+        assert!(xz.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn all_paulis_are_unitary_for_d4() {
+        for p in non_identity_paulis(4) {
+            assert!(p.matrix().is_unitary(1e-12), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn paulis_form_an_orthogonal_basis() {
+        // Tr(P† Q) = 0 for P != Q, = d for P = Q.
+        let mut all = vec![PauliOp::identity(4)];
+        all.extend(non_identity_paulis(4));
+        for (i, p) in all.iter().enumerate() {
+            for (j, q) in all.iter().enumerate() {
+                let tr = p.matrix().dagger().matmul(&q.matrix()).trace();
+                if i == j {
+                    assert!((tr.abs() - 4.0).abs() < 1e-12);
+                } else {
+                    assert!(tr.abs() < 1e-12, "{p:?} {q:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn channel_counts_match_paper() {
+        assert_eq!(channel_count(&[2, 2]), 15);
+        assert_eq!(channel_count(&[4, 4]), 255);
+        assert_eq!(channel_count(&[4, 2]), 63);
+        assert_eq!(channel_count(&[2]), 3);
+        assert_eq!(channel_count(&[4]), 15);
+    }
+
+    #[test]
+    fn sampled_errors_are_never_identity_and_respect_dims() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..500 {
+            let e = sample_error(&[4, 2], &mut rng);
+            assert_eq!(e.len(), 2);
+            assert_eq!(e[0].d, 4);
+            assert_eq!(e[1].d, 2);
+            assert!(!(e[0].is_identity() && e[1].is_identity()));
+        }
+    }
+
+    #[test]
+    fn sampling_is_roughly_uniform() {
+        // Chi-square-ish sanity check on single-qubit errors.
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut counts = [0usize; 4];
+        let n = 3000;
+        for _ in 0..n {
+            let e = sample_error(&[2], &mut rng);
+            counts[(e[0].a * 2 + e[0].b) as usize] += 1;
+        }
+        assert_eq!(counts[0], 0, "identity must never be drawn");
+        for &c in &counts[1..] {
+            let expected = n as f64 / 3.0;
+            assert!((c as f64 - expected).abs() < 5.0 * expected.sqrt());
+        }
+    }
+
+    #[test]
+    fn act_on_basis_matches_matrix() {
+        let p = PauliOp { a: 2, b: 3, d: 4 };
+        let m = p.matrix();
+        for j in 0..4 {
+            let (row, phase) = p.act_on_basis(j);
+            assert!(m[(row, j)].approx_eq(phase, 1e-12));
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Quantum optimal control (the paper's Juqbox substitute, §2.3 and §3.3).
+//!
+//! The paper synthesizes every mixed-radix and full-ququart pulse with the
+//! Juqbox optimal-control package against the transmon Hamiltonian of
+//! Eq. (2):
+//!
+//! ```text
+//! H(t) = sum_k [ w_k a†a + (xi_k/2) a†a†aa ]
+//!      + sum_{k<l} J_kl (a†_k a_l + a_k a†_l)
+//!      + sum_k f_k(t) (a_k + a†_k)
+//! ```
+//!
+//! with `w/2pi = 4.914, 5.114, 5.214 GHz`, `xi/2pi = -330 MHz`,
+//! `J/2pi = 3.8 MHz` and drive power capped at `f_max = 45 MHz`.
+//!
+//! This crate implements the same stack in Rust, in the standard
+//! co-rotating frame (each transmon rotates at its own drive frequency,
+//! leaving the anharmonicity, detunings and couplings):
+//!
+//! * [`TransmonSystem`] — the Eq. (2) Hamiltonian with logical levels plus
+//!   *guard* levels whose population is penalized (§2.3).
+//! * [`propagate`] — piecewise-constant propagators via the Padé matrix
+//!   exponential.
+//! * [`grape`] — first-order GRAPE with Adam updates, amplitude clamping
+//!   at `f_max`, and the paper's objective `J = 1 - F + L` combining the
+//!   Eq. (1) subspace gate fidelity with a guard-leakage penalty.
+//! * [`synth`] — ready-made synthesis targets (single-qudit gates, the
+//!   encoded `H (x) H` of Fig. 2) and the iterative gate-time shrinking of
+//!   §2.3.
+//!
+//! The compiler itself consumes the *calibrated* durations of Tables 1–2
+//! (`waltz_gates::GateLibrary`); this crate demonstrates that such pulses
+//! exist and regenerates small entries end-to-end (see the `table1`
+//! harness binary).
+
+#![warn(missing_docs)]
+
+pub mod grape;
+pub mod propagate;
+pub mod synth;
+mod system;
+
+pub use grape::{GrapeOptions, GrapeResult, optimize};
+pub use system::TransmonSystem;

@@ -1,0 +1,156 @@
+//! Piecewise-constant time evolution.
+
+use waltz_math::{C64, Matrix, expm};
+
+use crate::TransmonSystem;
+
+/// A piecewise-constant control schedule: `values[slice][control]` in
+/// rad/ns, each slice lasting `dt_ns`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pulse {
+    /// Control amplitudes per slice.
+    pub values: Vec<Vec<f64>>,
+    /// Slice duration in nanoseconds.
+    pub dt_ns: f64,
+}
+
+impl Pulse {
+    /// A zero pulse with `slices` slices over `duration_ns`.
+    pub fn zeros(slices: usize, n_controls: usize, duration_ns: f64) -> Self {
+        assert!(slices > 0, "pulse needs at least one slice");
+        Pulse {
+            values: vec![vec![0.0; n_controls]; slices],
+            dt_ns: duration_ns / slices as f64,
+        }
+    }
+
+    /// Total duration in nanoseconds.
+    pub fn duration_ns(&self) -> f64 {
+        self.dt_ns * self.values.len() as f64
+    }
+
+    /// Number of slices.
+    pub fn n_slices(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Clamps every amplitude to `[-max, max]`.
+    pub fn clamp(&mut self, max: f64) {
+        for slice in &mut self.values {
+            for v in slice.iter_mut() {
+                *v = v.clamp(-max, max);
+            }
+        }
+    }
+
+    /// Resamples the pulse to a new slice count over a (possibly shorter)
+    /// duration — the re-seeding step of the §2.3 duration shrinking.
+    pub fn resample(&self, slices: usize, duration_ns: f64) -> Pulse {
+        let n_controls = self.values[0].len();
+        let mut out = Pulse::zeros(slices, n_controls, duration_ns);
+        for (j, slice) in out.values.iter_mut().enumerate() {
+            // Sample the old pulse at the same *fractional* position.
+            let frac = (j as f64 + 0.5) / slices as f64;
+            let src = ((frac * self.n_slices() as f64) as usize).min(self.n_slices() - 1);
+            slice.clone_from(&self.values[src]);
+        }
+        out
+    }
+}
+
+/// Per-slice propagators `U_j = exp(-i H_j dt)` for a pulse on a system.
+pub fn slice_propagators(system: &TransmonSystem, pulse: &Pulse) -> Vec<Matrix> {
+    let drift = system.drift();
+    let controls = system.control_ops();
+    pulse
+        .values
+        .iter()
+        .map(|amps| {
+            let mut h = drift.clone();
+            for (c, &u) in controls.iter().zip(amps.iter()) {
+                h = &h + &c.scale(C64::real(u));
+            }
+            expm::expm(&h.scale(C64::new(0.0, -pulse.dt_ns)))
+        })
+        .collect()
+}
+
+/// The total propagator `U = U_N ... U_1`.
+pub fn total_propagator(system: &TransmonSystem, pulse: &Pulse) -> Matrix {
+    let mut u = Matrix::identity(system.dim());
+    for uj in slice_propagators(system, pulse) {
+        u = uj.matmul(&u);
+    }
+    u
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_pulse_on_resonant_qubit_is_identity_on_qubit_block() {
+        // Single transmon, logical qubit: drift has no dynamics inside
+        // {|0>, |1>} in its own rotating frame.
+        let s = TransmonSystem::paper(1, 2, 1);
+        let p = Pulse::zeros(10, s.n_controls(), 20.0);
+        let u = total_propagator(&s, &p);
+        assert!(u.is_unitary(1e-10));
+        assert!((u[(0, 0)].abs() - 1.0).abs() < 1e-9);
+        assert!((u[(1, 1)].abs() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn propagator_is_always_unitary() {
+        let s = TransmonSystem::paper(2, 2, 1);
+        let mut p = Pulse::zeros(8, s.n_controls(), 40.0);
+        for (j, slice) in p.values.iter_mut().enumerate() {
+            for (k, v) in slice.iter_mut().enumerate() {
+                *v = 0.02 * ((j + k) as f64).sin();
+            }
+        }
+        let u = total_propagator(&s, &p);
+        assert!(u.is_unitary(1e-9));
+    }
+
+    #[test]
+    fn constant_drive_rotates_qubit() {
+        // A resonant constant X drive rotates |0> -> |1> at rate ~u (the
+        // sqrt(2) ladder factor only matters above level 1; guard detuned).
+        let s = TransmonSystem::paper(1, 2, 1);
+        let u_amp = s.drive_max() / 2.0;
+        // H_ctrl = u X on the qubit block: full transfer at u * t = pi/2.
+        let t = std::f64::consts::FRAC_PI_2 / u_amp;
+        let mut p = Pulse::zeros(200, s.n_controls(), t);
+        for slice in &mut p.values {
+            slice[0] = u_amp;
+        }
+        let u = total_propagator(&s, &p);
+        // |<1|U|0>|^2 should be large (not exactly 1: leakage to level 2).
+        let pop = u[(1, 0)].norm_sqr();
+        assert!(pop > 0.8, "population transfer only {pop}");
+    }
+
+    #[test]
+    fn resample_preserves_shape() {
+        let mut p = Pulse::zeros(4, 1, 4.0);
+        for (j, s) in p.values.iter_mut().enumerate() {
+            s[0] = j as f64;
+        }
+        let r = p.resample(8, 2.0);
+        assert_eq!(r.n_slices(), 8);
+        assert!((r.duration_ns() - 2.0).abs() < 1e-12);
+        // First half samples low indices, last half high.
+        assert!(r.values[0][0] < r.values[7][0]);
+    }
+
+    #[test]
+    fn clamp_bounds_amplitudes() {
+        let mut p = Pulse::zeros(2, 2, 2.0);
+        p.values[0][0] = 10.0;
+        p.values[1][1] = -10.0;
+        p.clamp(0.5);
+        assert_eq!(p.values[0][0], 0.5);
+        assert_eq!(p.values[1][1], -0.5);
+    }
+}

@@ -1,0 +1,150 @@
+//! Gate-synthesis presets and the §2.3 iterative duration shrinking.
+//!
+//! "Currently, Juqbox only allows pulse optimization for a fixed gate time
+//! T, therefore we minimize pulse durations by applying an iterative
+//! re-optimization technique" — [`shrink_duration`] reproduces that loop:
+//! re-seed the optimizer with the previous controls resampled onto a
+//! shorter grid until the fidelity target no longer holds.
+
+use waltz_math::Matrix;
+
+use crate::grape::{GrapeOptions, GrapeResult, optimize};
+use crate::propagate::Pulse;
+use crate::TransmonSystem;
+
+/// Synthesizes `target` at a fixed duration with a deterministic seed.
+pub fn synthesize(
+    system: &TransmonSystem,
+    target: &Matrix,
+    duration_ns: f64,
+    slices: usize,
+    opts: &GrapeOptions,
+) -> GrapeResult {
+    let mut pulse = Pulse::zeros(slices, system.n_controls(), duration_ns);
+    for (j, slice) in pulse.values.iter_mut().enumerate() {
+        for (k, v) in slice.iter_mut().enumerate() {
+            *v = 0.01 * ((1 + j + 3 * k) as f64).sin();
+        }
+    }
+    optimize(system, target, pulse, opts)
+}
+
+/// Outcome of the duration-shrinking loop.
+#[derive(Debug, Clone)]
+pub struct ShrinkResult {
+    /// Shortest duration that still met the fidelity target.
+    pub duration_ns: f64,
+    /// The result at that duration.
+    pub result: GrapeResult,
+    /// Every (duration, fidelity) attempt, longest first.
+    pub attempts: Vec<(f64, f64)>,
+}
+
+/// Iterative re-optimization (§2.3): starting from `initial_duration_ns`,
+/// repeatedly shrink by `factor` (re-seeding from the last good pulse)
+/// until the optimizer can no longer reach `fidelity_target`.
+///
+/// # Panics
+///
+/// Panics if the initial duration cannot be synthesized to the target
+/// fidelity (callers should start generous) or `factor` is not in (0, 1).
+pub fn shrink_duration(
+    system: &TransmonSystem,
+    target: &Matrix,
+    initial_duration_ns: f64,
+    slices: usize,
+    factor: f64,
+    fidelity_target: f64,
+    opts: &GrapeOptions,
+) -> ShrinkResult {
+    assert!((0.0..1.0).contains(&factor), "shrink factor must be in (0,1)");
+    let first = synthesize(system, target, initial_duration_ns, slices, opts);
+    assert!(
+        first.fidelity >= fidelity_target,
+        "initial duration {initial_duration_ns} ns only reached F = {}",
+        first.fidelity
+    );
+    let mut attempts = vec![(initial_duration_ns, first.fidelity)];
+    let mut best = (initial_duration_ns, first);
+    loop {
+        let next_duration = best.0 * factor;
+        let seed = best.1.pulse.resample(slices, next_duration);
+        let r = optimize(system, target, seed, opts);
+        attempts.push((next_duration, r.fidelity));
+        if r.fidelity >= fidelity_target {
+            best = (next_duration, r);
+        } else {
+            break;
+        }
+    }
+    ShrinkResult {
+        duration_ns: best.0,
+        result: best.1,
+        attempts,
+    }
+}
+
+/// The Fig. 2 target: Hadamard on both encoded qubits of one ququart.
+pub fn h_tensor_h_target() -> Matrix {
+    let h = waltz_gates::standard::h();
+    h.kron(&h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waltz_gates::standard;
+
+    #[test]
+    fn shrink_finds_shorter_x_pulses() {
+        let s = TransmonSystem::paper(1, 2, 1);
+        let opts = GrapeOptions {
+            max_iters: 400,
+            infidelity_target: 5e-3,
+            ..GrapeOptions::default()
+        };
+        // Keep dt ~ 1 ns: the first-order GRAPE gradient degrades above that.
+        let r = shrink_duration(&s, &standard::x(), 60.0, 60, 0.7, 0.99, &opts);
+        assert!(r.duration_ns < 60.0, "no shrink achieved");
+        assert!(r.result.fidelity >= 0.99);
+        assert!(r.attempts.len() >= 2);
+        // Attempts are monotonically shorter.
+        for w in r.attempts.windows(2) {
+            assert!(w[1].0 < w[0].0);
+        }
+    }
+
+    #[test]
+    fn h_tensor_h_is_a_valid_ququart_target() {
+        let t = h_tensor_h_target();
+        assert_eq!(t.rows(), 4);
+        assert!(t.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn single_ququart_gate_synthesis_makes_progress() {
+        // Full 4-level ququart with one guard level: optimize H (x) H and
+        // require clear progress over the identity baseline within a small
+        // iteration budget (full convergence is exercised by the harness).
+        let s = TransmonSystem::paper(1, 4, 1);
+        let target = h_tensor_h_target();
+        let opts = GrapeOptions {
+            max_iters: 60,
+            infidelity_target: 1e-4,
+            learning_rate: 0.006,
+            leakage_weight: 0.5,
+            ..GrapeOptions::default()
+        };
+        let r = synthesize(&s, &target, 120.0, 60, &opts);
+        let baseline = {
+            let p = Pulse::zeros(60, s.n_controls(), 120.0);
+            let u = crate::propagate::total_propagator(&s, &p);
+            waltz_math::metrics::subspace_gate_fidelity(&u, &target, &s.logical_indices())
+        };
+        assert!(
+            r.fidelity > baseline + 0.2,
+            "no progress: {} vs baseline {baseline}",
+            r.fidelity
+        );
+    }
+}

@@ -1,0 +1,225 @@
+//! The weakly-coupled anharmonic transmon Hamiltonian (paper Eq. 2).
+
+use waltz_math::{C64, Matrix};
+
+/// Two pi, for converting GHz frequencies to rad/ns rates.
+const TWO_PI: f64 = 2.0 * std::f64::consts::PI;
+
+/// A chain of up to three weakly coupled anharmonic transmons, truncated
+/// to `logical_levels + guard_levels` states each.
+///
+/// All frequencies are supplied in GHz and stored as angular rates in
+/// rad/ns. The drift Hamiltonian is expressed in the co-rotating frame:
+/// each transmon's detuning `w_k - w_0` remains, plus the anharmonic
+/// ladder and the exchange coupling.
+#[derive(Debug, Clone)]
+pub struct TransmonSystem {
+    levels: usize,
+    n_transmons: usize,
+    detunings: Vec<f64>,
+    anharmonicity: f64,
+    coupling: f64,
+    drive_max: f64,
+    logical_levels: usize,
+}
+
+impl TransmonSystem {
+    /// The paper's device: `w/2pi = 4.914, 5.114, 5.214 GHz`,
+    /// `xi/2pi = -330 MHz`, `J/2pi = 3.8 MHz`, `f_max = 45 MHz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= n_transmons <= 3` and levels are sensible.
+    pub fn paper(n_transmons: usize, logical_levels: usize, guard_levels: usize) -> Self {
+        assert!((1..=3).contains(&n_transmons), "paper device has 1-3 transmons");
+        assert!(logical_levels >= 2, "need at least a qubit");
+        let freqs = [4.914, 5.114, 5.214];
+        let base = freqs[0];
+        TransmonSystem {
+            levels: logical_levels + guard_levels,
+            n_transmons,
+            detunings: (0..n_transmons)
+                .map(|k| TWO_PI * (freqs[k] - base))
+                .collect(),
+            anharmonicity: TWO_PI * (-0.330),
+            coupling: TWO_PI * 0.0038,
+            drive_max: TWO_PI * 0.045,
+            logical_levels,
+        }
+    }
+
+    /// Number of transmons.
+    pub fn n_transmons(&self) -> usize {
+        self.n_transmons
+    }
+
+    /// Simulated levels per transmon (logical + guard).
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Logical levels per transmon.
+    pub fn logical_levels(&self) -> usize {
+        self.logical_levels
+    }
+
+    /// Total Hilbert-space dimension.
+    pub fn dim(&self) -> usize {
+        self.levels.pow(self.n_transmons as u32)
+    }
+
+    /// Drive amplitude bound in rad/ns (`2 pi x 45 MHz`).
+    pub fn drive_max(&self) -> f64 {
+        self.drive_max
+    }
+
+    /// Number of independent real controls (I and Q per transmon).
+    pub fn n_controls(&self) -> usize {
+        2 * self.n_transmons
+    }
+
+    /// Annihilation operator for one transmon, truncated.
+    fn lowering(levels: usize) -> Matrix {
+        let mut a = Matrix::zeros(levels, levels);
+        for n in 1..levels {
+            a[(n - 1, n)] = C64::real((n as f64).sqrt());
+        }
+        a
+    }
+
+    /// Lifts a single-transmon operator to the full register at `k`.
+    fn lift(&self, op: &Matrix, k: usize) -> Matrix {
+        let mut out = Matrix::identity(1);
+        for j in 0..self.n_transmons {
+            let factor = if j == k {
+                op.clone()
+            } else {
+                Matrix::identity(self.levels)
+            };
+            out = out.kron(&factor);
+        }
+        out
+    }
+
+    /// The static (drift) Hamiltonian in rad/ns.
+    pub fn drift(&self) -> Matrix {
+        let dim = self.dim();
+        let mut h = Matrix::zeros(dim, dim);
+        let a = Self::lowering(self.levels);
+        let n_op = a.dagger().matmul(&a);
+        // n(n-1) ladder for the anharmonicity.
+        let mut anh = Matrix::zeros(self.levels, self.levels);
+        for n in 0..self.levels {
+            anh[(n, n)] = C64::real((n * n.saturating_sub(1)) as f64);
+        }
+        for k in 0..self.n_transmons {
+            h = &h + &self.lift(&n_op, k).scale(C64::real(self.detunings[k]));
+            h = &h + &self.lift(&anh, k).scale(C64::real(self.anharmonicity / 2.0));
+        }
+        // Exchange coupling between neighbours.
+        for k in 1..self.n_transmons {
+            let al = self.lift(&a, k - 1);
+            let ar = self.lift(&a, k);
+            let ex = &al.dagger().matmul(&ar) + &ar.dagger().matmul(&al);
+            h = &h + &ex.scale(C64::real(self.coupling));
+        }
+        h
+    }
+
+    /// Control operators: for each transmon the in-phase `a + a†` and
+    /// quadrature `i(a† - a)` drives.
+    pub fn control_ops(&self) -> Vec<Matrix> {
+        let a = Self::lowering(self.levels);
+        let x = &a + &a.dagger();
+        let y = (&a.dagger() - &a).scale(C64::I);
+        let mut out = Vec::with_capacity(self.n_controls());
+        for k in 0..self.n_transmons {
+            out.push(self.lift(&x, k));
+            out.push(self.lift(&y, k));
+        }
+        out
+    }
+
+    /// Indices of the logical basis states inside the full (guarded)
+    /// space, ordered as the logical register's own basis.
+    pub fn logical_indices(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        let logical_dim = self.logical_levels.pow(self.n_transmons as u32);
+        for l in 0..logical_dim {
+            // Decompose l in base logical_levels, recompose in base levels.
+            let mut digits = vec![0usize; self.n_transmons];
+            let mut rem = l;
+            for d in digits.iter_mut().rev() {
+                *d = rem % self.logical_levels;
+                rem /= self.logical_levels;
+            }
+            let mut idx = 0usize;
+            for &d in &digits {
+                idx = idx * self.levels + d;
+            }
+            out.push(idx);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensions() {
+        let s = TransmonSystem::paper(1, 4, 1);
+        assert_eq!(s.dim(), 5);
+        assert_eq!(s.n_controls(), 2);
+        let s = TransmonSystem::paper(2, 2, 1);
+        assert_eq!(s.dim(), 9);
+        assert_eq!(s.n_controls(), 4);
+    }
+
+    #[test]
+    fn drift_is_hermitian() {
+        for (n, l, g) in [(1, 4, 1), (2, 2, 1), (3, 2, 0)] {
+            let s = TransmonSystem::paper(n, l, g);
+            assert!(s.drift().is_hermitian(1e-12), "n={n}");
+        }
+    }
+
+    #[test]
+    fn control_ops_are_hermitian() {
+        let s = TransmonSystem::paper(2, 2, 1);
+        for c in s.control_ops() {
+            assert!(c.is_hermitian(1e-12));
+        }
+    }
+
+    #[test]
+    fn anharmonicity_shows_in_level_spacing() {
+        // Single transmon in its own rotating frame: E1 - E0 = 0,
+        // E2 - E1 = xi (the anharmonic shift).
+        let s = TransmonSystem::paper(1, 4, 0);
+        let h = s.drift();
+        let e: Vec<f64> = (0..4).map(|n| h[(n, n)].re).collect();
+        assert!((e[1] - e[0]).abs() < 1e-12);
+        let xi = TWO_PI * (-0.330);
+        assert!(((e[2] - e[1]) - xi).abs() < 1e-9);
+        assert!(((e[3] - e[2]) - 2.0 * xi).abs() < 1e-9);
+    }
+
+    #[test]
+    fn logical_indices_skip_guard_states() {
+        let s = TransmonSystem::paper(1, 2, 2); // 4 levels, logical {0,1}
+        assert_eq!(s.logical_indices(), vec![0, 1]);
+        let s = TransmonSystem::paper(2, 2, 1); // 3 levels each, logical 2x2
+        assert_eq!(s.logical_indices(), vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn coupling_appears_between_neighbours() {
+        let s = TransmonSystem::paper(2, 2, 0);
+        let h = s.drift();
+        // <01|H|10> = J
+        let j = TWO_PI * 0.0038;
+        assert!((h[(1, 2)].re - j).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,111 @@
+//! The two-qubit Clifford group as single-ququart unitaries.
+//!
+//! Under the paper's encoding, every two-qubit Clifford is a 4x4 unitary
+//! acting on one ququart. Sampling composes random generator words — long
+//! enough to mix well over the group for benchmarking purposes — and the
+//! recovery gate is the exact matrix inverse (itself a Clifford, since the
+//! group is closed).
+
+use rand::Rng;
+
+use waltz_math::Matrix;
+use waltz_gates::{encoding, standard};
+
+/// The generator set: `H`/`S` on each encoded qubit, both CNOT
+/// orientations and the internal SWAP.
+pub fn generators() -> Vec<Matrix> {
+    vec![
+        encoding::lift_u0(&standard::h()),
+        encoding::lift_u1(&standard::h()),
+        encoding::lift_u0(&standard::s()),
+        encoding::lift_u1(&standard::s()),
+        encoding::internal_cx1(), // control q0, target q1
+        encoding::internal_cx0(), // control q1, target q0
+        encoding::internal_swap(),
+    ]
+}
+
+/// Samples a random two-qubit Clifford as a ququart unitary by composing
+/// `word_len` random generators.
+pub fn random_clifford<R: Rng + ?Sized>(rng: &mut R, word_len: usize) -> Matrix {
+    let gens = generators();
+    let mut u = Matrix::identity(4);
+    for _ in 0..word_len {
+        let g = &gens[rng.gen_range(0..gens.len())];
+        u = g.matmul(&u);
+    }
+    u
+}
+
+/// The default mixing word length.
+pub const DEFAULT_WORD_LEN: usize = 24;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+    use waltz_math::C64;
+
+    #[test]
+    fn generators_are_unitary() {
+        for g in generators() {
+            assert!(g.is_unitary(1e-12));
+        }
+    }
+
+    #[test]
+    fn random_cliffords_are_unitary() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let c = random_clifford(&mut rng, DEFAULT_WORD_LEN);
+            assert!(c.is_unitary(1e-10));
+        }
+    }
+
+    #[test]
+    fn cliffords_map_paulis_to_paulis() {
+        // Clifford property: C X C† must be a Pauli (up to phase) — check
+        // that the conjugated operator has entries of modulus 0 or 1.
+        let mut rng = StdRng::seed_from_u64(2);
+        let x0 = encoding::lift_u0(&standard::x());
+        for _ in 0..10 {
+            let c = random_clifford(&mut rng, DEFAULT_WORD_LEN);
+            let conj = c.matmul(&x0).matmul(&c.dagger());
+            for r in 0..4 {
+                for col in 0..4 {
+                    let a = conj[(r, col)].abs();
+                    assert!(
+                        a < 1e-9 || (a - 1.0).abs() < 1e-9,
+                        "non-Pauli entry modulus {a}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_recovers_ground_state() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let c = random_clifford(&mut rng, DEFAULT_WORD_LEN);
+        let mut v = vec![C64::ZERO; 4];
+        v[0] = C64::ONE;
+        let mid = c.apply(&v);
+        let back = c.dagger().apply(&mid);
+        assert!((back[0].abs() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn sampling_mixes_over_the_group() {
+        // The distribution of |<0|C|0>|^2 should not be concentrated on a
+        // single value across samples.
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut values = std::collections::BTreeSet::new();
+        for _ in 0..40 {
+            let c = random_clifford(&mut rng, DEFAULT_WORD_LEN);
+            let p = (c[(0, 0)].norm_sqr() * 8.0).round() as i64;
+            values.insert(p);
+        }
+        assert!(values.len() >= 3, "sampler looks degenerate: {values:?}");
+    }
+}

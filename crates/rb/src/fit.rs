@@ -1,0 +1,116 @@
+//! Exponential-decay regression for RB curves.
+
+/// Fit of `p(m) = A alpha^m + B`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpFit {
+    /// Amplitude.
+    pub a: f64,
+    /// Decay parameter per Clifford.
+    pub alpha: f64,
+    /// Asymptote (1/d for full depolarization).
+    pub b: f64,
+    /// Residual sum of squares.
+    pub rss: f64,
+}
+
+/// Fits `p(m) = A alpha^m + B` by scanning `alpha` (golden-section refined)
+/// with a linear least-squares solve for `(A, B)` at each candidate.
+///
+/// # Panics
+///
+/// Panics with fewer than three points.
+pub fn fit_exponential(points: &[(f64, f64)]) -> ExpFit {
+    assert!(points.len() >= 3, "need at least three depths to fit");
+    let eval = |alpha: f64| -> (f64, f64, f64) {
+        // Linear LSQ for p = A x + B with x = alpha^m.
+        let n = points.len() as f64;
+        let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+        for &(m, p) in points {
+            let x = alpha.powf(m);
+            sx += x;
+            sy += p;
+            sxx += x * x;
+            sxy += x * p;
+        }
+        let denom = n * sxx - sx * sx;
+        let (a, b) = if denom.abs() < 1e-15 {
+            (0.0, sy / n)
+        } else {
+            ((n * sxy - sx * sy) / denom, (sy * sxx - sx * sxy) / denom)
+        };
+        let rss: f64 = points
+            .iter()
+            .map(|&(m, p)| {
+                let e = a * alpha.powf(m) + b - p;
+                e * e
+            })
+            .sum();
+        (a, b, rss)
+    };
+
+    // Coarse scan then golden-section refinement.
+    let mut best_alpha = 0.5;
+    let mut best_rss = f64::INFINITY;
+    let mut alpha = 0.001;
+    while alpha < 0.9999 {
+        let (_, _, rss) = eval(alpha);
+        if rss < best_rss {
+            best_rss = rss;
+            best_alpha = alpha;
+        }
+        alpha += 0.002;
+    }
+    let (mut lo, mut hi) = ((best_alpha - 0.004).max(0.0), (best_alpha + 0.004).min(1.0));
+    const PHI: f64 = 0.618_033_988_749_894_8;
+    for _ in 0..60 {
+        let m1 = hi - PHI * (hi - lo);
+        let m2 = lo + PHI * (hi - lo);
+        if eval(m1).2 < eval(m2).2 {
+            hi = m2;
+        } else {
+            lo = m1;
+        }
+    }
+    let alpha = (lo + hi) / 2.0;
+    let (a, b, rss) = eval(alpha);
+    ExpFit { a, alpha, b, rss }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_synthetic_decay() {
+        let (a, alpha, b): (f64, f64, f64) = (0.72, 0.94, 0.25);
+        let points: Vec<(f64, f64)> = [1, 5, 10, 20, 40, 80]
+            .iter()
+            .map(|&m| (m as f64, a * alpha.powi(m) + b))
+            .collect();
+        let fit = fit_exponential(&points);
+        assert!((fit.alpha - alpha).abs() < 1e-3, "alpha {}", fit.alpha);
+        assert!((fit.a - a).abs() < 0.01);
+        assert!((fit.b - b).abs() < 0.01);
+        assert!(fit.rss < 1e-6);
+    }
+
+    #[test]
+    fn tolerates_noise() {
+        let (a, alpha, b): (f64, f64, f64) = (0.7, 0.9, 0.25);
+        let points: Vec<(f64, f64)> = (0..12)
+            .map(|i| {
+                let m = (i * 8 + 1) as f64;
+                let jitter = 0.004 * ((i * 37 % 11) as f64 - 5.0) / 5.0;
+                (m, a * alpha.powf(m) + b + jitter)
+            })
+            .collect();
+        let fit = fit_exponential(&points);
+        assert!((fit.alpha - alpha).abs() < 0.02, "alpha {}", fit.alpha);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least three")]
+    fn too_few_points_rejected() {
+        let _ = fit_exponential(&[(1.0, 0.9), (2.0, 0.8)]);
+    }
+}

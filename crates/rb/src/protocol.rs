@@ -1,0 +1,210 @@
+//! RB / interleaved-RB sequence execution (paper §3.5).
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand::rngs::StdRng;
+
+use waltz_math::{C64, Matrix, metrics};
+use waltz_noise::pauli;
+
+use crate::clifford::{self, DEFAULT_WORD_LEN};
+use crate::fit::{self, ExpFit};
+
+/// Configuration of one RB experiment on a single ququart.
+#[derive(Debug, Clone)]
+pub struct RbConfig {
+    /// Clifford sequence depths (the paper uses up to 100).
+    pub depths: Vec<usize>,
+    /// Random sequences per depth (the paper averages 10).
+    pub samples_per_depth: usize,
+    /// Depolarizing probability applied after every Clifford.
+    pub clifford_error: f64,
+    /// Interleaved gate and its own depolarizing probability (IRB).
+    pub interleaved: Option<(Matrix, f64)>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RbConfig {
+    /// The paper's Fig. 2 settings: depths up to 100, 10 samples per
+    /// point, Clifford noise matched to `F_RB = 95.8 %` and `H (x) H`
+    /// noise matched to `F_HH = 96.0 %` on `d = 4`.
+    pub fn paper(interleave_hh: bool) -> Self {
+        // Uniform-Pauli error prob p gives F_avg = 1 - p d/(d+1) on dim d:
+        // p = (1 - F) (d+1)/d.
+        let p_clifford = (1.0 - 0.958) * 5.0 / 4.0;
+        let p_hh = (1.0 - 0.960) * 5.0 / 4.0;
+        let interleaved = interleave_hh.then(|| {
+            let h = waltz_gates::standard::h();
+            (h.kron(&h), p_hh)
+        });
+        RbConfig {
+            depths: vec![1, 2, 4, 6, 10, 16, 24, 36, 50, 70, 100],
+            samples_per_depth: 10,
+            clifford_error: p_clifford,
+            interleaved,
+            seed: 2023,
+        }
+    }
+}
+
+/// One averaged survival-probability point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RbPoint {
+    /// Sequence depth (number of Cliffords before recovery).
+    pub depth: usize,
+    /// Mean ground-state survival probability.
+    pub survival: f64,
+    /// Standard error of the mean.
+    pub std_error: f64,
+}
+
+/// The measured curve plus its exponential fit.
+#[derive(Debug, Clone)]
+pub struct RbCurve {
+    /// Averaged survival per depth.
+    pub points: Vec<RbPoint>,
+    /// The fitted decay.
+    pub fit: ExpFit,
+}
+
+impl RbCurve {
+    /// Average Clifford-level fidelity from the fitted decay on `d = 4`.
+    pub fn fidelity(&self) -> f64 {
+        metrics::fidelity_from_rb_decay(self.fit.alpha, 4)
+    }
+}
+
+/// Full Fig. 2 outcome.
+#[derive(Debug, Clone)]
+pub struct RbOutcome {
+    /// The reference (or interleaved) curve.
+    pub curve: RbCurve,
+}
+
+/// Applies a uniform non-identity ququart Pauli with probability `p`.
+fn maybe_error<R: Rng + ?Sized>(state: &mut [C64; 4], p: f64, rng: &mut R) {
+    if p > 0.0 && rng.gen::<f64>() < p {
+        let e = pauli::sample_error(&[4], rng)[0];
+        let mut out = [C64::ZERO; 4];
+        for (j, amp) in state.iter().enumerate() {
+            let (to, phase) = e.act_on_basis(j);
+            out[to] += phase * *amp;
+        }
+        *state = out;
+    }
+}
+
+fn apply(state: &mut [C64; 4], u: &Matrix) {
+    let v = u.apply(&state[..]);
+    state.copy_from_slice(&v);
+}
+
+/// Runs the RB (or IRB, when `config.interleaved` is set) experiment and
+/// fits the decay.
+pub fn run_rb(config: &RbConfig) -> RbOutcome {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut points = Vec::with_capacity(config.depths.len());
+    for &depth in &config.depths {
+        let mut survivals = Vec::with_capacity(config.samples_per_depth);
+        for _ in 0..config.samples_per_depth {
+            let mut state = [C64::ZERO; 4];
+            state[0] = C64::ONE;
+            let mut ideal = Matrix::identity(4);
+            for _ in 0..depth {
+                let c = clifford::random_clifford(&mut rng, DEFAULT_WORD_LEN);
+                apply(&mut state, &c);
+                maybe_error(&mut state, config.clifford_error, &mut rng);
+                ideal = c.matmul(&ideal);
+                if let Some((gate, p_gate)) = &config.interleaved {
+                    apply(&mut state, gate);
+                    maybe_error(&mut state, *p_gate, &mut rng);
+                    ideal = gate.matmul(&ideal);
+                }
+            }
+            // Recovery: the exact inverse, noisy like any Clifford.
+            let recovery = ideal.dagger();
+            apply(&mut state, &recovery);
+            maybe_error(&mut state, config.clifford_error, &mut rng);
+            survivals.push(state[0].norm_sqr());
+        }
+        let n = survivals.len() as f64;
+        let mean = survivals.iter().sum::<f64>() / n;
+        let var = survivals.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n.max(2.0);
+        points.push(RbPoint {
+            depth,
+            survival: mean,
+            std_error: (var / n).sqrt(),
+        });
+    }
+    let fit_points: Vec<(f64, f64)> = points
+        .iter()
+        .map(|p| (p.depth as f64, p.survival))
+        .collect();
+    let fit = fit::fit_exponential(&fit_points);
+    RbOutcome {
+        curve: RbCurve { points, fit },
+    }
+}
+
+/// Extracts the interleaved-gate fidelity from the reference and
+/// interleaved decays: `F_gate = 1 - (d-1)/d (1 - alpha_irb/alpha_rb)`.
+pub fn interleaved_gate_fidelity(reference: &RbCurve, interleaved: &RbCurve) -> f64 {
+    let d = 4.0;
+    1.0 - (d - 1.0) / d * (1.0 - interleaved.fit.alpha / reference.fit.alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config(error: f64, interleave: bool) -> RbConfig {
+        let mut cfg = RbConfig::paper(interleave);
+        cfg.clifford_error = error;
+        cfg.depths = vec![1, 3, 6, 10, 16, 24, 40, 60];
+        cfg.samples_per_depth = 24;
+        cfg.seed = 7;
+        cfg
+    }
+
+    #[test]
+    fn noiseless_rb_survival_is_one() {
+        let mut cfg = quick_config(0.0, false);
+        cfg.samples_per_depth = 4;
+        let out = run_rb(&cfg);
+        for p in &out.curve.points {
+            assert!((p.survival - 1.0).abs() < 1e-9, "depth {}", p.depth);
+        }
+    }
+
+    #[test]
+    fn rb_recovers_injected_clifford_fidelity() {
+        // Inject p = 0.05 -> F_avg = 1 - 0.05 * 4/5 = 0.96.
+        let out = run_rb(&quick_config(0.05, false));
+        let f = out.curve.fidelity();
+        assert!((f - 0.96).abs() < 0.02, "recovered {f}");
+        // Survival decays with depth.
+        let first = out.curve.points.first().unwrap().survival;
+        let last = out.curve.points.last().unwrap().survival;
+        assert!(first > last + 0.1);
+    }
+
+    #[test]
+    fn interleaving_accelerates_decay() {
+        let reference = run_rb(&quick_config(0.05, false));
+        let interleaved = run_rb(&quick_config(0.05, true));
+        assert!(interleaved.curve.fit.alpha < reference.curve.fit.alpha);
+        let f_gate = interleaved_gate_fidelity(&reference.curve, &interleaved.curve);
+        assert!(f_gate > 0.9 && f_gate < 1.0, "F_gate {f_gate}");
+    }
+
+    #[test]
+    fn paper_config_reproduces_header_numbers_roughly() {
+        // Small-sample smoke test; the fig2 harness runs the full version.
+        let mut rb_cfg = RbConfig::paper(false);
+        rb_cfg.samples_per_depth = 20;
+        let reference = run_rb(&rb_cfg);
+        let f_rb = reference.curve.fidelity();
+        assert!((f_rb - 0.958).abs() < 0.02, "F_RB {f_rb}");
+    }
+}

@@ -1,0 +1,39 @@
+//! Mixed-dimension qudit simulation for the Quantum Waltz reproduction.
+//!
+//! * [`Register`] / [`State`] — state vectors over registers whose qudits
+//!   may have different dimensions (bare qubits are 2-level, ququarts
+//!   4-level), with efficient k-qudit unitary application.
+//! * [`TimedCircuit`] — the scheduled hardware circuit the compiler emits:
+//!   each op carries its unitary (already embedded to device dimensions),
+//!   operand devices, start time, duration and calibrated fidelity.
+//! * [`ideal`] — noiseless execution.
+//! * [`trajectory`] — the paper's modified trajectory method (§6.4):
+//!   before each gate, each operand is amplitude-damped for the *exact*
+//!   time it has been idle; after each gate a generalized-Pauli error is
+//!   drawn with probability `1 - F_gate` (§6.5).
+//!
+//! # Example
+//!
+//! ```
+//! use waltz_sim::{Register, State};
+//! use waltz_math::C64;
+//!
+//! // One ququart next to one qubit.
+//! let reg = Register::new(vec![4, 2]);
+//! let mut state = State::zero(&reg);
+//! assert_eq!(state.amplitudes().len(), 8);
+//! assert!(state.probability_of(0) > 0.99);
+//! ```
+
+#![warn(missing_docs)]
+
+mod register;
+mod state;
+mod timed;
+
+pub mod ideal;
+pub mod trajectory;
+
+pub use register::Register;
+pub use state::State;
+pub use timed::{TimedCircuit, TimedOp};

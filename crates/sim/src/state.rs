@@ -1,0 +1,503 @@
+//! State vectors over mixed-dimension registers.
+
+use rand::Rng;
+
+use waltz_math::{C64, Matrix, vector};
+use waltz_noise::PauliOp;
+
+use crate::Register;
+
+/// A pure state over a [`Register`].
+///
+/// # Example
+///
+/// ```
+/// use waltz_sim::{Register, State};
+/// use waltz_math::C64;
+///
+/// let reg = Register::qubits(2);
+/// let mut s = State::zero(&reg);
+/// // Build a Bell state by hand.
+/// let h = waltz_gates::standard::h();
+/// s.apply_unitary(&h, &[0]);
+/// let cx = waltz_gates::standard::cx();
+/// s.apply_unitary(&cx, &[0, 1]);
+/// assert!((s.probability_of(0) - 0.5).abs() < 1e-12);
+/// assert!((s.probability_of(3) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct State {
+    register: Register,
+    amps: Vec<C64>,
+}
+
+impl State {
+    /// The all-zeros computational basis state.
+    pub fn zero(register: &Register) -> Self {
+        let mut amps = vec![C64::ZERO; register.total_dim()];
+        amps[0] = C64::ONE;
+        State {
+            register: register.clone(),
+            amps,
+        }
+    }
+
+    /// A state from explicit amplitudes (normalized on construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length mismatches the register or the norm is zero.
+    pub fn from_amplitudes(register: &Register, mut amps: Vec<C64>) -> Self {
+        assert_eq!(amps.len(), register.total_dim(), "amplitude length mismatch");
+        let n = vector::normalize(&mut amps);
+        assert!(n > 0.0, "state must have nonzero norm");
+        State {
+            register: register.clone(),
+            amps,
+        }
+    }
+
+    /// The tensor product of per-qudit pure states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a factor's length differs from its qudit's dimension.
+    pub fn from_product(register: &Register, factors: &[Vec<C64>]) -> Self {
+        assert_eq!(factors.len(), register.n_qudits(), "factor count mismatch");
+        for (q, f) in factors.iter().enumerate() {
+            assert_eq!(f.len(), register.dim(q), "factor {q} dimension mismatch");
+        }
+        let mut amps = vec![C64::ZERO; register.total_dim()];
+        for (idx, amp) in amps.iter_mut().enumerate() {
+            let mut a = C64::ONE;
+            for (q, f) in factors.iter().enumerate() {
+                a *= f[register.digit(idx, q)];
+            }
+            *amp = a;
+        }
+        State::from_amplitudes(register, amps)
+    }
+
+    /// A product of Haar-random single-qubit states, one per qudit,
+    /// embedded in each qudit's lowest two levels — the paper's random
+    /// initial states (§6.4) for devices starting in the qubit regime.
+    pub fn random_qubit_product<R: Rng + ?Sized>(register: &Register, rng: &mut R) -> Self {
+        let factors: Vec<Vec<C64>> = (0..register.n_qudits())
+            .map(|q| {
+                let mut f = vec![C64::ZERO; register.dim(q)];
+                let qubit = waltz_math::linalg::haar_state(2, rng);
+                f[0] = qubit[0];
+                f[1] = qubit[1];
+                f
+            })
+            .collect();
+        State::from_product(register, &factors)
+    }
+
+    /// The register this state lives on.
+    pub fn register(&self) -> &Register {
+        &self.register
+    }
+
+    /// Raw amplitudes (row-major, qudit 0 most significant).
+    pub fn amplitudes(&self) -> &[C64] {
+        &self.amps
+    }
+
+    /// Probability of a computational basis state.
+    pub fn probability_of(&self, idx: usize) -> f64 {
+        self.amps[idx].norm_sqr()
+    }
+
+    /// Norm of the state (1 unless mid-trajectory).
+    pub fn norm(&self) -> f64 {
+        vector::norm(&self.amps)
+    }
+
+    /// Renormalizes in place; returns the previous norm.
+    pub fn normalize(&mut self) -> f64 {
+        vector::normalize(&mut self.amps)
+    }
+
+    /// Overlap fidelity `|<self|other>|^2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registers differ.
+    pub fn fidelity(&self, other: &State) -> f64 {
+        assert_eq!(self.register, other.register, "register mismatch");
+        vector::state_fidelity(&self.amps, &other.amps)
+    }
+
+    /// Applies a unitary to the listed operand qudits (first operand is the
+    /// most significant digit of the matrix's basis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix dimension does not equal the product of the
+    /// operand dimensions, or if an operand repeats.
+    pub fn apply_unitary(&mut self, u: &Matrix, operands: &[usize]) {
+        let k = operands.len();
+        for (i, a) in operands.iter().enumerate() {
+            for b in operands.iter().skip(i + 1) {
+                assert_ne!(a, b, "operands must be distinct");
+            }
+        }
+        let block: usize = operands.iter().map(|&q| self.register.dim(q)).product();
+        assert_eq!(u.rows(), block, "unitary does not match operand dims");
+
+        // Offset of each of the `block` operand configurations.
+        let mut offsets = vec![0usize; block];
+        for (sub, off) in offsets.iter_mut().enumerate() {
+            let mut rem = sub;
+            let mut acc = 0usize;
+            for &q in operands.iter().rev() {
+                let d = self.register.dim(q);
+                acc += (rem % d) * self.register.stride(q);
+                rem /= d;
+            }
+            *off = acc;
+        }
+
+        // Iterate over all configurations of the non-operand qudits.
+        let others: Vec<usize> = (0..self.register.n_qudits())
+            .filter(|q| !operands.contains(q))
+            .collect();
+        let mut scratch = vec![C64::ZERO; block];
+        let mut counter = vec![0usize; others.len()];
+        loop {
+            let base: usize = others
+                .iter()
+                .zip(counter.iter())
+                .map(|(&q, &digit)| digit * self.register.stride(q))
+                .sum();
+            for (sub, s) in scratch.iter_mut().enumerate() {
+                *s = self.amps[base + offsets[sub]];
+            }
+            for row in 0..block {
+                let mut acc = C64::ZERO;
+                for (col, &amp) in scratch.iter().enumerate() {
+                    let coeff = u[(row, col)];
+                    if coeff != C64::ZERO {
+                        acc += coeff * amp;
+                    }
+                }
+                self.amps[base + offsets[row]] = acc;
+            }
+            // Advance the mixed-radix counter over `others`.
+            let mut pos = others.len();
+            loop {
+                if pos == 0 {
+                    return;
+                }
+                pos -= 1;
+                counter[pos] += 1;
+                if counter[pos] < self.register.dim(others[pos]) {
+                    break;
+                }
+                counter[pos] = 0;
+            }
+            let _ = k;
+        }
+    }
+
+    /// Applies a generalized Pauli to one qudit. The Pauli's dimension may
+    /// be smaller than the device dimension (e.g. a qubit error on a
+    /// 4-level transmon): levels at or above `op.d` are untouched.
+    pub fn apply_pauli(&mut self, op: PauliOp, qudit: usize) {
+        if op.is_identity() {
+            return;
+        }
+        let dev_dim = self.register.dim(qudit);
+        let d = op.d as usize;
+        assert!(d <= dev_dim, "Pauli dimension exceeds device dimension");
+        let stride = self.register.stride(qudit);
+        // Precompute the permutation + phases on the logical levels.
+        let mut images = vec![(0usize, C64::ONE); d];
+        for (j, im) in images.iter_mut().enumerate() {
+            *im = op.act_on_basis(j);
+        }
+        let total = self.amps.len();
+        let span = stride * dev_dim;
+        let mut new = self.amps.clone();
+        let mut block_start = 0usize;
+        while block_start < total {
+            for inner in 0..stride {
+                let cell = block_start + inner;
+                for j in 0..d {
+                    let (to, phase) = images[j];
+                    new[cell + to * stride] = phase * self.amps[cell + j * stride];
+                }
+            }
+            block_start += span;
+        }
+        self.amps = new;
+    }
+
+    /// One stochastic amplitude-damping step on `qudit` for `dt_ns` of
+    /// elapsed time (trajectory unraveling of the §6.5 channel): with
+    /// probability `lambda_m P(level m)` the state collapses through the
+    /// jump operator `K_m`; otherwise the no-jump Kraus `K_0` is applied
+    /// and the state renormalized.
+    pub fn damping_step<R: Rng + ?Sized>(
+        &mut self,
+        model: &waltz_noise::CoherenceModel,
+        qudit: usize,
+        dt_ns: f64,
+        rng: &mut R,
+    ) {
+        if dt_ns <= 0.0 {
+            return;
+        }
+        let dim = self.register.dim(qudit);
+        let lambdas: Vec<f64> = (1..dim).map(|m| model.lambda(m, dt_ns)).collect();
+        if lambdas.iter().all(|&l| l == 0.0) {
+            return;
+        }
+        // Level occupation probabilities.
+        let mut level_p = vec![0.0f64; dim];
+        for (idx, amp) in self.amps.iter().enumerate() {
+            level_p[self.register.digit(idx, qudit)] += amp.norm_sqr();
+        }
+        let jump_p: Vec<f64> = (1..dim).map(|m| lambdas[m - 1] * level_p[m]).collect();
+        let total_jump: f64 = jump_p.iter().sum();
+        let roll: f64 = rng.gen();
+        if roll < total_jump {
+            // Select which level decayed.
+            let mut acc = 0.0;
+            let mut level = 1;
+            for (m, &p) in jump_p.iter().enumerate() {
+                acc += p;
+                if roll < acc {
+                    level = m + 1;
+                    break;
+                }
+            }
+            self.collapse_level_to_ground(qudit, level);
+        } else {
+            // No-jump evolution: scale each excited level by sqrt(1 - l_m).
+            let stride = self.register.stride(qudit);
+            for (idx, amp) in self.amps.iter_mut().enumerate() {
+                let lvl = (idx / stride) % dim;
+                if lvl > 0 {
+                    *amp = *amp * (1.0 - lambdas[lvl - 1]).sqrt();
+                }
+            }
+            self.normalize();
+        }
+    }
+
+    /// Applies the jump `K_m` (decay of `level` to ground) and normalizes.
+    fn collapse_level_to_ground(&mut self, qudit: usize, level: usize) {
+        let stride = self.register.stride(qudit);
+        let dim = self.register.dim(qudit);
+        let mut new = vec![C64::ZERO; self.amps.len()];
+        for (idx, amp) in self.amps.iter().enumerate() {
+            let lvl = (idx / stride) % dim;
+            if lvl == level {
+                new[idx - level * stride] = *amp;
+            }
+        }
+        self.amps = new;
+        self.normalize();
+    }
+
+    /// Samples a computational basis outcome.
+    pub fn sample_basis<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let roll: f64 = rng.gen();
+        let mut acc = 0.0;
+        for (idx, amp) in self.amps.iter().enumerate() {
+            acc += amp.norm_sqr();
+            if roll < acc {
+                return idx;
+            }
+        }
+        self.amps.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+    use waltz_gates::standard;
+    use waltz_noise::CoherenceModel;
+
+    #[test]
+    fn zero_state_probabilities() {
+        let s = State::zero(&Register::new(vec![4, 2]));
+        assert!((s.probability_of(0) - 1.0).abs() < 1e-15);
+        assert!((s.norm() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn apply_unitary_matches_dense_reference_on_mixed_register() {
+        // Apply the mixed-radix CCZ to (ququart, qubit) and compare with the
+        // dense 8x8 matrix applied to the full vector.
+        let reg = Register::new(vec![4, 2]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let amps = waltz_math::linalg::haar_state(8, &mut rng);
+        let mut s = State::from_amplitudes(&reg, amps.clone());
+        let u = waltz_gates::mixed::ccz();
+        s.apply_unitary(&u, &[0, 1]);
+        let expected = u.apply(&amps);
+        for i in 0..8 {
+            assert!(s.amplitudes()[i].approx_eq(expected[i], 1e-12));
+        }
+    }
+
+    #[test]
+    fn apply_unitary_respects_operand_order() {
+        // CX(control=1, target=0) on 2 qubits: |01> -> |11>.
+        let reg = Register::qubits(2);
+        let mut s = State::zero(&reg);
+        s.apply_unitary(&standard::x(), &[1]); // |01>
+        s.apply_unitary(&standard::cx(), &[1, 0]); // control qubit 1
+        assert!((s.probability_of(3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_unitary_on_non_adjacent_operands() {
+        // 3 qudits (2,4,2); apply CX(q2, q0) leaving the middle alone.
+        let reg = Register::new(vec![2, 4, 2]);
+        let mut s = State::zero(&reg);
+        s.apply_unitary(&standard::x(), &[2]);
+        s.apply_unitary(&standard::cx(), &[2, 0]);
+        // Expect |1, 0, 1> = 8 + 0 + 1 = 9.
+        assert!((s.probability_of(9) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn three_operand_unitary() {
+        let reg = Register::qubits(3);
+        let mut s = State::zero(&reg);
+        s.apply_unitary(&standard::x(), &[0]);
+        s.apply_unitary(&standard::x(), &[1]);
+        s.apply_unitary(&standard::ccx(), &[0, 1, 2]);
+        assert!((s.probability_of(7) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn product_state_construction() {
+        let reg = Register::new(vec![2, 2]);
+        let h = C64::real(std::f64::consts::FRAC_1_SQRT_2);
+        let s = State::from_product(&reg, &[vec![h, h], vec![C64::ONE, C64::ZERO]]);
+        assert!((s.probability_of(0) - 0.5).abs() < 1e-12);
+        assert!((s.probability_of(2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_product_states_are_normalized_and_qubit_confined() {
+        let reg = Register::new(vec![4, 4]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = State::random_qubit_product(&reg, &mut rng);
+        assert!((s.norm() - 1.0).abs() < 1e-12);
+        // No amplitude outside levels {0,1} of either ququart.
+        for idx in 0..16 {
+            let d0 = reg.digit(idx, 0);
+            let d1 = reg.digit(idx, 1);
+            if d0 > 1 || d1 > 1 {
+                assert!(s.amplitudes()[idx].abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn pauli_on_sub_dimension_leaves_high_levels() {
+        let reg = Register::new(vec![4]);
+        // Put amplitude on |2>.
+        let mut amps = vec![C64::ZERO; 4];
+        amps[2] = C64::ONE;
+        let mut s = State::from_amplitudes(&reg, amps);
+        s.apply_pauli(waltz_noise::PauliOp { a: 1, b: 0, d: 2 }, 0);
+        assert!((s.probability_of(2) - 1.0).abs() < 1e-12);
+        // And a qubit X on |0> flips to |1>.
+        let mut s = State::zero(&reg);
+        s.apply_pauli(waltz_noise::PauliOp { a: 1, b: 0, d: 2 }, 0);
+        assert!((s.probability_of(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pauli_matches_matrix_application() {
+        let reg = Register::new(vec![4, 2]);
+        let mut rng = StdRng::seed_from_u64(9);
+        let amps = waltz_math::linalg::haar_state(8, &mut rng);
+        let op = waltz_noise::PauliOp { a: 3, b: 2, d: 4 };
+        let mut s = State::from_amplitudes(&reg, amps.clone());
+        s.apply_pauli(op, 0);
+        let dense = op.matrix().kron(&Matrix::identity(2));
+        let expected = dense.apply(&amps);
+        for i in 0..8 {
+            assert!(s.amplitudes()[i].approx_eq(expected[i], 1e-12));
+        }
+    }
+
+    #[test]
+    fn damping_ground_state_is_invariant() {
+        let reg = Register::new(vec![4]);
+        let mut s = State::zero(&reg);
+        let mut rng = StdRng::seed_from_u64(2);
+        s.damping_step(&CoherenceModel::paper(), 0, 1e6, &mut rng);
+        assert!((s.probability_of(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn damping_eventually_decays_excited_state() {
+        // |3> damped for a very long time must end in |0>.
+        let reg = Register::new(vec![4]);
+        let mut amps = vec![C64::ZERO; 4];
+        amps[3] = C64::ONE;
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut s = State::from_amplitudes(&reg, amps);
+        s.damping_step(&CoherenceModel::paper(), 0, 1e12, &mut rng);
+        assert!((s.probability_of(0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn damping_statistics_match_lambda() {
+        // Monte-Carlo estimate of survival of |1> over dt vs exp(-dt/T1).
+        let model = CoherenceModel::with_t1_ns(1000.0);
+        let dt = 700.0;
+        let reg = Register::new(vec![2]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 4000;
+        let mut survived = 0;
+        for _ in 0..n {
+            let mut amps = vec![C64::ZERO; 2];
+            amps[1] = C64::ONE;
+            let mut s = State::from_amplitudes(&reg, amps);
+            s.damping_step(&model, 0, dt, &mut rng);
+            if s.probability_of(1) > 0.5 {
+                survived += 1;
+            }
+        }
+        let expected = (-dt / 1000.0f64).exp();
+        let got = survived as f64 / n as f64;
+        assert!(
+            (got - expected).abs() < 0.03,
+            "survival {got} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn sample_basis_respects_distribution() {
+        let reg = Register::qubits(1);
+        let h = C64::real(std::f64::consts::FRAC_1_SQRT_2);
+        let s = State::from_amplitudes(&reg, vec![h, h]);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut ones = 0;
+        for _ in 0..2000 {
+            ones += s.sample_basis(&mut rng);
+        }
+        assert!((ones as f64 / 2000.0 - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "operands must be distinct")]
+    fn repeated_operand_rejected() {
+        let reg = Register::qubits(2);
+        let mut s = State::zero(&reg);
+        s.apply_unitary(&standard::cx(), &[0, 0]);
+    }
+}

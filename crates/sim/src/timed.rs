@@ -1,0 +1,180 @@
+//! The scheduled hardware circuit: what the compiler hands the simulator.
+
+use waltz_math::Matrix;
+
+use crate::Register;
+
+/// One scheduled hardware pulse.
+#[derive(Debug, Clone)]
+pub struct TimedOp {
+    /// Human-readable gate name (e.g. `"MrCcz"`), used in reports.
+    pub label: String,
+    /// Unitary already embedded to the operand devices' dimensions.
+    pub unitary: Matrix,
+    /// Operand device indices (order matches the unitary's digit order).
+    pub operands: Vec<usize>,
+    /// Logical dimensions the pulse was calibrated on (e.g. `[2, 2]` for a
+    /// qubit CX executed on 4-level transmons) — the error channel is drawn
+    /// on these dimensions (§6.5).
+    pub error_dims: Vec<u8>,
+    /// Start time in nanoseconds.
+    pub start_ns: f64,
+    /// Pulse duration in nanoseconds.
+    pub duration_ns: f64,
+    /// Calibrated success probability.
+    pub fidelity: f64,
+}
+
+impl TimedOp {
+    /// End time of the pulse.
+    pub fn end_ns(&self) -> f64 {
+        self.start_ns + self.duration_ns
+    }
+}
+
+/// A fully scheduled hardware circuit over a device register.
+///
+/// Invariants (checked by [`TimedCircuit::validate`]): ops are listed in
+/// dependency order, every op's unitary matches its operands' device
+/// dimensions, and per-device start times never regress.
+#[derive(Debug, Clone)]
+pub struct TimedCircuit {
+    /// The device register (dimension 2 or 4 per device).
+    pub register: Register,
+    /// Scheduled pulses in dependency order.
+    pub ops: Vec<TimedOp>,
+    /// Total wall-clock duration in nanoseconds.
+    pub total_duration_ns: f64,
+}
+
+impl TimedCircuit {
+    /// An empty schedule over `register`.
+    pub fn new(register: Register) -> Self {
+        TimedCircuit {
+            register,
+            ops: Vec::new(),
+            total_duration_ns: 0.0,
+        }
+    }
+
+    /// Total number of pulses.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Product of all gate fidelities — the paper's *gate EPS* (§6.3).
+    pub fn gate_eps(&self) -> f64 {
+        self.ops.iter().map(|op| op.fidelity).product()
+    }
+
+    /// Count of pulses grouped by operand count `(1, 2, 3)`.
+    pub fn pulse_counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for op in &self.ops {
+            match op.operands.len() {
+                1 => c.0 += 1,
+                2 => c.1 += 1,
+                _ => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// Checks structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut busy_until = vec![0.0f64; self.register.n_qudits()];
+        for (i, op) in self.ops.iter().enumerate() {
+            let dims: usize = op
+                .operands
+                .iter()
+                .map(|&q| {
+                    assert!(q < self.register.n_qudits());
+                    self.register.dim(q)
+                })
+                .product();
+            if op.unitary.rows() != dims {
+                return Err(format!(
+                    "op {i} ({}) unitary dim {} != operand space {dims}",
+                    op.label,
+                    op.unitary.rows()
+                ));
+            }
+            if op.duration_ns < 0.0 || op.fidelity < 0.0 || op.fidelity > 1.0 {
+                return Err(format!("op {i} ({}) has invalid calibration", op.label));
+            }
+            for &q in &op.operands {
+                if op.start_ns + 1e-9 < busy_until[q] {
+                    return Err(format!(
+                        "op {i} ({}) starts at {} before device {q} frees at {}",
+                        op.label, op.start_ns, busy_until[q]
+                    ));
+                }
+                busy_until[q] = op.end_ns();
+            }
+            if op.end_ns() > self.total_duration_ns + 1e-6 {
+                return Err(format!(
+                    "op {i} ({}) ends after the recorded total duration",
+                    op.label
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waltz_gates::standard;
+
+    fn op(label: &str, u: Matrix, operands: Vec<usize>, start: f64, dur: f64) -> TimedOp {
+        let error_dims = vec![2; operands.len()];
+        TimedOp {
+            label: label.into(),
+            unitary: u,
+            operands,
+            error_dims,
+            start_ns: start,
+            duration_ns: dur,
+            fidelity: 0.99,
+        }
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_schedule() {
+        let mut tc = TimedCircuit::new(Register::qubits(2));
+        tc.ops.push(op("h", standard::h(), vec![0], 0.0, 35.0));
+        tc.ops.push(op("cx", standard::cx(), vec![0, 1], 35.0, 251.0));
+        tc.total_duration_ns = 286.0;
+        assert!(tc.validate().is_ok());
+        assert_eq!(tc.pulse_counts(), (1, 1, 0));
+        assert!((tc.gate_eps() - 0.99f64.powi(2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_rejects_overlapping_ops() {
+        let mut tc = TimedCircuit::new(Register::qubits(2));
+        tc.ops.push(op("cx", standard::cx(), vec![0, 1], 0.0, 251.0));
+        tc.ops.push(op("h", standard::h(), vec![0], 100.0, 35.0));
+        tc.total_duration_ns = 251.0;
+        assert!(tc.validate().unwrap_err().contains("before device"));
+    }
+
+    #[test]
+    fn validate_rejects_dimension_mismatch() {
+        let mut tc = TimedCircuit::new(Register::new(vec![4, 2]));
+        // 4x4 matrix on the 2-dim device 1.
+        tc.ops.push(op("bad", Matrix::identity(4), vec![1], 0.0, 10.0));
+        tc.total_duration_ns = 10.0;
+        assert!(tc.validate().unwrap_err().contains("unitary dim"));
+    }
+}

@@ -1,0 +1,290 @@
+//! The paper's modified trajectory method (§6.4–§6.5).
+//!
+//! Standard trajectory simulation inserts idle error gates at every time
+//! step; the paper instead damps each operand **once per gate, for the
+//! exact time it has been idle**, which better captures which level the
+//! qudit decoheres from. After each gate a generalized-Pauli error is
+//! drawn with probability `1 - F_gate` over the gate's calibrated error
+//! dimensions (mixed-radix gates draw from `P_2 (x) P_4`, §6.5).
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand::rngs::StdRng;
+
+use waltz_noise::{NoiseModel, pauli};
+
+use crate::{State, TimedCircuit, ideal};
+
+/// Runs one noisy trajectory, returning the final (normalized) state.
+///
+/// # Panics
+///
+/// Panics if the initial state's register differs from the circuit's.
+pub fn run_trajectory<R: Rng + ?Sized>(
+    circuit: &TimedCircuit,
+    initial: &State,
+    noise: &NoiseModel,
+    rng: &mut R,
+) -> State {
+    assert_eq!(
+        initial.register(),
+        &circuit.register,
+        "state register does not match circuit register"
+    );
+    let mut state = initial.clone();
+    let mut free_at = vec![0.0f64; circuit.register.n_qudits()];
+    for op in &circuit.ops {
+        // Exact-idle-time damping on each operand (§6.4).
+        if noise.damping {
+            for &q in &op.operands {
+                let idle = op.start_ns - free_at[q];
+                if idle > 0.0 {
+                    state.damping_step(&noise.coherence, q, idle, rng);
+                }
+            }
+        }
+        state.apply_unitary(&op.unitary, &op.operands);
+        // Busy-time damping: decoherence during the pulse itself.
+        if noise.damping && noise.busy_time_damping {
+            for &q in &op.operands {
+                state.damping_step(&noise.coherence, q, op.duration_ns, rng);
+            }
+        }
+        // Depolarizing draw with probability 1 - F (§6.5).
+        if noise.depolarizing && op.fidelity < 1.0 && rng.gen::<f64>() > op.fidelity {
+            let err = pauli::sample_error(&op.error_dims, rng);
+            for (p, &q) in err.iter().zip(op.operands.iter()) {
+                state.apply_pauli(*p, q);
+            }
+        }
+        for &q in &op.operands {
+            free_at[q] = op.end_ns();
+        }
+    }
+    // Trailing idle until the circuit's wall-clock end.
+    if noise.damping {
+        for q in 0..circuit.register.n_qudits() {
+            let idle = circuit.total_duration_ns - free_at[q];
+            if idle > 0.0 {
+                state.damping_step(&noise.coherence, q, idle, rng);
+            }
+        }
+    }
+    state
+}
+
+/// Result of a Monte-Carlo fidelity estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FidelityEstimate {
+    /// Mean state fidelity over trajectories.
+    pub mean: f64,
+    /// Standard error of the mean (std-dev / sqrt(n), the paper's error
+    /// bars).
+    pub std_error: f64,
+    /// Number of trajectories.
+    pub trajectories: usize,
+}
+
+/// Estimates average fidelity over random initial states: for each
+/// trajectory a fresh random qubit-product state is drawn (§6.4, "random
+/// quantum states as classical inputs are not always affected by quantum
+/// errors"), the ideal and noisy final states are computed, and their
+/// overlap recorded.
+pub fn average_fidelity(
+    circuit: &TimedCircuit,
+    noise: &NoiseModel,
+    trajectories: usize,
+    seed: u64,
+) -> FidelityEstimate {
+    average_fidelity_with(circuit, noise, trajectories, seed, |reg, rng| {
+        State::random_qubit_product(reg, rng)
+    })
+}
+
+/// [`average_fidelity`] with a custom initial-state factory.
+pub fn average_fidelity_with(
+    circuit: &TimedCircuit,
+    noise: &NoiseModel,
+    trajectories: usize,
+    seed: u64,
+    make_initial: impl Fn(&crate::Register, &mut StdRng) -> State + Sync,
+) -> FidelityEstimate {
+    assert!(trajectories > 0, "need at least one trajectory");
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(trajectories);
+    let mut fidelities = vec![0.0f64; trajectories];
+    std::thread::scope(|scope| {
+        let chunks: Vec<_> = fidelities
+            .chunks_mut(trajectories.div_ceil(threads))
+            .enumerate()
+            .collect();
+        for (chunk_idx, chunk) in chunks {
+            let make_initial = &make_initial;
+            scope.spawn(move || {
+                for (i, f) in chunk.iter_mut().enumerate() {
+                    let traj_seed = seed
+                        .wrapping_add((chunk_idx * 1_000_003 + i) as u64)
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    let mut rng = StdRng::seed_from_u64(traj_seed);
+                    let initial = make_initial(&circuit.register, &mut rng);
+                    let ideal_out = ideal::run(circuit, &initial);
+                    let noisy_out = run_trajectory(circuit, &initial, noise, &mut rng);
+                    *f = ideal_out.fidelity(&noisy_out);
+                }
+            });
+        }
+    });
+    let n = trajectories as f64;
+    let mean = fidelities.iter().sum::<f64>() / n;
+    let var = fidelities.iter().map(|f| (f - mean).powi(2)).sum::<f64>() / n.max(2.0);
+    FidelityEstimate {
+        mean,
+        std_error: (var / n).sqrt(),
+        trajectories,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Register, TimedOp};
+    use waltz_gates::standard;
+    use waltz_math::Matrix;
+
+    fn one_gate_circuit(fidelity: f64, duration: f64) -> TimedCircuit {
+        let reg = Register::qubits(2);
+        let mut tc = TimedCircuit::new(reg);
+        tc.ops.push(TimedOp {
+            label: "cx".into(),
+            unitary: standard::cx(),
+            operands: vec![0, 1],
+            error_dims: vec![2, 2],
+            start_ns: 0.0,
+            duration_ns: duration,
+            fidelity,
+        });
+        tc.total_duration_ns = duration;
+        tc
+    }
+
+    #[test]
+    fn noiseless_trajectory_equals_ideal() {
+        let tc = one_gate_circuit(0.5, 251.0);
+        let noise = NoiseModel::noiseless();
+        let mut rng = StdRng::seed_from_u64(1);
+        let init = State::random_qubit_product(&tc.register, &mut rng);
+        let a = ideal::run(&tc, &init);
+        let b = run_trajectory(&tc, &init, &noise, &mut rng);
+        assert!((a.fidelity(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_gates_and_zero_time_give_unit_fidelity() {
+        let tc = one_gate_circuit(1.0, 0.0);
+        let est = average_fidelity(&tc, &NoiseModel::paper(), 20, 42);
+        assert!((est.mean - 1.0).abs() < 1e-9, "mean {}", est.mean);
+    }
+
+    #[test]
+    fn depolarizing_rate_shows_in_average_fidelity() {
+        // One gate with fidelity 0.9 and no decoherence: mean fidelity
+        // should be near 0.9 (error states are mostly orthogonal).
+        let tc = one_gate_circuit(0.9, 0.0);
+        let mut noise = NoiseModel::paper();
+        noise.damping = false;
+        noise.busy_time_damping = false;
+        let est = average_fidelity(&tc, &noise, 600, 7);
+        assert!(
+            est.mean > 0.85 && est.mean < 0.97,
+            "mean {} should be near the gate fidelity",
+            est.mean
+        );
+        assert!(est.std_error < 0.02);
+    }
+
+    #[test]
+    fn long_idle_time_damps_fidelity() {
+        // A gate followed by an enormous idle window: coherence error
+        // dominates and fidelity collapses.
+        let reg = Register::qubits(1);
+        let mut tc = TimedCircuit::new(reg);
+        tc.ops.push(TimedOp {
+            label: "x".into(),
+            unitary: standard::x(),
+            operands: vec![0],
+            error_dims: vec![2],
+            start_ns: 0.0,
+            duration_ns: 35.0,
+            fidelity: 1.0,
+        });
+        tc.total_duration_ns = 10_000_000.0; // 10 ms >> T1
+        let est = average_fidelity(&tc, &NoiseModel::paper(), 60, 3);
+        assert!(est.mean < 0.75, "mean {} should collapse", est.mean);
+    }
+
+    #[test]
+    fn busy_time_damping_penalizes_long_pulses() {
+        // Same gate, 100x duration: fidelity must drop when busy-time
+        // damping is on.
+        let short = one_gate_circuit(1.0, 100.0);
+        let long = one_gate_circuit(1.0, 100_000.0);
+        let noise = NoiseModel::paper();
+        let fs = average_fidelity(&short, &noise, 200, 5).mean;
+        let fl = average_fidelity(&long, &noise, 200, 5).mean;
+        assert!(fl < fs, "long pulse {fl} should underperform short {fs}");
+    }
+
+    #[test]
+    fn error_dims_restrict_errors_to_logical_levels() {
+        // A qubit-calibrated gate on 4-level devices must never populate
+        // levels 2/3 even when errors fire.
+        let reg = Register::ququarts(1);
+        let mut tc = TimedCircuit::new(reg.clone());
+        tc.ops.push(TimedOp {
+            label: "x".into(),
+            unitary: waltz_gates::embed(&standard::x(), &[2], &[4]),
+            operands: vec![0],
+            error_dims: vec![2],
+            start_ns: 0.0,
+            duration_ns: 35.0,
+            fidelity: 0.0, // always draw an error
+        });
+        tc.total_duration_ns = 35.0;
+        let mut noise = NoiseModel::paper();
+        noise.damping = false;
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let out = run_trajectory(&tc, &State::zero(&reg), &noise, &mut rng);
+            assert!(out.probability_of(2) < 1e-12);
+            assert!(out.probability_of(3) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn estimates_are_deterministic_for_fixed_seed() {
+        let tc = one_gate_circuit(0.95, 300.0);
+        let a = average_fidelity(&tc, &NoiseModel::paper(), 40, 99);
+        let b = average_fidelity(&tc, &NoiseModel::paper(), 40, 99);
+        assert_eq!(a.mean, b.mean);
+    }
+
+    #[test]
+    fn validate_passes_for_embedded_unitaries() {
+        let reg = Register::new(vec![4, 4]);
+        let mut tc = TimedCircuit::new(reg);
+        tc.ops.push(TimedOp {
+            label: "cx-embedded".into(),
+            unitary: waltz_gates::embed(&standard::cx(), &[2, 2], &[4, 4]),
+            operands: vec![0, 1],
+            error_dims: vec![2, 2],
+            start_ns: 0.0,
+            duration_ns: 251.0,
+            fidelity: 0.99,
+        });
+        tc.total_duration_ns = 251.0;
+        assert!(tc.validate().is_ok());
+        let _ = Matrix::identity(2);
+    }
+}

@@ -1,0 +1,63 @@
+//! Synthesize gate pulses with GRAPE against the paper's Eq. 2 transmon
+//! Hamiltonian, including the iterative gate-time shrinking of §2.3.
+//!
+//! Run: `cargo run --release --example pulse_synthesis`
+
+use waltz_pulse::{GrapeOptions, TransmonSystem, synth};
+
+fn main() {
+    println!("== GRAPE pulse synthesis on the Eq. 2 transmon ==\n");
+
+    // 1. A single-qubit X on a guarded transmon (logical {0,1}, one guard).
+    let system = TransmonSystem::paper(1, 2, 1);
+    let opts = GrapeOptions::default();
+    let x = synth::synthesize(&system, &waltz_gates::standard::x(), 35.0, 40, &opts);
+    println!(
+        "X  @ 35 ns : F = {:.4}, leakage {:.4}, {} iterations",
+        x.fidelity, x.leakage, x.iterations
+    );
+
+    // 2. Hadamard at the same duration.
+    let h = synth::synthesize(&system, &waltz_gates::standard::h(), 35.0, 40, &opts);
+    println!("H  @ 35 ns : F = {:.4}", h.fidelity);
+
+    // 3. The Fig. 2 ququart gate: H (x) H on one four-level device.
+    let ququart = TransmonSystem::paper(1, 4, 1);
+    let hh = synth::synthesize(
+        &ququart,
+        &synth::h_tensor_h_target(),
+        90.0,
+        90,
+        &GrapeOptions {
+            max_iters: 800,
+            learning_rate: 0.006,
+            leakage_weight: 0.3,
+            ..GrapeOptions::default()
+        },
+    );
+    println!("H(x)H @ 90 ns on a ququart : F = {:.4} (paper class: 86 ns single-ququart pulse)", hh.fidelity);
+
+    // 4. Iterative duration shrinking (§2.3): find the shortest X pulse
+    //    holding F >= 0.99.
+    println!("\nDuration shrinking for X (target F >= 0.99):");
+    let shrink = synth::shrink_duration(
+        &system,
+        &waltz_gates::standard::x(),
+        60.0,
+        60,
+        0.75,
+        0.99,
+        &GrapeOptions {
+            max_iters: 400,
+            infidelity_target: 5e-3,
+            ..GrapeOptions::default()
+        },
+    );
+    for (t, f) in &shrink.attempts {
+        println!("  T = {t:6.1} ns -> F = {f:.4}");
+    }
+    println!(
+        "shortest pulse meeting the target: {:.1} ns (paper's calibrated U: 35 ns)",
+        shrink.duration_ns
+    );
+}

@@ -1,0 +1,59 @@
+//! # Quantum Waltz
+//!
+//! A full Rust reproduction of *Dancing the Quantum Waltz: Compiling
+//! Three-Qubit Gates on Four Level Architectures* (ISCA 2023).
+//!
+//! Two qubits compress into one four-level transmon (*ququart*), turning a
+//! three-qubit gate into a pulse across just two physical devices. This
+//! workspace implements the complete stack the paper builds on:
+//!
+//! | Crate | Role |
+//! |-------|------|
+//! | [`math`] | complex dense linear algebra (LU, QR, Padé `expm`) |
+//! | [`gates`] | the calibrated qubit/mixed-radix/full-ququart gate library (Tables 1–2) |
+//! | [`circuit`] | logical circuit IR and three-qubit decompositions (Fig. 6) |
+//! | [`arch`] | device topologies and the qubits-on-ququarts interaction graph |
+//! | [`noise`] | generalized-Pauli depolarizing + amplitude damping channels (§6.5) |
+//! | [`sim`] | mixed-radix state vectors and the trajectory-method simulator (§6.4) |
+//! | [`pulse`] | GRAPE optimal control against the Eq. 2 transmon Hamiltonian |
+//! | [`rb`] | randomized benchmarking on the encoded ququart (Fig. 2) |
+//! | [`circuits`] | CNU / Cuccaro / QRAM / Select / synthetic benchmarks (§6.1) |
+//! | [`core`] | **the Quantum Waltz compiler** (§5): mapping, routing, configuration selection, scheduling, EPS |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use quantum_waltz::prelude::*;
+//!
+//! // A Toffoli-heavy circuit.
+//! let circuit = quantum_waltz::circuits::generalized_toffoli(3);
+//!
+//! // Compile it two ways and compare expected success probabilities.
+//! let lib = GateLibrary::paper();
+//! let model = CoherenceModel::paper();
+//! let qubit_only = compile(&circuit, &Strategy::qubit_only(), &lib).unwrap();
+//! let full_quart = compile(&circuit, &Strategy::full_ququart(), &lib).unwrap();
+//! assert!(full_quart.eps(&model).total() > qubit_only.eps(&model).total());
+//! ```
+
+#![warn(missing_docs)]
+
+pub use waltz_arch as arch;
+pub use waltz_circuit as circuit;
+pub use waltz_circuits as circuits;
+pub use waltz_core as core;
+pub use waltz_gates as gates;
+pub use waltz_math as math;
+pub use waltz_noise as noise;
+pub use waltz_pulse as pulse;
+pub use waltz_rb as rb;
+pub use waltz_sim as sim;
+
+/// The most common imports for working with the compiler end to end.
+pub mod prelude {
+    pub use waltz_circuit::Circuit;
+    pub use waltz_core::{CompiledCircuit, FqCswapMode, MrCcxMode, Strategy, compile, compile_on};
+    pub use waltz_gates::GateLibrary;
+    pub use waltz_noise::{CoherenceModel, NoiseModel};
+    pub use waltz_sim::trajectory::average_fidelity;
+}

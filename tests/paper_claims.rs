@@ -1,0 +1,171 @@
+//! Integration tests pinning the paper's qualitative claims (the "shape"
+//! of every headline result) at small, fast scales.
+
+use quantum_waltz::prelude::*;
+use waltz_circuits::{cuccaro_adder, generalized_toffoli, qram};
+use waltz_gates::hw::MrCcxConfig;
+
+fn eps_total(circuit: &Circuit, strategy: &Strategy, lib: &GateLibrary) -> f64 {
+    let model = CoherenceModel::paper();
+    compile(circuit, strategy, lib).unwrap().eps(&model).total()
+}
+
+#[test]
+fn higher_radix_strategies_beat_qubit_only_on_eps() {
+    // Fig. 7 / Fig. 8 shape on the analytic model, across benchmarks.
+    let lib = GateLibrary::paper();
+    for circuit in [generalized_toffoli(3), cuccaro_adder(3), qram(2)] {
+        let qo = eps_total(&circuit, &Strategy::qubit_only(), &lib);
+        let mr = eps_total(&circuit, &Strategy::mixed_radix_ccz(), &lib);
+        let fq = eps_total(&circuit, &Strategy::full_ququart(), &lib);
+        assert!(mr > qo, "mixed-radix EPS {mr} <= qubit-only {qo}");
+        assert!(fq > qo, "full-ququart EPS {fq} <= qubit-only {qo}");
+    }
+}
+
+#[test]
+fn full_ququart_improvement_grows_with_size() {
+    // Fig. 7e shape: the full-ququart advantage grows with circuit size.
+    let lib = GateLibrary::paper();
+    let small = generalized_toffoli(2);
+    let large = generalized_toffoli(5);
+    let ratio_small = eps_total(&small, &Strategy::full_ququart(), &lib)
+        / eps_total(&small, &Strategy::qubit_only(), &lib);
+    let ratio_large = eps_total(&large, &Strategy::full_ququart(), &lib)
+        / eps_total(&large, &Strategy::qubit_only(), &lib);
+    assert!(
+        ratio_large > ratio_small,
+        "improvement should grow: {ratio_small} -> {ratio_large}"
+    );
+}
+
+#[test]
+fn simulated_fidelity_ordering_on_adder() {
+    // Trajectory-method version of the Fig. 7 ordering on the adder.
+    let circuit = cuccaro_adder(2); // 6 qubits
+    let lib = GateLibrary::paper();
+    let noise = NoiseModel::paper();
+    let run = |s: &Strategy| {
+        let compiled = compile(&circuit, s, &lib).unwrap();
+        waltz_sim::trajectory::average_fidelity_with(&compiled.timed, &noise, 80, 5, |_, rng| {
+            compiled.random_product_initial_state(rng)
+        })
+        .mean
+    };
+    let qo = run(&Strategy::qubit_only());
+    let fq = run(&Strategy::full_ququart());
+    assert!(fq > qo, "full-ququart {fq} should beat qubit-only {qo}");
+}
+
+#[test]
+fn ccz_transform_shortens_mixed_radix_schedules() {
+    // §7: the CCZ transform consistently matches or beats raw CCX
+    // configurations because the 264 ns CCZ replaces 412+ ns CCXs.
+    let circuit = generalized_toffoli(3);
+    let lib = GateLibrary::paper();
+    let raw = compile(&circuit, &Strategy::mixed_radix_raw(), &lib).unwrap();
+    let ccz = compile(&circuit, &Strategy::mixed_radix_ccz(), &lib).unwrap();
+    // The CCZ version never uses a slow split-control CCX pulse.
+    assert!(
+        ccz.timed.ops.iter().all(|op| !op.label.contains("MrCcx")),
+        "CCZ transform must remove CCX pulses"
+    );
+    let model = CoherenceModel::paper();
+    assert!(ccz.eps(&model).total() >= raw.eps(&model).total() * 0.98);
+}
+
+#[test]
+fn gate_error_sensitivity_has_a_crossover() {
+    // Fig. 9b shape: scaling ququart error eventually sinks mixed-radix
+    // below the qubit-only baseline.
+    let circuit = cuccaro_adder(2);
+    let model = CoherenceModel::paper();
+    let qo = eps_total(&circuit, &Strategy::qubit_only(), &GateLibrary::paper());
+    let healthy = compile(&circuit, &Strategy::mixed_radix_ccz(), &GateLibrary::paper())
+        .unwrap()
+        .eps(&model)
+        .total();
+    let degraded = compile(
+        &circuit,
+        &Strategy::mixed_radix_ccz(),
+        &GateLibrary::paper().with_ququart_error_scale(8.0),
+    )
+    .unwrap()
+    .eps(&model)
+    .total();
+    assert!(healthy > qo, "healthy mixed-radix must beat qubit-only");
+    assert!(degraded < qo, "8x-degraded mixed-radix must lose");
+}
+
+#[test]
+fn coherence_sensitivity_narrows_the_full_ququart_gap() {
+    // Fig. 9c shape: worse |2>/|3> coherence hurts full-ququart more than
+    // mixed-radix.
+    let circuit = qram(2);
+    let lib = GateLibrary::paper();
+    let gap = |scale: f64| {
+        let model = CoherenceModel::paper().with_high_level_rate_scale(scale);
+        let fq = compile(&circuit, &Strategy::full_ququart(), &lib)
+            .unwrap()
+            .eps(&model)
+            .total();
+        let mr = compile(&circuit, &Strategy::mixed_radix_ccz(), &lib)
+            .unwrap()
+            .eps(&model)
+            .total();
+        fq - mr
+    };
+    assert!(
+        gap(32.0) < gap(1.0),
+        "gap must shrink as higher levels decay faster"
+    );
+}
+
+#[test]
+fn controls_together_is_the_chosen_ccx_configuration() {
+    // §4.2.1: the compiler should reach the fast 412 ns configuration for
+    // a lone Toffoli.
+    let mut c = Circuit::new(3);
+    c.ccx(0, 1, 2);
+    let lib = GateLibrary::paper();
+    let compiled = compile(&c, &Strategy::mixed_radix_raw(), &lib).unwrap();
+    let has_fast = compiled
+        .timed
+        .ops
+        .iter()
+        .any(|op| op.label.contains(&format!("{:?}", MrCcxConfig::ControlsEncoded)));
+    assert!(has_fast, "expected the ControlsEncoded configuration");
+}
+
+#[test]
+fn itoffoli_baseline_emits_correction_gates() {
+    // Fig. 6d: every iToffoli needs its CS† correction and the extra SWAP.
+    let mut c = Circuit::new(3);
+    c.ccx(0, 1, 2);
+    let lib = GateLibrary::paper();
+    let compiled = compile(&c, &Strategy::qubit_only_itoffoli(), &lib).unwrap();
+    let labels: Vec<&str> = compiled.timed.ops.iter().map(|o| o.label.as_str()).collect();
+    assert!(labels.contains(&"IToffoli"));
+    assert!(labels.contains(&"QubitCsdg"));
+    assert!(labels.contains(&"QubitSwap"), "the corrective SWAP (§7)");
+}
+
+#[test]
+fn mixed_radix_spends_little_time_encoded() {
+    // §7: "Mixed-radix gates do not spend as much time in the higher level
+    // states" — encoded spans must be a small fraction of the schedule.
+    let circuit = cuccaro_adder(2);
+    let lib = GateLibrary::paper();
+    let compiled = compile(&circuit, &Strategy::mixed_radix_ccz(), &lib).unwrap();
+    let total: f64 = compiled.stats.total_duration_ns * circuit.n_qubits() as f64;
+    let encoded: f64 = compiled
+        .coherence_spans
+        .iter()
+        .filter(|s| s.level == 3)
+        .map(|s| s.duration_ns())
+        .sum();
+    assert!(
+        encoded < 0.35 * total,
+        "encoded fraction too large: {encoded} of {total}"
+    );
+}

@@ -1,0 +1,178 @@
+//! Property-based tests over the whole stack: random circuits must
+//! compile correctly under every strategy, and core invariants must hold
+//! for arbitrary inputs.
+
+use proptest::prelude::*;
+
+use quantum_waltz::prelude::{
+    Circuit, CoherenceModel, GateLibrary, Strategy as Waltz, compile,
+};
+use waltz_circuit::{Gate, GateKind};
+use waltz_core::verify;
+use waltz_gates::Q1Gate;
+
+/// A proptest strategy producing a random logical circuit on `n` qubits.
+fn random_circuit(n: usize, max_gates: usize) -> impl proptest::strategy::Strategy<Value = Circuit> {
+    let gate = (0usize..8, proptest::collection::vec(0usize..n, 3), -3.0f64..3.0);
+    proptest::collection::vec(gate, 1..max_gates).prop_map(move |gates| {
+        let mut c = Circuit::new(n);
+        for (kind, qs, angle) in gates {
+            let distinct = |k: usize| -> Option<Vec<usize>> {
+                let mut v = qs.clone();
+                v.truncate(k);
+                v.sort_unstable();
+                v.dedup();
+                (v.len() == k).then_some(v)
+            };
+            match kind {
+                0 => {
+                    c.push(Gate::new(GateKind::One(Q1Gate::H), vec![qs[0]]));
+                }
+                1 => {
+                    c.push(Gate::new(GateKind::One(Q1Gate::Rz(angle)), vec![qs[0]]));
+                }
+                2 => {
+                    if let Some(v) = distinct(2) {
+                        c.push(Gate::new(GateKind::Cx, v));
+                    }
+                }
+                3 => {
+                    if let Some(v) = distinct(2) {
+                        c.push(Gate::new(GateKind::Cz, v));
+                    }
+                }
+                4 => {
+                    if let Some(v) = distinct(2) {
+                        c.push(Gate::new(GateKind::Swap, v));
+                    }
+                }
+                5 => {
+                    if let Some(v) = distinct(3) {
+                        c.push(Gate::new(GateKind::Ccx, v));
+                    }
+                }
+                6 => {
+                    if let Some(v) = distinct(3) {
+                        c.push(Gate::new(GateKind::Ccz, v));
+                    }
+                }
+                _ => {
+                    if let Some(v) = distinct(3) {
+                        c.push(Gate::new(GateKind::Cswap, v));
+                    }
+                }
+            }
+        }
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_circuits_compile_correctly_under_every_strategy(
+        circuit in random_circuit(4, 10),
+        seed in 0u64..1000,
+    ) {
+        let lib = GateLibrary::paper();
+        for strategy in [
+            Waltz::qubit_only(),
+            Waltz::qubit_only_itoffoli(),
+            Waltz::mixed_radix_raw(),
+            Waltz::mixed_radix_ccz(),
+            Waltz::full_ququart(),
+        ] {
+            let compiled = compile(&circuit, &strategy, &lib).unwrap();
+            prop_assert!(compiled.timed.validate().is_ok());
+            let report = verify::check(&circuit, &compiled, 1, seed);
+            prop_assert!(
+                report.passed(1e-8),
+                "{} min fidelity {}",
+                strategy.name(),
+                report.min_fidelity
+            );
+        }
+    }
+
+    #[test]
+    fn schedules_never_overlap_and_eps_stays_probabilistic(
+        circuit in random_circuit(5, 14),
+    ) {
+        let lib = GateLibrary::paper();
+        let model = CoherenceModel::paper();
+        let compiled = compile(&circuit, &Waltz::mixed_radix_ccz(), &lib).unwrap();
+        prop_assert!(compiled.timed.validate().is_ok());
+        let eps = compiled.eps(&model);
+        prop_assert!(eps.gate > 0.0 && eps.gate <= 1.0);
+        prop_assert!(eps.coherence > 0.0 && eps.coherence <= 1.0);
+        prop_assert!(eps.total() <= eps.gate);
+    }
+
+    #[test]
+    fn embedded_states_preserve_norm_and_decode(
+        bits in proptest::collection::vec(0usize..2, 3),
+    ) {
+        // Basis states embed to basis states with the right digit layout.
+        let mut c = Circuit::new(3);
+        c.ccx(0, 1, 2);
+        let lib = GateLibrary::paper();
+        let compiled = compile(&c, &Waltz::full_ququart(), &lib).unwrap();
+        let mut amps = vec![waltz_math::C64::ZERO; 8];
+        let idx = bits.iter().fold(0usize, |a, &b| (a << 1) | b);
+        amps[idx] = waltz_math::C64::ONE;
+        let state = compiled.embed_logical_state(&amps, &compiled.initial_sites);
+        prop_assert!((state.norm() - 1.0).abs() < 1e-12);
+        let ones = state
+            .amplitudes()
+            .iter()
+            .filter(|a| a.abs() > 1e-9)
+            .count();
+        prop_assert_eq!(ones, 1, "basis states stay basis states");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn damping_channel_is_trace_preserving_for_any_time(dt in 0.0f64..1e7) {
+        let ks = waltz_noise::damping::kraus_operators(&CoherenceModel::paper(), 4, dt);
+        prop_assert!(waltz_noise::damping::is_trace_preserving(&ks, 1e-10));
+    }
+
+    #[test]
+    fn pauli_errors_are_unitary_and_nonidentity(seed in 0u64..10_000) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let e = waltz_noise::pauli::sample_error(&[4, 2], &mut rng);
+        prop_assert!(!(e[0].is_identity() && e[1].is_identity()));
+        for p in e {
+            prop_assert!(p.matrix().is_unitary(1e-10));
+        }
+    }
+
+    #[test]
+    fn synthetic_generator_respects_mix(frac in 0.0f64..=1.0, seed in 0u64..500) {
+        let c = waltz_circuits::synthetic(6, 30, frac, seed);
+        let (_, twoq, threeq) = c.gate_counts();
+        prop_assert_eq!(twoq + threeq, 30);
+        prop_assert_eq!(twoq, (30.0 * frac).round() as usize);
+    }
+
+    #[test]
+    fn interaction_graph_distances_form_a_metric(n in 2usize..8) {
+        let g = waltz_arch::InteractionGraph::encoded(waltz_arch::Topology::grid(n));
+        let d = g.distances(0.1, 1.0);
+        let s = g.n_sites();
+        for a in 0..s {
+            prop_assert!(d[a][a].abs() < 1e-12);
+            for b in 0..s {
+                prop_assert!((d[a][b] - d[b][a]).abs() < 1e-9);
+                for c in 0..s {
+                    prop_assert!(d[a][c] <= d[a][b] + d[b][c] + 1e-9);
+                }
+            }
+        }
+    }
+}
