@@ -39,7 +39,10 @@ impl Topology {
     fn from_edges(kind: TopologyKind, n_devices: usize, edges: &[(usize, usize)]) -> Self {
         let mut adjacency = vec![Vec::new(); n_devices];
         for &(a, b) in edges {
-            assert!(a < n_devices && b < n_devices && a != b, "bad edge ({a},{b})");
+            assert!(
+                a < n_devices && b < n_devices && a != b,
+                "bad edge ({a},{b})"
+            );
             if !adjacency[a].contains(&b) {
                 adjacency[a].push(b);
                 adjacency[b].push(a);
@@ -240,16 +243,20 @@ mod tests {
     fn fully_connected_distances_are_one() {
         let t = Topology::fully_connected(5);
         let d = t.distances();
-        for a in 0..5 {
-            for b in 0..5 {
-                assert_eq!(d[a][b], usize::from(a != b));
+        for (a, row) in d.iter().enumerate() {
+            for (b, &dist) in row.iter().enumerate() {
+                assert_eq!(dist, usize::from(a != b));
             }
         }
     }
 
     #[test]
     fn single_device_topologies() {
-        for t in [Topology::line(1), Topology::grid(1), Topology::fully_connected(1)] {
+        for t in [
+            Topology::line(1),
+            Topology::grid(1),
+            Topology::fully_connected(1),
+        ] {
             assert_eq!(t.n_devices(), 1);
             assert!(t.is_connected());
             assert_eq!(t.center(), 0);

@@ -1,10 +1,10 @@
 //! Criterion micro-benchmarks of the compiler pipeline: mapping, routing,
 //! configuration selection and scheduling per strategy and benchmark.
 
-use criterion::{Criterion, criterion_group, criterion_main};
+use criterion::{criterion_group, criterion_main, Criterion};
 
 use waltz_circuits::{cuccaro_adder, generalized_toffoli, qram};
-use waltz_core::{Strategy, compile};
+use waltz_core::{compile, Strategy};
 use waltz_gates::GateLibrary;
 use waltz_noise::CoherenceModel;
 

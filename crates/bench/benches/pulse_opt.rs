@@ -1,10 +1,10 @@
 //! Criterion micro-benchmarks of the optimal-control stack: propagator
 //! construction and GRAPE iterations on the Eq. 2 Hamiltonian.
 
-use criterion::{Criterion, criterion_group, criterion_main};
+use criterion::{criterion_group, criterion_main, Criterion};
 
-use waltz_pulse::propagate::{Pulse, total_propagator};
-use waltz_pulse::{GrapeOptions, TransmonSystem, optimize};
+use waltz_pulse::propagate::{total_propagator, Pulse};
+use waltz_pulse::{optimize, GrapeOptions, TransmonSystem};
 
 fn bench_propagation(c: &mut Criterion) {
     let mut group = c.benchmark_group("pulse");

@@ -1,15 +1,16 @@
 //! Criterion micro-benchmarks of the trajectory simulator: gate
 //! application, damping steps and whole-circuit trajectories.
 
-use criterion::{Criterion, criterion_group, criterion_main};
-use rand::SeedableRng;
+use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 use waltz_circuits::generalized_toffoli;
-use waltz_core::{Strategy, compile};
+use waltz_core::{compile, Strategy};
 use waltz_gates::GateLibrary;
+use waltz_math::Matrix;
 use waltz_noise::{CoherenceModel, NoiseModel};
-use waltz_sim::{Register, State, trajectory};
+use waltz_sim::{trajectory, GateKernel, Register, State, Workspace};
 
 fn bench_gate_application(c: &mut Criterion) {
     let mut group = c.benchmark_group("state");
@@ -37,6 +38,43 @@ fn bench_gate_application(c: &mut Criterion) {
     group.finish();
 }
 
+/// Kernel-specialized apply vs. the generic dense path, per kernel class,
+/// at 4^8 amplitudes. Gates are unitary, so each iteration applies in
+/// place with no per-iteration state clone.
+fn bench_kernel_classes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel");
+    group.sample_size(30);
+    let reg = Register::ququarts(8);
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut state = State::random_qubit_product(&reg, &mut rng);
+    let diag = waltz_gates::full_quart::cz(waltz_gates::Slot::S0, waltz_gates::Slot::S1);
+    let perm = Matrix::permutation(&(0..16).map(|j| (j + 5) % 16).collect::<Vec<_>>());
+    let dense1 = waltz_math::linalg::haar_unitary(4, &mut rng);
+    let dense2 = waltz_math::linalg::haar_unitary(16, &mut rng);
+    let cases: Vec<(&str, Matrix, Vec<usize>)> = vec![
+        ("diagonal", diag, vec![3, 4]),
+        ("permutation", perm, vec![3, 4]),
+        ("single-qudit", dense1, vec![3]),
+        ("two-qudit", dense2, vec![3, 4]),
+    ];
+    for (name, u, operands) in &cases {
+        let kernel = GateKernel::classify(u, operands.len());
+        assert_eq!(&kernel.name(), name);
+        let mut ws = Workspace::serial();
+        group.bench_function(format!("{name}/kernel/4^8"), |b| {
+            b.iter(|| state.apply_kernel(&kernel, u, operands, &mut ws))
+        });
+        let mut par = Workspace::new();
+        group.bench_function(format!("{name}/kernel-parallel/4^8"), |b| {
+            b.iter(|| state.apply_kernel(&kernel, u, operands, &mut par))
+        });
+        group.bench_function(format!("{name}/generic/4^8"), |b| {
+            b.iter(|| state.apply_unitary(u, operands))
+        });
+    }
+    group.finish();
+}
+
 fn bench_trajectories(c: &mut Criterion) {
     let lib = GateLibrary::paper();
     let noise = NoiseModel::paper();
@@ -56,5 +94,10 @@ fn bench_trajectories(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_gate_application, bench_trajectories);
+criterion_group!(
+    benches,
+    bench_gate_application,
+    bench_kernel_classes,
+    bench_trajectories
+);
 criterion_main!(benches);

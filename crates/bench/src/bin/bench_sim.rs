@@ -1,0 +1,175 @@
+//! Emits the `BENCH_sim.json` perf baseline: gate-apply ns/op by kernel
+//! class at 4^8 amplitudes (specialized vs. the generic dense path),
+//! trajectory throughput on the cnu-6q benchmark, and compile times.
+//!
+//! Usage: `cargo run --release -p waltz-bench --bin bench_sim [--out PATH]
+//! [--budget-ms N]`.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use waltz_bench::perf::{time_ns, JsonObject};
+use waltz_bench::runner;
+use waltz_circuits::generalized_toffoli;
+use waltz_core::{compile, Strategy};
+use waltz_gates::GateLibrary;
+use waltz_math::Matrix;
+use waltz_noise::NoiseModel;
+use waltz_sim::{GateKernel, Register, State, Workspace};
+
+/// One gate-apply comparison: the specialized kernel path (serial and
+/// parallel workspaces) against the generic dense reference.
+fn apply_case(
+    name: &str,
+    u: &Matrix,
+    operands: &[usize],
+    state: &mut State,
+    budget: Duration,
+) -> JsonObject {
+    let kernel = GateKernel::classify(u, operands.len());
+    assert_eq!(kernel.name(), name, "unexpected kernel class for {name}");
+    let mut serial = Workspace::serial();
+    let kernel_t = time_ns(budget, || {
+        state.apply_kernel(&kernel, u, operands, &mut serial)
+    });
+    let mut parallel = Workspace::new();
+    let parallel_t = time_ns(budget, || {
+        state.apply_kernel(&kernel, u, operands, &mut parallel)
+    });
+    let generic_t = time_ns(budget, || state.apply_unitary(u, operands));
+    let mut o = JsonObject::new();
+    o.num("kernel_ns", kernel_t.ns_per_op)
+        .num("kernel_parallel_ns", parallel_t.ns_per_op)
+        .num("generic_ns", generic_t.ns_per_op)
+        .num("speedup", generic_t.ns_per_op / kernel_t.ns_per_op)
+        .num(
+            "speedup_parallel",
+            generic_t.ns_per_op / parallel_t.ns_per_op,
+        );
+    println!(
+        "apply/{name:<14} kernel {:>12.0} ns  parallel {:>12.0} ns  generic {:>12.0} ns  ({:.1}x)",
+        kernel_t.ns_per_op,
+        parallel_t.ns_per_op,
+        generic_t.ns_per_op,
+        generic_t.ns_per_op / kernel_t.ns_per_op
+    );
+    o
+}
+
+fn main() {
+    let mut out_path = "BENCH_sim.json".to_string();
+    let mut budget_ms = 300u64;
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                out_path = args[i + 1].clone();
+                i += 2;
+            }
+            "--budget-ms" => {
+                budget_ms = args[i + 1].parse().expect("bad --budget-ms");
+                i += 2;
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    let budget = Duration::from_millis(budget_ms);
+
+    // --- Gate application at 4^8 = 65536 amplitudes. ---------------------
+    let reg = Register::ququarts(8);
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut state = State::random_qubit_product(&reg, &mut rng);
+    let mut apply = JsonObject::new();
+
+    // Diagonal: the full-ququart CZ (16x16 diagonal), operands (3, 4).
+    let cz = waltz_gates::full_quart::cz(waltz_gates::Slot::S0, waltz_gates::Slot::S1);
+    apply.obj(
+        "diagonal",
+        &apply_case("diagonal", &cz, &[3, 4], &mut state, budget),
+    );
+
+    // Permutation: a two-ququart phased permutation (16 states).
+    let perm: Vec<usize> = (0..16).map(|j| (j + 5) % 16).collect();
+    let perm_u = Matrix::permutation(&perm);
+    apply.obj(
+        "permutation",
+        &apply_case("permutation", &perm_u, &[3, 4], &mut state, budget),
+    );
+
+    // Single-qudit dense: Haar 4x4.
+    let u4 = waltz_math::linalg::haar_unitary(4, &mut rng);
+    apply.obj(
+        "single-qudit",
+        &apply_case("single-qudit", &u4, &[3], &mut state, budget),
+    );
+
+    // Two-qudit dense: Haar 16x16.
+    let u16 = waltz_math::linalg::haar_unitary(16, &mut rng);
+    apply.obj(
+        "two-qudit",
+        &apply_case("two-qudit", &u16, &[3, 4], &mut state, budget),
+    );
+
+    // --- Compile + trajectory throughput on cnu-6q. ----------------------
+    let lib = GateLibrary::paper();
+    let noise = NoiseModel::paper();
+    let circuit = generalized_toffoli(3); // 6 logical qubits
+    let mut compile_obj = JsonObject::new();
+    let mut traj_obj = JsonObject::new();
+    for strategy in [
+        Strategy::qubit_only(),
+        Strategy::mixed_radix_ccz(),
+        Strategy::full_ququart(),
+    ] {
+        let compile_t = time_ns(budget, || {
+            std::hint::black_box(compile(&circuit, &strategy, &lib).unwrap());
+        });
+        compile_obj.num(&strategy.name(), compile_t.ns_per_op / 1e6);
+        let compiled = compile(&circuit, &strategy, &lib).unwrap();
+        let trajectories = 400;
+        let (est, rate) = runner::simulate_timed(&compiled, &noise, trajectories, 7);
+        // The same schedule with every kernel demoted to GeneralDense:
+        // isolates what the specialized paths buy the trajectory loop.
+        let mut dense = compiled.clone();
+        for op in &mut dense.timed.ops {
+            op.kernel = GateKernel::GeneralDense;
+        }
+        let (_, dense_rate) = runner::simulate_timed(&dense, &noise, trajectories, 7);
+        let mut t = JsonObject::new();
+        t.num("trajectories_per_sec", rate)
+            .num("trajectories_per_sec_dense", dense_rate)
+            .num("speedup", rate / dense_rate)
+            .int("trajectories", trajectories as u64)
+            .num("mean_fidelity", est.mean)
+            .num("std_error", est.std_error);
+        traj_obj.obj(&strategy.name(), &t);
+        println!(
+            "trajectory/cnu-6q/{:<22} {:>10.0} traj/s  (dense {:>10.0}, {:.2}x, mean F = {:.4})",
+            strategy.name(),
+            rate,
+            dense_rate,
+            rate / dense_rate,
+            est.mean
+        );
+    }
+
+    // --- Report. ---------------------------------------------------------
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut report = JsonObject::new();
+    report
+        .str("schema", "bench_sim/v1")
+        .str("bench", "kernel-specialized state-vector engine")
+        .int("threads", threads as u64)
+        .int("amplitudes", reg.total_dim() as u64)
+        .obj("gate_apply_4pow8", &apply)
+        .obj("compile_ms_cnu6q", &compile_obj)
+        .obj("trajectory_cnu6q", &traj_obj);
+    let rendered = report.render_pretty();
+    std::fs::write(&out_path, &rendered).expect("write BENCH_sim.json");
+    println!("wrote {out_path}");
+}

@@ -8,7 +8,7 @@
 //! Run: `cargo run -p waltz-bench --release --bin fig1_census`
 
 use waltz_circuit::Circuit;
-use waltz_core::{Strategy, compile};
+use waltz_core::{compile, Strategy};
 use waltz_gates::GateLibrary;
 
 fn main() {
@@ -26,9 +26,7 @@ fn main() {
         let compiled = compile(&circuit, &strategy, &lib).expect("compiles");
         let (one, two, three) = compiled.timed.pulse_counts();
         println!("--- {} ---", strategy.name());
-        println!(
-            "  pulses: {one} single-device, {two} two-device, {three} three-device"
-        );
+        println!("  pulses: {one} single-device, {two} two-device, {three} three-device");
         println!("  duration: {:.0} ns", compiled.stats.total_duration_ns);
         let mut histogram: std::collections::BTreeMap<&str, usize> = Default::default();
         for op in &compiled.timed.ops {

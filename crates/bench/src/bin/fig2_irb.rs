@@ -59,5 +59,8 @@ fn main() {
     println!("  F_IRB  : {:>9.3} %   92.1 %", 100.0 * f_irb);
     println!("  F_HxH  : {:>9.3} %   96.0 %", 100.0 * f_hh);
     let ok = (f_rb - 0.958).abs() < 0.015 && (f_hh - 0.960).abs() < 0.02;
-    println!("\nWithin tolerance of the paper's extraction: {}", if ok { "yes" } else { "NO" });
+    println!(
+        "\nWithin tolerance of the paper's extraction: {}",
+        if ok { "yes" } else { "NO" }
+    );
 }

@@ -66,8 +66,9 @@ fn main() {
                     cols.push("-".into());
                     continue;
                 }
-                let point = runner::evaluate(&circuit, strategy, &lib, &noise, trajectories, cfg.seed)
-                    .expect("compilation succeeds");
+                let point =
+                    runner::evaluate(&circuit, strategy, &lib, &noise, trajectories, cfg.seed)
+                        .expect("compilation succeeds");
                 cols.push(format!(
                     "{:.3}±{:.3}",
                     point.fidelity.mean, point.fidelity.std_error
@@ -90,7 +91,11 @@ fn main() {
     for (si, strategy) in strategies.iter().enumerate().skip(1) {
         let (sum, count) = improvement[si];
         if count > 0 {
-            println!("  {:<28} {:>5.2}x (over {count} points)", strategy.name(), sum / count as f64);
+            println!(
+                "  {:<28} {:>5.2}x (over {count} points)",
+                strategy.name(),
+                sum / count as f64
+            );
         }
     }
 }

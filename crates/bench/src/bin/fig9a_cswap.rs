@@ -21,10 +21,19 @@ fn main() {
 
     let strategies = vec![
         Strategy::mixed_radix_ccz(),
-        Strategy::MixedRadix { ccx: MrCcxMode::CczTransform, native_cswap: true },
+        Strategy::MixedRadix {
+            ccx: MrCcxMode::CczTransform,
+            native_cswap: true,
+        },
         Strategy::full_ququart(),
-        Strategy::FullQuquart { use_ccz: true, cswap: FqCswapMode::Native },
-        Strategy::FullQuquart { use_ccz: true, cswap: FqCswapMode::NativeOriented },
+        Strategy::FullQuquart {
+            use_ccz: true,
+            cswap: FqCswapMode::Native,
+        },
+        Strategy::FullQuquart {
+            use_ccz: true,
+            cswap: FqCswapMode::NativeOriented,
+        },
     ];
 
     let address_bits: Vec<usize> = if cfg.full { vec![1, 2, 3] } else { vec![1, 2] };
@@ -51,7 +60,10 @@ fn main() {
             }
             let point = runner::evaluate(&circuit, strategy, &lib, &noise, trajectories, cfg.seed)
                 .expect("compilation succeeds");
-            cols.push(format!("{:.3}±{:.3}", point.fidelity.mean, point.fidelity.std_error));
+            cols.push(format!(
+                "{:.3}±{:.3}",
+                point.fidelity.mean, point.fidelity.std_error
+            ));
             values.push(point.fidelity.mean);
         }
         runner::print_row(&cols, &widths);

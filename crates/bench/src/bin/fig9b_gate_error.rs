@@ -30,8 +30,15 @@ fn main() {
 
     // Baselines are error-scale independent.
     let base_lib = GateLibrary::paper();
-    let qo = runner::evaluate(&circuit, &Strategy::qubit_only(), &base_lib, &noise, trajectories, cfg.seed)
-        .unwrap();
+    let qo = runner::evaluate(
+        &circuit,
+        &Strategy::qubit_only(),
+        &base_lib,
+        &noise,
+        trajectories,
+        cfg.seed,
+    )
+    .unwrap();
     let it = runner::evaluate(
         &circuit,
         &Strategy::qubit_only_itoffoli(),
@@ -41,22 +48,46 @@ fn main() {
         cfg.seed,
     )
     .unwrap();
-    println!("  qubit-only (8CX)    : {:.3} (black line)", qo.fidelity.mean);
-    println!("  qubit-only iToffoli : {:.3} (red line)\n", it.fidelity.mean);
+    println!(
+        "  qubit-only (8CX)    : {:.3} (black line)",
+        qo.fidelity.mean
+    );
+    println!(
+        "  qubit-only iToffoli : {:.3} (red line)\n",
+        it.fidelity.mean
+    );
 
     let widths = vec![11, 14, 14];
     runner::print_row(
-        &["error scale".into(), "mixed-radix".into(), "full-ququart".into()],
+        &[
+            "error scale".into(),
+            "mixed-radix".into(),
+            "full-ququart".into(),
+        ],
         &widths,
     );
     let mut mr_cross = None;
     let mut fq_cross = None;
     for scale in [1.0f64, 2.0, 3.0, 4.0, 5.0, 6.0] {
         let lib = GateLibrary::paper().with_ququart_error_scale(scale);
-        let mr = runner::evaluate(&circuit, &Strategy::mixed_radix_ccz(), &lib, &noise, trajectories, cfg.seed)
-            .unwrap();
-        let fq = runner::evaluate(&circuit, &Strategy::full_ququart(), &lib, &noise, trajectories, cfg.seed)
-            .unwrap();
+        let mr = runner::evaluate(
+            &circuit,
+            &Strategy::mixed_radix_ccz(),
+            &lib,
+            &noise,
+            trajectories,
+            cfg.seed,
+        )
+        .unwrap();
+        let fq = runner::evaluate(
+            &circuit,
+            &Strategy::full_ququart(),
+            &lib,
+            &noise,
+            trajectories,
+            cfg.seed,
+        )
+        .unwrap();
         runner::print_row(
             &[
                 format!("{scale:.0}x"),

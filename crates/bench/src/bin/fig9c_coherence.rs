@@ -27,8 +27,15 @@ fn main() {
         n, trajectories
     );
     let base_noise = NoiseModel::paper();
-    let qo = runner::evaluate(&circuit, &Strategy::qubit_only(), &lib, &base_noise, trajectories, cfg.seed)
-        .unwrap();
+    let qo = runner::evaluate(
+        &circuit,
+        &Strategy::qubit_only(),
+        &lib,
+        &base_noise,
+        trajectories,
+        cfg.seed,
+    )
+    .unwrap();
     let it = runner::evaluate(
         &circuit,
         &Strategy::qubit_only_itoffoli(),
@@ -38,8 +45,14 @@ fn main() {
         cfg.seed,
     )
     .unwrap();
-    println!("  qubit-only (8CX)    : {:.3} (black line)", qo.fidelity.mean);
-    println!("  qubit-only iToffoli : {:.3} (red line)\n", it.fidelity.mean);
+    println!(
+        "  qubit-only (8CX)    : {:.3} (black line)",
+        qo.fidelity.mean
+    );
+    println!(
+        "  qubit-only iToffoli : {:.3} (red line)\n",
+        it.fidelity.mean
+    );
 
     let widths = vec![11, 14, 14, 10];
     runner::print_row(
@@ -55,10 +68,24 @@ fn main() {
     for scale in [1.0f64, 2.0, 4.0, 8.0, 16.0, 32.0] {
         let mut noise = NoiseModel::paper();
         noise.coherence = CoherenceModel::paper().with_high_level_rate_scale(scale);
-        let mr = runner::evaluate(&circuit, &Strategy::mixed_radix_ccz(), &lib, &noise, trajectories, cfg.seed)
-            .unwrap();
-        let fq = runner::evaluate(&circuit, &Strategy::full_ququart(), &lib, &noise, trajectories, cfg.seed)
-            .unwrap();
+        let mr = runner::evaluate(
+            &circuit,
+            &Strategy::mixed_radix_ccz(),
+            &lib,
+            &noise,
+            trajectories,
+            cfg.seed,
+        )
+        .unwrap();
+        let fq = runner::evaluate(
+            &circuit,
+            &Strategy::full_ququart(),
+            &lib,
+            &noise,
+            trajectories,
+            cfg.seed,
+        )
+        .unwrap();
         let gap = fq.fidelity.mean - mr.fidelity.mean;
         runner::print_row(
             &[

@@ -40,10 +40,24 @@ fn main() {
     for pct in [0usize, 20, 40, 60, 80, 100] {
         let frac = pct as f64 / 100.0;
         let circuit = synthetic(n, gates, frac, cfg.seed ^ 0xD1CE);
-        let mr = runner::evaluate(&circuit, &Strategy::mixed_radix_ccz(), &lib, &noise, trajectories, cfg.seed)
-            .unwrap();
-        let fq = runner::evaluate(&circuit, &Strategy::full_ququart(), &lib, &noise, trajectories, cfg.seed)
-            .unwrap();
+        let mr = runner::evaluate(
+            &circuit,
+            &Strategy::mixed_radix_ccz(),
+            &lib,
+            &noise,
+            trajectories,
+            cfg.seed,
+        )
+        .unwrap();
+        let fq = runner::evaluate(
+            &circuit,
+            &Strategy::full_ququart(),
+            &lib,
+            &noise,
+            trajectories,
+            cfg.seed,
+        )
+        .unwrap();
         let it = runner::evaluate(
             &circuit,
             &Strategy::qubit_only_itoffoli(),

@@ -8,7 +8,7 @@
 use waltz_bench::runner::HarnessConfig;
 use waltz_gates::hw::{HwGate, Q1Gate, Slot};
 use waltz_gates::GateLibrary;
-use waltz_pulse::{GrapeOptions, TransmonSystem, synth};
+use waltz_pulse::{synth, GrapeOptions, TransmonSystem};
 
 fn main() {
     let cfg = HarnessConfig::from_args();
@@ -17,9 +17,27 @@ fn main() {
 
     println!("== Table 1: gate durations (ns), paper calibration ==\n");
     println!("(a) Qudit (single-ququart encoded gates)");
-    println!("  U0      {:>4}   (paper 87)", d(HwGate::QuartU { slot: Slot::S0, gate: Q1Gate::H }));
-    println!("  U1      {:>4}   (paper 66)", d(HwGate::QuartU { slot: Slot::S1, gate: Q1Gate::H }));
-    println!("  U0,1    {:>4}   (paper 86)", d(HwGate::QuartU2 { g0: Q1Gate::H, g1: Q1Gate::H }));
+    println!(
+        "  U0      {:>4}   (paper 87)",
+        d(HwGate::QuartU {
+            slot: Slot::S0,
+            gate: Q1Gate::H
+        })
+    );
+    println!(
+        "  U1      {:>4}   (paper 66)",
+        d(HwGate::QuartU {
+            slot: Slot::S1,
+            gate: Q1Gate::H
+        })
+    );
+    println!(
+        "  U0,1    {:>4}   (paper 86)",
+        d(HwGate::QuartU2 {
+            g0: Q1Gate::H,
+            g1: Q1Gate::H
+        })
+    );
     println!("  CX0     {:>4}   (paper 83)", d(HwGate::QuartCx0));
     println!("  CX1     {:>4}   (paper 84)", d(HwGate::QuartCx1));
     println!("  SWAPin  {:>4}   (paper 78)", d(HwGate::QuartSwapIn));
@@ -31,14 +49,38 @@ fn main() {
     println!("  SWAP2   {:>4}   (paper 504)", d(HwGate::QubitSwap));
     println!("  iToff3  {:>4}   (paper 912)", d(HwGate::IToffoli));
     println!("(c) Mixed-Radix");
-    println!("  CX0q    {:>4}   (paper 560)", d(HwGate::MrCxQuartCtrl { slot: Slot::S0 }));
-    println!("  CX1q    {:>4}   (paper 632)", d(HwGate::MrCxQuartCtrl { slot: Slot::S1 }));
-    println!("  CXq0    {:>4}   (paper 880)", d(HwGate::MrCxQubitCtrl { slot: Slot::S0 }));
-    println!("  CXq1    {:>4}   (paper 812)", d(HwGate::MrCxQubitCtrl { slot: Slot::S1 }));
-    println!("  CZq0    {:>4}   (paper 384)", d(HwGate::MrCz { slot: Slot::S0 }));
-    println!("  CZq1    {:>4}   (paper 404)", d(HwGate::MrCz { slot: Slot::S1 }));
-    println!("  SWAPq0  {:>4}   (paper 680)", d(HwGate::MrSwap { slot: Slot::S0 }));
-    println!("  SWAPq1  {:>4}   (paper 792)", d(HwGate::MrSwap { slot: Slot::S1 }));
+    println!(
+        "  CX0q    {:>4}   (paper 560)",
+        d(HwGate::MrCxQuartCtrl { slot: Slot::S0 })
+    );
+    println!(
+        "  CX1q    {:>4}   (paper 632)",
+        d(HwGate::MrCxQuartCtrl { slot: Slot::S1 })
+    );
+    println!(
+        "  CXq0    {:>4}   (paper 880)",
+        d(HwGate::MrCxQubitCtrl { slot: Slot::S0 })
+    );
+    println!(
+        "  CXq1    {:>4}   (paper 812)",
+        d(HwGate::MrCxQubitCtrl { slot: Slot::S1 })
+    );
+    println!(
+        "  CZq0    {:>4}   (paper 384)",
+        d(HwGate::MrCz { slot: Slot::S0 })
+    );
+    println!(
+        "  CZq1    {:>4}   (paper 404)",
+        d(HwGate::MrCz { slot: Slot::S1 })
+    );
+    println!(
+        "  SWAPq0  {:>4}   (paper 680)",
+        d(HwGate::MrSwap { slot: Slot::S0 })
+    );
+    println!(
+        "  SWAPq1  {:>4}   (paper 792)",
+        d(HwGate::MrSwap { slot: Slot::S1 })
+    );
     println!("  ENC     {:>4}   (paper 608)", d(HwGate::Enc));
     println!("(d) Full-Ququart");
     for (name, ctrl, tgt, paper) in [
@@ -47,7 +89,10 @@ fn main() {
         ("CX10", Slot::S1, Slot::S0, 700),
         ("CX11", Slot::S1, Slot::S1, 700),
     ] {
-        println!("  {name}    {:>4}   (paper {paper})", d(HwGate::FqCx { ctrl, tgt }));
+        println!(
+            "  {name}    {:>4}   (paper {paper})",
+            d(HwGate::FqCx { ctrl, tgt })
+        );
     }
     for (name, a, b, paper) in [
         ("CZ00", Slot::S0, Slot::S0, 392),
@@ -70,7 +115,10 @@ fn main() {
 
     let s1 = TransmonSystem::paper(1, 2, 1);
     let x = synth::synthesize(&s1, &waltz_gates::standard::x(), 35.0, 40, &opts);
-    println!("  1-transmon X  @ 35 ns : F = {:.4} (target class 0.999)", x.fidelity);
+    println!(
+        "  1-transmon X  @ 35 ns : F = {:.4} (target class 0.999)",
+        x.fidelity
+    );
     let h = synth::synthesize(&s1, &waltz_gates::standard::h(), 35.0, 40, &opts);
     println!("  1-transmon H  @ 35 ns : F = {:.4}", h.fidelity);
 
@@ -81,7 +129,12 @@ fn main() {
         &synth::h_tensor_h_target(),
         90.0,
         90,
-        &GrapeOptions { max_iters: iters, learning_rate: 0.006, leakage_weight: 0.3, ..opts },
+        &GrapeOptions {
+            max_iters: iters,
+            learning_rate: 0.006,
+            leakage_weight: 0.3,
+            ..opts
+        },
     );
     println!(
         "  1-ququart H(x)H @ 90 ns : F = {:.4} (paper's U0,1 class; 86 ns)",
@@ -96,13 +149,20 @@ fn main() {
             60,
             0.75,
             0.99,
-            &GrapeOptions { max_iters: 400, infidelity_target: 5e-3, ..GrapeOptions::default() },
+            &GrapeOptions {
+                max_iters: 400,
+                infidelity_target: 5e-3,
+                ..GrapeOptions::default()
+            },
         );
         println!("  duration shrinking (X): attempts:");
         for (t, f) in &shrink.attempts {
             println!("    T = {t:6.1} ns  F = {f:.4}");
         }
-        println!("  shortest pulse meeting F >= 0.99: {:.1} ns", shrink.duration_ns);
+        println!(
+            "  shortest pulse meeting F >= 0.99: {:.1} ns",
+            shrink.duration_ns
+        );
     }
     println!("\nThe compiler consumes the calibrated durations above; the GRAPE runs");
     println!("demonstrate the pulse-synthesis pipeline end to end (DESIGN.md §2).");

@@ -21,29 +21,113 @@ fn main() {
     };
 
     println!("== Table 2(a): mixed-radix three-qubit gates ==");
-    show("CCXq01", HwGate::MrCcx(MrCcxConfig::CtrlQubitAndSlot0TargetSlot1), 619);
-    show("CCX1q0", HwGate::MrCcx(MrCcxConfig::CtrlSlot1AndQubitTargetSlot0), 697);
+    show(
+        "CCXq01",
+        HwGate::MrCcx(MrCcxConfig::CtrlQubitAndSlot0TargetSlot1),
+        619,
+    );
+    show(
+        "CCX1q0",
+        HwGate::MrCcx(MrCcxConfig::CtrlSlot1AndQubitTargetSlot0),
+        697,
+    );
     show("CCX01q", HwGate::MrCcx(MrCcxConfig::ControlsEncoded), 412);
     show("CCZ01q", HwGate::MrCcz, 264);
     show("CSWAP01q", HwGate::MrCswap(MrCswapConfig::CtrlSlot0), 684);
     show("CSWAP10q", HwGate::MrCswap(MrCswapConfig::CtrlSlot1), 762);
-    show("CSWAPq01", HwGate::MrCswap(MrCswapConfig::TargetsEncoded), 444);
+    show(
+        "CSWAPq01",
+        HwGate::MrCswap(MrCswapConfig::TargetsEncoded),
+        444,
+    );
 
     println!("== Table 2(b): full-ququart three-qubit gates ==");
-    show("CCX01,0", HwGate::FqCcx(FqCcxConfig::ControlsPair { tgt: Slot::S0 }), 536);
-    show("CCX01,1", HwGate::FqCcx(FqCcxConfig::ControlsPair { tgt: Slot::S1 }), 552);
-    show("CCX0,01", HwGate::FqCcx(FqCcxConfig::Split { actrl: Slot::S0, bctrl: Slot::S0 }), 785);
-    show("CCX0,10", HwGate::FqCcx(FqCcxConfig::Split { actrl: Slot::S0, bctrl: Slot::S1 }), 785);
-    show("CCX1,10", HwGate::FqCcx(FqCcxConfig::Split { actrl: Slot::S1, bctrl: Slot::S1 }), 785);
-    show("CCX1,01", HwGate::FqCcx(FqCcxConfig::Split { actrl: Slot::S1, bctrl: Slot::S0 }), 680);
+    show(
+        "CCX01,0",
+        HwGate::FqCcx(FqCcxConfig::ControlsPair { tgt: Slot::S0 }),
+        536,
+    );
+    show(
+        "CCX01,1",
+        HwGate::FqCcx(FqCcxConfig::ControlsPair { tgt: Slot::S1 }),
+        552,
+    );
+    show(
+        "CCX0,01",
+        HwGate::FqCcx(FqCcxConfig::Split {
+            actrl: Slot::S0,
+            bctrl: Slot::S0,
+        }),
+        785,
+    );
+    show(
+        "CCX0,10",
+        HwGate::FqCcx(FqCcxConfig::Split {
+            actrl: Slot::S0,
+            bctrl: Slot::S1,
+        }),
+        785,
+    );
+    show(
+        "CCX1,10",
+        HwGate::FqCcx(FqCcxConfig::Split {
+            actrl: Slot::S1,
+            bctrl: Slot::S1,
+        }),
+        785,
+    );
+    show(
+        "CCX1,01",
+        HwGate::FqCcx(FqCcxConfig::Split {
+            actrl: Slot::S1,
+            bctrl: Slot::S0,
+        }),
+        680,
+    );
     show("CCZ01,0", HwGate::FqCcz { tgt: Slot::S0 }, 232);
     show("CCZ01,1", HwGate::FqCcz { tgt: Slot::S1 }, 310);
-    show("CSWAP01,0", HwGate::FqCswap(FqCswapConfig::Split { ctrl: Slot::S0, btgt: Slot::S0 }), 680);
-    show("CSWAP01,1", HwGate::FqCswap(FqCswapConfig::Split { ctrl: Slot::S0, btgt: Slot::S1 }), 744);
-    show("CSWAP10,0", HwGate::FqCswap(FqCswapConfig::Split { ctrl: Slot::S1, btgt: Slot::S0 }), 758);
-    show("CSWAP10,1", HwGate::FqCswap(FqCswapConfig::Split { ctrl: Slot::S1, btgt: Slot::S1 }), 822);
-    show("CSWAP0,01", HwGate::FqCswap(FqCswapConfig::TargetsPair { ctrl: Slot::S0 }), 510);
-    show("CSWAP1,01", HwGate::FqCswap(FqCswapConfig::TargetsPair { ctrl: Slot::S1 }), 432);
+    show(
+        "CSWAP01,0",
+        HwGate::FqCswap(FqCswapConfig::Split {
+            ctrl: Slot::S0,
+            btgt: Slot::S0,
+        }),
+        680,
+    );
+    show(
+        "CSWAP01,1",
+        HwGate::FqCswap(FqCswapConfig::Split {
+            ctrl: Slot::S0,
+            btgt: Slot::S1,
+        }),
+        744,
+    );
+    show(
+        "CSWAP10,0",
+        HwGate::FqCswap(FqCswapConfig::Split {
+            ctrl: Slot::S1,
+            btgt: Slot::S0,
+        }),
+        758,
+    );
+    show(
+        "CSWAP10,1",
+        HwGate::FqCswap(FqCswapConfig::Split {
+            ctrl: Slot::S1,
+            btgt: Slot::S1,
+        }),
+        822,
+    );
+    show(
+        "CSWAP0,01",
+        HwGate::FqCswap(FqCswapConfig::TargetsPair { ctrl: Slot::S0 }),
+        510,
+    );
+    show(
+        "CSWAP1,01",
+        HwGate::FqCswap(FqCswapConfig::TargetsPair { ctrl: Slot::S1 }),
+        432,
+    );
 
     println!("\n== Paper's configuration findings, checked against the table ==");
     let fast_ccx = lib.duration(&HwGate::MrCcx(MrCcxConfig::ControlsEncoded));
@@ -55,6 +139,9 @@ fn main() {
     let ccz = lib.duration(&HwGate::MrCcz);
     let cx2 = lib.duration(&HwGate::QubitCx);
     println!("  CCZ ({ccz} ns) is on par with qubit-only 2q gates ({cx2} ns)");
-    println!("\nAll entries match the paper: {}", if all_ok { "yes" } else { "NO" });
+    println!(
+        "\nAll entries match the paper: {}",
+        if all_ok { "yes" } else { "NO" }
+    );
     std::process::exit(if all_ok { 0 } else { 1 });
 }

@@ -3,4 +3,5 @@
 
 #![warn(missing_docs)]
 
+pub mod perf;
 pub mod runner;

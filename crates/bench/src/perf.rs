@@ -1,0 +1,141 @@
+//! Perf-baseline measurement and the machine-readable `BENCH_sim.json`
+//! report, so successive PRs have a recorded performance trajectory to
+//! compare against.
+
+use std::time::{Duration, Instant};
+
+/// One timed quantity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Timing {
+    /// Mean nanoseconds per operation.
+    pub ns_per_op: f64,
+    /// Operations timed.
+    pub iters: u64,
+}
+
+/// Times `f` by running it repeatedly for roughly `budget` (after a
+/// calibration warm-up), returning mean ns per call.
+pub fn time_ns(budget: Duration, mut f: impl FnMut()) -> Timing {
+    // Calibrate a batch size taking ~budget/10.
+    let mut batch: u64 = 1;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        let dt = t0.elapsed();
+        if dt >= budget / 10 || batch >= 1 << 28 {
+            break;
+        }
+        batch = if dt.is_zero() { batch * 8 } else { batch * 2 };
+    }
+    let mut total = Duration::ZERO;
+    let mut iters = 0u64;
+    while total < budget {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        total += t0.elapsed();
+        iters += batch;
+    }
+    Timing {
+        ns_per_op: total.as_nanos() as f64 / iters as f64,
+        iters,
+    }
+}
+
+/// Minimal JSON object builder (the sanctioned dependency set has no
+/// serde): values are formatted as numbers, strings or nested objects.
+#[derive(Debug, Default, Clone)]
+pub struct JsonObject {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonObject {
+    /// An empty object.
+    pub fn new() -> Self {
+        JsonObject::default()
+    }
+
+    /// Adds a numeric field (serialized with enough precision for ns).
+    pub fn num(&mut self, key: &str, value: f64) -> &mut Self {
+        let rendered = if value.is_finite() {
+            format!("{value:.3}")
+        } else {
+            "null".to_string()
+        };
+        self.fields.push((key.to_string(), rendered));
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn int(&mut self, key: &str, value: u64) -> &mut Self {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Adds a string field (keys/values here are ASCII identifiers; quotes
+    /// and backslashes are escaped for safety).
+    pub fn str(&mut self, key: &str, value: &str) -> &mut Self {
+        let escaped = value.replace('\\', "\\\\").replace('"', "\\\"");
+        self.fields
+            .push((key.to_string(), format!("\"{escaped}\"")));
+        self
+    }
+
+    /// Adds a nested object.
+    pub fn obj(&mut self, key: &str, value: &JsonObject) -> &mut Self {
+        self.fields.push((key.to_string(), value.render()));
+        self
+    }
+
+    /// Renders the object as a JSON string.
+    pub fn render(&self) -> String {
+        let body: Vec<String> = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .collect();
+        format!("{{{}}}", body.join(", "))
+    }
+
+    /// Renders with two-space indentation (one field per line, nested
+    /// objects inline) — stable enough to diff across PRs.
+    pub fn render_pretty(&self) -> String {
+        let body: Vec<String> = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("  \"{k}\": {v}"))
+            .collect();
+        format!("{{\n{}\n}}\n", body.join(",\n"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_measures_something() {
+        let t = time_ns(Duration::from_millis(5), || {
+            std::hint::black_box(3u64.wrapping_mul(7));
+        });
+        assert!(t.iters > 0);
+        assert!(t.ns_per_op >= 0.0);
+    }
+
+    #[test]
+    fn json_renders_nested_objects() {
+        let mut inner = JsonObject::new();
+        inner.num("ns", 12.5).int("iters", 3);
+        let mut outer = JsonObject::new();
+        outer.str("schema", "bench_sim/v1").obj("apply", &inner);
+        let s = outer.render();
+        assert_eq!(
+            s,
+            "{\"schema\": \"bench_sim/v1\", \"apply\": {\"ns\": 12.500, \"iters\": 3}}"
+        );
+        assert!(outer.render_pretty().contains("\n  \"schema\""));
+    }
+}

@@ -1,7 +1,7 @@
 //! Compile-then-simulate sweeps shared by every harness binary.
 
 use waltz_circuit::Circuit;
-use waltz_core::{CompiledCircuit, CompileError, Strategy, compile};
+use waltz_core::{compile, CompileError, CompiledCircuit, Strategy};
 use waltz_gates::GateLibrary;
 use waltz_noise::{CoherenceModel, NoiseModel};
 use waltz_sim::trajectory::{self, FidelityEstimate};
@@ -143,6 +143,26 @@ pub fn simulate(
     trajectory::average_fidelity_with(&compiled.timed, noise, trajectories, seed, |_, rng| {
         compiled.random_product_initial_state(rng)
     })
+}
+
+/// [`simulate`] with wall-clock accounting: returns the estimate plus the
+/// achieved trajectories per second, for the `BENCH_sim.json` perf
+/// baseline.
+pub fn simulate_timed(
+    compiled: &CompiledCircuit,
+    noise: &NoiseModel,
+    trajectories: usize,
+    seed: u64,
+) -> (FidelityEstimate, f64) {
+    let t0 = std::time::Instant::now();
+    let est = simulate(compiled, noise, trajectories, seed);
+    let secs = t0.elapsed().as_secs_f64();
+    let rate = if secs > 0.0 {
+        trajectories as f64 / secs
+    } else {
+        f64::INFINITY
+    };
+    (est, rate)
 }
 
 /// EPS-only evaluation (no simulation) — used where the paper itself falls

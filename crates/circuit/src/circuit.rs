@@ -80,7 +80,10 @@ impl Circuit {
     ///
     /// Panics if `other` uses more qubits than `self`.
     pub fn extend(&mut self, other: &Circuit) -> &mut Self {
-        assert!(other.n_qubits <= self.n_qubits, "circuit too wide to append");
+        assert!(
+            other.n_qubits <= self.n_qubits,
+            "circuit too wide to append"
+        );
         for g in &other.gates {
             self.push(g.clone());
         }
@@ -205,7 +208,12 @@ impl Circuit {
 
 impl fmt::Display for Circuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Circuit({} qubits, {} gates)", self.n_qubits, self.gates.len())?;
+        writeln!(
+            f,
+            "Circuit({} qubits, {} gates)",
+            self.n_qubits,
+            self.gates.len()
+        )?;
         for g in &self.gates {
             writeln!(f, "  {:?} {:?}", g.kind, g.qubits)?;
         }

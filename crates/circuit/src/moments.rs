@@ -6,7 +6,6 @@
 
 use crate::{Circuit, Gate};
 
-
 /// Greedy as-soon-as-possible layering: each gate lands in the earliest
 /// moment after the previous use of all of its operands.
 ///

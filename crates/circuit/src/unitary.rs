@@ -4,7 +4,7 @@
 //! compiled circuits implement the same operator. Exponential in qubit
 //! count — intended for `n <= ~12`.
 
-use waltz_math::{C64, Matrix};
+use waltz_math::{Matrix, C64};
 
 use crate::{Circuit, Gate};
 
@@ -29,14 +29,14 @@ pub fn apply_gate(state: &mut [C64], gate: &Gate, n_qubits: usize) {
     let mut base = 0usize;
     loop {
         // `base` has zeros in all operand bit positions.
-        for sub in 0..block {
+        for (sub, slot) in scratch.iter_mut().enumerate() {
             let mut idx = base;
             for (j, &s) in shifts.iter().enumerate() {
                 if (sub >> (k - 1 - j)) & 1 == 1 {
                     idx |= 1 << s;
                 }
             }
-            scratch[sub] = state[idx];
+            *slot = state[idx];
         }
         for row in 0..block {
             let mut acc = C64::ZERO;

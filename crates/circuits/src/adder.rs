@@ -127,7 +127,7 @@ mod tests {
     fn structure_matches_paper() {
         let c = cuccaro_adder(4);
         assert_eq!(c.n_qubits(), 10); // 2n + 2
-        // One CCX per MAJ and per UMA: 2n three-qubit gates.
+                                      // One CCX per MAJ and per UMA: 2n three-qubit gates.
         assert_eq!(c.three_qubit_gate_count(), 8);
         // Nearly fully serialized: depth close to gate count.
         assert!(c.depth() * 2 > c.len());

@@ -121,7 +121,11 @@ mod tests {
                         b.name(),
                         c.n_qubits()
                     );
-                    assert!(c.three_qubit_gate_count() > 0, "{} has no 3q gates", b.name());
+                    assert!(
+                        c.three_qubit_gate_count() > 0,
+                        "{} has no 3q gates",
+                        b.name()
+                    );
                 }
             }
         }

@@ -4,9 +4,9 @@
 //! that value. The paper selects on **two random values** "to keep the
 //! fidelity of circuit simulation within comparable bounds".
 
+use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
-use rand::rngs::StdRng;
 
 use waltz_circuit::Circuit;
 

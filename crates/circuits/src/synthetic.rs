@@ -2,9 +2,9 @@
 //! "a purely synthetic circuit to study relative strength of our
 //! architecture on potential distributions of CX versus CCX gates".
 
+use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
-use rand::rngs::StdRng;
 
 use waltz_circuit::Circuit;
 

@@ -255,6 +255,69 @@ pub fn compile_on(
     })
 }
 
+/// Builds the per-device maximum-level timeline (§6.3): weight 1 in the
+/// qubit regime, 3 while encoded.
+fn build_spans(strategy: &Strategy, out: &LowerOutput, timed: &TimedCircuit) -> Vec<CoherenceSpan> {
+    let n_devices = out.graph.topology().n_devices();
+    let total = timed.total_duration_ns;
+    match strategy {
+        Strategy::QubitOnly { .. } => eps::uniform_spans(n_devices, &vec![1; n_devices], total),
+        Strategy::FullQuquart { .. } => {
+            // Devices holding two qubits live at level 3; half-filled
+            // devices stay in the qubit regime (level <= slot weight).
+            let mut level = vec![0usize; n_devices];
+            for site in &out.initial_sites {
+                level[site.device] += if site.slot == 0 { 2 } else { 1 };
+            }
+            for l in &mut level {
+                *l = (*l).clamp(1, 3);
+            }
+            eps::uniform_spans(n_devices, &level, total)
+        }
+        Strategy::MixedRadix { .. } => {
+            // Level 1 everywhere, lifted to level 3 on the host inside each
+            // ENC..DEC window.
+            let mut spans = Vec::new();
+            let mut windows_per_device: Vec<Vec<(f64, f64)>> = vec![Vec::new(); n_devices];
+            for w in &out.enc_windows {
+                let start = timed.ops[w.enc_idx].start_ns;
+                let end = timed.ops[w.dec_idx].end_ns();
+                windows_per_device[w.host].push((start, end));
+            }
+            for (device, windows) in windows_per_device.iter_mut().enumerate() {
+                windows.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+                let mut cursor = 0.0f64;
+                for &(start, end) in windows.iter() {
+                    if start > cursor {
+                        spans.push(CoherenceSpan {
+                            device,
+                            level: 1,
+                            start_ns: cursor,
+                            end_ns: start,
+                        });
+                    }
+                    spans.push(CoherenceSpan {
+                        device,
+                        level: 3,
+                        start_ns: start,
+                        end_ns: end,
+                    });
+                    cursor = end;
+                }
+                if cursor < total {
+                    spans.push(CoherenceSpan {
+                        device,
+                        level: 1,
+                        start_ns: cursor,
+                        end_ns: total,
+                    });
+                }
+            }
+            spans
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -315,14 +378,14 @@ mod tests {
         let mut c = Circuit::new(4);
         c.cx(0, 3);
         let lib = GateLibrary::paper();
-        let err = compile_on(
-            &c,
-            Topology::grid(2),
-            &Strategy::qubit_only(),
-            &lib,
-        )
-        .unwrap_err();
-        assert!(matches!(err, CompileError::TopologyTooSmall { needed: 4, available: 2 }));
+        let err = compile_on(&c, Topology::grid(2), &Strategy::qubit_only(), &lib).unwrap_err();
+        assert!(matches!(
+            err,
+            CompileError::TopologyTooSmall {
+                needed: 4,
+                available: 2
+            }
+        ));
         assert!(err.to_string().contains("2 devices"));
     }
 
@@ -343,73 +406,16 @@ mod tests {
             spans.sort_by(|a, b| a.start_ns.partial_cmp(&b.start_ns).unwrap());
             let mut cursor = 0.0;
             for s in &spans {
-                assert!((s.start_ns - cursor).abs() < 1e-6, "gap/overlap at device {device}");
+                assert!(
+                    (s.start_ns - cursor).abs() < 1e-6,
+                    "gap/overlap at device {device}"
+                );
                 cursor = s.end_ns;
             }
-            assert!((cursor - total).abs() < 1e-6, "device {device} timeline incomplete");
-        }
-    }
-}
-
-/// Builds the per-device maximum-level timeline (§6.3): weight 1 in the
-/// qubit regime, 3 while encoded.
-fn build_spans(strategy: &Strategy, out: &LowerOutput, timed: &TimedCircuit) -> Vec<CoherenceSpan> {
-    let n_devices = out.graph.topology().n_devices();
-    let total = timed.total_duration_ns;
-    match strategy {
-        Strategy::QubitOnly { .. } => eps::uniform_spans(n_devices, &vec![1; n_devices], total),
-        Strategy::FullQuquart { .. } => {
-            // Devices holding two qubits live at level 3; half-filled
-            // devices stay in the qubit regime (level <= slot weight).
-            let mut level = vec![0usize; n_devices];
-            for site in &out.initial_sites {
-                level[site.device] += if site.slot == 0 { 2 } else { 1 };
-            }
-            for l in &mut level {
-                *l = (*l).min(3).max(1);
-            }
-            eps::uniform_spans(n_devices, &level, total)
-        }
-        Strategy::MixedRadix { .. } => {
-            // Level 1 everywhere, lifted to level 3 on the host inside each
-            // ENC..DEC window.
-            let mut spans = Vec::new();
-            let mut windows_per_device: Vec<Vec<(f64, f64)>> = vec![Vec::new(); n_devices];
-            for w in &out.enc_windows {
-                let start = timed.ops[w.enc_idx].start_ns;
-                let end = timed.ops[w.dec_idx].end_ns();
-                windows_per_device[w.host].push((start, end));
-            }
-            for (device, windows) in windows_per_device.iter_mut().enumerate() {
-                windows.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-                let mut cursor = 0.0f64;
-                for &(start, end) in windows.iter() {
-                    if start > cursor {
-                        spans.push(CoherenceSpan {
-                            device,
-                            level: 1,
-                            start_ns: cursor,
-                            end_ns: start,
-                        });
-                    }
-                    spans.push(CoherenceSpan {
-                        device,
-                        level: 3,
-                        start_ns: start,
-                        end_ns: end,
-                    });
-                    cursor = end;
-                }
-                if cursor < total {
-                    spans.push(CoherenceSpan {
-                        device,
-                        level: 1,
-                        start_ns: cursor,
-                        end_ns: total,
-                    });
-                }
-            }
-            spans
+            assert!(
+                (cursor - total).abs() < 1e-6,
+                "device {device} timeline incomplete"
+            );
         }
     }
 }

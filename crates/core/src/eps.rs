@@ -49,11 +49,7 @@ impl EpsBreakdown {
 }
 
 /// Computes the EPS of a scheduled circuit given its coherence timeline.
-pub fn eps(
-    timed: &TimedCircuit,
-    spans: &[CoherenceSpan],
-    model: &CoherenceModel,
-) -> EpsBreakdown {
+pub fn eps(timed: &TimedCircuit, spans: &[CoherenceSpan], model: &CoherenceModel) -> EpsBreakdown {
     let gate = timed.gate_eps();
     let mut log_coherence = 0.0f64;
     for span in spans {
@@ -70,7 +66,11 @@ pub fn eps(
 /// Builds a constant-level timeline: every device holds `level` for the
 /// whole circuit duration (used by the qubit-only and full-ququart
 /// regimes).
-pub fn uniform_spans(n_devices: usize, level_per_device: &[usize], total_ns: f64) -> Vec<CoherenceSpan> {
+pub fn uniform_spans(
+    n_devices: usize,
+    level_per_device: &[usize],
+    total_ns: f64,
+) -> Vec<CoherenceSpan> {
     assert_eq!(level_per_device.len(), n_devices);
     (0..n_devices)
         .map(|d| CoherenceSpan {
@@ -91,15 +91,15 @@ mod tests {
     fn eps_combines_gate_and_coherence() {
         let reg = Register::qubits(2);
         let mut tc = TimedCircuit::new(reg);
-        tc.ops.push(waltz_sim::TimedOp {
-            label: "cx".into(),
-            unitary: waltz_gates::standard::cx(),
-            operands: vec![0, 1],
-            error_dims: vec![2, 2],
-            start_ns: 0.0,
-            duration_ns: 251.0,
-            fidelity: 0.99,
-        });
+        tc.ops.push(waltz_sim::TimedOp::new(
+            "cx",
+            waltz_gates::standard::cx(),
+            vec![0, 1],
+            vec![2, 2],
+            0.0,
+            251.0,
+            0.99,
+        ));
         tc.total_duration_ns = 251.0;
         let model = CoherenceModel::paper();
         let spans = uniform_spans(2, &[1, 1], 251.0);
@@ -113,8 +113,18 @@ mod tests {
     #[test]
     fn encoded_spans_decay_three_times_faster() {
         let model = CoherenceModel::paper();
-        let qubit_span = [CoherenceSpan { device: 0, level: 1, start_ns: 0.0, end_ns: 1000.0 }];
-        let quart_span = [CoherenceSpan { device: 0, level: 3, start_ns: 0.0, end_ns: 1000.0 }];
+        let qubit_span = [CoherenceSpan {
+            device: 0,
+            level: 1,
+            start_ns: 0.0,
+            end_ns: 1000.0,
+        }];
+        let quart_span = [CoherenceSpan {
+            device: 0,
+            level: 3,
+            start_ns: 0.0,
+            end_ns: 1000.0,
+        }];
         let tc = TimedCircuit::new(Register::qubits(1));
         let a = eps(&tc, &qubit_span, &model).coherence;
         let b = eps(&tc, &quart_span, &model).coherence;
@@ -131,7 +141,12 @@ mod tests {
 
     #[test]
     fn negative_duration_spans_are_clamped() {
-        let s = CoherenceSpan { device: 0, level: 3, start_ns: 10.0, end_ns: 5.0 };
+        let s = CoherenceSpan {
+            device: 0,
+            level: 3,
+            start_ns: 10.0,
+            end_ns: 5.0,
+        };
         assert_eq!(s.duration_ns(), 0.0);
     }
 }

@@ -1,6 +1,6 @@
 //! The unscheduled hardware program and its ASAP scheduler.
 
-use waltz_gates::{GateLibrary, HwGate, embed};
+use waltz_gates::{embed, GateLibrary, HwGate};
 use waltz_sim::{Register, TimedCircuit, TimedOp};
 
 /// One hardware gate bound to physical devices.
@@ -23,7 +23,10 @@ pub struct HwProgram {
 impl HwProgram {
     /// An empty program over devices with the given simulated dimensions.
     pub fn new(dims: Vec<u8>) -> Self {
-        HwProgram { dims, ops: Vec::new() }
+        HwProgram {
+            dims,
+            ops: Vec::new(),
+        }
     }
 
     /// Device dimensions.
@@ -55,7 +58,11 @@ impl HwProgram {
     /// device dimension.
     pub fn push(&mut self, gate: HwGate, devices: Vec<usize>) {
         let dims = gate.logical_dims();
-        assert_eq!(devices.len(), dims.len(), "operand count mismatch for {gate:?}");
+        assert_eq!(
+            devices.len(),
+            dims.len(),
+            "operand count mismatch for {gate:?}"
+        );
         for (i, &d) in devices.iter().enumerate() {
             assert!(d < self.dims.len(), "device {d} out of range");
             assert!(
@@ -101,15 +108,18 @@ impl HwProgram {
                 free_at[d] = start + duration;
             }
             total = total.max(start + duration);
-            timed.ops.push(TimedOp {
-                label: label_of(&op.gate),
+            // TimedOp::new classifies the embedded unitary into its
+            // GateKernel here, once per compile, so every simulation of
+            // the schedule reuses the specialized apply path.
+            timed.ops.push(TimedOp::new(
+                label_of(&op.gate),
                 unitary,
-                operands: op.devices.clone(),
-                error_dims: logical_dims.iter().map(|&d| d as u8).collect(),
-                start_ns: start,
-                duration_ns: duration,
-                fidelity: lib.fidelity(&op.gate),
-            });
+                op.devices.clone(),
+                logical_dims.iter().map(|&d| d as u8).collect(),
+                start,
+                duration,
+                lib.fidelity(&op.gate),
+            ));
         }
         timed.total_duration_ns = total;
         timed

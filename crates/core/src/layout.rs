@@ -42,7 +42,10 @@ impl Layout {
     /// Panics if the qubit is already placed or the site is occupied.
     pub fn place(&mut self, qubit: usize, site: Site) {
         let idx = self.graph.index_of(site);
-        assert!(self.site_of[qubit].is_none(), "qubit {qubit} already placed");
+        assert!(
+            self.site_of[qubit].is_none(),
+            "qubit {qubit} already placed"
+        );
         assert!(self.qubit_at[idx].is_none(), "site {site:?} occupied");
         self.site_of[qubit] = Some(idx);
         self.qubit_at[idx] = Some(qubit);

@@ -48,7 +48,7 @@ mod mapping;
 pub mod eps;
 pub mod verify;
 
-pub use compile::{CompileError, CompiledCircuit, CompileStats, compile, compile_on};
+pub use compile::{compile, compile_on, CompileError, CompileStats, CompiledCircuit};
 pub use eps::{CoherenceSpan, EpsBreakdown};
 pub use hwprog::HwProgram;
 pub use layout::Layout;

@@ -68,7 +68,10 @@ impl Router {
             self.prog.push(HwGate::QuartSwapIn, vec![a.device]);
         } else {
             assert!(
-                self.layout.graph().topology().are_adjacent(a.device, b.device),
+                self.layout
+                    .graph()
+                    .topology()
+                    .are_adjacent(a.device, b.device),
                 "swap between non-adjacent devices {} and {}",
                 a.device,
                 b.device
@@ -103,10 +106,7 @@ impl Router {
         let cur = self.layout.device_of(q);
         assert_ne!(cur, target_dev, "qubit already at target");
         let cur_d = self.ddist(cur, target_dev);
-        let avoid_devs: Vec<usize> = avoid
-            .iter()
-            .map(|&aq| self.layout.device_of(aq))
-            .collect();
+        let avoid_devs: Vec<usize> = avoid.iter().map(|&aq| self.layout.device_of(aq)).collect();
         // Strictly-decreasing neighbours, scored by (displaces-avoided,
         // occupancy).
         let graph = self.layout.graph().clone();
@@ -220,8 +220,7 @@ impl Router {
                     if n1 == n2 {
                         continue;
                     }
-                    let cost =
-                        self.ddist(dh, h) + self.ddist(d1, n1) + self.ddist(d2, n2);
+                    let cost = self.ddist(dh, h) + self.ddist(d1, n1) + self.ddist(d2, n2);
                     if best.map(|(.., c)| cost < c).unwrap_or(true) {
                         best = Some((h, n1, n2, cost));
                     }

@@ -9,7 +9,7 @@
 //! variant (§7.1).
 
 use waltz_arch::InteractionGraph;
-use waltz_circuit::{Circuit, GateKind, decompose};
+use waltz_circuit::{decompose, Circuit, GateKind};
 use waltz_gates::hw::{FqCcxConfig, FqCswapConfig};
 use waltz_gates::{GateLibrary, HwGate, Slot};
 
@@ -108,7 +108,8 @@ pub fn lower(
                     r.route_to_device(a, target, &[b]);
                 }
                 // CS† is diagonal and symmetric, so slot order is moot.
-                r.prog.push(HwGate::QuartCsdgIn, vec![r.layout.device_of(a)]);
+                r.prog
+                    .push(HwGate::QuartCsdgIn, vec![r.layout.device_of(a)]);
             }
             (kind @ (GateKind::Ccx | GateKind::Ccz | GateKind::Cswap), ops) => {
                 let plan = choose_plan(&r, lib, kind, ops, cswap_mode);
@@ -174,7 +175,11 @@ fn choose_plan(
         GateKind::Ccz => {
             let [a, b, c] = [ops[0], ops[1], ops[2]];
             for (pair, third) in [((a, b), c), ((a, c), b), ((b, c), a)] {
-                candidates.push(Plan { pair, third, kind: PlanKind::Ccz });
+                candidates.push(Plan {
+                    pair,
+                    third,
+                    kind: PlanKind::Ccz,
+                });
             }
         }
         GateKind::Ccx => {
@@ -214,7 +219,10 @@ fn choose_plan(
 
     // Estimated pulse duration per plan kind (slot-independent lower
     // bound), plus routing hops x a representative swap cost.
-    let swap_dur = lib.duration(&HwGate::FqSwap { a: Slot::S0, b: Slot::S1 });
+    let swap_dur = lib.duration(&HwGate::FqSwap {
+        a: Slot::S0,
+        b: Slot::S1,
+    });
     let gate_dur = |k: PlanKind| -> f64 {
         match k {
             PlanKind::Ccz => 232.0,
@@ -241,13 +249,17 @@ fn emit_three_qubit(r: &mut Router, plan: &Plan) {
     match plan.kind {
         PlanKind::Ccz => {
             r.prog.push(
-                HwGate::FqCcz { tgt: r.slot_of(plan.third) },
+                HwGate::FqCcz {
+                    tgt: r.slot_of(plan.third),
+                },
                 vec![pair_dev, third_dev],
             );
         }
         PlanKind::CcxControlsPair => {
             r.prog.push(
-                HwGate::FqCcx(FqCcxConfig::ControlsPair { tgt: r.slot_of(plan.third) }),
+                HwGate::FqCcx(FqCcxConfig::ControlsPair {
+                    tgt: r.slot_of(plan.third),
+                }),
                 vec![pair_dev, third_dev],
             );
         }
@@ -266,7 +278,9 @@ fn emit_three_qubit(r: &mut Router, plan: &Plan) {
         PlanKind::CswapTargetsPair => {
             // Operand order (control device, targets device).
             r.prog.push(
-                HwGate::FqCswap(FqCswapConfig::TargetsPair { ctrl: r.slot_of(plan.third) }),
+                HwGate::FqCswap(FqCswapConfig::TargetsPair {
+                    ctrl: r.slot_of(plan.third),
+                }),
                 vec![third_dev, pair_dev],
             );
         }

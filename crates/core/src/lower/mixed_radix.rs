@@ -3,7 +3,7 @@
 //! three-qubit gate.
 
 use waltz_arch::InteractionGraph;
-use waltz_circuit::{Circuit, GateKind, decompose};
+use waltz_circuit::{decompose, Circuit, GateKind};
 use waltz_gates::hw::{MrCcxConfig, MrCswapConfig};
 use waltz_gates::{GateLibrary, HwGate, Q1Gate};
 
@@ -194,9 +194,7 @@ fn choose_plan(
         .min_by(|x, y| {
             let cost = |p: &Plan| -> f64 {
                 let hops = r.plan_star(p.pair.0, p.pair.1, p.third).3 as f64;
-                hops * swap_dur
-                    + lib.duration(&p.gate)
-                    + 2.0 * p.wrap.len() as f64 * h_dur
+                hops * swap_dur + lib.duration(&p.gate) + 2.0 * p.wrap.len() as f64 * h_dur
             };
             cost(x).partial_cmp(&cost(y)).unwrap()
         })

@@ -9,7 +9,7 @@
 //!   extra SWAP gate to perform the corrective Controlled-S gate", §7).
 
 use waltz_arch::InteractionGraph;
-use waltz_circuit::{Circuit, GateKind, decompose};
+use waltz_circuit::{decompose, Circuit, GateKind};
 use waltz_gates::{GateLibrary, HwGate, Q1Gate};
 
 use crate::lower::common::{RadixMode, Router};
@@ -120,8 +120,7 @@ fn lower_itoffoli(r: &mut Router, lib: &GateLibrary, c1: usize, c2: usize, t: us
             let cost = |c: &(usize, usize, usize, Option<usize>)| -> f64 {
                 let (_, _, _, re) = c;
                 let hops = r.plan_star(c.0, c.1, c.2).3 as f64;
-                hops * lib.duration(&HwGate::QubitSwap)
-                    + if re.is_some() { h_cost } else { 0.0 }
+                hops * lib.duration(&HwGate::QubitSwap) + if re.is_some() { h_cost } else { 0.0 }
             };
             cost(a).partial_cmp(&cost(b)).unwrap()
         })

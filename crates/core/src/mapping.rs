@@ -9,7 +9,7 @@
 //! possible.
 
 use waltz_arch::{InteractionGraph, Site};
-use waltz_circuit::{Circuit, moments};
+use waltz_circuit::{moments, Circuit};
 
 use crate::Layout;
 
@@ -86,8 +86,7 @@ pub fn place(circuit: &Circuit, graph: &InteractionGraph) -> Layout {
                     (0..n)
                         .filter(|&j| placed[j])
                         .map(|j| {
-                            w[next][j]
-                                * dist[graph.index_of(s)][graph.index_of(layout.site_of(j))]
+                            w[next][j] * dist[graph.index_of(s)][graph.index_of(layout.site_of(j))]
                         })
                         .sum()
                 };
@@ -119,10 +118,7 @@ mod tests {
         assert_eq!(layout.device_of(0), layout.device_of(1));
         // 2 must be adjacent to that device.
         let d = layout.device_of(2);
-        assert!(
-            d == layout.device_of(0)
-                || g.topology().are_adjacent(d, layout.device_of(0))
-        );
+        assert!(d == layout.device_of(0) || g.topology().are_adjacent(d, layout.device_of(0)));
     }
 
     #[test]

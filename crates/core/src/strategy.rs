@@ -114,8 +114,12 @@ impl Strategy {
     /// Human-readable name used by the benchmark harness.
     pub fn name(&self) -> String {
         match self {
-            Strategy::QubitOnly { ccx: QubitCcxMode::EightCx } => "Qubit-Only (8CX)".into(),
-            Strategy::QubitOnly { ccx: QubitCcxMode::IToffoli } => "Qubit-Only iToffoli".into(),
+            Strategy::QubitOnly {
+                ccx: QubitCcxMode::EightCx,
+            } => "Qubit-Only (8CX)".into(),
+            Strategy::QubitOnly {
+                ccx: QubitCcxMode::IToffoli,
+            } => "Qubit-Only iToffoli".into(),
             Strategy::MixedRadix { ccx, native_cswap } => {
                 let base = match ccx {
                     MrCcxMode::Raw => "Mixed-Radix (raw CCX)",

@@ -7,11 +7,11 @@
 //! placement (routing permutes qubits). Exponential in qubit count — used
 //! by tests on small circuits.
 
+use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
-use rand::rngs::StdRng;
 
-use waltz_circuit::{Circuit, unitary};
+use waltz_circuit::{unitary, Circuit};
 use waltz_math::C64;
 use waltz_sim::ideal;
 
@@ -39,7 +39,12 @@ impl VerifyReport {
 /// # Panics
 ///
 /// Panics if the circuit widths disagree.
-pub fn check(logical: &Circuit, compiled: &CompiledCircuit, trials: usize, seed: u64) -> VerifyReport {
+pub fn check(
+    logical: &Circuit,
+    compiled: &CompiledCircuit,
+    trials: usize,
+    seed: u64,
+) -> VerifyReport {
     let n = logical.n_qubits();
     assert_eq!(compiled.initial_sites.len(), n, "width mismatch");
     let mut rng = StdRng::seed_from_u64(seed);
@@ -83,7 +88,7 @@ fn random_product_state<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<C64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Strategy, compile};
+    use crate::{compile, Strategy};
     use waltz_gates::GateLibrary;
 
     fn verify_strategy(circuit: &Circuit, strategy: Strategy) {

@@ -116,24 +116,51 @@ impl GateLibrary {
             MrCswap(MrCswapConfig::CtrlSlot1) => 762.0,
             FqCx { ctrl: Slot::S0, .. } => 544.0,
             FqCx { ctrl: Slot::S1, .. } => 700.0,
-            FqCz { a: Slot::S0, b: Slot::S0 } => 392.0,
-            FqCz { a: Slot::S1, b: Slot::S1 } => 776.0,
+            FqCz {
+                a: Slot::S0,
+                b: Slot::S0,
+            } => 392.0,
+            FqCz {
+                a: Slot::S1,
+                b: Slot::S1,
+            } => 776.0,
             FqCz { .. } => 488.0,
-            FqSwap { a: Slot::S0, b: Slot::S0 } => 916.0,
-            FqSwap { a: Slot::S1, b: Slot::S1 } => 964.0,
+            FqSwap {
+                a: Slot::S0,
+                b: Slot::S0,
+            } => 916.0,
+            FqSwap {
+                a: Slot::S1,
+                b: Slot::S1,
+            } => 964.0,
             FqSwap { .. } => 892.0,
             FqCcx(FqCcxConfig::ControlsPair { tgt: Slot::S0 }) => 536.0,
             FqCcx(FqCcxConfig::ControlsPair { tgt: Slot::S1 }) => 552.0,
-            FqCcx(FqCcxConfig::Split { actrl: Slot::S1, bctrl: Slot::S0 }) => 680.0,
+            FqCcx(FqCcxConfig::Split {
+                actrl: Slot::S1,
+                bctrl: Slot::S0,
+            }) => 680.0,
             FqCcx(FqCcxConfig::Split { .. }) => 785.0,
             FqCcz { tgt: Slot::S0 } => 232.0,
             FqCcz { tgt: Slot::S1 } => 310.0,
             FqCswap(FqCswapConfig::TargetsPair { ctrl: Slot::S0 }) => 510.0,
             FqCswap(FqCswapConfig::TargetsPair { ctrl: Slot::S1 }) => 432.0,
-            FqCswap(FqCswapConfig::Split { ctrl: Slot::S0, btgt: Slot::S0 }) => 680.0,
-            FqCswap(FqCswapConfig::Split { ctrl: Slot::S0, btgt: Slot::S1 }) => 744.0,
-            FqCswap(FqCswapConfig::Split { ctrl: Slot::S1, btgt: Slot::S0 }) => 758.0,
-            FqCswap(FqCswapConfig::Split { ctrl: Slot::S1, btgt: Slot::S1 }) => 822.0,
+            FqCswap(FqCswapConfig::Split {
+                ctrl: Slot::S0,
+                btgt: Slot::S0,
+            }) => 680.0,
+            FqCswap(FqCswapConfig::Split {
+                ctrl: Slot::S0,
+                btgt: Slot::S1,
+            }) => 744.0,
+            FqCswap(FqCswapConfig::Split {
+                ctrl: Slot::S1,
+                btgt: Slot::S0,
+            }) => 758.0,
+            FqCswap(FqCswapConfig::Split {
+                ctrl: Slot::S1,
+                btgt: Slot::S1,
+            }) => 822.0,
         }
     }
 
@@ -180,15 +207,24 @@ mod tests {
     fn table1_qudit_internal_durations() {
         let lib = GateLibrary::paper();
         assert_eq!(
-            lib.duration(&HwGate::QuartU { slot: Slot::S0, gate: crate::Q1Gate::H }),
+            lib.duration(&HwGate::QuartU {
+                slot: Slot::S0,
+                gate: crate::Q1Gate::H
+            }),
             87.0
         );
         assert_eq!(
-            lib.duration(&HwGate::QuartU { slot: Slot::S1, gate: crate::Q1Gate::H }),
+            lib.duration(&HwGate::QuartU {
+                slot: Slot::S1,
+                gate: crate::Q1Gate::H
+            }),
             66.0
         );
         assert_eq!(
-            lib.duration(&HwGate::QuartU2 { g0: crate::Q1Gate::H, g1: crate::Q1Gate::H }),
+            lib.duration(&HwGate::QuartU2 {
+                g0: crate::Q1Gate::H,
+                g1: crate::Q1Gate::H
+            }),
             86.0
         );
         assert_eq!(lib.duration(&HwGate::QuartCx0), 83.0);
@@ -199,10 +235,22 @@ mod tests {
     #[test]
     fn table1_mixed_radix_durations() {
         let lib = GateLibrary::paper();
-        assert_eq!(lib.duration(&HwGate::MrCxQuartCtrl { slot: Slot::S0 }), 560.0);
-        assert_eq!(lib.duration(&HwGate::MrCxQuartCtrl { slot: Slot::S1 }), 632.0);
-        assert_eq!(lib.duration(&HwGate::MrCxQubitCtrl { slot: Slot::S0 }), 880.0);
-        assert_eq!(lib.duration(&HwGate::MrCxQubitCtrl { slot: Slot::S1 }), 812.0);
+        assert_eq!(
+            lib.duration(&HwGate::MrCxQuartCtrl { slot: Slot::S0 }),
+            560.0
+        );
+        assert_eq!(
+            lib.duration(&HwGate::MrCxQuartCtrl { slot: Slot::S1 }),
+            632.0
+        );
+        assert_eq!(
+            lib.duration(&HwGate::MrCxQubitCtrl { slot: Slot::S0 }),
+            880.0
+        );
+        assert_eq!(
+            lib.duration(&HwGate::MrCxQubitCtrl { slot: Slot::S1 }),
+            812.0
+        );
         assert_eq!(lib.duration(&HwGate::MrCz { slot: Slot::S0 }), 384.0);
         assert_eq!(lib.duration(&HwGate::MrCz { slot: Slot::S1 }), 404.0);
         assert_eq!(lib.duration(&HwGate::MrSwap { slot: Slot::S0 }), 680.0);
@@ -213,22 +261,85 @@ mod tests {
     #[test]
     fn table1_full_ququart_durations() {
         let lib = GateLibrary::paper();
-        assert_eq!(lib.duration(&HwGate::FqCx { ctrl: Slot::S0, tgt: Slot::S0 }), 544.0);
-        assert_eq!(lib.duration(&HwGate::FqCx { ctrl: Slot::S0, tgt: Slot::S1 }), 544.0);
-        assert_eq!(lib.duration(&HwGate::FqCx { ctrl: Slot::S1, tgt: Slot::S0 }), 700.0);
-        assert_eq!(lib.duration(&HwGate::FqCx { ctrl: Slot::S1, tgt: Slot::S1 }), 700.0);
-        assert_eq!(lib.duration(&HwGate::FqCz { a: Slot::S0, b: Slot::S0 }), 392.0);
-        assert_eq!(lib.duration(&HwGate::FqCz { a: Slot::S0, b: Slot::S1 }), 488.0);
-        assert_eq!(lib.duration(&HwGate::FqCz { a: Slot::S1, b: Slot::S1 }), 776.0);
-        assert_eq!(lib.duration(&HwGate::FqSwap { a: Slot::S0, b: Slot::S0 }), 916.0);
-        assert_eq!(lib.duration(&HwGate::FqSwap { a: Slot::S0, b: Slot::S1 }), 892.0);
-        assert_eq!(lib.duration(&HwGate::FqSwap { a: Slot::S1, b: Slot::S1 }), 964.0);
+        assert_eq!(
+            lib.duration(&HwGate::FqCx {
+                ctrl: Slot::S0,
+                tgt: Slot::S0
+            }),
+            544.0
+        );
+        assert_eq!(
+            lib.duration(&HwGate::FqCx {
+                ctrl: Slot::S0,
+                tgt: Slot::S1
+            }),
+            544.0
+        );
+        assert_eq!(
+            lib.duration(&HwGate::FqCx {
+                ctrl: Slot::S1,
+                tgt: Slot::S0
+            }),
+            700.0
+        );
+        assert_eq!(
+            lib.duration(&HwGate::FqCx {
+                ctrl: Slot::S1,
+                tgt: Slot::S1
+            }),
+            700.0
+        );
+        assert_eq!(
+            lib.duration(&HwGate::FqCz {
+                a: Slot::S0,
+                b: Slot::S0
+            }),
+            392.0
+        );
+        assert_eq!(
+            lib.duration(&HwGate::FqCz {
+                a: Slot::S0,
+                b: Slot::S1
+            }),
+            488.0
+        );
+        assert_eq!(
+            lib.duration(&HwGate::FqCz {
+                a: Slot::S1,
+                b: Slot::S1
+            }),
+            776.0
+        );
+        assert_eq!(
+            lib.duration(&HwGate::FqSwap {
+                a: Slot::S0,
+                b: Slot::S0
+            }),
+            916.0
+        );
+        assert_eq!(
+            lib.duration(&HwGate::FqSwap {
+                a: Slot::S0,
+                b: Slot::S1
+            }),
+            892.0
+        );
+        assert_eq!(
+            lib.duration(&HwGate::FqSwap {
+                a: Slot::S1,
+                b: Slot::S1
+            }),
+            964.0
+        );
     }
 
     #[test]
     fn table2_mixed_radix_three_qubit_durations() {
         let lib = GateLibrary::paper();
-        assert_eq!(lib.duration(&HwGate::MrCcx(MrCcxConfig::ControlsEncoded)), 412.0);
+        assert_eq!(
+            lib.duration(&HwGate::MrCcx(MrCcxConfig::ControlsEncoded)),
+            412.0
+        );
         assert_eq!(
             lib.duration(&HwGate::MrCcx(MrCcxConfig::CtrlQubitAndSlot0TargetSlot1)),
             619.0
@@ -238,9 +349,18 @@ mod tests {
             697.0
         );
         assert_eq!(lib.duration(&HwGate::MrCcz), 264.0);
-        assert_eq!(lib.duration(&HwGate::MrCswap(MrCswapConfig::TargetsEncoded)), 444.0);
-        assert_eq!(lib.duration(&HwGate::MrCswap(MrCswapConfig::CtrlSlot0)), 684.0);
-        assert_eq!(lib.duration(&HwGate::MrCswap(MrCswapConfig::CtrlSlot1)), 762.0);
+        assert_eq!(
+            lib.duration(&HwGate::MrCswap(MrCswapConfig::TargetsEncoded)),
+            444.0
+        );
+        assert_eq!(
+            lib.duration(&HwGate::MrCswap(MrCswapConfig::CtrlSlot0)),
+            684.0
+        );
+        assert_eq!(
+            lib.duration(&HwGate::MrCswap(MrCswapConfig::CtrlSlot1)),
+            762.0
+        );
     }
 
     #[test]
@@ -271,11 +391,15 @@ mod tests {
         assert_eq!(lib.duration(&HwGate::FqCcz { tgt: Slot::S0 }), 232.0);
         assert_eq!(lib.duration(&HwGate::FqCcz { tgt: Slot::S1 }), 310.0);
         assert_eq!(
-            lib.duration(&HwGate::FqCswap(FqCswapConfig::TargetsPair { ctrl: Slot::S0 })),
+            lib.duration(&HwGate::FqCswap(FqCswapConfig::TargetsPair {
+                ctrl: Slot::S0
+            })),
             510.0
         );
         assert_eq!(
-            lib.duration(&HwGate::FqCswap(FqCswapConfig::TargetsPair { ctrl: Slot::S1 })),
+            lib.duration(&HwGate::FqCswap(FqCswapConfig::TargetsPair {
+                ctrl: Slot::S1
+            })),
             432.0
         );
         assert_eq!(
@@ -333,16 +457,17 @@ mod tests {
         let lib = GateLibrary::paper();
         assert!(lib.duration(&HwGate::QuartCx0) < lib.duration(&HwGate::QubitCx));
         assert!(lib.fidelity(&HwGate::QuartCx0) > lib.fidelity(&HwGate::QubitCx));
-        assert!(
-            lib.duration(&HwGate::QuartSwapIn) * 5.0 < lib.duration(&HwGate::QubitSwap) * 1.01
-        );
+        assert!(lib.duration(&HwGate::QuartSwapIn) * 5.0 < lib.duration(&HwGate::QubitSwap) * 1.01);
     }
 
     #[test]
     fn ccz_configurations_are_fastest_three_qubit_gates() {
         // §4.2.2: CCZ pulses are remarkably fast — on par with 2q gates.
         let lib = GateLibrary::paper();
-        assert!(lib.duration(&HwGate::MrCcz) < lib.duration(&HwGate::MrCcx(MrCcxConfig::ControlsEncoded)));
+        assert!(
+            lib.duration(&HwGate::MrCcz)
+                < lib.duration(&HwGate::MrCcx(MrCcxConfig::ControlsEncoded))
+        );
         assert!(
             lib.duration(&HwGate::FqCcz { tgt: Slot::S0 })
                 < lib.duration(&HwGate::FqCcx(FqCcxConfig::ControlsPair { tgt: Slot::S0 }))

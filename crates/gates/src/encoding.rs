@@ -153,10 +153,9 @@ mod tests {
         let a = lift_u0(&standard::h());
         let b = lift_u1(&standard::t());
         assert!(a.matmul(&b).approx_eq(&b.matmul(&a), 1e-12));
-        assert!(
-            a.matmul(&b)
-                .approx_eq(&lift_u01(&standard::h(), &standard::t()), 1e-12)
-        );
+        assert!(a
+            .matmul(&b)
+            .approx_eq(&lift_u01(&standard::h(), &standard::t()), 1e-12));
     }
 
     #[test]
@@ -168,7 +167,12 @@ mod tests {
 
     #[test]
     fn all_internal_gates_unitary() {
-        for m in [internal_cx0(), internal_cx1(), internal_swap(), internal_cz()] {
+        for m in [
+            internal_cx0(),
+            internal_cx1(),
+            internal_swap(),
+            internal_cz(),
+        ] {
             assert!(m.is_unitary(1e-12));
         }
     }

@@ -6,7 +6,7 @@
 //! significant digit. Encoded qubits are `(a0, a1)` in A and `(b0, b1)` in
 //! B, slot 0 being the most significant bit of the level.
 
-use waltz_math::{C64, Matrix};
+use waltz_math::{Matrix, C64};
 
 use crate::Slot;
 
@@ -182,9 +182,7 @@ mod tests {
         let mut m = Matrix::zeros(16, 16);
         for col in 0..16usize {
             let cb = bits_of(col);
-            let lc = layout
-                .iter()
-                .fold(0usize, |acc, &pos| (acc << 1) | cb[pos]);
+            let lc = layout.iter().fold(0usize, |acc, &pos| (acc << 1) | cb[pos]);
             for lr in 0..(1 << k) {
                 let amp = u[(lr, lc)];
                 if amp == C64::ZERO {
@@ -259,16 +257,18 @@ mod tests {
     fn ccx_split_matches_toffoli() {
         // controls a0, b0; target b1.
         let expected = from_k_qubit(&standard::ccx(), &[0, 2, 3]);
-        assert!(
-            ccx(FqCcxConfig::Split { actrl: Slot::S0, bctrl: Slot::S0 })
-                .approx_eq(&expected, 1e-12)
-        );
+        assert!(ccx(FqCcxConfig::Split {
+            actrl: Slot::S0,
+            bctrl: Slot::S0
+        })
+        .approx_eq(&expected, 1e-12));
         // controls a1, b0; target b1.
         let expected = from_k_qubit(&standard::ccx(), &[1, 2, 3]);
-        assert!(
-            ccx(FqCcxConfig::Split { actrl: Slot::S1, bctrl: Slot::S0 })
-                .approx_eq(&expected, 1e-12)
-        );
+        assert!(ccx(FqCcxConfig::Split {
+            actrl: Slot::S1,
+            bctrl: Slot::S0
+        })
+        .approx_eq(&expected, 1e-12));
     }
 
     #[test]
@@ -288,29 +288,27 @@ mod tests {
     #[test]
     fn cswap_targets_pair_swaps_b_slots() {
         let expected = from_k_qubit(&standard::cswap(), &[0, 2, 3]);
-        assert!(
-            cswap(FqCswapConfig::TargetsPair { ctrl: Slot::S0 }).approx_eq(&expected, 1e-12)
-        );
+        assert!(cswap(FqCswapConfig::TargetsPair { ctrl: Slot::S0 }).approx_eq(&expected, 1e-12));
         let expected = from_k_qubit(&standard::cswap(), &[1, 2, 3]);
-        assert!(
-            cswap(FqCswapConfig::TargetsPair { ctrl: Slot::S1 }).approx_eq(&expected, 1e-12)
-        );
+        assert!(cswap(FqCswapConfig::TargetsPair { ctrl: Slot::S1 }).approx_eq(&expected, 1e-12));
     }
 
     #[test]
     fn cswap_split_matches_fredkin() {
         // control a0, targets a1 and b1.
         let expected = from_k_qubit(&standard::cswap(), &[0, 1, 3]);
-        assert!(
-            cswap(FqCswapConfig::Split { ctrl: Slot::S0, btgt: Slot::S1 })
-                .approx_eq(&expected, 1e-12)
-        );
+        assert!(cswap(FqCswapConfig::Split {
+            ctrl: Slot::S0,
+            btgt: Slot::S1
+        })
+        .approx_eq(&expected, 1e-12));
         // control a1, targets a0 and b0.
         let expected = from_k_qubit(&standard::cswap(), &[1, 0, 2]);
-        assert!(
-            cswap(FqCswapConfig::Split { ctrl: Slot::S1, btgt: Slot::S0 })
-                .approx_eq(&expected, 1e-12)
-        );
+        assert!(cswap(FqCswapConfig::Split {
+            ctrl: Slot::S1,
+            btgt: Slot::S0
+        })
+        .approx_eq(&expected, 1e-12));
     }
 
     #[test]

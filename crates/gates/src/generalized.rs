@@ -115,7 +115,10 @@ mod tests {
         let mut acc = Matrix::identity(4);
         for _ in 0..4 {
             acc = acc.matmul(&target_perm);
-            assert!(!acc.approx_eq(&toggle_low, 1e-9), "a shift matched (01)(23)");
+            assert!(
+                !acc.approx_eq(&toggle_low, 1e-9),
+                "a shift matched (01)(23)"
+            );
         }
     }
 

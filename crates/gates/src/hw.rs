@@ -257,13 +257,24 @@ impl HwGate {
             QubitU(_) => vec![2],
             QubitCx | QubitCz | QubitCsdg | QubitSwap => vec![2, 2],
             IToffoli => vec![2, 2, 2],
-            QuartU { .. } | QuartU2 { .. } | QuartCx0 | QuartCx1 | QuartSwapIn
-            | QuartCzIn | QuartCsdgIn => vec![4],
-            MrCxQuartCtrl { .. } | MrCxQubitCtrl { .. } | MrCz { .. } | MrSwap { .. }
-            | MrCcx(_) | MrCcz | MrCswap(_) => vec![4, 2],
+            QuartU { .. }
+            | QuartU2 { .. }
+            | QuartCx0
+            | QuartCx1
+            | QuartSwapIn
+            | QuartCzIn
+            | QuartCsdgIn => vec![4],
+            MrCxQuartCtrl { .. }
+            | MrCxQubitCtrl { .. }
+            | MrCz { .. }
+            | MrSwap { .. }
+            | MrCcx(_)
+            | MrCcz
+            | MrCswap(_) => vec![4, 2],
             Enc | Dec => vec![4, 4],
-            FqCx { .. } | FqCz { .. } | FqSwap { .. } | FqCcx(_) | FqCcz { .. }
-            | FqCswap(_) => vec![4, 4],
+            FqCx { .. } | FqCz { .. } | FqSwap { .. } | FqCcx(_) | FqCcz { .. } | FqCswap(_) => {
+                vec![4, 4]
+            }
         }
     }
 
@@ -283,8 +294,14 @@ impl HwGate {
             QubitCsdg => standard::csdg(),
             QubitSwap => standard::swap(),
             IToffoli => standard::itoffoli(),
-            QuartU { slot: Slot::S0, gate } => encoding::lift_u0(&gate.matrix()),
-            QuartU { slot: Slot::S1, gate } => encoding::lift_u1(&gate.matrix()),
+            QuartU {
+                slot: Slot::S0,
+                gate,
+            } => encoding::lift_u0(&gate.matrix()),
+            QuartU {
+                slot: Slot::S1,
+                gate,
+            } => encoding::lift_u1(&gate.matrix()),
             QuartU2 { g0, g1 } => encoding::lift_u01(&g0.matrix(), &g1.matrix()),
             QuartCx0 => encoding::internal_cx0(),
             QuartCx1 => encoding::internal_cx1(),
@@ -316,8 +333,13 @@ impl HwGate {
             QubitU(_) => GateClass::SingleQubit,
             QubitCx | QubitCz | QubitCsdg | QubitSwap => GateClass::TwoQubit,
             IToffoli => GateClass::IToffoli,
-            QuartU { .. } | QuartU2 { .. } | QuartCx0 | QuartCx1 | QuartSwapIn
-            | QuartCzIn | QuartCsdgIn => GateClass::SingleQuart,
+            QuartU { .. }
+            | QuartU2 { .. }
+            | QuartCx0
+            | QuartCx1
+            | QuartSwapIn
+            | QuartCzIn
+            | QuartCsdgIn => GateClass::SingleQuart,
             _ => GateClass::TwoDeviceQuart,
         }
     }
@@ -346,9 +368,18 @@ mod tests {
             QubitCsdg,
             QubitSwap,
             IToffoli,
-            QuartU { slot: Slot::S0, gate: Q1Gate::H },
-            QuartU { slot: Slot::S1, gate: Q1Gate::T },
-            QuartU2 { g0: Q1Gate::H, g1: Q1Gate::H },
+            QuartU {
+                slot: Slot::S0,
+                gate: Q1Gate::H,
+            },
+            QuartU {
+                slot: Slot::S1,
+                gate: Q1Gate::T,
+            },
+            QuartU2 {
+                g0: Q1Gate::H,
+                g1: Q1Gate::H,
+            },
             QuartCx0,
             QuartCx1,
             QuartSwapIn,
@@ -421,7 +452,11 @@ mod tests {
         assert!(!HwGate::IToffoli.touches_ququart());
         assert!(HwGate::QuartCx0.touches_ququart());
         assert!(HwGate::MrCcz.touches_ququart());
-        assert!(HwGate::FqCz { a: Slot::S0, b: Slot::S1 }.touches_ququart());
+        assert!(HwGate::FqCz {
+            a: Slot::S0,
+            b: Slot::S1
+        }
+        .touches_ququart());
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod standard;
 pub use calibration::GateLibrary;
 pub use hw::{HwGate, Q1Gate, Slot};
 
-use waltz_math::{C64, Matrix};
+use waltz_math::{Matrix, C64};
 
 /// Embeds a gate acting on logical operand dimensions `op_dims` into devices
 /// of (possibly larger) dimensions `dev_dims`, acting as the identity outside

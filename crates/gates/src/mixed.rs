@@ -6,7 +6,7 @@
 //! digit. The compiler always lists the ququart first when emitting these
 //! gates, so the simulator can use the matrices verbatim.
 
-use waltz_math::{C64, Matrix};
+use waltz_math::{Matrix, C64};
 
 use crate::Slot;
 
@@ -53,13 +53,25 @@ fn set_slot(level: usize, slot: Slot, v: usize) -> usize {
 /// `CX{slot}q`: CNOT controlled on encoded qubit `slot`, targeting the bare
 /// qubit (560 ns for slot 0, 632 ns for slot 1).
 pub fn cx_quart_ctrl(slot: Slot) -> Matrix {
-    perm_from(|l, q| if slot_val(l, slot) == 1 { (l, q ^ 1) } else { (l, q) })
+    perm_from(|l, q| {
+        if slot_val(l, slot) == 1 {
+            (l, q ^ 1)
+        } else {
+            (l, q)
+        }
+    })
 }
 
 /// `CXq{slot}`: CNOT controlled on the bare qubit, targeting encoded qubit
 /// `slot` (880 ns for slot 0, 812 ns for slot 1).
 pub fn cx_qubit_ctrl(slot: Slot) -> Matrix {
-    perm_from(|l, q| if q == 1 { (flip_slot(l, slot), q) } else { (l, q) })
+    perm_from(|l, q| {
+        if q == 1 {
+            (flip_slot(l, slot), q)
+        } else {
+            (l, q)
+        }
+    })
 }
 
 /// `CZq{slot}`: controlled-Z between the bare qubit and encoded qubit `slot`
@@ -195,7 +207,7 @@ pub fn enc() -> Matrix {
     perm[1] = 4; // |0,1> -> |1,0>
     perm[4] = 8; // |1,0> -> |2,0>
     perm[5] = 12; // |1,1> -> |3,0>
-    // Completion: images 4, 8, 12 were vacated by inputs 8, 12 (a >= 2, b < 2).
+                  // Completion: images 4, 8, 12 were vacated by inputs 8, 12 (a >= 2, b < 2).
     perm[8] = 1;
     perm[12] = 5;
     Matrix::permutation(&perm)
@@ -264,8 +276,7 @@ mod tests {
     #[test]
     fn cx_quart_ctrl_matches_logical_cx() {
         // Control slot0, target bare qubit: logical CX(q0_enc, qubit).
-        let expected =
-            from_three_qubit(&Matrix::identity(2).kron(&standard::cx()), [1, 0, 2]);
+        let expected = from_three_qubit(&Matrix::identity(2).kron(&standard::cx()), [1, 0, 2]);
         // The identity factor acts on slot1; CX acts on (slot0, qubit).
         assert!(cx_quart_ctrl(Slot::S0).approx_eq(&expected, 1e-12));
     }
@@ -290,14 +301,10 @@ mod tests {
     fn ccx_split_controls_match_layouts() {
         // CCXq01: controls (qubit, s0), target s1.
         let expected = from_three_qubit(&standard::ccx(), [2, 0, 1]);
-        assert!(
-            ccx(MrCcxConfig::CtrlQubitAndSlot0TargetSlot1).approx_eq(&expected, 1e-12)
-        );
+        assert!(ccx(MrCcxConfig::CtrlQubitAndSlot0TargetSlot1).approx_eq(&expected, 1e-12));
         // CCX1q0: controls (s1, qubit), target s0.
         let expected = from_three_qubit(&standard::ccx(), [1, 2, 0]);
-        assert!(
-            ccx(MrCcxConfig::CtrlSlot1AndQubitTargetSlot0).approx_eq(&expected, 1e-12)
-        );
+        assert!(ccx(MrCcxConfig::CtrlSlot1AndQubitTargetSlot0).approx_eq(&expected, 1e-12));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use std::f64::consts::FRAC_1_SQRT_2;
 
-use waltz_math::{C64, Matrix};
+use waltz_math::{Matrix, C64};
 
 /// 2x2 identity.
 pub fn id2() -> Matrix {

@@ -8,7 +8,7 @@
 //! acceptable trade for the <= 125-dimensional matrices used here).
 
 use crate::linalg::{self, LinalgError};
-use crate::{C64, Matrix};
+use crate::{Matrix, C64};
 
 /// Padé(13,13) coefficients from Higham (2005), Table 10.4.
 const PADE13: [f64; 14] = [
@@ -117,8 +117,8 @@ pub fn expm_i_h_t(h: &Matrix, t: f64) -> Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     #[test]
     fn exp_of_zero_is_identity() {
@@ -142,8 +142,14 @@ mod tests {
         let x = Matrix::from_rows(&[vec![C64::ZERO, C64::ONE], vec![C64::ONE, C64::ZERO]]);
         let u = expm(&x.scale(C64::new(0.0, -theta / 2.0)));
         let expected = Matrix::from_rows(&[
-            vec![C64::real((theta / 2.0).cos()), C64::new(0.0, -(theta / 2.0).sin())],
-            vec![C64::new(0.0, -(theta / 2.0).sin()), C64::real((theta / 2.0).cos())],
+            vec![
+                C64::real((theta / 2.0).cos()),
+                C64::new(0.0, -(theta / 2.0).sin()),
+            ],
+            vec![
+                C64::new(0.0, -(theta / 2.0).sin()),
+                C64::real((theta / 2.0).cos()),
+            ],
         ]);
         assert!(u.approx_eq(&expected, 1e-12));
     }
@@ -195,6 +201,9 @@ mod tests {
 
     #[test]
     fn non_square_is_rejected() {
-        assert_eq!(try_expm(&Matrix::zeros(2, 3)).unwrap_err(), LinalgError::NotSquare);
+        assert_eq!(
+            try_expm(&Matrix::zeros(2, 3)).unwrap_err(),
+            LinalgError::NotSquare
+        );
     }
 }

@@ -12,6 +12,8 @@
 //!   modified Gram–Schmidt QR and Haar-random unitary sampling.
 //! * [`expm`] — the scaling-and-squaring Padé-13 matrix exponential used by
 //!   the pulse-level simulator (`waltz-pulse`).
+//! * [`structure`] — structural probes (diagonal / phased-permutation
+//!   detection) backing the simulator's kernel-specialized gate paths.
 //! * [`metrics`] — the gate-fidelity objective of the paper's Eq. (1) and
 //!   state-overlap fidelities used throughout the evaluation.
 //!
@@ -40,6 +42,7 @@ mod matrix;
 pub mod expm;
 pub mod linalg;
 pub mod metrics;
+pub mod structure;
 pub mod vector;
 
 pub use complex::C64;

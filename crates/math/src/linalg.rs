@@ -5,7 +5,7 @@ use std::fmt;
 
 use rand::Rng;
 
-use crate::{C64, Matrix};
+use crate::{Matrix, C64};
 
 /// Error produced by the linear-algebra routines.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -93,8 +93,8 @@ impl LuDecomposition {
         let mut y = vec![C64::ZERO; n];
         for i in 0..n {
             let mut acc = b[self.perm[i]];
-            for j in 0..i {
-                acc -= self.lu[(i, j)] * y[j];
+            for (j, &yj) in y.iter().enumerate().take(i) {
+                acc -= self.lu[(i, j)] * yj;
             }
             y[i] = acc;
         }
@@ -102,8 +102,8 @@ impl LuDecomposition {
         let mut x = vec![C64::ZERO; n];
         for i in (0..n).rev() {
             let mut acc = y[i];
-            for j in i + 1..n {
-                acc -= self.lu[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                acc -= self.lu[(i, j)] * xj;
             }
             x[i] = acc / self.lu[(i, i)];
         }
@@ -223,7 +223,7 @@ pub fn haar_unitary<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Matrix {
         let d = r[(j, j)];
         let phase = if d.abs() > 0.0 { d / d.abs() } else { C64::ONE };
         for i in 0..n {
-            q[(i, j)] = q[(i, j)] / phase;
+            q[(i, j)] /= phase;
         }
     }
     q
@@ -251,8 +251,8 @@ fn gauss<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn random_matrix(n: usize, seed: u64) -> Matrix {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -288,10 +288,7 @@ mod tests {
 
     #[test]
     fn singular_matrix_is_rejected() {
-        let a = Matrix::from_rows(&[
-            vec![C64::ONE, C64::ONE],
-            vec![C64::ONE, C64::ONE],
-        ]);
+        let a = Matrix::from_rows(&[vec![C64::ONE, C64::ONE], vec![C64::ONE, C64::ONE]]);
         assert_eq!(LuDecomposition::new(&a).unwrap_err(), LinalgError::Singular);
     }
 

@@ -207,7 +207,7 @@ impl Matrix {
     pub fn scale(&self, z: C64) -> Matrix {
         let mut out = self.clone();
         for e in &mut out.data {
-            *e = *e * z;
+            *e *= z;
         }
         out
     }

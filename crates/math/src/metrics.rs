@@ -1,6 +1,6 @@
 //! Gate- and state-fidelity metrics used throughout the evaluation.
 
-use crate::{C64, Matrix};
+use crate::{Matrix, C64};
 
 /// Gate fidelity of the paper's Eq. (1):
 /// `F = |Tr(U_T^dagger V)|^2 / h^2`

@@ -1,0 +1,153 @@
+//! Structural classification of gate matrices.
+//!
+//! The compiled circuits of the paper are dominated by gates whose
+//! matrices are far from generic: CZ/CCZ and all phase gates are
+//! diagonal, X/CX/CCX and the routing swaps are (phased) permutations.
+//! Classifying a matrix once lets the simulator pick an apply path that
+//! skips the dense block matvec entirely — a phase sweep for diagonals,
+//! an index remap for permutations.
+
+use crate::{Matrix, C64};
+
+/// Structure detected in a square matrix by [`classify`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MatrixStructure {
+    /// The identity (within tolerance).
+    Identity,
+    /// Diagonal: entry `(j, j)` is `phases[j]`, all off-diagonals ≤ tol.
+    Diagonal {
+        /// Diagonal entries.
+        phases: Vec<C64>,
+    },
+    /// Exactly one non-negligible entry per column: column `j` maps to row
+    /// `perm[j]` with weight `phases[j]` (`M|j> = phases[j] |perm[j]>`).
+    PhasedPermutation {
+        /// Destination row per column.
+        perm: Vec<usize>,
+        /// Weight per column.
+        phases: Vec<C64>,
+    },
+    /// No exploitable structure.
+    Dense,
+}
+
+/// Classifies a square matrix, treating entries with modulus ≤ `tol` as
+/// zero. Sound for simulation as long as `n * tol` is far below the
+/// comparison tolerance: dropping `k` entries of modulus ≤ tol perturbs
+/// any output amplitude by at most `k * tol`.
+///
+/// Returns [`MatrixStructure::Dense`] for non-square matrices.
+pub fn classify(m: &Matrix, tol: f64) -> MatrixStructure {
+    if !m.is_square() {
+        return MatrixStructure::Dense;
+    }
+    let n = m.rows();
+    let mut perm = vec![0usize; n];
+    let mut phases = vec![C64::ZERO; n];
+    let mut row_used = vec![false; n];
+    let mut diagonal = true;
+    for col in 0..n {
+        let mut nonzero_row = None;
+        for row in 0..n {
+            if m[(row, col)].abs() > tol {
+                if nonzero_row.is_some() {
+                    return MatrixStructure::Dense;
+                }
+                nonzero_row = Some(row);
+            }
+        }
+        let Some(row) = nonzero_row else {
+            // A zero column: not a unitary, no structure to exploit.
+            return MatrixStructure::Dense;
+        };
+        if row_used[row] {
+            return MatrixStructure::Dense;
+        }
+        row_used[row] = true;
+        perm[col] = row;
+        phases[col] = m[(row, col)];
+        diagonal &= row == col;
+    }
+    if diagonal {
+        if phases.iter().all(|p| p.approx_eq(C64::ONE, tol)) {
+            MatrixStructure::Identity
+        } else {
+            MatrixStructure::Diagonal { phases }
+        }
+    } else {
+        MatrixStructure::PhasedPermutation { perm, phases }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_and_diagonal_detected() {
+        assert_eq!(
+            classify(&Matrix::identity(4), 1e-14),
+            MatrixStructure::Identity
+        );
+        let d = Matrix::from_diag(&[C64::ONE, C64::I, -C64::ONE, -C64::I]);
+        match classify(&d, 1e-14) {
+            MatrixStructure::Diagonal { phases } => {
+                assert!(phases[1].approx_eq(C64::I, 0.0));
+                assert!(phases[3].approx_eq(-C64::I, 0.0));
+            }
+            other => panic!("expected Diagonal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn permutation_detected_with_phases() {
+        // M|0> = i|1>, M|1> = |0>.
+        let m = Matrix::from_rows(&[vec![C64::ZERO, C64::ONE], vec![C64::I, C64::ZERO]]);
+        match classify(&m, 1e-14) {
+            MatrixStructure::PhasedPermutation { perm, phases } => {
+                assert_eq!(perm, vec![1, 0]);
+                assert!(phases[0].approx_eq(C64::I, 0.0));
+                assert!(phases[1].approx_eq(C64::ONE, 0.0));
+            }
+            other => panic!("expected PhasedPermutation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dense_and_degenerate_matrices_fall_through() {
+        let h = Matrix::from_rows(&[
+            vec![
+                C64::real(std::f64::consts::FRAC_1_SQRT_2),
+                C64::real(std::f64::consts::FRAC_1_SQRT_2),
+            ],
+            vec![
+                C64::real(std::f64::consts::FRAC_1_SQRT_2),
+                C64::real(-std::f64::consts::FRAC_1_SQRT_2),
+            ],
+        ]);
+        assert_eq!(classify(&h, 1e-14), MatrixStructure::Dense);
+        // Two columns hitting the same row: not a permutation.
+        let m = Matrix::from_rows(&[vec![C64::ONE, C64::ONE], vec![C64::ZERO, C64::ZERO]]);
+        assert_eq!(classify(&m, 1e-14), MatrixStructure::Dense);
+        // Zero column.
+        let z = Matrix::from_rows(&[vec![C64::ONE, C64::ZERO], vec![C64::ZERO, C64::ZERO]]);
+        assert_eq!(classify(&z, 1e-14), MatrixStructure::Dense);
+        // Non-square.
+        assert_eq!(
+            classify(&Matrix::zeros(2, 3), 1e-14),
+            MatrixStructure::Dense
+        );
+    }
+
+    #[test]
+    fn tolerance_absorbs_numerical_dust() {
+        let mut d = Matrix::identity(3);
+        d[(2, 0)] = C64::new(1e-16, 0.0);
+        assert_eq!(classify(&d, 1e-14), MatrixStructure::Identity);
+        assert_eq!(
+            classify(&d, 0.0),
+            MatrixStructure::Dense,
+            "zero tolerance keeps the dust entry"
+        );
+    }
+}

@@ -34,7 +34,7 @@ pub fn normalize(v: &mut [C64]) -> f64 {
     if n > 0.0 {
         let inv = 1.0 / n;
         for z in v.iter_mut() {
-            *z = *z * inv;
+            *z *= inv;
         }
     }
     n

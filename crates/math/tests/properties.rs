@@ -1,10 +1,10 @@
 //! Property-based tests for the linear-algebra substrate.
 
 use proptest::prelude::*;
-use rand::SeedableRng;
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 
-use waltz_math::{C64, Matrix, expm, linalg, metrics, vector};
+use waltz_math::{expm, linalg, metrics, vector, Matrix, C64};
 
 fn random_unitary(n: usize, seed: u64) -> Matrix {
     let mut rng = StdRng::seed_from_u64(seed);

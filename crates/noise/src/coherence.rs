@@ -66,7 +66,11 @@ impl CoherenceModel {
     /// Effective T1 of `level` in nanoseconds (∞ for the ground state).
     pub fn effective_t1(&self, level: usize) -> f64 {
         let r = self.decay_rate(level);
-        if r == 0.0 { f64::INFINITY } else { 1.0 / r }
+        if r == 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / r
+        }
     }
 
     /// Damping probability of `level` over `dt` nanoseconds:

@@ -4,7 +4,7 @@
 //! level `m`, `K_m = sqrt(l_m) e_{0,m}` — decay straight to the ground
 //! state with `l_m = 1 - exp(-m dt / T1)`.
 
-use waltz_math::{C64, Matrix};
+use waltz_math::{Matrix, C64};
 
 use crate::CoherenceModel;
 

@@ -9,7 +9,7 @@
 
 use rand::Rng;
 
-use waltz_math::{C64, Matrix};
+use waltz_math::{Matrix, C64};
 
 /// A single-qudit generalized Pauli `X^a Z^b` on dimension `d`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -58,6 +58,32 @@ impl PauliOp {
             C64::cis(w * (self.b as usize * j) as f64),
         )
     }
+
+    /// The Pauli as a phased permutation of a `dev_dim`-level device:
+    /// level `j` maps to `perm[j]` with weight `phases[j]`. Levels at or
+    /// above the Pauli's own dimension are fixed with unit phase (e.g. a
+    /// qubit error on a 4-level transmon leaves levels 2 and 3 alone).
+    /// This is the simulator's permutation-kernel format; the simulator's
+    /// allocation-free in-place `apply_pauli` walk is cross-validated
+    /// against a kernel built from this representation (see the sim
+    /// crate's kernel-parity tests), and it is the representation to use
+    /// when materializing a Pauli as a gate kernel or dense matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dev_dim` is smaller than the Pauli's dimension.
+    pub fn as_phased_permutation(&self, dev_dim: usize) -> (Vec<usize>, Vec<C64>) {
+        let d = self.d as usize;
+        assert!(d <= dev_dim, "Pauli dimension exceeds device dimension");
+        let mut perm: Vec<usize> = (0..dev_dim).collect();
+        let mut phases = vec![C64::ONE; dev_dim];
+        for (j, (p, ph)) in perm.iter_mut().zip(phases.iter_mut()).take(d).enumerate() {
+            let (to, phase) = self.act_on_basis(j);
+            *p = to;
+            *ph = phase;
+        }
+        (perm, phases)
+    }
 }
 
 /// All `d^2 - 1` non-identity Paulis of dimension `d`.
@@ -88,7 +114,10 @@ pub fn channel_count(dims: &[u8]) -> usize {
 ///
 /// Panics if `dims` is empty.
 pub fn sample_error<R: Rng + ?Sized>(dims: &[u8], rng: &mut R) -> Vec<PauliOp> {
-    assert!(!dims.is_empty(), "error sampling needs at least one operand");
+    assert!(
+        !dims.is_empty(),
+        "error sampling needs at least one operand"
+    );
     let total: usize = dims.iter().map(|&d| (d as usize).pow(2)).product();
     // Uniform over 1..total — index 0 is the excluded all-identity.
     let mut idx = rng.gen_range(1..total);
@@ -110,8 +139,8 @@ pub fn sample_error<R: Rng + ?Sized>(dims: &[u8], rng: &mut R) -> Vec<PauliOp> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     #[test]
     fn qubit_paulis_match_textbook() {

@@ -8,10 +8,10 @@
 //! propagator products, so one iteration costs `O(slices x controls)`
 //! small matrix products.
 
-use waltz_math::{C64, Matrix};
+use waltz_math::{Matrix, C64};
 
+use crate::propagate::{slice_propagators, Pulse};
 use crate::TransmonSystem;
-use crate::propagate::{Pulse, slice_propagators};
 
 /// Options controlling the optimizer.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,11 +56,7 @@ pub struct GrapeResult {
 }
 
 /// Objective pieces for a given total propagator.
-fn objective(
-    u: &Matrix,
-    target: &Matrix,
-    logical: &[usize],
-) -> (f64, f64, Matrix) {
+fn objective(u: &Matrix, target: &Matrix, logical: &[usize]) -> (f64, f64, Matrix) {
     let h = logical.len() as f64;
     // z = sum over logical block of conj(V) .* U
     let mut z = C64::ZERO;
@@ -162,8 +158,7 @@ pub fn optimize(
             for &gj in &logical {
                 for r in 0..dim {
                     if !is_logical[r] {
-                        grad_u[(r, gj)] += u_total[(r, gj)]
-                            * C64::real(opts.leakage_weight / h);
+                        grad_u[(r, gj)] += u_total[(r, gj)] * C64::real(opts.leakage_weight / h);
                     }
                 }
             }
@@ -258,9 +253,11 @@ mod tests {
     fn fidelity_history_is_reported() {
         let s = TransmonSystem::paper(1, 2, 1);
         let p = seeded_pulse(&s, 20, 30.0);
-        let mut opts = GrapeOptions::default();
-        opts.max_iters = 5;
-        opts.infidelity_target = 0.0;
+        let opts = GrapeOptions {
+            max_iters: 5,
+            infidelity_target: 0.0,
+            ..GrapeOptions::default()
+        };
         let r = optimize(&s, &standard::x(), p, &opts);
         assert_eq!(r.history.len(), 5);
         assert_eq!(r.iterations, 5);
@@ -284,6 +281,11 @@ mod tests {
     fn wrong_target_dimension_panics() {
         let s = TransmonSystem::paper(1, 2, 1);
         let p = Pulse::zeros(5, s.n_controls(), 10.0);
-        let _ = optimize(&s, &waltz_math::Matrix::identity(3), p, &GrapeOptions::default());
+        let _ = optimize(
+            &s,
+            &waltz_math::Matrix::identity(3),
+            p,
+            &GrapeOptions::default(),
+        );
     }
 }

@@ -40,5 +40,5 @@ pub mod propagate;
 pub mod synth;
 mod system;
 
-pub use grape::{GrapeOptions, GrapeResult, optimize};
+pub use grape::{optimize, GrapeOptions, GrapeResult};
 pub use system::TransmonSystem;

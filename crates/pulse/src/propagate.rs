@@ -1,6 +1,6 @@
 //! Piecewise-constant time evolution.
 
-use waltz_math::{C64, Matrix, expm};
+use waltz_math::{expm, Matrix, C64};
 
 use crate::TransmonSystem;
 

@@ -8,7 +8,7 @@
 
 use waltz_math::Matrix;
 
-use crate::grape::{GrapeOptions, GrapeResult, optimize};
+use crate::grape::{optimize, GrapeOptions, GrapeResult};
 use crate::propagate::Pulse;
 use crate::TransmonSystem;
 
@@ -57,7 +57,10 @@ pub fn shrink_duration(
     fidelity_target: f64,
     opts: &GrapeOptions,
 ) -> ShrinkResult {
-    assert!((0.0..1.0).contains(&factor), "shrink factor must be in (0,1)");
+    assert!(
+        (0.0..1.0).contains(&factor),
+        "shrink factor must be in (0,1)"
+    );
     let first = synthesize(system, target, initial_duration_ns, slices, opts);
     assert!(
         first.fidelity >= fidelity_target,

@@ -1,6 +1,6 @@
 //! The weakly-coupled anharmonic transmon Hamiltonian (paper Eq. 2).
 
-use waltz_math::{C64, Matrix};
+use waltz_math::{Matrix, C64};
 
 /// Two pi, for converting GHz frequencies to rad/ns rates.
 const TWO_PI: f64 = 2.0 * std::f64::consts::PI;
@@ -31,7 +31,10 @@ impl TransmonSystem {
     ///
     /// Panics unless `1 <= n_transmons <= 3` and levels are sensible.
     pub fn paper(n_transmons: usize, logical_levels: usize, guard_levels: usize) -> Self {
-        assert!((1..=3).contains(&n_transmons), "paper device has 1-3 transmons");
+        assert!(
+            (1..=3).contains(&n_transmons),
+            "paper device has 1-3 transmons"
+        );
         assert!(logical_levels >= 2, "need at least a qubit");
         let freqs = [4.914, 5.114, 5.214];
         let base = freqs[0];
@@ -114,7 +117,10 @@ impl TransmonSystem {
         }
         for k in 0..self.n_transmons {
             h = &h + &self.lift(&n_op, k).scale(C64::real(self.detunings[k]));
-            h = &h + &self.lift(&anh, k).scale(C64::real(self.anharmonicity / 2.0));
+            h = &h
+                + &self
+                    .lift(&anh, k)
+                    .scale(C64::real(self.anharmonicity / 2.0));
         }
         // Exchange coupling between neighbours.
         for k in 1..self.n_transmons {

@@ -8,8 +8,8 @@
 
 use rand::Rng;
 
-use waltz_math::Matrix;
 use waltz_gates::{encoding, standard};
+use waltz_math::Matrix;
 
 /// The generator set: `H`/`S` on each encoded qubit, both CNOT
 /// orientations and the internal SWAP.
@@ -43,8 +43,8 @@ pub const DEFAULT_WORD_LEN: usize = 24;
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
     use waltz_math::C64;
 
     #[test]

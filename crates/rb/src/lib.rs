@@ -21,4 +21,4 @@ pub mod clifford;
 pub mod fit;
 pub mod protocol;
 
-pub use protocol::{RbConfig, RbCurve, RbOutcome, run_rb};
+pub use protocol::{run_rb, RbConfig, RbCurve, RbOutcome};

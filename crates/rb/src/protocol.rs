@@ -1,10 +1,10 @@
 //! RB / interleaved-RB sequence execution (paper §3.5).
 
+use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
-use rand::rngs::StdRng;
 
-use waltz_math::{C64, Matrix, metrics};
+use waltz_math::{metrics, Matrix, C64};
 use waltz_noise::pauli;
 
 use crate::clifford::{self, DEFAULT_WORD_LEN};

@@ -1,5 +1,6 @@
 //! Noiseless execution of a [`TimedCircuit`].
 
+use crate::kernel::Workspace;
 use crate::{State, TimedCircuit};
 
 /// Runs the circuit on `initial` with no noise, returning the final state.
@@ -8,16 +9,29 @@ use crate::{State, TimedCircuit};
 ///
 /// Panics if the initial state's register differs from the circuit's.
 pub fn run(circuit: &TimedCircuit, initial: &State) -> State {
+    let mut out = initial.clone();
+    let mut ws = Workspace::serial();
+    run_into(circuit, initial, &mut out, &mut ws);
+    out
+}
+
+/// [`run`] writing into a caller-owned output state and borrowing gate
+/// scratch from `ws`, so repeated ideal runs (one per trajectory batch)
+/// allocate nothing.
+///
+/// # Panics
+///
+/// Panics if either state's register differs from the circuit's.
+pub fn run_into(circuit: &TimedCircuit, initial: &State, out: &mut State, ws: &mut Workspace) {
     assert_eq!(
         initial.register(),
         &circuit.register,
         "state register does not match circuit register"
     );
-    let mut state = initial.clone();
+    out.copy_from(initial);
     for op in &circuit.ops {
-        state.apply_unitary(&op.unitary, &op.operands);
+        out.apply_op(op, ws);
     }
-    state
 }
 
 #[cfg(test)]
@@ -30,27 +44,53 @@ mod tests {
     fn ideal_run_produces_expected_state() {
         let reg = Register::qubits(2);
         let mut tc = TimedCircuit::new(reg.clone());
-        tc.ops.push(TimedOp {
-            label: "h".into(),
-            unitary: standard::h(),
-            operands: vec![0],
-            error_dims: vec![2],
-            start_ns: 0.0,
-            duration_ns: 35.0,
-            fidelity: 1.0,
-        });
-        tc.ops.push(TimedOp {
-            label: "cx".into(),
-            unitary: standard::cx(),
-            operands: vec![0, 1],
-            error_dims: vec![2, 2],
-            start_ns: 35.0,
-            duration_ns: 251.0,
-            fidelity: 1.0,
-        });
+        tc.ops.push(TimedOp::new(
+            "h",
+            standard::h(),
+            vec![0],
+            vec![2],
+            0.0,
+            35.0,
+            1.0,
+        ));
+        tc.ops.push(TimedOp::new(
+            "cx",
+            standard::cx(),
+            vec![0, 1],
+            vec![2, 2],
+            35.0,
+            251.0,
+            1.0,
+        ));
         tc.total_duration_ns = 286.0;
         let out = run(&tc, &State::zero(&reg));
         assert!((out.probability_of(0) - 0.5).abs() < 1e-12);
         assert!((out.probability_of(3) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_into_reuses_buffers_and_matches_run() {
+        let reg = Register::new(vec![4, 2]);
+        let mut tc = TimedCircuit::new(reg.clone());
+        tc.ops.push(TimedOp::new(
+            "ccz",
+            waltz_gates::mixed::ccz(),
+            vec![0, 1],
+            vec![4, 2],
+            0.0,
+            100.0,
+            1.0,
+        ));
+        tc.total_duration_ns = 100.0;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let initial = State::random_qubit_product(&reg, &mut rng);
+        let fresh = run(&tc, &initial);
+        let mut out = State::zero(&reg);
+        let mut ws = Workspace::serial();
+        run_into(&tc, &initial, &mut out, &mut ws);
+        // Run twice into the same buffer: stale contents must not leak.
+        run_into(&tc, &initial, &mut out, &mut ws);
+        assert!((fresh.fidelity(&out) - 1.0).abs() < 1e-12);
     }
 }

@@ -1,0 +1,641 @@
+//! Kernel-specialized gate application.
+//!
+//! Every unitary a compiled circuit applies is classified **once** (at
+//! compile/schedule time, via [`GateKernel::classify`]) into the cheapest
+//! apply strategy the simulator knows:
+//!
+//! * [`GateKernel::Identity`] — no-op (embedding often produces exact
+//!   identities).
+//! * [`GateKernel::Diagonal`] — CZ/CCZ and all phase gates: a pure phase
+//!   sweep over the amplitudes, no scratch block, no matvec.
+//! * [`GateKernel::Permutation`] — X/CX/CCX, routing swaps and the
+//!   generalized Paulis: an in-place index remap along precomputed
+//!   permutation cycles.
+//! * [`GateKernel::SingleQudit`] / [`GateKernel::TwoQudit`] — small dense
+//!   blocks applied through unrolled stride-aware loops on stack buffers.
+//! * [`GateKernel::GeneralDense`] — the fallback dense block matvec.
+//!
+//! All paths share one sweep over the configurations of the non-operand
+//! qudits; for large registers the sweep is split across threads (each
+//! configuration touches a disjoint set of amplitudes, so workers never
+//! overlap). Scratch that cannot live on the stack is borrowed from a
+//! reusable [`Workspace`] so steady-state trajectory simulation performs
+//! no heap allocation per gate.
+
+use waltz_math::structure::{self, MatrixStructure};
+use waltz_math::{Matrix, C64};
+
+use crate::Register;
+
+/// Entries with modulus at or below this are treated as structural zeros
+/// during classification. Dropping them perturbs an output amplitude by
+/// at most `block * 1e-14 <= 6.4e-13`, inside the 1e-12 parity budget.
+pub const CLASSIFY_TOL: f64 = 1e-14;
+
+/// Largest dense block applied through stack buffers; bigger blocks fall
+/// back to a heap-allocating serial path (beyond any gate this workspace
+/// compiles — three ququart operands give a block of 64).
+const MAX_STACK_BLOCK: usize = 64;
+
+/// Minimum amplitude count before a sweep is split across threads.
+const PAR_MIN_AMPS: usize = 1 << 15;
+
+/// The specialized apply strategy chosen for one gate matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GateKernel {
+    /// The matrix is the identity: applying it is a no-op.
+    Identity,
+    /// Diagonal matrix: amplitude `sub` is scaled by `phases[sub]`.
+    Diagonal {
+        /// Per-basis-state scale factor (the diagonal).
+        phases: Vec<C64>,
+    },
+    /// Phased permutation: basis state `j` maps to `perm[j]` with weight
+    /// `phases[j]`. `cycles` is the cycle decomposition of `perm`
+    /// (fixed points with unit phase omitted), precomputed so the apply
+    /// walks each cycle in place with one temporary.
+    Permutation {
+        /// Destination basis state per source state.
+        perm: Vec<usize>,
+        /// Weight per source state.
+        phases: Vec<C64>,
+        /// Cycle decomposition of `perm`.
+        cycles: Vec<Vec<usize>>,
+    },
+    /// Dense matrix on one qudit: unrolled stride loops for d = 2 and 4.
+    SingleQudit,
+    /// Dense matrix on two qudits with a block of at most 16: gathered
+    /// into a stack buffer per configuration.
+    TwoQudit,
+    /// No exploitable structure (or more than two operands): dense block
+    /// matvec.
+    GeneralDense,
+}
+
+impl GateKernel {
+    /// Classifies a gate matrix for `n_operands` operand qudits.
+    pub fn classify(u: &Matrix, n_operands: usize) -> GateKernel {
+        match structure::classify(u, CLASSIFY_TOL) {
+            MatrixStructure::Identity => GateKernel::Identity,
+            MatrixStructure::Diagonal { phases } => GateKernel::Diagonal { phases },
+            MatrixStructure::PhasedPermutation { perm, phases } => {
+                let cycles = cycles_of(&perm, &phases);
+                GateKernel::Permutation {
+                    perm,
+                    phases,
+                    cycles,
+                }
+            }
+            MatrixStructure::Dense => match n_operands {
+                1 if u.rows() <= MAX_STACK_BLOCK => GateKernel::SingleQudit,
+                2 if u.rows() <= 16 => GateKernel::TwoQudit,
+                _ => GateKernel::GeneralDense,
+            },
+        }
+    }
+
+    /// Short class name, used in perf reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GateKernel::Identity => "identity",
+            GateKernel::Diagonal { .. } => "diagonal",
+            GateKernel::Permutation { .. } => "permutation",
+            GateKernel::SingleQudit => "single-qudit",
+            GateKernel::TwoQudit => "two-qudit",
+            GateKernel::GeneralDense => "general-dense",
+        }
+    }
+}
+
+/// Cycle decomposition of a permutation. Fixed points are kept only when
+/// their phase is not exactly 1 (they still need a scale).
+fn cycles_of(perm: &[usize], phases: &[C64]) -> Vec<Vec<usize>> {
+    let n = perm.len();
+    let mut seen = vec![false; n];
+    let mut cycles = Vec::new();
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        let mut cycle = vec![start];
+        seen[start] = true;
+        let mut j = perm[start];
+        while j != start {
+            seen[j] = true;
+            cycle.push(j);
+            j = perm[j];
+        }
+        if cycle.len() > 1 || phases[start] != C64::ONE {
+            cycles.push(cycle);
+        }
+    }
+    cycles
+}
+
+/// Reusable scratch for the specialized apply paths and the trajectory
+/// runner. Holding one per worker thread makes the per-gate hot path
+/// allocation-free in steady state: every buffer is cleared and refilled
+/// in place, never reallocated once it has reached its working size.
+#[derive(Debug, Clone)]
+pub struct Workspace {
+    /// Amplitude offset of each operand-block configuration.
+    pub(crate) offsets: Vec<usize>,
+    /// Non-operand qudit indices of the current sweep.
+    pub(crate) others: Vec<usize>,
+    /// Per-level occupation probabilities (damping).
+    pub(crate) level_p: Vec<f64>,
+    /// Per-level decay weights (damping).
+    pub(crate) lambdas: Vec<f64>,
+    /// Per-level jump probabilities (damping).
+    pub(crate) jump_p: Vec<f64>,
+    /// Per-qudit busy-until times (trajectory runner).
+    pub(crate) free_at: Vec<f64>,
+    /// Whether sweeps over large registers may use threads. Off inside
+    /// trajectory workers (already one per core), on for direct use.
+    pub(crate) parallel: bool,
+}
+
+impl Workspace {
+    /// A workspace that parallelizes large sweeps.
+    pub fn new() -> Self {
+        Workspace {
+            offsets: Vec::new(),
+            others: Vec::new(),
+            level_p: Vec::new(),
+            lambdas: Vec::new(),
+            jump_p: Vec::new(),
+            free_at: Vec::new(),
+            parallel: true,
+        }
+    }
+
+    /// A workspace that never spawns threads — for use inside an outer
+    /// parallel loop such as the trajectory runner.
+    pub fn serial() -> Self {
+        Workspace {
+            parallel: false,
+            ..Workspace::new()
+        }
+    }
+}
+
+impl Default for Workspace {
+    fn default() -> Self {
+        Workspace::new()
+    }
+}
+
+/// Fills `offsets` with the amplitude offset of every operand-block
+/// configuration (last operand least significant) and returns the block
+/// size.
+pub(crate) fn compute_offsets(
+    reg: &Register,
+    operands: &[usize],
+    offsets: &mut Vec<usize>,
+) -> usize {
+    let block: usize = operands.iter().map(|&q| reg.dim(q)).product();
+    offsets.clear();
+    offsets.resize(block, 0);
+    for (sub, off) in offsets.iter_mut().enumerate() {
+        let mut rem = sub;
+        let mut acc = 0usize;
+        for &q in operands.iter().rev() {
+            let d = reg.dim(q);
+            acc += (rem % d) * reg.stride(q);
+            rem /= d;
+        }
+        *off = acc;
+    }
+    block
+}
+
+/// Largest register (in qudits) the sweep's stack-allocated mixed-radix
+/// counters support; a 64-qubit register is already far past state-vector
+/// reach.
+const MAX_QUDITS: usize = 64;
+
+/// Base amplitude offset of the `linear`-th configuration of `others`.
+fn base_of(reg: &Register, others: &[usize], mut linear: usize) -> usize {
+    let mut base = 0usize;
+    for &q in others.iter().rev() {
+        let d = reg.dim(q);
+        base += (linear % d) * reg.stride(q);
+        linear /= d;
+    }
+    base
+}
+
+/// Runs `f(state, base)` for configurations `lo..hi` of `others`,
+/// walking the bases with an incremental mixed-radix counter (amortized
+/// O(1) per step, no divisions in the loop).
+fn run_range<S, F: Fn(&mut S, usize)>(
+    reg: &Register,
+    others: &[usize],
+    lo: usize,
+    hi: usize,
+    state: &mut S,
+    f: &F,
+) {
+    assert!(others.len() <= MAX_QUDITS, "register too large for sweep");
+    let mut counter = [0usize; MAX_QUDITS];
+    // Seed the counter and base from `lo` (the only division site).
+    let mut rem = lo;
+    for (slot, &q) in others.iter().enumerate().rev() {
+        let d = reg.dim(q);
+        counter[slot] = rem % d;
+        rem /= d;
+    }
+    let mut base = others
+        .iter()
+        .zip(&counter)
+        .map(|(&q, &digit)| digit * reg.stride(q))
+        .sum::<usize>();
+    for _ in lo..hi {
+        f(state, base);
+        let mut pos = others.len();
+        loop {
+            if pos == 0 {
+                break;
+            }
+            pos -= 1;
+            let q = others[pos];
+            counter[pos] += 1;
+            base += reg.stride(q);
+            if counter[pos] < reg.dim(q) {
+                break;
+            }
+            counter[pos] = 0;
+            base -= reg.dim(q) * reg.stride(q);
+        }
+    }
+}
+
+/// Shared mutable amplitude pointer for the threaded sweep. Soundness:
+/// each worker visits a disjoint range of non-operand configurations, and
+/// every amplitude index decomposes uniquely into (non-operand digits,
+/// operand digits), so workers write disjoint index sets.
+#[derive(Clone, Copy)]
+struct SharedAmps(*mut C64);
+unsafe impl Sync for SharedAmps {}
+unsafe impl Send for SharedAmps {}
+
+impl SharedAmps {
+    /// Pointer to amplitude `idx`.
+    ///
+    /// # Safety
+    ///
+    /// `idx` must be in bounds and no other thread may access it
+    /// concurrently. (Going through a method also makes closures capture
+    /// the whole `Sync` wrapper rather than the raw pointer field.)
+    unsafe fn at(self, idx: usize) -> *mut C64 {
+        unsafe { self.0.add(idx) }
+    }
+}
+
+/// Number of worker threads for a parallel sweep.
+fn sweep_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(16)
+}
+
+/// Runs `f(per_worker_state, base_offset)` for every configuration of the
+/// non-operand qudits, splitting across threads when allowed and
+/// worthwhile.
+fn sweep<S, I, F>(
+    reg: &Register,
+    others: &[usize],
+    total_amps: usize,
+    parallel: bool,
+    init: I,
+    f: F,
+) where
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) + Sync,
+{
+    let others_total: usize = others.iter().map(|&q| reg.dim(q)).product();
+    let threads = sweep_threads();
+    if !parallel || total_amps < PAR_MIN_AMPS || others_total < 4 * threads || threads == 1 {
+        let mut state = init();
+        run_range(reg, others, 0, others_total, &mut state, &f);
+        return;
+    }
+    let chunk = others_total.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let lo = t * chunk;
+            let hi = (lo + chunk).min(others_total);
+            if lo >= hi {
+                break;
+            }
+            let (init, f) = (&init, &f);
+            scope.spawn(move || {
+                let mut state = init();
+                run_range(reg, others, lo, hi, &mut state, f);
+            });
+        }
+    });
+}
+
+/// Applies `kernel` (classified from `u`) to the operand qudits of a raw
+/// amplitude vector. `u` must be the matrix the kernel was classified
+/// from; the dense kernels read their coefficients from it.
+///
+/// # Panics
+///
+/// Panics if the matrix dimension does not match the operand dimensions
+/// or an operand repeats.
+pub(crate) fn apply(
+    amps: &mut [C64],
+    reg: &Register,
+    kernel: &GateKernel,
+    u: &Matrix,
+    operands: &[usize],
+    ws: &mut Workspace,
+) {
+    for (i, a) in operands.iter().enumerate() {
+        for b in operands.iter().skip(i + 1) {
+            assert_ne!(a, b, "operands must be distinct");
+        }
+    }
+    let dims_product: usize = operands.iter().map(|&q| reg.dim(q)).product();
+    assert_eq!(
+        u.rows(),
+        dims_product,
+        "unitary does not match operand dims"
+    );
+
+    if matches!(kernel, GateKernel::Identity) {
+        return;
+    }
+
+    // Fast path: diagonal on a single qudit is a contiguous slice scale.
+    if let (GateKernel::Diagonal { phases }, [q]) = (kernel, operands) {
+        return apply_diagonal_single(amps, reg, phases, *q, ws.parallel);
+    }
+
+    ws.others.clear();
+    ws.others
+        .extend((0..reg.n_qudits()).filter(|q| !operands.contains(q)));
+    let block = compute_offsets(reg, operands, &mut ws.offsets);
+    let total = amps.len();
+    let shared = SharedAmps(amps.as_mut_ptr());
+    let offsets: &[usize] = &ws.offsets;
+    let others: &[usize] = &ws.others;
+    let parallel = ws.parallel;
+
+    match kernel {
+        GateKernel::Identity => {}
+        GateKernel::Diagonal { phases } => {
+            // SAFETY: disjoint bases per worker (see SharedAmps).
+            sweep(
+                reg,
+                others,
+                total,
+                parallel,
+                || (),
+                |(), base| unsafe {
+                    for (sub, &off) in offsets.iter().enumerate() {
+                        let p = shared.at(base + off);
+                        *p *= phases[sub];
+                    }
+                },
+            );
+        }
+        GateKernel::Permutation { cycles, phases, .. } => {
+            // SAFETY: disjoint bases per worker (see SharedAmps).
+            sweep(
+                reg,
+                others,
+                total,
+                parallel,
+                || (),
+                |(), base| unsafe {
+                    for cycle in cycles {
+                        walk_cycle(shared, base, offsets, cycle, phases);
+                    }
+                },
+            );
+        }
+        GateKernel::SingleQudit if u.rows() == 2 => {
+            let m = u.as_slice();
+            let (m00, m01, m10, m11) = (m[0], m[1], m[2], m[3]);
+            // SAFETY: disjoint bases per worker (see SharedAmps).
+            sweep(
+                reg,
+                others,
+                total,
+                parallel,
+                || (),
+                |(), base| unsafe {
+                    let p0 = shared.at(base + offsets[0]);
+                    let p1 = shared.at(base + offsets[1]);
+                    let (a0, a1) = (*p0, *p1);
+                    *p0 = m00 * a0 + m01 * a1;
+                    *p1 = m10 * a0 + m11 * a1;
+                },
+            );
+        }
+        GateKernel::SingleQudit if u.rows() == 4 => {
+            let mut m = [C64::ZERO; 16];
+            m.copy_from_slice(u.as_slice());
+            // SAFETY: disjoint bases per worker (see SharedAmps).
+            sweep(
+                reg,
+                others,
+                total,
+                parallel,
+                || (),
+                |(), base| unsafe {
+                    let p0 = shared.at(base + offsets[0]);
+                    let p1 = shared.at(base + offsets[1]);
+                    let p2 = shared.at(base + offsets[2]);
+                    let p3 = shared.at(base + offsets[3]);
+                    let (a0, a1, a2, a3) = (*p0, *p1, *p2, *p3);
+                    *p0 = m[0] * a0 + m[1] * a1 + m[2] * a2 + m[3] * a3;
+                    *p1 = m[4] * a0 + m[5] * a1 + m[6] * a2 + m[7] * a3;
+                    *p2 = m[8] * a0 + m[9] * a1 + m[10] * a2 + m[11] * a3;
+                    *p3 = m[12] * a0 + m[13] * a1 + m[14] * a2 + m[15] * a3;
+                },
+            );
+        }
+        GateKernel::SingleQudit | GateKernel::TwoQudit | GateKernel::GeneralDense
+            if block <= MAX_STACK_BLOCK =>
+        {
+            let m = u.as_slice();
+            // SAFETY: disjoint bases per worker (see SharedAmps).
+            sweep(
+                reg,
+                others,
+                total,
+                parallel,
+                || [C64::ZERO; MAX_STACK_BLOCK],
+                |scratch, base| unsafe {
+                    for (s, &off) in scratch.iter_mut().zip(offsets) {
+                        *s = *shared.at(base + off);
+                    }
+                    for (row_coeffs, &off) in m.chunks_exact(block).zip(offsets) {
+                        let mut acc = C64::ZERO;
+                        for (&coeff, &amp) in row_coeffs.iter().zip(&scratch[..block]) {
+                            if coeff != C64::ZERO {
+                                acc += coeff * amp;
+                            }
+                        }
+                        *shared.at(base + off) = acc;
+                    }
+                },
+            );
+        }
+        _ => {
+            // Oversized dense block: serial heap-scratch fallback.
+            let mut state = vec![C64::ZERO; block];
+            let others_total: usize = others.iter().map(|&q| reg.dim(q)).product();
+            for linear in 0..others_total {
+                let base = base_of(reg, others, linear);
+                for (sub, &off) in offsets.iter().enumerate() {
+                    state[sub] = amps[base + off];
+                }
+                for (row, &off) in offsets.iter().enumerate() {
+                    let mut acc = C64::ZERO;
+                    for (col, &amp) in state.iter().enumerate() {
+                        let coeff = u[(row, col)];
+                        if coeff != C64::ZERO {
+                            acc += coeff * amp;
+                        }
+                    }
+                    amps[base + off] = acc;
+                }
+            }
+        }
+    }
+}
+
+/// Walks one permutation cycle in place:
+/// `new[perm[j]] = phases[j] * old[j]` for the cycle's members.
+///
+/// # Safety
+///
+/// `base + offsets[c]` must be in bounds for every cycle member, and no
+/// other thread may touch those indices concurrently.
+unsafe fn walk_cycle(
+    amps: SharedAmps,
+    base: usize,
+    offsets: &[usize],
+    cycle: &[usize],
+    phases: &[C64],
+) {
+    unsafe {
+        if let [only] = cycle {
+            let p = amps.at(base + offsets[*only]);
+            *p *= phases[*only];
+            return;
+        }
+        let last = cycle[cycle.len() - 1];
+        let tmp = *amps.at(base + offsets[last]);
+        for k in (1..cycle.len()).rev() {
+            let from = cycle[k - 1];
+            *amps.at(base + offsets[cycle[k]]) = phases[from] * *amps.at(base + offsets[from]);
+        }
+        *amps.at(base + offsets[cycle[0]]) = phases[last] * tmp;
+    }
+}
+
+/// Diagonal gate on one qudit: scale contiguous level slices in place.
+fn apply_diagonal_single(
+    amps: &mut [C64],
+    reg: &Register,
+    phases: &[C64],
+    q: usize,
+    parallel: bool,
+) {
+    let stride = reg.stride(q);
+    let dim = reg.dim(q);
+    let span = stride * dim;
+    let scale_block = |chunk: &mut [C64]| {
+        for block in chunk.chunks_exact_mut(span) {
+            for (lvl, &phase) in phases.iter().enumerate() {
+                if phase == C64::ONE {
+                    continue;
+                }
+                for a in &mut block[lvl * stride..(lvl + 1) * stride] {
+                    *a *= phase;
+                }
+            }
+        }
+    };
+    let threads = sweep_threads();
+    let n_spans = amps.len() / span;
+    if !parallel || amps.len() < PAR_MIN_AMPS || n_spans < 4 * threads || threads == 1 {
+        scale_block(amps);
+        return;
+    }
+    let per = n_spans.div_ceil(threads) * span;
+    std::thread::scope(|scope| {
+        let mut rest = amps;
+        while !rest.is_empty() {
+            let cut = per.min(rest.len());
+            let (head, tail) = rest.split_at_mut(cut);
+            rest = tail;
+            let scale_block = &scale_block;
+            scope.spawn(move || scale_block(head));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_names_every_class() {
+        use waltz_math::C64;
+        let id = Matrix::identity(4);
+        assert_eq!(GateKernel::classify(&id, 1).name(), "identity");
+        let cz = Matrix::from_diag(&[C64::ONE, C64::ONE, C64::ONE, -C64::ONE]);
+        assert_eq!(GateKernel::classify(&cz, 2).name(), "diagonal");
+        let x = Matrix::permutation(&[1, 0]);
+        assert_eq!(GateKernel::classify(&x, 1).name(), "permutation");
+        let h = Matrix::from_rows(&[
+            vec![
+                C64::real(std::f64::consts::FRAC_1_SQRT_2),
+                C64::real(std::f64::consts::FRAC_1_SQRT_2),
+            ],
+            vec![
+                C64::real(std::f64::consts::FRAC_1_SQRT_2),
+                C64::real(-std::f64::consts::FRAC_1_SQRT_2),
+            ],
+        ]);
+        assert_eq!(GateKernel::classify(&h, 1).name(), "single-qudit");
+        let hh = h.kron(&h);
+        assert_eq!(GateKernel::classify(&hh, 2).name(), "two-qudit");
+        let hhh = hh.kron(&h);
+        assert_eq!(GateKernel::classify(&hhh, 3).name(), "general-dense");
+    }
+
+    #[test]
+    fn cycle_decomposition_skips_trivial_fixed_points() {
+        // perm = [1, 0, 2] with unit phases: one 2-cycle, fixed point 2
+        // dropped.
+        let phases = vec![C64::ONE; 3];
+        let cycles = cycles_of(&[1, 0, 2], &phases);
+        assert_eq!(cycles, vec![vec![0, 1]]);
+        // A phased fixed point is kept.
+        let cycles = cycles_of(&[1, 0, 2], &[C64::ONE, C64::ONE, C64::I]);
+        assert_eq!(cycles, vec![vec![0, 1], vec![2]]);
+    }
+
+    #[test]
+    fn offsets_enumerate_operand_configurations() {
+        let reg = Register::new(vec![2, 4, 2]);
+        let mut offsets = Vec::new();
+        // Operands (2, 1): block = 2 * 4, offset = d2 * 4? No: operand
+        // order (2, 1) means qudit 2 is the most significant digit.
+        let block = compute_offsets(&reg, &[2, 1], &mut offsets);
+        assert_eq!(block, 8);
+        // sub = (digit2, digit1): offset = digit2 * stride(2) + digit1 * stride(1).
+        assert_eq!(offsets[0], 0);
+        assert_eq!(offsets[1], reg.stride(1));
+        assert_eq!(offsets[4], reg.stride(2));
+    }
+}

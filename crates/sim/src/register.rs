@@ -28,14 +28,21 @@ impl Register {
     /// Panics if `dims` is empty or any dimension is < 2.
     pub fn new(dims: Vec<u8>) -> Self {
         assert!(!dims.is_empty(), "register needs at least one qudit");
-        assert!(dims.iter().all(|&d| d >= 2), "qudit dimensions must be >= 2");
+        assert!(
+            dims.iter().all(|&d| d >= 2),
+            "qudit dimensions must be >= 2"
+        );
         let n = dims.len();
         let mut strides = vec![1usize; n];
         for i in (0..n - 1).rev() {
             strides[i] = strides[i + 1] * dims[i + 1] as usize;
         }
         let total = strides[0] * dims[0] as usize;
-        Register { dims, strides, total }
+        Register {
+            dims,
+            strides,
+            total,
+        }
     }
 
     /// A register of `n` bare qubits.

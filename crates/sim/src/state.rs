@@ -2,10 +2,11 @@
 
 use rand::Rng;
 
-use waltz_math::{C64, Matrix, vector};
+use waltz_math::{vector, Matrix, C64};
 use waltz_noise::PauliOp;
 
-use crate::Register;
+use crate::kernel::{self, GateKernel, Workspace};
+use crate::{Register, TimedOp};
 
 /// A pure state over a [`Register`].
 ///
@@ -27,8 +28,8 @@ use crate::Register;
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct State {
-    register: Register,
-    amps: Vec<C64>,
+    pub(crate) register: Register,
+    pub(crate) amps: Vec<C64>,
 }
 
 impl State {
@@ -48,7 +49,11 @@ impl State {
     ///
     /// Panics if the length mismatches the register or the norm is zero.
     pub fn from_amplitudes(register: &Register, mut amps: Vec<C64>) -> Self {
-        assert_eq!(amps.len(), register.total_dim(), "amplitude length mismatch");
+        assert_eq!(
+            amps.len(),
+            register.total_dim(),
+            "amplitude length mismatch"
+        );
         let n = vector::normalize(&mut amps);
         assert!(n > 0.0, "state must have nonzero norm");
         State {
@@ -201,9 +206,51 @@ impl State {
         }
     }
 
-    /// Applies a generalized Pauli to one qudit. The Pauli's dimension may
-    /// be smaller than the device dimension (e.g. a qubit error on a
-    /// 4-level transmon): levels at or above `op.d` are untouched.
+    /// Applies a scheduled op through its precomputed [`GateKernel`],
+    /// borrowing scratch from `ws` — the trajectory hot path.
+    pub fn apply_op(&mut self, op: &TimedOp, ws: &mut Workspace) {
+        kernel::apply(
+            &mut self.amps,
+            &self.register,
+            &op.kernel,
+            &op.unitary,
+            &op.operands,
+            ws,
+        );
+    }
+
+    /// Applies a unitary through an explicitly classified kernel. The
+    /// kernel must have been produced by [`GateKernel::classify`] on `u`.
+    pub fn apply_kernel(
+        &mut self,
+        kernel: &GateKernel,
+        u: &Matrix,
+        operands: &[usize],
+        ws: &mut Workspace,
+    ) {
+        kernel::apply(&mut self.amps, &self.register, kernel, u, operands, ws);
+    }
+
+    /// Overwrites this state with `other` without reallocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registers differ.
+    pub fn copy_from(&mut self, other: &State) {
+        assert_eq!(self.register, other.register, "register mismatch");
+        self.amps.copy_from_slice(&other.amps);
+    }
+
+    /// Applies a generalized Pauli to one qudit, in place (no amplitude
+    /// buffer is cloned: the permutation's cycles are walked with a single
+    /// temporary). The Pauli's dimension may be smaller than the device
+    /// dimension (e.g. a qubit error on a 4-level transmon): levels at or
+    /// above `op.d` are untouched.
+    ///
+    /// This is a stack-only specialization of the permutation-kernel
+    /// cycle walk in [`crate::kernel`], kept allocation-free for the
+    /// trajectory hot path; the kernel-parity test suite pins it against
+    /// a kernel built from [`PauliOp::as_phased_permutation`].
     pub fn apply_pauli(&mut self, op: PauliOp, qudit: usize) {
         if op.is_identity() {
             return;
@@ -211,27 +258,41 @@ impl State {
         let dev_dim = self.register.dim(qudit);
         let d = op.d as usize;
         assert!(d <= dev_dim, "Pauli dimension exceeds device dimension");
+        assert!(d <= 16, "Pauli dimension above 16 is unsupported");
         let stride = self.register.stride(qudit);
-        // Precompute the permutation + phases on the logical levels.
-        let mut images = vec![(0usize, C64::ONE); d];
-        for (j, im) in images.iter_mut().enumerate() {
-            *im = op.act_on_basis(j);
-        }
-        let total = self.amps.len();
         let span = stride * dev_dim;
-        let mut new = self.amps.clone();
-        let mut block_start = 0usize;
-        while block_start < total {
+        // Permutation + phases on the logical levels, on the stack.
+        let mut phases = [C64::ZERO; 16];
+        for (j, p) in phases.iter_mut().take(d).enumerate() {
+            *p = op.act_on_basis(j).1;
+        }
+        let a = op.a as usize;
+        for block in self.amps.chunks_exact_mut(span) {
             for inner in 0..stride {
-                let cell = block_start + inner;
-                for j in 0..d {
-                    let (to, phase) = images[j];
-                    new[cell + to * stride] = phase * self.amps[cell + j * stride];
+                if a == 0 {
+                    // Pure clock operator: scale each level in place.
+                    for (j, &phase) in phases.iter().take(d).enumerate() {
+                        let cell = inner + j * stride;
+                        block[cell] = phase * block[cell];
+                    }
+                } else {
+                    // Shift-by-a permutation: walk each cycle of
+                    // j -> (j + a) % d with one temporary.
+                    let g = gcd(a, d);
+                    for start in 0..g {
+                        let len = d / g;
+                        let pos = |k: usize| inner + ((start + k * a) % d) * stride;
+                        let last_col = (start + (len - 1) * a) % d;
+                        let tmp = block[pos(len - 1)];
+                        for k in (1..len).rev() {
+                            let from_col = (start + (k - 1) * a) % d;
+                            block[pos(k)] = phases[from_col] * block[pos(k - 1)];
+                        }
+                        block[pos(0)] = phases[last_col] * tmp;
+                    }
                 }
             }
-            block_start += span;
         }
-        self.amps = new;
     }
 
     /// One stochastic amplitude-damping step on `qudit` for `dt_ns` of
@@ -246,27 +307,54 @@ impl State {
         dt_ns: f64,
         rng: &mut R,
     ) {
+        let mut ws = Workspace::serial();
+        self.damping_step_with(model, qudit, dt_ns, rng, &mut ws);
+    }
+
+    /// [`State::damping_step`] borrowing its probability buffers from a
+    /// reusable [`Workspace`] — the allocation-free trajectory hot path.
+    pub fn damping_step_with<R: Rng + ?Sized>(
+        &mut self,
+        model: &waltz_noise::CoherenceModel,
+        qudit: usize,
+        dt_ns: f64,
+        rng: &mut R,
+        ws: &mut Workspace,
+    ) {
         if dt_ns <= 0.0 {
             return;
         }
         let dim = self.register.dim(qudit);
-        let lambdas: Vec<f64> = (1..dim).map(|m| model.lambda(m, dt_ns)).collect();
-        if lambdas.iter().all(|&l| l == 0.0) {
+        ws.lambdas.clear();
+        ws.lambdas.extend((1..dim).map(|m| model.lambda(m, dt_ns)));
+        if ws.lambdas.iter().all(|&l| l == 0.0) {
             return;
         }
-        // Level occupation probabilities.
-        let mut level_p = vec![0.0f64; dim];
-        for (idx, amp) in self.amps.iter().enumerate() {
-            level_p[self.register.digit(idx, qudit)] += amp.norm_sqr();
+        // Level occupation probabilities, summed over contiguous level
+        // slices of each span block.
+        let stride = self.register.stride(qudit);
+        let span = stride * dim;
+        ws.level_p.clear();
+        ws.level_p.resize(dim, 0.0);
+        for block in self.amps.chunks_exact(span) {
+            for (lvl, p) in ws.level_p.iter_mut().enumerate() {
+                *p += block[lvl * stride..(lvl + 1) * stride]
+                    .iter()
+                    .map(|a| a.norm_sqr())
+                    .sum::<f64>();
+            }
         }
-        let jump_p: Vec<f64> = (1..dim).map(|m| lambdas[m - 1] * level_p[m]).collect();
-        let total_jump: f64 = jump_p.iter().sum();
+        ws.jump_p.clear();
+        for m in 1..dim {
+            ws.jump_p.push(ws.lambdas[m - 1] * ws.level_p[m]);
+        }
+        let total_jump: f64 = ws.jump_p.iter().sum();
         let roll: f64 = rng.gen();
         if roll < total_jump {
             // Select which level decayed.
             let mut acc = 0.0;
             let mut level = 1;
-            for (m, &p) in jump_p.iter().enumerate() {
+            for (m, &p) in ws.jump_p.iter().enumerate() {
                 acc += p;
                 if roll < acc {
                     level = m + 1;
@@ -276,11 +364,12 @@ impl State {
             self.collapse_level_to_ground(qudit, level);
         } else {
             // No-jump evolution: scale each excited level by sqrt(1 - l_m).
-            let stride = self.register.stride(qudit);
-            for (idx, amp) in self.amps.iter_mut().enumerate() {
-                let lvl = (idx / stride) % dim;
-                if lvl > 0 {
-                    *amp = *amp * (1.0 - lambdas[lvl - 1]).sqrt();
+            for block in self.amps.chunks_exact_mut(span) {
+                for (m, &lambda) in ws.lambdas.iter().enumerate() {
+                    let scale = (1.0 - lambda).sqrt();
+                    for a in &mut block[(m + 1) * stride..(m + 2) * stride] {
+                        *a *= scale;
+                    }
                 }
             }
             self.normalize();
@@ -288,17 +377,21 @@ impl State {
     }
 
     /// Applies the jump `K_m` (decay of `level` to ground) and normalizes.
+    /// Runs in place: the decayed level's slice moves to ground and every
+    /// other level is zeroed, with no scratch vector.
     fn collapse_level_to_ground(&mut self, qudit: usize, level: usize) {
         let stride = self.register.stride(qudit);
         let dim = self.register.dim(qudit);
-        let mut new = vec![C64::ZERO; self.amps.len()];
-        for (idx, amp) in self.amps.iter().enumerate() {
-            let lvl = (idx / stride) % dim;
-            if lvl == level {
-                new[idx - level * stride] = *amp;
+        let span = stride * dim;
+        for block in self.amps.chunks_exact_mut(span) {
+            for inner in 0..stride {
+                let survivor = block[inner + level * stride];
+                for lvl in 0..dim {
+                    block[inner + lvl * stride] = C64::ZERO;
+                }
+                block[inner] = survivor;
             }
         }
-        self.amps = new;
         self.normalize();
     }
 
@@ -316,11 +409,19 @@ impl State {
     }
 }
 
+/// Greatest common divisor (for Pauli shift cycle lengths).
+fn gcd(mut a: usize, mut b: usize) -> usize {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
     use waltz_gates::standard;
     use waltz_noise::CoherenceModel;
 
@@ -342,8 +443,8 @@ mod tests {
         let u = waltz_gates::mixed::ccz();
         s.apply_unitary(&u, &[0, 1]);
         let expected = u.apply(&amps);
-        for i in 0..8 {
-            assert!(s.amplitudes()[i].approx_eq(expected[i], 1e-12));
+        for (got, want) in s.amplitudes().iter().zip(&expected) {
+            assert!(got.approx_eq(*want, 1e-12));
         }
     }
 
@@ -428,8 +529,8 @@ mod tests {
         s.apply_pauli(op, 0);
         let dense = op.matrix().kron(&Matrix::identity(2));
         let expected = dense.apply(&amps);
-        for i in 0..8 {
-            assert!(s.amplitudes()[i].approx_eq(expected[i], 1e-12));
+        for (got, want) in s.amplitudes().iter().zip(&expected) {
+            assert!(got.approx_eq(*want, 1e-12));
         }
     }
 

@@ -2,6 +2,7 @@
 
 use waltz_math::Matrix;
 
+use crate::kernel::GateKernel;
 use crate::Register;
 
 /// One scheduled hardware pulse.
@@ -23,9 +24,46 @@ pub struct TimedOp {
     pub duration_ns: f64,
     /// Calibrated success probability.
     pub fidelity: f64,
+    /// The apply strategy classified from `unitary` at construction —
+    /// diagonal and permutation gates skip the dense matvec entirely.
+    /// Kept consistent with `unitary` by building ops through
+    /// [`TimedOp::new`]; re-run [`TimedOp::reclassify`] after mutating the
+    /// matrix in place.
+    pub kernel: GateKernel,
 }
 
 impl TimedOp {
+    /// Builds a scheduled op, classifying its unitary into a
+    /// [`GateKernel`] once so every simulation of the circuit reuses the
+    /// specialized apply path.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        label: impl Into<String>,
+        unitary: Matrix,
+        operands: Vec<usize>,
+        error_dims: Vec<u8>,
+        start_ns: f64,
+        duration_ns: f64,
+        fidelity: f64,
+    ) -> Self {
+        let kernel = GateKernel::classify(&unitary, operands.len());
+        TimedOp {
+            label: label.into(),
+            unitary,
+            operands,
+            error_dims,
+            start_ns,
+            duration_ns,
+            fidelity,
+            kernel,
+        }
+    }
+
+    /// Re-classifies the kernel after an in-place change to `unitary`.
+    pub fn reclassify(&mut self) {
+        self.kernel = GateKernel::classify(&self.unitary, self.operands.len());
+    }
+
     /// End time of the pulse.
     pub fn end_ns(&self) -> f64 {
         self.start_ns + self.duration_ns
@@ -138,22 +176,15 @@ mod tests {
 
     fn op(label: &str, u: Matrix, operands: Vec<usize>, start: f64, dur: f64) -> TimedOp {
         let error_dims = vec![2; operands.len()];
-        TimedOp {
-            label: label.into(),
-            unitary: u,
-            operands,
-            error_dims,
-            start_ns: start,
-            duration_ns: dur,
-            fidelity: 0.99,
-        }
+        TimedOp::new(label, u, operands, error_dims, start, dur, 0.99)
     }
 
     #[test]
     fn validate_accepts_well_formed_schedule() {
         let mut tc = TimedCircuit::new(Register::qubits(2));
         tc.ops.push(op("h", standard::h(), vec![0], 0.0, 35.0));
-        tc.ops.push(op("cx", standard::cx(), vec![0, 1], 35.0, 251.0));
+        tc.ops
+            .push(op("cx", standard::cx(), vec![0, 1], 35.0, 251.0));
         tc.total_duration_ns = 286.0;
         assert!(tc.validate().is_ok());
         assert_eq!(tc.pulse_counts(), (1, 1, 0));
@@ -163,7 +194,8 @@ mod tests {
     #[test]
     fn validate_rejects_overlapping_ops() {
         let mut tc = TimedCircuit::new(Register::qubits(2));
-        tc.ops.push(op("cx", standard::cx(), vec![0, 1], 0.0, 251.0));
+        tc.ops
+            .push(op("cx", standard::cx(), vec![0, 1], 0.0, 251.0));
         tc.ops.push(op("h", standard::h(), vec![0], 100.0, 35.0));
         tc.total_duration_ns = 251.0;
         assert!(tc.validate().unwrap_err().contains("before device"));
@@ -173,7 +205,8 @@ mod tests {
     fn validate_rejects_dimension_mismatch() {
         let mut tc = TimedCircuit::new(Register::new(vec![4, 2]));
         // 4x4 matrix on the 2-dim device 1.
-        tc.ops.push(op("bad", Matrix::identity(4), vec![1], 0.0, 10.0));
+        tc.ops
+            .push(op("bad", Matrix::identity(4), vec![1], 0.0, 10.0));
         tc.total_duration_ns = 10.0;
         assert!(tc.validate().unwrap_err().contains("unitary dim"));
     }

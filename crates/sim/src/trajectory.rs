@@ -7,13 +7,14 @@
 //! drawn with probability `1 - F_gate` over the gate's calibrated error
 //! dimensions (mixed-radix gates draw from `P_2 (x) P_4`, §6.5).
 
+use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
-use rand::rngs::StdRng;
 
-use waltz_noise::{NoiseModel, pauli};
+use waltz_noise::{pauli, NoiseModel};
 
-use crate::{State, TimedCircuit, ideal};
+use crate::kernel::Workspace;
+use crate::{ideal, State, TimedCircuit};
 
 /// Runs one noisy trajectory, returning the final (normalized) state.
 ///
@@ -26,51 +27,73 @@ pub fn run_trajectory<R: Rng + ?Sized>(
     noise: &NoiseModel,
     rng: &mut R,
 ) -> State {
+    let mut out = initial.clone();
+    let mut ws = Workspace::serial();
+    run_trajectory_into(circuit, initial, noise, rng, &mut out, &mut ws);
+    out
+}
+
+/// [`run_trajectory`] writing into a caller-owned output state. All gate
+/// application goes through the ops' precomputed [`GateKernel`]s with
+/// scratch borrowed from `ws`, so steady-state trajectory batches perform
+/// no per-gate heap allocation.
+///
+/// # Panics
+///
+/// Panics if either state's register differs from the circuit's.
+pub fn run_trajectory_into<R: Rng + ?Sized>(
+    circuit: &TimedCircuit,
+    initial: &State,
+    noise: &NoiseModel,
+    rng: &mut R,
+    out: &mut State,
+    ws: &mut Workspace,
+) {
     assert_eq!(
         initial.register(),
         &circuit.register,
         "state register does not match circuit register"
     );
-    let mut state = initial.clone();
-    let mut free_at = vec![0.0f64; circuit.register.n_qudits()];
+    out.copy_from(initial);
+    ws.free_at.clear();
+    ws.free_at.resize(circuit.register.n_qudits(), 0.0);
     for op in &circuit.ops {
         // Exact-idle-time damping on each operand (§6.4).
         if noise.damping {
             for &q in &op.operands {
-                let idle = op.start_ns - free_at[q];
+                let idle = op.start_ns - ws.free_at[q];
                 if idle > 0.0 {
-                    state.damping_step(&noise.coherence, q, idle, rng);
+                    out.damping_step_with(&noise.coherence, q, idle, rng, ws);
                 }
             }
         }
-        state.apply_unitary(&op.unitary, &op.operands);
+        out.apply_op(op, ws);
         // Busy-time damping: decoherence during the pulse itself.
         if noise.damping && noise.busy_time_damping {
             for &q in &op.operands {
-                state.damping_step(&noise.coherence, q, op.duration_ns, rng);
+                out.damping_step_with(&noise.coherence, q, op.duration_ns, rng, ws);
             }
         }
         // Depolarizing draw with probability 1 - F (§6.5).
         if noise.depolarizing && op.fidelity < 1.0 && rng.gen::<f64>() > op.fidelity {
             let err = pauli::sample_error(&op.error_dims, rng);
             for (p, &q) in err.iter().zip(op.operands.iter()) {
-                state.apply_pauli(*p, q);
+                out.apply_pauli(*p, q);
             }
         }
         for &q in &op.operands {
-            free_at[q] = op.end_ns();
+            ws.free_at[q] = op.end_ns();
         }
     }
     // Trailing idle until the circuit's wall-clock end.
     if noise.damping {
         for q in 0..circuit.register.n_qudits() {
-            let idle = circuit.total_duration_ns - free_at[q];
+            let idle = circuit.total_duration_ns - ws.free_at[q];
             if idle > 0.0 {
-                state.damping_step(&noise.coherence, q, idle, rng);
+                out.damping_step_with(&noise.coherence, q, idle, rng, ws);
             }
         }
     }
-    state
 }
 
 /// Result of a Monte-Carlo fidelity estimate.
@@ -102,6 +125,13 @@ pub fn average_fidelity(
 }
 
 /// [`average_fidelity`] with a custom initial-state factory.
+///
+/// Each worker thread owns one [`Workspace`] and a set of state buffers
+/// reused across its trajectories, so the steady-state loop is
+/// allocation-free apart from whatever the factory itself allocates. The
+/// ideal output is memoized per worker: when the factory is deterministic
+/// (ignores its RNG, e.g. a fixed input state), the noiseless circuit runs
+/// once per worker instead of once per trajectory.
 pub fn average_fidelity_with(
     circuit: &TimedCircuit,
     noise: &NoiseModel,
@@ -123,14 +153,34 @@ pub fn average_fidelity_with(
         for (chunk_idx, chunk) in chunks {
             let make_initial = &make_initial;
             scope.spawn(move || {
+                let mut ws = Workspace::serial();
+                let mut noisy_out = State::zero(&circuit.register);
+                let mut ideal_out = State::zero(&circuit.register);
+                // Memoized (initial, ideal) pair of the previous
+                // trajectory on this worker.
+                let mut cached_initial: Option<State> = None;
                 for (i, f) in chunk.iter_mut().enumerate() {
                     let traj_seed = seed
                         .wrapping_add((chunk_idx * 1_000_003 + i) as u64)
                         .wrapping_mul(0x9E37_79B9_7F4A_7C15);
                     let mut rng = StdRng::seed_from_u64(traj_seed);
                     let initial = make_initial(&circuit.register, &mut rng);
-                    let ideal_out = ideal::run(circuit, &initial);
-                    let noisy_out = run_trajectory(circuit, &initial, noise, &mut rng);
+                    let ideal_is_cached = cached_initial.as_ref() == Some(&initial);
+                    if !ideal_is_cached {
+                        ideal::run_into(circuit, &initial, &mut ideal_out, &mut ws);
+                        match cached_initial.as_mut() {
+                            Some(c) => c.copy_from(&initial),
+                            None => cached_initial = Some(initial.clone()),
+                        }
+                    }
+                    run_trajectory_into(
+                        circuit,
+                        &initial,
+                        noise,
+                        &mut rng,
+                        &mut noisy_out,
+                        &mut ws,
+                    );
                     *f = ideal_out.fidelity(&noisy_out);
                 }
             });
@@ -138,7 +188,13 @@ pub fn average_fidelity_with(
     });
     let n = trajectories as f64;
     let mean = fidelities.iter().sum::<f64>() / n;
-    let var = fidelities.iter().map(|f| (f - mean).powi(2)).sum::<f64>() / n.max(2.0);
+    // Unbiased (Bessel) sample variance; a single trajectory carries no
+    // spread information, so its standard error is reported as zero.
+    let var = if trajectories < 2 {
+        0.0
+    } else {
+        fidelities.iter().map(|f| (f - mean).powi(2)).sum::<f64>() / (n - 1.0)
+    };
     FidelityEstimate {
         mean,
         std_error: (var / n).sqrt(),
@@ -156,15 +212,15 @@ mod tests {
     fn one_gate_circuit(fidelity: f64, duration: f64) -> TimedCircuit {
         let reg = Register::qubits(2);
         let mut tc = TimedCircuit::new(reg);
-        tc.ops.push(TimedOp {
-            label: "cx".into(),
-            unitary: standard::cx(),
-            operands: vec![0, 1],
-            error_dims: vec![2, 2],
-            start_ns: 0.0,
-            duration_ns: duration,
+        tc.ops.push(TimedOp::new(
+            "cx",
+            standard::cx(),
+            vec![0, 1],
+            vec![2, 2],
+            0.0,
+            duration,
             fidelity,
-        });
+        ));
         tc.total_duration_ns = duration;
         tc
     }
@@ -210,15 +266,15 @@ mod tests {
         // dominates and fidelity collapses.
         let reg = Register::qubits(1);
         let mut tc = TimedCircuit::new(reg);
-        tc.ops.push(TimedOp {
-            label: "x".into(),
-            unitary: standard::x(),
-            operands: vec![0],
-            error_dims: vec![2],
-            start_ns: 0.0,
-            duration_ns: 35.0,
-            fidelity: 1.0,
-        });
+        tc.ops.push(TimedOp::new(
+            "x",
+            standard::x(),
+            vec![0],
+            vec![2],
+            0.0,
+            35.0,
+            1.0,
+        ));
         tc.total_duration_ns = 10_000_000.0; // 10 ms >> T1
         let est = average_fidelity(&tc, &NoiseModel::paper(), 60, 3);
         assert!(est.mean < 0.75, "mean {} should collapse", est.mean);
@@ -242,15 +298,15 @@ mod tests {
         // levels 2/3 even when errors fire.
         let reg = Register::ququarts(1);
         let mut tc = TimedCircuit::new(reg.clone());
-        tc.ops.push(TimedOp {
-            label: "x".into(),
-            unitary: waltz_gates::embed(&standard::x(), &[2], &[4]),
-            operands: vec![0],
-            error_dims: vec![2],
-            start_ns: 0.0,
-            duration_ns: 35.0,
-            fidelity: 0.0, // always draw an error
-        });
+        tc.ops.push(TimedOp::new(
+            "x",
+            waltz_gates::embed(&standard::x(), &[2], &[4]),
+            vec![0],
+            vec![2],
+            0.0,
+            35.0,
+            0.0, // always draw an error
+        ));
         tc.total_duration_ns = 35.0;
         let mut noise = NoiseModel::paper();
         noise.damping = false;
@@ -274,15 +330,15 @@ mod tests {
     fn validate_passes_for_embedded_unitaries() {
         let reg = Register::new(vec![4, 4]);
         let mut tc = TimedCircuit::new(reg);
-        tc.ops.push(TimedOp {
-            label: "cx-embedded".into(),
-            unitary: waltz_gates::embed(&standard::cx(), &[2, 2], &[4, 4]),
-            operands: vec![0, 1],
-            error_dims: vec![2, 2],
-            start_ns: 0.0,
-            duration_ns: 251.0,
-            fidelity: 0.99,
-        });
+        tc.ops.push(TimedOp::new(
+            "cx-embedded",
+            waltz_gates::embed(&standard::cx(), &[2, 2], &[4, 4]),
+            vec![0, 1],
+            vec![2, 2],
+            0.0,
+            251.0,
+            0.99,
+        ));
         tc.total_duration_ns = 251.0;
         assert!(tc.validate().is_ok());
         let _ = Matrix::identity(2);

@@ -5,8 +5,8 @@
 //!
 //! Run: `cargo run --release --example measure_and_decode`
 
-use rand::SeedableRng;
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 use quantum_waltz::prelude::*;
 use waltz_math::C64;
@@ -27,8 +27,16 @@ fn main() {
 
     let mut rng = StdRng::seed_from_u64(99);
     let noise = NoiseModel::paper();
-    println!("input  |{:0width$b}>  (controls all on)", input_index, width = n);
-    println!("expect |{:0width$b}>  (target flipped)\n", input_index | 1, width = n);
+    println!(
+        "input  |{:0width$b}>  (controls all on)",
+        input_index,
+        width = n
+    );
+    println!(
+        "expect |{:0width$b}>  (target flipped)\n",
+        input_index | 1,
+        width = n
+    );
 
     // One noisy shot at a time, decoding each measured register.
     let mut counts = std::collections::BTreeMap::new();

@@ -47,10 +47,7 @@ fn main() {
         );
         println!(
             "{label:<32} pulses {:>3}  duration {:>7.0} ns  fidelity {:.3} ± {:.3}",
-            compiled.stats.hw_ops,
-            compiled.stats.total_duration_ns,
-            fid.mean,
-            fid.std_error
+            compiled.stats.hw_ops, compiled.stats.total_duration_ns, fid.mean, fid.std_error
         );
     }
     println!("\nPaper §7.1: keeping CSWAPs native and orienting targets together wins.");

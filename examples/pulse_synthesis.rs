@@ -3,7 +3,7 @@
 //!
 //! Run: `cargo run --release --example pulse_synthesis`
 
-use waltz_pulse::{GrapeOptions, TransmonSystem, synth};
+use waltz_pulse::{synth, GrapeOptions, TransmonSystem};
 
 fn main() {
     println!("== GRAPE pulse synthesis on the Eq. 2 transmon ==\n");
@@ -35,7 +35,10 @@ fn main() {
             ..GrapeOptions::default()
         },
     );
-    println!("H(x)H @ 90 ns on a ququart : F = {:.4} (paper class: 86 ns single-ququart pulse)", hh.fidelity);
+    println!(
+        "H(x)H @ 90 ns on a ququart : F = {:.4} (paper class: 86 ns single-ququart pulse)",
+        hh.fidelity
+    );
 
     // 4. Iterative duration shrinking (§2.3): find the shortest X pulse
     //    holding F >= 0.99.

@@ -43,5 +43,7 @@ fn main() {
             fid.std_error,
         );
     }
-    println!("\nExpected shape (paper Fig. 7): full-ququart > mixed-radix ≈ iToffoli > qubit-only.");
+    println!(
+        "\nExpected shape (paper Fig. 7): full-ququart > mixed-radix ≈ iToffoli > qubit-only."
+    );
 }

@@ -37,8 +37,7 @@ fn main() {
             ("heavy-hex", heavy_hex_with_at_least(devices)),
         ];
         for (name, topo) in topologies {
-            let compiled =
-                compile_on(&circuit, topo, &strategy, &lib).expect("topology fits");
+            let compiled = compile_on(&circuit, topo, &strategy, &lib).expect("topology fits");
             let eps = compiled.eps(&model);
             println!(
                 "{:<14} {:<26} {:>7} {:>6} {:>9.0}ns {:>8.4}",

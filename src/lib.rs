@@ -14,7 +14,7 @@
 //! | [`circuit`] | logical circuit IR and three-qubit decompositions (Fig. 6) |
 //! | [`arch`] | device topologies and the qubits-on-ququarts interaction graph |
 //! | [`noise`] | generalized-Pauli depolarizing + amplitude damping channels (§6.5) |
-//! | [`sim`] | mixed-radix state vectors and the trajectory-method simulator (§6.4) |
+//! | [`sim`] | mixed-radix state vectors, the kernel-specialized gate engine (diagonal / permutation / small-dense apply paths chosen per gate at compile time) and the trajectory-method simulator (§6.4) |
 //! | [`pulse`] | GRAPE optimal control against the Eq. 2 transmon Hamiltonian |
 //! | [`rb`] | randomized benchmarking on the encoded ququart (Fig. 2) |
 //! | [`circuits`] | CNU / Cuccaro / QRAM / Select / synthetic benchmarks (§6.1) |
@@ -52,7 +52,7 @@ pub use waltz_sim as sim;
 /// The most common imports for working with the compiler end to end.
 pub mod prelude {
     pub use waltz_circuit::Circuit;
-    pub use waltz_core::{CompiledCircuit, FqCswapMode, MrCcxMode, Strategy, compile, compile_on};
+    pub use waltz_core::{compile, compile_on, CompiledCircuit, FqCswapMode, MrCcxMode, Strategy};
     pub use waltz_gates::GateLibrary;
     pub use waltz_noise::{CoherenceModel, NoiseModel};
     pub use waltz_sim::trajectory::average_fidelity;

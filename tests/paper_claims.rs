@@ -81,10 +81,14 @@ fn gate_error_sensitivity_has_a_crossover() {
     let circuit = cuccaro_adder(2);
     let model = CoherenceModel::paper();
     let qo = eps_total(&circuit, &Strategy::qubit_only(), &GateLibrary::paper());
-    let healthy = compile(&circuit, &Strategy::mixed_radix_ccz(), &GateLibrary::paper())
-        .unwrap()
-        .eps(&model)
-        .total();
+    let healthy = compile(
+        &circuit,
+        &Strategy::mixed_radix_ccz(),
+        &GateLibrary::paper(),
+    )
+    .unwrap()
+    .eps(&model)
+    .total();
     let degraded = compile(
         &circuit,
         &Strategy::mixed_radix_ccz(),
@@ -129,11 +133,10 @@ fn controls_together_is_the_chosen_ccx_configuration() {
     c.ccx(0, 1, 2);
     let lib = GateLibrary::paper();
     let compiled = compile(&c, &Strategy::mixed_radix_raw(), &lib).unwrap();
-    let has_fast = compiled
-        .timed
-        .ops
-        .iter()
-        .any(|op| op.label.contains(&format!("{:?}", MrCcxConfig::ControlsEncoded)));
+    let has_fast = compiled.timed.ops.iter().any(|op| {
+        op.label
+            .contains(&format!("{:?}", MrCcxConfig::ControlsEncoded))
+    });
     assert!(has_fast, "expected the ControlsEncoded configuration");
 }
 
@@ -144,7 +147,12 @@ fn itoffoli_baseline_emits_correction_gates() {
     c.ccx(0, 1, 2);
     let lib = GateLibrary::paper();
     let compiled = compile(&c, &Strategy::qubit_only_itoffoli(), &lib).unwrap();
-    let labels: Vec<&str> = compiled.timed.ops.iter().map(|o| o.label.as_str()).collect();
+    let labels: Vec<&str> = compiled
+        .timed
+        .ops
+        .iter()
+        .map(|o| o.label.as_str())
+        .collect();
     assert!(labels.contains(&"IToffoli"));
     assert!(labels.contains(&"QubitCsdg"));
     assert!(labels.contains(&"QubitSwap"), "the corrective SWAP (§7)");

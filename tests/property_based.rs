@@ -4,16 +4,21 @@
 
 use proptest::prelude::*;
 
-use quantum_waltz::prelude::{
-    Circuit, CoherenceModel, GateLibrary, Strategy as Waltz, compile,
-};
+use quantum_waltz::prelude::{compile, Circuit, CoherenceModel, GateLibrary, Strategy as Waltz};
 use waltz_circuit::{Gate, GateKind};
 use waltz_core::verify;
 use waltz_gates::Q1Gate;
 
 /// A proptest strategy producing a random logical circuit on `n` qubits.
-fn random_circuit(n: usize, max_gates: usize) -> impl proptest::strategy::Strategy<Value = Circuit> {
-    let gate = (0usize..8, proptest::collection::vec(0usize..n, 3), -3.0f64..3.0);
+fn random_circuit(
+    n: usize,
+    max_gates: usize,
+) -> impl proptest::strategy::Strategy<Value = Circuit> {
+    let gate = (
+        0usize..8,
+        proptest::collection::vec(0usize..n, 3),
+        -3.0f64..3.0,
+    );
     proptest::collection::vec(gate, 1..max_gates).prop_map(move |gates| {
         let mut c = Circuit::new(n);
         for (kind, qs, angle) in gates {

@@ -1,0 +1,88 @@
+//! Collection strategies.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// Size specification for [`vec`]: a fixed length or a half-open range.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive upper bound.
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n + 1 }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max: *r.end() + 1,
+        }
+    }
+}
+
+impl SizeRange {
+    /// Draws a length from the range.
+    pub(crate) fn sample(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.min..self.max)
+    }
+}
+
+/// Strategy producing a `Vec` of values drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.min..self.size.max);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vec_respects_fixed_and_ranged_sizes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let fixed = vec(0usize..10, 3);
+        assert_eq!(fixed.generate(&mut rng).len(), 3);
+        let ranged = vec(0usize..10, 1..5);
+        for _ in 0..50 {
+            let v = ranged.generate(&mut rng);
+            assert!((1..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Sampling strategies over existing collections.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::collection::SizeRange;
+use crate::strategy::Strategy;
+
+/// Strategy producing an order-preserving random subsequence of `source`
+/// whose length is drawn from `size`.
+pub fn subsequence<T: Clone>(source: Vec<T>, size: impl Into<SizeRange>) -> Subsequence<T> {
+    Subsequence {
+        source,
+        size: size.into(),
+    }
+}
+
+/// Strategy returned by [`subsequence`].
+pub struct Subsequence<T> {
+    source: Vec<T>,
+    size: SizeRange,
+}
+
+impl<T: Clone> Strategy for Subsequence<T> {
+    type Value = Vec<T>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<T> {
+        let len = self.size.sample(rng).min(self.source.len());
+        // Reservoir-style: choose `len` indices without replacement, keep
+        // source order.
+        let n = self.source.len();
+        let mut picked: Vec<usize> = Vec::with_capacity(len);
+        let mut remaining = len;
+        for (i, _) in self.source.iter().enumerate() {
+            let left = n - i;
+            if remaining > 0 && rng.gen_range(0..left) < remaining {
+                picked.push(i);
+                remaining -= 1;
+            }
+        }
+        picked.into_iter().map(|i| self.source[i].clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn full_size_subsequence_is_the_source() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = subsequence(vec![1, 2, 3], 3);
+        assert_eq!(s.generate(&mut rng), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn partial_subsequences_preserve_order() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = subsequence(vec![0, 1, 2, 3, 4], 0..5);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v.windows(2).all(|w| w[0] < w[1]), "{v:?} out of order");
+        }
+    }
+}
