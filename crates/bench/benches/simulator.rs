@@ -83,13 +83,16 @@ fn bench_trajectories(c: &mut Criterion) {
     group.sample_size(10);
     for strategy in [Strategy::qubit_only(), Strategy::full_ququart()] {
         let compiled = compile(&circuit, &strategy, &lib).unwrap();
-        group.bench_function(format!("cnu-6q/{}", strategy.name()), |b| {
-            b.iter(|| {
-                trajectory::average_fidelity_with(&compiled.timed, &noise, 8, 3, |_, rng| {
-                    compiled.random_product_initial_state(rng)
+        // Unfused hardware schedule vs. the fused simulation schedule.
+        for (tag, timed) in [("", &compiled.timed), ("/fused", compiled.sim_circuit())] {
+            group.bench_function(format!("cnu-6q/{}{tag}", strategy.name()), |b| {
+                b.iter(|| {
+                    trajectory::average_fidelity_with(timed, &noise, 8, 3, |_, rng, out| {
+                        compiled.write_random_product_initial_state(rng, out)
+                    })
                 })
-            })
-        });
+            });
+        }
     }
     group.finish();
 }

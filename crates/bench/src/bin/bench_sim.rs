@@ -1,6 +1,7 @@
 //! Emits the `BENCH_sim.json` perf baseline: gate-apply ns/op by kernel
 //! class at 4^8 amplitudes (specialized vs. the generic dense path),
-//! trajectory throughput on the cnu-6q benchmark, and compile times.
+//! fused vs. unfused vs. kernel-demoted trajectory throughput on the
+//! cnu-6q benchmark, and compile times.
 //!
 //! Usage: `cargo run --release -p waltz-bench --bin bench_sim [--out PATH]
 //! [--budget-ms N]`.
@@ -13,7 +14,7 @@ use rand::SeedableRng;
 use waltz_bench::perf::{time_ns, JsonObject};
 use waltz_bench::runner;
 use waltz_circuits::generalized_toffoli;
-use waltz_core::{compile, Strategy};
+use waltz_core::{compile, compile_with_options, CompileOptions, Strategy};
 use waltz_gates::GateLibrary;
 use waltz_math::Matrix;
 use waltz_noise::NoiseModel;
@@ -128,30 +129,55 @@ fn main() {
             std::hint::black_box(compile(&circuit, &strategy, &lib).unwrap());
         });
         compile_obj.num(&strategy.name(), compile_t.ns_per_op / 1e6);
+        // Fused simulation schedule (the default) vs. the PR 1 unfused
+        // pulse-by-pulse engine vs. every kernel demoted to GeneralDense.
         let compiled = compile(&circuit, &strategy, &lib).unwrap();
+        let unfused =
+            compile_with_options(&circuit, &strategy, &lib, CompileOptions::unfused()).unwrap();
         let trajectories = 400;
-        let (est, rate) = runner::simulate_timed(&compiled, &noise, trajectories, 7);
-        // The same schedule with every kernel demoted to GeneralDense:
-        // isolates what the specialized paths buy the trajectory loop.
-        let mut dense = compiled.clone();
+        let mut dense = unfused.clone();
         for op in &mut dense.timed.ops {
             op.kernel = GateKernel::GeneralDense;
         }
-        let (_, dense_rate) = runner::simulate_timed(&dense, &noise, trajectories, 7);
+        // Interleave the three variants over several rounds and keep each
+        // one's best rate, so slow drift on a shared host cannot skew the
+        // fused/unfused ratio.
+        let (mut rate, mut unfused_rate, mut dense_rate) = (0.0f64, 0.0f64, 0.0f64);
+        let (mut est, mut est_unfused) = (None, None);
+        for _ in 0..3 {
+            let (e, r) = runner::simulate_timed(&compiled, &noise, trajectories, 7);
+            rate = rate.max(r);
+            est = Some(e);
+            let (e, r) = runner::simulate_timed(&unfused, &noise, trajectories, 7);
+            unfused_rate = unfused_rate.max(r);
+            est_unfused = Some(e);
+            let (_, r) = runner::simulate_timed(&dense, &noise, trajectories, 7);
+            dense_rate = dense_rate.max(r);
+        }
+        let (est, est_unfused) = (est.expect("measured"), est_unfused.expect("measured"));
         let mut t = JsonObject::new();
         t.num("trajectories_per_sec", rate)
+            .num("trajectories_per_sec_unfused", unfused_rate)
             .num("trajectories_per_sec_dense", dense_rate)
-            .num("speedup", rate / dense_rate)
+            .num("speedup_fused_vs_unfused", rate / unfused_rate)
+            .num("speedup_unfused_vs_dense", unfused_rate / dense_rate)
+            .int("hw_ops", compiled.timed.len() as u64)
+            .int("fused_ops", compiled.sim_circuit().len() as u64)
             .int("trajectories", trajectories as u64)
             .num("mean_fidelity", est.mean)
+            .num("mean_fidelity_unfused", est_unfused.mean)
             .num("std_error", est.std_error);
         traj_obj.obj(&strategy.name(), &t);
         println!(
-            "trajectory/cnu-6q/{:<22} {:>10.0} traj/s  (dense {:>10.0}, {:.2}x, mean F = {:.4})",
+            "trajectory/cnu-6q/{:<22} fused {:>8.0} traj/s ({} ops)  unfused {:>8.0} ({} ops, \
+             {:.2}x)  dense {:>8.0}  mean F = {:.4}",
             strategy.name(),
             rate,
+            compiled.sim_circuit().len(),
+            unfused_rate,
+            compiled.timed.len(),
+            rate / unfused_rate,
             dense_rate,
-            rate / dense_rate,
             est.mean
         );
     }
@@ -162,8 +188,11 @@ fn main() {
         .unwrap_or(1);
     let mut report = JsonObject::new();
     report
-        .str("schema", "bench_sim/v1")
-        .str("bench", "kernel-specialized state-vector engine")
+        .str("schema", "bench_sim/v2")
+        .str(
+            "bench",
+            "kernel-specialized state-vector engine + gate fusion",
+        )
         .int("threads", threads as u64)
         .int("amplitudes", reg.total_dim() as u64)
         .obj("gate_apply_4pow8", &apply)

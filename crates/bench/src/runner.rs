@@ -133,16 +133,23 @@ pub fn evaluate(
     })
 }
 
-/// Trajectory-method fidelity of an already-compiled circuit.
+/// Trajectory-method fidelity of an already-compiled circuit, simulated
+/// on [`CompiledCircuit::sim_circuit`] (the fused program when the
+/// compile options requested fusion) with the allocation-free in-place
+/// initial-state factory.
 pub fn simulate(
     compiled: &CompiledCircuit,
     noise: &NoiseModel,
     trajectories: usize,
     seed: u64,
 ) -> FidelityEstimate {
-    trajectory::average_fidelity_with(&compiled.timed, noise, trajectories, seed, |_, rng| {
-        compiled.random_product_initial_state(rng)
-    })
+    trajectory::average_fidelity_with(
+        compiled.sim_circuit(),
+        noise,
+        trajectories,
+        seed,
+        |_, rng, out| compiled.write_random_product_initial_state(rng, out),
+    )
 }
 
 /// [`simulate`] with wall-clock accounting: returns the estimate plus the

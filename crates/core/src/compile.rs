@@ -12,7 +12,7 @@ use waltz_sim::{Register, State, TimedCircuit};
 
 use crate::eps::{self, CoherenceSpan, EpsBreakdown};
 use crate::lower::{self, LowerOutput};
-use crate::strategy::Strategy;
+use crate::strategy::{CompileOptions, Fusion, Strategy};
 
 /// Compilation failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,6 +62,12 @@ pub struct CompileStats {
 pub struct CompiledCircuit {
     /// The scheduled hardware circuit.
     pub timed: TimedCircuit,
+    /// The fused simulation schedule ([`TimedCircuit::fuse`]) when the
+    /// [`Fusion`] option is on: the same circuit with adjacent-op runs
+    /// multiplied into dense blocks. All pulse statistics and EPS
+    /// estimates still come from `timed`; simulation should go through
+    /// [`CompiledCircuit::sim_circuit`].
+    pub fused: Option<TimedCircuit>,
     /// The strategy that produced it.
     pub strategy: Strategy,
     /// Logical-qubit sites at circuit start.
@@ -81,6 +87,21 @@ impl CompiledCircuit {
         eps::eps(&self.timed, &self.coherence_spans, model)
     }
 
+    /// The schedule the simulator should run: the fused program when the
+    /// compile options requested fusion, the raw hardware schedule
+    /// otherwise. Both produce identical noiseless outputs (1e-12
+    /// parity). Noisy trajectory estimates are *statistically*
+    /// equivalent — per-pulse error probabilities and per-device
+    /// idle/busy damping times are preserved exactly — but individual
+    /// draws differ (the engines consume the RNG in different orders,
+    /// and noise inside a block is replayed around one unitary apply
+    /// rather than interleaved), so same-seed means differ by sampling
+    /// noise. Use [`crate::CompileOptions::unfused`] when exact
+    /// pulse-by-pulse noise interleaving matters.
+    pub fn sim_circuit(&self) -> &TimedCircuit {
+        self.fused.as_ref().unwrap_or(&self.timed)
+    }
+
     /// Encoded-basis weight of a logical qubit sitting at `site`: its bit
     /// contributes `weight * bit` to the device's level.
     fn site_weight(&self, site: Site) -> usize {
@@ -95,30 +116,56 @@ impl CompiledCircuit {
     /// qubits, embedded at the compiler's initial placement — the random
     /// inputs of the paper's §6.4 simulations.
     pub fn random_product_initial_state<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> State {
-        let register: Register = self.timed.register.clone();
-        let mut factors: Vec<Vec<C64>> = (0..register.n_qudits())
-            .map(|d| {
-                let mut f = vec![C64::ZERO; register.dim(d)];
-                f[0] = C64::ONE;
-                f
-            })
-            .collect();
+        let mut out = State::zero(&self.timed.register);
+        self.write_random_product_initial_state(rng, &mut out);
+        out
+    }
+
+    /// In-place [`CompiledCircuit::random_product_initial_state`]: draws a
+    /// fresh random logical input directly into a caller-owned state
+    /// buffer, touching no heap at all — the per-trajectory initial-state
+    /// factory of the steady-state fidelity loop
+    /// ([`waltz_sim::trajectory::average_fidelity_with`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` lives on a different register than the compiled
+    /// circuit.
+    pub fn write_random_product_initial_state<R: rand::Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        out: &mut State,
+    ) {
+        const MAX_DEVICES: usize = 64;
+        const MAX_LEVELS: usize = 4;
+        let register = &self.timed.register;
+        assert_eq!(
+            out.register(),
+            register,
+            "state register does not match compiled circuit"
+        );
+        let n = register.n_qudits();
+        assert!(n <= MAX_DEVICES, "register too large for stack factors");
+        assert!(
+            (0..n).all(|d| register.dim(d) <= MAX_LEVELS),
+            "device dimension above 4"
+        );
+        let mut factors = [[C64::ZERO; MAX_LEVELS]; MAX_DEVICES];
+        for f in factors.iter_mut().take(n) {
+            f[0] = C64::ONE;
+        }
         for &site in &self.initial_sites {
-            let qs = waltz_math::linalg::haar_state(2, rng);
+            let qs = waltz_math::linalg::haar_qubit(rng);
             let weight = self.site_weight(site);
-            let old = factors[site.device].clone();
+            let old = factors[site.device];
             let f = &mut factors[site.device];
-            for (level, amp) in f.iter_mut().enumerate() {
-                *amp = C64::ZERO;
+            for (level, amp) in f.iter_mut().enumerate().take(register.dim(site.device)) {
                 let bit = (level / weight) % 2;
                 let rest = level - bit * weight;
-                // Only levels reachable as rest + bit*weight contribute.
-                if rest + bit * weight == level {
-                    *amp = old[rest] * qs[bit];
-                }
+                *amp = old[rest] * qs[bit];
             }
         }
-        State::from_product(&register, &factors)
+        out.fill_product_with(|q, level| factors[q][level]);
     }
 
     /// Decodes a measured device-register basis index into the logical
@@ -181,7 +228,8 @@ impl CompiledCircuit {
 }
 
 /// Compiles `circuit` under `strategy` on the paper's 2D-mesh topology
-/// sized for the strategy's device count (§6.2).
+/// sized for the strategy's device count (§6.2), with default
+/// [`CompileOptions`] (gate fusion on).
 ///
 /// # Errors
 ///
@@ -191,14 +239,29 @@ pub fn compile(
     strategy: &Strategy,
     lib: &GateLibrary,
 ) -> Result<CompiledCircuit, CompileError> {
+    compile_with_options(circuit, strategy, lib, CompileOptions::default())
+}
+
+/// [`compile`] with explicit lowering options (see [`Fusion`]).
+///
+/// # Errors
+///
+/// Returns [`CompileError`] when the circuit is empty.
+pub fn compile_with_options(
+    circuit: &Circuit,
+    strategy: &Strategy,
+    lib: &GateLibrary,
+    options: CompileOptions,
+) -> Result<CompiledCircuit, CompileError> {
     let devices = strategy.device_count(circuit.n_qubits());
     // Three-qubit gates need a hub with two neighbours; a 1xN mesh of
     // width >= 3 or any 2D mesh provides one.
     let topology = Topology::grid(devices.max(1));
-    compile_on(circuit, topology, strategy, lib)
+    compile_on_with_options(circuit, topology, strategy, lib, options)
 }
 
-/// Compiles `circuit` under `strategy` on a caller-provided topology.
+/// Compiles `circuit` under `strategy` on a caller-provided topology with
+/// default [`CompileOptions`].
 ///
 /// # Errors
 ///
@@ -209,6 +272,22 @@ pub fn compile_on(
     topology: Topology,
     strategy: &Strategy,
     lib: &GateLibrary,
+) -> Result<CompiledCircuit, CompileError> {
+    compile_on_with_options(circuit, topology, strategy, lib, CompileOptions::default())
+}
+
+/// [`compile_on`] with explicit lowering options (see [`Fusion`]).
+///
+/// # Errors
+///
+/// Returns [`CompileError`] when the circuit is empty or the topology is
+/// too small for the strategy.
+pub fn compile_on_with_options(
+    circuit: &Circuit,
+    topology: Topology,
+    strategy: &Strategy,
+    lib: &GateLibrary,
+    options: CompileOptions,
 ) -> Result<CompiledCircuit, CompileError> {
     if circuit.n_qubits() == 0 {
         return Err(CompileError::EmptyCircuit);
@@ -244,8 +323,13 @@ pub fn compile_on(
         hw_ops: timed.len(),
         total_duration_ns: timed.total_duration_ns,
     };
+    let fused = match options.fusion {
+        Fusion::Off => None,
+        Fusion::TwoQudit => Some(timed.fuse()),
+    };
     Ok(CompiledCircuit {
         timed,
+        fused,
         strategy: *strategy,
         initial_sites: out.initial_sites,
         final_sites: out.final_sites,
@@ -370,6 +454,76 @@ mod tests {
             let compiled = compile(&c, &strategy, &lib).unwrap();
             let s = compiled.random_product_initial_state(&mut rng);
             assert!((s.norm() - 1.0).abs() < 1e-10, "{}", strategy.name());
+        }
+    }
+
+    #[test]
+    fn fusion_option_controls_the_sim_schedule() {
+        let mut c = Circuit::new(4);
+        c.h(0).ccx(0, 1, 2).cx(2, 3).ccz(1, 2, 3);
+        let lib = GateLibrary::paper();
+        for strategy in [
+            Strategy::qubit_only(),
+            Strategy::mixed_radix_ccz(),
+            Strategy::full_ququart(),
+        ] {
+            let fused = compile(&c, &strategy, &lib).unwrap();
+            let unfused =
+                compile_with_options(&c, &strategy, &lib, crate::CompileOptions::unfused())
+                    .unwrap();
+            assert!(unfused.fused.is_none());
+            assert!(std::ptr::eq(unfused.sim_circuit(), &unfused.timed));
+            let sim = fused.sim_circuit();
+            assert!(
+                sim.len() < fused.timed.len(),
+                "{}: fusion should shrink {} ops",
+                strategy.name(),
+                fused.timed.len()
+            );
+            assert!(sim.validate().is_ok(), "{}", strategy.name());
+            // Hardware-side artifacts are identical either way.
+            assert_eq!(fused.stats.hw_ops, unfused.stats.hw_ops);
+            assert!((fused.timed.gate_eps() - sim.gate_eps()).abs() < 1e-12);
+            // And the fused program is noiselessly equivalent.
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+            let init = fused.random_product_initial_state(&mut rng);
+            let a = waltz_sim::ideal::run(&fused.timed, &init);
+            let b = waltz_sim::ideal::run(sim, &init);
+            assert!(
+                (a.fidelity(&b) - 1.0).abs() < 1e-12,
+                "{} fused parity",
+                strategy.name()
+            );
+        }
+    }
+
+    #[test]
+    fn write_random_initial_state_matches_allocating_factory() {
+        use rand::SeedableRng;
+        let mut c = Circuit::new(4);
+        c.ccx(0, 1, 2).cswap(1, 2, 3);
+        let lib = GateLibrary::paper();
+        for strategy in [
+            Strategy::qubit_only(),
+            Strategy::mixed_radix_ccz(),
+            Strategy::full_ququart(),
+        ] {
+            let compiled = compile(&c, &strategy, &lib).unwrap();
+            let mut rng_a = rand::rngs::StdRng::seed_from_u64(31);
+            let mut rng_b = rand::rngs::StdRng::seed_from_u64(31);
+            let fresh = compiled.random_product_initial_state(&mut rng_a);
+            let mut out = State::zero(&compiled.timed.register);
+            // Fill twice from the same seed stream start: the second call
+            // must fully overwrite the first.
+            compiled.write_random_product_initial_state(&mut rng_b, &mut out);
+            let mut rng_b = rand::rngs::StdRng::seed_from_u64(31);
+            compiled.write_random_product_initial_state(&mut rng_b, &mut out);
+            assert!(
+                (fresh.fidelity(&out) - 1.0).abs() < 1e-12,
+                "{}",
+                strategy.name()
+            );
         }
     }
 

@@ -48,10 +48,13 @@ mod mapping;
 pub mod eps;
 pub mod verify;
 
-pub use compile::{compile, compile_on, CompileError, CompileStats, CompiledCircuit};
+pub use compile::{
+    compile, compile_on, compile_on_with_options, compile_with_options, CompileError, CompileStats,
+    CompiledCircuit,
+};
 pub use eps::{CoherenceSpan, EpsBreakdown};
 pub use hwprog::HwProgram;
 pub use layout::Layout;
-pub use strategy::{FqCswapMode, MrCcxMode, QubitCcxMode, Strategy};
+pub use strategy::{CompileOptions, FqCswapMode, Fusion, MrCcxMode, QubitCcxMode, Strategy};
 
 mod strategy;

@@ -1,4 +1,61 @@
-//! Compilation strategies: the paper's comparison points (§5.1, §6.2).
+//! Compilation strategies: the paper's comparison points (§5.1, §6.2),
+//! plus the lowering options that are orthogonal to the strategy choice
+//! ([`Fusion`], [`CompileOptions`]).
+
+/// Whether the compiler batches the scheduled pulse stream for the
+/// simulator with the gate-fusion pass
+/// ([`waltz_sim::TimedCircuit::fuse`]).
+///
+/// Fusion multiplies runs of adjacent pulses supported on the same
+/// ≤2-qudit operand set into single dense blocks at schedule time
+/// (gather-once/apply-many, SU(4) block compilation in the spirit of
+/// Zulehner & Wille), then re-classifies each block through the
+/// [`waltz_sim::GateKernel`] probes so structured runs keep their cheap
+/// apply paths. The fused schedule lives in
+/// [`crate::CompiledCircuit::fused`] next to the untouched hardware
+/// schedule: gate EPS, pulse statistics and the coherence timeline are
+/// always computed from the real pulses, while trajectory simulation
+/// picks the fused program up through
+/// [`crate::CompiledCircuit::sim_circuit`]. Fused blocks replay their
+/// constituents' error channels per pulse
+/// ([`waltz_sim::NoiseEvent`]), so noiseless outputs are bit-compatible
+/// (pinned at 1e-12 by the fusion parity suite) and noisy estimates are
+/// statistically equivalent: per-pulse error probabilities and
+/// per-device damping times are preserved exactly, while individual
+/// trajectory draws differ because the engines consume the RNG in
+/// different orders and a block's interior noise is replayed around one
+/// unitary apply. (Measured on cnu-6q at 4000 trajectories, fused and
+/// unfused means agree within one standard error for all three
+/// strategies.)
+///
+/// Fusing is the default: it is a simulation-side optimization only.
+/// Turn it off to benchmark the unfused engine or to force exact
+/// pulse-by-pulse noise interleaving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Fusion {
+    /// Simulate the schedule pulse by pulse.
+    Off,
+    /// Fuse adjacent ops into ≤2-qudit dense blocks (the default).
+    #[default]
+    TwoQudit,
+}
+
+/// Lowering options orthogonal to the [`Strategy`] choice, consumed by
+/// [`crate::compile_with_options`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CompileOptions {
+    /// Gate-fusion mode for the simulation schedule.
+    pub fusion: Fusion,
+}
+
+impl CompileOptions {
+    /// Options with fusion disabled — the PR 1 pulse-by-pulse behaviour.
+    pub fn unfused() -> Self {
+        CompileOptions {
+            fusion: Fusion::Off,
+        }
+    }
+}
 
 /// How a qubit-only compilation executes Toffolis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -236,6 +236,23 @@ pub fn haar_state<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<C64> {
     v
 }
 
+/// Samples a Haar-random single-qubit state without heap allocation —
+/// the building block of the trajectory method's per-trajectory random
+/// product inputs, kept off the heap so the steady-state loop stays
+/// allocation-free.
+pub fn haar_qubit<R: Rng + ?Sized>(rng: &mut R) -> [C64; 2] {
+    loop {
+        let v = [
+            C64::new(gauss(rng), gauss(rng)),
+            C64::new(gauss(rng), gauss(rng)),
+        ];
+        let norm = (v[0].norm_sqr() + v[1].norm_sqr()).sqrt();
+        if norm > 0.0 {
+            return [v[0] * (1.0 / norm), v[1] * (1.0 / norm)];
+        }
+    }
+}
+
 /// Standard normal sample via Box–Muller (avoids a distributions dependency).
 fn gauss<R: Rng + ?Sized>(rng: &mut R) -> f64 {
     loop {

@@ -245,6 +245,81 @@ impl Matrix {
         out
     }
 
+    /// Embeds an operator acting on the mixed-radix digits at `positions`
+    /// (in the given order, first position most significant within the
+    /// operator's own basis) into the composite space with per-digit
+    /// dimensions `dims`, acting as the identity on every other digit.
+    ///
+    /// This is the block-composition primitive of the gate-fusion pass:
+    /// ops on overlapping operand subsets are expanded to a common block
+    /// space and multiplied once at schedule time.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use waltz_math::{C64, Matrix};
+    ///
+    /// let x = Matrix::permutation(&[1, 0]);
+    /// // X on the least-significant digit of a (2, 2) space is I (x) X.
+    /// let e = x.embed_operands(&[1], &[2, 2]);
+    /// assert!(e.approx_eq(&Matrix::identity(2).kron(&x), 0.0));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if a position repeats or is out of range, or if the
+    /// operator's dimension differs from the product of the selected
+    /// digit dimensions.
+    pub fn embed_operands(&self, positions: &[usize], dims: &[usize]) -> Matrix {
+        for (i, a) in positions.iter().enumerate() {
+            assert!(*a < dims.len(), "operand position out of range");
+            for b in positions.iter().skip(i + 1) {
+                assert_ne!(a, b, "operand positions must be distinct");
+            }
+        }
+        let sub: usize = positions.iter().map(|&p| dims[p]).product();
+        assert!(self.is_square(), "embedding requires a square operator");
+        assert_eq!(
+            self.rows, sub,
+            "operator dimension does not match the selected digits"
+        );
+        // Row-major strides of the composite space.
+        let n = dims.len();
+        let mut strides = vec![1usize; n];
+        for i in (0..n.saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * dims[i + 1];
+        }
+        let total: usize = strides[0] * dims.first().copied().unwrap_or(1);
+        // Composite offset of each operator basis state, and the composite
+        // index with all operator digits cleared for each column.
+        let mut sub_offsets = vec![0usize; sub];
+        for (s, off) in sub_offsets.iter_mut().enumerate() {
+            let mut rem = s;
+            let mut acc = 0usize;
+            for &p in positions.iter().rev() {
+                acc += (rem % dims[p]) * strides[p];
+                rem /= dims[p];
+            }
+            *off = acc;
+        }
+        let mut out = Matrix::zeros(total, total);
+        for col in 0..total {
+            // Decompose the column into (operator digits, spectator rest).
+            let mut scol = 0usize;
+            for &p in positions.iter() {
+                scol = scol * dims[p] + (col / strides[p]) % dims[p];
+            }
+            let rest = col - sub_offsets[scol];
+            for srow in 0..sub {
+                let coeff = self[(srow, scol)];
+                if coeff != C64::ZERO {
+                    out[(rest + sub_offsets[srow], col)] = coeff;
+                }
+            }
+        }
+        out
+    }
+
     /// Maximum absolute entry-wise difference to `other`.
     ///
     /// # Panics
@@ -480,6 +555,74 @@ mod tests {
     #[should_panic(expected = "bijection")]
     fn permutation_rejects_non_bijection() {
         let _ = Matrix::permutation(&[0, 0, 1]);
+    }
+
+    #[test]
+    fn embed_operands_matches_kron_for_contiguous_digits() {
+        let x = pauli_x();
+        let z = pauli_z();
+        let xz = x.kron(&z);
+        // (X on 0, Z on 1) of a (2, 2, 3) space = X (x) Z (x) I3.
+        let e = xz.embed_operands(&[0, 1], &[2, 2, 3]);
+        assert!(e.approx_eq(&xz.kron(&Matrix::identity(3)), 0.0));
+        // Single middle digit: I2 (x) Z (x) I3.
+        let e = z.embed_operands(&[1], &[2, 2, 3]);
+        let expected = Matrix::identity(2).kron(&z).kron(&Matrix::identity(3));
+        assert!(e.approx_eq(&expected, 0.0));
+    }
+
+    #[test]
+    fn embed_operands_respects_position_order() {
+        // CX with control on the *last* digit and target on the first:
+        // |x, y> -> |x ^ y, y> on a (2, 2) space.
+        let cx = Matrix::from_rows(&[
+            vec![C64::ONE, C64::ZERO, C64::ZERO, C64::ZERO],
+            vec![C64::ZERO, C64::ONE, C64::ZERO, C64::ZERO],
+            vec![C64::ZERO, C64::ZERO, C64::ZERO, C64::ONE],
+            vec![C64::ZERO, C64::ZERO, C64::ONE, C64::ZERO],
+        ]);
+        let e = cx.embed_operands(&[1, 0], &[2, 2]);
+        // |01> (index 1) -> |11> (index 3).
+        let v = e.apply(&[C64::ZERO, C64::ONE, C64::ZERO, C64::ZERO]);
+        assert!(v[3].approx_eq(C64::ONE, 0.0));
+        // |11> -> |01>.
+        let v = e.apply(&[C64::ZERO, C64::ZERO, C64::ZERO, C64::ONE]);
+        assert!(v[1].approx_eq(C64::ONE, 0.0));
+    }
+
+    #[test]
+    fn embed_operands_mixed_radix_unitarity() {
+        // A 8-dim operator on the (4, 2) digits of a (4, 3, 2) space.
+        let mut idx = 0u64;
+        let u = Matrix::from_fn(8, 8, |r, c| {
+            idx += 1;
+            if r == (c + 3) % 8 {
+                C64::cis(idx as f64)
+            } else {
+                C64::ZERO
+            }
+        });
+        assert!(u.is_unitary(1e-12));
+        let e = u.embed_operands(&[0, 2], &[4, 3, 2]);
+        assert!(e.is_unitary(1e-12));
+        // Spectator digit untouched: basis state with middle digit 2 maps
+        // to another state with middle digit 2.
+        let src = 2 * 2; // digits (0, 2, 0)
+        let col: Vec<C64> = (0..24)
+            .map(|r| if r == src { C64::ONE } else { C64::ZERO })
+            .collect();
+        let out = e.apply(&col);
+        for (i, a) in out.iter().enumerate() {
+            if a.abs() > 1e-12 {
+                assert_eq!((i / 2) % 3, 2, "spectator digit moved");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be distinct")]
+    fn embed_operands_rejects_repeated_positions() {
+        let _ = pauli_x().embed_operands(&[0, 0], &[2, 2]);
     }
 
     #[test]

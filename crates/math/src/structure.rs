@@ -79,6 +79,36 @@ pub fn classify(m: &Matrix, tol: f64) -> MatrixStructure {
     }
 }
 
+/// Multiplies a sequence of embedded operand blocks into one dense block
+/// on the mixed-radix space with per-digit dimensions `dims`.
+///
+/// Each item is `(op, positions)`: the operator and the digits it acts on
+/// (see [`Matrix::embed_operands`]). Items are given in **application
+/// order** — the first item acts on the state first — so the returned
+/// product is `op_k · … · op_1 · op_0`.
+///
+/// This is the schedule-time half of the gate-fusion pass: a run of
+/// adjacent ops on the same ≤2-qudit operand set collapses into one block
+/// that the simulator applies with a single sweep. Re-classify the result
+/// through [`classify`] — a run of diagonals fuses back to a diagonal,
+/// a run of (phased) permutations to a permutation.
+///
+/// # Panics
+///
+/// Panics if an item's dimensions disagree with `dims` (see
+/// [`Matrix::embed_operands`]).
+pub fn fuse_unitaries<'a>(
+    ops: impl IntoIterator<Item = (&'a Matrix, Vec<usize>)>,
+    dims: &[usize],
+) -> Matrix {
+    let total: usize = dims.iter().product();
+    let mut acc = Matrix::identity(total);
+    for (u, positions) in ops {
+        acc = u.embed_operands(&positions, dims).matmul(&acc);
+    }
+    acc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,6 +167,38 @@ mod tests {
             classify(&Matrix::zeros(2, 3), 1e-14),
             MatrixStructure::Dense
         );
+    }
+
+    #[test]
+    fn fuse_unitaries_matches_explicit_product() {
+        // X on digit 0, then Z on digit 1, then CZ on (0, 1) of a (2, 2)
+        // space: product must equal CZ · (I (x) Z) · (X (x) I).
+        let x = Matrix::permutation(&[1, 0]);
+        let z = Matrix::from_diag(&[C64::ONE, -C64::ONE]);
+        let cz = Matrix::from_diag(&[C64::ONE, C64::ONE, C64::ONE, -C64::ONE]);
+        let fused = fuse_unitaries([(&x, vec![0]), (&z, vec![1]), (&cz, vec![0, 1])], &[2, 2]);
+        let expected = cz
+            .matmul(&Matrix::identity(2).kron(&z))
+            .matmul(&x.kron(&Matrix::identity(2)));
+        assert!(fused.approx_eq(&expected, 1e-14));
+    }
+
+    #[test]
+    fn fused_diagonal_run_classifies_diagonal() {
+        // Two diagonals on a mixed (4, 2) block fuse back to a diagonal.
+        let d4 = Matrix::from_diag(&[C64::ONE, C64::I, -C64::ONE, -C64::I]);
+        let d2 = Matrix::from_diag(&[C64::ONE, C64::I]);
+        let fused = fuse_unitaries([(&d4, vec![0]), (&d2, vec![1])], &[4, 2]);
+        assert!(matches!(
+            classify(&fused, 1e-14),
+            MatrixStructure::Diagonal { .. }
+        ));
+        // Reversed operand order on the second factor.
+        let fused = fuse_unitaries([(&d2, vec![1]), (&d4, vec![0])], &[4, 2]);
+        assert!(matches!(
+            classify(&fused, 1e-14),
+            MatrixStructure::Diagonal { .. }
+        ));
     }
 
     #[test]

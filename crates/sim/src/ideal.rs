@@ -1,4 +1,10 @@
 //! Noiseless execution of a [`TimedCircuit`].
+//!
+//! Fused programs ([`TimedCircuit::fuse`]) run through the same entry
+//! points: a fused block is an ordinary op with a pre-multiplied unitary
+//! and a re-classified kernel, so the noiseless engine needs no special
+//! handling — it simply performs one sweep per block instead of one per
+//! pulse, which is where the fusion pass earns its keep.
 
 use crate::kernel::Workspace;
 use crate::{State, TimedCircuit};
@@ -66,6 +72,35 @@ mod tests {
         let out = run(&tc, &State::zero(&reg));
         assert!((out.probability_of(0) - 0.5).abs() < 1e-12);
         assert!((out.probability_of(3) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fused_program_runs_with_fewer_sweeps_and_equal_output() {
+        // A longer alternating schedule on (4, 2): fuse, check the op
+        // count dropped, and pin the ideal outputs against each other.
+        let reg = Register::new(vec![4, 2]);
+        let mut tc = TimedCircuit::new(reg.clone());
+        let ccz = waltz_gates::mixed::ccz();
+        let mut t = 0.0;
+        for i in 0..6 {
+            let (label, u, ops, dims) = if i % 2 == 0 {
+                ("ccz", ccz.clone(), vec![0, 1], vec![4u8, 2])
+            } else {
+                ("h", standard::h(), vec![1], vec![2u8])
+            };
+            tc.ops
+                .push(TimedOp::new(label, u, ops, dims, t, 100.0, 1.0));
+            t += 100.0;
+        }
+        tc.total_duration_ns = t;
+        let fused = tc.fuse();
+        assert!(fused.len() < tc.len());
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let initial = State::random_qubit_product(&reg, &mut rng);
+        let a = run(&tc, &initial);
+        let b = run(&fused, &initial);
+        assert!((a.fidelity(&b) - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -37,8 +37,43 @@ pub const CLASSIFY_TOL: f64 = 1e-14;
 /// compiles — three ququart operands give a block of 64).
 const MAX_STACK_BLOCK: usize = 64;
 
-/// Minimum amplitude count before a sweep is split across threads.
-const PAR_MIN_AMPS: usize = 1 << 15;
+/// Largest two-qudit dense block (two ququarts) — the dedicated
+/// gather-once/apply-many path below uses scratch of exactly this size.
+const MAX_TWO_QUDIT_BLOCK: usize = 16;
+
+/// Default minimum amplitude count before a sweep is split across
+/// threads, tuned on the CI-class container; override per host with the
+/// `WALTZ_PAR_MIN_AMPS` environment variable or per workspace with
+/// [`Workspace::set_par_min_amps`].
+pub const DEFAULT_PAR_MIN_AMPS: usize = 1 << 15;
+
+/// The process-wide parallel-sweep threshold: `WALTZ_PAR_MIN_AMPS` when
+/// set to a valid count, [`DEFAULT_PAR_MIN_AMPS`] otherwise. Read once.
+fn env_par_min_amps() -> usize {
+    static CACHED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CACHED.get_or_init(|| {
+        std::env::var("WALTZ_PAR_MIN_AMPS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            // Clamp like `set_par_min_amps`: a zero threshold would split
+            // every sweep.
+            .map(|v| v.max(1))
+            .unwrap_or(DEFAULT_PAR_MIN_AMPS)
+    })
+}
+
+/// The one guard for every threaded sweep: splitting pays off only when
+/// the workspace allows it, the state is at least `min_amps` amplitudes,
+/// and there are enough independent units to give each worker a few.
+fn par_sweep_worthwhile(
+    parallel: bool,
+    total_amps: usize,
+    units: usize,
+    threads: usize,
+    min_amps: usize,
+) -> bool {
+    parallel && threads > 1 && total_amps >= min_amps && units >= 4 * threads
+}
 
 /// The specialized apply strategy chosen for one gate matrix.
 #[derive(Debug, Clone, PartialEq)]
@@ -88,7 +123,7 @@ impl GateKernel {
             }
             MatrixStructure::Dense => match n_operands {
                 1 if u.rows() <= MAX_STACK_BLOCK => GateKernel::SingleQudit,
-                2 if u.rows() <= 16 => GateKernel::TwoQudit,
+                2 if u.rows() <= MAX_TWO_QUDIT_BLOCK => GateKernel::TwoQudit,
                 _ => GateKernel::GeneralDense,
             },
         }
@@ -153,6 +188,8 @@ pub struct Workspace {
     /// Whether sweeps over large registers may use threads. Off inside
     /// trajectory workers (already one per core), on for direct use.
     pub(crate) parallel: bool,
+    /// Minimum amplitude count before a sweep is split across threads.
+    pub(crate) par_min_amps: usize,
 }
 
 impl Workspace {
@@ -166,6 +203,7 @@ impl Workspace {
             jump_p: Vec::new(),
             free_at: Vec::new(),
             parallel: true,
+            par_min_amps: env_par_min_amps(),
         }
     }
 
@@ -176,6 +214,21 @@ impl Workspace {
             parallel: false,
             ..Workspace::new()
         }
+    }
+
+    /// The minimum amplitude count before this workspace's sweeps split
+    /// across threads ([`DEFAULT_PAR_MIN_AMPS`] unless overridden by the
+    /// `WALTZ_PAR_MIN_AMPS` environment variable or
+    /// [`Workspace::set_par_min_amps`]).
+    pub fn par_min_amps(&self) -> usize {
+        self.par_min_amps
+    }
+
+    /// Overrides the parallel-sweep threshold for this workspace — the
+    /// re-tuning knob for many-core hosts, where smaller states may
+    /// already profit from splitting.
+    pub fn set_par_min_amps(&mut self, min_amps: usize) {
+        self.par_min_amps = min_amps.max(1);
     }
 }
 
@@ -308,6 +361,7 @@ fn sweep<S, I, F>(
     others: &[usize],
     total_amps: usize,
     parallel: bool,
+    min_amps: usize,
     init: I,
     f: F,
 ) where
@@ -316,7 +370,7 @@ fn sweep<S, I, F>(
 {
     let others_total: usize = others.iter().map(|&q| reg.dim(q)).product();
     let threads = sweep_threads();
-    if !parallel || total_amps < PAR_MIN_AMPS || others_total < 4 * threads || threads == 1 {
+    if !par_sweep_worthwhile(parallel, total_amps, others_total, threads, min_amps) {
         let mut state = init();
         run_range(reg, others, 0, others_total, &mut state, &f);
         return;
@@ -372,7 +426,7 @@ pub(crate) fn apply(
 
     // Fast path: diagonal on a single qudit is a contiguous slice scale.
     if let (GateKernel::Diagonal { phases }, [q]) = (kernel, operands) {
-        return apply_diagonal_single(amps, reg, phases, *q, ws.parallel);
+        return apply_diagonal_single(amps, reg, phases, *q, ws.parallel, ws.par_min_amps);
     }
 
     ws.others.clear();
@@ -384,6 +438,7 @@ pub(crate) fn apply(
     let offsets: &[usize] = &ws.offsets;
     let others: &[usize] = &ws.others;
     let parallel = ws.parallel;
+    let min_amps = ws.par_min_amps;
 
     match kernel {
         GateKernel::Identity => {}
@@ -394,6 +449,7 @@ pub(crate) fn apply(
                 others,
                 total,
                 parallel,
+                min_amps,
                 || (),
                 |(), base| unsafe {
                     for (sub, &off) in offsets.iter().enumerate() {
@@ -410,6 +466,7 @@ pub(crate) fn apply(
                 others,
                 total,
                 parallel,
+                min_amps,
                 || (),
                 |(), base| unsafe {
                     for cycle in cycles {
@@ -427,6 +484,7 @@ pub(crate) fn apply(
                 others,
                 total,
                 parallel,
+                min_amps,
                 || (),
                 |(), base| unsafe {
                     let p0 = shared.at(base + offsets[0]);
@@ -446,6 +504,7 @@ pub(crate) fn apply(
                 others,
                 total,
                 parallel,
+                min_amps,
                 || (),
                 |(), base| unsafe {
                     let p0 = shared.at(base + offsets[0]);
@@ -460,31 +519,20 @@ pub(crate) fn apply(
                 },
             );
         }
+        GateKernel::TwoQudit if block <= MAX_TWO_QUDIT_BLOCK => {
+            // Gather-once/apply-many two-qudit path: one shared dense
+            // sweep body, with the stack scratch sized to the 16-wide
+            // blocks the fusion layer produces instead of the 64-wide
+            // general buffer.
+            dense_block_sweep::<MAX_TWO_QUDIT_BLOCK>(
+                reg, others, total, parallel, min_amps, shared, offsets, u,
+            );
+        }
         GateKernel::SingleQudit | GateKernel::TwoQudit | GateKernel::GeneralDense
             if block <= MAX_STACK_BLOCK =>
         {
-            let m = u.as_slice();
-            // SAFETY: disjoint bases per worker (see SharedAmps).
-            sweep(
-                reg,
-                others,
-                total,
-                parallel,
-                || [C64::ZERO; MAX_STACK_BLOCK],
-                |scratch, base| unsafe {
-                    for (s, &off) in scratch.iter_mut().zip(offsets) {
-                        *s = *shared.at(base + off);
-                    }
-                    for (row_coeffs, &off) in m.chunks_exact(block).zip(offsets) {
-                        let mut acc = C64::ZERO;
-                        for (&coeff, &amp) in row_coeffs.iter().zip(&scratch[..block]) {
-                            if coeff != C64::ZERO {
-                                acc += coeff * amp;
-                            }
-                        }
-                        *shared.at(base + off) = acc;
-                    }
-                },
+            dense_block_sweep::<MAX_STACK_BLOCK>(
+                reg, others, total, parallel, min_amps, shared, offsets, u,
             );
         }
         _ => {
@@ -509,6 +557,51 @@ pub(crate) fn apply(
             }
         }
     }
+}
+
+/// Dense block matvec through a `CAP`-sized stack buffer: each amplitude
+/// group is gathered exactly once per sweep, the (often fused) dense
+/// block applied from the buffer, and the results scattered back. The
+/// per-coefficient zero test is kept: embedded qubit gates on ququart
+/// pairs are mostly zeros, and for fully dense fused blocks the
+/// always-taken branch predicts perfectly.
+#[allow(clippy::too_many_arguments)]
+fn dense_block_sweep<const CAP: usize>(
+    reg: &Register,
+    others: &[usize],
+    total: usize,
+    parallel: bool,
+    min_amps: usize,
+    shared: SharedAmps,
+    offsets: &[usize],
+    u: &Matrix,
+) {
+    let block = offsets.len();
+    debug_assert!(block <= CAP, "block exceeds scratch capacity");
+    let m = u.as_slice();
+    // SAFETY: disjoint bases per worker (see SharedAmps).
+    sweep(
+        reg,
+        others,
+        total,
+        parallel,
+        min_amps,
+        || [C64::ZERO; CAP],
+        |scratch, base| unsafe {
+            for (s, &off) in scratch.iter_mut().zip(offsets) {
+                *s = *shared.at(base + off);
+            }
+            for (row_coeffs, &off) in m.chunks_exact(block).zip(offsets) {
+                let mut acc = C64::ZERO;
+                for (&coeff, &amp) in row_coeffs.iter().zip(&scratch[..block]) {
+                    if coeff != C64::ZERO {
+                        acc += coeff * amp;
+                    }
+                }
+                *shared.at(base + off) = acc;
+            }
+        },
+    );
 }
 
 /// Walks one permutation cycle in place:
@@ -548,6 +641,7 @@ fn apply_diagonal_single(
     phases: &[C64],
     q: usize,
     parallel: bool,
+    min_amps: usize,
 ) {
     let stride = reg.stride(q);
     let dim = reg.dim(q);
@@ -566,7 +660,7 @@ fn apply_diagonal_single(
     };
     let threads = sweep_threads();
     let n_spans = amps.len() / span;
-    if !parallel || amps.len() < PAR_MIN_AMPS || n_spans < 4 * threads || threads == 1 {
+    if !par_sweep_worthwhile(parallel, amps.len(), n_spans, threads, min_amps) {
         scale_block(amps);
         return;
     }
@@ -623,6 +717,57 @@ mod tests {
         // A phased fixed point is kept.
         let cycles = cycles_of(&[1, 0, 2], &[C64::ONE, C64::ONE, C64::I]);
         assert_eq!(cycles, vec![vec![0, 1], vec![2]]);
+    }
+
+    #[test]
+    fn par_guard_gates_on_every_condition() {
+        // Serial workspaces, tiny states, too few units and single-thread
+        // hosts all refuse to split; a big state with plenty of units on a
+        // multi-core host splits.
+        assert!(!par_sweep_worthwhile(false, 1 << 20, 1 << 16, 8, 1 << 15));
+        assert!(!par_sweep_worthwhile(true, 1 << 10, 1 << 8, 8, 1 << 15));
+        assert!(!par_sweep_worthwhile(true, 1 << 20, 8, 8, 1 << 15));
+        assert!(!par_sweep_worthwhile(true, 1 << 20, 1 << 16, 1, 1 << 15));
+        assert!(par_sweep_worthwhile(true, 1 << 20, 1 << 16, 8, 1 << 15));
+        // Raising the threshold above the state size turns splitting off.
+        assert!(!par_sweep_worthwhile(true, 1 << 20, 1 << 16, 8, 1 << 21));
+    }
+
+    #[test]
+    fn workspace_threshold_knob_overrides_default() {
+        let mut ws = Workspace::new();
+        assert!(ws.par_min_amps() >= 1);
+        ws.set_par_min_amps(1024);
+        assert_eq!(ws.par_min_amps(), 1024);
+        // Zero is clamped: a zero threshold would split every sweep.
+        ws.set_par_min_amps(0);
+        assert_eq!(ws.par_min_amps(), 1);
+        // The knob survives cloning into per-worker workspaces.
+        assert_eq!(ws.clone().par_min_amps(), 1);
+    }
+
+    #[test]
+    fn tuned_threshold_still_matches_serial_results() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        // Force the parallel path on a small state by dropping the
+        // threshold to 1, and pin it against the serial sweep.
+        let reg = Register::ququarts(6);
+        let mut rng = StdRng::seed_from_u64(17);
+        let u = waltz_math::linalg::haar_unitary(16, &mut rng);
+        let kernel = GateKernel::classify(&u, 2);
+        assert_eq!(kernel.name(), "two-qudit");
+        let amps = waltz_math::linalg::haar_state(reg.total_dim(), &mut rng);
+        let mut serial_amps = amps.clone();
+        let mut ws = Workspace::serial();
+        apply(&mut serial_amps, &reg, &kernel, &u, &[1, 4], &mut ws);
+        let mut par_amps = amps;
+        let mut ws = Workspace::new();
+        ws.set_par_min_amps(1);
+        apply(&mut par_amps, &reg, &kernel, &u, &[1, 4], &mut ws);
+        for (a, b) in par_amps.iter().zip(&serial_amps) {
+            assert!(a.approx_eq(*b, 1e-12));
+        }
     }
 
     #[test]

@@ -32,9 +32,22 @@
 //!
 //! Scratch that cannot live on the stack is borrowed from a reusable
 //! [`Workspace`], so the trajectory hot loop performs no per-gate heap
-//! allocation; sweeps over large registers are split across threads.
-//! [`State::apply_unitary`] remains the independent generic dense
-//! reference path that every kernel is tested against (≤ 1e-12).
+//! allocation; sweeps over large registers are split across threads
+//! (threshold tunable via `WALTZ_PAR_MIN_AMPS` or
+//! [`Workspace::set_par_min_amps`]). [`State::apply_unitary`] remains the
+//! independent generic dense reference path that every kernel is tested
+//! against (≤ 1e-12).
+//!
+//! # Gate fusion (gather-once/apply-many)
+//!
+//! [`TimedCircuit::fuse`] batches the schedule before simulation: runs of
+//! adjacent ops supported on the same ≤2-qudit operand set are multiplied
+//! into one dense block at schedule time and re-classified through the
+//! [`GateKernel`] probes (a run of diagonals fuses back to a diagonal).
+//! Each fused block keeps one [`NoiseEvent`] per original pulse so the
+//! trajectory method still damps idle time and draws errors per hardware
+//! pulse. Fused programs run through the same [`ideal`] / [`trajectory`]
+//! entry points and are parity-pinned against the unfused engine.
 //!
 //! # Example
 //!
@@ -59,7 +72,7 @@ pub mod ideal;
 pub mod kernel;
 pub mod trajectory;
 
-pub use kernel::{GateKernel, Workspace};
+pub use kernel::{GateKernel, Workspace, DEFAULT_PAR_MIN_AMPS};
 pub use register::Register;
 pub use state::State;
-pub use timed::{TimedCircuit, TimedOp};
+pub use timed::{NoiseEvent, TimedCircuit, TimedOp};

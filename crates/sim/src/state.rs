@@ -87,16 +87,68 @@ impl State {
     /// embedded in each qudit's lowest two levels — the paper's random
     /// initial states (§6.4) for devices starting in the qubit regime.
     pub fn random_qubit_product<R: Rng + ?Sized>(register: &Register, rng: &mut R) -> Self {
-        let factors: Vec<Vec<C64>> = (0..register.n_qudits())
-            .map(|q| {
-                let mut f = vec![C64::ZERO; register.dim(q)];
-                let qubit = waltz_math::linalg::haar_state(2, rng);
-                f[0] = qubit[0];
-                f[1] = qubit[1];
-                f
-            })
-            .collect();
-        State::from_product(register, &factors)
+        let mut s = State::zero(register);
+        s.fill_random_qubit_product(rng);
+        s
+    }
+
+    /// In-place [`State::random_qubit_product`]: overwrites this state
+    /// with a fresh random qubit-product draw without touching the heap —
+    /// the per-trajectory initial-state factory of the steady-state
+    /// fidelity loop.
+    pub fn fill_random_qubit_product<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        const MAX_QUDITS: usize = 64;
+        let n = self.register.n_qudits();
+        assert!(n <= MAX_QUDITS, "register too large for stack factors");
+        // Draw the per-qudit single-qubit factors onto the stack first so
+        // the RNG is consumed in qudit order.
+        let mut factors = [[C64::ZERO; 2]; MAX_QUDITS];
+        for f in factors.iter_mut().take(n) {
+            *f = waltz_math::linalg::haar_qubit(rng);
+        }
+        self.fill_product_with(|q, level| match level {
+            0 | 1 => factors[q][level],
+            _ => C64::ZERO,
+        });
+    }
+
+    /// Overwrites this state with the tensor product of per-qudit factors,
+    /// `factor(q, level)` giving the amplitude of `level` on qudit `q`,
+    /// then normalizes — the allocation-free counterpart of
+    /// [`State::from_product`] for caller-owned buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting state has zero norm.
+    pub fn fill_product_with(&mut self, factor: impl Fn(usize, usize) -> C64) {
+        // Build the product by tensor expansion from the last qudit: after
+        // processing qudit q, the first `len` amplitudes hold the product
+        // over qudits q..n-1. Levels are written from the top so the old
+        // prefix is still intact when it is read.
+        self.amps[0] = C64::ONE;
+        let mut len = 1usize;
+        for q in (0..self.register.n_qudits()).rev() {
+            let d = self.register.dim(q);
+            for level in (0..d).rev() {
+                let weight = factor(q, level);
+                let (lo, hi) = self.amps.split_at_mut(level * len);
+                if level == 0 {
+                    // Source and destination coincide: scale in place.
+                    for a in &mut hi[..len] {
+                        *a *= weight;
+                    }
+                } else if weight == C64::ZERO {
+                    hi[..len].fill(C64::ZERO);
+                } else {
+                    for (dst, src) in hi[..len].iter_mut().zip(&lo[..len]) {
+                        *dst = weight * *src;
+                    }
+                }
+            }
+            len *= d;
+        }
+        let norm = self.normalize();
+        assert!(norm > 0.0, "product state must have nonzero norm");
     }
 
     /// The register this state lives on.
@@ -502,6 +554,32 @@ mod tests {
                 assert!(s.amplitudes()[idx].abs() < 1e-15);
             }
         }
+    }
+
+    #[test]
+    fn fill_product_reuses_buffer_without_stale_leakage() {
+        let reg = Register::new(vec![4, 2, 4]);
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut s = State::from_amplitudes(&reg, waltz_math::linalg::haar_state(32, &mut rng));
+        // Overwrite the garbage with a product state, twice.
+        for _ in 0..2 {
+            s.fill_random_qubit_product(&mut rng);
+            assert!((s.norm() - 1.0).abs() < 1e-12);
+            for idx in 0..reg.total_dim() {
+                if (0..reg.n_qudits()).any(|q| reg.digit(idx, q) > 1) {
+                    assert!(s.amplitudes()[idx].abs() < 1e-15, "leak at {idx}");
+                }
+            }
+        }
+        // And the generic fill agrees with from_product.
+        let h = C64::real(std::f64::consts::FRAC_1_SQRT_2);
+        let f0 = vec![h, h, C64::ZERO, C64::ZERO];
+        let f1 = vec![C64::ZERO, C64::ONE];
+        let f2 = vec![C64::ZERO, C64::ZERO, h, h];
+        let want = State::from_product(&reg, &[f0.clone(), f1.clone(), f2.clone()]);
+        let factors = [f0, f1, f2];
+        s.fill_product_with(|q, level| factors[q][level]);
+        assert!((s.fidelity(&want) - 1.0).abs() < 1e-12);
     }
 
     #[test]

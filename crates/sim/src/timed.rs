@@ -1,9 +1,101 @@
-//! The scheduled hardware circuit: what the compiler hands the simulator.
+//! The scheduled hardware circuit: what the compiler hands the simulator,
+//! and the gate-fusion pass that batches it for throughput
+//! ([`TimedCircuit::fuse`]).
 
-use waltz_math::Matrix;
+use waltz_math::{structure, Matrix};
 
 use crate::kernel::GateKernel;
 use crate::Register;
+
+/// Maximum number of qudits a fused *dense* block may span.
+const MAX_FUSED_QUDITS: usize = 2;
+
+/// Maximum dimension a fused *dense* block may reach (two ququarts).
+const MAX_FUSED_DIM: usize = 16;
+
+/// Maximum dimension a fused *structured* block may reach (three
+/// ququarts / six qubits). Products of diagonals and phased permutations
+/// stay phased permutations at any support size — applying them costs one
+/// multiply per amplitude regardless of dimension — so structured runs
+/// may fuse across more than two qudits; the ceiling only bounds the
+/// schedule-time matrix arithmetic.
+const MAX_STRUCTURED_FUSED_DIM: usize = 64;
+
+/// Estimated per-amplitude bookkeeping cost of one extra sweep over the
+/// state vector (index walk, load/store traffic), in units of one complex
+/// multiply. Fusing `k` pieces into one block saves `k - 1` sweeps; the
+/// cost model credits this against the extra multiplies a denser fused
+/// kernel spends per amplitude.
+const FUSE_SWEEP_OVERHEAD: usize = 2;
+
+/// Estimated *fixed* cost of one sweep (dispatch, offset table, scratch
+/// setup, and the per-pulse bookkeeping around it), again in complex
+/// multiplies. Amortized over the state size when crediting a saved
+/// sweep: on small registers (a handful of ququarts) this dominates and
+/// fusion pays even when it densifies the block, while on large states
+/// the per-amplitude arithmetic decides.
+const FUSE_SWEEP_FIXED: usize = 4096;
+
+/// Coarse kernel-class lattice the fusion cost model predicts products
+/// in: products never leave the join of their factors' classes
+/// (diagonal × permutation stays a phased permutation, anything × dense
+/// is dense), so the class — and with it the apply cost — of a candidate
+/// block is known *before* multiplying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum FuseClass {
+    /// Exact identity: applying costs nothing.
+    Identity,
+    /// Diagonal or phased permutation: one multiply per amplitude.
+    Structured,
+    /// Dense block: `block_dim` multiplies per amplitude.
+    Dense,
+}
+
+impl FuseClass {
+    /// The class of a classified kernel.
+    fn of(kernel: &GateKernel) -> FuseClass {
+        match kernel {
+            GateKernel::Identity => FuseClass::Identity,
+            GateKernel::Diagonal { .. } | GateKernel::Permutation { .. } => FuseClass::Structured,
+            _ => FuseClass::Dense,
+        }
+    }
+
+    /// Estimated complex multiplies per state-vector amplitude when a
+    /// block of this class and dimension is applied.
+    fn weight(self, block_dim: usize) -> usize {
+        match self {
+            FuseClass::Identity => 0,
+            FuseClass::Structured => 1,
+            FuseClass::Dense => block_dim,
+        }
+    }
+}
+
+/// One constituent pulse's noise record, kept by a fused op so the
+/// trajectory method still draws errors and damps idle time **per
+/// hardware pulse** even though the unitaries were multiplied into one
+/// block at schedule time (see [`TimedCircuit::fuse`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseEvent {
+    /// Operand device indices of the original pulse.
+    pub operands: Vec<usize>,
+    /// Logical dimensions the pulse's error channel is drawn on (§6.5).
+    pub error_dims: Vec<u8>,
+    /// Calibrated success probability of the original pulse.
+    pub fidelity: f64,
+    /// Start time of the original pulse in nanoseconds.
+    pub start_ns: f64,
+    /// Duration of the original pulse in nanoseconds.
+    pub duration_ns: f64,
+}
+
+impl NoiseEvent {
+    /// End time of the original pulse.
+    pub fn end_ns(&self) -> f64 {
+        self.start_ns + self.duration_ns
+    }
+}
 
 /// One scheduled hardware pulse.
 #[derive(Debug, Clone)]
@@ -30,6 +122,12 @@ pub struct TimedOp {
     /// [`TimedOp::new`]; re-run [`TimedOp::reclassify`] after mutating the
     /// matrix in place.
     pub kernel: GateKernel,
+    /// `Some` when this op is a fused block: one noise record per original
+    /// hardware pulse, in schedule order. The trajectory runner then damps
+    /// idle time, damps busy time and draws depolarizing errors per
+    /// constituent while applying `unitary` only once. `None` for plain
+    /// scheduled pulses (the op's own fields describe its noise).
+    pub noise_events: Option<Vec<NoiseEvent>>,
 }
 
 impl TimedOp {
@@ -56,6 +154,7 @@ impl TimedOp {
             duration_ns,
             fidelity,
             kernel,
+            noise_events: None,
         }
     }
 
@@ -125,6 +224,12 @@ impl TimedCircuit {
 
     /// Checks structural invariants.
     ///
+    /// Fused blocks (ops carrying [`TimedOp::noise_events`]) are checked
+    /// per constituent event: each event's devices must be a subset of the
+    /// block's operands and per-device start times must not regress across
+    /// events, since the block envelope itself may start before a
+    /// late-joining device frees.
+    ///
     /// # Errors
     ///
     /// Returns a description of the first violated invariant.
@@ -149,14 +254,44 @@ impl TimedCircuit {
             if op.duration_ns < 0.0 || op.fidelity < 0.0 || op.fidelity > 1.0 {
                 return Err(format!("op {i} ({}) has invalid calibration", op.label));
             }
-            for &q in &op.operands {
-                if op.start_ns + 1e-9 < busy_until[q] {
-                    return Err(format!(
-                        "op {i} ({}) starts at {} before device {q} frees at {}",
-                        op.label, op.start_ns, busy_until[q]
-                    ));
+            match &op.noise_events {
+                None => {
+                    for &q in &op.operands {
+                        if op.start_ns + 1e-9 < busy_until[q] {
+                            return Err(format!(
+                                "op {i} ({}) starts at {} before device {q} frees at {}",
+                                op.label, op.start_ns, busy_until[q]
+                            ));
+                        }
+                        busy_until[q] = op.end_ns();
+                    }
                 }
-                busy_until[q] = op.end_ns();
+                Some(events) => {
+                    for (e, ev) in events.iter().enumerate() {
+                        if ev.duration_ns < 0.0 || ev.fidelity < 0.0 || ev.fidelity > 1.0 {
+                            return Err(format!(
+                                "op {i} ({}) event {e} has invalid calibration",
+                                op.label
+                            ));
+                        }
+                        for &q in &ev.operands {
+                            if !op.operands.contains(&q) {
+                                return Err(format!(
+                                    "op {i} ({}) event {e} touches non-operand device {q}",
+                                    op.label
+                                ));
+                            }
+                            if ev.start_ns + 1e-9 < busy_until[q] {
+                                return Err(format!(
+                                    "op {i} ({}) event {e} starts at {} before device {q} \
+                                     frees at {}",
+                                    op.label, ev.start_ns, busy_until[q]
+                                ));
+                            }
+                            busy_until[q] = ev.end_ns();
+                        }
+                    }
+                }
             }
             if op.end_ns() > self.total_duration_ns + 1e-6 {
                 return Err(format!(
@@ -167,6 +302,255 @@ impl TimedCircuit {
         }
         Ok(())
     }
+
+    /// The gate-fusion pass (gather-once/apply-many): greedily fuses runs
+    /// of adjacent ops into single blocks, multiplying the unitaries once
+    /// at schedule time so the simulator sweeps the state vector once per
+    /// block instead of once per pulse (SU(4) block compilation in the
+    /// spirit of Zulehner & Wille). Dense blocks are capped at a ≤2-qudit
+    /// operand set; purely structured runs (diagonals and phased
+    /// permutations, closed under products) may span up to
+    /// [`MAX_STRUCTURED_FUSED_DIM`] since their apply cost is independent
+    /// of the block dimension.
+    ///
+    /// The pass keeps one *open block* per disjoint operand set and scans
+    /// the schedule in order:
+    ///
+    /// * an op whose devices fall inside (or extend to at most
+    ///   [`MAX_FUSED_QUDITS`] qudits / dimension [`MAX_FUSED_DIM`]) the
+    ///   open blocks it touches is absorbed, merging those blocks —
+    ///   **provided the fusion pays**: a [`FuseClass`] cost model
+    ///   predicts the fused block's kernel class and refuses absorptions
+    ///   that would promote cheap diagonal/permutation sweeps into dense
+    ///   matvecs costing more than the sweeps they replace;
+    /// * any other op flushes every block it conflicts with — ops on
+    ///   disjoint supports commute, which is what makes absorbing across
+    ///   them sound.
+    ///
+    /// Each fused block's unitary is re-classified through the
+    /// [`GateKernel`] probes, so a run of diagonals fuses back to a
+    /// diagonal kernel and a run of permutations to a permutation kernel.
+    /// The constituents' calibration data is preserved as
+    /// [`TimedOp::noise_events`], which the trajectory runner replays per
+    /// hardware pulse; the fused op's own fidelity is the product of its
+    /// constituents', so [`TimedCircuit::gate_eps`] is unchanged. Blocks
+    /// that end up with a single constituent are emitted verbatim.
+    ///
+    /// The result simulates identically to `self` under [`crate::ideal`]
+    /// (pinned at 1e-12 by the fusion parity suite) and statistically
+    /// equivalently under [`crate::trajectory`]; it is a simulation
+    /// artifact, not a hardware schedule — pulse counts reflect blocks,
+    /// not pulses.
+    #[must_use]
+    pub fn fuse(&self) -> TimedCircuit {
+        let mut open: Vec<PendingBlock> = Vec::new();
+        let mut out: Vec<TimedOp> = Vec::new();
+        // What one saved sweep is worth, per amplitude.
+        let sweep_credit =
+            FUSE_SWEEP_OVERHEAD + FUSE_SWEEP_FIXED / self.register.total_dim().max(1);
+        for (idx, op) in self.ops.iter().enumerate() {
+            let block_dim: usize = op.operands.iter().map(|&q| self.register.dim(q)).product();
+            let op_class = FuseClass::of(&op.kernel);
+            // Structured ops may fuse at any support up to the structured
+            // ceiling; dense ops only inside a ≤2-qudit block.
+            let fuseable = op.noise_events.is_none()
+                && if op_class <= FuseClass::Structured {
+                    block_dim <= MAX_STRUCTURED_FUSED_DIM
+                } else {
+                    op.operands.len() <= MAX_FUSED_QUDITS && block_dim <= MAX_FUSED_DIM
+                };
+            // Open blocks sharing a device with this op, in schedule order.
+            let sharing: Vec<usize> = (0..open.len())
+                .filter(|&b| open[b].operands.iter().any(|q| op.operands.contains(q)))
+                .collect();
+            if fuseable {
+                let mut union: Vec<usize> = Vec::new();
+                for &b in &sharing {
+                    union.extend(open[b].operands.iter().copied());
+                }
+                for &q in &op.operands {
+                    if !union.contains(&q) {
+                        union.push(q);
+                    }
+                }
+                let union_dim: usize = union.iter().map(|&q| self.register.dim(q)).product();
+                // Cost check: the fused block must not spend more per
+                // amplitude than the separate sweeps it replaces, credited
+                // with the per-sweep overhead it saves. This is what keeps
+                // cheap diagonal/permutation kernels from being promoted
+                // into expensive dense blocks for no gain.
+                let joined_class = sharing
+                    .iter()
+                    .map(|&b| open[b].class)
+                    .chain([op_class])
+                    .max()
+                    .expect("at least the op itself");
+                let separate: usize = sharing
+                    .iter()
+                    .map(|&b| {
+                        let dim: usize = open[b]
+                            .operands
+                            .iter()
+                            .map(|&q| self.register.dim(q))
+                            .product();
+                        open[b].class.weight(dim)
+                    })
+                    .sum::<usize>()
+                    + op_class.weight(block_dim)
+                    + sweep_credit * sharing.len();
+                let fits = if joined_class <= FuseClass::Structured {
+                    union_dim <= MAX_STRUCTURED_FUSED_DIM
+                } else {
+                    union.len() <= MAX_FUSED_QUDITS && union_dim <= MAX_FUSED_DIM
+                };
+                if fits && joined_class.weight(union_dim) <= separate {
+                    // Merge the sharing blocks (they are pairwise disjoint,
+                    // hence commuting) and absorb the op.
+                    let mut merged = match sharing.first() {
+                        Some(&first) => {
+                            let mut merged = std::mem::replace(
+                                &mut open[first],
+                                PendingBlock {
+                                    operands: Vec::new(),
+                                    ops: Vec::new(),
+                                    class: FuseClass::Identity,
+                                },
+                            );
+                            for &b in sharing.iter().skip(1).rev() {
+                                let other = open.remove(b);
+                                merged.ops.extend(other.ops);
+                                merged.operands.extend(other.operands);
+                            }
+                            merged.ops.sort_by_key(|(idx, _)| *idx);
+                            merged
+                        }
+                        None => PendingBlock {
+                            operands: Vec::new(),
+                            ops: Vec::new(),
+                            class: FuseClass::Identity,
+                        },
+                    };
+                    for &q in &op.operands {
+                        if !merged.operands.contains(&q) {
+                            merged.operands.push(q);
+                        }
+                    }
+                    merged.ops.push((idx, op.clone()));
+                    merged.class = joined_class;
+                    if let Some(&first) = sharing.first() {
+                        open[first] = merged;
+                    } else {
+                        open.push(merged);
+                    }
+                    continue;
+                }
+            }
+            // Conflict: flush every sharing block in schedule order, then
+            // emit the op (unfuseable) or open a fresh block for it.
+            // Removals run descending to keep indices valid.
+            let mut flushed: Vec<PendingBlock> =
+                sharing.iter().rev().map(|&b| open.remove(b)).collect();
+            flushed.reverse();
+            for block in flushed {
+                out.push(self.emit_block(block));
+            }
+            if fuseable {
+                open.push(PendingBlock {
+                    operands: op.operands.clone(),
+                    ops: vec![(idx, op.clone())],
+                    class: op_class,
+                });
+            } else {
+                out.push(op.clone());
+            }
+        }
+        while !open.is_empty() {
+            let block = open.remove(0);
+            out.push(self.emit_block(block));
+        }
+        TimedCircuit {
+            register: self.register.clone(),
+            ops: out,
+            total_duration_ns: self.total_duration_ns,
+        }
+    }
+
+    /// Builds the emitted op for a pending block: the original op when the
+    /// block holds a single constituent, otherwise the fused dense block
+    /// with per-constituent [`NoiseEvent`]s.
+    fn emit_block(&self, block: PendingBlock) -> TimedOp {
+        if block.ops.len() == 1 {
+            return block.ops.into_iter().next().expect("non-empty block").1;
+        }
+        let operands = block.operands;
+        let dims: Vec<usize> = operands.iter().map(|&q| self.register.dim(q)).collect();
+        let unitary = structure::fuse_unitaries(
+            block.ops.iter().map(|(_, op)| {
+                let positions: Vec<usize> = op
+                    .operands
+                    .iter()
+                    .map(|q| {
+                        operands
+                            .iter()
+                            .position(|b| b == q)
+                            .expect("operand inside block")
+                    })
+                    .collect();
+                (&op.unitary, positions)
+            }),
+            &dims,
+        );
+        let start_ns = block
+            .ops
+            .iter()
+            .map(|(_, op)| op.start_ns)
+            .fold(f64::INFINITY, f64::min);
+        let end_ns = block
+            .ops
+            .iter()
+            .map(|(_, op)| op.end_ns())
+            .fold(0.0f64, f64::max);
+        let fidelity: f64 = block.ops.iter().map(|(_, op)| op.fidelity).product();
+        let label = format!(
+            "fused{}[{}..{}]",
+            block.ops.len(),
+            block.ops.first().expect("non-empty block").1.label,
+            block.ops.last().expect("non-empty block").1.label
+        );
+        let error_dims: Vec<u8> = dims.iter().map(|&d| d as u8).collect();
+        let events: Vec<NoiseEvent> = block
+            .ops
+            .iter()
+            .map(|(_, op)| NoiseEvent {
+                operands: op.operands.clone(),
+                error_dims: op.error_dims.clone(),
+                fidelity: op.fidelity,
+                start_ns: op.start_ns,
+                duration_ns: op.duration_ns,
+            })
+            .collect();
+        let mut fused = TimedOp::new(
+            label,
+            unitary,
+            operands,
+            error_dims,
+            start_ns,
+            end_ns - start_ns,
+            fidelity,
+        );
+        fused.noise_events = Some(events);
+        fused
+    }
+}
+
+/// An open fusion block: the operand set accumulated so far and the
+/// constituent ops with their original schedule indices.
+struct PendingBlock {
+    operands: Vec<usize>,
+    ops: Vec<(usize, TimedOp)>,
+    /// Join of the constituents' kernel classes — predicts the fused
+    /// block's class (and hence apply cost) without multiplying.
+    class: FuseClass,
 }
 
 #[cfg(test)]
@@ -199,6 +583,102 @@ mod tests {
         tc.ops.push(op("h", standard::h(), vec![0], 100.0, 35.0));
         tc.total_duration_ns = 251.0;
         assert!(tc.validate().unwrap_err().contains("before device"));
+    }
+
+    #[test]
+    fn fuse_collapses_same_pair_run_and_preserves_ideal_output() {
+        // h(0); cx(0,1); h(1); h(0) on two qubits: one fused block.
+        let mut tc = TimedCircuit::new(Register::qubits(2));
+        tc.ops.push(op("h", standard::h(), vec![0], 0.0, 35.0));
+        tc.ops
+            .push(op("cx", standard::cx(), vec![0, 1], 35.0, 251.0));
+        tc.ops.push(op("h", standard::h(), vec![1], 286.0, 35.0));
+        tc.ops.push(op("h", standard::h(), vec![0], 286.0, 35.0));
+        tc.total_duration_ns = 321.0;
+        let fused = tc.fuse();
+        assert_eq!(fused.len(), 1, "run should fuse into one block");
+        let block = &fused.ops[0];
+        assert_eq!(block.noise_events.as_ref().unwrap().len(), 4);
+        assert!((block.fidelity - 0.99f64.powi(4)).abs() < 1e-12);
+        assert!((fused.gate_eps() - tc.gate_eps()).abs() < 1e-12);
+        assert!(fused.validate().is_ok(), "{:?}", fused.validate());
+        let initial = crate::State::zero(&tc.register);
+        let a = crate::ideal::run(&tc, &initial);
+        let b = crate::ideal::run(&fused, &initial);
+        assert!((a.fidelity(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fuse_merges_disjoint_blocks_bridged_by_two_qudit_gate() {
+        // h(0); h(1); cx(0,1): the two single-qudit blocks merge when the
+        // bridging CX arrives.
+        let mut tc = TimedCircuit::new(Register::qubits(2));
+        tc.ops.push(op("h", standard::h(), vec![0], 0.0, 35.0));
+        tc.ops.push(op("h", standard::h(), vec![1], 0.0, 35.0));
+        tc.ops
+            .push(op("cx", standard::cx(), vec![0, 1], 35.0, 251.0));
+        tc.total_duration_ns = 286.0;
+        let fused = tc.fuse();
+        assert_eq!(fused.len(), 1);
+        let initial = crate::State::zero(&tc.register);
+        let a = crate::ideal::run(&tc, &initial);
+        let b = crate::ideal::run(&fused, &initial);
+        assert!((a.fidelity(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fuse_reclassifies_diagonal_runs_as_diagonal() {
+        use waltz_math::C64;
+        let s_gate = Matrix::from_diag(&[C64::ONE, C64::I]);
+        let cz = Matrix::from_diag(&[C64::ONE, C64::ONE, C64::ONE, -C64::ONE]);
+        let mut tc = TimedCircuit::new(Register::qubits(2));
+        tc.ops.push(op("s", s_gate.clone(), vec![0], 0.0, 35.0));
+        tc.ops.push(op("cz", cz, vec![0, 1], 35.0, 251.0));
+        tc.ops.push(op("s", s_gate, vec![1], 286.0, 35.0));
+        tc.total_duration_ns = 321.0;
+        let fused = tc.fuse();
+        assert_eq!(fused.len(), 1);
+        assert_eq!(fused.ops[0].kernel.name(), "diagonal");
+    }
+
+    #[test]
+    fn fuse_leaves_singleton_and_oversized_ops_verbatim() {
+        // A lone three-qubit gate and an isolated single-qubit gate on a
+        // third device pass through untouched (no noise events).
+        let mut tc = TimedCircuit::new(Register::qubits(3));
+        let ccx = standard::ccx();
+        tc.ops.push(op("ccx", ccx, vec![0, 1, 2], 0.0, 912.0));
+        tc.ops.push(op("h", standard::h(), vec![1], 912.0, 35.0));
+        tc.total_duration_ns = 947.0;
+        let fused = tc.fuse();
+        assert_eq!(fused.len(), 2);
+        assert!(fused.ops.iter().all(|o| o.noise_events.is_none()));
+        assert_eq!(fused.ops[0].label, "ccx");
+        assert_eq!(fused.ops[1].label, "h");
+    }
+
+    #[test]
+    fn fuse_never_reorders_conflicting_ops() {
+        // cx(0,1); cx(1,2); cx(0,1): the middle gate conflicts with the
+        // open (0,1) block, so blocks flush in schedule order and the
+        // ideal outputs agree.
+        let mut tc = TimedCircuit::new(Register::qubits(3));
+        tc.ops
+            .push(op("cx01", standard::cx(), vec![0, 1], 0.0, 251.0));
+        tc.ops
+            .push(op("cx12", standard::cx(), vec![1, 2], 251.0, 251.0));
+        tc.ops
+            .push(op("cx01", standard::cx(), vec![0, 1], 502.0, 251.0));
+        tc.total_duration_ns = 753.0;
+        let fused = tc.fuse();
+        assert!(fused.len() <= tc.len());
+        let mut initial = crate::State::zero(&tc.register);
+        initial.apply_unitary(&standard::h(), &[0]);
+        initial.apply_unitary(&standard::h(), &[1]);
+        initial.apply_unitary(&standard::h(), &[2]);
+        let a = crate::ideal::run(&tc, &initial);
+        let b = crate::ideal::run(&fused, &initial);
+        assert!((a.fidelity(&b) - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -58,31 +58,74 @@ pub fn run_trajectory_into<R: Rng + ?Sized>(
     ws.free_at.clear();
     ws.free_at.resize(circuit.register.n_qudits(), 0.0);
     for op in &circuit.ops {
-        // Exact-idle-time damping on each operand (§6.4).
-        if noise.damping {
-            for &q in &op.operands {
-                let idle = op.start_ns - ws.free_at[q];
-                if idle > 0.0 {
-                    out.damping_step_with(&noise.coherence, q, idle, rng, ws);
+        match &op.noise_events {
+            None => {
+                // Exact-idle-time damping on each operand (§6.4).
+                if noise.damping {
+                    for &q in &op.operands {
+                        let idle = op.start_ns - ws.free_at[q];
+                        if idle > 0.0 {
+                            out.damping_step_with(&noise.coherence, q, idle, rng, ws);
+                        }
+                    }
+                }
+                out.apply_op(op, ws);
+                // Busy-time damping: decoherence during the pulse itself.
+                if noise.damping && noise.busy_time_damping {
+                    for &q in &op.operands {
+                        out.damping_step_with(&noise.coherence, q, op.duration_ns, rng, ws);
+                    }
+                }
+                // Depolarizing draw with probability 1 - F (§6.5).
+                if noise.depolarizing && op.fidelity < 1.0 && rng.gen::<f64>() > op.fidelity {
+                    let err = pauli::sample_error(&op.error_dims, rng);
+                    for (p, &q) in err.iter().zip(op.operands.iter()) {
+                        out.apply_pauli(*p, q);
+                    }
+                }
+                for &q in &op.operands {
+                    ws.free_at[q] = op.end_ns();
                 }
             }
-        }
-        out.apply_op(op, ws);
-        // Busy-time damping: decoherence during the pulse itself.
-        if noise.damping && noise.busy_time_damping {
-            for &q in &op.operands {
-                out.damping_step_with(&noise.coherence, q, op.duration_ns, rng, ws);
+            Some(events) => {
+                // A fused block: the unitary is applied once, but idle
+                // damping, busy damping and depolarizing draws replay per
+                // constituent pulse so each device still accumulates its
+                // exact idle/busy time and each pulse keeps its calibrated
+                // error channel. Only the interleaving of noise with the
+                // block's interior unitaries is approximated.
+                if noise.damping {
+                    for ev in events {
+                        for &q in &ev.operands {
+                            let idle = ev.start_ns - ws.free_at[q];
+                            if idle > 0.0 {
+                                out.damping_step_with(&noise.coherence, q, idle, rng, ws);
+                            }
+                            ws.free_at[q] = ev.end_ns();
+                        }
+                    }
+                } else {
+                    for ev in events {
+                        for &q in &ev.operands {
+                            ws.free_at[q] = ev.end_ns();
+                        }
+                    }
+                }
+                out.apply_op(op, ws);
+                for ev in events {
+                    if noise.damping && noise.busy_time_damping {
+                        for &q in &ev.operands {
+                            out.damping_step_with(&noise.coherence, q, ev.duration_ns, rng, ws);
+                        }
+                    }
+                    if noise.depolarizing && ev.fidelity < 1.0 && rng.gen::<f64>() > ev.fidelity {
+                        let err = pauli::sample_error(&ev.error_dims, rng);
+                        for (p, &q) in err.iter().zip(ev.operands.iter()) {
+                            out.apply_pauli(*p, q);
+                        }
+                    }
+                }
             }
-        }
-        // Depolarizing draw with probability 1 - F (§6.5).
-        if noise.depolarizing && op.fidelity < 1.0 && rng.gen::<f64>() > op.fidelity {
-            let err = pauli::sample_error(&op.error_dims, rng);
-            for (p, &q) in err.iter().zip(op.operands.iter()) {
-                out.apply_pauli(*p, q);
-            }
-        }
-        for &q in &op.operands {
-            ws.free_at[q] = op.end_ns();
         }
     }
     // Trailing idle until the circuit's wall-clock end.
@@ -119,25 +162,27 @@ pub fn average_fidelity(
     trajectories: usize,
     seed: u64,
 ) -> FidelityEstimate {
-    average_fidelity_with(circuit, noise, trajectories, seed, |reg, rng| {
-        State::random_qubit_product(reg, rng)
+    average_fidelity_with(circuit, noise, trajectories, seed, |_, rng, out| {
+        out.fill_random_qubit_product(rng)
     })
 }
 
 /// [`average_fidelity`] with a custom initial-state factory.
 ///
-/// Each worker thread owns one [`Workspace`] and a set of state buffers
-/// reused across its trajectories, so the steady-state loop is
-/// allocation-free apart from whatever the factory itself allocates. The
-/// ideal output is memoized per worker: when the factory is deterministic
-/// (ignores its RNG, e.g. a fixed input state), the noiseless circuit runs
-/// once per worker instead of once per trajectory.
+/// The factory **writes into a caller-owned buffer** (`write_initial(reg,
+/// rng, out)` overwrites `out` in place): each worker thread owns one
+/// [`Workspace`] and a fixed set of state buffers reused across all of
+/// its trajectories, so the steady-state loop performs no per-trajectory
+/// heap allocation at all — not even for the initial state. The ideal
+/// output is memoized per worker: when the factory is deterministic
+/// (ignores its RNG, e.g. a fixed input state), the noiseless circuit
+/// runs once per worker instead of once per trajectory.
 pub fn average_fidelity_with(
     circuit: &TimedCircuit,
     noise: &NoiseModel,
     trajectories: usize,
     seed: u64,
-    make_initial: impl Fn(&crate::Register, &mut StdRng) -> State + Sync,
+    write_initial: impl Fn(&crate::Register, &mut StdRng, &mut State) + Sync,
 ) -> FidelityEstimate {
     assert!(trajectories > 0, "need at least one trajectory");
     let threads = std::thread::available_parallelism()
@@ -151,27 +196,26 @@ pub fn average_fidelity_with(
             .enumerate()
             .collect();
         for (chunk_idx, chunk) in chunks {
-            let make_initial = &make_initial;
+            let write_initial = &write_initial;
             scope.spawn(move || {
                 let mut ws = Workspace::serial();
+                let mut initial = State::zero(&circuit.register);
                 let mut noisy_out = State::zero(&circuit.register);
                 let mut ideal_out = State::zero(&circuit.register);
-                // Memoized (initial, ideal) pair of the previous
-                // trajectory on this worker.
-                let mut cached_initial: Option<State> = None;
+                // Memoized initial of the previous trajectory on this
+                // worker; `ideal_out` stays valid while it matches.
+                let mut cached_initial = State::zero(&circuit.register);
+                let mut ideal_cached = false;
                 for (i, f) in chunk.iter_mut().enumerate() {
                     let traj_seed = seed
                         .wrapping_add((chunk_idx * 1_000_003 + i) as u64)
                         .wrapping_mul(0x9E37_79B9_7F4A_7C15);
                     let mut rng = StdRng::seed_from_u64(traj_seed);
-                    let initial = make_initial(&circuit.register, &mut rng);
-                    let ideal_is_cached = cached_initial.as_ref() == Some(&initial);
-                    if !ideal_is_cached {
+                    write_initial(&circuit.register, &mut rng, &mut initial);
+                    if !(ideal_cached && cached_initial == initial) {
                         ideal::run_into(circuit, &initial, &mut ideal_out, &mut ws);
-                        match cached_initial.as_mut() {
-                            Some(c) => c.copy_from(&initial),
-                            None => cached_initial = Some(initial.clone()),
-                        }
+                        cached_initial.copy_from(&initial);
+                        ideal_cached = true;
                     }
                     run_trajectory_into(
                         circuit,
@@ -234,6 +278,66 @@ mod tests {
         let a = ideal::run(&tc, &init);
         let b = run_trajectory(&tc, &init, &noise, &mut rng);
         assert!((a.fidelity(&b) - 1.0).abs() < 1e-12);
+    }
+
+    /// A small schedule with a fuseable run: h(0); cx(0,1); h(1).
+    fn fuseable_circuit(fidelity: f64) -> TimedCircuit {
+        let reg = Register::qubits(2);
+        let mut tc = TimedCircuit::new(reg);
+        let mk = |label: &str, u: Matrix, ops: Vec<usize>, start: f64, dur: f64| {
+            let dims = vec![2u8; ops.len()];
+            TimedOp::new(label, u, ops, dims, start, dur, fidelity)
+        };
+        tc.ops.push(mk("h", standard::h(), vec![0], 0.0, 35.0));
+        tc.ops
+            .push(mk("cx", standard::cx(), vec![0, 1], 35.0, 251.0));
+        tc.ops.push(mk("h", standard::h(), vec![1], 286.0, 35.0));
+        tc.total_duration_ns = 321.0;
+        tc
+    }
+
+    #[test]
+    fn fused_noiseless_trajectory_equals_ideal() {
+        let tc = fuseable_circuit(0.9);
+        let fused = tc.fuse();
+        assert_eq!(fused.len(), 1);
+        let noise = NoiseModel::noiseless();
+        let mut rng = StdRng::seed_from_u64(21);
+        let init = State::random_qubit_product(&tc.register, &mut rng);
+        let a = ideal::run(&tc, &init);
+        let b = run_trajectory(&fused, &init, &noise, &mut rng);
+        assert!((a.fidelity(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fused_noise_replays_per_constituent_pulse() {
+        // With noise on, the fused estimate must match the unfused one
+        // statistically: same per-pulse depolarizing probabilities and the
+        // same per-device idle/busy damping time.
+        let tc = fuseable_circuit(0.97);
+        let fused = tc.fuse();
+        let noise = NoiseModel::paper();
+        let a = average_fidelity(&tc, &noise, 800, 11);
+        let b = average_fidelity(&fused, &noise, 800, 12);
+        let spread = 4.0 * (a.std_error + b.std_error) + 1e-3;
+        assert!(
+            (a.mean - b.mean).abs() < spread,
+            "unfused {} vs fused {} (allowed {})",
+            a.mean,
+            b.mean,
+            spread
+        );
+    }
+
+    #[test]
+    fn fused_trailing_idle_still_damps() {
+        // The block's constituents update free_at per event, so the
+        // trailing-idle damping window stays exact after fusion.
+        let mut tc = fuseable_circuit(1.0);
+        tc.total_duration_ns = 10_000_000.0; // 10 ms >> T1
+        let fused = tc.fuse();
+        let est = average_fidelity(&fused, &NoiseModel::paper(), 60, 3);
+        assert!(est.mean < 0.8, "mean {} should collapse", est.mean);
     }
 
     #[test]

@@ -39,11 +39,11 @@ fn main() {
     for (label, strategy) in strategies {
         let compiled = compile(&circuit, &strategy, &lib).expect("compiles");
         let fid = waltz_sim::trajectory::average_fidelity_with(
-            &compiled.timed,
+            compiled.sim_circuit(),
             &noise,
             300,
             11,
-            |_, rng| compiled.random_product_initial_state(rng),
+            |_, rng, out| compiled.write_random_product_initial_state(rng, out),
         );
         println!(
             "{label:<32} pulses {:>3}  duration {:>7.0} ns  fidelity {:.3} ± {:.3}",

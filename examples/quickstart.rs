@@ -27,11 +27,11 @@ fn main() {
         let eps = compiled.eps(&noise.coherence);
         // Trajectory-method fidelity on random product inputs (§6.4).
         let fid = waltz_sim::trajectory::average_fidelity_with(
-            &compiled.timed,
+            compiled.sim_circuit(),
             &noise,
             200,
             7,
-            |_, rng| compiled.random_product_initial_state(rng),
+            |_, rng, out| compiled.write_random_product_initial_state(rng, out),
         );
         println!(
             "{:<28} pulses {:>3}  duration {:>7.0} ns  EPS {:.3}  simulated fidelity {:.3} ± {:.3}",

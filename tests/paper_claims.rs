@@ -47,9 +47,13 @@ fn simulated_fidelity_ordering_on_adder() {
     let noise = NoiseModel::paper();
     let run = |s: &Strategy| {
         let compiled = compile(&circuit, s, &lib).unwrap();
-        waltz_sim::trajectory::average_fidelity_with(&compiled.timed, &noise, 80, 5, |_, rng| {
-            compiled.random_product_initial_state(rng)
-        })
+        waltz_sim::trajectory::average_fidelity_with(
+            compiled.sim_circuit(),
+            &noise,
+            80,
+            5,
+            |_, rng, out| compiled.write_random_product_initial_state(rng, out),
+        )
         .mean
     };
     let qo = run(&Strategy::qubit_only());

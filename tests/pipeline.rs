@@ -90,11 +90,11 @@ fn noiseless_trajectory_matches_ideal_for_compiled_circuit() {
     let lib = GateLibrary::paper();
     let compiled = compile(&circuit, &Strategy::full_ququart(), &lib).unwrap();
     let est = waltz_sim::trajectory::average_fidelity_with(
-        &compiled.timed,
+        compiled.sim_circuit(),
         &NoiseModel::noiseless(),
         10,
         1,
-        |_, rng| compiled.random_product_initial_state(rng),
+        |_, rng, out| compiled.write_random_product_initial_state(rng, out),
     );
     assert!((est.mean - 1.0).abs() < 1e-9);
 }
