@@ -4,12 +4,10 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use waltz_circuits::{cuccaro_adder, generalized_toffoli, qram};
-use waltz_core::{compile, Strategy};
-use waltz_gates::GateLibrary;
+use waltz_core::{Compiler, Strategy, Target};
 use waltz_noise::CoherenceModel;
 
 fn bench_compile(c: &mut Criterion) {
-    let lib = GateLibrary::paper();
     let mut group = c.benchmark_group("compile");
     group.sample_size(20);
     for (name, circuit) in [
@@ -23,8 +21,9 @@ fn bench_compile(c: &mut Criterion) {
             Strategy::mixed_radix_ccz(),
             Strategy::full_ququart(),
         ] {
+            let compiler = Compiler::new(Target::paper(strategy));
             group.bench_function(format!("{name}/{}", strategy.name()), |b| {
-                b.iter(|| compile(std::hint::black_box(&circuit), &strategy, &lib).unwrap())
+                b.iter(|| compiler.compile(std::hint::black_box(&circuit)).unwrap())
             });
         }
     }
@@ -32,12 +31,13 @@ fn bench_compile(c: &mut Criterion) {
 }
 
 fn bench_eps(c: &mut Criterion) {
-    let lib = GateLibrary::paper();
     let model = CoherenceModel::paper();
     let circuit = generalized_toffoli(6);
-    let compiled = compile(&circuit, &Strategy::mixed_radix_ccz(), &lib).unwrap();
+    let compiled = Compiler::new(Target::paper(Strategy::mixed_radix_ccz()))
+        .compile(&circuit)
+        .unwrap();
     c.bench_function("eps/cnu-12q-mixed-radix", |b| {
-        b.iter(|| std::hint::black_box(&compiled).eps(&model))
+        b.iter(|| std::hint::black_box(compiled.compiled()).eps(&model))
     });
 }
 

@@ -6,8 +6,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use waltz_circuits::generalized_toffoli;
-use waltz_core::{compile, Strategy};
-use waltz_gates::GateLibrary;
+use waltz_core::{Compiler, Strategy, Target};
 use waltz_math::Matrix;
 use waltz_noise::{CoherenceModel, NoiseModel};
 use waltz_sim::{trajectory, GateKernel, Register, State, Workspace};
@@ -76,13 +75,14 @@ fn bench_kernel_classes(c: &mut Criterion) {
 }
 
 fn bench_trajectories(c: &mut Criterion) {
-    let lib = GateLibrary::paper();
     let noise = NoiseModel::paper();
     let circuit = generalized_toffoli(3); // 6 qubits
     let mut group = c.benchmark_group("trajectory");
     group.sample_size(10);
     for strategy in [Strategy::qubit_only(), Strategy::full_ququart()] {
-        let compiled = compile(&circuit, &strategy, &lib).unwrap();
+        let compiled = Compiler::new(Target::paper(strategy))
+            .compile(&circuit)
+            .unwrap();
         // Unfused hardware schedule vs. the fused simulation schedule.
         for (tag, timed) in [("", &compiled.timed), ("/fused", compiled.sim_circuit())] {
             group.bench_function(format!("cnu-6q/{}{tag}", strategy.name()), |b| {

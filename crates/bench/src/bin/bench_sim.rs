@@ -1,7 +1,8 @@
 //! Emits the `BENCH_sim.json` perf baseline: gate-apply ns/op by kernel
 //! class at 4^8 amplitudes (specialized vs. the generic dense path),
 //! fused vs. unfused vs. kernel-demoted trajectory throughput on the
-//! cnu-6q benchmark, and compile times.
+//! cnu-6q benchmark, compile times, and per-pass pipeline wall times
+//! (schema `bench_sim/v3`).
 //!
 //! Usage: `cargo run --release -p waltz-bench --bin bench_sim [--out PATH]
 //! [--budget-ms N]`.
@@ -14,7 +15,7 @@ use rand::SeedableRng;
 use waltz_bench::perf::{time_ns, JsonObject};
 use waltz_bench::runner;
 use waltz_circuits::generalized_toffoli;
-use waltz_core::{compile, compile_with_options, CompileOptions, Strategy};
+use waltz_core::{CompileOptions, Compiler, Strategy};
 use waltz_gates::GateLibrary;
 use waltz_math::Matrix;
 use waltz_noise::NoiseModel;
@@ -119,23 +120,34 @@ fn main() {
     let noise = NoiseModel::paper();
     let circuit = generalized_toffoli(3); // 6 logical qubits
     let mut compile_obj = JsonObject::new();
+    let mut pipeline_obj = JsonObject::new();
     let mut traj_obj = JsonObject::new();
     for strategy in [
         Strategy::qubit_only(),
         Strategy::mixed_radix_ccz(),
         Strategy::full_ququart(),
     ] {
+        let compiler = runner::compiler_for(&strategy, &lib);
         let compile_t = time_ns(budget, || {
-            std::hint::black_box(compile(&circuit, &strategy, &lib).unwrap());
+            std::hint::black_box(compiler.compile(&circuit).unwrap());
         });
         compile_obj.num(&strategy.name(), compile_t.ns_per_op / 1e6);
         // Fused simulation schedule (the default) vs. the PR 1 unfused
         // pulse-by-pulse engine vs. every kernel demoted to GeneralDense.
-        let compiled = compile(&circuit, &strategy, &lib).unwrap();
-        let unfused =
-            compile_with_options(&circuit, &strategy, &lib, CompileOptions::unfused()).unwrap();
+        let compiled = compiler.compile(&circuit).unwrap();
+        // Per-pass wall times of one representative compile: every
+        // pipeline stage records a PassReport into the artifact.
+        let mut passes = JsonObject::new();
+        for report in compiled.reports() {
+            passes.num(report.pass.name(), report.wall_ms);
+        }
+        passes.num("total", compiled.total_wall_ms());
+        pipeline_obj.obj(&strategy.name(), &passes);
+        let unfused = Compiler::with_options(compiler.target().clone(), CompileOptions::unfused())
+            .compile(&circuit)
+            .unwrap();
         let trajectories = 400;
-        let mut dense = unfused.clone();
+        let mut dense = unfused.compiled().clone();
         for op in &mut dense.timed.ops {
             op.kernel = GateKernel::GeneralDense;
         }
@@ -188,15 +200,16 @@ fn main() {
         .unwrap_or(1);
     let mut report = JsonObject::new();
     report
-        .str("schema", "bench_sim/v2")
+        .str("schema", "bench_sim/v3")
         .str(
             "bench",
-            "kernel-specialized state-vector engine + gate fusion",
+            "kernel-specialized state-vector engine + gate fusion + pass pipeline",
         )
         .int("threads", threads as u64)
         .int("amplitudes", reg.total_dim() as u64)
         .obj("gate_apply_4pow8", &apply)
         .obj("compile_ms_cnu6q", &compile_obj)
+        .obj("pipeline_ms_cnu6q", &pipeline_obj)
         .obj("trajectory_cnu6q", &traj_obj);
     let rendered = report.render_pretty();
     std::fs::write(&out_path, &rendered).expect("write BENCH_sim.json");

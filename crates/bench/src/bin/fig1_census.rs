@@ -8,13 +8,11 @@
 //! Run: `cargo run -p waltz-bench --release --bin fig1_census`
 
 use waltz_circuit::Circuit;
-use waltz_core::{compile, Strategy};
-use waltz_gates::GateLibrary;
+use waltz_core::{Compiler, Strategy, Target};
 
 fn main() {
     let mut circuit = Circuit::new(3);
     circuit.ccx(0, 1, 2);
-    let lib = GateLibrary::paper();
 
     println!("== Fig. 1: one Toffoli under each regime ==\n");
     for strategy in [
@@ -23,7 +21,9 @@ fn main() {
         Strategy::mixed_radix_ccz(),
         Strategy::full_ququart(),
     ] {
-        let compiled = compile(&circuit, &strategy, &lib).expect("compiles");
+        let compiled = Compiler::new(Target::paper(strategy))
+            .compile(&circuit)
+            .expect("compiles");
         let (one, two, three) = compiled.timed.pulse_counts();
         println!("--- {} ---", strategy.name());
         println!("  pulses: {one} single-device, {two} two-device, {three} three-device");

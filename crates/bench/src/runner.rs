@@ -1,7 +1,7 @@
 //! Compile-then-simulate sweeps shared by every harness binary.
 
 use waltz_circuit::Circuit;
-use waltz_core::{compile, CompileError, CompiledCircuit, Strategy};
+use waltz_core::{CompileError, CompiledCircuit, Compiler, Strategy, Target};
 use waltz_gates::GateLibrary;
 use waltz_noise::{CoherenceModel, NoiseModel};
 use waltz_sim::trajectory::{self, FidelityEstimate};
@@ -106,6 +106,12 @@ pub struct DataPoint {
     pub pulses: usize,
 }
 
+/// A reusable [`Compiler`] for the paper's machine with an explicit
+/// library: what every harness binary builds per strategy.
+pub fn compiler_for(strategy: &Strategy, lib: &GateLibrary) -> Compiler {
+    Compiler::new(Target::paper(*strategy).with_library(lib.clone()))
+}
+
 /// Compiles `circuit` under `strategy` and estimates its fidelity with the
 /// trajectory method on random product inputs (§6.4).
 ///
@@ -120,9 +126,9 @@ pub fn evaluate(
     trajectories: usize,
     seed: u64,
 ) -> Result<DataPoint, CompileError> {
-    let compiled = compile(circuit, strategy, lib)?;
+    let compiled = compiler_for(strategy, lib).compile(circuit)?;
     let fidelity = simulate(&compiled, noise, trajectories, seed);
-    let eps = compiled.eps(&noise.coherence);
+    let eps = compiled.compiled().eps(&noise.coherence);
     Ok(DataPoint {
         strategy: *strategy,
         fidelity,
@@ -184,8 +190,8 @@ pub fn evaluate_eps_only(
     lib: &GateLibrary,
     model: &CoherenceModel,
 ) -> Result<(f64, f64, f64), CompileError> {
-    let compiled = compile(circuit, strategy, lib)?;
-    let eps = compiled.eps(model);
+    let compiled = compiler_for(strategy, lib).compile(circuit)?;
+    let eps = compiled.compiled().eps(model);
     Ok((eps.gate, eps.coherence, eps.total()))
 }
 

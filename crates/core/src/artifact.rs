@@ -1,0 +1,256 @@
+//! The compiler's output artifact: the compiled circuit plus per-pass
+//! reports, and the [`Simulation`] session handle that runs it.
+
+use std::ops::Deref;
+
+use rand::Rng;
+
+use waltz_noise::NoiseModel;
+use waltz_sim::trajectory::{self, FidelityEstimate};
+use waltz_sim::{Session, State};
+
+use crate::compile::CompiledCircuit;
+use crate::eps::EpsBreakdown;
+use crate::pipeline::{Pass, PassReport};
+
+/// Default seed of [`Simulation::average_fidelity`] — override with
+/// [`Simulation::with_seed`].
+const DEFAULT_SEED: u64 = 20230617;
+
+/// What one [`crate::Compiler::compile`] run produced: the
+/// [`CompiledCircuit`] plus one [`PassReport`] per pipeline stage and the
+/// target's noise environment, so EPS estimation and simulation need no
+/// further plumbing.
+///
+/// Dereferences to the wrapped [`CompiledCircuit`], so all of its
+/// accessors (`stats`, `sim_circuit()`, `sample_decoded()`, …) are
+/// available directly on the artifact.
+#[derive(Debug, Clone)]
+pub struct CompileArtifact {
+    compiled: CompiledCircuit,
+    reports: Vec<PassReport>,
+    noise: NoiseModel,
+}
+
+impl Deref for CompileArtifact {
+    type Target = CompiledCircuit;
+
+    fn deref(&self) -> &CompiledCircuit {
+        &self.compiled
+    }
+}
+
+impl CompileArtifact {
+    pub(crate) fn new(
+        compiled: CompiledCircuit,
+        reports: Vec<PassReport>,
+        noise: NoiseModel,
+    ) -> Self {
+        CompileArtifact {
+            compiled,
+            reports,
+            noise,
+        }
+    }
+
+    /// The wrapped compiled circuit.
+    pub fn compiled(&self) -> &CompiledCircuit {
+        &self.compiled
+    }
+
+    /// Unwraps into the bare [`CompiledCircuit`], dropping the reports.
+    pub fn into_compiled(self) -> CompiledCircuit {
+        self.compiled
+    }
+
+    /// One report per pipeline stage, in execution order.
+    pub fn reports(&self) -> &[PassReport] {
+        &self.reports
+    }
+
+    /// The report of one pass (every pipeline run records all six).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pass is missing — impossible for artifacts built by
+    /// [`crate::Compiler::compile`].
+    pub fn report(&self, pass: Pass) -> &PassReport {
+        self.reports
+            .iter()
+            .find(|r| r.pass == pass)
+            .expect("pipeline records every pass")
+    }
+
+    /// Total wall-clock compile time across all passes, in milliseconds.
+    pub fn total_wall_ms(&self) -> f64 {
+        self.reports.iter().map(|r| r.wall_ms).sum()
+    }
+
+    /// The noise model simulations of this artifact default to (the
+    /// target's).
+    pub fn noise(&self) -> &NoiseModel {
+        &self.noise
+    }
+
+    /// EPS estimate under the target's coherence model (§6.3).
+    pub fn eps(&self) -> EpsBreakdown {
+        self.compiled.eps(&self.noise.coherence)
+    }
+
+    /// A simulation session over this artifact: owns the kernel workspace
+    /// and state buffers, defaults to the target's noise model, and runs
+    /// the fused simulation schedule
+    /// ([`CompiledCircuit::sim_circuit`]).
+    pub fn simulate(&self) -> Simulation<'_> {
+        Simulation {
+            compiled: &self.compiled,
+            noise: self.noise.clone(),
+            seed: DEFAULT_SEED,
+            session: None,
+        }
+    }
+}
+
+/// A simulation session bound to one compiled circuit: owns the
+/// [`waltz_sim::Workspace`] and the state buffers that previously had to
+/// be hand-threaded through `run_trajectory_into` and the initial-state
+/// factory closures.
+///
+/// Batch estimation ([`Simulation::average_fidelity`]) fans trajectories
+/// across threads with per-worker buffer reuse; the serial entry points
+/// ([`Simulation::run_trajectory`], [`Simulation::run_ideal`]) reuse this
+/// session's own buffers, so shot-by-shot loops allocate nothing per
+/// shot.
+#[derive(Debug)]
+pub struct Simulation<'a> {
+    compiled: &'a CompiledCircuit,
+    noise: NoiseModel,
+    seed: u64,
+    /// Created on the first serial run — the batched estimator manages
+    /// its own per-worker buffers, so a pure `average_fidelity` call
+    /// never allocates a session.
+    session: Option<Session>,
+}
+
+impl<'a> Simulation<'a> {
+    /// Replaces the noise model (defaults to the target's).
+    pub fn with_noise(mut self, noise: NoiseModel) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Replaces the RNG seed of [`Simulation::average_fidelity`].
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The active noise model.
+    pub fn noise(&self) -> &NoiseModel {
+        &self.noise
+    }
+
+    /// Trajectory-method average fidelity over random logical product
+    /// inputs embedded at the compiler's placement (§6.4): the paper's
+    /// headline simulation, on the fused schedule, with per-worker buffer
+    /// reuse.
+    pub fn average_fidelity(&self, trajectories: usize) -> FidelityEstimate {
+        trajectory::average_fidelity_with(
+            self.compiled.sim_circuit(),
+            &self.noise,
+            trajectories,
+            self.seed,
+            |_, rng, out| self.compiled.write_random_product_initial_state(rng, out),
+        )
+    }
+
+    /// Runs one noisy trajectory from `initial` into the session's output
+    /// buffer and returns it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` lives on a different register than the
+    /// compiled circuit.
+    pub fn run_trajectory<R: Rng + ?Sized>(&mut self, initial: &State, rng: &mut R) -> &State {
+        let circuit = self.compiled.sim_circuit();
+        self.session
+            .get_or_insert_with(|| Session::new(&circuit.register))
+            .run_trajectory(circuit, initial, &self.noise, rng)
+    }
+
+    /// Runs the circuit noiselessly from `initial` into the session's
+    /// output buffer and returns it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` lives on a different register than the
+    /// compiled circuit.
+    pub fn run_ideal(&mut self, initial: &State) -> &State {
+        let circuit = self.compiled.sim_circuit();
+        self.session
+            .get_or_insert_with(|| Session::new(&circuit.register))
+            .run_ideal(circuit, initial)
+    }
+
+    /// A fresh random logical product input at the compiler's placement
+    /// (§6.4) — the matching initial state for
+    /// [`Simulation::run_trajectory`].
+    pub fn random_initial_state<R: Rng + ?Sized>(&self, rng: &mut R) -> State {
+        self.compiled.random_product_initial_state(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Compiler, Strategy, Target};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use waltz_circuit::Circuit;
+
+    fn artifact() -> CompileArtifact {
+        let mut c = Circuit::new(3);
+        c.h(0).ccx(0, 1, 2);
+        Compiler::new(Target::paper(Strategy::full_ququart()))
+            .compile(&c)
+            .unwrap()
+    }
+
+    #[test]
+    fn artifact_derefs_to_compiled_circuit() {
+        let a = artifact();
+        assert_eq!(a.stats.hw_ops, a.compiled().timed.len());
+        assert!(a.total_wall_ms() >= 0.0);
+        assert!(a.eps().total() > 0.0);
+    }
+
+    #[test]
+    fn session_trajectory_matches_free_function() {
+        let a = artifact();
+        let mut sim = a.simulate();
+        let mut rng = StdRng::seed_from_u64(3);
+        let initial = sim.random_initial_state(&mut rng);
+        let mut rng_a = StdRng::seed_from_u64(17);
+        let mut rng_b = StdRng::seed_from_u64(17);
+        let out = sim.run_trajectory(&initial, &mut rng_a).clone();
+        let reference =
+            waltz_sim::trajectory::run_trajectory(a.sim_circuit(), &initial, a.noise(), &mut rng_b);
+        assert!((out.fidelity(&reference) - 1.0).abs() < 1e-12);
+        let ideal = sim.run_ideal(&initial).clone();
+        let reference = waltz_sim::ideal::run(a.sim_circuit(), &initial);
+        assert!((ideal.fidelity(&reference) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_fidelity_respects_seed_and_noise_overrides() {
+        let a = artifact();
+        let x = a.simulate().with_seed(5).average_fidelity(20);
+        let y = a.simulate().with_seed(5).average_fidelity(20);
+        assert_eq!(x.mean, y.mean);
+        let noiseless = a
+            .simulate()
+            .with_noise(NoiseModel::noiseless())
+            .average_fidelity(5);
+        assert!((noiseless.mean - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,9 +1,10 @@
-//! The end-to-end compilation pipeline.
+//! The compiled-circuit artifact, compilation errors, and the deprecated
+//! free-function entry points (thin shims over [`crate::Compiler`]).
 
 use std::error::Error;
 use std::fmt;
 
-use waltz_arch::{InteractionGraph, Site, Topology};
+use waltz_arch::{Site, Topology};
 use waltz_circuit::Circuit;
 use waltz_gates::GateLibrary;
 use waltz_math::C64;
@@ -11,10 +12,13 @@ use waltz_noise::CoherenceModel;
 use waltz_sim::{Register, State, TimedCircuit};
 
 use crate::eps::{self, CoherenceSpan, EpsBreakdown};
-use crate::lower::{self, LowerOutput};
-use crate::strategy::{CompileOptions, Fusion, Strategy};
+use crate::lower::LowerOutput;
+use crate::strategy::{CompileOptions, Strategy};
+use crate::target::Target;
+use crate::Compiler;
 
-/// Compilation failure.
+/// Compilation failure, surfaced through the pipeline's entry validation
+/// so malformed user input never panics deep inside a pass.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CompileError {
     /// The circuit has no qubits.
@@ -27,6 +31,35 @@ pub enum CompileError {
         /// Devices available.
         available: usize,
     },
+    /// A gate lists the same qubit twice (e.g. `ccx(0, 0, 1)`).
+    DuplicateOperands {
+        /// Index of the offending gate in the circuit.
+        gate_index: usize,
+        /// The repeated qubit.
+        qubit: usize,
+    },
+    /// A gate's operand list does not match its kind's arity (possible
+    /// when constructing [`waltz_circuit::Gate`] values directly).
+    WrongOperandCount {
+        /// Index of the offending gate in the circuit.
+        gate_index: usize,
+        /// Operands the gate kind requires.
+        expected: usize,
+        /// Operands the gate actually lists.
+        got: usize,
+    },
+    /// A rotation gate carries a NaN or infinite angle, which would
+    /// poison every downstream unitary.
+    NonFiniteAngle {
+        /// Index of the offending gate in the circuit.
+        gate_index: usize,
+    },
+    /// The device topology is not connected, so routing cannot bring
+    /// arbitrary operands together.
+    DisconnectedTopology {
+        /// Devices in the graph.
+        devices: usize,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -37,6 +70,23 @@ impl fmt::Display for CompileError {
                 f,
                 "topology provides {available} devices but the strategy needs {needed}"
             ),
+            CompileError::DuplicateOperands { gate_index, qubit } => {
+                write!(f, "gate {gate_index} lists duplicate operand qubit {qubit}")
+            }
+            CompileError::WrongOperandCount {
+                gate_index,
+                expected,
+                got,
+            } => write!(
+                f,
+                "gate {gate_index} lists {got} operands but its kind takes {expected}"
+            ),
+            CompileError::NonFiniteAngle { gate_index } => {
+                write!(f, "gate {gate_index} has a non-finite rotation angle")
+            }
+            CompileError::DisconnectedTopology { devices } => {
+                write!(f, "topology with {devices} devices is not connected")
+            }
         }
     }
 }
@@ -63,7 +113,8 @@ pub struct CompiledCircuit {
     /// The scheduled hardware circuit.
     pub timed: TimedCircuit,
     /// The fused simulation schedule ([`TimedCircuit::fuse`]) when the
-    /// [`Fusion`] option is on: the same circuit with adjacent-op runs
+    /// [`crate::Fusion`] option is on: the same circuit with adjacent-op
+    /// runs
     /// multiplied into dense blocks. All pulse statistics and EPS
     /// estimates still come from `timed`; simulation should go through
     /// [`CompiledCircuit::sim_circuit`].
@@ -78,7 +129,7 @@ pub struct CompiledCircuit {
     pub coherence_spans: Vec<CoherenceSpan>,
     /// Aggregate statistics.
     pub stats: CompileStats,
-    slots_per_device: usize,
+    pub(crate) slots_per_device: usize,
 }
 
 impl CompiledCircuit {
@@ -233,31 +284,38 @@ impl CompiledCircuit {
 ///
 /// # Errors
 ///
-/// Returns [`CompileError`] when the circuit is empty.
+/// Returns [`CompileError`] when the circuit is empty or malformed.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Compiler::new(Target::paper(strategy)).compile(&circuit)`"
+)]
 pub fn compile(
     circuit: &Circuit,
     strategy: &Strategy,
     lib: &GateLibrary,
 ) -> Result<CompiledCircuit, CompileError> {
+    #[allow(deprecated)]
     compile_with_options(circuit, strategy, lib, CompileOptions::default())
 }
 
-/// [`compile`] with explicit lowering options (see [`Fusion`]).
+/// [`compile`] with explicit lowering options (see [`crate::Fusion`]).
 ///
 /// # Errors
 ///
-/// Returns [`CompileError`] when the circuit is empty.
+/// Returns [`CompileError`] when the circuit is empty or malformed.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Compiler::with_options(Target::paper(strategy), options).compile(&circuit)`"
+)]
 pub fn compile_with_options(
     circuit: &Circuit,
     strategy: &Strategy,
     lib: &GateLibrary,
     options: CompileOptions,
 ) -> Result<CompiledCircuit, CompileError> {
-    let devices = strategy.device_count(circuit.n_qubits());
-    // Three-qubit gates need a hub with two neighbours; a 1xN mesh of
-    // width >= 3 or any 2D mesh provides one.
-    let topology = Topology::grid(devices.max(1));
-    compile_on_with_options(circuit, topology, strategy, lib, options)
+    Compiler::with_options(Target::paper(*strategy).with_library(lib.clone()), options)
+        .compile(circuit)
+        .map(|artifact| artifact.into_compiled())
 }
 
 /// Compiles `circuit` under `strategy` on a caller-provided topology with
@@ -265,23 +323,33 @@ pub fn compile_with_options(
 ///
 /// # Errors
 ///
-/// Returns [`CompileError`] when the circuit is empty or the topology is
-/// too small for the strategy.
+/// Returns [`CompileError`] when the circuit is empty or malformed, or
+/// the topology cannot host it.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Compiler::new(Target::paper(strategy).with_topology(topology)).compile(&circuit)`"
+)]
 pub fn compile_on(
     circuit: &Circuit,
     topology: Topology,
     strategy: &Strategy,
     lib: &GateLibrary,
 ) -> Result<CompiledCircuit, CompileError> {
+    #[allow(deprecated)]
     compile_on_with_options(circuit, topology, strategy, lib, CompileOptions::default())
 }
 
-/// [`compile_on`] with explicit lowering options (see [`Fusion`]).
+/// [`compile_on`] with explicit lowering options (see [`crate::Fusion`]).
 ///
 /// # Errors
 ///
-/// Returns [`CompileError`] when the circuit is empty or the topology is
-/// too small for the strategy.
+/// Returns [`CompileError`] when the circuit is empty or malformed, or
+/// the topology cannot host it.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Compiler::with_options(Target::paper(strategy).with_topology(topology), \
+            options).compile(&circuit)`"
+)]
 pub fn compile_on_with_options(
     circuit: &Circuit,
     topology: Topology,
@@ -289,59 +357,23 @@ pub fn compile_on_with_options(
     lib: &GateLibrary,
     options: CompileOptions,
 ) -> Result<CompiledCircuit, CompileError> {
-    if circuit.n_qubits() == 0 {
-        return Err(CompileError::EmptyCircuit);
-    }
-    let needed = strategy.device_count(circuit.n_qubits());
-    if topology.n_devices() < needed {
-        return Err(CompileError::TopologyTooSmall {
-            needed,
-            available: topology.n_devices(),
-        });
-    }
-
-    let out: LowerOutput = match strategy {
-        Strategy::QubitOnly { ccx } => {
-            let graph = InteractionGraph::qubit_only(topology);
-            lower::qubit_only::lower(circuit, *ccx, graph, lib)
-        }
-        Strategy::MixedRadix { ccx, native_cswap } => {
-            let graph = InteractionGraph::qubit_only(topology);
-            lower::mixed_radix::lower(circuit, *ccx, *native_cswap, graph, lib)
-        }
-        Strategy::FullQuquart { use_ccz, cswap } => {
-            let graph = InteractionGraph::encoded(topology);
-            lower::full_ququart::lower(circuit, *use_ccz, *cswap, graph, lib)
-        }
-    };
-
-    let timed = out.prog.schedule(lib);
-    let coherence_spans = build_spans(strategy, &out, &timed);
-    let stats = CompileStats {
-        routing_swaps: out.swaps,
-        enc_windows: out.enc_windows.len(),
-        hw_ops: timed.len(),
-        total_duration_ns: timed.total_duration_ns,
-    };
-    let fused = match options.fusion {
-        Fusion::Off => None,
-        Fusion::TwoQudit => Some(timed.fuse()),
-    };
-    Ok(CompiledCircuit {
-        timed,
-        fused,
-        strategy: *strategy,
-        initial_sites: out.initial_sites,
-        final_sites: out.final_sites,
-        coherence_spans,
-        stats,
-        slots_per_device: out.graph.slots_per_device(),
-    })
+    Compiler::with_options(
+        Target::paper(*strategy)
+            .with_library(lib.clone())
+            .with_topology(topology),
+        options,
+    )
+    .compile(circuit)
+    .map(|artifact| artifact.into_compiled())
 }
 
 /// Builds the per-device maximum-level timeline (§6.3): weight 1 in the
 /// qubit regime, 3 while encoded.
-fn build_spans(strategy: &Strategy, out: &LowerOutput, timed: &TimedCircuit) -> Vec<CoherenceSpan> {
+pub(crate) fn build_spans(
+    strategy: &Strategy,
+    out: &LowerOutput,
+    timed: &TimedCircuit,
+) -> Vec<CoherenceSpan> {
     let n_devices = out.graph.topology().n_devices();
     let total = timed.total_duration_ns;
     match strategy {
@@ -405,20 +437,24 @@ fn build_spans(strategy: &Strategy, out: &LowerOutput, timed: &TimedCircuit) -> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Strategy;
+    use crate::{CompileArtifact, Strategy};
     use waltz_circuit::Circuit;
+
+    /// Builder-path compile with the paper library.
+    fn build(c: &Circuit, strategy: &Strategy) -> CompileArtifact {
+        Compiler::new(Target::paper(*strategy)).compile(c).unwrap()
+    }
 
     #[test]
     fn decode_inverts_embed_for_basis_states() {
         let mut c = Circuit::new(4);
         c.ccx(0, 1, 2).cx(2, 3).cswap(3, 0, 1);
-        let lib = GateLibrary::paper();
         for strategy in [
             Strategy::qubit_only(),
             Strategy::mixed_radix_ccz(),
             Strategy::full_ququart(),
         ] {
-            let compiled = compile(&c, &strategy, &lib).unwrap();
+            let compiled = build(&c, &strategy);
             for logical in 0..16usize {
                 let mut amps = vec![C64::ZERO; 16];
                 amps[logical] = C64::ONE;
@@ -444,14 +480,13 @@ mod tests {
         use rand::SeedableRng;
         let mut c = Circuit::new(5);
         c.ccz(0, 1, 2).ccx(2, 3, 4);
-        let lib = GateLibrary::paper();
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         for strategy in [
             Strategy::qubit_only(),
             Strategy::mixed_radix_ccz(),
             Strategy::full_ququart(),
         ] {
-            let compiled = compile(&c, &strategy, &lib).unwrap();
+            let compiled = build(&c, &strategy);
             let s = compiled.random_product_initial_state(&mut rng);
             assert!((s.norm() - 1.0).abs() < 1e-10, "{}", strategy.name());
         }
@@ -461,15 +496,15 @@ mod tests {
     fn fusion_option_controls_the_sim_schedule() {
         let mut c = Circuit::new(4);
         c.h(0).ccx(0, 1, 2).cx(2, 3).ccz(1, 2, 3);
-        let lib = GateLibrary::paper();
         for strategy in [
             Strategy::qubit_only(),
             Strategy::mixed_radix_ccz(),
             Strategy::full_ququart(),
         ] {
-            let fused = compile(&c, &strategy, &lib).unwrap();
+            let fused = build(&c, &strategy);
             let unfused =
-                compile_with_options(&c, &strategy, &lib, crate::CompileOptions::unfused())
+                Compiler::with_options(Target::paper(strategy), crate::CompileOptions::unfused())
+                    .compile(&c)
                     .unwrap();
             assert!(unfused.fused.is_none());
             assert!(std::ptr::eq(unfused.sim_circuit(), &unfused.timed));
@@ -503,13 +538,12 @@ mod tests {
         use rand::SeedableRng;
         let mut c = Circuit::new(4);
         c.ccx(0, 1, 2).cswap(1, 2, 3);
-        let lib = GateLibrary::paper();
         for strategy in [
             Strategy::qubit_only(),
             Strategy::mixed_radix_ccz(),
             Strategy::full_ququart(),
         ] {
-            let compiled = compile(&c, &strategy, &lib).unwrap();
+            let compiled = build(&c, &strategy);
             let mut rng_a = rand::rngs::StdRng::seed_from_u64(31);
             let mut rng_b = rand::rngs::StdRng::seed_from_u64(31);
             let fresh = compiled.random_product_initial_state(&mut rng_a);
@@ -531,8 +565,10 @@ mod tests {
     fn topology_too_small_is_reported() {
         let mut c = Circuit::new(4);
         c.cx(0, 3);
-        let lib = GateLibrary::paper();
-        let err = compile_on(&c, Topology::grid(2), &Strategy::qubit_only(), &lib).unwrap_err();
+        let err =
+            Compiler::new(Target::paper(Strategy::qubit_only()).with_topology(Topology::grid(2)))
+                .compile(&c)
+                .unwrap_err();
         assert!(matches!(
             err,
             CompileError::TopologyTooSmall {
@@ -547,8 +583,7 @@ mod tests {
     fn mixed_radix_coherence_spans_partition_the_timeline() {
         let mut c = Circuit::new(3);
         c.ccx(0, 1, 2).ccz(0, 1, 2);
-        let lib = GateLibrary::paper();
-        let compiled = compile(&c, &Strategy::mixed_radix_ccz(), &lib).unwrap();
+        let compiled = build(&c, &Strategy::mixed_radix_ccz());
         // For each device, spans must tile [0, total] without overlap.
         let total = compiled.stats.total_duration_ns;
         for device in 0..compiled.timed.register.n_qudits() {

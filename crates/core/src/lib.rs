@@ -1,22 +1,37 @@
 //! **The Quantum Waltz compiler** — the paper's primary contribution (§5).
 //!
-//! Pipeline (driven by [`compile`]):
+//! The public API is two owning types:
 //!
-//! 1. **Decompose** the logical circuit to the native set — `CX`, `CZ`,
-//!    `SWAP`, single-qubit rotations, and the three-qubit `CCX`/`CCZ`/
-//!    `CSWAP` — applying the strategy's transform (8-CX expansion,
-//!    CCX→CCZ, CSWAP orientation, Hadamard retargeting).
-//! 2. **Map** logical qubits onto the strategy's interaction graph using
-//!    the §5.2 lookahead weights (`w(i,j) = Σ_t o(i,j,t)/t`): heaviest
-//!    qubit at the centre device, greedy weighted placement after.
-//! 3. **Route & select gates**: bring operands into an executable
-//!    configuration with the cheapest swaps (internal swaps ≪ inter-device
-//!    swaps), then emit the best calibrated pulse configuration — controls
-//!    together for `CCX`, targets together for `CSWAP`, target-independent
-//!    `CCZ` whenever allowed (§4.2, §5.1).
-//! 4. **Schedule** ASAP, tracking per-device busy/idle windows, producing a
-//!    [`waltz_sim::TimedCircuit`] plus the coherence-span timeline the EPS
-//!    model consumes (§6.3).
+//! * [`Target`] bundles the machine — a [`Strategy`], a calibrated
+//!   [`waltz_gates::GateLibrary`], a [`waltz_arch::Topology`] (auto-sized
+//!   to the paper's 2D mesh by default, §6.2) and the noise environment.
+//! * [`Compiler`] is built once from a `Target` + [`CompileOptions`] and
+//!   reused: [`Compiler::compile`] drives the explicit pass pipeline,
+//!   [`Compiler::compile_batch`] fans a workload of circuits across
+//!   threads.
+//!
+//! The pipeline (one [`PassReport`] recorded per stage):
+//!
+//! 1. [`Pass::Decompose`] — expand the logical circuit to the native set —
+//!    `CX`, `CZ`, `SWAP`, single-qubit rotations, and the three-qubit
+//!    `CCX`/`CCZ`/`CSWAP` — applying the strategy's transform (8-CX
+//!    expansion, CCX→CCZ, CSWAP orientation, Hadamard retargeting).
+//! 2. [`Pass::Map`] — place logical qubits onto the strategy's
+//!    interaction graph using the §5.2 lookahead weights
+//!    (`w(i,j) = Σ_t o(i,j,t)/t`): heaviest qubit at the centre device,
+//!    greedy weighted placement after.
+//! 3. [`Pass::Route`] — bring operands into an executable configuration
+//!    with the cheapest swaps (internal swaps ≪ inter-device swaps), then
+//!    emit the best calibrated pulse configuration — controls together
+//!    for `CCX`, targets together for `CSWAP`, target-independent `CCZ`
+//!    whenever allowed (§4.2, §5.1).
+//! 4. [`Pass::Schedule`] — ASAP, tracking per-device busy/idle windows,
+//!    producing a [`waltz_sim::TimedCircuit`].
+//! 5. [`Pass::Fuse`] — batch the simulation schedule with the gate-fusion
+//!    pass (host-calibrated cost constants, optional block-span cap).
+//! 6. [`Pass::Lower`] — the coherence-span timeline the EPS model
+//!    consumes (§6.3) and aggregate statistics, assembled into a
+//!    [`CompileArtifact`].
 //!
 //! Three regimes are supported, matching the paper's comparison points:
 //! qubit-only (8-CX or iToffoli baselines), intermediate mixed-radix
@@ -26,35 +41,63 @@
 //! # Example
 //!
 //! ```
-//! use waltz_core::{compile, Strategy};
+//! use waltz_core::{Compiler, Strategy, Target};
 //! use waltz_circuit::Circuit;
-//! use waltz_gates::GateLibrary;
 //!
 //! let mut c = Circuit::new(3);
 //! c.h(0).ccx(0, 1, 2);
-//! let out = compile(&c, &Strategy::mixed_radix_ccz(), &GateLibrary::paper()).unwrap();
+//! let compiler = Compiler::new(Target::paper(Strategy::mixed_radix_ccz()));
+//! let out = compiler.compile(&c).unwrap();
 //! assert!(out.timed.validate().is_ok());
 //! assert!(out.timed.gate_eps() > 0.9);
+//! // End-to-end: simulated fidelity in one chain.
+//! let estimate = out.simulate().average_fidelity(20);
+//! assert!(estimate.mean > 0.5);
 //! ```
+//!
+//! # Migrating from the free functions
+//!
+//! The four original entry points still work but are `#[deprecated]`
+//! shims over the builder (parity-pinned by `tests/shim_parity.rs`):
+//!
+//! | Old call | Builder equivalent |
+//! |----------|--------------------|
+//! | `compile(&c, &s, &lib)` | `Compiler::new(Target::paper(s).with_library(lib)).compile(&c)` |
+//! | `compile_with_options(&c, &s, &lib, opts)` | `Compiler::with_options(Target::paper(s).with_library(lib), opts).compile(&c)` |
+//! | `compile_on(&c, topo, &s, &lib)` | `Compiler::new(Target::paper(s).with_library(lib).with_topology(topo)).compile(&c)` |
+//! | `compile_on_with_options(&c, topo, &s, &lib, opts)` | `Compiler::with_options(Target::paper(s).with_library(lib).with_topology(topo), opts).compile(&c)` |
+//!
+//! The shims return the bare [`CompiledCircuit`]; the builder returns a
+//! [`CompileArtifact`], which dereferences to `CompiledCircuit` and adds
+//! per-pass reports, target-aware [`CompileArtifact::eps`], and the
+//! [`Simulation`] session ([`CompileArtifact::simulate`]) that owns the
+//! simulator's workspace and buffers. A separately-threaded
+//! `CoherenceModel` is no longer needed — the `Target` carries the noise
+//! environment.
 
 #![warn(missing_docs)]
 
+mod artifact;
 mod compile;
 mod hwprog;
 mod layout;
 mod lower;
 mod mapping;
+mod pipeline;
+mod strategy;
+mod target;
 
 pub mod eps;
 pub mod verify;
 
-pub use compile::{
-    compile, compile_on, compile_on_with_options, compile_with_options, CompileError, CompileStats,
-    CompiledCircuit,
-};
+#[allow(deprecated)]
+pub use compile::{compile, compile_on, compile_on_with_options, compile_with_options};
+
+pub use artifact::{CompileArtifact, Simulation};
+pub use compile::{CompileError, CompileStats, CompiledCircuit};
 pub use eps::{CoherenceSpan, EpsBreakdown};
 pub use hwprog::HwProgram;
 pub use layout::Layout;
+pub use pipeline::{Compiler, Pass, PassReport};
 pub use strategy::{CompileOptions, FqCswapMode, Fusion, MrCcxMode, QubitCcxMode, Strategy};
-
-mod strategy;
+pub use target::{Target, TopologySpec};

@@ -13,8 +13,8 @@ use waltz_circuit::{decompose, Circuit, GateKind};
 use waltz_gates::hw::{FqCcxConfig, FqCswapConfig};
 use waltz_gates::{GateLibrary, HwGate, Slot};
 
+use crate::layout::Layout;
 use crate::lower::common::{RadixMode, Router};
-use crate::mapping;
 use crate::strategy::FqCswapMode;
 
 use super::LowerOutput;
@@ -43,16 +43,15 @@ enum PlanKind {
     CswapSplit,
 }
 
-/// Lowers `circuit` in the full-ququart regime.
-pub fn lower(
-    circuit: &Circuit,
-    use_ccz: bool,
-    cswap_mode: FqCswapMode,
+/// Routes a [`preprocess`]ed circuit in the full-ququart regime from a
+/// precomputed initial placement.
+pub fn route(
+    prepared: &Circuit,
+    layout: Layout,
     graph: InteractionGraph,
     lib: &GateLibrary,
+    cswap_mode: FqCswapMode,
 ) -> LowerOutput {
-    let prepared = preprocess(circuit, use_ccz, cswap_mode);
-    let layout = mapping::place(&prepared, &graph);
     let initial_sites = layout.assignment();
     let n_devices = graph.topology().n_devices();
     let mut r = Router::new(layout, vec![4; n_devices], RadixMode::Encoded);
@@ -131,7 +130,8 @@ pub fn lower(
     }
 }
 
-fn preprocess(circuit: &Circuit, use_ccz: bool, cswap_mode: FqCswapMode) -> Circuit {
+/// Expands the circuit per the strategy's transforms.
+pub fn preprocess(circuit: &Circuit, use_ccz: bool, cswap_mode: FqCswapMode) -> Circuit {
     let w = circuit.n_qubits();
     let mut out = Circuit::new(w);
     for g in circuit.iter() {

@@ -7,8 +7,8 @@ use waltz_circuit::{decompose, Circuit, GateKind};
 use waltz_gates::hw::{MrCcxConfig, MrCswapConfig};
 use waltz_gates::{GateLibrary, HwGate, Q1Gate};
 
+use crate::layout::Layout;
 use crate::lower::common::{RadixMode, Router};
-use crate::mapping;
 use crate::strategy::MrCcxMode;
 
 use super::{EncWindow, LowerOutput};
@@ -24,16 +24,15 @@ struct Plan {
     wrap: Vec<usize>,
 }
 
-/// Lowers `circuit` in the mixed-radix regime.
-pub fn lower(
-    circuit: &Circuit,
-    ccx_mode: MrCcxMode,
-    native_cswap: bool,
+/// Routes a [`preprocess`]ed circuit in the mixed-radix regime from a
+/// precomputed initial placement.
+pub fn route(
+    prepared: &Circuit,
+    layout: Layout,
     graph: InteractionGraph,
     lib: &GateLibrary,
+    ccx_mode: MrCcxMode,
 ) -> LowerOutput {
-    let prepared = preprocess(circuit, ccx_mode, native_cswap);
-    let layout = mapping::place(&prepared, &graph);
     let initial_sites = layout.assignment();
     let n_devices = graph.topology().n_devices();
     let mut r = Router::new(layout, vec![4; n_devices], RadixMode::Bare);
@@ -83,7 +82,7 @@ pub fn lower(
 }
 
 /// Expands the circuit per the strategy's transforms.
-fn preprocess(circuit: &Circuit, ccx_mode: MrCcxMode, native_cswap: bool) -> Circuit {
+pub fn preprocess(circuit: &Circuit, ccx_mode: MrCcxMode, native_cswap: bool) -> Circuit {
     let w = circuit.n_qubits();
     let mut out = Circuit::new(w);
     for g in circuit.iter() {

@@ -12,21 +12,21 @@ use waltz_arch::InteractionGraph;
 use waltz_circuit::{decompose, Circuit, GateKind};
 use waltz_gates::{GateLibrary, HwGate, Q1Gate};
 
+use crate::layout::Layout;
 use crate::lower::common::{RadixMode, Router};
-use crate::mapping;
 use crate::strategy::QubitCcxMode;
 
 use super::LowerOutput;
 
-/// Lowers `circuit` in the qubit-only regime.
-pub fn lower(
-    circuit: &Circuit,
-    mode: QubitCcxMode,
+/// Routes a [`preprocess`]ed circuit in the qubit-only regime from a
+/// precomputed initial placement.
+pub fn route(
+    prepared: &Circuit,
+    layout: Layout,
     graph: InteractionGraph,
     lib: &GateLibrary,
+    mode: QubitCcxMode,
 ) -> LowerOutput {
-    let prepared = preprocess(circuit, mode);
-    let layout = mapping::place(&prepared, &graph);
     let initial_sites = layout.assignment();
     let n_devices = graph.topology().n_devices();
     let mut r = Router::new(layout, vec![2; n_devices], RadixMode::Bare);
@@ -77,7 +77,7 @@ pub fn lower(
 }
 
 /// Expands the circuit to what this regime executes natively.
-fn preprocess(circuit: &Circuit, mode: QubitCcxMode) -> Circuit {
+pub fn preprocess(circuit: &Circuit, mode: QubitCcxMode) -> Circuit {
     match mode {
         QubitCcxMode::EightCx => decompose::decompose_all_three_qubit(circuit),
         QubitCcxMode::IToffoli => {

@@ -1,0 +1,708 @@
+//! The pass-structured compiler: one reusable [`Compiler`] built from a
+//! [`Target`] + [`CompileOptions`] drives an explicit pipeline —
+//! [`Pass::Decompose`] → [`Pass::Map`] → [`Pass::Route`] →
+//! [`Pass::Schedule`] → [`Pass::Fuse`] → [`Pass::Lower`] — recording a
+//! [`PassReport`] (wall time, op/depth deltas, diagnostics) per stage
+//! into the returned [`CompileArtifact`].
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use waltz_arch::InteractionGraph;
+use waltz_circuit::{Circuit, GateKind};
+use waltz_gates::Q1Gate;
+use waltz_sim::{FuseOptions, GateKernel, Register, State, TimedCircuit, Workspace};
+
+use crate::artifact::CompileArtifact;
+use crate::compile::{build_spans, CompileError, CompileStats, CompiledCircuit};
+use crate::lower::{self, LowerOutput};
+use crate::mapping;
+use crate::strategy::{CompileOptions, Fusion, Strategy};
+use crate::target::Target;
+
+/// One stage of the compilation pipeline, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pass {
+    /// Strategy-specific expansion of the logical circuit to the regime's
+    /// native set (8-CX expansion, CCX→CCZ, CSWAP orientation, §5.1).
+    Decompose,
+    /// Initial placement of logical qubits onto the interaction graph
+    /// using the §5.2 lookahead weights.
+    Map,
+    /// Routing and pulse-configuration selection: the decomposed circuit
+    /// becomes an ordered hardware program (§5.1, §4.2).
+    Route,
+    /// ASAP scheduling with calibrated durations, embedding each unitary
+    /// to device dimensions and classifying its [`waltz_sim::GateKernel`].
+    Schedule,
+    /// Gate fusion of the simulation schedule
+    /// ([`waltz_sim::TimedCircuit::fuse_with`]); a no-op pass when the
+    /// options disable fusion.
+    Fuse,
+    /// Final lowering into the simulation-ready artifact: the coherence
+    /// timeline (§6.3) and aggregate statistics.
+    Lower,
+}
+
+impl Pass {
+    /// Every pass, in execution order.
+    pub const ALL: [Pass; 6] = [
+        Pass::Decompose,
+        Pass::Map,
+        Pass::Route,
+        Pass::Schedule,
+        Pass::Fuse,
+        Pass::Lower,
+    ];
+
+    /// Stable display name (also the key used in `BENCH_sim.json`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Pass::Decompose => "decompose",
+            Pass::Map => "map",
+            Pass::Route => "route",
+            Pass::Schedule => "schedule",
+            Pass::Fuse => "fuse",
+            Pass::Lower => "lower",
+        }
+    }
+}
+
+/// What one pipeline stage did: wall time, op/depth deltas and per-pass
+/// diagnostics, recorded into the [`CompileArtifact`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PassReport {
+    /// Which pass ran.
+    pub pass: Pass,
+    /// Wall-clock time the pass took, in milliseconds.
+    pub wall_ms: f64,
+    /// Operation count entering the pass (logical gates for circuit-level
+    /// passes, scheduled pulses/blocks for schedule-level passes).
+    pub ops_in: usize,
+    /// Operation count leaving the pass.
+    pub ops_out: usize,
+    /// Depth entering the pass (logical circuit depth, or distinct pulse
+    /// start times once scheduled).
+    pub depth_in: usize,
+    /// Depth leaving the pass.
+    pub depth_out: usize,
+    /// Per-pass key/value diagnostics (routing swaps, ENC windows, …).
+    pub diagnostics: Vec<(String, String)>,
+}
+
+impl PassReport {
+    /// Signed op-count delta (`ops_out - ops_in`).
+    pub fn ops_delta(&self) -> isize {
+        self.ops_out as isize - self.ops_in as isize
+    }
+
+    /// Looks up a diagnostic by key.
+    pub fn diagnostic(&self, key: &str) -> Option<&str> {
+        self.diagnostics
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Number of distinct pulse start times — the scheduled analogue of
+/// circuit depth.
+fn schedule_depth(timed: &TimedCircuit) -> usize {
+    let mut starts: Vec<u64> = timed.ops.iter().map(|op| op.start_ns.to_bits()).collect();
+    starts.sort_unstable();
+    starts.dedup();
+    starts.len()
+}
+
+/// A reusable compiler for one [`Target`]: drives the pass pipeline and
+/// records per-pass reports.
+///
+/// Construction resolves the gate-fusion cost-model constants — from the
+/// [`CompileOptions`] overrides when given, otherwise from a one-shot
+/// sweep-timing calibration measured once per process — so every
+/// compilation through the same `Compiler` uses identical constants.
+///
+/// # Example
+///
+/// ```
+/// use waltz_core::{Compiler, Strategy, Target};
+/// use waltz_circuit::Circuit;
+///
+/// let mut c = Circuit::new(3);
+/// c.h(0).ccx(0, 1, 2);
+/// let compiler = Compiler::new(Target::paper(Strategy::mixed_radix_ccz()));
+/// let artifact = compiler.compile(&c).unwrap();
+/// assert!(artifact.timed.validate().is_ok());
+/// let fidelity = artifact.simulate().average_fidelity(10);
+/// assert!(fidelity.mean > 0.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Compiler {
+    target: Target,
+    options: CompileOptions,
+    fuse: FuseOptions,
+}
+
+impl Compiler {
+    /// A compiler for `target` with default [`CompileOptions`] (gate
+    /// fusion on, calibrated cost constants, unbounded block span).
+    pub fn new(target: Target) -> Self {
+        Compiler::with_options(target, CompileOptions::default())
+    }
+
+    /// A compiler with explicit options.
+    pub fn with_options(target: Target, options: CompileOptions) -> Self {
+        let fuse = resolve_fuse_options(&options);
+        Compiler {
+            target,
+            options,
+            fuse,
+        }
+    }
+
+    /// The target this compiler was built from.
+    pub fn target(&self) -> &Target {
+        &self.target
+    }
+
+    /// The options this compiler was built with.
+    pub fn options(&self) -> &CompileOptions {
+        &self.options
+    }
+
+    /// The resolved fusion cost-model constants (calibrated or pinned).
+    pub fn fuse_options(&self) -> &FuseOptions {
+        &self.fuse
+    }
+
+    /// Compiles one circuit through the full pass pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError`] when the circuit is empty or malformed
+    /// (duplicate/missing operands, non-finite rotation angles) or the
+    /// topology cannot host it (too small, disconnected).
+    pub fn compile(&self, circuit: &Circuit) -> Result<CompileArtifact, CompileError> {
+        let topology = self.target.topology_for(circuit.n_qubits());
+        validate(circuit, &topology, self.target.strategy())?;
+        let strategy = *self.target.strategy();
+        let lib = self.target.library();
+        let mut reports: Vec<PassReport> = Vec::with_capacity(Pass::ALL.len());
+
+        // -- Decompose ----------------------------------------------------
+        let t0 = Instant::now();
+        let prepared = match &strategy {
+            Strategy::QubitOnly { ccx } => lower::qubit_only::preprocess(circuit, *ccx),
+            Strategy::MixedRadix { ccx, native_cswap } => {
+                lower::mixed_radix::preprocess(circuit, *ccx, *native_cswap)
+            }
+            Strategy::FullQuquart { use_ccz, cswap } => {
+                lower::full_ququart::preprocess(circuit, *use_ccz, *cswap)
+            }
+        };
+        let (c1, c2, c3) = prepared.gate_counts();
+        reports.push(PassReport {
+            pass: Pass::Decompose,
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            ops_in: circuit.len(),
+            ops_out: prepared.len(),
+            depth_in: circuit.depth(),
+            depth_out: prepared.depth(),
+            diagnostics: vec![
+                ("gates_1q".into(), c1.to_string()),
+                ("gates_2q".into(), c2.to_string()),
+                ("gates_3q".into(), c3.to_string()),
+            ],
+        });
+
+        // -- Map ----------------------------------------------------------
+        let t0 = Instant::now();
+        let graph = match &strategy {
+            Strategy::FullQuquart { .. } => InteractionGraph::encoded(topology),
+            _ => InteractionGraph::qubit_only(topology),
+        };
+        let layout = mapping::place(&prepared, &graph);
+        reports.push(PassReport {
+            pass: Pass::Map,
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            ops_in: prepared.len(),
+            ops_out: prepared.len(),
+            depth_in: prepared.depth(),
+            depth_out: prepared.depth(),
+            diagnostics: vec![
+                ("devices".into(), graph.topology().n_devices().to_string()),
+                ("center".into(), graph.topology().center().to_string()),
+            ],
+        });
+
+        // -- Route --------------------------------------------------------
+        let t0 = Instant::now();
+        let out: LowerOutput = match &strategy {
+            Strategy::QubitOnly { ccx } => {
+                lower::qubit_only::route(&prepared, layout, graph, lib, *ccx)
+            }
+            Strategy::MixedRadix { ccx, .. } => {
+                lower::mixed_radix::route(&prepared, layout, graph, lib, *ccx)
+            }
+            Strategy::FullQuquart { cswap, .. } => {
+                lower::full_ququart::route(&prepared, layout, graph, lib, *cswap)
+            }
+        };
+        reports.push(PassReport {
+            pass: Pass::Route,
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            ops_in: prepared.len(),
+            ops_out: out.prog.len(),
+            depth_in: prepared.depth(),
+            depth_out: out.prog.len(),
+            diagnostics: vec![
+                ("routing_swaps".into(), out.swaps.to_string()),
+                ("enc_windows".into(), out.enc_windows.len().to_string()),
+            ],
+        });
+
+        // -- Schedule -----------------------------------------------------
+        let t0 = Instant::now();
+        let timed = out.prog.schedule(lib);
+        let timed_depth = schedule_depth(&timed);
+        reports.push(PassReport {
+            pass: Pass::Schedule,
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            ops_in: out.prog.len(),
+            ops_out: timed.len(),
+            depth_in: out.prog.len(),
+            depth_out: timed_depth,
+            diagnostics: vec![(
+                "duration_ns".into(),
+                format!("{:.1}", timed.total_duration_ns),
+            )],
+        });
+
+        // -- Fuse ---------------------------------------------------------
+        let t0 = Instant::now();
+        let fused = match self.options.fusion {
+            Fusion::Off => None,
+            Fusion::TwoQudit => Some(timed.fuse_with(&self.fuse)),
+        };
+        let sim_ops = fused.as_ref().map_or(timed.len(), TimedCircuit::len);
+        let sim_depth = fused.as_ref().map_or(timed_depth, schedule_depth);
+        reports.push(PassReport {
+            pass: Pass::Fuse,
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            ops_in: timed.len(),
+            ops_out: sim_ops,
+            depth_in: timed_depth,
+            depth_out: sim_depth,
+            diagnostics: vec![
+                (
+                    "enabled".into(),
+                    (self.options.fusion != Fusion::Off).to_string(),
+                ),
+                (
+                    "sweep_overhead".into(),
+                    self.fuse.sweep_overhead.to_string(),
+                ),
+                ("sweep_fixed".into(), self.fuse.sweep_fixed.to_string()),
+                (
+                    "max_block_span".into(),
+                    if self.fuse.max_block_span == usize::MAX {
+                        "unbounded".into()
+                    } else {
+                        self.fuse.max_block_span.to_string()
+                    },
+                ),
+            ],
+        });
+
+        // -- Lower --------------------------------------------------------
+        let t0 = Instant::now();
+        let coherence_spans = build_spans(&strategy, &out, &timed);
+        let stats = CompileStats {
+            routing_swaps: out.swaps,
+            enc_windows: out.enc_windows.len(),
+            hw_ops: timed.len(),
+            total_duration_ns: timed.total_duration_ns,
+        };
+        let compiled = CompiledCircuit {
+            timed,
+            fused,
+            strategy,
+            initial_sites: out.initial_sites,
+            final_sites: out.final_sites,
+            coherence_spans,
+            stats,
+            slots_per_device: out.graph.slots_per_device(),
+        };
+        // Lower assembles spans and stats without touching the ops, so its
+        // op/depth fields report the simulation schedule unchanged.
+        reports.push(PassReport {
+            pass: Pass::Lower,
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            ops_in: sim_ops,
+            ops_out: sim_ops,
+            depth_in: sim_depth,
+            depth_out: sim_depth,
+            diagnostics: vec![
+                (
+                    "coherence_spans".into(),
+                    compiled.coherence_spans.len().to_string(),
+                ),
+                (
+                    "gate_eps".into(),
+                    format!("{:.6}", compiled.timed.gate_eps()),
+                ),
+            ],
+        });
+
+        Ok(CompileArtifact::new(
+            compiled,
+            reports,
+            self.target.noise().clone(),
+        ))
+    }
+
+    /// Compiles a batch of circuits, fanning them across worker threads
+    /// (the same scoped-thread chunking the trajectory estimator uses —
+    /// no rayon). Results are element-wise identical to sequential
+    /// [`Compiler::compile`] calls: each circuit compiles independently,
+    /// and one circuit's failure never poisons the rest of the batch.
+    pub fn compile_batch(
+        &self,
+        circuits: &[Circuit],
+    ) -> Vec<Result<CompileArtifact, CompileError>> {
+        if circuits.is_empty() {
+            return Vec::new();
+        }
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(circuits.len());
+        let mut results: Vec<Option<Result<CompileArtifact, CompileError>>> =
+            (0..circuits.len()).map(|_| None).collect();
+        let chunk_size = circuits.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (chunk_idx, chunk) in results.chunks_mut(chunk_size).enumerate() {
+                let circuits = &circuits[chunk_idx * chunk_size..];
+                scope.spawn(move || {
+                    for (i, slot) in chunk.iter_mut().enumerate() {
+                        *slot = Some(self.compile(&circuits[i]));
+                    }
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("every batch slot filled"))
+            .collect()
+    }
+}
+
+/// Entry validation: everything a caller can get wrong surfaces as a
+/// [`CompileError`] here instead of a panic deep inside a pass.
+fn validate(
+    circuit: &Circuit,
+    topology: &waltz_arch::Topology,
+    strategy: &Strategy,
+) -> Result<(), CompileError> {
+    if circuit.n_qubits() == 0 {
+        return Err(CompileError::EmptyCircuit);
+    }
+    for (gate_index, gate) in circuit.iter().enumerate() {
+        let expected = gate.kind.arity();
+        if gate.qubits.len() != expected {
+            return Err(CompileError::WrongOperandCount {
+                gate_index,
+                expected,
+                got: gate.qubits.len(),
+            });
+        }
+        for (i, &q) in gate.qubits.iter().enumerate() {
+            if gate.qubits[i + 1..].contains(&q) {
+                return Err(CompileError::DuplicateOperands {
+                    gate_index,
+                    qubit: q,
+                });
+            }
+        }
+        if let GateKind::One(Q1Gate::Rx(a) | Q1Gate::Ry(a) | Q1Gate::Rz(a)) = gate.kind {
+            if !a.is_finite() {
+                return Err(CompileError::NonFiniteAngle { gate_index });
+            }
+        }
+    }
+    if !topology.is_connected() {
+        return Err(CompileError::DisconnectedTopology {
+            devices: topology.n_devices(),
+        });
+    }
+    let needed = strategy.device_count(circuit.n_qubits());
+    if topology.n_devices() < needed {
+        return Err(CompileError::TopologyTooSmall {
+            needed,
+            available: topology.n_devices(),
+        });
+    }
+    Ok(())
+}
+
+/// Resolves the fusion knobs for a compiler: option overrides win,
+/// anything unspecified comes from the once-per-process calibration.
+/// Calibration is skipped entirely when fusion is off or both constants
+/// are pinned.
+fn resolve_fuse_options(options: &CompileOptions) -> FuseOptions {
+    let defaults = FuseOptions::default();
+    let needs_calibration = options.fusion != Fusion::Off
+        && (options.fuse_sweep_overhead.is_none() || options.fuse_sweep_fixed.is_none());
+    let (cal_overhead, cal_fixed) = if needs_calibration {
+        calibrated_fuse_constants()
+    } else {
+        (defaults.sweep_overhead, defaults.sweep_fixed)
+    };
+    FuseOptions {
+        sweep_overhead: options.fuse_sweep_overhead.unwrap_or(cal_overhead),
+        sweep_fixed: options.fuse_sweep_fixed.unwrap_or(cal_fixed),
+        max_block_span: options.max_fused_span.unwrap_or(defaults.max_block_span),
+    }
+}
+
+/// The host-calibrated `(sweep_overhead, sweep_fixed)` pair, measured once
+/// per process (see [`measure_fuse_constants`]).
+fn calibrated_fuse_constants() -> (usize, usize) {
+    static CAL: OnceLock<(usize, usize)> = OnceLock::new();
+    *CAL.get_or_init(measure_fuse_constants)
+}
+
+/// Best-of-`reps` mean nanoseconds per call of `f` over `iters` calls.
+fn best_time_ns(reps: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t0.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    best
+}
+
+/// One-shot sweep-timing calibration of the fusion cost model (a ROADMAP
+/// follow-up: the shipped constants were tuned on a 1-core container).
+///
+/// Times a two-ququart *diagonal* sweep at two state sizes to split the
+/// sweep cost into a fixed part and a per-amplitude part, and a
+/// two-ququart *dense* apply to price one complex multiply; the model
+/// constants are those costs re-expressed in multiply units. Falls back
+/// to the shipped defaults if the timer resolution defeats the
+/// measurement (both constants are clamped to sane ranges regardless).
+fn measure_fuse_constants() -> (usize, usize) {
+    use waltz_math::{Matrix, C64};
+
+    let defaults = FuseOptions::default();
+    let fallback = (defaults.sweep_overhead, defaults.sweep_fixed);
+
+    const SMALL_QUDITS: usize = 3; // 4^3 = 64 amplitudes
+    const BIG_QUDITS: usize = 6; // 4^6 = 4096 amplitudes
+    let small_amps = 4usize.pow(SMALL_QUDITS as u32) as f64;
+    let big_amps = 4usize.pow(BIG_QUDITS as u32) as f64;
+
+    // A 16-dim diagonal (phases) and a 16-dim dense unitary on two
+    // ququarts; the dense matrix need not be unitary to price a matvec.
+    let diag: Vec<C64> = (0..16)
+        .map(|k| C64::new(0.0, 0.3 * k as f64).exp())
+        .collect();
+    let diag_u = Matrix::from_diag(&diag);
+    let mut dense_u = Matrix::zeros(16, 16);
+    for r in 0..16 {
+        for c in 0..16 {
+            dense_u[(r, c)] = C64::new(1.0 / (1.0 + (r + 2 * c) as f64), 0.1);
+        }
+    }
+    let diag_kernel = GateKernel::classify(&diag_u, 2);
+    let dense_kernel = GateKernel::classify(&dense_u, 2);
+
+    let mut ws = Workspace::serial();
+    let mut small = State::zero(&Register::ququarts(SMALL_QUDITS));
+    let mut big = State::zero(&Register::ququarts(BIG_QUDITS));
+
+    let t_diag_small = best_time_ns(3, 256, || {
+        small.apply_kernel(&diag_kernel, &diag_u, &[0, 1], &mut ws)
+    });
+    let t_diag_big = best_time_ns(3, 48, || {
+        big.apply_kernel(&diag_kernel, &diag_u, &[0, 1], &mut ws)
+    });
+    let t_dense_big = best_time_ns(3, 16, || {
+        big.apply_kernel(&dense_kernel, &dense_u, &[0, 1], &mut ws)
+    });
+
+    let per_amp_diag = (t_diag_big - t_diag_small) / (big_amps - small_amps);
+    let fixed_ns = (t_diag_small - small_amps * per_amp_diag).max(0.0);
+    let per_amp_dense = (t_dense_big - fixed_ns) / big_amps;
+    let mult_ns = per_amp_dense / 16.0;
+    if !(per_amp_diag > 0.0 && mult_ns > 0.0) {
+        return fallback;
+    }
+    // The diagonal sweep does one multiply per amplitude; everything above
+    // that is bookkeeping overhead.
+    let overhead = ((per_amp_diag / mult_ns) - 1.0).round().clamp(1.0, 32.0) as usize;
+    let fixed = (fixed_ns / mult_ns).round().clamp(256.0, 65536.0) as usize;
+    (overhead, fixed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waltz_arch::Topology;
+    use waltz_circuit::Gate;
+
+    fn small_circuit() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.h(0).ccx(0, 1, 2);
+        c
+    }
+
+    #[test]
+    fn pipeline_records_every_pass_in_order() {
+        let compiler = Compiler::new(Target::paper(Strategy::mixed_radix_ccz()));
+        let artifact = compiler.compile(&small_circuit()).unwrap();
+        let passes: Vec<Pass> = artifact.reports().iter().map(|r| r.pass).collect();
+        assert_eq!(passes, Pass::ALL.to_vec());
+        for r in artifact.reports() {
+            assert!(r.wall_ms >= 0.0, "{:?}", r.pass);
+        }
+        // Decompose expands the CCX; route adds ENC/DEC; fuse shrinks.
+        let decompose = artifact.report(Pass::Decompose);
+        assert!(decompose.ops_out >= decompose.ops_in);
+        let route = artifact.report(Pass::Route);
+        assert_eq!(route.diagnostic("enc_windows").unwrap(), "1");
+        let fuse = artifact.report(Pass::Fuse);
+        assert!(fuse.ops_out <= fuse.ops_in);
+        assert_eq!(fuse.diagnostic("enabled").unwrap(), "true");
+    }
+
+    #[test]
+    fn fusion_off_is_reported_and_skips_fusing() {
+        let compiler = Compiler::with_options(
+            Target::paper(Strategy::full_ququart()),
+            CompileOptions::unfused(),
+        );
+        let artifact = compiler.compile(&small_circuit()).unwrap();
+        assert!(artifact.fused.is_none());
+        let fuse = artifact.report(Pass::Fuse);
+        assert_eq!(fuse.ops_in, fuse.ops_out);
+        assert_eq!(fuse.diagnostic("enabled").unwrap(), "false");
+    }
+
+    #[test]
+    fn option_overrides_pin_the_fuse_constants() {
+        let options = CompileOptions::default()
+            .with_fuse_constants(7, 1234)
+            .with_max_fused_span(3);
+        let compiler = Compiler::with_options(Target::paper(Strategy::qubit_only()), options);
+        assert_eq!(compiler.fuse_options().sweep_overhead, 7);
+        assert_eq!(compiler.fuse_options().sweep_fixed, 1234);
+        assert_eq!(compiler.fuse_options().max_block_span, 3);
+        let artifact = compiler.compile(&small_circuit()).unwrap();
+        for op in &artifact.sim_circuit().ops {
+            let span = op.noise_events.as_ref().map_or(1, Vec::len);
+            assert!(span <= 3, "block spans {span} pulses");
+        }
+    }
+
+    #[test]
+    fn calibrated_constants_are_in_range_and_stable() {
+        let (o1, f1) = calibrated_fuse_constants();
+        let (o2, f2) = calibrated_fuse_constants();
+        assert_eq!((o1, f1), (o2, f2), "calibration must be process-stable");
+        assert!((1..=32).contains(&o1));
+        assert!((256..=65536).contains(&f1));
+    }
+
+    #[test]
+    fn duplicate_operands_are_rejected() {
+        // Gate::new validates, but the fields are public: a malformed gate
+        // is still constructible, so the pipeline must reject it politely.
+        let mut c = Circuit::new(3);
+        c.push(Gate {
+            kind: GateKind::Ccx,
+            qubits: vec![0, 0, 1],
+        });
+        let err = Compiler::new(Target::paper(Strategy::qubit_only()))
+            .compile(&c)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CompileError::DuplicateOperands {
+                gate_index: 0,
+                qubit: 0
+            }
+        );
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn wrong_operand_count_is_rejected() {
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.push(Gate {
+            kind: GateKind::Cx,
+            qubits: vec![1],
+        });
+        let err = Compiler::new(Target::paper(Strategy::full_ququart()))
+            .compile(&c)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CompileError::WrongOperandCount {
+                gate_index: 1,
+                expected: 2,
+                got: 1
+            }
+        );
+    }
+
+    #[test]
+    fn non_finite_angles_are_rejected() {
+        let mut c = Circuit::new(2);
+        c.one(Q1Gate::Rz(f64::NAN), 0);
+        let err = Compiler::new(Target::paper(Strategy::mixed_radix_ccz()))
+            .compile(&c)
+            .unwrap_err();
+        assert_eq!(err, CompileError::NonFiniteAngle { gate_index: 0 });
+    }
+
+    #[test]
+    fn disconnected_topology_is_rejected() {
+        // heavy_hex(3, 2) has no bridge between rows 1 and 2: row 2 is
+        // unreachable.
+        let topo = Topology::heavy_hex(3, 2);
+        assert!(!topo.is_connected());
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        let err = Compiler::new(Target::paper(Strategy::qubit_only()).with_topology(topo))
+            .compile(&c)
+            .unwrap_err();
+        assert!(matches!(err, CompileError::DisconnectedTopology { .. }));
+    }
+
+    #[test]
+    fn batch_compiles_across_threads() {
+        let circuits: Vec<Circuit> = (2..6)
+            .map(|n| {
+                let mut c = Circuit::new(n);
+                c.h(0);
+                for q in 1..n {
+                    c.cx(q - 1, q);
+                }
+                c
+            })
+            .collect();
+        let compiler = Compiler::new(Target::paper(Strategy::qubit_only()));
+        let batch = compiler.compile_batch(&circuits);
+        assert_eq!(batch.len(), circuits.len());
+        for (artifact, circuit) in batch.iter().zip(&circuits) {
+            let artifact = artifact.as_ref().unwrap();
+            assert_eq!(artifact.initial_sites.len(), circuit.n_qubits());
+        }
+        assert!(compiler.compile_batch(&[]).is_empty());
+    }
+}

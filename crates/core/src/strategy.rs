@@ -41,11 +41,26 @@ pub enum Fusion {
 }
 
 /// Lowering options orthogonal to the [`Strategy`] choice, consumed by
-/// [`crate::compile_with_options`].
+/// [`crate::Compiler::with_options`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct CompileOptions {
     /// Gate-fusion mode for the simulation schedule.
     pub fusion: Fusion,
+    /// Override for the fusion cost model's per-amplitude sweep-overhead
+    /// constant ([`waltz_sim::FuseOptions::sweep_overhead`]). `None` uses
+    /// the value the compiler calibrates from a one-shot measured sweep
+    /// timing at [`crate::Compiler`] construction.
+    pub fuse_sweep_overhead: Option<usize>,
+    /// Override for the fusion cost model's fixed per-sweep constant
+    /// ([`waltz_sim::FuseOptions::sweep_fixed`]). `None` uses the
+    /// calibrated value.
+    pub fuse_sweep_fixed: Option<usize>,
+    /// Cap on the number of constituent pulses a fused block may absorb
+    /// ([`waltz_sim::FuseOptions::max_block_span`]), for workloads that
+    /// need tighter noise interleaving than whole-run replay. `None`
+    /// leaves the span unbounded; `Some(1)` disables fusion's merging
+    /// while keeping the pass in the pipeline.
+    pub max_fused_span: Option<usize>,
 }
 
 impl CompileOptions {
@@ -53,7 +68,22 @@ impl CompileOptions {
     pub fn unfused() -> Self {
         CompileOptions {
             fusion: Fusion::Off,
+            ..CompileOptions::default()
         }
+    }
+
+    /// Pins the fusion cost-model constants instead of calibrating them at
+    /// [`crate::Compiler`] construction.
+    pub fn with_fuse_constants(mut self, sweep_overhead: usize, sweep_fixed: usize) -> Self {
+        self.fuse_sweep_overhead = Some(sweep_overhead);
+        self.fuse_sweep_fixed = Some(sweep_fixed);
+        self
+    }
+
+    /// Caps fused-block span at `span` constituent pulses.
+    pub fn with_max_fused_span(mut self, span: usize) -> Self {
+        self.max_fused_span = Some(span);
+        self
     }
 }
 

@@ -1,0 +1,164 @@
+//! The compilation target: everything about the machine and the noise
+//! environment bundled into one owning value.
+//!
+//! Before the builder API existed, a [`Strategy`], [`GateLibrary`],
+//! [`Topology`], and coherence/noise model were threaded separately
+//! through every entry point; a [`Target`] owns all four so a
+//! [`crate::Compiler`] can be built once and reused across circuits.
+
+use waltz_arch::Topology;
+use waltz_gates::GateLibrary;
+use waltz_noise::{CoherenceModel, NoiseModel};
+
+use crate::strategy::Strategy;
+
+/// How a [`Target`] obtains its device coupling graph.
+#[derive(Debug, Clone)]
+pub enum TopologySpec {
+    /// The paper's 2D mesh (§6.2), sized per circuit from the strategy's
+    /// device count — what [`crate::compile`] always did.
+    Auto,
+    /// A caller-provided topology shared by every compilation.
+    Fixed(Topology),
+}
+
+/// A compilation target: strategy, calibrated gate library, device
+/// topology and noise environment, owned together.
+///
+/// # Example
+///
+/// ```
+/// use waltz_core::{Compiler, Strategy, Target};
+/// use waltz_circuit::Circuit;
+///
+/// let mut c = Circuit::new(3);
+/// c.h(0).ccx(0, 1, 2);
+/// let artifact = Compiler::new(Target::paper(Strategy::full_ququart()))
+///     .compile(&c)
+///     .unwrap();
+/// assert!(artifact.eps().total() > 0.9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Target {
+    strategy: Strategy,
+    library: GateLibrary,
+    topology: TopologySpec,
+    noise: NoiseModel,
+}
+
+impl Target {
+    /// The paper's machine for `strategy`: calibrated [`GateLibrary`]
+    /// (Tables 1–2), auto-sized 2D mesh, and the §6.4/§6.5 noise model.
+    pub fn paper(strategy: Strategy) -> Self {
+        Target {
+            strategy,
+            library: GateLibrary::paper(),
+            topology: TopologySpec::Auto,
+            noise: NoiseModel::paper(),
+        }
+    }
+
+    /// Replaces the gate library.
+    pub fn with_library(mut self, library: GateLibrary) -> Self {
+        self.library = library;
+        self
+    }
+
+    /// Pins a fixed device topology instead of the auto-sized mesh.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = TopologySpec::Fixed(topology);
+        self
+    }
+
+    /// Restores the auto-sized paper mesh.
+    pub fn with_auto_topology(mut self) -> Self {
+        self.topology = TopologySpec::Auto;
+        self
+    }
+
+    /// Replaces the full noise model (depolarizing + damping flags and the
+    /// coherence parameters).
+    pub fn with_noise(mut self, noise: NoiseModel) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Replaces only the coherence (T1) parameters, keeping the noise
+    /// flags.
+    pub fn with_coherence(mut self, coherence: CoherenceModel) -> Self {
+        self.noise.coherence = coherence;
+        self
+    }
+
+    /// The compilation strategy.
+    pub fn strategy(&self) -> &Strategy {
+        &self.strategy
+    }
+
+    /// The calibrated gate library.
+    pub fn library(&self) -> &GateLibrary {
+        &self.library
+    }
+
+    /// How the device graph is obtained.
+    pub fn topology_spec(&self) -> &TopologySpec {
+        &self.topology
+    }
+
+    /// The noise model simulations against this target use.
+    pub fn noise(&self) -> &NoiseModel {
+        &self.noise
+    }
+
+    /// The coherence (T1) parameters the EPS estimate uses.
+    pub fn coherence(&self) -> &CoherenceModel {
+        &self.noise.coherence
+    }
+
+    /// Resolves the topology for an `n_qubits`-wide circuit: the fixed
+    /// graph when pinned, otherwise the paper mesh sized from the
+    /// strategy's device count.
+    pub fn topology_for(&self, n_qubits: usize) -> Topology {
+        match &self.topology {
+            TopologySpec::Fixed(t) => t.clone(),
+            TopologySpec::Auto => {
+                // Three-qubit gates need a hub with two neighbours; a 1xN
+                // mesh of width >= 3 or any 2D mesh provides one.
+                Topology::grid(self.strategy.device_count(n_qubits).max(1))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_topology_tracks_strategy_device_count() {
+        let t = Target::paper(Strategy::full_ququart());
+        assert_eq!(t.topology_for(6).n_devices(), 3);
+        let t = Target::paper(Strategy::qubit_only());
+        assert_eq!(t.topology_for(6).n_devices(), 6);
+        // Never an empty graph, even for degenerate widths.
+        assert_eq!(t.topology_for(0).n_devices(), 1);
+    }
+
+    #[test]
+    fn fixed_topology_is_returned_verbatim() {
+        let line = Topology::line(9);
+        let t = Target::paper(Strategy::qubit_only()).with_topology(line);
+        assert_eq!(t.topology_for(4).n_devices(), 9);
+        assert!(matches!(t.topology_spec(), TopologySpec::Fixed(_)));
+        let t = t.with_auto_topology();
+        assert!(matches!(t.topology_spec(), TopologySpec::Auto));
+    }
+
+    #[test]
+    fn coherence_override_keeps_noise_flags() {
+        let t = Target::paper(Strategy::qubit_only())
+            .with_coherence(waltz_noise::CoherenceModel::with_t1_ns(1e5));
+        assert!(t.noise().depolarizing);
+        assert!((t.coherence().t1_ns() - 1e5).abs() < 1e-9);
+    }
+}

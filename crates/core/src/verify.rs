@@ -88,12 +88,12 @@ fn random_product_state<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<C64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{compile, Strategy};
-    use waltz_gates::GateLibrary;
+    use crate::{Compiler, Strategy, Target};
 
     fn verify_strategy(circuit: &Circuit, strategy: Strategy) {
-        let lib = GateLibrary::paper();
-        let compiled = compile(circuit, &strategy, &lib).expect("compiles");
+        let compiled = Compiler::new(Target::paper(strategy))
+            .compile(circuit)
+            .expect("compiles");
         assert!(compiled.timed.validate().is_ok(), "{}", strategy.name());
         let report = check(circuit, &compiled, 3, 1234);
         assert!(

@@ -1,0 +1,141 @@
+//! Public-API snapshot: the exported symbol list of `waltz_core` is
+//! pinned here so future surface drift is deliberate — adding, removing
+//! or renaming a re-export must update this test (and the migration
+//! docs) in the same change.
+
+/// Symbols re-exported at the crate root (`pub use`) plus public modules
+/// (`pub mod`), alphabetically. Update deliberately.
+const EXPECTED: &[&str] = &[
+    "CoherenceSpan",
+    "CompileArtifact",
+    "CompileError",
+    "CompileOptions",
+    "CompileStats",
+    "CompiledCircuit",
+    "Compiler",
+    "EpsBreakdown",
+    "FqCswapMode",
+    "Fusion",
+    "HwProgram",
+    "Layout",
+    "MrCcxMode",
+    "Pass",
+    "PassReport",
+    "QubitCcxMode",
+    "Simulation",
+    "Strategy",
+    "Target",
+    "TopologySpec",
+    "compile",
+    "compile_on",
+    "compile_on_with_options",
+    "compile_with_options",
+    "mod eps",
+    "mod verify",
+];
+
+/// Extracts the crate-root export surface from `lib.rs` source text:
+/// every `pub use` leaf identifier and every `pub mod` name.
+fn exported_symbols(src: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut stmt = String::new();
+    let mut in_use = false;
+    for line in src.lines() {
+        let t = line.trim();
+        if !in_use {
+            if t.starts_with("//") || t.starts_with("#!") || t.starts_with("#[") {
+                continue;
+            }
+            if let Some(rest) = t.strip_prefix("pub mod ") {
+                out.push(format!("mod {}", rest.trim_end_matches(';').trim()));
+                continue;
+            }
+            if t.starts_with("pub use ") {
+                in_use = true;
+                stmt.clear();
+            }
+        }
+        if in_use {
+            stmt.push(' ');
+            stmt.push_str(t);
+            if t.ends_with(';') {
+                in_use = false;
+                let body = stmt
+                    .trim()
+                    .trim_start_matches("pub use")
+                    .trim_end_matches(';')
+                    .trim();
+                match (body.find('{'), body.rfind('}')) {
+                    (Some(open), Some(close)) => {
+                        for item in body[open + 1..close].split(',') {
+                            let leaf = item.trim().rsplit("::").next().unwrap_or("").trim();
+                            if !leaf.is_empty() {
+                                out.push(leaf.to_string());
+                            }
+                        }
+                    }
+                    _ => {
+                        let leaf = body.rsplit("::").next().unwrap_or("").trim();
+                        if !leaf.is_empty() {
+                            out.push(leaf.to_string());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+#[test]
+fn waltz_core_export_surface_is_pinned() {
+    let src = include_str!("../src/lib.rs");
+    let actual = exported_symbols(src);
+    let expected: Vec<String> = EXPECTED.iter().map(|s| s.to_string()).collect();
+    assert_eq!(
+        actual, expected,
+        "waltz_core's export surface drifted; if deliberate, update \
+         crates/core/tests/api_snapshot.rs and the migration table in the crate docs"
+    );
+}
+
+#[test]
+#[allow(deprecated)]
+fn snapshot_symbols_actually_exist() {
+    // A compile-time cross-check that the pinned names refer to real
+    // exports (renames that keep the list length would otherwise slip).
+    use waltz_core::{
+        compile, compile_on, compile_on_with_options, compile_with_options, CoherenceSpan,
+        CompileArtifact, CompileError, CompileOptions, CompileStats, CompiledCircuit, Compiler,
+        EpsBreakdown, FqCswapMode, Fusion, HwProgram, Layout, MrCcxMode, Pass, PassReport,
+        QubitCcxMode, Simulation, Strategy, Target, TopologySpec,
+    };
+    let _ = compile;
+    let _ = compile_on;
+    let _ = compile_with_options;
+    let _ = compile_on_with_options;
+    fn assert_type<T: ?Sized>() {}
+    assert_type::<CoherenceSpan>();
+    assert_type::<CompileArtifact>();
+    assert_type::<CompileError>();
+    assert_type::<CompileOptions>();
+    assert_type::<CompileStats>();
+    assert_type::<CompiledCircuit>();
+    assert_type::<Compiler>();
+    assert_type::<EpsBreakdown>();
+    assert_type::<FqCswapMode>();
+    assert_type::<Fusion>();
+    assert_type::<HwProgram>();
+    assert_type::<Layout>();
+    assert_type::<MrCcxMode>();
+    assert_type::<Pass>();
+    assert_type::<PassReport>();
+    assert_type::<QubitCcxMode>();
+    assert_type::<Simulation<'static>>();
+    assert_type::<Strategy>();
+    assert_type::<Target>();
+    assert_type::<TopologySpec>();
+    let _ = waltz_core::eps::uniform_spans;
+    let _ = waltz_core::verify::check;
+}

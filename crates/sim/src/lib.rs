@@ -65,6 +65,7 @@
 #![warn(missing_docs)]
 
 mod register;
+mod session;
 mod state;
 mod timed;
 
@@ -74,5 +75,6 @@ pub mod trajectory;
 
 pub use kernel::{GateKernel, Workspace, DEFAULT_PAR_MIN_AMPS};
 pub use register::Register;
+pub use session::Session;
 pub use state::State;
-pub use timed::{NoiseEvent, TimedCircuit, TimedOp};
+pub use timed::{FuseOptions, NoiseEvent, TimedCircuit, TimedOp};

@@ -21,20 +21,45 @@ const MAX_FUSED_DIM: usize = 16;
 /// schedule-time matrix arithmetic.
 const MAX_STRUCTURED_FUSED_DIM: usize = 64;
 
-/// Estimated per-amplitude bookkeeping cost of one extra sweep over the
-/// state vector (index walk, load/store traffic), in units of one complex
-/// multiply. Fusing `k` pieces into one block saves `k - 1` sweeps; the
-/// cost model credits this against the extra multiplies a denser fused
-/// kernel spends per amplitude.
-const FUSE_SWEEP_OVERHEAD: usize = 2;
+/// Tunable knobs of the gate-fusion cost model consumed by
+/// [`TimedCircuit::fuse_with`]. The defaults are the constants the pass
+/// shipped with (tuned on a 1-core container); the compiler calibrates
+/// host-specific values from a one-shot measured sweep timing at
+/// `Compiler` construction and can cap block granularity for workloads
+/// that need tighter noise interleaving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FuseOptions {
+    /// Estimated per-amplitude bookkeeping cost of one extra sweep over
+    /// the state vector (index walk, load/store traffic), in units of one
+    /// complex multiply. Fusing `k` pieces into one block saves `k - 1`
+    /// sweeps; the cost model credits this against the extra multiplies a
+    /// denser fused kernel spends per amplitude.
+    pub sweep_overhead: usize,
+    /// Estimated *fixed* cost of one sweep (dispatch, offset table,
+    /// scratch setup, and the per-pulse bookkeeping around it), again in
+    /// complex multiplies. Amortized over the state size when crediting a
+    /// saved sweep: on small registers (a handful of ququarts) this
+    /// dominates and fusion pays even when it densifies the block, while
+    /// on large states the per-amplitude arithmetic decides.
+    pub sweep_fixed: usize,
+    /// Maximum number of constituent pulses a fused block may absorb.
+    /// Fused blocks replay their interior noise around one unitary apply;
+    /// capping the span bounds how much noise interleaving is deferred,
+    /// at the cost of throughput. A cap of 1 disables fusion entirely
+    /// (every block holds one pulse and is emitted verbatim); values of 0
+    /// are treated as 1.
+    pub max_block_span: usize,
+}
 
-/// Estimated *fixed* cost of one sweep (dispatch, offset table, scratch
-/// setup, and the per-pulse bookkeeping around it), again in complex
-/// multiplies. Amortized over the state size when crediting a saved
-/// sweep: on small registers (a handful of ququarts) this dominates and
-/// fusion pays even when it densifies the block, while on large states
-/// the per-amplitude arithmetic decides.
-const FUSE_SWEEP_FIXED: usize = 4096;
+impl Default for FuseOptions {
+    fn default() -> Self {
+        FuseOptions {
+            sweep_overhead: 2,
+            sweep_fixed: 4096,
+            max_block_span: usize::MAX,
+        }
+    }
+}
 
 /// Coarse kernel-class lattice the fusion cost model predicts products
 /// in: products never leave the join of their factors' classes
@@ -310,16 +335,16 @@ impl TimedCircuit {
     /// spirit of Zulehner & Wille). Dense blocks are capped at a ≤2-qudit
     /// operand set; purely structured runs (diagonals and phased
     /// permutations, closed under products) may span up to
-    /// [`MAX_STRUCTURED_FUSED_DIM`] since their apply cost is independent
+    /// `MAX_STRUCTURED_FUSED_DIM` since their apply cost is independent
     /// of the block dimension.
     ///
     /// The pass keeps one *open block* per disjoint operand set and scans
     /// the schedule in order:
     ///
     /// * an op whose devices fall inside (or extend to at most
-    ///   [`MAX_FUSED_QUDITS`] qudits / dimension [`MAX_FUSED_DIM`]) the
+    ///   `MAX_FUSED_QUDITS` qudits / dimension `MAX_FUSED_DIM`) the
     ///   open blocks it touches is absorbed, merging those blocks —
-    ///   **provided the fusion pays**: a [`FuseClass`] cost model
+    ///   **provided the fusion pays**: a `FuseClass` cost model
     ///   predicts the fused block's kernel class and refuses absorptions
     ///   that would promote cheap diagonal/permutation sweeps into dense
     ///   matvecs costing more than the sweeps they replace;
@@ -343,11 +368,19 @@ impl TimedCircuit {
     /// not pulses.
     #[must_use]
     pub fn fuse(&self) -> TimedCircuit {
+        self.fuse_with(&FuseOptions::default())
+    }
+
+    /// [`TimedCircuit::fuse`] with explicit cost-model constants and an
+    /// optional cap on fused-block span (see [`FuseOptions`]).
+    #[must_use]
+    pub fn fuse_with(&self, opts: &FuseOptions) -> TimedCircuit {
+        let max_span = opts.max_block_span.max(1);
         let mut open: Vec<PendingBlock> = Vec::new();
         let mut out: Vec<TimedOp> = Vec::new();
         // What one saved sweep is worth, per amplitude.
         let sweep_credit =
-            FUSE_SWEEP_OVERHEAD + FUSE_SWEEP_FIXED / self.register.total_dim().max(1);
+            opts.sweep_overhead + opts.sweep_fixed / self.register.total_dim().max(1);
         for (idx, op) in self.ops.iter().enumerate() {
             let block_dim: usize = op.operands.iter().map(|&q| self.register.dim(q)).product();
             let op_class = FuseClass::of(&op.kernel);
@@ -398,11 +431,13 @@ impl TimedCircuit {
                     .sum::<usize>()
                     + op_class.weight(block_dim)
                     + sweep_credit * sharing.len();
-                let fits = if joined_class <= FuseClass::Structured {
-                    union_dim <= MAX_STRUCTURED_FUSED_DIM
-                } else {
-                    union.len() <= MAX_FUSED_QUDITS && union_dim <= MAX_FUSED_DIM
-                };
+                let span: usize = sharing.iter().map(|&b| open[b].ops.len()).sum::<usize>() + 1;
+                let fits = span <= max_span
+                    && if joined_class <= FuseClass::Structured {
+                        union_dim <= MAX_STRUCTURED_FUSED_DIM
+                    } else {
+                        union.len() <= MAX_FUSED_QUDITS && union_dim <= MAX_FUSED_DIM
+                    };
                 if fits && joined_class.weight(union_dim) <= separate {
                     // Merge the sharing blocks (they are pairwise disjoint,
                     // hence commuting) and absorb the op.
@@ -679,6 +714,64 @@ mod tests {
         let a = crate::ideal::run(&tc, &initial);
         let b = crate::ideal::run(&fused, &initial);
         assert!((a.fidelity(&b) - 1.0).abs() < 1e-12);
+    }
+
+    /// h(0); cx(0,1); h(1); h(0): fuses to a single 4-constituent block
+    /// under the default options.
+    fn four_op_run() -> TimedCircuit {
+        let mut tc = TimedCircuit::new(Register::qubits(2));
+        tc.ops.push(op("h", standard::h(), vec![0], 0.0, 35.0));
+        tc.ops
+            .push(op("cx", standard::cx(), vec![0, 1], 35.0, 251.0));
+        tc.ops.push(op("h", standard::h(), vec![1], 286.0, 35.0));
+        tc.ops.push(op("h", standard::h(), vec![0], 286.0, 35.0));
+        tc.total_duration_ns = 321.0;
+        tc
+    }
+
+    #[test]
+    fn span_cap_bounds_constituents_per_block() {
+        let tc = four_op_run();
+        for cap in [1usize, 2, 3, 4] {
+            let fused = tc.fuse_with(&FuseOptions {
+                max_block_span: cap,
+                ..FuseOptions::default()
+            });
+            for b in &fused.ops {
+                let span = b.noise_events.as_ref().map_or(1, Vec::len);
+                assert!(span <= cap, "cap {cap}: block spans {span} pulses");
+            }
+            assert!((fused.gate_eps() - tc.gate_eps()).abs() < 1e-12);
+            let initial = crate::State::zero(&tc.register);
+            let a = crate::ideal::run(&tc, &initial);
+            let b = crate::ideal::run(&fused, &initial);
+            assert!((a.fidelity(&b) - 1.0).abs() < 1e-12, "cap {cap} parity");
+        }
+    }
+
+    #[test]
+    fn span_cap_of_one_disables_fusion() {
+        let tc = four_op_run();
+        for cap in [0usize, 1] {
+            let fused = tc.fuse_with(&FuseOptions {
+                max_block_span: cap,
+                ..FuseOptions::default()
+            });
+            assert_eq!(fused.len(), tc.len());
+            assert!(fused.ops.iter().all(|o| o.noise_events.is_none()));
+        }
+    }
+
+    #[test]
+    fn fuse_with_custom_constants_matches_default_when_equal() {
+        let tc = four_op_run();
+        let a = tc.fuse();
+        let b = tc.fuse_with(&FuseOptions::default());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.ops.iter().zip(&b.ops) {
+            assert_eq!(x.label, y.label);
+            assert_eq!(x.unitary, y.unitary);
+        }
     }
 
     #[test]

@@ -34,7 +34,8 @@ pub fn run_trajectory<R: Rng + ?Sized>(
 }
 
 /// [`run_trajectory`] writing into a caller-owned output state. All gate
-/// application goes through the ops' precomputed [`GateKernel`]s with
+/// application goes through the ops' precomputed
+/// [`crate::GateKernel`]s with
 /// scratch borrowed from `ws`, so steady-state trajectory batches perform
 /// no per-gate heap allocation.
 ///

@@ -1,6 +1,6 @@
 //! Compile the Cuccaro ripple-carry adder and inspect what the Quantum
-//! Waltz actually emits: routing swaps, ENC/DEC windows, configuration
-//! choices and the schedule.
+//! Waltz actually emits: per-pass reports, routing swaps, ENC/DEC
+//! windows, configuration choices and the schedule.
 //!
 //! Run: `cargo run --release --example adder_walkthrough`
 
@@ -17,16 +17,14 @@ fn main() {
         circuit.gate_counts()
     );
 
-    let lib = GateLibrary::paper();
-    let model = CoherenceModel::paper();
-
     for strategy in [
         Strategy::qubit_only(),
         Strategy::mixed_radix_ccz(),
         Strategy::full_ququart(),
     ] {
-        let compiled = compile(&circuit, &strategy, &lib).expect("compiles");
-        let eps = compiled.eps(&model);
+        let compiler = Compiler::new(Target::paper(strategy));
+        let compiled = compiler.compile(&circuit).expect("compiles");
+        let eps = compiled.eps();
         println!("--- {} ---", strategy.name());
         println!(
             "  pulses {:>3}  routing swaps {:>2}  ENC windows {:>2}  duration {:>8.0} ns",
@@ -41,6 +39,19 @@ fn main() {
             eps.coherence,
             eps.total()
         );
+        // The pipeline is inspectable: one report per pass.
+        println!("  pipeline ({:.2} ms total):", compiled.total_wall_ms());
+        for report in compiled.reports() {
+            println!(
+                "    {:<10} {:>8.3} ms  ops {:>3} -> {:<3}  depth {:>3} -> {:<3}",
+                report.pass.name(),
+                report.wall_ms,
+                report.ops_in,
+                report.ops_out,
+                report.depth_in,
+                report.depth_out,
+            );
+        }
         // Show the first few scheduled pulses.
         for op in compiled.timed.ops.iter().take(6) {
             println!(

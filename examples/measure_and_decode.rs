@@ -3,6 +3,10 @@
 //! logical bitstrings (§5.2: "the measured state would be decoded
 //! according to the compression strategy").
 //!
+//! The shot loop runs through the artifact's `Simulation` session, which
+//! owns the kernel workspace and state buffers — no per-shot allocation
+//! and no hand-threaded `Workspace`.
+//!
 //! Run: `cargo run --release --example measure_and_decode`
 
 use rand::rngs::StdRng;
@@ -10,14 +14,14 @@ use rand::SeedableRng;
 
 use quantum_waltz::prelude::*;
 use waltz_math::C64;
-use waltz_sim::trajectory;
 
 fn main() {
     // A 3-controls generalized Toffoli on 6 qubits: |111 00 0> -> |111 00 1>.
     let circuit = quantum_waltz::circuits::generalized_toffoli(3);
     let n = circuit.n_qubits();
-    let lib = GateLibrary::paper();
-    let compiled = compile(&circuit, &Strategy::full_ququart(), &lib).expect("compiles");
+    let compiled = Compiler::new(Target::paper(Strategy::full_ququart()))
+        .compile(&circuit)
+        .expect("compiles");
 
     // Prepare the all-controls-on basis input.
     let input_index = 0b111_000usize; // controls 1, ancillas & target 0
@@ -26,7 +30,6 @@ fn main() {
     let initial = compiled.embed_logical_state(&amps, &compiled.initial_sites);
 
     let mut rng = StdRng::seed_from_u64(99);
-    let noise = NoiseModel::paper();
     println!(
         "input  |{:0width$b}>  (controls all on)",
         input_index,
@@ -38,11 +41,13 @@ fn main() {
         width = n
     );
 
-    // One noisy shot at a time, decoding each measured register.
+    // One noisy shot at a time, decoding each measured register. The
+    // session reuses its buffers across all 300 trajectories.
+    let mut sim = compiled.simulate();
     let mut counts = std::collections::BTreeMap::new();
     for _ in 0..300 {
-        let final_state = trajectory::run_trajectory(&compiled.timed, &initial, &noise, &mut rng);
-        let shot = compiled.sample_decoded(&final_state, 1, &mut rng);
+        let final_state = sim.run_trajectory(&initial, &mut rng);
+        let shot = compiled.sample_decoded(final_state, 1, &mut rng);
         for (bits, c) in shot {
             *counts.entry(bits).or_insert(0usize) += c;
         }

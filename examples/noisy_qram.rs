@@ -16,9 +16,6 @@ fn main() {
         circuit.gate_counts()
     );
 
-    let lib = GateLibrary::paper();
-    let noise = NoiseModel::paper();
-
     let strategies = [
         ("CSWAP decomposed through CCZ", Strategy::mixed_radix_ccz()),
         (
@@ -37,14 +34,10 @@ fn main() {
         ),
     ];
     for (label, strategy) in strategies {
-        let compiled = compile(&circuit, &strategy, &lib).expect("compiles");
-        let fid = waltz_sim::trajectory::average_fidelity_with(
-            compiled.sim_circuit(),
-            &noise,
-            300,
-            11,
-            |_, rng, out| compiled.write_random_product_initial_state(rng, out),
-        );
+        let compiled = Compiler::new(Target::paper(strategy))
+            .compile(&circuit)
+            .expect("compiles");
+        let fid = compiled.simulate().with_seed(11).average_fidelity(300);
         println!(
             "{label:<32} pulses {:>3}  duration {:>7.0} ns  fidelity {:.3} ± {:.3}",
             compiled.stats.hw_ops, compiled.stats.total_duration_ns, fid.mean, fid.std_error

@@ -1,5 +1,9 @@
 //! Quickstart: compile a Toffoli-heavy circuit three ways and compare.
 //!
+//! One `Target` describes the machine, one `Compiler` is reused across
+//! strategies, and the returned artifact estimates EPS and simulates
+//! itself — no separate library/noise/workspace plumbing.
+//!
 //! Run: `cargo run --release --example quickstart`
 
 use quantum_waltz::prelude::*;
@@ -14,31 +18,22 @@ fn main() {
         circuit.three_qubit_gate_count()
     );
 
-    let lib = GateLibrary::paper();
-    let noise = NoiseModel::paper();
-
     for strategy in [
         Strategy::qubit_only(),
         Strategy::qubit_only_itoffoli(),
         Strategy::mixed_radix_ccz(),
         Strategy::full_ququart(),
     ] {
-        let compiled = compile(&circuit, &strategy, &lib).expect("compiles");
-        let eps = compiled.eps(&noise.coherence);
+        let compiler = Compiler::new(Target::paper(strategy));
+        let compiled = compiler.compile(&circuit).expect("compiles");
         // Trajectory-method fidelity on random product inputs (§6.4).
-        let fid = waltz_sim::trajectory::average_fidelity_with(
-            compiled.sim_circuit(),
-            &noise,
-            200,
-            7,
-            |_, rng, out| compiled.write_random_product_initial_state(rng, out),
-        );
+        let fid = compiled.simulate().with_seed(7).average_fidelity(200);
         println!(
             "{:<28} pulses {:>3}  duration {:>7.0} ns  EPS {:.3}  simulated fidelity {:.3} ± {:.3}",
             strategy.name(),
             compiled.stats.hw_ops,
             compiled.stats.total_duration_ns,
-            eps.total(),
+            compiled.eps().total(),
             fid.mean,
             fid.std_error,
         );

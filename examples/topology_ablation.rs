@@ -14,8 +14,6 @@ use waltz_circuits::cuccaro_adder;
 
 fn main() {
     let circuit = cuccaro_adder(4); // 10 qubits
-    let lib = GateLibrary::paper();
-    let model = CoherenceModel::paper();
 
     println!(
         "Cuccaro adder, {} qubits — topology ablation\n",
@@ -37,8 +35,10 @@ fn main() {
             ("heavy-hex", heavy_hex_with_at_least(devices)),
         ];
         for (name, topo) in topologies {
-            let compiled = compile_on(&circuit, topo, &strategy, &lib).expect("topology fits");
-            let eps = compiled.eps(&model);
+            let compiled = Compiler::new(Target::paper(strategy).with_topology(topo))
+                .compile(&circuit)
+                .expect("topology fits");
+            let eps = compiled.eps();
             println!(
                 "{:<14} {:<26} {:>7} {:>6} {:>9.0}ns {:>8.4}",
                 name,

@@ -22,6 +22,12 @@
 //!
 //! # Quickstart
 //!
+//! A [`core::Target`] bundles the machine (strategy, gate library,
+//! topology, noise); a [`core::Compiler`] built from it drives the pass
+//! pipeline and is reused across circuits. The returned
+//! [`core::CompileArtifact`] carries per-pass reports and simulates
+//! itself:
+//!
 //! ```
 //! use quantum_waltz::prelude::*;
 //!
@@ -29,12 +35,23 @@
 //! let circuit = quantum_waltz::circuits::generalized_toffoli(3);
 //!
 //! // Compile it two ways and compare expected success probabilities.
-//! let lib = GateLibrary::paper();
-//! let model = CoherenceModel::paper();
-//! let qubit_only = compile(&circuit, &Strategy::qubit_only(), &lib).unwrap();
-//! let full_quart = compile(&circuit, &Strategy::full_ququart(), &lib).unwrap();
-//! assert!(full_quart.eps(&model).total() > qubit_only.eps(&model).total());
+//! let qubit_only = Compiler::new(Target::paper(Strategy::qubit_only()))
+//!     .compile(&circuit)
+//!     .unwrap();
+//! let full_quart = Compiler::new(Target::paper(Strategy::full_ququart()))
+//!     .compile(&circuit)
+//!     .unwrap();
+//! assert!(full_quart.eps().total() > qubit_only.eps().total());
+//!
+//! // Trajectory-method fidelity in one chain (§6.4).
+//! let estimate = full_quart.simulate().average_fidelity(20);
+//! assert!(estimate.mean > 0.5);
 //! ```
+//!
+//! Batches fan across threads with [`core::Compiler::compile_batch`], and
+//! the old free functions (`compile`, `compile_on`, …) remain as
+//! deprecated shims — see the `waltz_core` crate docs for the migration
+//! table.
 
 #![warn(missing_docs)]
 
@@ -52,7 +69,12 @@ pub use waltz_sim as sim;
 /// The most common imports for working with the compiler end to end.
 pub mod prelude {
     pub use waltz_circuit::Circuit;
-    pub use waltz_core::{compile, compile_on, CompiledCircuit, FqCswapMode, MrCcxMode, Strategy};
+    #[allow(deprecated)]
+    pub use waltz_core::{compile, compile_on};
+    pub use waltz_core::{
+        CompileArtifact, CompileOptions, CompiledCircuit, Compiler, FqCswapMode, MrCcxMode, Pass,
+        PassReport, Simulation, Strategy, Target,
+    };
     pub use waltz_gates::GateLibrary;
     pub use waltz_noise::{CoherenceModel, NoiseModel};
     pub use waltz_sim::trajectory::average_fidelity;

@@ -5,9 +5,21 @@ use quantum_waltz::prelude::*;
 use waltz_circuits::{cuccaro_adder, generalized_toffoli, qram};
 use waltz_gates::hw::MrCcxConfig;
 
+/// Builder-path compile with the paper machine.
+fn build(circuit: &Circuit, strategy: &Strategy) -> CompileArtifact {
+    Compiler::new(Target::paper(*strategy))
+        .compile(circuit)
+        .unwrap()
+}
+
 fn eps_total(circuit: &Circuit, strategy: &Strategy, lib: &GateLibrary) -> f64 {
     let model = CoherenceModel::paper();
-    compile(circuit, strategy, lib).unwrap().eps(&model).total()
+    Compiler::new(Target::paper(*strategy).with_library(lib.clone()))
+        .compile(circuit)
+        .unwrap()
+        .compiled()
+        .eps(&model)
+        .total()
 }
 
 #[test]
@@ -43,18 +55,12 @@ fn full_ququart_improvement_grows_with_size() {
 fn simulated_fidelity_ordering_on_adder() {
     // Trajectory-method version of the Fig. 7 ordering on the adder.
     let circuit = cuccaro_adder(2); // 6 qubits
-    let lib = GateLibrary::paper();
-    let noise = NoiseModel::paper();
     let run = |s: &Strategy| {
-        let compiled = compile(&circuit, s, &lib).unwrap();
-        waltz_sim::trajectory::average_fidelity_with(
-            compiled.sim_circuit(),
-            &noise,
-            80,
-            5,
-            |_, rng, out| compiled.write_random_product_initial_state(rng, out),
-        )
-        .mean
+        build(&circuit, s)
+            .simulate()
+            .with_seed(5)
+            .average_fidelity(80)
+            .mean
     };
     let qo = run(&Strategy::qubit_only());
     let fq = run(&Strategy::full_ququart());
@@ -66,16 +72,14 @@ fn ccz_transform_shortens_mixed_radix_schedules() {
     // §7: the CCZ transform consistently matches or beats raw CCX
     // configurations because the 264 ns CCZ replaces 412+ ns CCXs.
     let circuit = generalized_toffoli(3);
-    let lib = GateLibrary::paper();
-    let raw = compile(&circuit, &Strategy::mixed_radix_raw(), &lib).unwrap();
-    let ccz = compile(&circuit, &Strategy::mixed_radix_ccz(), &lib).unwrap();
+    let raw = build(&circuit, &Strategy::mixed_radix_raw());
+    let ccz = build(&circuit, &Strategy::mixed_radix_ccz());
     // The CCZ version never uses a slow split-control CCX pulse.
     assert!(
         ccz.timed.ops.iter().all(|op| !op.label.contains("MrCcx")),
         "CCZ transform must remove CCX pulses"
     );
-    let model = CoherenceModel::paper();
-    assert!(ccz.eps(&model).total() >= raw.eps(&model).total() * 0.98);
+    assert!(ccz.eps().total() >= raw.eps().total() * 0.98);
 }
 
 #[test]
@@ -85,20 +89,17 @@ fn gate_error_sensitivity_has_a_crossover() {
     let circuit = cuccaro_adder(2);
     let model = CoherenceModel::paper();
     let qo = eps_total(&circuit, &Strategy::qubit_only(), &GateLibrary::paper());
-    let healthy = compile(
-        &circuit,
-        &Strategy::mixed_radix_ccz(),
-        &GateLibrary::paper(),
+    let healthy = build(&circuit, &Strategy::mixed_radix_ccz())
+        .compiled()
+        .eps(&model)
+        .total();
+    let degraded = Compiler::new(
+        Target::paper(Strategy::mixed_radix_ccz())
+            .with_library(GateLibrary::paper().with_ququart_error_scale(8.0)),
     )
+    .compile(&circuit)
     .unwrap()
-    .eps(&model)
-    .total();
-    let degraded = compile(
-        &circuit,
-        &Strategy::mixed_radix_ccz(),
-        &GateLibrary::paper().with_ququart_error_scale(8.0),
-    )
-    .unwrap()
+    .compiled()
     .eps(&model)
     .total();
     assert!(healthy > qo, "healthy mixed-radix must beat qubit-only");
@@ -110,15 +111,14 @@ fn coherence_sensitivity_narrows_the_full_ququart_gap() {
     // Fig. 9c shape: worse |2>/|3> coherence hurts full-ququart more than
     // mixed-radix.
     let circuit = qram(2);
-    let lib = GateLibrary::paper();
     let gap = |scale: f64| {
         let model = CoherenceModel::paper().with_high_level_rate_scale(scale);
-        let fq = compile(&circuit, &Strategy::full_ququart(), &lib)
-            .unwrap()
+        let fq = build(&circuit, &Strategy::full_ququart())
+            .compiled()
             .eps(&model)
             .total();
-        let mr = compile(&circuit, &Strategy::mixed_radix_ccz(), &lib)
-            .unwrap()
+        let mr = build(&circuit, &Strategy::mixed_radix_ccz())
+            .compiled()
             .eps(&model)
             .total();
         fq - mr
@@ -135,8 +135,7 @@ fn controls_together_is_the_chosen_ccx_configuration() {
     // a lone Toffoli.
     let mut c = Circuit::new(3);
     c.ccx(0, 1, 2);
-    let lib = GateLibrary::paper();
-    let compiled = compile(&c, &Strategy::mixed_radix_raw(), &lib).unwrap();
+    let compiled = build(&c, &Strategy::mixed_radix_raw());
     let has_fast = compiled.timed.ops.iter().any(|op| {
         op.label
             .contains(&format!("{:?}", MrCcxConfig::ControlsEncoded))
@@ -149,8 +148,7 @@ fn itoffoli_baseline_emits_correction_gates() {
     // Fig. 6d: every iToffoli needs its CS† correction and the extra SWAP.
     let mut c = Circuit::new(3);
     c.ccx(0, 1, 2);
-    let lib = GateLibrary::paper();
-    let compiled = compile(&c, &Strategy::qubit_only_itoffoli(), &lib).unwrap();
+    let compiled = build(&c, &Strategy::qubit_only_itoffoli());
     let labels: Vec<&str> = compiled
         .timed
         .ops
@@ -167,8 +165,7 @@ fn mixed_radix_spends_little_time_encoded() {
     // §7: "Mixed-radix gates do not spend as much time in the higher level
     // states" — encoded spans must be a small fraction of the schedule.
     let circuit = cuccaro_adder(2);
-    let lib = GateLibrary::paper();
-    let compiled = compile(&circuit, &Strategy::mixed_radix_ccz(), &lib).unwrap();
+    let compiled = build(&circuit, &Strategy::mixed_radix_ccz());
     let total: f64 = compiled.stats.total_duration_ns * circuit.n_qubits() as f64;
     let encoded: f64 = compiled
         .coherence_spans

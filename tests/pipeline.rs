@@ -29,16 +29,15 @@ fn all_strategies() -> Vec<Strategy> {
 }
 
 fn check_all(circuit: &Circuit, label: &str) {
-    let lib = GateLibrary::paper();
-    let model = CoherenceModel::paper();
     for strategy in all_strategies() {
-        let compiled = compile(circuit, &strategy, &lib)
+        let compiled = Compiler::new(Target::paper(strategy))
+            .compile(circuit)
             .unwrap_or_else(|e| panic!("{label} / {}: {e}", strategy.name()));
         compiled
             .timed
             .validate()
             .unwrap_or_else(|e| panic!("{label} / {}: invalid schedule: {e}", strategy.name()));
-        let eps = compiled.eps(&model);
+        let eps = compiled.eps();
         assert!(
             eps.gate > 0.0 && eps.gate <= 1.0 && eps.coherence > 0.0 && eps.coherence <= 1.0,
             "{label} / {}: EPS out of range",
@@ -87,24 +86,24 @@ fn synthetic_circuits_compile_everywhere() {
 #[test]
 fn noiseless_trajectory_matches_ideal_for_compiled_circuit() {
     let circuit = generalized_toffoli(2);
-    let lib = GateLibrary::paper();
-    let compiled = compile(&circuit, &Strategy::full_ququart(), &lib).unwrap();
-    let est = waltz_sim::trajectory::average_fidelity_with(
-        compiled.sim_circuit(),
-        &NoiseModel::noiseless(),
-        10,
-        1,
-        |_, rng, out| compiled.write_random_product_initial_state(rng, out),
-    );
+    let compiled = Compiler::new(Target::paper(Strategy::full_ququart()))
+        .compile(&circuit)
+        .unwrap();
+    let est = compiled
+        .simulate()
+        .with_noise(NoiseModel::noiseless())
+        .with_seed(1)
+        .average_fidelity(10);
     assert!((est.mean - 1.0).abs() < 1e-9);
 }
 
 #[test]
 fn compile_stats_are_consistent() {
     let circuit = cuccaro_adder(2);
-    let lib = GateLibrary::paper();
     for strategy in all_strategies() {
-        let compiled = compile(&circuit, &strategy, &lib).unwrap();
+        let compiled = Compiler::new(Target::paper(strategy))
+            .compile(&circuit)
+            .unwrap();
         assert_eq!(compiled.stats.hw_ops, compiled.timed.len());
         assert!(compiled.stats.total_duration_ns > 0.0);
         if matches!(strategy, Strategy::MixedRadix { .. }) {
@@ -112,12 +111,16 @@ fn compile_stats_are_consistent() {
         } else {
             assert_eq!(compiled.stats.enc_windows, 0, "{}", strategy.name());
         }
+        // Every pipeline run records all six passes in order.
+        let passes: Vec<Pass> = compiled.reports().iter().map(|r| r.pass).collect();
+        assert_eq!(passes, Pass::ALL.to_vec(), "{}", strategy.name());
     }
 }
 
 #[test]
 fn empty_circuit_is_rejected() {
-    let lib = GateLibrary::paper();
     let c = Circuit::new(0);
-    assert!(compile(&c, &Strategy::qubit_only(), &lib).is_err());
+    assert!(Compiler::new(Target::paper(Strategy::qubit_only()))
+        .compile(&c)
+        .is_err());
 }

@@ -4,10 +4,19 @@
 
 use proptest::prelude::*;
 
-use quantum_waltz::prelude::{compile, Circuit, CoherenceModel, GateLibrary, Strategy as Waltz};
+use quantum_waltz::prelude::{
+    Circuit, CoherenceModel, CompileArtifact, Compiler, Strategy as Waltz, Target,
+};
 use waltz_circuit::{Gate, GateKind};
 use waltz_core::verify;
 use waltz_gates::Q1Gate;
+
+/// Builder-path compile with the paper machine.
+fn build(circuit: &Circuit, strategy: &Waltz) -> CompileArtifact {
+    Compiler::new(Target::paper(*strategy))
+        .compile(circuit)
+        .unwrap()
+}
 
 /// A proptest strategy producing a random logical circuit on `n` qubits.
 fn random_circuit(
@@ -80,7 +89,6 @@ proptest! {
         circuit in random_circuit(4, 10),
         seed in 0u64..1000,
     ) {
-        let lib = GateLibrary::paper();
         for strategy in [
             Waltz::qubit_only(),
             Waltz::qubit_only_itoffoli(),
@@ -88,7 +96,7 @@ proptest! {
             Waltz::mixed_radix_ccz(),
             Waltz::full_ququart(),
         ] {
-            let compiled = compile(&circuit, &strategy, &lib).unwrap();
+            let compiled = build(&circuit, &strategy);
             prop_assert!(compiled.timed.validate().is_ok());
             let report = verify::check(&circuit, &compiled, 1, seed);
             prop_assert!(
@@ -104,11 +112,9 @@ proptest! {
     fn schedules_never_overlap_and_eps_stays_probabilistic(
         circuit in random_circuit(5, 14),
     ) {
-        let lib = GateLibrary::paper();
-        let model = CoherenceModel::paper();
-        let compiled = compile(&circuit, &Waltz::mixed_radix_ccz(), &lib).unwrap();
+        let compiled = build(&circuit, &Waltz::mixed_radix_ccz());
         prop_assert!(compiled.timed.validate().is_ok());
-        let eps = compiled.eps(&model);
+        let eps = compiled.eps();
         prop_assert!(eps.gate > 0.0 && eps.gate <= 1.0);
         prop_assert!(eps.coherence > 0.0 && eps.coherence <= 1.0);
         prop_assert!(eps.total() <= eps.gate);
@@ -121,8 +127,7 @@ proptest! {
         // Basis states embed to basis states with the right digit layout.
         let mut c = Circuit::new(3);
         c.ccx(0, 1, 2);
-        let lib = GateLibrary::paper();
-        let compiled = compile(&c, &Waltz::full_ququart(), &lib).unwrap();
+        let compiled = build(&c, &Waltz::full_ququart());
         let mut amps = vec![waltz_math::C64::ZERO; 8];
         let idx = bits.iter().fold(0usize, |a, &b| (a << 1) | b);
         amps[idx] = waltz_math::C64::ONE;

@@ -1,0 +1,166 @@
+//! Deprecated-shim parity: each of the four original free-function entry
+//! points must produce output *exactly* equal to the builder path —
+//! `TimedCircuit` ops, `CompileStats`, and EPS pinned bit-for-bit on the
+//! cnu-6q benchmark under all three strategy regimes.
+
+#![allow(deprecated)]
+
+use quantum_waltz::prelude::*;
+use waltz_arch::Topology;
+use waltz_circuits::generalized_toffoli;
+use waltz_core::{compile_on_with_options, compile_with_options, CompileOptions};
+use waltz_sim::TimedCircuit;
+
+fn strategies() -> [Strategy; 3] {
+    [
+        Strategy::qubit_only(),
+        Strategy::mixed_radix_ccz(),
+        Strategy::full_ququart(),
+    ]
+}
+
+/// Exact structural equality of two schedules, op by op.
+fn assert_timed_eq(a: &TimedCircuit, b: &TimedCircuit, what: &str) {
+    assert_eq!(a.register, b.register, "{what}: register");
+    assert_eq!(a.total_duration_ns, b.total_duration_ns, "{what}: duration");
+    assert_eq!(a.len(), b.len(), "{what}: op count");
+    for (i, (x, y)) in a.ops.iter().zip(&b.ops).enumerate() {
+        assert_eq!(x.label, y.label, "{what}: op {i} label");
+        assert_eq!(x.unitary, y.unitary, "{what}: op {i} unitary");
+        assert_eq!(x.operands, y.operands, "{what}: op {i} operands");
+        assert_eq!(x.error_dims, y.error_dims, "{what}: op {i} error dims");
+        assert_eq!(x.start_ns, y.start_ns, "{what}: op {i} start");
+        assert_eq!(x.duration_ns, y.duration_ns, "{what}: op {i} duration");
+        assert_eq!(x.fidelity, y.fidelity, "{what}: op {i} fidelity");
+        assert_eq!(x.kernel, y.kernel, "{what}: op {i} kernel");
+        assert_eq!(x.noise_events, y.noise_events, "{what}: op {i} events");
+    }
+}
+
+/// Exact equality of everything the shims return vs. the builder output.
+fn assert_compiled_eq(shim: &CompiledCircuit, builder: &CompiledCircuit, what: &str) {
+    assert_timed_eq(&shim.timed, &builder.timed, what);
+    match (&shim.fused, &builder.fused) {
+        (None, None) => {}
+        (Some(a), Some(b)) => assert_timed_eq(a, b, &format!("{what}: fused")),
+        _ => panic!("{what}: fusion presence differs"),
+    }
+    assert_eq!(shim.strategy, builder.strategy, "{what}: strategy");
+    assert_eq!(shim.initial_sites, builder.initial_sites, "{what}: initial");
+    assert_eq!(shim.final_sites, builder.final_sites, "{what}: final");
+    assert_eq!(
+        shim.coherence_spans, builder.coherence_spans,
+        "{what}: spans"
+    );
+    assert_eq!(shim.stats, builder.stats, "{what}: stats");
+    // EPS is pinned exactly: identical schedules under the same model.
+    let model = CoherenceModel::paper();
+    let a = shim.eps(&model);
+    let b = builder.eps(&model);
+    assert_eq!(a.gate, b.gate, "{what}: gate EPS");
+    assert_eq!(a.coherence, b.coherence, "{what}: coherence EPS");
+    assert_eq!(a.total(), b.total(), "{what}: total EPS");
+}
+
+#[test]
+fn compile_shim_matches_builder_on_cnu6q() {
+    let circuit = generalized_toffoli(3); // cnu-6q
+    let lib = GateLibrary::paper();
+    for strategy in strategies() {
+        let shim = compile(&circuit, &strategy, &lib).unwrap();
+        let builder = Compiler::new(Target::paper(strategy).with_library(lib.clone()))
+            .compile(&circuit)
+            .unwrap();
+        assert_compiled_eq(&shim, &builder, &format!("compile/{}", strategy.name()));
+    }
+}
+
+#[test]
+fn compile_with_options_shim_matches_builder_on_cnu6q() {
+    let circuit = generalized_toffoli(3);
+    let lib = GateLibrary::paper();
+    for strategy in strategies() {
+        for options in [
+            CompileOptions::default(),
+            CompileOptions::unfused(),
+            CompileOptions::default().with_fuse_constants(3, 2048),
+            CompileOptions::default().with_max_fused_span(2),
+        ] {
+            let shim = compile_with_options(&circuit, &strategy, &lib, options).unwrap();
+            let builder =
+                Compiler::with_options(Target::paper(strategy).with_library(lib.clone()), options)
+                    .compile(&circuit)
+                    .unwrap();
+            assert_compiled_eq(
+                &shim,
+                &builder,
+                &format!("compile_with_options/{}", strategy.name()),
+            );
+        }
+    }
+}
+
+#[test]
+fn compile_on_shim_matches_builder_on_cnu6q() {
+    let circuit = generalized_toffoli(3);
+    let lib = GateLibrary::paper();
+    for strategy in strategies() {
+        let devices = strategy.device_count(circuit.n_qubits());
+        let topology = Topology::line(devices.max(3));
+        let shim = compile_on(&circuit, topology.clone(), &strategy, &lib).unwrap();
+        let builder = Compiler::new(
+            Target::paper(strategy)
+                .with_library(lib.clone())
+                .with_topology(topology),
+        )
+        .compile(&circuit)
+        .unwrap();
+        assert_compiled_eq(&shim, &builder, &format!("compile_on/{}", strategy.name()));
+    }
+}
+
+#[test]
+fn compile_on_with_options_shim_matches_builder_on_cnu6q() {
+    let circuit = generalized_toffoli(3);
+    let lib = GateLibrary::paper();
+    for strategy in strategies() {
+        let devices = strategy.device_count(circuit.n_qubits());
+        let topology = Topology::grid(devices.max(1));
+        let options = CompileOptions::unfused();
+        let shim =
+            compile_on_with_options(&circuit, topology.clone(), &strategy, &lib, options).unwrap();
+        let builder = Compiler::with_options(
+            Target::paper(strategy)
+                .with_library(lib.clone())
+                .with_topology(topology),
+            options,
+        )
+        .compile(&circuit)
+        .unwrap();
+        assert_compiled_eq(
+            &shim,
+            &builder,
+            &format!("compile_on_with_options/{}", strategy.name()),
+        );
+    }
+}
+
+#[test]
+fn shim_errors_match_builder_errors() {
+    let lib = GateLibrary::paper();
+    let empty = Circuit::new(0);
+    let shim = compile(&empty, &Strategy::qubit_only(), &lib).unwrap_err();
+    let builder = Compiler::new(Target::paper(Strategy::qubit_only()))
+        .compile(&empty)
+        .unwrap_err();
+    assert_eq!(shim, builder);
+
+    let mut c = Circuit::new(4);
+    c.cx(0, 3);
+    let shim = compile_on(&c, Topology::grid(2), &Strategy::qubit_only(), &lib).unwrap_err();
+    let builder =
+        Compiler::new(Target::paper(Strategy::qubit_only()).with_topology(Topology::grid(2)))
+            .compile(&c)
+            .unwrap_err();
+    assert_eq!(shim, builder);
+}

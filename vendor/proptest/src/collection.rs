@@ -5,7 +5,7 @@ use rand::Rng;
 
 use crate::strategy::Strategy;
 
-/// Size specification for [`vec`]: a fixed length or a half-open range.
+/// Size specification for [`vec()`]: a fixed length or a half-open range.
 #[derive(Debug, Clone, Copy)]
 pub struct SizeRange {
     min: usize,
@@ -53,7 +53,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// Strategy returned by [`vec`].
+/// Strategy returned by [`vec()`].
 pub struct VecStrategy<S> {
     element: S,
     size: SizeRange,

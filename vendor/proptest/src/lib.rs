@@ -2,7 +2,7 @@
 //!
 //! The build environment cannot reach crates.io, so this crate implements
 //! the subset of proptest 1.x the workspace's property tests use: range
-//! and tuple strategies, [`collection::vec`], [`Strategy::prop_map`], the
+//! and tuple strategies, [`collection::vec`], [`Strategy::prop_map`](crate::strategy::Strategy::prop_map), the
 //! [`proptest!`] macro and the `prop_assert*` macros. Case generation is
 //! seeded deterministically from the test name, so failures reproduce on
 //! every run; there is no shrinking — a failing case reports its inputs
