@@ -1,8 +1,9 @@
 //! Emits the `BENCH_sim.json` perf baseline: gate-apply ns/op by kernel
 //! class at 4^8 amplitudes (specialized vs. the generic dense path),
-//! fused vs. unfused vs. kernel-demoted trajectory throughput on the
-//! cnu-6q benchmark, compile times, and per-pass pipeline wall times
-//! (schema `bench_sim/v3`).
+//! fused vs. unfused vs. kernel-demoted vs. register-padded trajectory
+//! throughput on the cnu-6q benchmark, per-strategy state bytes and
+//! occupancy histograms, compile times, and per-pass pipeline wall times
+//! (schema `bench_sim/v4`).
 //!
 //! Usage: `cargo run --release -p waltz-bench --bin bench_sim [--out PATH]
 //! [--budget-ms N]`.
@@ -146,15 +147,26 @@ fn main() {
         let unfused = Compiler::with_options(compiler.target().clone(), CompileOptions::unfused())
             .compile(&circuit)
             .unwrap();
+        // The register-padded engine (every device at its full physical
+        // dimension) — the pre-occupancy baseline; identical to the
+        // default for qubit-only and full-ququart, 16x more amplitudes
+        // for mixed-radix cnu-6q.
+        let padded = Compiler::with_options(
+            compiler.target().clone(),
+            CompileOptions::default().with_padded_registers(),
+        )
+        .compile(&circuit)
+        .unwrap();
         let trajectories = 400;
         let mut dense = unfused.compiled().clone();
         for op in &mut dense.timed.ops {
             op.kernel = GateKernel::GeneralDense;
         }
-        // Interleave the three variants over several rounds and keep each
+        // Interleave the variants over several rounds and keep each
         // one's best rate, so slow drift on a shared host cannot skew the
-        // fused/unfused ratio.
-        let (mut rate, mut unfused_rate, mut dense_rate) = (0.0f64, 0.0f64, 0.0f64);
+        // ratios.
+        let (mut rate, mut unfused_rate, mut dense_rate, mut padded_rate) =
+            (0.0f64, 0.0f64, 0.0f64, 0.0f64);
         let (mut est, mut est_unfused) = (None, None);
         for _ in 0..3 {
             let (e, r) = runner::simulate_timed(&compiled, &noise, trajectories, 7);
@@ -165,14 +177,32 @@ fn main() {
             est_unfused = Some(e);
             let (_, r) = runner::simulate_timed(&dense, &noise, trajectories, 7);
             dense_rate = dense_rate.max(r);
+            let (_, r) = runner::simulate_timed(&padded, &noise, trajectories, 7);
+            padded_rate = padded_rate.max(r);
         }
         let (est, est_unfused) = (est.expect("measured"), est_unfused.expect("measured"));
+        let register = &compiled.timed.register;
+        let mut occupancy = JsonObject::new();
+        for dim in [2u8, 4u8] {
+            occupancy.int(
+                &format!("dim{dim}"),
+                register.dims().iter().filter(|&&d| d == dim).count() as u64,
+            );
+        }
         let mut t = JsonObject::new();
         t.num("trajectories_per_sec", rate)
             .num("trajectories_per_sec_unfused", unfused_rate)
             .num("trajectories_per_sec_dense", dense_rate)
+            .num("trajectories_per_sec_padded", padded_rate)
             .num("speedup_fused_vs_unfused", rate / unfused_rate)
             .num("speedup_unfused_vs_dense", unfused_rate / dense_rate)
+            .num("speedup_demoted_vs_padded", rate / padded_rate)
+            .int("state_bytes", register.state_bytes() as u64)
+            .int(
+                "state_bytes_padded",
+                padded.timed.register.state_bytes() as u64,
+            )
+            .obj("occupancy", &occupancy)
             .int("hw_ops", compiled.timed.len() as u64)
             .int("fused_ops", compiled.sim_circuit().len() as u64)
             .int("trajectories", trajectories as u64)
@@ -182,7 +212,7 @@ fn main() {
         traj_obj.obj(&strategy.name(), &t);
         println!(
             "trajectory/cnu-6q/{:<22} fused {:>8.0} traj/s ({} ops)  unfused {:>8.0} ({} ops, \
-             {:.2}x)  dense {:>8.0}  mean F = {:.4}",
+             {:.2}x)  dense {:>8.0}  padded {:>8.0} ({:.2}x, {} -> {} amps)  mean F = {:.4}",
             strategy.name(),
             rate,
             compiled.sim_circuit().len(),
@@ -190,6 +220,10 @@ fn main() {
             compiled.timed.len(),
             rate / unfused_rate,
             dense_rate,
+            padded_rate,
+            rate / padded_rate,
+            padded.timed.register.total_dim(),
+            register.total_dim(),
             est.mean
         );
     }
@@ -200,10 +234,10 @@ fn main() {
         .unwrap_or(1);
     let mut report = JsonObject::new();
     report
-        .str("schema", "bench_sim/v3")
+        .str("schema", "bench_sim/v4")
         .str(
             "bench",
-            "kernel-specialized state-vector engine + gate fusion + pass pipeline",
+            "kernel-specialized state-vector engine + gate fusion + occupancy-demoted registers",
         )
         .int("threads", threads as u64)
         .int("amplitudes", reg.total_dim() as u64)

@@ -58,8 +58,14 @@ fn main() {
                 values.push(f64::NAN);
                 continue;
             }
-            let point = runner::evaluate(&circuit, strategy, &lib, &noise, trajectories, cfg.seed)
-                .expect("compilation succeeds");
+            let Some(point) =
+                runner::try_evaluate(&circuit, strategy, &lib, &noise, trajectories, cfg.seed)
+                    .expect("compilation succeeds")
+            else {
+                cols.push("-".into());
+                values.push(f64::NAN);
+                continue;
+            };
             cols.push(format!(
                 "{:.3}±{:.3}",
                 point.fidelity.mean, point.fidelity.std_error

@@ -5,6 +5,7 @@ use waltz_core::{CompileError, CompiledCircuit, Compiler, Strategy, Target};
 use waltz_gates::GateLibrary;
 use waltz_noise::{CoherenceModel, NoiseModel};
 use waltz_sim::trajectory::{self, FidelityEstimate};
+use waltz_sim::Register;
 
 /// Harness options, parsed from the command line.
 #[derive(Debug, Clone)]
@@ -118,6 +119,11 @@ pub fn compiler_for(strategy: &Strategy, lib: &GateLibrary) -> Compiler {
 /// # Errors
 ///
 /// Propagates compiler errors.
+///
+/// # Panics
+///
+/// Panics if the compiled register busts the [`MAX_STATE_BYTES`] budget;
+/// size sweeps should use [`try_evaluate`] and skip such points.
 pub fn evaluate(
     circuit: &Circuit,
     strategy: &Strategy,
@@ -126,17 +132,42 @@ pub fn evaluate(
     trajectories: usize,
     seed: u64,
 ) -> Result<DataPoint, CompileError> {
+    Ok(
+        try_evaluate(circuit, strategy, lib, noise, trajectories, seed)?
+            .expect("compiled register exceeds the simulation byte budget"),
+    )
+}
+
+/// [`evaluate`] gated on the byte budget of the *compiled* register:
+/// returns `Ok(None)` instead of simulating when the state vector would
+/// exceed [`MAX_STATE_BYTES`] — the per-circuit follow-up to the
+/// optimistic [`simulable`] pre-filter.
+///
+/// # Errors
+///
+/// Propagates compiler errors.
+pub fn try_evaluate(
+    circuit: &Circuit,
+    strategy: &Strategy,
+    lib: &GateLibrary,
+    noise: &NoiseModel,
+    trajectories: usize,
+    seed: u64,
+) -> Result<Option<DataPoint>, CompileError> {
     let compiled = compiler_for(strategy, lib).compile(circuit)?;
+    if !register_simulable(&compiled.timed.register) {
+        return Ok(None);
+    }
     let fidelity = simulate(&compiled, noise, trajectories, seed);
     let eps = compiled.compiled().eps(&noise.coherence);
-    Ok(DataPoint {
+    Ok(Some(DataPoint {
         strategy: *strategy,
         fidelity,
         eps_gate: eps.gate,
         eps_coherence: eps.coherence,
         duration_ns: compiled.stats.total_duration_ns,
         pulses: compiled.stats.hw_ops,
-    })
+    }))
 }
 
 /// Trajectory-method fidelity of an already-compiled circuit, simulated
@@ -195,15 +226,36 @@ pub fn evaluate_eps_only(
     Ok((eps.gate, eps.coherence, eps.total()))
 }
 
-/// Memory guard matching the paper's limitation: mixed-radix simulation
-/// models *every* device with four levels, so sizes beyond 12 qubits are
-/// out of reach (§6.4/§7); qubit-only and full-ququart scale further.
+/// State-vector byte budget of the harness (256 MiB ≈ a 24-qubit
+/// register at 16 bytes per amplitude) — the ceiling every simulation is
+/// gated on.
+pub const MAX_STATE_BYTES: usize = 1 << 28;
+
+/// Whether a compiled register's state vector fits the byte budget — the
+/// authoritative per-circuit guard, computed from the *actual*
+/// (occupancy-demoted) register rather than a per-strategy qubit cap.
+pub fn register_simulable(register: &Register) -> bool {
+    register.state_bytes() <= MAX_STATE_BYTES
+}
+
+/// Optimistic pre-filter on the byte budget, before compiling: whether
+/// the strategy's *best-case* register for `n_qubits` fits.
+///
+/// The paper hit a hard 12-qubit mixed-radix wall because it modeled
+/// every device with four levels (§6.4/§7); the compiler's occupancy
+/// pass now demotes devices that never leave the qubit subspace, so the
+/// best-case mixed-radix register is one ENC host/partner pair at four
+/// levels and qubits everywhere else. A `true` here still requires the
+/// per-circuit [`register_simulable`] check after compiling (see
+/// [`try_evaluate`]) — a routing-heavy circuit may promote more pairs.
 pub fn simulable(strategy: &Strategy, n_qubits: usize) -> bool {
-    match strategy {
-        Strategy::MixedRadix { .. } => n_qubits <= 12,
-        Strategy::QubitOnly { .. } => n_qubits <= 24,
-        Strategy::FullQuquart { .. } => n_qubits <= 24,
-    }
+    let bits = match strategy {
+        Strategy::QubitOnly { .. } => n_qubits,
+        Strategy::MixedRadix { .. } => n_qubits + 2,
+        Strategy::FullQuquart { .. } => 2 * n_qubits.div_ceil(2),
+    };
+    // 16-byte amplitudes: state bytes = 2^(bits + 4).
+    bits + 4 <= MAX_STATE_BYTES.trailing_zeros() as usize
 }
 
 /// Prints an aligned table row.
@@ -247,10 +299,30 @@ mod tests {
     }
 
     #[test]
-    fn simulable_limits_match_paper() {
+    fn simulable_is_a_byte_budget_not_a_qubit_wall() {
+        // The paper's hard 12-qubit mixed-radix wall is gone: with
+        // occupancy-demoted registers, 13 (and beyond) fits the budget
+        // whenever the heterogeneous register does.
         assert!(simulable(&Strategy::mixed_radix_ccz(), 12));
-        assert!(!simulable(&Strategy::mixed_radix_ccz(), 13));
+        assert!(simulable(&Strategy::mixed_radix_ccz(), 13));
+        assert!(simulable(&Strategy::mixed_radix_ccz(), 22));
+        assert!(!simulable(&Strategy::mixed_radix_ccz(), 23));
         assert!(simulable(&Strategy::full_ququart(), 21));
-        assert!(simulable(&Strategy::qubit_only(), 21));
+        assert!(simulable(&Strategy::qubit_only(), 24));
+        assert!(!simulable(&Strategy::qubit_only(), 25));
+    }
+
+    #[test]
+    fn register_budget_checks_actual_bytes() {
+        // 24 qubits: exactly 2^24 * 16 = 2^28 bytes — at the budget.
+        assert!(register_simulable(&Register::qubits(24)));
+        assert!(!register_simulable(&Register::qubits(25)));
+        // A 13-qubit mixed-radix register with two promoted devices fits
+        // comfortably where the all-4 padded register (4^13) would not.
+        let mut dims = vec![2u8; 13];
+        dims[0] = 4;
+        dims[1] = 4;
+        assert!(register_simulable(&Register::new(dims)));
+        assert!(!register_simulable(&Register::ququarts(13)));
     }
 }

@@ -68,7 +68,8 @@ impl CompileArtifact {
         &self.reports
     }
 
-    /// The report of one pass (every pipeline run records all six).
+    /// The report of one pass (every pipeline run records all of
+    /// [`Pass::ALL`]).
     ///
     /// # Panics
     ///

@@ -263,11 +263,13 @@ impl CompiledCircuit {
         assert_eq!(amps.len(), 1usize << n, "logical amplitude count mismatch");
         let register: Register = self.timed.register.clone();
         let mut out = vec![C64::ZERO; register.total_dim()];
+        // One digit buffer reused across the whole amplitude loop.
+        let mut digits = vec![0usize; register.n_qudits()];
         for (logical_idx, &amp) in amps.iter().enumerate() {
             if amp == C64::ZERO {
                 continue;
             }
-            let mut digits = vec![0usize; register.n_qudits()];
+            digits.fill(0);
             for (q, &site) in sites.iter().enumerate() {
                 let bit = (logical_idx >> (n - 1 - q)) & 1;
                 digits[site.device] += bit * self.site_weight(site);

@@ -1,6 +1,19 @@
-//! The unscheduled hardware program and its ASAP scheduler.
+//! The unscheduled hardware program, its level-occupancy analysis and its
+//! ASAP scheduler.
+//!
+//! Occupancy: every [`HwProgram::push`] advances a forward support
+//! analysis that bounds, per device, the highest level the program can
+//! ever populate (starting from a caller-declared entry occupancy — the
+//! qubit subspace for bare-device regimes). The paper's mixed-radix
+//! strategy only *temporarily* excites ENC hosts into ququart states, so
+//! most devices provably never leave their lowest two levels;
+//! [`HwProgram::demote_to_occupancy`] shrinks the simulated register to
+//! exactly the occupied dimensions, and [`HwProgram::schedule`] restricts
+//! each embedded unitary to the occupied subspace
+//! ([`waltz_gates::embed_demoted`]).
 
-use waltz_gates::{embed, GateLibrary, HwGate};
+use waltz_gates::{embed_demoted, GateLibrary, HwGate, SUPPORT_TOL};
+use waltz_math::Matrix;
 use waltz_sim::{Register, TimedCircuit, TimedOp};
 
 /// One hardware gate bound to physical devices.
@@ -18,20 +31,154 @@ pub struct HwOp {
 pub struct HwProgram {
     dims: Vec<u8>,
     ops: Vec<HwOp>,
+    /// Upper bound on the levels each device currently populates (forward
+    /// support analysis, updated per push).
+    cur_occ: Vec<u8>,
+    /// Highest `cur_occ` each device ever reached — the dimensions a
+    /// demoted register must provide.
+    peak_occ: Vec<u8>,
+}
+
+/// Per-operand output support of `u` (on logical dims `ld`) when its
+/// inputs are confined to levels `< in_dims[i]`: the smallest dimensions
+/// containing every row reachable from an in-support column. Entries at
+/// or below [`SUPPORT_TOL`] count as structural zeros.
+fn support_after(u: &Matrix, ld: &[usize], in_dims: &[usize]) -> Vec<usize> {
+    let total = u.rows();
+    let digits = |mut idx: usize, out: &mut [usize]| {
+        for k in (0..ld.len()).rev() {
+            out[k] = idx % ld[k];
+            idx /= ld[k];
+        }
+    };
+    let mut need = vec![1usize; ld.len()];
+    let mut col_digits = vec![0usize; ld.len()];
+    let mut row_digits = vec![0usize; ld.len()];
+    for col in 0..total {
+        digits(col, &mut col_digits);
+        if col_digits.iter().zip(in_dims).any(|(&dig, &m)| dig >= m) {
+            continue;
+        }
+        for row in 0..total {
+            if u[(row, col)].abs() <= SUPPORT_TOL {
+                continue;
+            }
+            digits(row, &mut row_digits);
+            for (n, &dig) in need.iter_mut().zip(&row_digits) {
+                *n = (*n).max(dig + 1);
+            }
+        }
+    }
+    need
 }
 
 impl HwProgram {
     /// An empty program over devices with the given simulated dimensions.
+    ///
+    /// Entry occupancy defaults to the full device dimensions (sound for
+    /// any initial state); regimes whose devices start in the qubit
+    /// subspace should call [`HwProgram::set_entry_occupancy`] before
+    /// pushing gates so the occupancy analysis can prove demotions.
     pub fn new(dims: Vec<u8>) -> Self {
+        let cur_occ = dims.clone();
+        let peak_occ = dims.clone();
         HwProgram {
             dims,
             ops: Vec::new(),
+            cur_occ,
+            peak_occ,
         }
+    }
+
+    /// Declares the levels each device may populate *before the first
+    /// gate* (e.g. `2` everywhere for bare-device regimes whose inputs
+    /// are qubit products, §6.4). Tightening the entry support is what
+    /// lets the analysis prove most mixed-radix devices never leave the
+    /// qubit subspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if gates were already pushed, the length mismatches, or an
+    /// entry exceeds its device dimension.
+    pub fn set_entry_occupancy(&mut self, occ: Vec<u8>) {
+        assert!(
+            self.ops.is_empty(),
+            "entry occupancy must be set before the first gate"
+        );
+        assert_eq!(occ.len(), self.dims.len(), "occupancy length mismatch");
+        for (o, d) in occ.iter().zip(&self.dims) {
+            assert!(*o >= 1 && o <= d, "entry occupancy out of range");
+        }
+        self.cur_occ.clone_from(&occ);
+        self.peak_occ = occ;
     }
 
     /// Device dimensions.
     pub fn dims(&self) -> &[u8] {
         &self.dims
+    }
+
+    /// The occupancy analysis result so far: per device, the highest
+    /// level bound the program ever populates (at least 2 — a register
+    /// dimension cannot shrink below a qubit).
+    pub fn occupancy(&self) -> Vec<u8> {
+        self.peak_occ.iter().map(|&p| p.max(2)).collect()
+    }
+
+    /// The demotion step: shrinks the device dimensions to the occupancy
+    /// analysis result, so scheduling embeds every unitary into the
+    /// smallest register that holds the program's reachable states.
+    ///
+    /// Devices whose demoted dimension is smaller than some gate's
+    /// logical dimension (mixed-radix `ENC`/`DEC` partners) are kept only
+    /// when every such gate leaves the occupied subspace closed
+    /// ([`waltz_gates::restriction_closed`]); otherwise the offending
+    /// operands are promoted back and the check reruns to a fixpoint.
+    /// Dimensions never grow past the physical dimensions, so this is a
+    /// no-op for programs that genuinely use their full register.
+    pub fn demote_to_occupancy(&mut self) {
+        let mut dims: Vec<u8> = self
+            .peak_occ
+            .iter()
+            .zip(&self.dims)
+            .map(|(&p, &d)| p.max(2).min(d))
+            .collect();
+        // Closure fixpoint: promoting a device can break closure of an
+        // op checked earlier (closure is not monotone in the subspace),
+        // so rescan until no op forces a promotion.
+        loop {
+            let mut changed = false;
+            for op in &self.ops {
+                let ld = op.gate.logical_dims();
+                if op
+                    .devices
+                    .iter()
+                    .zip(&ld)
+                    .all(|(&d, &l)| dims[d] as usize >= l)
+                {
+                    continue;
+                }
+                let sub: Vec<usize> = op
+                    .devices
+                    .iter()
+                    .zip(&ld)
+                    .map(|(&d, &l)| l.min(dims[d] as usize))
+                    .collect();
+                if !waltz_gates::restriction_closed(&op.gate.unitary(), &ld, &sub) {
+                    for (i, &d) in op.devices.iter().enumerate() {
+                        let l = (ld[i].min(self.dims[d] as usize)) as u8;
+                        if dims[d] < l {
+                            dims[d] = l;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        self.dims = dims;
     }
 
     /// The ops in program order.
@@ -57,23 +204,43 @@ impl HwProgram {
     /// repeats or is out of range, or a logical dimension exceeds the
     /// device dimension.
     pub fn push(&mut self, gate: HwGate, devices: Vec<usize>) {
-        let dims = gate.logical_dims();
+        let logical = gate.logical_dims();
         assert_eq!(
             devices.len(),
-            dims.len(),
+            logical.len(),
             "operand count mismatch for {gate:?}"
         );
         for (i, &d) in devices.iter().enumerate() {
             assert!(d < self.dims.len(), "device {d} out of range");
             assert!(
-                dims[i] <= self.dims[d] as usize,
+                logical[i] <= self.dims[d] as usize,
                 "gate {gate:?} needs a {}-level device at operand {i}, device {d} has {}",
-                dims[i],
+                logical[i],
                 self.dims[d]
             );
             for &other in devices.iter().skip(i + 1) {
                 assert_ne!(d, other, "repeated device operand in {gate:?}");
             }
+        }
+        // Occupancy transfer: propagate each operand's current support
+        // through the gate's unitary. Levels at or above the gate's
+        // logical dimension are untouched by the (identity-padded)
+        // embedding, so support already present there persists.
+        let in_dims: Vec<usize> = devices
+            .iter()
+            .zip(&logical)
+            .map(|(&d, &l)| l.min(self.cur_occ[d] as usize))
+            .collect();
+        let out = support_after(&gate.unitary(), &logical, &in_dims);
+        for (i, &d) in devices.iter().enumerate() {
+            let keep = if (self.cur_occ[d] as usize) > logical[i] {
+                self.cur_occ[d] as usize
+            } else {
+                0
+            };
+            let new = out[i].max(keep).min(self.dims[d] as usize) as u8;
+            self.cur_occ[d] = new;
+            self.peak_occ[d] = self.peak_occ[d].max(new);
         }
         self.ops.push(HwOp { gate, devices });
     }
@@ -88,7 +255,11 @@ impl HwProgram {
     }
 
     /// ASAP-schedules the program with the library's calibrated durations,
-    /// embedding each unitary to the device dimensions.
+    /// embedding each unitary to the device dimensions. On a demoted
+    /// register ([`HwProgram::demote_to_occupancy`]) a gate whose logical
+    /// dimension exceeds an operand's device dimension is *restricted* to
+    /// the occupied subspace instead — sound because demotion verified the
+    /// gate keeps that subspace closed.
     pub fn schedule(&self, lib: &GateLibrary) -> TimedCircuit {
         let register = Register::new(self.dims.clone());
         let mut free_at = vec![0.0f64; self.dims.len()];
@@ -97,7 +268,7 @@ impl HwProgram {
         for op in &self.ops {
             let logical_dims = op.gate.logical_dims();
             let dev_dims: Vec<usize> = op.devices.iter().map(|&d| self.dims[d] as usize).collect();
-            let unitary = embed(&op.gate.unitary(), &logical_dims, &dev_dims);
+            let unitary = embed_demoted(&op.gate.unitary(), &logical_dims, &dev_dims);
             let start = op
                 .devices
                 .iter()
@@ -108,6 +279,14 @@ impl HwProgram {
                 free_at[d] = start + duration;
             }
             total = total.max(start + duration);
+            // The error channel is drawn on the gate's calibrated logical
+            // dimensions, clipped to the device: a demoted device's errors
+            // are confined to the subspace it can actually populate.
+            let error_dims: Vec<u8> = logical_dims
+                .iter()
+                .zip(&dev_dims)
+                .map(|(&l, &d)| l.min(d) as u8)
+                .collect();
             // TimedOp::new classifies the embedded unitary into its
             // GateKernel here, once per compile, so every simulation of
             // the schedule reuses the specialized apply path.
@@ -115,7 +294,7 @@ impl HwProgram {
                 label_of(&op.gate),
                 unitary,
                 op.devices.clone(),
-                logical_dims.iter().map(|&d| d as u8).collect(),
+                error_dims,
                 start,
                 duration,
                 lib.fidelity(&op.gate),
@@ -187,6 +366,100 @@ mod tests {
     fn repeated_operand_rejected() {
         let mut p = HwProgram::new(vec![2, 2]);
         p.push(HwGate::QubitCx, vec![1, 1]);
+    }
+
+    #[test]
+    fn occupancy_tracks_enc_windows_and_demotes_bystanders() {
+        // Three 4-level devices, entry-confined to the qubit subspace:
+        // an ENC window on (0, 1) with an MrCcz against device 2.
+        let mut p = HwProgram::new(vec![4, 4, 4]);
+        p.set_entry_occupancy(vec![2, 2, 2]);
+        p.push(HwGate::QubitU(Q1Gate::H), vec![2]);
+        p.push(HwGate::Enc, vec![0, 1]);
+        p.push(HwGate::MrCcz, vec![0, 2]);
+        p.push(HwGate::Dec, vec![0, 1]);
+        // Host 0 reached level 3; partner 1 and third 2 never left {0,1}.
+        assert_eq!(p.occupancy(), vec![4, 2, 2]);
+        p.demote_to_occupancy();
+        assert_eq!(p.dims(), &[4, 2, 2]);
+        let tc = p.schedule(&GateLibrary::paper());
+        assert!(tc.validate().is_ok(), "{:?}", tc.validate());
+        // ENC on (4, 2): restricted to an 8x8 block, still unitary.
+        assert_eq!(tc.ops[1].unitary.rows(), 8);
+        for op in &tc.ops {
+            assert!(op.unitary.is_unitary(1e-12), "{}", op.label);
+            for (&e, &q) in op.error_dims.iter().zip(&op.operands) {
+                assert!(e as usize <= tc.register.dim(q), "{}", op.label);
+            }
+        }
+    }
+
+    #[test]
+    fn occupancy_is_conservative_without_entry_declaration() {
+        // Without the qubit-subspace entry declaration the analysis must
+        // assume full occupancy: nothing demotes.
+        let mut p = HwProgram::new(vec![4, 4]);
+        p.push(HwGate::QubitCx, vec![0, 1]);
+        assert_eq!(p.occupancy(), vec![4, 4]);
+        p.demote_to_occupancy();
+        assert_eq!(p.dims(), &[4, 4]);
+    }
+
+    #[test]
+    fn qubit_gates_never_promote_bare_entry() {
+        let mut p = HwProgram::new(vec![4, 4]);
+        p.set_entry_occupancy(vec![2, 2]);
+        p.push(HwGate::QubitU(Q1Gate::H), vec![0]);
+        p.push(HwGate::QubitCx, vec![0, 1]);
+        p.push(HwGate::QubitSwap, vec![0, 1]);
+        assert_eq!(p.occupancy(), vec![2, 2]);
+        p.demote_to_occupancy();
+        assert_eq!(p.dims(), &[2, 2]);
+        let tc = p.schedule(&GateLibrary::paper());
+        assert_eq!(tc.register.total_dim(), 4);
+        assert!(tc.validate().is_ok());
+    }
+
+    #[test]
+    fn demoted_schedule_matches_padded_amplitudes() {
+        use waltz_math::C64;
+        use waltz_sim::State;
+        // ENC window program simulated on demoted vs padded registers:
+        // amplitudes must agree index-by-index on the occupied subspace.
+        let build = || {
+            let mut p = HwProgram::new(vec![4, 4, 4]);
+            p.set_entry_occupancy(vec![2, 2, 2]);
+            p.push(HwGate::QubitU(Q1Gate::H), vec![0]);
+            p.push(HwGate::QubitU(Q1Gate::H), vec![2]);
+            p.push(HwGate::Enc, vec![0, 1]);
+            p.push(HwGate::MrCcz, vec![0, 2]);
+            p.push(HwGate::Dec, vec![0, 1]);
+            p.push(HwGate::QubitCx, vec![0, 2]);
+            p
+        };
+        let lib = GateLibrary::paper();
+        let padded = build().schedule(&lib);
+        let mut demoted_prog = build();
+        demoted_prog.demote_to_occupancy();
+        let demoted = demoted_prog.schedule(&lib);
+        assert!(demoted.register.total_dim() < padded.register.total_dim());
+        let out_p = waltz_sim::ideal::run(&padded, &State::zero(&padded.register));
+        let out_d = waltz_sim::ideal::run(&demoted, &State::zero(&demoted.register));
+        let mut digits = vec![0usize; 3];
+        for idx in 0..padded.register.total_dim() {
+            padded.register.digits_into(idx, &mut digits);
+            let inside = digits
+                .iter()
+                .enumerate()
+                .all(|(q, &dig)| dig < demoted.register.dim(q));
+            let got = out_p.amplitudes()[idx];
+            if inside {
+                let want = out_d.amplitudes()[demoted.register.index_of(&digits)];
+                assert!(got.approx_eq(want, 1e-12), "idx {idx}");
+            } else {
+                assert!(got.approx_eq(C64::ZERO, 1e-12), "leak at {idx}");
+            }
+        }
     }
 
     #[test]

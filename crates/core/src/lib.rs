@@ -25,11 +25,31 @@
 //!    emit the best calibrated pulse configuration — controls together
 //!    for `CCX`, targets together for `CSWAP`, target-independent `CCZ`
 //!    whenever allowed (§4.2, §5.1).
-//! 4. [`Pass::Schedule`] — ASAP, tracking per-device busy/idle windows,
-//!    producing a [`waltz_sim::TimedCircuit`].
-//! 5. [`Pass::Fuse`] — batch the simulation schedule with the gate-fusion
-//!    pass (host-calibrated cost constants, optional block-span cap).
-//! 6. [`Pass::Lower`] — the coherence-span timeline the EPS model
+//! 4. [`Pass::Analyze`] — level-occupancy analysis of the routed
+//!    program: a forward support analysis bounds the highest level each
+//!    device ever populates and demotes devices that provably never
+//!    leave their qubit subspace to dimension 2 (gates calibrated on a
+//!    larger space are restricted to the occupied sub-block, verified
+//!    closed and unitary). The paper pinned every mixed-radix device to
+//!    four levels and hit a 12-qubit simulation wall; with demotion only
+//!    ENC hosts stay four-dimensional, so a cnu-6q mixed-radix register
+//!    shrinks 4096 → 256 amplitudes and larger sizes open up whenever
+//!    the heterogeneous register fits the byte budget. The [`PassReport`]
+//!    records the per-device dims (`dims`, `dim2_devices`,
+//!    `dim4_devices`) and the state bytes with and without demotion
+//!    (`state_bytes`, `state_bytes_padded`). Opt out per compile with
+//!    [`CompileOptions::with_padded_registers`]; the `radix_parity`
+//!    suite pins demoted-vs-padded parity at 1e-12 noiselessly and
+//!    within one standard error under the trajectory noise model.
+//! 5. [`Pass::Schedule`] — ASAP, tracking per-device busy/idle windows,
+//!    producing a [`waltz_sim::TimedCircuit`] over the (possibly
+//!    heterogeneous) register.
+//! 6. [`Pass::Fuse`] — batch the simulation schedule with the gate-fusion
+//!    pass (host-calibrated cost constants, optional block-span cap);
+//!    block products are memoized in a compiler-wide
+//!    [`waltz_sim::FuseCache`], so batches of structurally similar
+//!    circuits multiply each repeated block shape once.
+//! 7. [`Pass::Lower`] — the coherence-span timeline the EPS model
 //!    consumes (§6.3) and aggregate statistics, assembled into a
 //!    [`CompileArtifact`].
 //!

@@ -38,11 +38,22 @@ pub struct Router {
 
 impl Router {
     /// Creates a router over an initial layout.
+    ///
+    /// The program's occupancy analysis (see
+    /// [`HwProgram::set_entry_occupancy`]) is seeded from the radix mode:
+    /// bare devices start confined to their qubit subspace (inputs are
+    /// qubit products, §6.4), so the analysis can prove that devices
+    /// never hosting an ENC window stay two-dimensional; encoded devices
+    /// may hold two qubits from the start and enter at full dimension.
     pub fn new(layout: Layout, dims: Vec<u8>, mode: RadixMode) -> Self {
         let dev_dist = layout.graph().topology().distances();
+        let mut prog = HwProgram::new(dims);
+        if mode == RadixMode::Bare {
+            prog.set_entry_occupancy(vec![2; prog.dims().len()]);
+        }
         Router {
             layout,
-            prog: HwProgram::new(dims),
+            prog,
             dev_dist,
             swaps_inserted: 0,
             mode,

@@ -1,9 +1,9 @@
 //! The pass-structured compiler: one reusable [`Compiler`] built from a
 //! [`Target`] + [`CompileOptions`] drives an explicit pipeline —
 //! [`Pass::Decompose`] → [`Pass::Map`] → [`Pass::Route`] →
-//! [`Pass::Schedule`] → [`Pass::Fuse`] → [`Pass::Lower`] — recording a
-//! [`PassReport`] (wall time, op/depth deltas, diagnostics) per stage
-//! into the returned [`CompileArtifact`].
+//! [`Pass::Analyze`] → [`Pass::Schedule`] → [`Pass::Fuse`] →
+//! [`Pass::Lower`] — recording a [`PassReport`] (wall time, op/depth
+//! deltas, diagnostics) per stage into the returned [`CompileArtifact`].
 
 use std::sync::OnceLock;
 use std::time::Instant;
@@ -11,7 +11,7 @@ use std::time::Instant;
 use waltz_arch::InteractionGraph;
 use waltz_circuit::{Circuit, GateKind};
 use waltz_gates::Q1Gate;
-use waltz_sim::{FuseOptions, GateKernel, Register, State, TimedCircuit, Workspace};
+use waltz_sim::{FuseCache, FuseOptions, GateKernel, Register, State, TimedCircuit, Workspace};
 
 use crate::artifact::CompileArtifact;
 use crate::compile::{build_spans, CompileError, CompileStats, CompiledCircuit};
@@ -32,6 +32,13 @@ pub enum Pass {
     /// Routing and pulse-configuration selection: the decomposed circuit
     /// becomes an ordered hardware program (§5.1, §4.2).
     Route,
+    /// Level-occupancy analysis of the routed program: bounds the highest
+    /// level each device ever populates and (unless
+    /// [`CompileOptions::padded_registers`] is set) demotes devices that
+    /// never leave their qubit subspace to dimension 2, shrinking the
+    /// simulated register. The report records the per-device dimensions
+    /// and the state bytes saved.
+    Analyze,
     /// ASAP scheduling with calibrated durations, embedding each unitary
     /// to device dimensions and classifying its [`waltz_sim::GateKernel`].
     Schedule,
@@ -46,10 +53,11 @@ pub enum Pass {
 
 impl Pass {
     /// Every pass, in execution order.
-    pub const ALL: [Pass; 6] = [
+    pub const ALL: [Pass; 7] = [
         Pass::Decompose,
         Pass::Map,
         Pass::Route,
+        Pass::Analyze,
         Pass::Schedule,
         Pass::Fuse,
         Pass::Lower,
@@ -61,6 +69,7 @@ impl Pass {
             Pass::Decompose => "decompose",
             Pass::Map => "map",
             Pass::Route => "route",
+            Pass::Analyze => "analyze",
             Pass::Schedule => "schedule",
             Pass::Fuse => "fuse",
             Pass::Lower => "lower",
@@ -105,6 +114,11 @@ impl PassReport {
     }
 }
 
+/// Bytes one state-vector amplitude occupies — the unit of the analyze
+/// pass's state-size diagnostics, kept identical to
+/// [`Register::state_bytes`] by construction.
+const STATE_BYTES_PER_AMP: usize = std::mem::size_of::<waltz_math::C64>();
+
 /// Number of distinct pulse start times — the scheduled analogue of
 /// circuit depth.
 fn schedule_depth(timed: &TimedCircuit) -> usize {
@@ -141,6 +155,11 @@ pub struct Compiler {
     target: Target,
     options: CompileOptions,
     fuse: FuseOptions,
+    /// Memoized fused-block products, shared by every compilation through
+    /// this compiler (and its clones — the store is behind an `Arc`):
+    /// batches of structurally similar circuits multiply each repeated
+    /// block shape once instead of once per circuit.
+    fuse_cache: FuseCache,
 }
 
 impl Compiler {
@@ -157,6 +176,7 @@ impl Compiler {
             target,
             options,
             fuse,
+            fuse_cache: FuseCache::new(),
         }
     }
 
@@ -237,7 +257,7 @@ impl Compiler {
 
         // -- Route --------------------------------------------------------
         let t0 = Instant::now();
-        let out: LowerOutput = match &strategy {
+        let mut out: LowerOutput = match &strategy {
             Strategy::QubitOnly { ccx } => {
                 lower::qubit_only::route(&prepared, layout, graph, lib, *ccx)
             }
@@ -258,6 +278,46 @@ impl Compiler {
             diagnostics: vec![
                 ("routing_swaps".into(), out.swaps.to_string()),
                 ("enc_windows".into(), out.enc_windows.len().to_string()),
+            ],
+        });
+
+        // -- Analyze ------------------------------------------------------
+        // Level occupancy: bound the highest level each device ever
+        // populates and shrink the register to exactly those dimensions.
+        // The mixed-radix payoff: only ENC hosts (and partners the closure
+        // check cannot demote) stay four-dimensional, so a register that
+        // padded to 4^n amplitudes collapses to the occupied product.
+        let t0 = Instant::now();
+        let bytes_of =
+            |dims: &[u8]| STATE_BYTES_PER_AMP * dims.iter().map(|&d| d as usize).product::<usize>();
+        let padded_bytes = bytes_of(out.prog.dims());
+        if !self.options.padded_registers {
+            out.prog.demote_to_occupancy();
+        }
+        let dims = out.prog.dims();
+        let state_bytes = bytes_of(dims);
+        let dim_counts = |target: u8| dims.iter().filter(|&&d| d == target).count();
+        let prog_len = out.prog.len();
+        reports.push(PassReport {
+            pass: Pass::Analyze,
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            ops_in: prog_len,
+            ops_out: prog_len,
+            depth_in: prog_len,
+            depth_out: prog_len,
+            diagnostics: vec![
+                (
+                    "dims".into(),
+                    dims.iter().map(u8::to_string).collect::<Vec<_>>().join(","),
+                ),
+                ("dim2_devices".into(), dim_counts(2).to_string()),
+                ("dim4_devices".into(), dim_counts(4).to_string()),
+                ("state_bytes".into(), state_bytes.to_string()),
+                ("state_bytes_padded".into(), padded_bytes.to_string()),
+                (
+                    "demoted".into(),
+                    (!self.options.padded_registers).to_string(),
+                ),
             ],
         });
 
@@ -282,7 +342,7 @@ impl Compiler {
         let t0 = Instant::now();
         let fused = match self.options.fusion {
             Fusion::Off => None,
-            Fusion::TwoQudit => Some(timed.fuse_with(&self.fuse)),
+            Fusion::TwoQudit => Some(timed.fuse_with_cache(&self.fuse, &self.fuse_cache)),
         };
         let sim_ops = fused.as_ref().map_or(timed.len(), TimedCircuit::len);
         let sim_depth = fused.as_ref().map_or(timed_depth, schedule_depth);
@@ -362,10 +422,13 @@ impl Compiler {
     }
 
     /// Compiles a batch of circuits, fanning them across worker threads
-    /// (the same scoped-thread chunking the trajectory estimator uses —
-    /// no rayon). Results are element-wise identical to sequential
-    /// [`Compiler::compile`] calls: each circuit compiles independently,
-    /// and one circuit's failure never poisons the rest of the batch.
+    /// with an atomic-counter work-stealing loop (scoped threads, no
+    /// rayon): each worker repeatedly claims the next unclaimed circuit,
+    /// so one big circuit next to many small ones no longer strands the
+    /// other workers the way static chunking did. Results are
+    /// element-wise identical to sequential [`Compiler::compile`] calls:
+    /// each circuit compiles independently, and one circuit's failure
+    /// never poisons the rest of the batch.
     pub fn compile_batch(
         &self,
         circuits: &[Circuit],
@@ -377,17 +440,33 @@ impl Compiler {
             .map(|n| n.get())
             .unwrap_or(1)
             .min(circuits.len());
+        if threads == 1 {
+            return circuits.iter().map(|c| self.compile(c)).collect();
+        }
         let mut results: Vec<Option<Result<CompileArtifact, CompileError>>> =
             (0..circuits.len()).map(|_| None).collect();
-        let chunk_size = circuits.len().div_ceil(threads);
+        let next = std::sync::atomic::AtomicUsize::new(0);
         std::thread::scope(|scope| {
-            for (chunk_idx, chunk) in results.chunks_mut(chunk_size).enumerate() {
-                let circuits = &circuits[chunk_idx * chunk_size..];
-                scope.spawn(move || {
-                    for (i, slot) in chunk.iter_mut().enumerate() {
-                        *slot = Some(self.compile(&circuits[i]));
-                    }
-                });
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let next = &next;
+                    scope.spawn(move || {
+                        let mut done: Vec<(usize, Result<CompileArtifact, CompileError>)> =
+                            Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if i >= circuits.len() {
+                                return done;
+                            }
+                            done.push((i, self.compile(&circuits[i])));
+                        }
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, result) in handle.join().expect("batch worker panicked") {
+                    results[i] = Some(result);
+                }
             }
         });
         results
@@ -579,6 +658,72 @@ mod tests {
         assert_eq!(fuse.diagnostic("enabled").unwrap(), "true");
     }
 
+    /// A CNU-style 6-qubit Toffoli ladder (the cnu-6q compute half).
+    fn toffoli_ladder_6q() -> Circuit {
+        let mut c = Circuit::new(6);
+        c.ccx(0, 1, 3).ccx(2, 3, 4).ccx(2, 4, 5);
+        c
+    }
+
+    #[test]
+    fn analyze_demotes_mixed_radix_registers() {
+        let circuit = toffoli_ladder_6q();
+        let compiler = Compiler::new(Target::paper(Strategy::mixed_radix_ccz()));
+        let artifact = compiler.compile(&circuit).unwrap();
+        let dims = artifact.timed.register.dims();
+        assert!(
+            dims.contains(&2),
+            "cnu-6q mixed-radix must demote at least one device, got {dims:?}"
+        );
+        assert!(
+            dims.contains(&4),
+            "ENC hosts stay four-dimensional, got {dims:?}"
+        );
+        let analyze = artifact.report(Pass::Analyze);
+        assert_eq!(analyze.diagnostic("demoted").unwrap(), "true");
+        let bytes: usize = analyze.diagnostic("state_bytes").unwrap().parse().unwrap();
+        let padded: usize = analyze
+            .diagnostic("state_bytes_padded")
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(bytes, artifact.timed.register.state_bytes());
+        assert_eq!(padded, 16 * 4usize.pow(6));
+        assert!(bytes < padded, "demotion must shrink the state");
+        assert!(artifact.timed.validate().is_ok());
+        // Every scheduled unitary stays unitary after subspace restriction.
+        for op in &artifact.timed.ops {
+            assert!(op.unitary.is_unitary(1e-9), "{}", op.label);
+        }
+    }
+
+    #[test]
+    fn padded_registers_option_keeps_full_dimensions() {
+        let circuit = toffoli_ladder_6q();
+        let compiler = Compiler::with_options(
+            Target::paper(Strategy::mixed_radix_ccz()),
+            CompileOptions::default().with_padded_registers(),
+        );
+        let artifact = compiler.compile(&circuit).unwrap();
+        assert!(artifact.timed.register.dims().iter().all(|&d| d == 4));
+        let analyze = artifact.report(Pass::Analyze);
+        assert_eq!(analyze.diagnostic("demoted").unwrap(), "false");
+        assert_eq!(
+            analyze.diagnostic("state_bytes").unwrap(),
+            analyze.diagnostic("state_bytes_padded").unwrap()
+        );
+    }
+
+    #[test]
+    fn qubit_only_and_full_ququart_registers_unchanged_by_analyze() {
+        let compiler = Compiler::new(Target::paper(Strategy::qubit_only()));
+        let artifact = compiler.compile(&small_circuit()).unwrap();
+        assert!(artifact.timed.register.dims().iter().all(|&d| d == 2));
+        let compiler = Compiler::new(Target::paper(Strategy::full_ququart()));
+        let artifact = compiler.compile(&small_circuit()).unwrap();
+        assert!(artifact.timed.register.dims().iter().all(|&d| d == 4));
+    }
+
     #[test]
     fn fusion_off_is_reported_and_skips_fusing() {
         let compiler = Compiler::with_options(
@@ -682,6 +827,58 @@ mod tests {
             .compile(&c)
             .unwrap_err();
         assert!(matches!(err, CompileError::DisconnectedTopology { .. }));
+    }
+
+    #[test]
+    fn compiler_fuse_cache_is_shared_across_compiles() {
+        let compiler = Compiler::new(Target::paper(Strategy::qubit_only()));
+        let first = compiler.compile(&small_circuit()).unwrap();
+        let populated = compiler.fuse_cache.len();
+        assert!(populated > 0, "fusing must memoize block products");
+        let second = compiler.compile(&small_circuit()).unwrap();
+        assert_eq!(
+            compiler.fuse_cache.len(),
+            populated,
+            "recompiling the same circuit must hit the cache"
+        );
+        // Cache hits are bit-identical.
+        let a = first.sim_circuit();
+        let b = second.sim_circuit();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.ops.iter().zip(&b.ops) {
+            assert_eq!(x.unitary, y.unitary);
+        }
+    }
+
+    #[test]
+    fn batch_work_stealing_matches_sequential_on_skewed_batches() {
+        // One big circuit first, many tiny ones after — the shape static
+        // chunking handled worst (the big circuit's worker chunk also
+        // held a share of the small ones).
+        let mut circuits = Vec::new();
+        let mut big = Circuit::new(8);
+        for q in 2..8 {
+            big.ccx(q - 2, q - 1, q);
+        }
+        for q in 0..8 {
+            big.h(q);
+        }
+        circuits.push(big);
+        for i in 0..12 {
+            let mut c = Circuit::new(2);
+            c.h(i % 2).cx(0, 1);
+            circuits.push(c);
+        }
+        let compiler = Compiler::new(Target::paper(Strategy::mixed_radix_ccz()));
+        let batch = compiler.compile_batch(&circuits);
+        assert_eq!(batch.len(), circuits.len());
+        for (got, circuit) in batch.iter().zip(&circuits) {
+            let want = compiler.compile(circuit).unwrap();
+            let got = got.as_ref().unwrap();
+            assert_eq!(got.timed.len(), want.timed.len());
+            assert_eq!(got.timed.register.dims(), want.timed.register.dims());
+            assert_eq!(got.sim_circuit().len(), want.sim_circuit().len());
+        }
     }
 
     #[test]

@@ -61,6 +61,14 @@ pub struct CompileOptions {
     /// leaves the span unbounded; `Some(1)` disables fusion's merging
     /// while keeping the pass in the pipeline.
     pub max_fused_span: Option<usize>,
+    /// Skip the occupancy demotion of the analyze pass and model every
+    /// device at its full physical dimension (the pre-occupancy
+    /// behaviour: mixed-radix registers allocate `4^n` amplitudes even
+    /// when most devices never leave the qubit subspace). The default,
+    /// `false`, shrinks the simulated register to the occupied
+    /// dimensions — noiselessly bit-identical, exponentially smaller
+    /// (pinned by the `radix_parity` suite).
+    pub padded_registers: bool,
 }
 
 impl CompileOptions {
@@ -83,6 +91,14 @@ impl CompileOptions {
     /// Caps fused-block span at `span` constituent pulses.
     pub fn with_max_fused_span(mut self, span: usize) -> Self {
         self.max_fused_span = Some(span);
+        self
+    }
+
+    /// Keeps every device at its full physical dimension instead of
+    /// demoting to the occupancy analysis result — for benchmarking the
+    /// padded engine or pinning parity against it.
+    pub fn with_padded_registers(mut self) -> Self {
+        self.padded_registers = true;
         self
     }
 }

@@ -68,19 +68,54 @@ use waltz_math::{Matrix, C64};
 /// assert!(on_ququarts.is_unitary(1e-12));
 /// ```
 pub fn embed(u: &Matrix, op_dims: &[usize], dev_dims: &[usize]) -> Matrix {
+    assert!(
+        op_dims.iter().zip(dev_dims).all(|(o, d)| o <= d),
+        "logical dimension exceeds device dimension"
+    );
+    embed_demoted(u, op_dims, dev_dims)
+}
+
+/// [`embed`] generalized to devices *smaller* than the gate's logical
+/// dimensions: operands with `dev_dims[k] < op_dims[k]` are **restricted**
+/// to the occupied subspace (levels `< dev_dims[k]`), while operands with
+/// `dev_dims[k] > op_dims[k]` are embedded with identity padding as usual.
+///
+/// This is the demotion step of the occupancy analysis: a gate calibrated
+/// on 4-level operands (e.g. `ENC` with `op_dims = [4, 4]`) executes on a
+/// device the analysis proved never leaves its qubit subspace
+/// (`dev_dims = [4, 2]`) through the sub-block on the occupied levels.
+/// The caller must have established *closure* — the gate never maps the
+/// kept subspace into the dropped levels (see [`restriction_closed`]) —
+/// otherwise the restricted matrix is not unitary and this function
+/// panics.
+///
+/// # Panics
+///
+/// Panics if the dimension lists have different lengths, if `u` does not
+/// match `prod(op_dims)`, or if a restricted operand breaks closure (the
+/// result would not be unitary).
+pub fn embed_demoted(u: &Matrix, op_dims: &[usize], dev_dims: &[usize]) -> Matrix {
     assert_eq!(
         op_dims.len(),
         dev_dims.len(),
         "operand/device dimension count mismatch"
     );
-    assert!(
-        op_dims.iter().zip(dev_dims).all(|(o, d)| o <= d),
-        "logical dimension exceeds device dimension"
-    );
     let op_total: usize = op_dims.iter().product();
     assert_eq!(u.rows(), op_total, "unitary does not match operand dims");
+    let restricted = op_dims.iter().zip(dev_dims).any(|(o, d)| o > d);
+    if restricted {
+        let sub: Vec<usize> = op_dims
+            .iter()
+            .zip(dev_dims)
+            .map(|(&o, &d)| o.min(d))
+            .collect();
+        assert!(
+            restriction_closed(u, op_dims, &sub),
+            "gate mixes the occupied subspace {sub:?} with dropped levels (dims {op_dims:?})"
+        );
+    }
     let dev_total: usize = dev_dims.iter().product();
-    if op_total == dev_total {
+    if op_dims == dev_dims {
         return u.clone();
     }
 
@@ -117,6 +152,57 @@ pub fn embed(u: &Matrix, op_dims: &[usize], dev_dims: &[usize]) -> Matrix {
         }
     }
     out
+}
+
+/// Entries at or below this modulus count as structural zeros when
+/// checking subspace closure ([`restriction_closed`], the occupancy
+/// analysis in `waltz-core`); matches the simulator's kernel
+/// classification tolerance.
+pub const SUPPORT_TOL: f64 = 1e-14;
+
+/// Whether `u` (on logical operand dimensions `op_dims`) keeps the
+/// subspace with per-operand levels `< sub_dims[k]` closed: every column
+/// inside the subspace maps only onto rows inside it. A unitary closed on
+/// a subspace is also closed on the complement, so the sub-block
+/// [`embed_demoted`] extracts is itself unitary.
+///
+/// # Panics
+///
+/// Panics if the dimension lists have different lengths, any
+/// `sub_dims[k] > op_dims[k]`, or `u` does not match `prod(op_dims)`.
+pub fn restriction_closed(u: &Matrix, op_dims: &[usize], sub_dims: &[usize]) -> bool {
+    assert_eq!(
+        op_dims.len(),
+        sub_dims.len(),
+        "operand/subspace dimension count mismatch"
+    );
+    assert!(
+        sub_dims.iter().zip(op_dims).all(|(s, o)| s <= o),
+        "subspace dimension exceeds operand dimension"
+    );
+    let op_total: usize = op_dims.iter().product();
+    assert_eq!(u.rows(), op_total, "unitary does not match operand dims");
+    let inside = |mut idx: usize| -> bool {
+        for k in (0..op_dims.len()).rev() {
+            if idx % op_dims[k] >= sub_dims[k] {
+                return false;
+            }
+            idx /= op_dims[k];
+        }
+        true
+    };
+    let inside_of: Vec<bool> = (0..op_total).map(inside).collect();
+    for col in 0..op_total {
+        if !inside_of[col] {
+            continue;
+        }
+        for row in 0..op_total {
+            if !inside_of[row] && u[(row, col)].abs() > SUPPORT_TOL {
+                return false;
+            }
+        }
+    }
+    true
 }
 
 #[cfg(test)]
@@ -157,6 +243,56 @@ mod tests {
     fn embed_noop_when_dims_match() {
         let cx = standard::cx();
         assert!(embed(&cx, &[2, 2], &[2, 2]).approx_eq(&cx, 0.0));
+    }
+
+    #[test]
+    fn embed_demoted_restricts_enc_partner_to_qubit_subspace() {
+        // ENC is calibrated on [4, 4] but keeps the source's qubit
+        // subspace closed: restricting to a (4, 2) device pair yields an
+        // 8x8 permutation agreeing with the full map on b < 2.
+        let enc = mixed::enc();
+        assert!(restriction_closed(&enc, &[4, 4], &[4, 2]));
+        let restricted = embed_demoted(&enc, &[4, 4], &[4, 2]);
+        assert_eq!(restricted.rows(), 8);
+        assert!(restricted.is_unitary(1e-12));
+        // |1,1> -> |3,0>: full index 5 -> 12; restricted 2*1+1=3 -> 2*3+0=6.
+        let mut v = vec![C64::ZERO; 8];
+        v[3] = C64::ONE;
+        assert!(restricted.apply(&v)[6].approx_eq(C64::ONE, 1e-12));
+        // DEC (the dagger) is closed on the same subspace.
+        assert!(restriction_closed(&mixed::dec(), &[4, 4], &[4, 2]));
+        assert!(embed_demoted(&mixed::dec(), &[4, 4], &[4, 2]).is_unitary(1e-12));
+    }
+
+    #[test]
+    fn embed_demoted_mixes_restriction_with_identity_padding() {
+        // A qubit CX on a (dim 4, dim 2) pair: operand 0 pads up,
+        // operand 1 is already at its logical dimension.
+        let e = embed_demoted(&standard::cx(), &[2, 2], &[4, 2]);
+        assert_eq!(e.rows(), 8);
+        assert!(e.is_unitary(1e-12));
+        assert!(e.approx_eq(&embed(&standard::cx(), &[2, 2], &[4, 2]), 0.0));
+    }
+
+    #[test]
+    fn restriction_closed_rejects_subspace_mixing() {
+        // X on a qubit maps level 0 <-> 1: the {0} "subspace" is not
+        // closed — but on a diagonal it is.
+        let x4 = embed(&standard::x(), &[2], &[4]);
+        assert!(restriction_closed(&x4, &[4], &[2]));
+        // SWAPq0 moves the bare qubit into slot 0 (levels 2/3): the
+        // ququart's qubit subspace is NOT closed.
+        assert!(!restriction_closed(
+            &mixed::swap(Slot::S0),
+            &[4, 2],
+            &[2, 2]
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "mixes the occupied subspace")]
+    fn embed_demoted_panics_on_unclosed_restriction() {
+        let _ = embed_demoted(&mixed::swap(Slot::S0), &[4, 2], &[2, 2]);
     }
 
     #[test]

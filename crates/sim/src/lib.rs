@@ -77,4 +77,4 @@ pub use kernel::{GateKernel, Workspace, DEFAULT_PAR_MIN_AMPS};
 pub use register::Register;
 pub use session::Session;
 pub use state::State;
-pub use timed::{FuseOptions, NoiseEvent, TimedCircuit, TimedOp};
+pub use timed::{FuseCache, FuseOptions, NoiseEvent, TimedCircuit, TimedOp};

@@ -75,6 +75,13 @@ impl Register {
         self.total
     }
 
+    /// Bytes a state vector over this register occupies (16 bytes per
+    /// complex amplitude) — the quantity simulation byte budgets are
+    /// written against.
+    pub fn state_bytes(&self) -> usize {
+        self.total * std::mem::size_of::<waltz_math::C64>()
+    }
+
     /// Row-major stride of qudit `q`.
     pub fn stride(&self, q: usize) -> usize {
         self.strides[q]
@@ -101,9 +108,34 @@ impl Register {
         idx
     }
 
-    /// Decomposes a composite index into per-qudit digits.
+    /// Decomposes a composite index into per-qudit digits, allocating a
+    /// fresh `Vec`. Per-amplitude loops should use
+    /// [`Register::digits_into`] with a reused buffer instead.
     pub fn digits_of(&self, idx: usize) -> Vec<usize> {
-        (0..self.n_qudits()).map(|q| self.digit(idx, q)).collect()
+        let mut out = vec![0usize; self.n_qudits()];
+        self.digits_into(idx, &mut out);
+        out
+    }
+
+    /// Writes the per-qudit digits of `idx` into a caller-owned buffer —
+    /// the allocation-free [`Register::digits_of`] for hot loops that
+    /// decompose one index per amplitude. Walks the digits from the least
+    /// significant qudit with one running remainder, so no per-digit
+    /// divisions against precomputed strides are needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than the qudit count (extra space is
+    /// ignored).
+    #[inline]
+    pub fn digits_into(&self, mut idx: usize, out: &mut [usize]) {
+        let n = self.n_qudits();
+        assert!(out.len() >= n, "digit buffer too short");
+        for q in (0..n).rev() {
+            let d = self.dims[q] as usize;
+            out[q] = idx % d;
+            idx /= d;
+        }
     }
 }
 

@@ -2,6 +2,9 @@
 //! and the gate-fusion pass that batches it for throughput
 //! ([`TimedCircuit::fuse`]).
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
 use waltz_math::{structure, Matrix};
 
 use crate::kernel::GateKernel;
@@ -93,6 +96,91 @@ impl FuseClass {
             FuseClass::Identity => 0,
             FuseClass::Structured => 1,
             FuseClass::Dense => block_dim,
+        }
+    }
+}
+
+/// Identity of one fused-block product: the block's operand dimensions
+/// plus, per constituent, its operand positions within the block and the
+/// exact unitary entries (as `f64` bit patterns, so the key is `Eq` +
+/// `Hash`). Two blocks with the same key multiply to the same matrix
+/// regardless of which physical devices they sit on or when they start.
+#[derive(Debug, PartialEq, Eq, Hash)]
+struct BlockKey {
+    dims: Vec<usize>,
+    parts: Vec<BlockPart>,
+}
+
+/// One [`BlockKey`] constituent: operand positions within the block and
+/// the unitary's entries as `(re, im)` bit patterns.
+type BlockPart = (Vec<usize>, Vec<(u64, u64)>);
+
+impl BlockKey {
+    fn part_of(unitary: &Matrix, positions: Vec<usize>) -> BlockPart {
+        let bits = unitary
+            .as_slice()
+            .iter()
+            .map(|c| (c.re.to_bits(), c.im.to_bits()))
+            .collect();
+        (positions, bits)
+    }
+}
+
+/// A memoized fused-block product: the multiplied unitary and its
+/// already-classified kernel.
+#[derive(Debug, Clone)]
+struct CachedBlock {
+    unitary: Matrix,
+    kernel: GateKernel,
+}
+
+/// Entries the cache holds at most; further block shapes are computed
+/// but not remembered, bounding memory on unboundedly diverse batches.
+const FUSE_CACHE_CAP: usize = 4096;
+
+/// Memoizes fused-block products across [`TimedCircuit::fuse_with_cache`]
+/// calls: repeated (operand-dims, constituent-run) shapes — ubiquitous in
+/// batches of structurally similar circuits, and within one schedule
+/// whenever a gate pattern repeats — skip the schedule-time matrix
+/// multiplication and kernel re-classification entirely.
+///
+/// Cloning is cheap and *shares* the underlying store (`Arc`), which is
+/// how a compiler hands one cache to every worker of a batch compile.
+/// Correctness does not depend on the cache: keys identify the exact
+/// unitary entries, so a hit returns bit-identical blocks.
+#[derive(Debug, Clone, Default)]
+pub struct FuseCache {
+    inner: Arc<Mutex<HashMap<BlockKey, CachedBlock>>>,
+}
+
+impl FuseCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        FuseCache::default()
+    }
+
+    /// Number of memoized block shapes.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("fuse cache poisoned").len()
+    }
+
+    /// Whether nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn get(&self, key: &BlockKey) -> Option<CachedBlock> {
+        self.inner
+            .lock()
+            .expect("fuse cache poisoned")
+            .get(key)
+            .cloned()
+    }
+
+    fn insert(&self, key: BlockKey, value: CachedBlock) {
+        let mut map = self.inner.lock().expect("fuse cache poisoned");
+        if map.len() < FUSE_CACHE_CAP {
+            map.insert(key, value);
         }
     }
 }
@@ -372,9 +460,20 @@ impl TimedCircuit {
     }
 
     /// [`TimedCircuit::fuse`] with explicit cost-model constants and an
-    /// optional cap on fused-block span (see [`FuseOptions`]).
+    /// optional cap on fused-block span (see [`FuseOptions`]). Block
+    /// products are memoized within the call; to share the memo across a
+    /// batch of circuits use [`TimedCircuit::fuse_with_cache`].
     #[must_use]
     pub fn fuse_with(&self, opts: &FuseOptions) -> TimedCircuit {
+        self.fuse_with_cache(opts, &FuseCache::new())
+    }
+
+    /// [`TimedCircuit::fuse_with`] memoizing fused-block products in a
+    /// caller-owned [`FuseCache`], so repeated (kernel-class,
+    /// operand-dims, op-run) shapes across a batch of circuits multiply
+    /// once instead of once per circuit.
+    #[must_use]
+    pub fn fuse_with_cache(&self, opts: &FuseOptions, cache: &FuseCache) -> TimedCircuit {
         let max_span = opts.max_block_span.max(1);
         let mut open: Vec<PendingBlock> = Vec::new();
         let mut out: Vec<TimedOp> = Vec::new();
@@ -487,7 +586,7 @@ impl TimedCircuit {
                 sharing.iter().rev().map(|&b| open.remove(b)).collect();
             flushed.reverse();
             for block in flushed {
-                out.push(self.emit_block(block));
+                out.push(self.emit_block(block, cache));
             }
             if fuseable {
                 open.push(PendingBlock {
@@ -501,7 +600,7 @@ impl TimedCircuit {
         }
         while !open.is_empty() {
             let block = open.remove(0);
-            out.push(self.emit_block(block));
+            out.push(self.emit_block(block, cache));
         }
         TimedCircuit {
             register: self.register.clone(),
@@ -512,29 +611,47 @@ impl TimedCircuit {
 
     /// Builds the emitted op for a pending block: the original op when the
     /// block holds a single constituent, otherwise the fused dense block
-    /// with per-constituent [`NoiseEvent`]s.
-    fn emit_block(&self, block: PendingBlock) -> TimedOp {
+    /// with per-constituent [`NoiseEvent`]s. The product and its kernel
+    /// classification are memoized in `cache` keyed on the exact
+    /// constituent shapes, so a repeated run costs one lookup.
+    fn emit_block(&self, block: PendingBlock, cache: &FuseCache) -> TimedOp {
         if block.ops.len() == 1 {
             return block.ops.into_iter().next().expect("non-empty block").1;
         }
         let operands = block.operands;
         let dims: Vec<usize> = operands.iter().map(|&q| self.register.dim(q)).collect();
-        let unitary = structure::fuse_unitaries(
-            block.ops.iter().map(|(_, op)| {
-                let positions: Vec<usize> = op
-                    .operands
+        let positions_of = |op: &TimedOp| -> Vec<usize> {
+            op.operands
+                .iter()
+                .map(|q| {
+                    operands
+                        .iter()
+                        .position(|b| b == q)
+                        .expect("operand inside block")
+                })
+                .collect()
+        };
+        let key = BlockKey {
+            dims: dims.clone(),
+            parts: block
+                .ops
+                .iter()
+                .map(|(_, op)| BlockKey::part_of(&op.unitary, positions_of(op)))
+                .collect(),
+        };
+        let CachedBlock { unitary, kernel } = cache.get(&key).unwrap_or_else(|| {
+            let unitary = structure::fuse_unitaries(
+                block
+                    .ops
                     .iter()
-                    .map(|q| {
-                        operands
-                            .iter()
-                            .position(|b| b == q)
-                            .expect("operand inside block")
-                    })
-                    .collect();
-                (&op.unitary, positions)
-            }),
-            &dims,
-        );
+                    .map(|(_, op)| (&op.unitary, positions_of(op))),
+                &dims,
+            );
+            let kernel = GateKernel::classify(&unitary, operands.len());
+            let computed = CachedBlock { unitary, kernel };
+            cache.insert(key, computed.clone());
+            computed
+        });
         let start_ns = block
             .ops
             .iter()
@@ -564,17 +681,19 @@ impl TimedCircuit {
                 duration_ns: op.duration_ns,
             })
             .collect();
-        let mut fused = TimedOp::new(
+        // Built directly (not through `TimedOp::new`) so the memoized
+        // kernel classification is reused instead of re-probed.
+        TimedOp {
             label,
             unitary,
             operands,
             error_dims,
             start_ns,
-            end_ns - start_ns,
+            duration_ns: end_ns - start_ns,
             fidelity,
-        );
-        fused.noise_events = Some(events);
-        fused
+            kernel,
+            noise_events: Some(events),
+        }
     }
 }
 
@@ -760,6 +879,60 @@ mod tests {
             assert_eq!(fused.len(), tc.len());
             assert!(fused.ops.iter().all(|o| o.noise_events.is_none()));
         }
+    }
+
+    #[test]
+    fn fuse_cache_hits_across_circuits_and_stays_bit_identical() {
+        let tc = four_op_run();
+        // Same schedule shape on a *different* device pair: positions and
+        // dims match, so the cached product must be reused.
+        let mut shifted = TimedCircuit::new(Register::qubits(3));
+        shifted.ops.push(op("h", standard::h(), vec![1], 0.0, 35.0));
+        shifted
+            .ops
+            .push(op("cx", standard::cx(), vec![1, 2], 35.0, 251.0));
+        shifted
+            .ops
+            .push(op("h", standard::h(), vec![2], 286.0, 35.0));
+        shifted
+            .ops
+            .push(op("h", standard::h(), vec![1], 286.0, 35.0));
+        shifted.total_duration_ns = 321.0;
+
+        let opts = FuseOptions::default();
+        let cache = FuseCache::new();
+        let a = tc.fuse_with_cache(&opts, &cache);
+        let entries_after_first = cache.len();
+        assert!(entries_after_first > 0, "block product must be memoized");
+        let b = shifted.fuse_with_cache(&opts, &cache);
+        assert_eq!(
+            cache.len(),
+            entries_after_first,
+            "identical shape on other devices must hit, not repopulate"
+        );
+        // Cached results are bit-identical to the uncached pass.
+        let fresh = shifted.fuse_with(&opts);
+        assert_eq!(b.len(), fresh.len());
+        for (x, y) in b.ops.iter().zip(&fresh.ops) {
+            assert_eq!(x.unitary, y.unitary);
+            assert_eq!(x.operands, y.operands);
+            assert_eq!(x.kernel.name(), y.kernel.name());
+        }
+        // And the first circuit's fused output still validates/parities.
+        let initial = crate::State::zero(&tc.register);
+        let x = crate::ideal::run(&tc, &initial);
+        let y = crate::ideal::run(&a, &initial);
+        assert!((x.fidelity(&y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fuse_cache_clones_share_the_store() {
+        let cache = FuseCache::new();
+        let clone = cache.clone();
+        let tc = four_op_run();
+        let _ = tc.fuse_with_cache(&FuseOptions::default(), &cache);
+        assert!(!cache.is_empty());
+        assert_eq!(clone.len(), cache.len(), "clones share the Arc'd store");
     }
 
     #[test]

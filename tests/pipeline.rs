@@ -111,7 +111,7 @@ fn compile_stats_are_consistent() {
         } else {
             assert_eq!(compiled.stats.enc_windows, 0, "{}", strategy.name());
         }
-        // Every pipeline run records all six passes in order.
+        // Every pipeline run records every pass in order.
         let passes: Vec<Pass> = compiled.reports().iter().map(|r| r.pass).collect();
         assert_eq!(passes, Pass::ALL.to_vec(), "{}", strategy.name());
     }
