@@ -1,9 +1,10 @@
 //! Emits the `BENCH_sim.json` perf baseline: gate-apply ns/op by kernel
 //! class at 4^8 amplitudes (specialized vs. the generic dense path),
-//! fused vs. unfused vs. kernel-demoted vs. register-padded trajectory
-//! throughput on the cnu-6q benchmark, per-strategy state bytes and
-//! occupancy histograms, compile times, and per-pass pipeline wall times
-//! (schema `bench_sim/v4`).
+//! windowed vs. whole-register vs. unfused vs. kernel-demoted vs.
+//! register-padded trajectory throughput on the cnu-6q benchmark,
+//! per-strategy state bytes with per-segment occupancy and reshape
+//! counts, compile times, and per-pass pipeline wall times (schema
+//! `bench_sim/v5`).
 //!
 //! Usage: `cargo run --release -p waltz-bench --bin bench_sim [--out PATH]
 //! [--budget-ms N]`.
@@ -144,9 +145,20 @@ fn main() {
         }
         passes.num("total", compiled.total_wall_ms());
         pipeline_obj.obj(&strategy.name(), &passes);
-        let unfused = Compiler::with_options(compiler.target().clone(), CompileOptions::unfused())
-            .compile(&circuit)
-            .unwrap();
+        // The PR 4 whole-program-demoted engine: one register sized to
+        // each device's lifetime-maximum occupancy, no reshapes.
+        let whole = Compiler::with_options(
+            compiler.target().clone(),
+            CompileOptions::default().with_windowed_registers(false),
+        )
+        .compile(&circuit)
+        .unwrap();
+        let unfused = Compiler::with_options(
+            compiler.target().clone(),
+            CompileOptions::unfused().with_windowed_registers(false),
+        )
+        .compile(&circuit)
+        .unwrap();
         // The register-padded engine (every device at its full physical
         // dimension) — the pre-occupancy baseline; identical to the
         // default for qubit-only and full-ququart, 16x more amplitudes
@@ -164,14 +176,17 @@ fn main() {
         }
         // Interleave the variants over several rounds and keep each
         // one's best rate, so slow drift on a shared host cannot skew the
-        // ratios.
-        let (mut rate, mut unfused_rate, mut dense_rate, mut padded_rate) =
-            (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        // ratios. `compiled` (the default) runs the windowed segmented
+        // schedule when the analysis split the program.
+        let (mut rate, mut whole_rate, mut unfused_rate, mut dense_rate, mut padded_rate) =
+            (0.0f64, 0.0f64, 0.0f64, 0.0f64, 0.0f64);
         let (mut est, mut est_unfused) = (None, None);
         for _ in 0..3 {
             let (e, r) = runner::simulate_timed(&compiled, &noise, trajectories, 7);
             rate = rate.max(r);
             est = Some(e);
+            let (_, r) = runner::simulate_timed(&whole, &noise, trajectories, 7);
+            whole_rate = whole_rate.max(r);
             let (e, r) = runner::simulate_timed(&unfused, &noise, trajectories, 7);
             unfused_rate = unfused_rate.max(r);
             est_unfused = Some(e);
@@ -181,7 +196,7 @@ fn main() {
             padded_rate = padded_rate.max(r);
         }
         let (est, est_unfused) = (est.expect("measured"), est_unfused.expect("measured"));
-        let register = &compiled.timed.register;
+        let register = &whole.timed.register;
         let mut occupancy = JsonObject::new();
         for dim in [2u8, 4u8] {
             occupancy.int(
@@ -189,19 +204,59 @@ fn main() {
                 register.dims().iter().filter(|&&d| d == dim).count() as u64,
             );
         }
+        let (segments, reshapes, peak_bytes, mean_bytes, segment_dims) =
+            match compiled.sim_segments() {
+                Some(seg) => (
+                    seg.n_segments(),
+                    seg.reshape_count(),
+                    seg.peak_state_bytes(),
+                    seg.mean_state_bytes(),
+                    seg.segments
+                        .iter()
+                        .map(|s| {
+                            s.register
+                                .dims()
+                                .iter()
+                                .map(u8::to_string)
+                                .collect::<Vec<_>>()
+                                .join(",")
+                        })
+                        .collect::<Vec<_>>()
+                        .join("|"),
+                ),
+                None => (
+                    1,
+                    0,
+                    register.state_bytes(),
+                    register.state_bytes() as f64,
+                    register
+                        .dims()
+                        .iter()
+                        .map(u8::to_string)
+                        .collect::<Vec<_>>()
+                        .join(","),
+                ),
+            };
         let mut t = JsonObject::new();
         t.num("trajectories_per_sec", rate)
+            .num("trajectories_per_sec_whole", whole_rate)
             .num("trajectories_per_sec_unfused", unfused_rate)
             .num("trajectories_per_sec_dense", dense_rate)
             .num("trajectories_per_sec_padded", padded_rate)
-            .num("speedup_fused_vs_unfused", rate / unfused_rate)
+            .num("speedup_windowed_vs_whole", rate / whole_rate)
+            .num("speedup_fused_vs_unfused", whole_rate / unfused_rate)
             .num("speedup_unfused_vs_dense", unfused_rate / dense_rate)
-            .num("speedup_demoted_vs_padded", rate / padded_rate)
+            .num("speedup_demoted_vs_padded", whole_rate / padded_rate)
             .int("state_bytes", register.state_bytes() as u64)
             .int(
                 "state_bytes_padded",
                 padded.timed.register.state_bytes() as u64,
             )
+            .int("state_bytes_peak_windowed", peak_bytes as u64)
+            .num("state_bytes_mean_windowed", mean_bytes)
+            .int("segments", segments as u64)
+            .int("reshapes", reshapes as u64)
+            .str("segment_dims", &segment_dims)
             .obj("occupancy", &occupancy)
             .int("hw_ops", compiled.timed.len() as u64)
             .int("fused_ops", compiled.sim_circuit().len() as u64)
@@ -211,17 +266,20 @@ fn main() {
             .num("std_error", est.std_error);
         traj_obj.obj(&strategy.name(), &t);
         println!(
-            "trajectory/cnu-6q/{:<22} fused {:>8.0} traj/s ({} ops)  unfused {:>8.0} ({} ops, \
-             {:.2}x)  dense {:>8.0}  padded {:>8.0} ({:.2}x, {} -> {} amps)  mean F = {:.4}",
+            "trajectory/cnu-6q/{:<22} windowed {:>8.0} traj/s ({} segs, {} reshapes, peak {} \
+             amps)  whole {:>8.0} ({:.2}x)  unfused {:>8.0}  dense {:>8.0}  padded {:>8.0} \
+             ({:.2}x, {} -> {} amps)  mean F = {:.4}",
             strategy.name(),
             rate,
-            compiled.sim_circuit().len(),
+            segments,
+            reshapes,
+            peak_bytes / 16,
+            whole_rate,
+            rate / whole_rate,
             unfused_rate,
-            compiled.timed.len(),
-            rate / unfused_rate,
             dense_rate,
             padded_rate,
-            rate / padded_rate,
+            whole_rate / padded_rate,
             padded.timed.register.total_dim(),
             register.total_dim(),
             est.mean
@@ -234,10 +292,11 @@ fn main() {
         .unwrap_or(1);
     let mut report = JsonObject::new();
     report
-        .str("schema", "bench_sim/v4")
+        .str("schema", "bench_sim/v5")
         .str(
             "bench",
-            "kernel-specialized state-vector engine + gate fusion + occupancy-demoted registers",
+            "kernel-specialized state-vector engine + gate fusion + occupancy-demoted registers \
+             + windowed (time-sliced) registers",
         )
         .int("threads", threads as u64)
         .int("amplitudes", reg.total_dim() as u64)

@@ -4,7 +4,7 @@ use waltz_circuit::Circuit;
 use waltz_core::{CompileError, CompiledCircuit, Compiler, Strategy, Target};
 use waltz_gates::GateLibrary;
 use waltz_noise::{CoherenceModel, NoiseModel};
-use waltz_sim::trajectory::{self, FidelityEstimate};
+use waltz_sim::trajectory::FidelityEstimate;
 use waltz_sim::Register;
 
 /// Harness options, parsed from the command line.
@@ -155,7 +155,7 @@ pub fn try_evaluate(
     seed: u64,
 ) -> Result<Option<DataPoint>, CompileError> {
     let compiled = compiler_for(strategy, lib).compile(circuit)?;
-    if !register_simulable(&compiled.timed.register) {
+    if !artifact_simulable(&compiled) {
         return Ok(None);
     }
     let fidelity = simulate(&compiled, noise, trajectories, seed);
@@ -170,23 +170,20 @@ pub fn try_evaluate(
     }))
 }
 
-/// Trajectory-method fidelity of an already-compiled circuit, simulated
-/// on [`CompiledCircuit::sim_circuit`] (the fused program when the
-/// compile options requested fusion) with the allocation-free in-place
-/// initial-state factory.
+/// Trajectory-method fidelity of an already-compiled circuit with the
+/// allocation-free in-place initial-state factory: the windowed
+/// segmented schedule ([`CompiledCircuit::sim_segments`]) when the
+/// compiler produced one, otherwise [`CompiledCircuit::sim_circuit`]
+/// (the fused program when the compile options requested fusion) — one
+/// dispatch rule, shared with `Simulation::average_fidelity` through
+/// [`CompiledCircuit::estimate_average_fidelity`].
 pub fn simulate(
     compiled: &CompiledCircuit,
     noise: &NoiseModel,
     trajectories: usize,
     seed: u64,
 ) -> FidelityEstimate {
-    trajectory::average_fidelity_with(
-        compiled.sim_circuit(),
-        noise,
-        trajectories,
-        seed,
-        |_, rng, out| compiled.write_random_product_initial_state(rng, out),
-    )
+    compiled.estimate_average_fidelity(noise, trajectories, seed)
 }
 
 /// [`simulate`] with wall-clock accounting: returns the estimate plus the
@@ -231,11 +228,19 @@ pub fn evaluate_eps_only(
 /// gated on.
 pub const MAX_STATE_BYTES: usize = 1 << 28;
 
-/// Whether a compiled register's state vector fits the byte budget — the
-/// authoritative per-circuit guard, computed from the *actual*
-/// (occupancy-demoted) register rather than a per-strategy qubit cap.
+/// Whether a compiled register's state vector fits the byte budget.
 pub fn register_simulable(register: &Register) -> bool {
     register.state_bytes() <= MAX_STATE_BYTES
+}
+
+/// Whether a compiled artifact's simulation fits the byte budget — the
+/// authoritative per-circuit guard. With windowed registers the budget
+/// gates on the **max over segments** of the segmented schedule
+/// ([`CompiledCircuit::sim_state_bytes_peak`]), not the whole-program
+/// register: a program whose lifetime-maximum register would bust the
+/// budget still simulates when every individual window fits.
+pub fn artifact_simulable(compiled: &CompiledCircuit) -> bool {
+    compiled.sim_state_bytes_peak() <= MAX_STATE_BYTES
 }
 
 /// Optimistic pre-filter on the byte budget, before compiling: whether

@@ -6,7 +6,7 @@ use std::ops::Deref;
 use rand::Rng;
 
 use waltz_noise::NoiseModel;
-use waltz_sim::trajectory::{self, FidelityEstimate};
+use waltz_sim::trajectory::FidelityEstimate;
 use waltz_sim::{Session, State};
 
 use crate::compile::CompiledCircuit;
@@ -153,20 +153,29 @@ impl<'a> Simulation<'a> {
 
     /// Trajectory-method average fidelity over random logical product
     /// inputs embedded at the compiler's placement (§6.4): the paper's
-    /// headline simulation, on the fused schedule, with per-worker buffer
-    /// reuse.
+    /// headline simulation, with per-worker buffer reuse. Runs the
+    /// windowed (segmented) schedule when the compiler produced one —
+    /// statistically equivalent to the whole-program engine, pinned by
+    /// the `window_parity` suite — and the fused whole-program schedule
+    /// ([`CompiledCircuit::sim_circuit`]) otherwise
+    /// ([`CompiledCircuit::estimate_average_fidelity`]).
     pub fn average_fidelity(&self, trajectories: usize) -> FidelityEstimate {
-        trajectory::average_fidelity_with(
-            self.compiled.sim_circuit(),
-            &self.noise,
-            trajectories,
-            self.seed,
-            |_, rng, out| self.compiled.write_random_product_initial_state(rng, out),
-        )
+        self.compiled
+            .estimate_average_fidelity(&self.noise, trajectories, self.seed)
     }
 
     /// Runs one noisy trajectory from `initial` into the session's output
     /// buffer and returns it.
+    ///
+    /// Serial shots always run the **whole-program** schedule
+    /// ([`CompiledCircuit::sim_circuit`]), never the windowed one: their
+    /// output state lives on the whole-program register, which is what
+    /// the measurement decode paths
+    /// ([`CompiledCircuit::decode_device_index`],
+    /// [`CompiledCircuit::sample_decoded`]) read. Only the batch
+    /// estimator ([`Simulation::average_fidelity`]) dispatches to the
+    /// segmented engine, where both the ideal and noisy runs share the
+    /// last segment's register.
     ///
     /// # Panics
     ///

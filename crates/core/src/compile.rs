@@ -9,7 +9,7 @@ use waltz_circuit::Circuit;
 use waltz_gates::GateLibrary;
 use waltz_math::C64;
 use waltz_noise::CoherenceModel;
-use waltz_sim::{Register, State, TimedCircuit};
+use waltz_sim::{Register, SegmentedCircuit, State, TimedCircuit};
 
 use crate::eps::{self, CoherenceSpan, EpsBreakdown};
 use crate::lower::LowerOutput;
@@ -119,6 +119,18 @@ pub struct CompiledCircuit {
     /// estimates still come from `timed`; simulation should go through
     /// [`CompiledCircuit::sim_circuit`].
     pub fused: Option<TimedCircuit>,
+    /// The windowed-register simulation schedule when the analysis found
+    /// more than one worthwhile segment
+    /// ([`crate::CompileOptions::with_windowed_registers`], on by
+    /// default): the same pulses cut at the points where a device's
+    /// occupied dimension changes, each segment on its own register with
+    /// the state reshaped in flight at the boundaries. Fused per segment
+    /// when fusion is on. Batch fidelity estimation
+    /// ([`crate::Simulation::average_fidelity`]) runs this schedule when
+    /// present; `None` means the whole-program register is already
+    /// optimal (or windowing was disabled) and simulation falls back to
+    /// [`CompiledCircuit::sim_circuit`].
+    pub windowed: Option<SegmentedCircuit>,
     /// The strategy that produced it.
     pub strategy: Strategy,
     /// Logical-qubit sites at circuit start.
@@ -153,6 +165,61 @@ impl CompiledCircuit {
         self.fused.as_ref().unwrap_or(&self.timed)
     }
 
+    /// The windowed (segmented) simulation schedule, when the occupancy
+    /// analysis found more than one worthwhile segment. Segmented
+    /// simulation starts on the first segment's register and ends on the
+    /// last segment's — use [`SegmentedCircuit::first_register`] /
+    /// [`SegmentedCircuit::last_register`] for buffer setup.
+    pub fn sim_segments(&self) -> Option<&SegmentedCircuit> {
+        self.windowed.as_ref()
+    }
+
+    /// Peak state-vector bytes a simulation of this artifact sizes its
+    /// buffers by: the maximum over segments of the windowed schedule
+    /// when present (a segmented run rolls two buffers of at most this
+    /// size), the whole-program register otherwise — the quantity
+    /// simulation byte budgets gate on (`waltz_bench::runner`).
+    pub fn sim_state_bytes_peak(&self) -> usize {
+        self.windowed
+            .as_ref()
+            .map(SegmentedCircuit::peak_state_bytes)
+            .unwrap_or_else(|| self.timed.register.state_bytes())
+    }
+
+    /// Trajectory-method average fidelity over random logical product
+    /// inputs embedded at the compiler's placement (§6.4), dispatched to
+    /// the windowed segmented engine when the compiler produced one and
+    /// the fused whole-program schedule otherwise — the single
+    /// implementation behind [`crate::Simulation::average_fidelity`] and
+    /// the bench runner, so the dispatch rule cannot drift between them.
+    pub fn estimate_average_fidelity(
+        &self,
+        noise: &waltz_noise::NoiseModel,
+        trajectories: usize,
+        seed: u64,
+    ) -> waltz_sim::trajectory::FidelityEstimate {
+        use waltz_sim::trajectory;
+        let write = |_: &Register, rng: &mut rand::rngs::StdRng, out: &mut State| {
+            self.write_random_product_initial_state(rng, out)
+        };
+        match self.sim_segments() {
+            Some(segments) => trajectory::average_fidelity_segmented_with(
+                segments,
+                noise,
+                trajectories,
+                seed,
+                write,
+            ),
+            None => trajectory::average_fidelity_with(
+                self.sim_circuit(),
+                noise,
+                trajectories,
+                seed,
+                write,
+            ),
+        }
+    }
+
     /// Encoded-basis weight of a logical qubit sitting at `site`: its bit
     /// contributes `weight * bit` to the device's level.
     fn site_weight(&self, site: Site) -> usize {
@@ -178,10 +245,19 @@ impl CompiledCircuit {
     /// factory of the steady-state fidelity loop
     /// ([`waltz_sim::trajectory::average_fidelity_with`]).
     ///
+    /// `out` may live on any register spanning the same devices as the
+    /// compiled circuit — in particular the *first segment's* register of
+    /// the windowed schedule ([`CompiledCircuit::sim_segments`]), whose
+    /// dimensions the occupancy analysis guarantees cover every level the
+    /// initial placement populates. The RNG is consumed identically
+    /// regardless of the register, so the same seed draws the same
+    /// logical input on the whole-program and windowed engines.
+    ///
     /// # Panics
     ///
-    /// Panics if `out` lives on a different register than the compiled
-    /// circuit.
+    /// Panics if `out` spans a different device count than the compiled
+    /// circuit, or its register clips a level the initial placement
+    /// populates (impossible for registers the compiler produced).
     pub fn write_random_product_initial_state<R: rand::Rng + ?Sized>(
         &self,
         rng: &mut R,
@@ -189,18 +265,21 @@ impl CompiledCircuit {
     ) {
         const MAX_DEVICES: usize = 64;
         const MAX_LEVELS: usize = 4;
-        let register = &self.timed.register;
+        // Snapshot the register geometry onto the stack so the immutable
+        // borrow of `out` ends before the mutable fill: the factory runs
+        // once per trajectory and must not touch the heap.
+        let n = out.register().n_qudits();
         assert_eq!(
-            out.register(),
-            register,
-            "state register does not match compiled circuit"
+            n,
+            self.timed.register.n_qudits(),
+            "state register does not span the compiled circuit's devices"
         );
-        let n = register.n_qudits();
         assert!(n <= MAX_DEVICES, "register too large for stack factors");
-        assert!(
-            (0..n).all(|d| register.dim(d) <= MAX_LEVELS),
-            "device dimension above 4"
-        );
+        let mut reg_dims = [0usize; MAX_DEVICES];
+        for (d, rd) in reg_dims.iter_mut().enumerate().take(n) {
+            *rd = out.register().dim(d);
+            assert!(*rd <= MAX_LEVELS, "device dimension above 4");
+        }
         let mut factors = [[C64::ZERO; MAX_LEVELS]; MAX_DEVICES];
         for f in factors.iter_mut().take(n) {
             f[0] = C64::ONE;
@@ -210,10 +289,18 @@ impl CompiledCircuit {
             let weight = self.site_weight(site);
             let old = factors[site.device];
             let f = &mut factors[site.device];
-            for (level, amp) in f.iter_mut().enumerate().take(register.dim(site.device)) {
+            for (level, amp) in f.iter_mut().enumerate().take(MAX_LEVELS) {
                 let bit = (level / weight) % 2;
                 let rest = level - bit * weight;
                 *amp = old[rest] * qs[bit];
+            }
+        }
+        for (d, f) in factors.iter().enumerate().take(n) {
+            for &amp in &f[reg_dims[d]..] {
+                assert!(
+                    amp == C64::ZERO,
+                    "register clips level(s) the initial placement populates on device {d}"
+                );
             }
         }
         out.fill_product_with(|q, level| factors[q][level]);

@@ -1,5 +1,5 @@
-//! The unscheduled hardware program, its level-occupancy analysis and its
-//! ASAP scheduler.
+//! The unscheduled hardware program, its level-occupancy analysis
+//! (whole-program *and* time-sliced) and its ASAP scheduler.
 //!
 //! Occupancy: every [`HwProgram::push`] advances a forward support
 //! analysis that bounds, per device, the highest level the program can
@@ -11,10 +11,24 @@
 //! exactly the occupied dimensions, and [`HwProgram::schedule`] restricts
 //! each embedded unitary to the occupied subspace
 //! ([`waltz_gates::embed_demoted`]).
+//!
+//! The analysis also keeps the full *occupancy profile* (the per-device
+//! bound after every push), which is what makes the whole-program maximum
+//! refinable in time: [`HwProgram::window_registers`] cuts the program at
+//! the points where any device's occupied dimension changes (the
+//! `ENC`/`DEC` window boundaries) and assigns each resulting segment its
+//! own register, merging adjacent segments back whenever a cost model
+//! says the state-copy at the boundary would cost more sweep-bytes than
+//! the smaller register saves. [`HwProgram::schedule_windowed`] then
+//! emits a [`waltz_sim::SegmentedCircuit`] whose segments share one ASAP
+//! timeline (identical timing to [`HwProgram::schedule`]) but carry
+//! per-segment registers.
+
+use std::ops::Range;
 
 use waltz_gates::{embed_demoted, GateLibrary, HwGate, SUPPORT_TOL};
 use waltz_math::Matrix;
-use waltz_sim::{Register, TimedCircuit, TimedOp};
+use waltz_sim::{Register, SegmentedCircuit, TimedCircuit, TimedOp};
 
 /// One hardware gate bound to physical devices.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,9 +48,15 @@ pub struct HwProgram {
     /// Upper bound on the levels each device currently populates (forward
     /// support analysis, updated per push).
     cur_occ: Vec<u8>,
-    /// Highest `cur_occ` each device ever reached — the dimensions a
+    /// Highest `cur_occ` each device ever reached, clamped at 2 (a
+    /// register dimension cannot shrink below a qubit) — the dimensions a
     /// demoted register must provide.
     peak_occ: Vec<u8>,
+    /// The declared pre-program occupancy (what `cur_occ` started as).
+    entry_occ: Vec<u8>,
+    /// Occupancy profile: the `cur_occ` snapshot after each push — the
+    /// time-indexed data the windowed analysis cuts segments from.
+    occ_after: Vec<Vec<u8>>,
 }
 
 /// Per-operand output support of `u` (on logical dims `ld`) when its
@@ -81,12 +101,15 @@ impl HwProgram {
     /// pushing gates so the occupancy analysis can prove demotions.
     pub fn new(dims: Vec<u8>) -> Self {
         let cur_occ = dims.clone();
-        let peak_occ = dims.clone();
+        let peak_occ = dims.iter().map(|&d| d.max(2)).collect();
+        let entry_occ = dims.clone();
         HwProgram {
             dims,
             ops: Vec::new(),
             cur_occ,
             peak_occ,
+            entry_occ,
+            occ_after: Vec::new(),
         }
     }
 
@@ -110,7 +133,8 @@ impl HwProgram {
             assert!(*o >= 1 && o <= d, "entry occupancy out of range");
         }
         self.cur_occ.clone_from(&occ);
-        self.peak_occ = occ;
+        self.peak_occ = occ.iter().map(|&o| o.max(2)).collect();
+        self.entry_occ = occ;
     }
 
     /// Device dimensions.
@@ -120,9 +144,10 @@ impl HwProgram {
 
     /// The occupancy analysis result so far: per device, the highest
     /// level bound the program ever populates (at least 2 — a register
-    /// dimension cannot shrink below a qubit).
-    pub fn occupancy(&self) -> Vec<u8> {
-        self.peak_occ.iter().map(|&p| p.max(2)).collect()
+    /// dimension cannot shrink below a qubit). Borrowed from the
+    /// analysis state: no allocation per call.
+    pub fn occupancy(&self) -> &[u8] {
+        &self.peak_occ
     }
 
     /// The demotion step: shrinks the device dimensions to the occupancy
@@ -137,18 +162,28 @@ impl HwProgram {
     /// Dimensions never grow past the physical dimensions, so this is a
     /// no-op for programs that genuinely use their full register.
     pub fn demote_to_occupancy(&mut self) {
-        let mut dims: Vec<u8> = self
+        let dims: Vec<u8> = self
             .peak_occ
             .iter()
             .zip(&self.dims)
-            .map(|(&p, &d)| p.max(2).min(d))
+            .map(|(&p, &d)| p.min(d))
             .collect();
-        // Closure fixpoint: promoting a device can break closure of an
-        // op checked earlier (closure is not monotone in the subspace),
-        // so rescan until no op forces a promotion.
+        let cap = self.dims.clone();
+        self.dims = self.closed_dims(0..self.ops.len(), dims, &cap);
+    }
+
+    /// Closure fixpoint of candidate register dimensions against the ops
+    /// in `range`: any gate whose restriction to the candidate subspace
+    /// would not stay unitary ([`waltz_gates::restriction_closed`])
+    /// promotes its operands toward their logical dimensions, capped at
+    /// `cap` (the physical — or already-demoted — dimensions). Rescans
+    /// until no op forces a promotion: promoting a device can break
+    /// closure of an op checked earlier (closure is not monotone in the
+    /// subspace).
+    fn closed_dims(&self, range: Range<usize>, mut dims: Vec<u8>, cap: &[u8]) -> Vec<u8> {
         loop {
             let mut changed = false;
-            for op in &self.ops {
+            for op in &self.ops[range.clone()] {
                 let ld = op.gate.logical_dims();
                 if op
                     .devices
@@ -166,7 +201,7 @@ impl HwProgram {
                     .collect();
                 if !waltz_gates::restriction_closed(&op.gate.unitary(), &ld, &sub) {
                     for (i, &d) in op.devices.iter().enumerate() {
-                        let l = (ld[i].min(self.dims[d] as usize)) as u8;
+                        let l = (ld[i].min(cap[d] as usize)) as u8;
                         if dims[d] < l {
                             dims[d] = l;
                             changed = true;
@@ -175,10 +210,9 @@ impl HwProgram {
                 }
             }
             if !changed {
-                break;
+                return dims;
             }
         }
-        self.dims = dims;
     }
 
     /// The ops in program order.
@@ -242,6 +276,7 @@ impl HwProgram {
             self.cur_occ[d] = new;
             self.peak_occ[d] = self.peak_occ[d].max(new);
         }
+        self.occ_after.push(self.cur_occ.clone());
         self.ops.push(HwOp { gate, devices });
     }
 
@@ -266,43 +301,254 @@ impl HwProgram {
         let mut timed = TimedCircuit::new(register);
         let mut total: f64 = 0.0;
         for op in &self.ops {
-            let logical_dims = op.gate.logical_dims();
-            let dev_dims: Vec<usize> = op.devices.iter().map(|&d| self.dims[d] as usize).collect();
-            let unitary = embed_demoted(&op.gate.unitary(), &logical_dims, &dev_dims);
-            let start = op
-                .devices
-                .iter()
-                .map(|&d| free_at[d])
-                .fold(0.0f64, f64::max);
-            let duration = lib.duration(&op.gate);
-            for &d in &op.devices {
-                free_at[d] = start + duration;
-            }
-            total = total.max(start + duration);
-            // The error channel is drawn on the gate's calibrated logical
-            // dimensions, clipped to the device: a demoted device's errors
-            // are confined to the subspace it can actually populate.
-            let error_dims: Vec<u8> = logical_dims
-                .iter()
-                .zip(&dev_dims)
-                .map(|(&l, &d)| l.min(d) as u8)
-                .collect();
-            // TimedOp::new classifies the embedded unitary into its
-            // GateKernel here, once per compile, so every simulation of
-            // the schedule reuses the specialized apply path.
-            timed.ops.push(TimedOp::new(
-                label_of(&op.gate),
-                unitary,
-                op.devices.clone(),
-                error_dims,
-                start,
-                duration,
-                lib.fidelity(&op.gate),
-            ));
+            timed
+                .ops
+                .push(schedule_op(op, &self.dims, lib, &mut free_at, &mut total));
         }
         timed.total_duration_ns = total;
         timed
     }
+
+    /// The per-op required dimensions of the windowed analysis: during op
+    /// `i`, device `d` must provide the larger of its occupancy bound
+    /// entering and leaving the op (an `ENC` needs its host at dimension
+    /// 4 the moment it fires, a `DEC` until the moment it completes),
+    /// clamped to at least a qubit and at most the current register
+    /// dimensions.
+    fn required_dims(&self, i: usize) -> Vec<u8> {
+        let before = if i == 0 {
+            &self.entry_occ
+        } else {
+            &self.occ_after[i - 1]
+        };
+        before
+            .iter()
+            .zip(&self.occ_after[i])
+            .zip(&self.dims)
+            .map(|((&b, &a), &cap)| b.max(a).clamp(2, cap))
+            .collect()
+    }
+
+    /// The time-sliced occupancy analysis: cuts the program wherever any
+    /// device's occupied dimension changes (the `ENC`/`DEC` window
+    /// boundaries) and assigns each segment the smallest register that
+    /// holds its ops (closure-checked like
+    /// [`HwProgram::demote_to_occupancy`], promotions capped at the
+    /// current register dimensions so a segment never exceeds the
+    /// whole-program register).
+    ///
+    /// A reshape at a segment boundary costs one state copy, so adjacent
+    /// segments are greedily merged back whenever the copy costs more
+    /// than the smaller registers save: with each op priced as one sweep
+    /// over its segment's state and the copy as one read of the left
+    /// state plus one write of the right, a boundary survives only when
+    /// `ops_l * amps_l + ops_r * amps_r + amps_l + amps_r` undercuts
+    /// `(ops_l + ops_r) * amps_merged` — the byte-seconds balance of the
+    /// ROADMAP follow-up. Merging is re-evaluated to a fixpoint (best
+    /// gain first), so chains of short windows collapse into one segment
+    /// while genuinely disjoint windows stay split.
+    ///
+    /// Call after [`HwProgram::demote_to_occupancy`]: the segment
+    /// registers are then elementwise bounded by the demoted register,
+    /// making the windowed peak state size at most the whole-program one.
+    /// Returns one window covering the whole program when nothing is
+    /// worth splitting (or the program is empty).
+    pub fn window_registers(&self) -> Vec<RegisterWindow> {
+        if self.ops.is_empty() {
+            return vec![RegisterWindow {
+                ops: 0..0,
+                dims: self.dims.clone(),
+            }];
+        }
+        // Finest candidate segmentation: maximal runs of equal required
+        // dims. Each run's register is the closure fixpoint of its
+        // requirement.
+        let mut windows: Vec<RegisterWindow> = Vec::new();
+        let mut start = 0usize;
+        let mut run_req = self.required_dims(0);
+        for i in 1..self.ops.len() {
+            let req = self.required_dims(i);
+            if req != run_req {
+                windows.push(RegisterWindow {
+                    ops: start..i,
+                    dims: std::mem::take(&mut run_req),
+                });
+                start = i;
+                run_req = req;
+            }
+        }
+        windows.push(RegisterWindow {
+            ops: start..self.ops.len(),
+            dims: run_req,
+        });
+        for w in &mut windows {
+            w.dims = self.closed_dims(w.ops.clone(), std::mem::take(&mut w.dims), &self.dims);
+        }
+        // Cost-model merge to a fixpoint: take the best-gain merge first
+        // so cheap boundaries disappear before their neighbours are
+        // priced. Each adjacent pair's evaluation (closure fixpoint +
+        // costs) is memoized and a merge invalidates only the two pairs
+        // that now touch the merged window, so the loop performs O(1)
+        // closure scans per merge after the initial pass instead of
+        // re-scanning every pair each round.
+        let amps = |dims: &[u8]| -> f64 { dims.iter().map(|&d| d as f64).product() };
+        let evaluate = |l: &RegisterWindow, r: &RegisterWindow| -> (f64, Vec<u8>) {
+            let merged_req: Vec<u8> = l
+                .dims
+                .iter()
+                .zip(&r.dims)
+                .map(|(&a, &b)| a.max(b))
+                .collect();
+            let merged_dims = self.closed_dims(l.ops.start..r.ops.end, merged_req, &self.dims);
+            let (amps_l, amps_r, amps_m) = (amps(&l.dims), amps(&r.dims), amps(&merged_dims));
+            let (ops_l, ops_r) = (l.ops.len() as f64, r.ops.len() as f64);
+            let cost_split = ops_l * amps_l + ops_r * amps_r + amps_l + amps_r;
+            let cost_merged = (ops_l + ops_r) * amps_m;
+            (cost_split - cost_merged, merged_dims)
+        };
+        // pair_eval[i] prices merging windows[i] with windows[i + 1].
+        let mut pair_eval: Vec<Option<(f64, Vec<u8>)>> =
+            vec![None; windows.len().saturating_sub(1)];
+        loop {
+            for i in 0..pair_eval.len() {
+                if pair_eval[i].is_none() {
+                    pair_eval[i] = Some(evaluate(&windows[i], &windows[i + 1]));
+                }
+            }
+            // First-of-equal-gains wins (strict `>`), keeping the merge
+            // order identical to the unmemoized scan.
+            let mut best: Option<(usize, f64)> = None;
+            for (i, e) in pair_eval.iter().enumerate() {
+                let (gain, _) = e.as_ref().expect("pair evaluated above");
+                if *gain >= 0.0 && best.map(|(_, g)| *gain > g).unwrap_or(true) {
+                    best = Some((i, *gain));
+                }
+            }
+            match best {
+                Some((i, _)) => {
+                    let (_, merged_dims) = pair_eval.remove(i).expect("pair evaluated above");
+                    let right = windows.remove(i + 1);
+                    windows[i].ops = windows[i].ops.start..right.ops.end;
+                    windows[i].dims = merged_dims;
+                    // Only the pairs now adjacent to the merged window
+                    // changed.
+                    if i > 0 {
+                        pair_eval[i - 1] = None;
+                    }
+                    if i < pair_eval.len() {
+                        pair_eval[i] = None;
+                    }
+                }
+                None => return windows,
+            }
+        }
+    }
+
+    /// Schedules the program into one segment per [`RegisterWindow`]
+    /// (see [`HwProgram::window_registers`]): one global ASAP timeline —
+    /// start times, durations and the total wall-clock are identical to
+    /// [`HwProgram::schedule`] — with each op embedded to *its segment's*
+    /// register and its error channel clipped to the segment dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the windows do not tile the program contiguously.
+    pub fn schedule_windowed(
+        &self,
+        lib: &GateLibrary,
+        windows: &[RegisterWindow],
+    ) -> SegmentedCircuit {
+        let mut free_at = vec![0.0f64; self.dims.len()];
+        let mut total: f64 = 0.0;
+        let mut segments: Vec<TimedCircuit> = Vec::with_capacity(windows.len());
+        let mut cursor = 0usize;
+        for w in windows {
+            assert_eq!(w.ops.start, cursor, "windows must tile the program");
+            cursor = w.ops.end;
+            let mut segment = TimedCircuit::new(Register::new(w.dims.clone()));
+            for op in &self.ops[w.ops.clone()] {
+                segment
+                    .ops
+                    .push(schedule_op(op, &w.dims, lib, &mut free_at, &mut total));
+            }
+            segments.push(segment);
+        }
+        assert_eq!(cursor, self.ops.len(), "windows must cover every op");
+        for segment in &mut segments {
+            segment.total_duration_ns = total;
+        }
+        SegmentedCircuit::new(segments, total)
+    }
+}
+
+/// One segment of the time-sliced occupancy analysis
+/// ([`HwProgram::window_registers`]): a contiguous op range and the
+/// per-device register dimensions it simulates on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegisterWindow {
+    /// The ops this window covers (contiguous, in program order).
+    pub ops: Range<usize>,
+    /// Per-device register dimensions while the window is active.
+    pub dims: Vec<u8>,
+}
+
+impl RegisterWindow {
+    /// State-vector amplitudes of this window's register.
+    pub fn amplitudes(&self) -> usize {
+        self.dims.iter().map(|&d| d as usize).product()
+    }
+
+    /// State-vector bytes of this window's register (16 per amplitude).
+    pub fn state_bytes(&self) -> usize {
+        self.amplitudes() * std::mem::size_of::<waltz_math::C64>()
+    }
+}
+
+/// ASAP-schedules one op against the given register dimensions, advancing
+/// the shared per-device `free_at` timeline and the running `total` —
+/// the single scheduling body behind [`HwProgram::schedule`] (whole
+/// register) and [`HwProgram::schedule_windowed`] (per-segment
+/// registers, one global timeline).
+fn schedule_op(
+    op: &HwOp,
+    dims: &[u8],
+    lib: &GateLibrary,
+    free_at: &mut [f64],
+    total: &mut f64,
+) -> TimedOp {
+    let logical_dims = op.gate.logical_dims();
+    let dev_dims: Vec<usize> = op.devices.iter().map(|&d| dims[d] as usize).collect();
+    let unitary = embed_demoted(&op.gate.unitary(), &logical_dims, &dev_dims);
+    let start = op
+        .devices
+        .iter()
+        .map(|&d| free_at[d])
+        .fold(0.0f64, f64::max);
+    let duration = lib.duration(&op.gate);
+    for &d in &op.devices {
+        free_at[d] = start + duration;
+    }
+    *total = total.max(start + duration);
+    // The error channel is drawn on the gate's calibrated logical
+    // dimensions, clipped to the device: a demoted device's errors
+    // are confined to the subspace it can actually populate.
+    let error_dims: Vec<u8> = logical_dims
+        .iter()
+        .zip(&dev_dims)
+        .map(|(&l, &d)| l.min(d) as u8)
+        .collect();
+    // TimedOp::new classifies the embedded unitary into its
+    // GateKernel here, once per compile, so every simulation of
+    // the schedule reuses the specialized apply path.
+    TimedOp::new(
+        label_of(&op.gate),
+        unitary,
+        op.devices.clone(),
+        error_dims,
+        start,
+        duration,
+        lib.fidelity(&op.gate),
+    )
 }
 
 /// Short display label for a hardware gate.
@@ -460,6 +706,118 @@ mod tests {
                 assert!(got.approx_eq(C64::ZERO, 1e-12), "leak at {idx}");
             }
         }
+    }
+
+    /// Two disjoint ENC windows on different hosts with qubit work
+    /// between them — the shape the windowed analysis exists for.
+    fn two_window_program() -> HwProgram {
+        let mut p = HwProgram::new(vec![4, 4, 4, 4]);
+        p.set_entry_occupancy(vec![2, 2, 2, 2]);
+        p.push(HwGate::QubitU(Q1Gate::H), vec![0]);
+        p.push(HwGate::QubitU(Q1Gate::H), vec![2]);
+        p.push(HwGate::QubitCx, vec![0, 1]);
+        p.push(HwGate::QubitCx, vec![2, 3]);
+        p.push(HwGate::Enc, vec![0, 1]);
+        p.push(HwGate::MrCcz, vec![0, 2]);
+        p.push(HwGate::Dec, vec![0, 1]);
+        p.push(HwGate::QubitCx, vec![0, 2]);
+        p.push(HwGate::QubitCx, vec![1, 3]);
+        p.push(HwGate::QubitCx, vec![0, 1]);
+        p.push(HwGate::Enc, vec![2, 3]);
+        p.push(HwGate::MrCcz, vec![2, 0]);
+        p.push(HwGate::Dec, vec![2, 3]);
+        p.push(HwGate::QubitCx, vec![2, 3]);
+        p.push(HwGate::QubitCx, vec![0, 1]);
+        p.push(HwGate::QubitCx, vec![1, 2]);
+        p
+    }
+
+    #[test]
+    fn window_registers_shrink_hosts_outside_their_windows() {
+        let mut p = two_window_program();
+        p.demote_to_occupancy();
+        // Whole-program demotion keeps BOTH hosts at dim 4...
+        assert_eq!(p.dims(), &[4, 2, 4, 2]);
+        let windows = p.window_registers();
+        // ...but the windowed analysis opens each host only inside its
+        // own window: no segment carries both dim-4 hosts at once.
+        assert!(windows.len() > 1, "two disjoint windows must split");
+        let mut covered = 0usize;
+        for w in &windows {
+            assert_eq!(w.ops.start, covered, "windows must tile the program");
+            covered = w.ops.end;
+            assert!(
+                w.amplitudes() < 4 * 4 * 2 * 2,
+                "no segment may need the whole-program register, got {:?}",
+                w.dims
+            );
+            for (d, (&wd, &pd)) in w.dims.iter().zip(p.dims()).enumerate() {
+                assert!(wd <= pd, "segment dim exceeds demoted dim on device {d}");
+            }
+        }
+        assert_eq!(covered, p.len());
+        let peak = windows
+            .iter()
+            .map(RegisterWindow::amplitudes)
+            .max()
+            .unwrap();
+        assert!(
+            peak < 4 * 4 * 2 * 2,
+            "windowed peak ({peak} amps) must undercut the whole-program register"
+        );
+    }
+
+    #[test]
+    fn schedule_windowed_keeps_the_asap_timeline() {
+        let mut p = two_window_program();
+        p.demote_to_occupancy();
+        let lib = GateLibrary::paper();
+        let whole = p.schedule(&lib);
+        let windows = p.window_registers();
+        let segmented = p.schedule_windowed(&lib, &windows);
+        assert!(segmented.validate().is_ok(), "{:?}", segmented.validate());
+        assert_eq!(segmented.len(), whole.len());
+        assert_eq!(segmented.total_duration_ns, whole.total_duration_ns);
+        // Op-for-op identical timing and calibration; only the embedding
+        // register differs.
+        let seg_ops: Vec<_> = segmented
+            .segments
+            .iter()
+            .flat_map(|s| s.ops.iter())
+            .collect();
+        for (a, b) in seg_ops.iter().zip(&whole.ops) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.start_ns, b.start_ns);
+            assert_eq!(a.duration_ns, b.duration_ns);
+            assert_eq!(a.operands, b.operands);
+            assert_eq!(a.fidelity, b.fidelity);
+        }
+        assert!((segmented.gate_eps() - whole.gate_eps()).abs() < 1e-12);
+        assert!(segmented.peak_state_bytes() < whole.register.state_bytes());
+        assert!(segmented.mean_state_bytes() < whole.register.state_bytes() as f64);
+    }
+
+    #[test]
+    fn single_window_when_occupancy_never_changes() {
+        let mut p = HwProgram::new(vec![2, 2]);
+        p.push(HwGate::QubitU(Q1Gate::H), vec![0]);
+        p.push(HwGate::QubitCx, vec![0, 1]);
+        p.demote_to_occupancy();
+        let windows = p.window_registers();
+        assert_eq!(windows.len(), 1);
+        assert_eq!(windows[0].ops, 0..2);
+        assert_eq!(windows[0].dims, vec![2, 2]);
+    }
+
+    #[test]
+    fn occupancy_borrow_reflects_analysis_state() {
+        // The slice-returning accessor stays clamped at 2 and tracks
+        // pushes without allocating.
+        let mut p = HwProgram::new(vec![4, 4]);
+        p.set_entry_occupancy(vec![2, 2]);
+        assert_eq!(p.occupancy(), &[2u8, 2][..]);
+        p.push(HwGate::Enc, vec![0, 1]);
+        assert_eq!(p.occupancy(), &[4u8, 2][..]);
     }
 
     #[test]

@@ -34,16 +34,32 @@
 //!    four levels and hit a 12-qubit simulation wall; with demotion only
 //!    ENC hosts stay four-dimensional, so a cnu-6q mixed-radix register
 //!    shrinks 4096 → 256 amplitudes and larger sizes open up whenever
-//!    the heterogeneous register fits the byte budget. The [`PassReport`]
+//!    the heterogeneous register fits the byte budget. The analysis is
+//!    then **time-sliced** ([`HwProgram::window_registers`]): the
+//!    program is cut wherever a device's occupied dimension changes
+//!    (the ENC/DEC window boundaries), each segment gets its own
+//!    register, and the state is reshaped in flight at each boundary —
+//!    so a host is four-dimensional only *while its window is open*,
+//!    compounding the demotion win on programs with disjoint windows. A
+//!    cost model keeps a boundary only when the smaller registers save
+//!    more sweep-bytes than the reshape copy costs. The [`PassReport`]
 //!    records the per-device dims (`dims`, `dim2_devices`,
-//!    `dim4_devices`) and the state bytes with and without demotion
-//!    (`state_bytes`, `state_bytes_padded`). Opt out per compile with
-//!    [`CompileOptions::with_padded_registers`]; the `radix_parity`
-//!    suite pins demoted-vs-padded parity at 1e-12 noiselessly and
-//!    within one standard error under the trajectory noise model.
+//!    `dim4_devices`), the state bytes with and without demotion
+//!    (`state_bytes`, `state_bytes_padded`), and the windowed
+//!    segmentation (`windowed`, `segments`, `reshapes`, `segment_dims`,
+//!    `state_bytes_peak`, `state_bytes_mean`). Opt out per compile with
+//!    [`CompileOptions::with_padded_registers`] /
+//!    [`CompileOptions::with_windowed_registers`]; the `radix_parity`
+//!    and `window_parity` suites pin both refinements at 1e-12
+//!    noiselessly and within one standard error under the trajectory
+//!    noise model.
 //! 5. [`Pass::Schedule`] — ASAP, tracking per-device busy/idle windows,
 //!    producing a [`waltz_sim::TimedCircuit`] over the (possibly
-//!    heterogeneous) register.
+//!    heterogeneous) register — plus, when the analysis split the
+//!    program, a [`waltz_sim::SegmentedCircuit`] whose segments share
+//!    the same timeline but carry per-window registers
+//!    ([`CompiledCircuit::sim_segments`]; batch fidelity estimation
+//!    runs it automatically).
 //! 6. [`Pass::Fuse`] — batch the simulation schedule with the gate-fusion
 //!    pass (host-calibrated cost constants, optional block-span cap);
 //!    block products are memoized in a compiler-wide
@@ -116,7 +132,7 @@ pub use compile::{compile, compile_on, compile_on_with_options, compile_with_opt
 pub use artifact::{CompileArtifact, Simulation};
 pub use compile::{CompileError, CompileStats, CompiledCircuit};
 pub use eps::{CoherenceSpan, EpsBreakdown};
-pub use hwprog::HwProgram;
+pub use hwprog::{HwProgram, RegisterWindow};
 pub use layout::Layout;
 pub use pipeline::{Compiler, Pass, PassReport};
 pub use strategy::{CompileOptions, FqCswapMode, Fusion, MrCcxMode, QubitCcxMode, Strategy};

@@ -55,6 +55,18 @@ pub fn route(
     let initial_sites = layout.assignment();
     let n_devices = graph.topology().n_devices();
     let mut r = Router::new(layout, vec![4; n_devices], RadixMode::Encoded);
+    // Seed the occupancy analysis from the initial slot layout instead of
+    // assuming every device enters at full dimension: a device holding
+    // one qubit in slot 1 populates levels {0, 1} (entry bound 2), one
+    // with only slot 0 occupied reaches level 2 (bound 3), and only fully
+    // packed devices enter at 4 — so half-filled devices at odd qubit
+    // counts can demote whenever their gates stay closed on the occupied
+    // subspace (diagonal CZ/CCZ pulses always do).
+    let mut entry = vec![1u8; n_devices];
+    for site in &initial_sites {
+        entry[site.device] += if site.slot == 0 { 2 } else { 1 };
+    }
+    r.prog.set_entry_occupancy(entry);
 
     for gate in prepared.iter() {
         match (&gate.kind, gate.qubits.as_slice()) {

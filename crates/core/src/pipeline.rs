@@ -36,8 +36,14 @@ pub enum Pass {
     /// level each device ever populates and (unless
     /// [`CompileOptions::padded_registers`] is set) demotes devices that
     /// never leave their qubit subspace to dimension 2, shrinking the
-    /// simulated register. The report records the per-device dimensions
-    /// and the state bytes saved.
+    /// simulated register; then (unless
+    /// [`CompileOptions::with_windowed_registers`] opted out) time-slices
+    /// the result into per-segment registers at the `ENC`/`DEC` window
+    /// boundaries ([`crate::HwProgram::window_registers`]). The report
+    /// records the per-device dimensions, the state bytes saved, and the
+    /// windowed segmentation: `segments`, `reshapes`, per-segment
+    /// `segment_dims`, and peak vs. mean state bytes
+    /// (`state_bytes_peak`, `state_bytes_mean`).
     Analyze,
     /// ASAP scheduling with calibrated durations, embedding each unitary
     /// to device dimensions and classifying its [`waltz_sim::GateKernel`].
@@ -287,6 +293,12 @@ impl Compiler {
         // The mixed-radix payoff: only ENC hosts (and partners the closure
         // check cannot demote) stay four-dimensional, so a register that
         // padded to 4^n amplitudes collapses to the occupied product.
+        // The windowed refinement then time-slices that result: the
+        // program is cut wherever a device's occupied dimension changes
+        // (ENC/DEC boundaries) and each segment gets its own register, so
+        // hosts shrink *outside* their windows too — gated by a cost
+        // model that only keeps boundaries whose smaller registers save
+        // more sweep-bytes than the reshape copy costs.
         let t0 = Instant::now();
         let bytes_of =
             |dims: &[u8]| STATE_BYTES_PER_AMP * dims.iter().map(|&d| d as usize).product::<usize>();
@@ -294,8 +306,32 @@ impl Compiler {
         if !self.options.padded_registers {
             out.prog.demote_to_occupancy();
         }
+        let windowing = self.options.windowed_registers && !self.options.padded_registers;
+        let windows = if windowing {
+            out.prog.window_registers()
+        } else {
+            Vec::new()
+        };
+        // A single window is exactly the whole-program register: fall
+        // back to the PR 4 engine and skip the segmented schedule.
+        let windowed_active = windows.len() > 1;
         let dims = out.prog.dims();
         let state_bytes = bytes_of(dims);
+        let (peak_bytes, mean_bytes) = if windowed_active {
+            let peak = windows
+                .iter()
+                .map(crate::hwprog::RegisterWindow::state_bytes)
+                .max()
+                .unwrap_or(0);
+            let ops: usize = windows.iter().map(|w| w.ops.len()).sum();
+            let weighted: f64 = windows
+                .iter()
+                .map(|w| (w.ops.len() * w.state_bytes()) as f64)
+                .sum();
+            (peak, weighted / ops.max(1) as f64)
+        } else {
+            (state_bytes, state_bytes as f64)
+        };
         let dim_counts = |target: u8| dims.iter().filter(|&&d| d == target).count();
         let prog_len = out.prog.len();
         reports.push(PassReport {
@@ -318,12 +354,42 @@ impl Compiler {
                     "demoted".into(),
                     (!self.options.padded_registers).to_string(),
                 ),
+                ("windowed".into(), windowed_active.to_string()),
+                (
+                    "segments".into(),
+                    if windowed_active { windows.len() } else { 1 }.to_string(),
+                ),
+                (
+                    "reshapes".into(),
+                    windows.len().saturating_sub(1).to_string(),
+                ),
+                (
+                    "segment_dims".into(),
+                    if windowed_active {
+                        windows
+                            .iter()
+                            .map(|w| {
+                                w.dims
+                                    .iter()
+                                    .map(u8::to_string)
+                                    .collect::<Vec<_>>()
+                                    .join(",")
+                            })
+                            .collect::<Vec<_>>()
+                            .join("|")
+                    } else {
+                        dims.iter().map(u8::to_string).collect::<Vec<_>>().join(",")
+                    },
+                ),
+                ("state_bytes_peak".into(), peak_bytes.to_string()),
+                ("state_bytes_mean".into(), format!("{mean_bytes:.1}")),
             ],
         });
 
         // -- Schedule -----------------------------------------------------
         let t0 = Instant::now();
         let timed = out.prog.schedule(lib);
+        let windowed_raw = windowed_active.then(|| out.prog.schedule_windowed(lib, &windows));
         let timed_depth = schedule_depth(&timed);
         reports.push(PassReport {
             pass: Pass::Schedule,
@@ -344,6 +410,12 @@ impl Compiler {
             Fusion::Off => None,
             Fusion::TwoQudit => Some(timed.fuse_with_cache(&self.fuse, &self.fuse_cache)),
         };
+        // The windowed schedule fuses per segment (never across a reshape
+        // boundary), sharing the compiler-wide block cache.
+        let windowed = windowed_raw.map(|seg| match self.options.fusion {
+            Fusion::Off => seg,
+            Fusion::TwoQudit => seg.fuse_with_cache(&self.fuse, &self.fuse_cache),
+        });
         let sim_ops = fused.as_ref().map_or(timed.len(), TimedCircuit::len);
         let sim_depth = fused.as_ref().map_or(timed_depth, schedule_depth);
         reports.push(PassReport {
@@ -386,6 +458,7 @@ impl Compiler {
         let compiled = CompiledCircuit {
             timed,
             fused,
+            windowed,
             strategy,
             initial_sites: out.initial_sites,
             final_sites: out.final_sites,
@@ -719,9 +792,101 @@ mod tests {
         let compiler = Compiler::new(Target::paper(Strategy::qubit_only()));
         let artifact = compiler.compile(&small_circuit()).unwrap();
         assert!(artifact.timed.register.dims().iter().all(|&d| d == 2));
+        // The H wrapping the CCZ transform promotes the half-filled
+        // device back to full dimension, so this circuit stays all-4 even
+        // with slot-layout-seeded entry occupancy.
         let compiler = Compiler::new(Target::paper(Strategy::full_ququart()));
         let artifact = compiler.compile(&small_circuit()).unwrap();
         assert!(artifact.timed.register.dims().iter().all(|&d| d == 4));
+    }
+
+    #[test]
+    fn full_ququart_entry_occupancy_demotes_half_filled_device() {
+        // Three qubits on two devices: the lone qubit's device enters the
+        // analysis at its slot-layout occupancy instead of full dimension
+        // (the ROADMAP follow-up), and a CCZ-only circuit — diagonal
+        // pulses keep every subspace closed — lets it stay demoted.
+        let mut c = Circuit::new(3);
+        c.ccz(0, 1, 2);
+        let artifact = Compiler::new(Target::paper(Strategy::full_ququart()))
+            .compile(&c)
+            .unwrap();
+        let dims = artifact.timed.register.dims();
+        assert!(
+            dims.iter().any(|&d| d < 4),
+            "half-filled device must demote below 4, got {dims:?}"
+        );
+        assert!(dims.contains(&4), "packed device stays at 4");
+        assert!(artifact.timed.validate().is_ok());
+        for op in &artifact.timed.ops {
+            assert!(op.unitary.is_unitary(1e-9), "{}", op.label);
+        }
+        // And the demoted register still simulates the circuit exactly.
+        let noiseless = artifact
+            .simulate()
+            .with_noise(waltz_noise::NoiseModel::noiseless())
+            .average_fidelity(5);
+        assert!((noiseless.mean - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn analyze_reports_windowed_segments_on_disjoint_enc_windows() {
+        let circuit = toffoli_ladder_6q();
+        let compiler = Compiler::new(Target::paper(Strategy::mixed_radix_ccz()));
+        let artifact = compiler.compile(&circuit).unwrap();
+        let analyze = artifact.report(Pass::Analyze);
+        assert_eq!(analyze.diagnostic("windowed").unwrap(), "true");
+        let segments: usize = analyze.diagnostic("segments").unwrap().parse().unwrap();
+        let reshapes: usize = analyze.diagnostic("reshapes").unwrap().parse().unwrap();
+        assert!(segments > 1, "cnu-6q has disjoint ENC windows");
+        assert_eq!(reshapes, segments - 1);
+        let peak: usize = analyze
+            .diagnostic("state_bytes_peak")
+            .unwrap()
+            .parse()
+            .unwrap();
+        let whole: usize = analyze.diagnostic("state_bytes").unwrap().parse().unwrap();
+        assert!(peak < whole, "windowed peak {peak} !< whole {whole}");
+        let mean: f64 = analyze
+            .diagnostic("state_bytes_mean")
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(mean <= peak as f64);
+        assert_eq!(
+            analyze
+                .diagnostic("segment_dims")
+                .unwrap()
+                .split('|')
+                .count(),
+            segments
+        );
+        // The artifact carries the matching segmented schedule.
+        let windowed = artifact.sim_segments().expect("windowed schedule");
+        assert_eq!(windowed.n_segments(), segments);
+        assert_eq!(windowed.peak_state_bytes(), peak);
+    }
+
+    #[test]
+    fn windowed_registers_can_be_disabled() {
+        let circuit = toffoli_ladder_6q();
+        let compiler = Compiler::with_options(
+            Target::paper(Strategy::mixed_radix_ccz()),
+            CompileOptions::default().with_windowed_registers(false),
+        );
+        let artifact = compiler.compile(&circuit).unwrap();
+        assert!(artifact.sim_segments().is_none());
+        let analyze = artifact.report(Pass::Analyze);
+        assert_eq!(analyze.diagnostic("windowed").unwrap(), "false");
+        assert_eq!(analyze.diagnostic("segments").unwrap(), "1");
+        // Padded registers imply no windowing too.
+        let padded = Compiler::with_options(
+            Target::paper(Strategy::mixed_radix_ccz()),
+            CompileOptions::default().with_padded_registers(),
+        )
+        .compile(&circuit)
+        .unwrap();
+        assert!(padded.sim_segments().is_none());
     }
 
     #[test]

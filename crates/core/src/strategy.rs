@@ -42,7 +42,7 @@ pub enum Fusion {
 
 /// Lowering options orthogonal to the [`Strategy`] choice, consumed by
 /// [`crate::Compiler::with_options`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CompileOptions {
     /// Gate-fusion mode for the simulation schedule.
     pub fusion: Fusion,
@@ -69,6 +69,33 @@ pub struct CompileOptions {
     /// dimensions — noiselessly bit-identical, exponentially smaller
     /// (pinned by the `radix_parity` suite).
     pub padded_registers: bool,
+    /// Time-slice the occupancy analysis: cut the program at the points
+    /// where a device's occupied dimension changes (`ENC`/`DEC` window
+    /// boundaries) and simulate each segment on its own register,
+    /// reshaping the state in flight at each boundary
+    /// ([`waltz_sim::SegmentedCircuit`]). On by default — a cost model
+    /// only keeps boundaries whose smaller registers save more
+    /// sweep-bytes than the reshape copy costs, so programs without
+    /// worthwhile windows fall back to the whole-program register
+    /// automatically. Disable via
+    /// [`CompileOptions::with_windowed_registers`] to pin the PR 4
+    /// whole-program-demotion behaviour (parity pinned by the
+    /// `window_parity` suite); [`CompileOptions::padded_registers`]
+    /// implies no windowing.
+    pub windowed_registers: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            fusion: Fusion::default(),
+            fuse_sweep_overhead: None,
+            fuse_sweep_fixed: None,
+            max_fused_span: None,
+            padded_registers: false,
+            windowed_registers: true,
+        }
+    }
 }
 
 impl CompileOptions {
@@ -96,9 +123,19 @@ impl CompileOptions {
 
     /// Keeps every device at its full physical dimension instead of
     /// demoting to the occupancy analysis result — for benchmarking the
-    /// padded engine or pinning parity against it.
+    /// padded engine or pinning parity against it. Implies no windowed
+    /// registers.
     pub fn with_padded_registers(mut self) -> Self {
         self.padded_registers = true;
+        self
+    }
+
+    /// Enables (`true`, the default) or disables (`false`) the windowed
+    /// register analysis. Disabled, the simulated register is the PR 4
+    /// whole-program demotion: one register sized to each device's
+    /// lifetime-maximum occupancy, no in-flight reshapes.
+    pub fn with_windowed_registers(mut self, enabled: bool) -> Self {
+        self.windowed_registers = enabled;
         self
     }
 }

@@ -22,6 +22,7 @@ const EXPECTED: &[&str] = &[
     "Pass",
     "PassReport",
     "QubitCcxMode",
+    "RegisterWindow",
     "Simulation",
     "Strategy",
     "Target",
@@ -109,7 +110,7 @@ fn snapshot_symbols_actually_exist() {
         compile, compile_on, compile_on_with_options, compile_with_options, CoherenceSpan,
         CompileArtifact, CompileError, CompileOptions, CompileStats, CompiledCircuit, Compiler,
         EpsBreakdown, FqCswapMode, Fusion, HwProgram, Layout, MrCcxMode, Pass, PassReport,
-        QubitCcxMode, Simulation, Strategy, Target, TopologySpec,
+        QubitCcxMode, RegisterWindow, Simulation, Strategy, Target, TopologySpec,
     };
     let _ = compile;
     let _ = compile_on;
@@ -132,6 +133,7 @@ fn snapshot_symbols_actually_exist() {
     assert_type::<Pass>();
     assert_type::<PassReport>();
     assert_type::<QubitCcxMode>();
+    assert_type::<RegisterWindow>();
     assert_type::<Simulation<'static>>();
     assert_type::<Strategy>();
     assert_type::<Target>();

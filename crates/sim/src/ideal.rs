@@ -7,7 +7,7 @@
 //! pulse, which is where the fusion pass earns its keep.
 
 use crate::kernel::Workspace;
-use crate::{State, TimedCircuit};
+use crate::{SegmentedCircuit, State, TimedCircuit};
 
 /// Runs the circuit on `initial` with no noise, returning the final state.
 ///
@@ -37,6 +37,62 @@ pub fn run_into(circuit: &TimedCircuit, initial: &State, out: &mut State, ws: &m
     out.copy_from(initial);
     for op in &circuit.ops {
         out.apply_op(op, ws);
+    }
+}
+
+/// Runs a windowed-register schedule ([`SegmentedCircuit`]) noiselessly,
+/// reshaping the state between segments, and returns the final state (on
+/// the last segment's register). Convenience wrapper that allocates the
+/// two rolling buffers; steady-state loops should use
+/// [`run_segmented_into`] (or a [`crate::SegmentedSession`]) with reused
+/// buffers.
+///
+/// # Panics
+///
+/// Panics if the initial state's register differs from the first
+/// segment's.
+pub fn run_segmented(circuit: &SegmentedCircuit, initial: &State) -> State {
+    let (mut out, mut scratch) = circuit.rolling_buffers();
+    let mut ws = Workspace::serial();
+    run_segmented_into(circuit, initial, &mut out, &mut scratch, &mut ws);
+    out
+}
+
+/// [`run_segmented`] rolling **two** caller-owned state buffers across
+/// the segments: at each boundary `scratch` is re-targeted onto the next
+/// segment's register ([`State::remap`] — capacity is reused once both
+/// buffers have reached the peak segment size), the state reshaped into
+/// it, and the buffers swapped, so the live allocation is two peak-sized
+/// buffers regardless of the segment count. The final state is left in
+/// `out` (on the last segment's register).
+///
+/// # Panics
+///
+/// Panics if the initial state's register differs from the first
+/// segment's.
+pub fn run_segmented_into(
+    circuit: &SegmentedCircuit,
+    initial: &State,
+    out: &mut State,
+    scratch: &mut State,
+    ws: &mut Workspace,
+) {
+    assert_eq!(
+        initial.register(),
+        circuit.first_register(),
+        "state register does not match the first segment"
+    );
+    out.remap(circuit.first_register());
+    out.copy_from(initial);
+    for (k, segment) in circuit.segments.iter().enumerate() {
+        if k > 0 {
+            scratch.remap(&segment.register);
+            out.reshape_into(scratch);
+            std::mem::swap(out, scratch);
+        }
+        for op in &segment.ops {
+            out.apply_op(op, ws);
+        }
     }
 }
 

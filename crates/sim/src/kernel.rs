@@ -561,10 +561,19 @@ pub(crate) fn apply(
 
 /// Dense block matvec through a `CAP`-sized stack buffer: each amplitude
 /// group is gathered exactly once per sweep, the (often fused) dense
-/// block applied from the buffer, and the results scattered back. The
-/// per-coefficient zero test is kept: embedded qubit gates on ququart
-/// pairs are mostly zeros, and for fully dense fused blocks the
-/// always-taken branch predicts perfectly.
+/// block applied from the buffer, and the results scattered back.
+///
+/// Two inner loops, chosen by one scan of the matrix per apply (256
+/// comparisons, amortized over thousands of configurations): matrices
+/// with structural zeros — embedded qubit gates on ququart pairs are
+/// mostly zeros — keep the per-coefficient skip, while *fully dense*
+/// blocks (Haar unitaries, fused products) run a branchless
+/// multiply-accumulate chain. The branchless form is what fixed the
+/// `gate_apply_4pow8.two-qudit` regression: the always-taken zero test
+/// cost more than it saved and blocked FMA fusion, leaving the
+/// specialized path slower than the generic dense reference (0.78x in
+/// `BENCH_sim.json` v4); dropping it makes the two-qudit arm beat the
+/// reference again on both plain and `target-cpu=native` builds.
 #[allow(clippy::too_many_arguments)]
 fn dense_block_sweep<const CAP: usize>(
     reg: &Register,
@@ -579,6 +588,32 @@ fn dense_block_sweep<const CAP: usize>(
     let block = offsets.len();
     debug_assert!(block <= CAP, "block exceeds scratch capacity");
     let m = u.as_slice();
+    if m.iter().all(|&c| c != C64::ZERO) {
+        // Fully dense: branchless multiply-accumulate.
+        // SAFETY: disjoint bases per worker (see SharedAmps).
+        sweep(
+            reg,
+            others,
+            total,
+            parallel,
+            min_amps,
+            || [C64::ZERO; CAP],
+            |scratch, base| unsafe {
+                for (s, &off) in scratch.iter_mut().zip(offsets) {
+                    *s = *shared.at(base + off);
+                }
+                for (row_coeffs, &off) in m.chunks_exact(block).zip(offsets) {
+                    let mut acc = C64::ZERO;
+                    for (&coeff, &amp) in row_coeffs.iter().zip(&scratch[..block]) {
+                        acc += coeff * amp;
+                    }
+                    *shared.at(base + off) = acc;
+                }
+            },
+        );
+        return;
+    }
+    // Sparse rows: skip structural zeros.
     // SAFETY: disjoint bases per worker (see SharedAmps).
     sweep(
         reg,

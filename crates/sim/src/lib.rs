@@ -49,6 +49,24 @@
 //! pulse. Fused programs run through the same [`ideal`] / [`trajectory`]
 //! entry points and are parity-pinned against the unfused engine.
 //!
+//! # Windowed registers (segmented schedules)
+//!
+//! A [`SegmentedCircuit`] is a schedule cut at the points where a
+//! device's *occupied* dimension changes (mixed-radix `ENC`/`DEC`
+//! boundaries): each segment carries its own [`Register`], so a host
+//! device is four-dimensional only while its window is open instead of
+//! pinning the whole program's state size. Between segments the
+//! simulator performs one in-flight [`State::reshape_into`] — an
+//! expand/clip that preserves amplitude labels and asserts (at
+//! [`RESHAPE_LEAK_TOL`]) that clipped levels were provably unpopulated.
+//! The segmented entry points ([`ideal::run_segmented_into`],
+//! [`trajectory::run_trajectory_segmented_into`],
+//! [`trajectory::average_fidelity_segmented_with`], [`SegmentedSession`])
+//! thread one per-device busy timeline through every segment, so noise
+//! accounting is identical to the single-register engine; fusion runs
+//! per segment ([`SegmentedCircuit::fuse_with_cache`]) and never crosses
+//! a reshape boundary.
+//!
 //! # Example
 //!
 //! ```
@@ -75,6 +93,6 @@ pub mod trajectory;
 
 pub use kernel::{GateKernel, Workspace, DEFAULT_PAR_MIN_AMPS};
 pub use register::Register;
-pub use session::Session;
-pub use state::State;
-pub use timed::{FuseCache, FuseOptions, NoiseEvent, TimedCircuit, TimedOp};
+pub use session::{SegmentedSession, Session};
+pub use state::{State, RESHAPE_LEAK_TOL};
+pub use timed::{FuseCache, FuseOptions, NoiseEvent, SegmentedCircuit, TimedCircuit, TimedOp};

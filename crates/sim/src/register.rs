@@ -13,11 +13,31 @@
 /// assert_eq!(reg.stride(1), 4);
 /// assert_eq!(reg.stride(0), 8);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct Register {
     dims: Vec<u8>,
     strides: Vec<usize>,
     total: usize,
+}
+
+impl Clone for Register {
+    fn clone(&self) -> Self {
+        Register {
+            dims: self.dims.clone(),
+            strides: self.strides.clone(),
+            total: self.total,
+        }
+    }
+
+    /// Reuses the destination's buffers (`Vec::clone_from`), so
+    /// re-targeting a state buffer between same-width registers — the
+    /// segmented simulation hot path ([`crate::State::remap`]) —
+    /// allocates nothing in steady state.
+    fn clone_from(&mut self, source: &Self) {
+        self.dims.clone_from(&source.dims);
+        self.strides.clone_from(&source.strides);
+        self.total = source.total;
+    }
 }
 
 impl Register {

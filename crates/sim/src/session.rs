@@ -15,7 +15,7 @@ use rand::Rng;
 use waltz_noise::NoiseModel;
 
 use crate::kernel::Workspace;
-use crate::{ideal, trajectory, State, TimedCircuit};
+use crate::{ideal, trajectory, SegmentedCircuit, State, TimedCircuit};
 
 /// An owned simulation workspace: scratch and output buffers reused across
 /// runs.
@@ -91,6 +91,97 @@ impl Session {
     }
 
     /// The output of the most recent run.
+    pub fn last(&self) -> &State {
+        &self.out
+    }
+}
+
+/// The windowed-register counterpart of [`Session`]: owns a
+/// [`Workspace`] plus the **two rolling state buffers** a segmented run
+/// needs ([`SegmentedCircuit::rolling_buffers`] — both peak-segment
+/// sized), so repeated segmented runs (ideal or trajectory) perform no
+/// per-run heap allocation regardless of the segment count.
+#[derive(Debug)]
+pub struct SegmentedSession {
+    ws: Workspace,
+    out: State,
+    scratch: State,
+}
+
+impl SegmentedSession {
+    /// A session sized to `circuit`'s peak segment, with a
+    /// threaded-sweep-capable workspace.
+    pub fn new(circuit: &SegmentedCircuit) -> Self {
+        let (out, scratch) = circuit.rolling_buffers();
+        SegmentedSession {
+            ws: Workspace::new(),
+            out,
+            scratch,
+        }
+    }
+
+    /// A session whose sweeps never split across threads (see
+    /// [`Workspace::serial`]).
+    pub fn serial(circuit: &SegmentedCircuit) -> Self {
+        let (out, scratch) = circuit.rolling_buffers();
+        SegmentedSession {
+            ws: Workspace::serial(),
+            out,
+            scratch,
+        }
+    }
+
+    /// The reusable kernel workspace.
+    pub fn workspace_mut(&mut self) -> &mut Workspace {
+        &mut self.ws
+    }
+
+    /// Runs `circuit` noiselessly from `initial` (on the first segment's
+    /// register) through every segment and returns the final state (on
+    /// the last segment's register).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the initial state's register differs from the first
+    /// segment's.
+    pub fn run_ideal(&mut self, circuit: &SegmentedCircuit, initial: &State) -> &State {
+        ideal::run_segmented_into(
+            circuit,
+            initial,
+            &mut self.out,
+            &mut self.scratch,
+            &mut self.ws,
+        );
+        &self.out
+    }
+
+    /// Runs one noisy trajectory from `initial` through every segment and
+    /// returns the final state (on the last segment's register).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the initial state's register differs from the first
+    /// segment's.
+    pub fn run_trajectory<R: Rng + ?Sized>(
+        &mut self,
+        circuit: &SegmentedCircuit,
+        initial: &State,
+        noise: &NoiseModel,
+        rng: &mut R,
+    ) -> &State {
+        trajectory::run_trajectory_segmented_into(
+            circuit,
+            initial,
+            noise,
+            rng,
+            &mut self.out,
+            &mut self.scratch,
+            &mut self.ws,
+        );
+        &self.out
+    }
+
+    /// The final (last-segment) state of the most recent run.
     pub fn last(&self) -> &State {
         &self.out
     }

@@ -8,6 +8,13 @@ use waltz_noise::PauliOp;
 use crate::kernel::{self, GateKernel, Workspace};
 use crate::{Register, TimedOp};
 
+/// Largest modulus an amplitude clipped by [`State::reshape_into`] may
+/// carry. The occupancy analysis proves clipped levels are *exactly*
+/// unpopulated; numerically the amplitudes it drops are accumulated
+/// floating-point dust, so anything above this tolerance means the
+/// analysis (not the arithmetic) was wrong and the reshape panics.
+pub const RESHAPE_LEAK_TOL: f64 = 1e-9;
+
 /// A pure state over a [`Register`].
 ///
 /// # Example
@@ -291,6 +298,104 @@ impl State {
     pub fn copy_from(&mut self, other: &State) {
         assert_eq!(self.register, other.register, "register mismatch");
         self.amps.copy_from_slice(&other.amps);
+    }
+
+    /// Re-targets this buffer onto `register`, resizing the amplitude
+    /// vector; the amplitudes are unspecified afterwards (the caller
+    /// overwrites them). This is how the segmented runners roll **two**
+    /// buffers across per-segment registers instead of holding one
+    /// buffer per segment: once both buffers have reached the peak
+    /// segment size, re-targeting reuses their capacity (the register
+    /// metadata is `clone_from`'d in place), so the steady-state loop
+    /// stays allocation-free.
+    pub fn remap(&mut self, register: &Register) {
+        if &self.register != register {
+            self.register.clone_from(register);
+        }
+        self.amps.resize(self.register.total_dim(), C64::ZERO);
+    }
+
+    /// Rewrites this state onto `out`'s register, which must span the
+    /// same qudits with possibly different per-qudit dimensions — the
+    /// in-flight transition between two adjacent segments of a windowed
+    /// register schedule ([`crate::SegmentedCircuit`]).
+    ///
+    /// Per amplitude the basis labels are preserved: a qudit whose
+    /// dimension *grows* keeps its digits and the new levels start empty,
+    /// one whose dimension *shrinks* is clipped — sound only because the
+    /// compiler's occupancy analysis proved the clipped levels
+    /// unpopulated, which this method enforces by asserting every clipped
+    /// amplitude is below [`RESHAPE_LEAK_TOL`]. Allocation-free: `out`'s
+    /// buffer is zeroed and refilled in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qudit counts differ or a clipped amplitude exceeds
+    /// the leak tolerance (the occupancy analysis was wrong — a bug).
+    /// Noisy trajectories, whose error draws *can* legitimately populate
+    /// levels the noiseless analysis proved empty, must use
+    /// [`State::reshape_into_lossy`] instead.
+    pub fn reshape_into(&self, out: &mut State) {
+        let leaked = self.reshape_into_lossy(out);
+        assert!(
+            leaked <= RESHAPE_LEAK_TOL * RESHAPE_LEAK_TOL,
+            "reshape clipped a nonzero amplitude (probability {leaked:.3e}): \
+             the occupancy analysis must prove clipped levels unpopulated"
+        );
+    }
+
+    /// [`State::reshape_into`] for noisy trajectories: clips whatever
+    /// population sits outside `out`'s register and returns the clipped
+    /// probability (summed `|amp|²`), **without renormalizing**.
+    ///
+    /// A depolarizing draw inside an `ENC` window can leave population on
+    /// levels the *noiseless* occupancy analysis proved empty (e.g. a
+    /// ququart Pauli right after the `DEC` pulse); the whole-program
+    /// engine simply carries that population to the end, where it
+    /// overlaps the ideal state — which never leaves the occupied
+    /// subspace — with amplitude zero. Dropping it here *without*
+    /// renormalizing reproduces that zero contribution to first order
+    /// (renormalizing would bias the estimate upward for every leaking
+    /// trajectory), at the cost of a slightly sub-unit norm for the rest
+    /// of the trajectory. It is not exact: in the whole-program engine,
+    /// amplitude damping or a later window's gates can move leaked
+    /// population *back* into the kept subspace — an `O(p_leak)`
+    /// second-order correction the `window_parity` 4000-trajectory
+    /// statistical pin bounds below one standard error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qudit counts differ.
+    pub fn reshape_into_lossy(&self, out: &mut State) -> f64 {
+        const MAX_QUDITS: usize = 64;
+        let src = &self.register;
+        let State {
+            register: dst,
+            amps: out_amps,
+        } = out;
+        assert_eq!(
+            src.n_qudits(),
+            dst.n_qudits(),
+            "reshape must preserve the qudit count"
+        );
+        if src == dst {
+            out_amps.copy_from_slice(&self.amps);
+            return 0.0;
+        }
+        let n = src.n_qudits();
+        assert!(n <= MAX_QUDITS, "register too large for stack digits");
+        out_amps.fill(C64::ZERO);
+        let mut digits = [0usize; MAX_QUDITS];
+        let mut leaked = 0.0f64;
+        for (idx, &amp) in self.amps.iter().enumerate() {
+            src.digits_into(idx, &mut digits[..n]);
+            if digits[..n].iter().enumerate().all(|(q, &d)| d < dst.dim(q)) {
+                out_amps[dst.index_of(&digits[..n])] = amp;
+            } else {
+                leaked += amp.norm_sqr();
+            }
+        }
+        leaked
     }
 
     /// Applies a generalized Pauli to one qudit, in place (no amplitude
@@ -678,5 +783,83 @@ mod tests {
         let reg = Register::qubits(2);
         let mut s = State::zero(&reg);
         s.apply_unitary(&standard::cx(), &[0, 0]);
+    }
+
+    #[test]
+    fn reshape_expand_then_clip_round_trips() {
+        // A (2, 2) state expanded to (4, 2) keeps its amplitudes at the
+        // same digit labels, leaves the new levels empty, and clips back
+        // bit-identically.
+        let small = Register::new(vec![2, 2]);
+        let big = Register::new(vec![4, 2]);
+        let mut rng = StdRng::seed_from_u64(6);
+        let s = State::from_amplitudes(&small, waltz_math::linalg::haar_state(4, &mut rng));
+        let mut wide = State::zero(&big);
+        s.reshape_into(&mut wide);
+        assert!((wide.norm() - 1.0).abs() < 1e-12);
+        for idx in 0..big.total_dim() {
+            let digits = big.digits_of(idx);
+            let want = if digits[0] < 2 {
+                s.amplitudes()[small.index_of(&digits)]
+            } else {
+                C64::ZERO
+            };
+            assert_eq!(wide.amplitudes()[idx], want, "idx {idx}");
+        }
+        let mut back = State::zero(&small);
+        wide.reshape_into(&mut back);
+        assert_eq!(back.amplitudes(), s.amplitudes());
+    }
+
+    #[test]
+    fn reshape_mixed_grow_and_shrink() {
+        // (4, 2) -> (2, 4): qudit 0 clips (its upper levels are empty),
+        // qudit 1 grows.
+        let src_reg = Register::new(vec![4, 2]);
+        let dst_reg = Register::new(vec![2, 4]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut src = State::zero(&src_reg);
+        src.fill_random_qubit_product(&mut rng);
+        let mut dst = State::zero(&dst_reg);
+        src.reshape_into(&mut dst);
+        assert!((dst.norm() - 1.0).abs() < 1e-12);
+        for idx in 0..src_reg.total_dim() {
+            let digits = src_reg.digits_of(idx);
+            if digits[0] < 2 {
+                assert_eq!(
+                    dst.amplitudes()[dst_reg.index_of(&digits)],
+                    src.amplitudes()[idx]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reshape_same_register_is_a_copy() {
+        let reg = Register::new(vec![4, 2]);
+        let mut rng = StdRng::seed_from_u64(8);
+        let s = State::from_amplitudes(&reg, waltz_math::linalg::haar_state(8, &mut rng));
+        let mut out = State::zero(&reg);
+        s.reshape_into(&mut out);
+        assert_eq!(out.amplitudes(), s.amplitudes());
+    }
+
+    #[test]
+    #[should_panic(expected = "clipped a nonzero amplitude")]
+    fn reshape_refuses_to_clip_populated_levels() {
+        let src = Register::new(vec![4]);
+        let mut amps = vec![C64::ZERO; 4];
+        amps[3] = C64::ONE;
+        let s = State::from_amplitudes(&src, amps);
+        let mut out = State::zero(&Register::new(vec![2]));
+        s.reshape_into(&mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "preserve the qudit count")]
+    fn reshape_rejects_qudit_count_mismatch() {
+        let s = State::zero(&Register::qubits(2));
+        let mut out = State::zero(&Register::qubits(3));
+        s.reshape_into(&mut out);
     }
 }

@@ -348,6 +348,14 @@ impl TimedCircuit {
     /// Returns a description of the first violated invariant.
     pub fn validate(&self) -> Result<(), String> {
         let mut busy_until = vec![0.0f64; self.register.n_qudits()];
+        self.validate_ops(&mut busy_until)
+    }
+
+    /// The op walk of [`TimedCircuit::validate`] against caller-owned
+    /// per-device busy times, so a [`SegmentedCircuit`] can thread one
+    /// timeline through every segment (a reshape boundary is a simulation
+    /// artifact — it must never hide a scheduling overlap).
+    fn validate_ops(&self, busy_until: &mut [f64]) -> Result<(), String> {
         for (i, op) in self.ops.iter().enumerate() {
             let dims: usize = op
                 .operands
@@ -707,6 +715,201 @@ struct PendingBlock {
     class: FuseClass,
 }
 
+/// A schedule cut into segments that each carry their **own**
+/// [`Register`]: the windowed-register form of a [`TimedCircuit`].
+///
+/// The compiler's windowed occupancy analysis splits a program wherever a
+/// device's occupied dimension changes (mixed-radix `ENC`/`DEC`
+/// boundaries) and emits one segment per window, so a device sits at
+/// dimension 4 only while its window is open instead of pinning the whole
+/// program's register. Between adjacent segments the simulator performs
+/// one in-flight [`crate::State::reshape_into`] — an expand/clip of the
+/// state onto the next segment's register (amplitude labels preserved,
+/// clipped levels asserted empty).
+///
+/// Segments share one global timeline: op start times are absolute, and
+/// [`SegmentedCircuit::total_duration_ns`] covers the whole program, so
+/// trajectory noise accounting (idle windows, trailing idle) is identical
+/// to the single-register engine. A reshape is a simulation artifact with
+/// zero duration — it appears nowhere in the timeline.
+#[derive(Debug, Clone)]
+pub struct SegmentedCircuit {
+    /// Segments in program order, each a self-contained [`TimedCircuit`]
+    /// over its own register. Consecutive registers span the same qudits
+    /// with (possibly) different per-qudit dimensions.
+    pub segments: Vec<TimedCircuit>,
+    /// Wall-clock duration of the whole program in nanoseconds.
+    pub total_duration_ns: f64,
+}
+
+impl SegmentedCircuit {
+    /// A segmented circuit from explicit segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is empty or two segments disagree on the
+    /// qudit count.
+    pub fn new(segments: Vec<TimedCircuit>, total_duration_ns: f64) -> Self {
+        assert!(!segments.is_empty(), "need at least one segment");
+        let n = segments[0].register.n_qudits();
+        assert!(
+            segments.iter().all(|s| s.register.n_qudits() == n),
+            "segments must span the same qudits"
+        );
+        SegmentedCircuit {
+            segments,
+            total_duration_ns,
+        }
+    }
+
+    /// Wraps a whole-program schedule as a single segment (no reshapes) —
+    /// the degenerate form every single-register circuit embeds into.
+    pub fn single(circuit: TimedCircuit) -> Self {
+        let total = circuit.total_duration_ns;
+        SegmentedCircuit::new(vec![circuit], total)
+    }
+
+    /// Number of segments.
+    pub fn n_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Number of in-flight state reshapes a simulation performs (one per
+    /// adjacent segment pair).
+    pub fn reshape_count(&self) -> usize {
+        self.segments.len() - 1
+    }
+
+    /// Total scheduled ops across all segments.
+    pub fn len(&self) -> usize {
+        self.segments.iter().map(TimedCircuit::len).sum()
+    }
+
+    /// Whether no segment holds any op.
+    pub fn is_empty(&self) -> bool {
+        self.segments.iter().all(TimedCircuit::is_empty)
+    }
+
+    /// The register simulation starts on (first segment's).
+    pub fn first_register(&self) -> &Register {
+        &self.segments[0].register
+    }
+
+    /// The register simulation ends on (last segment's).
+    pub fn last_register(&self) -> &Register {
+        &self.segments[self.segments.len() - 1].register
+    }
+
+    /// Largest per-segment state size in bytes — the unit the simulation
+    /// buffers are sized by (a segmented run holds **two** rolling
+    /// buffers of at most this size, regardless of the segment count;
+    /// see [`SegmentedCircuit::rolling_buffers`]) and the quantity byte
+    /// budgets gate on.
+    pub fn peak_state_bytes(&self) -> usize {
+        self.segments
+            .iter()
+            .map(|s| s.register.state_bytes())
+            .max()
+            .expect("at least one segment")
+    }
+
+    /// Allocates the two rolling state buffers a segmented run needs
+    /// (`(out, scratch)`), both pre-sized to the peak segment register —
+    /// so the per-boundary [`crate::State::remap`] calls inside the run
+    /// never reallocate — and re-targeted onto the first segment's
+    /// register, ready for [`crate::ideal::run_segmented_into`] /
+    /// [`crate::trajectory::run_trajectory_segmented_into`].
+    pub fn rolling_buffers(&self) -> (crate::State, crate::State) {
+        let peak = self
+            .segments
+            .iter()
+            .map(|s| &s.register)
+            .max_by_key(|r| r.total_dim())
+            .expect("at least one segment");
+        let mut out = crate::State::zero(peak);
+        let mut scratch = crate::State::zero(peak);
+        out.remap(self.first_register());
+        scratch.remap(self.first_register());
+        (out, scratch)
+    }
+
+    /// Op-weighted mean state size in bytes: each op sweeps its own
+    /// segment's state, so this is the average bytes touched per sweep —
+    /// the windowed analysis shrinks it even when the peak is pinned by
+    /// one wide window. Falls back to the peak for op-less schedules.
+    pub fn mean_state_bytes(&self) -> f64 {
+        let ops: usize = self.len();
+        if ops == 0 {
+            return self.peak_state_bytes() as f64;
+        }
+        let weighted: f64 = self
+            .segments
+            .iter()
+            .map(|s| (s.len() * s.register.state_bytes()) as f64)
+            .sum();
+        weighted / ops as f64
+    }
+
+    /// Product of all gate fidelities across segments (the gate EPS; the
+    /// segmentation never adds or removes pulses).
+    pub fn gate_eps(&self) -> f64 {
+        self.segments.iter().map(TimedCircuit::gate_eps).product()
+    }
+
+    /// Checks structural invariants: every segment's invariants
+    /// ([`TimedCircuit::validate`]) with one per-device timeline threaded
+    /// across segments, so a reshape boundary cannot hide an overlap.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut busy_until = vec![0.0f64; self.first_register().n_qudits()];
+        for (k, segment) in self.segments.iter().enumerate() {
+            segment
+                .validate_ops(&mut busy_until)
+                .map_err(|e| format!("segment {k}: {e}"))?;
+            if segment.total_duration_ns > self.total_duration_ns + 1e-6 {
+                return Err(format!("segment {k} duration exceeds the segmented total"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-segment gate fusion: [`TimedCircuit::fuse`] applied inside
+    /// each segment independently. Fusion never crosses a reshape
+    /// boundary — a block's unitary lives on one register, and the
+    /// registers differ across the boundary by construction.
+    #[must_use]
+    pub fn fuse(&self) -> SegmentedCircuit {
+        self.fuse_with(&FuseOptions::default())
+    }
+
+    /// [`SegmentedCircuit::fuse`] with explicit cost-model constants.
+    #[must_use]
+    pub fn fuse_with(&self, opts: &FuseOptions) -> SegmentedCircuit {
+        self.fuse_with_cache(opts, &FuseCache::new())
+    }
+
+    /// [`SegmentedCircuit::fuse_with`] memoizing block products in a
+    /// caller-owned [`FuseCache`]. The cache key carries the block's
+    /// operand dimensions *in the segment's register* (the `dims` field
+    /// of the internal block key), so the same gate run fused in a dim-4
+    /// window and in a demoted dim-2 segment occupies two distinct
+    /// entries and a hit is always bit-identical.
+    #[must_use]
+    pub fn fuse_with_cache(&self, opts: &FuseOptions, cache: &FuseCache) -> SegmentedCircuit {
+        SegmentedCircuit {
+            segments: self
+                .segments
+                .iter()
+                .map(|s| s.fuse_with_cache(opts, cache))
+                .collect(),
+            total_duration_ns: self.total_duration_ns,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -945,6 +1148,82 @@ mod tests {
             assert_eq!(x.label, y.label);
             assert_eq!(x.unitary, y.unitary);
         }
+    }
+
+    /// A two-segment schedule: a (4, 2) window followed by a demoted
+    /// (2, 2) tail, sharing one timeline.
+    fn segmented_fixture() -> SegmentedCircuit {
+        let mut first = TimedCircuit::new(Register::new(vec![4, 2]));
+        first
+            .ops
+            .push(op("ccz", waltz_gates::mixed::ccz(), vec![0, 1], 0.0, 100.0));
+        first.total_duration_ns = 451.0;
+        let mut second = TimedCircuit::new(Register::qubits(2));
+        second
+            .ops
+            .push(op("cx", standard::cx(), vec![0, 1], 100.0, 251.0));
+        second
+            .ops
+            .push(op("h", standard::h(), vec![1], 351.0, 35.0));
+        second.total_duration_ns = 451.0;
+        SegmentedCircuit::new(vec![first, second], 451.0)
+    }
+
+    #[test]
+    fn segmented_accessors_and_validate() {
+        let seg = segmented_fixture();
+        assert_eq!(seg.n_segments(), 2);
+        assert_eq!(seg.reshape_count(), 1);
+        assert_eq!(seg.len(), 3);
+        assert!(!seg.is_empty());
+        assert_eq!(seg.first_register().dims(), &[4, 2]);
+        assert_eq!(seg.last_register().dims(), &[2, 2]);
+        assert_eq!(seg.peak_state_bytes(), 8 * 16);
+        // 1 op on 8 amps + 2 ops on 4 amps -> (128 + 2 * 64) / 3 bytes.
+        assert!((seg.mean_state_bytes() - (128.0 + 2.0 * 64.0) / 3.0).abs() < 1e-9);
+        assert!((seg.gate_eps() - 0.99f64.powi(3)).abs() < 1e-12);
+        assert!(seg.validate().is_ok(), "{:?}", seg.validate());
+    }
+
+    #[test]
+    fn segmented_validate_catches_cross_segment_overlap() {
+        let mut seg = segmented_fixture();
+        // Move the second segment's first op to overlap the window op.
+        seg.segments[1].ops[0].start_ns = 50.0;
+        let err = seg.validate().unwrap_err();
+        assert!(err.contains("segment 1"), "{err}");
+        assert!(err.contains("before device"), "{err}");
+    }
+
+    #[test]
+    fn segmented_fuse_never_crosses_a_boundary() {
+        let seg = segmented_fixture();
+        let fused = seg.fuse();
+        assert_eq!(fused.n_segments(), 2);
+        // The two ops of the second segment fuse; the window op cannot
+        // join them (different segment, different register).
+        assert_eq!(fused.segments[0].len(), 1);
+        assert_eq!(fused.segments[1].len(), 1);
+        assert!((fused.gate_eps() - seg.gate_eps()).abs() < 1e-12);
+        assert!(fused.validate().is_ok(), "{:?}", fused.validate());
+    }
+
+    #[test]
+    fn segmented_single_wraps_whole_schedule() {
+        let tc = four_op_run();
+        let seg = SegmentedCircuit::single(tc.clone());
+        assert_eq!(seg.n_segments(), 1);
+        assert_eq!(seg.reshape_count(), 0);
+        assert_eq!(seg.len(), tc.len());
+        assert_eq!(seg.total_duration_ns, tc.total_duration_ns);
+    }
+
+    #[test]
+    #[should_panic(expected = "same qudits")]
+    fn segmented_rejects_qudit_count_mismatch() {
+        let a = TimedCircuit::new(Register::qubits(2));
+        let b = TimedCircuit::new(Register::qubits(3));
+        let _ = SegmentedCircuit::new(vec![a, b], 0.0);
     }
 
     #[test]

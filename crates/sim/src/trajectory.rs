@@ -14,7 +14,7 @@ use rand::SeedableRng;
 use waltz_noise::{pauli, NoiseModel};
 
 use crate::kernel::Workspace;
-use crate::{ideal, State, TimedCircuit};
+use crate::{ideal, SegmentedCircuit, State, TimedCircuit};
 
 /// Runs one noisy trajectory, returning the final (normalized) state.
 ///
@@ -58,6 +58,30 @@ pub fn run_trajectory_into<R: Rng + ?Sized>(
     out.copy_from(initial);
     ws.free_at.clear();
     ws.free_at.resize(circuit.register.n_qudits(), 0.0);
+    run_ops(circuit, noise, rng, out, ws);
+    // Trailing idle until the circuit's wall-clock end.
+    if noise.damping {
+        for q in 0..circuit.register.n_qudits() {
+            let idle = circuit.total_duration_ns - ws.free_at[q];
+            if idle > 0.0 {
+                out.damping_step_with(&noise.coherence, q, idle, rng, ws);
+            }
+        }
+    }
+}
+
+/// The per-op noise/apply loop shared by the whole-program and segmented
+/// runners: damps exact idle time, applies each op through its kernel,
+/// replays fused-block noise events, and draws depolarizing errors —
+/// continuing from (and updating) the per-device busy times in
+/// `ws.free_at`, which the caller owns across segments.
+fn run_ops<R: Rng + ?Sized>(
+    circuit: &TimedCircuit,
+    noise: &NoiseModel,
+    rng: &mut R,
+    out: &mut State,
+    ws: &mut Workspace,
+) {
     for op in &circuit.ops {
         match &op.noise_events {
             None => {
@@ -129,9 +153,90 @@ pub fn run_trajectory_into<R: Rng + ?Sized>(
             }
         }
     }
-    // Trailing idle until the circuit's wall-clock end.
+}
+
+/// Runs one noisy trajectory of a windowed-register schedule, returning
+/// the final state (on the last segment's register). Convenience wrapper
+/// that allocates the two rolling state buffers; steady-state loops
+/// should use [`run_trajectory_segmented_into`] (or a
+/// [`crate::SegmentedSession`]) with reused buffers.
+///
+/// # Panics
+///
+/// Panics if the initial state's register differs from the first
+/// segment's.
+pub fn run_trajectory_segmented<R: Rng + ?Sized>(
+    circuit: &SegmentedCircuit,
+    initial: &State,
+    noise: &NoiseModel,
+    rng: &mut R,
+) -> State {
+    let (mut out, mut scratch) = circuit.rolling_buffers();
+    let mut ws = Workspace::serial();
+    run_trajectory_segmented_into(
+        circuit,
+        initial,
+        noise,
+        rng,
+        &mut out,
+        &mut scratch,
+        &mut ws,
+    );
+    out
+}
+
+/// [`run_trajectory_segmented`] rolling **two** caller-owned state
+/// buffers across the segments (see
+/// [`crate::SegmentedCircuit::rolling_buffers`]): at each boundary
+/// `scratch` is re-targeted onto the next segment's register, the state
+/// reshaped into it, and the buffers swapped — live allocation is two
+/// peak-sized buffers regardless of the segment count, and once both
+/// have reached the peak size the loop allocates nothing. The final
+/// state is left in `out` (on the last segment's register). Segments run
+/// in order sharing one per-device busy timeline, so idle-time damping
+/// windows are identical to the whole-program engine.
+///
+/// # Panics
+///
+/// Panics if the initial state's register differs from the first
+/// segment's.
+#[allow(clippy::too_many_arguments)]
+pub fn run_trajectory_segmented_into<R: Rng + ?Sized>(
+    circuit: &SegmentedCircuit,
+    initial: &State,
+    noise: &NoiseModel,
+    rng: &mut R,
+    out: &mut State,
+    scratch: &mut State,
+    ws: &mut Workspace,
+) {
+    assert_eq!(
+        initial.register(),
+        circuit.first_register(),
+        "state register does not match the first segment"
+    );
+    let n_qudits = circuit.first_register().n_qudits();
+    ws.free_at.clear();
+    ws.free_at.resize(n_qudits, 0.0);
+    out.remap(circuit.first_register());
+    out.copy_from(initial);
+    for (k, segment) in circuit.segments.iter().enumerate() {
+        if k > 0 {
+            // Lossy: an error draw may have populated levels the
+            // noiseless occupancy analysis proved empty; dropping them
+            // un-renormalized matches the whole-program engine's
+            // fidelity contribution to first order in the leaked
+            // probability (see `State::reshape_into_lossy`).
+            scratch.remap(&segment.register);
+            let _leaked = out.reshape_into_lossy(scratch);
+            std::mem::swap(out, scratch);
+        }
+        run_ops(segment, noise, rng, out, ws);
+    }
+    // Trailing idle until the program's wall-clock end, on the final
+    // register.
     if noise.damping {
-        for q in 0..circuit.register.n_qudits() {
+        for q in 0..n_qudits {
             let idle = circuit.total_duration_ns - ws.free_at[q];
             if idle > 0.0 {
                 out.damping_step_with(&noise.coherence, q, idle, rng, ws);
@@ -185,6 +290,50 @@ pub fn average_fidelity_with(
     seed: u64,
     write_initial: impl Fn(&crate::Register, &mut StdRng, &mut State) + Sync,
 ) -> FidelityEstimate {
+    struct Worker {
+        ws: Workspace,
+        initial: State,
+        noisy_out: State,
+        ideal_out: State,
+        cached_initial: State,
+        ideal_cached: bool,
+    }
+    estimate_over_trajectories(
+        trajectories,
+        seed,
+        || Worker {
+            ws: Workspace::serial(),
+            initial: State::zero(&circuit.register),
+            noisy_out: State::zero(&circuit.register),
+            ideal_out: State::zero(&circuit.register),
+            cached_initial: State::zero(&circuit.register),
+            ideal_cached: false,
+        },
+        |w, rng| {
+            write_initial(&circuit.register, rng, &mut w.initial);
+            if !(w.ideal_cached && w.cached_initial == w.initial) {
+                ideal::run_into(circuit, &w.initial, &mut w.ideal_out, &mut w.ws);
+                w.cached_initial.copy_from(&w.initial);
+                w.ideal_cached = true;
+            }
+            run_trajectory_into(circuit, &w.initial, noise, rng, &mut w.noisy_out, &mut w.ws);
+            w.ideal_out.fidelity(&w.noisy_out)
+        },
+    )
+}
+
+/// The one Monte-Carlo driver behind every fidelity estimator: splits
+/// `trajectories` across worker threads (one chunk per worker), hands
+/// each worker its own buffer state from `make_worker`, and collects one
+/// fidelity per trajectory from `run_one`. Centralizing the chunking and
+/// the per-trajectory seeding here is what guarantees the whole-program
+/// and segmented estimators consume **identical** seed streams.
+fn estimate_over_trajectories<W>(
+    trajectories: usize,
+    seed: u64,
+    make_worker: impl Fn() -> W + Sync,
+    run_one: impl Fn(&mut W, &mut StdRng) -> f64 + Sync,
+) -> FidelityEstimate {
     assert!(trajectories > 0, "need at least one trajectory");
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -197,40 +346,22 @@ pub fn average_fidelity_with(
             .enumerate()
             .collect();
         for (chunk_idx, chunk) in chunks {
-            let write_initial = &write_initial;
+            let (make_worker, run_one) = (&make_worker, &run_one);
             scope.spawn(move || {
-                let mut ws = Workspace::serial();
-                let mut initial = State::zero(&circuit.register);
-                let mut noisy_out = State::zero(&circuit.register);
-                let mut ideal_out = State::zero(&circuit.register);
-                // Memoized initial of the previous trajectory on this
-                // worker; `ideal_out` stays valid while it matches.
-                let mut cached_initial = State::zero(&circuit.register);
-                let mut ideal_cached = false;
+                let mut worker = make_worker();
                 for (i, f) in chunk.iter_mut().enumerate() {
-                    let traj_seed = seed
-                        .wrapping_add((chunk_idx * 1_000_003 + i) as u64)
-                        .wrapping_mul(0x9E37_79B9_7F4A_7C15);
-                    let mut rng = StdRng::seed_from_u64(traj_seed);
-                    write_initial(&circuit.register, &mut rng, &mut initial);
-                    if !(ideal_cached && cached_initial == initial) {
-                        ideal::run_into(circuit, &initial, &mut ideal_out, &mut ws);
-                        cached_initial.copy_from(&initial);
-                        ideal_cached = true;
-                    }
-                    run_trajectory_into(
-                        circuit,
-                        &initial,
-                        noise,
-                        &mut rng,
-                        &mut noisy_out,
-                        &mut ws,
-                    );
-                    *f = ideal_out.fidelity(&noisy_out);
+                    let mut rng = StdRng::seed_from_u64(trajectory_seed(seed, chunk_idx, i));
+                    *f = run_one(&mut worker, &mut rng);
                 }
             });
         }
     });
+    estimate_from(&fidelities)
+}
+
+/// Mean and Bessel-corrected standard error of a fidelity sample.
+fn estimate_from(fidelities: &[f64]) -> FidelityEstimate {
+    let trajectories = fidelities.len();
     let n = trajectories as f64;
     let mean = fidelities.iter().sum::<f64>() / n;
     // Unbiased (Bessel) sample variance; a single trajectory carries no
@@ -245,6 +376,99 @@ pub fn average_fidelity_with(
         std_error: (var / n).sqrt(),
         trajectories,
     }
+}
+
+/// Deterministic per-trajectory RNG seed (applied inside
+/// [`estimate_over_trajectories`]).
+fn trajectory_seed(seed: u64, chunk_idx: usize, i: usize) -> u64 {
+    seed.wrapping_add((chunk_idx * 1_000_003 + i) as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// [`average_fidelity`] over a windowed-register schedule
+/// ([`SegmentedCircuit`]): random qubit-product inputs on the *first*
+/// segment's register, ideal and noisy runs through the same segmented
+/// engine, fidelity taken on the last segment's register.
+pub fn average_fidelity_segmented(
+    circuit: &SegmentedCircuit,
+    noise: &NoiseModel,
+    trajectories: usize,
+    seed: u64,
+) -> FidelityEstimate {
+    average_fidelity_segmented_with(circuit, noise, trajectories, seed, |_, rng, out| {
+        out.fill_random_qubit_product(rng)
+    })
+}
+
+/// [`average_fidelity_segmented`] with a custom initial-state factory
+/// (`write_initial(first_register, rng, out)` overwrites `out` in place).
+///
+/// The segmented counterpart of [`average_fidelity_with`], with the same
+/// steady-state discipline: each worker owns one [`Workspace`], two
+/// rolling peak-sized state buffers for the noisy run, two for the
+/// memoized ideal run, and an initial-state buffer — all reused across
+/// its trajectories, so the loop performs no per-trajectory heap
+/// allocation. Seeds follow the exact scheme of
+/// [`average_fidelity_with`].
+pub fn average_fidelity_segmented_with(
+    circuit: &SegmentedCircuit,
+    noise: &NoiseModel,
+    trajectories: usize,
+    seed: u64,
+    write_initial: impl Fn(&crate::Register, &mut StdRng, &mut State) + Sync,
+) -> FidelityEstimate {
+    struct Worker {
+        ws: Workspace,
+        initial: State,
+        noisy_out: State,
+        noisy_scratch: State,
+        ideal_out: State,
+        ideal_scratch: State,
+        cached_initial: State,
+        ideal_cached: bool,
+    }
+    estimate_over_trajectories(
+        trajectories,
+        seed,
+        || {
+            let (noisy_out, noisy_scratch) = circuit.rolling_buffers();
+            let (ideal_out, ideal_scratch) = circuit.rolling_buffers();
+            Worker {
+                ws: Workspace::serial(),
+                initial: State::zero(circuit.first_register()),
+                noisy_out,
+                noisy_scratch,
+                ideal_out,
+                ideal_scratch,
+                cached_initial: State::zero(circuit.first_register()),
+                ideal_cached: false,
+            }
+        },
+        |w, rng| {
+            write_initial(circuit.first_register(), rng, &mut w.initial);
+            if !(w.ideal_cached && w.cached_initial == w.initial) {
+                ideal::run_segmented_into(
+                    circuit,
+                    &w.initial,
+                    &mut w.ideal_out,
+                    &mut w.ideal_scratch,
+                    &mut w.ws,
+                );
+                w.cached_initial.copy_from(&w.initial);
+                w.ideal_cached = true;
+            }
+            run_trajectory_segmented_into(
+                circuit,
+                &w.initial,
+                noise,
+                rng,
+                &mut w.noisy_out,
+                &mut w.noisy_scratch,
+                &mut w.ws,
+            );
+            w.ideal_out.fidelity(&w.noisy_out)
+        },
+    )
 }
 
 #[cfg(test)]
@@ -421,6 +645,125 @@ mod tests {
             assert!(out.probability_of(2) < 1e-12);
             assert!(out.probability_of(3) < 1e-12);
         }
+    }
+
+    /// A (4, 2)-window-then-(2, 2)-tail segmented schedule next to the
+    /// equivalent whole-program (4, 2) schedule, for parity checks. The
+    /// window applies the mixed-radix CCZ; the tail applies qubit gates
+    /// that embed identically on both registers.
+    fn segmented_and_whole() -> (crate::SegmentedCircuit, TimedCircuit) {
+        let ccz = waltz_gates::mixed::ccz();
+        let mk = |label: &str, u: Matrix, ops: Vec<usize>, dims: Vec<u8>, start: f64, dur: f64| {
+            TimedOp::new(label, u, ops, dims, start, dur, 0.99)
+        };
+        // Whole-program register (4, 2).
+        let mut whole = TimedCircuit::new(Register::new(vec![4, 2]));
+        whole
+            .ops
+            .push(mk("ccz", ccz.clone(), vec![0, 1], vec![4, 2], 0.0, 100.0));
+        whole.ops.push(mk(
+            "cx",
+            waltz_gates::embed(&standard::cx(), &[2, 2], &[4, 2]),
+            vec![0, 1],
+            vec![2, 2],
+            100.0,
+            251.0,
+        ));
+        whole
+            .ops
+            .push(mk("h", standard::h(), vec![1], vec![2], 351.0, 35.0));
+        whole.total_duration_ns = 500.0;
+        // Segmented: the tail runs on a demoted (2, 2) register.
+        let mut first = TimedCircuit::new(Register::new(vec![4, 2]));
+        first
+            .ops
+            .push(mk("ccz", ccz, vec![0, 1], vec![4, 2], 0.0, 100.0));
+        first.total_duration_ns = 500.0;
+        let mut second = TimedCircuit::new(Register::qubits(2));
+        second.ops.push(mk(
+            "cx",
+            standard::cx(),
+            vec![0, 1],
+            vec![2, 2],
+            100.0,
+            251.0,
+        ));
+        second
+            .ops
+            .push(mk("h", standard::h(), vec![1], vec![2], 351.0, 35.0));
+        second.total_duration_ns = 500.0;
+        (
+            crate::SegmentedCircuit::new(vec![first, second], 500.0),
+            whole,
+        )
+    }
+
+    /// Maps a (2, 2) state up into the qubit subspace of a (4, 2) one.
+    fn expand_to_whole(small: &State, whole_reg: &Register) -> State {
+        let mut out = State::zero(whole_reg);
+        small.reshape_into(&mut out);
+        out
+    }
+
+    #[test]
+    fn segmented_noiseless_trajectory_matches_whole_program() {
+        let (seg, whole) = segmented_and_whole();
+        assert!(seg.validate().is_ok());
+        let mut rng = StdRng::seed_from_u64(31);
+        let initial = State::random_qubit_product(seg.first_register(), &mut rng);
+        let noise = NoiseModel::noiseless();
+        let out_seg = run_trajectory_segmented(&seg, &initial, &noise, &mut rng);
+        let out_whole = crate::ideal::run(&whole, &initial);
+        let expanded = expand_to_whole(&out_seg, &whole.register);
+        assert!((expanded.fidelity(&out_whole) - 1.0).abs() < 1e-12);
+        // And the dedicated segmented ideal runner agrees.
+        let ideal_seg = crate::ideal::run_segmented(&seg, &initial);
+        assert!((ideal_seg.fidelity(&out_seg) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segmented_noisy_estimate_matches_whole_program_statistically() {
+        let (seg, whole) = segmented_and_whole();
+        let noise = NoiseModel::paper();
+        let est_seg = average_fidelity_segmented(&seg, &noise, 800, 5);
+        let est_whole = average_fidelity(&whole, &noise, 800, 6);
+        let spread = 4.0 * (est_seg.std_error + est_whole.std_error) + 1e-3;
+        assert!(
+            (est_seg.mean - est_whole.mean).abs() < spread,
+            "segmented {} vs whole {} (allowed {})",
+            est_seg.mean,
+            est_whole.mean,
+            spread
+        );
+    }
+
+    #[test]
+    fn segmented_session_reuses_buffers_and_matches_free_functions() {
+        let (seg, _) = segmented_and_whole();
+        let mut session = crate::SegmentedSession::serial(&seg);
+        let mut rng = StdRng::seed_from_u64(41);
+        let initial = State::random_qubit_product(seg.first_register(), &mut rng);
+        let noise = NoiseModel::paper();
+        let mut rng_a = StdRng::seed_from_u64(43);
+        let mut rng_b = StdRng::seed_from_u64(43);
+        let a = session
+            .run_trajectory(&seg, &initial, &noise, &mut rng_a)
+            .clone();
+        let b = run_trajectory_segmented(&seg, &initial, &noise, &mut rng_b);
+        assert!((a.fidelity(&b) - 1.0).abs() < 1e-12);
+        // The second (ideal) run fully overwrites the first.
+        let fresh = session.run_ideal(&seg, &initial).clone();
+        let reference = crate::ideal::run_segmented(&seg, &initial);
+        assert!((fresh.fidelity(&reference) - 1.0).abs() < 1e-12);
+        assert!((session.last().fidelity(&reference) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segmented_trailing_idle_still_damps() {
+        let (mut seg, _) = segmented_and_whole();
+        seg.total_duration_ns = 10_000_000.0; // 10 ms >> T1
+        let est = average_fidelity_segmented(&seg, &NoiseModel::paper(), 60, 3);
+        assert!(est.mean < 0.8, "mean {} should collapse", est.mean);
     }
 
     #[test]
