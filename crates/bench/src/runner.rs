@@ -1,7 +1,9 @@
 //! Compile-then-simulate sweeps shared by every harness binary.
 
 use waltz_circuit::Circuit;
-use waltz_core::{CompileError, CompiledCircuit, Compiler, Strategy, Target};
+use waltz_core::{
+    CompileError, CompiledCircuit, Compiler, Strategy, Supervisor, SupervisorPolicy, Target,
+};
 use waltz_gates::GateLibrary;
 use waltz_noise::{CoherenceModel, NoiseModel};
 use waltz_sim::trajectory::FidelityEstimate;
@@ -122,7 +124,7 @@ pub fn compiler_for(strategy: &Strategy, lib: &GateLibrary) -> Compiler {
 ///
 /// # Panics
 ///
-/// Panics if the compiled register busts the [`MAX_STATE_BYTES`] budget;
+/// Panics if no degradation rung fits the [`MAX_STATE_BYTES`] budget;
 /// size sweeps should use [`try_evaluate`] and skip such points.
 pub fn evaluate(
     circuit: &Circuit,
@@ -138,14 +140,19 @@ pub fn evaluate(
     )
 }
 
-/// [`evaluate`] gated on the byte budget of the *compiled* register:
-/// returns `Ok(None)` instead of simulating when the state vector would
-/// exceed [`MAX_STATE_BYTES`] — the per-circuit follow-up to the
-/// optimistic [`simulable`] pre-filter.
+/// [`evaluate`] run through a budgeted [`Supervisor`] instead of a
+/// boolean skip: the job compiles under a [`MAX_STATE_BYTES`] state-byte
+/// budget, an over-budget register walks the supervisor's degradation
+/// ladder (forced windowing, then the whole-program demoted register)
+/// before the point is given up on, and only a structured
+/// [`CompileError::OverBudget`] rejection — no rung fits — returns
+/// `Ok(None)`. The per-circuit follow-up to the optimistic [`simulable`]
+/// pre-filter.
 ///
 /// # Errors
 ///
-/// Propagates compiler errors.
+/// Propagates compiler errors (panics in a pass surface as
+/// [`CompileError::Internal`] rather than aborting the sweep).
 pub fn try_evaluate(
     circuit: &Circuit,
     strategy: &Strategy,
@@ -154,10 +161,15 @@ pub fn try_evaluate(
     trajectories: usize,
     seed: u64,
 ) -> Result<Option<DataPoint>, CompileError> {
-    let compiled = compiler_for(strategy, lib).compile(circuit)?;
-    if !artifact_simulable(&compiled) {
-        return Ok(None);
-    }
+    let supervisor = Supervisor::with_policy(
+        compiler_for(strategy, lib),
+        SupervisorPolicy::default().with_state_budget_bytes(MAX_STATE_BYTES),
+    );
+    let compiled = match supervisor.compile_one(circuit).result {
+        Ok(artifact) => artifact,
+        Err(CompileError::OverBudget { .. }) => return Ok(None),
+        Err(e) => return Err(e),
+    };
     let fidelity = simulate(&compiled, noise, trajectories, seed);
     let eps = compiled.compiled().eps(&noise.coherence);
     Ok(Some(DataPoint {
@@ -223,9 +235,12 @@ pub fn evaluate_eps_only(
     Ok((eps.gate, eps.coherence, eps.total()))
 }
 
-/// State-vector byte budget of the harness (256 MiB ≈ a 24-qubit
-/// register at 16 bytes per amplitude) — the ceiling every simulation is
-/// gated on.
+/// Default state-vector byte budget of the harness (256 MiB ≈ a
+/// 24-qubit register at 16 bytes per amplitude) — the starting value of
+/// the supervisor's per-job budget in [`try_evaluate`]
+/// ([`SupervisorPolicy::with_state_budget_bytes`]); callers building
+/// their own [`Supervisor`] can pick any ceiling, or shrink it live
+/// mid-batch.
 pub const MAX_STATE_BYTES: usize = 1 << 28;
 
 /// Whether a compiled register's state vector fits the byte budget.
@@ -233,12 +248,15 @@ pub fn register_simulable(register: &Register) -> bool {
     register.state_bytes() <= MAX_STATE_BYTES
 }
 
-/// Whether a compiled artifact's simulation fits the byte budget — the
-/// authoritative per-circuit guard. With windowed registers the budget
-/// gates on the **max over segments** of the segmented schedule
+/// Whether a compiled artifact's simulation fits the byte budget, as
+/// compiled — no degradation attempted. With windowed registers the
+/// budget gates on the **max over segments** of the segmented schedule
 /// ([`CompiledCircuit::sim_state_bytes_peak`]), not the whole-program
 /// register: a program whose lifetime-maximum register would bust the
-/// budget still simulates when every individual window fits.
+/// budget still simulates when every individual window fits. The sweep
+/// entry point ([`try_evaluate`]) goes further: an artifact failing this
+/// check is recompiled down the supervisor's degradation ladder before
+/// the point is skipped.
 pub fn artifact_simulable(compiled: &CompiledCircuit) -> bool {
     compiled.sim_state_bytes_peak() <= MAX_STATE_BYTES
 }

@@ -6,8 +6,8 @@ use std::ops::Deref;
 use rand::Rng;
 
 use waltz_noise::NoiseModel;
-use waltz_sim::trajectory::FidelityEstimate;
-use waltz_sim::{Session, State};
+use waltz_sim::trajectory::{FidelityEstimate, HealthPolicy, RunHealth};
+use waltz_sim::{SegmentedSession, Session, State};
 
 use crate::compile::CompiledCircuit;
 use crate::eps::EpsBreakdown;
@@ -130,7 +130,17 @@ pub struct Simulation<'a> {
     /// Created on the first serial run — the batched estimator manages
     /// its own per-worker buffers, so a pure `average_fidelity` call
     /// never allocates a session.
-    session: Option<Session>,
+    session: Option<SessionState>,
+}
+
+/// Which serial engine the session's buffers belong to: the fused
+/// whole-program schedule or the windowed (segmented) one. A
+/// [`Simulation`] lazily builds whichever the next run needs and swaps if
+/// the caller alternates register shapes.
+#[derive(Debug)]
+enum SessionState {
+    Whole(Session),
+    Segmented(SegmentedSession),
 }
 
 impl<'a> Simulation<'a> {
@@ -164,56 +174,135 @@ impl<'a> Simulation<'a> {
             .estimate_average_fidelity(&self.noise, trajectories, self.seed)
     }
 
+    /// [`Simulation::average_fidelity`] under trajectory health
+    /// supervision ([`HealthPolicy`]): NaN/Inf and norm-growth
+    /// trajectories are quarantined instead of poisoning the mean, and
+    /// the run stops early once the standard error reaches the policy's
+    /// target. The [`RunHealth`] report says how many trajectories
+    /// completed, were quarantined, and whether the early-stop fired.
+    pub fn average_fidelity_supervised(
+        &self,
+        trajectories: usize,
+        policy: &HealthPolicy,
+    ) -> (FidelityEstimate, RunHealth) {
+        self.compiled.estimate_average_fidelity_supervised(
+            &self.noise,
+            trajectories,
+            self.seed,
+            policy,
+        )
+    }
+
     /// Runs one noisy trajectory from `initial` into the session's output
     /// buffer and returns it.
     ///
-    /// Serial shots always run the **whole-program** schedule
-    /// ([`CompiledCircuit::sim_circuit`]), never the windowed one: their
-    /// output state lives on the whole-program register, which is what
-    /// the measurement decode paths
-    /// ([`CompiledCircuit::decode_device_index`],
-    /// [`CompiledCircuit::sample_decoded`]) read. Only the batch
-    /// estimator ([`Simulation::average_fidelity`]) dispatches to the
-    /// segmented engine, where both the ideal and noisy runs share the
-    /// last segment's register.
+    /// Dispatches like the batch estimator: when the compiler produced a
+    /// windowed schedule and `initial` lives on its first segment's
+    /// register (which is what [`Simulation::random_initial_state`]
+    /// returns), the shot runs the segmented engine and the output state
+    /// lives on the **last segment's** register — the measurement decode
+    /// paths ([`CompiledCircuit::sample_decoded`],
+    /// [`CompiledCircuit::decode_index_on`]) read any register, so
+    /// shot-sampling loops run segmented end to end. An `initial` on the
+    /// whole-program register always runs the fused whole-program
+    /// schedule ([`CompiledCircuit::sim_circuit`]).
     ///
     /// # Panics
     ///
-    /// Panics if `initial` lives on a different register than the
-    /// compiled circuit.
+    /// Panics if `initial` lives on neither the compiled circuit's
+    /// whole-program register nor the windowed schedule's first-segment
+    /// register.
     pub fn run_trajectory<R: Rng + ?Sized>(&mut self, initial: &State, rng: &mut R) -> &State {
-        let circuit = self.compiled.sim_circuit();
-        self.session
-            .get_or_insert_with(|| Session::new(&circuit.register))
-            .run_trajectory(circuit, initial, &self.noise, rng)
+        let Simulation {
+            compiled,
+            noise,
+            session,
+            ..
+        } = self;
+        if let Some(segments) = compiled.sim_segments() {
+            if initial.register() == segments.first_register() {
+                return segmented_session(session, segments)
+                    .run_trajectory(segments, initial, noise, rng);
+            }
+        }
+        let circuit = compiled.sim_circuit();
+        whole_session(session, circuit).run_trajectory(circuit, initial, noise, rng)
     }
 
     /// Runs the circuit noiselessly from `initial` into the session's
-    /// output buffer and returns it.
+    /// output buffer and returns it, with the same engine dispatch as
+    /// [`Simulation::run_trajectory`].
     ///
     /// # Panics
     ///
-    /// Panics if `initial` lives on a different register than the
-    /// compiled circuit.
+    /// Panics if `initial` lives on neither the compiled circuit's
+    /// whole-program register nor the windowed schedule's first-segment
+    /// register.
     pub fn run_ideal(&mut self, initial: &State) -> &State {
-        let circuit = self.compiled.sim_circuit();
-        self.session
-            .get_or_insert_with(|| Session::new(&circuit.register))
-            .run_ideal(circuit, initial)
+        let Simulation {
+            compiled, session, ..
+        } = self;
+        if let Some(segments) = compiled.sim_segments() {
+            if initial.register() == segments.first_register() {
+                return segmented_session(session, segments).run_ideal(segments, initial);
+            }
+        }
+        let circuit = compiled.sim_circuit();
+        whole_session(session, circuit).run_ideal(circuit, initial)
     }
 
     /// A fresh random logical product input at the compiler's placement
     /// (§6.4) — the matching initial state for
-    /// [`Simulation::run_trajectory`].
+    /// [`Simulation::run_trajectory`]: on the windowed schedule's
+    /// first-segment register when the compiler produced one, the
+    /// whole-program register otherwise.
     pub fn random_initial_state<R: Rng + ?Sized>(&self, rng: &mut R) -> State {
-        self.compiled.random_product_initial_state(rng)
+        match self.compiled.sim_segments() {
+            Some(segments) => {
+                let mut out = State::zero(segments.first_register());
+                self.compiled
+                    .write_random_product_initial_state(rng, &mut out);
+                out
+            }
+            None => self.compiled.random_product_initial_state(rng),
+        }
+    }
+}
+
+/// The cached segmented session, (re)built when the cache holds the
+/// other engine's buffers.
+fn segmented_session<'s>(
+    session: &'s mut Option<SessionState>,
+    segments: &waltz_sim::SegmentedCircuit,
+) -> &'s mut SegmentedSession {
+    if !matches!(session, Some(SessionState::Segmented(_))) {
+        *session = Some(SessionState::Segmented(SegmentedSession::new(segments)));
+    }
+    match session.as_mut() {
+        Some(SessionState::Segmented(s)) => s,
+        _ => unreachable!("just installed the segmented session"),
+    }
+}
+
+/// The cached whole-program session, (re)built when the cache holds the
+/// other engine's buffers.
+fn whole_session<'s>(
+    session: &'s mut Option<SessionState>,
+    circuit: &waltz_sim::TimedCircuit,
+) -> &'s mut Session {
+    if !matches!(session, Some(SessionState::Whole(_))) {
+        *session = Some(SessionState::Whole(Session::new(&circuit.register)));
+    }
+    match session.as_mut() {
+        Some(SessionState::Whole(s)) => s,
+        _ => unreachable!("just installed the whole-program session"),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Compiler, Strategy, Target};
+    use crate::{CompileOptions, Compiler, Strategy, Target};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use waltz_circuit::Circuit;
@@ -249,6 +338,64 @@ mod tests {
         let ideal = sim.run_ideal(&initial).clone();
         let reference = waltz_sim::ideal::run(a.sim_circuit(), &initial);
         assert!((ideal.fidelity(&reference) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serial_shots_run_segmented_and_decode_from_the_last_register() {
+        // mixed-radix cnu-6q under pure byte pricing (the calibrated
+        // default fixed term is build-profile dependent and may merge
+        // the split): the compiler windows this program, so the serial
+        // path must start on the first segment's register and end on the
+        // last segment's.
+        let mut c = Circuit::new(6);
+        c.ccx(0, 1, 3).ccx(2, 3, 4).ccx(2, 4, 5);
+        let a = Compiler::with_options(
+            Target::paper(Strategy::mixed_radix_ccz()),
+            CompileOptions::default().with_window_sweep_fixed(0),
+        )
+        .compile(&c)
+        .unwrap();
+        let segments = a.sim_segments().expect("cnu-6q windows");
+        let mut sim = a.simulate();
+        let mut rng = StdRng::seed_from_u64(11);
+        let initial = sim.random_initial_state(&mut rng);
+        assert_eq!(initial.register(), segments.first_register());
+        let ideal = sim.run_ideal(&initial).clone();
+        assert_eq!(ideal.register(), segments.last_register());
+        let reference = waltz_sim::ideal::run(
+            a.sim_circuit(),
+            &a.random_product_initial_state(&mut StdRng::seed_from_u64(11)),
+        );
+        // Same logical input (identical RNG consumption), same unitary:
+        // the decoded shot distributions must agree exactly.
+        let counts_seg = a.sample_decoded(&ideal, 64, &mut StdRng::seed_from_u64(7));
+        let counts_whole = a.sample_decoded(&reference, 64, &mut StdRng::seed_from_u64(7));
+        assert_eq!(counts_seg, counts_whole);
+        // And a noisy shot decodes without panicking.
+        let noisy = sim.run_trajectory(&initial, &mut rng).clone();
+        assert_eq!(noisy.register(), segments.last_register());
+        let shots = a.sample_decoded(&noisy, 16, &mut rng);
+        assert_eq!(shots.values().sum::<usize>(), 16);
+        // The whole-program register still takes the fallback path.
+        let whole_initial = a.random_product_initial_state(&mut rng);
+        assert_eq!(
+            sim.run_ideal(&whole_initial).register(),
+            &a.sim_circuit().register
+        );
+    }
+
+    #[test]
+    fn supervised_estimate_matches_plain_on_healthy_runs() {
+        let a = artifact();
+        let plain = a.simulate().average_fidelity(24);
+        let (supervised, health) = a
+            .simulate()
+            .average_fidelity_supervised(24, &Default::default());
+        assert_eq!(supervised.mean, plain.mean);
+        assert_eq!(health.requested, 24);
+        assert_eq!(health.completed, 24);
+        assert_eq!(health.quarantined, 0);
+        assert!(!health.early_stopped);
     }
 
     #[test]

@@ -60,6 +60,48 @@ pub enum CompileError {
         /// Devices in the graph.
         devices: usize,
     },
+    /// A gate names a qubit outside the circuit's declared range
+    /// (possible when constructing [`waltz_circuit::Gate`] values
+    /// directly).
+    QubitOutOfRange {
+        /// Index of the offending gate in the circuit.
+        gate_index: usize,
+        /// The out-of-range qubit.
+        qubit: usize,
+        /// Qubits the circuit declares.
+        n_qubits: usize,
+    },
+    /// A pass panicked. Only produced by the supervised entry points
+    /// ([`crate::Supervisor`]), whose `catch_unwind` isolation converts
+    /// the panic into this error for the one affected job instead of
+    /// tearing down the batch.
+    Internal {
+        /// The pass that panicked.
+        pass: crate::Pass,
+        /// The panic payload (message), when it was a string.
+        payload: String,
+    },
+    /// Compilation ran past its wall-clock deadline
+    /// ([`crate::Compiler::compile_with_deadline`],
+    /// [`crate::SupervisorPolicy::deadline_ms`]). Checked at every pass
+    /// boundary, so `pass` is the first pass that did not start in time.
+    DeadlineExceeded {
+        /// The pass that would have run next.
+        pass: crate::Pass,
+        /// The deadline the job was given, in milliseconds.
+        budget_ms: u64,
+    },
+    /// The compiled register needs more state bytes than the supervisor's
+    /// budget allows, even after walking the degradation ladder
+    /// (windowed → whole-program-demoted) — the structured rejection that
+    /// replaces silently skipping the job.
+    OverBudget {
+        /// Peak state bytes of the smallest artifact any degradation rung
+        /// produced.
+        needed: usize,
+        /// The supervisor's budget, in bytes.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -87,6 +129,26 @@ impl fmt::Display for CompileError {
             CompileError::DisconnectedTopology { devices } => {
                 write!(f, "topology with {devices} devices is not connected")
             }
+            CompileError::QubitOutOfRange {
+                gate_index,
+                qubit,
+                n_qubits,
+            } => write!(
+                f,
+                "gate {gate_index} names qubit {qubit} but the circuit has {n_qubits} qubits"
+            ),
+            CompileError::Internal { pass, payload } => {
+                write!(f, "internal error in the {} pass: {payload}", pass.name())
+            }
+            CompileError::DeadlineExceeded { pass, budget_ms } => write!(
+                f,
+                "compilation exceeded its {budget_ms} ms deadline before the {} pass",
+                pass.name()
+            ),
+            CompileError::OverBudget { needed, limit } => write!(
+                f,
+                "register needs {needed} state bytes but the budget allows {limit}"
+            ),
         }
     }
 }
@@ -220,6 +282,47 @@ impl CompiledCircuit {
         }
     }
 
+    /// [`CompiledCircuit::estimate_average_fidelity`] under trajectory
+    /// health supervision: unhealthy trajectories (NaN/Inf fidelity,
+    /// out-of-range fidelity, norm growth) are quarantined instead of
+    /// poisoning the mean, and the run stops early once the standard
+    /// error reaches [`waltz_sim::trajectory::HealthPolicy`]'s target.
+    /// Same engine dispatch and seed stream as the unsupervised
+    /// estimator, so a fully healthy run reproduces it exactly.
+    pub fn estimate_average_fidelity_supervised(
+        &self,
+        noise: &waltz_noise::NoiseModel,
+        trajectories: usize,
+        seed: u64,
+        policy: &waltz_sim::trajectory::HealthPolicy,
+    ) -> (
+        waltz_sim::trajectory::FidelityEstimate,
+        waltz_sim::trajectory::RunHealth,
+    ) {
+        use waltz_sim::trajectory;
+        let write = |_: &Register, rng: &mut rand::rngs::StdRng, out: &mut State| {
+            self.write_random_product_initial_state(rng, out)
+        };
+        match self.sim_segments() {
+            Some(segments) => trajectory::average_fidelity_segmented_supervised_with(
+                segments,
+                noise,
+                trajectories,
+                seed,
+                policy,
+                write,
+            ),
+            None => trajectory::average_fidelity_supervised_with(
+                self.sim_circuit(),
+                noise,
+                trajectories,
+                seed,
+                policy,
+                write,
+            ),
+        }
+    }
+
     /// Encoded-basis weight of a logical qubit sitting at `site`: its bit
     /// contributes `weight * bit` to the device's level.
     fn site_weight(&self, site: Site) -> usize {
@@ -309,13 +412,35 @@ impl CompiledCircuit {
     /// Decodes a measured device-register basis index into the logical
     /// bitstring (qubit 0 = most significant bit), reading each qubit out
     /// of its *final* site — "the measured state would be decoded
-    /// according to the compression strategy" (§5.2).
+    /// according to the compression strategy" (§5.2). Reads the
+    /// whole-program register; for states produced by the windowed
+    /// (segmented) engine use [`CompiledCircuit::decode_index_on`] with
+    /// the last segment's register.
     pub fn decode_device_index(&self, device_index: usize) -> usize {
-        let reg = &self.timed.register;
+        self.decode_index_on(&self.timed.register, device_index)
+    }
+
+    /// [`CompiledCircuit::decode_device_index`] on an explicit register
+    /// spanning the same devices — in particular the **last segment's**
+    /// register of the windowed schedule
+    /// ([`waltz_sim::SegmentedCircuit::last_register`]), whose dimensions
+    /// bound every level a final state populates; final sites address
+    /// devices, not amplitudes, so the decode is register-agnostic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `register` spans a different device count than the
+    /// compiled circuit.
+    pub fn decode_index_on(&self, register: &Register, device_index: usize) -> usize {
+        assert_eq!(
+            register.n_qudits(),
+            self.timed.register.n_qudits(),
+            "register does not span the compiled circuit's devices"
+        );
         let n = self.final_sites.len();
         let mut out = 0usize;
         for (q, &site) in self.final_sites.iter().enumerate() {
-            let digit = reg.digit(device_index, site.device);
+            let digit = register.digit(device_index, site.device);
             let bit = (digit / self.site_weight(site)) % 2;
             out |= bit << (n - 1 - q);
         }
@@ -323,7 +448,11 @@ impl CompiledCircuit {
     }
 
     /// Samples `shots` measurement outcomes from a final device state and
-    /// returns decoded logical bitstring counts.
+    /// returns decoded logical bitstring counts. Decodes against the
+    /// *state's own* register, so final states from either engine work:
+    /// the whole-program schedule's ([`CompiledCircuit::sim_circuit`])
+    /// and the windowed schedule's last segment
+    /// ([`CompiledCircuit::sim_segments`]).
     pub fn sample_decoded<R: rand::Rng + ?Sized>(
         &self,
         state: &State,
@@ -333,7 +462,9 @@ impl CompiledCircuit {
         let mut counts = std::collections::BTreeMap::new();
         for _ in 0..shots {
             let raw = state.sample_basis(rng);
-            *counts.entry(self.decode_device_index(raw)).or_insert(0) += 1;
+            *counts
+                .entry(self.decode_index_on(state.register(), raw))
+                .or_insert(0) += 1;
         }
         counts
     }

@@ -1,0 +1,105 @@
+//! Deterministic fault injection for the supervised batch engine
+//! (`fault-inject` feature only — the default build compiles none of
+//! this).
+//!
+//! A test arms a process-wide [`FaultPlan`] with [`arm`], runs a batch
+//! through a [`crate::Supervisor`] or a trajectory sweep through the
+//! supervised estimators, and observes exactly the failures the plan
+//! describes:
+//!
+//! * a panic raised at the entry of a chosen pass, in a chosen job —
+//!   exercising the supervisor's `catch_unwind` isolation;
+//! * a NaN-poisoned amplitude at a chosen op index of a chosen
+//!   trajectory (forwarded to [`waltz_sim::fault`]) — exercising the
+//!   trajectory health guards;
+//! * a state-byte budget shrink after a chosen number of completed
+//!   batch jobs — exercising mid-batch backpressure.
+//!
+//! The plan is global state: tests that arm it must serialize themselves
+//! (a shared `Mutex` guard) and [`disarm`] on exit.
+
+use std::cell::Cell;
+use std::sync::{Mutex, PoisonError};
+
+use crate::pipeline::Pass;
+
+/// One deterministic fault schedule. `Default` injects nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Panic at the entry of this pass, in the batch job with this index
+    /// (`(pass, job_index)`).
+    pub panic_in_pass: Option<(Pass, usize)>,
+    /// Fire the pass panic only on the first matching attempt (the plan
+    /// drops it after firing) — models a transient fault, so the
+    /// supervisor's retry-with-degradation succeeds. `false` models a
+    /// deterministic bug the retry re-hits.
+    pub transient: bool,
+    /// Overwrite the first amplitude with NaN after this op of this
+    /// trajectory (`(global_trajectory_index, op_index)`).
+    pub poison: Option<(usize, usize)>,
+    /// After this many batch jobs complete, shrink the supervisor's
+    /// state-byte budget to this limit (`(completed_jobs, budget_bytes)`).
+    pub shrink_budget: Option<(usize, usize)>,
+}
+
+static PLAN: Mutex<Option<FaultPlan>> = Mutex::new(None);
+
+thread_local! {
+    /// The batch job index running on this thread (`usize::MAX` outside
+    /// a supervised job).
+    static CURRENT_JOB: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+fn plan() -> Option<FaultPlan> {
+    *PLAN.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Arms the process-wide fault plan (replacing any previous one) and
+/// forwards its poison schedule to the simulator's hook.
+pub fn arm(plan: FaultPlan) {
+    *PLAN.lock().unwrap_or_else(PoisonError::into_inner) = Some(plan);
+    waltz_sim::fault::set_poison(plan.poison.map(|(trajectory, op_index)| {
+        waltz_sim::fault::PoisonPlan {
+            trajectory,
+            op_index,
+        }
+    }));
+}
+
+/// Clears the fault plan everywhere (compiler and simulator hooks).
+pub fn disarm() {
+    *PLAN.lock().unwrap_or_else(PoisonError::into_inner) = None;
+    waltz_sim::fault::set_poison(None);
+}
+
+/// Marks which batch job the current thread is about to run (called by
+/// the supervisor before each attempt).
+pub(crate) fn set_job(index: usize) {
+    CURRENT_JOB.with(|c| c.set(index));
+}
+
+/// Panics iff the armed plan schedules a panic for this pass in the
+/// current job (called by the pipeline at every pass entry).
+pub(crate) fn maybe_panic(pass: Pass) {
+    let mut guard = PLAN.lock().unwrap_or_else(PoisonError::into_inner);
+    let Some(p) = guard.as_mut() else { return };
+    let Some((target_pass, target_job)) = p.panic_in_pass else {
+        return;
+    };
+    if target_pass == pass && target_job == CURRENT_JOB.with(Cell::get) {
+        if p.transient {
+            p.panic_in_pass = None;
+        }
+        drop(guard);
+        panic!("injected fault: panic in the {} pass", pass.name());
+    }
+}
+
+/// The budget (in state bytes) the supervisor should shrink to once
+/// `completed` jobs have finished, per the armed plan.
+pub(crate) fn budget_after(completed: usize) -> Option<usize> {
+    plan().and_then(|p| {
+        p.shrink_budget
+            .and_then(|(after, bytes)| (completed == after).then_some(bytes))
+    })
+}

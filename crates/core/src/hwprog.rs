@@ -353,7 +353,25 @@ impl HwProgram {
     /// making the windowed peak state size at most the whole-program one.
     /// Returns one window covering the whole program when nothing is
     /// worth splitting (or the program is empty).
+    ///
+    /// This entry point prices sweeps by amplitude count alone
+    /// (`sweep_fixed = 0`); the compiler calls
+    /// [`HwProgram::window_registers_with`] with the fusion cost model's
+    /// calibrated fixed per-sweep term.
     pub fn window_registers(&self) -> Vec<RegisterWindow> {
+        self.window_registers_with(0)
+    }
+
+    /// [`HwProgram::window_registers`] with an explicit fixed per-sweep
+    /// cost (in amplitude-multiply units, the same quantity as
+    /// [`waltz_sim::FuseOptions::sweep_fixed`]): each sweep over the
+    /// state — one per op, plus the reshape's read and write at every
+    /// boundary — costs `sweep_fixed` on top of its amplitude count. The
+    /// per-op fixed terms are identical split or merged and cancel, so
+    /// the knob's whole effect is `2 * sweep_fixed` added to every
+    /// boundary's split cost: short windows whose byte savings cannot
+    /// cover two fixed sweep costs merge back instead of splitting.
+    pub fn window_registers_with(&self, sweep_fixed: usize) -> Vec<RegisterWindow> {
         if self.ops.is_empty() {
             return vec![RegisterWindow {
                 ops: 0..0,
@@ -402,7 +420,8 @@ impl HwProgram {
             let merged_dims = self.closed_dims(l.ops.start..r.ops.end, merged_req, &self.dims);
             let (amps_l, amps_r, amps_m) = (amps(&l.dims), amps(&r.dims), amps(&merged_dims));
             let (ops_l, ops_r) = (l.ops.len() as f64, r.ops.len() as f64);
-            let cost_split = ops_l * amps_l + ops_r * amps_r + amps_l + amps_r;
+            let cost_split =
+                ops_l * amps_l + ops_r * amps_r + amps_l + amps_r + 2.0 * sweep_fixed as f64;
             let cost_merged = (ops_l + ops_r) * amps_m;
             (cost_split - cost_merged, merged_dims)
         };

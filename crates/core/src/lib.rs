@@ -74,6 +74,26 @@
 //! (temporary `ENC`/`DEC` around each three-qubit gate) and full-ququart
 //! (two qubits per device at all times).
 //!
+//! # Supervised batches
+//!
+//! For workloads where one bad circuit must not cost the other
+//! thousand, wrap the compiler in a [`Supervisor`]: every job runs under
+//! `catch_unwind` (a panic in any pass becomes
+//! [`CompileError::Internal`] for that job alone), an optional per-job
+//! deadline turns runaways into [`CompileError::DeadlineExceeded`], and
+//! a live state-byte budget walks over-large registers down a
+//! degradation ladder — forced windowing, then the whole-program demoted
+//! register — before rejecting with [`CompileError::OverBudget`]. Each
+//! job yields a [`JobReport`] with a [`JobStatus`], the
+//! [`Degradation`] rung that produced its artifact, and wall-clock time;
+//! see `examples/supervised_batch.rs` for the batch-submission idiom.
+//! The matching simulation-side guards (NaN/norm quarantine and
+//! early-stop, [`waltz_sim::trajectory::HealthPolicy`]) are reachable
+//! via [`CompiledCircuit::estimate_average_fidelity_supervised`] and
+//! [`Simulation::average_fidelity_supervised`]. The whole failure
+//! surface is exercised deterministically by the `fault-inject` feature
+//! (the `fault` module, compiled out entirely when disabled).
+//!
 //! # Example
 //!
 //! ```
@@ -121,9 +141,12 @@ mod lower;
 mod mapping;
 mod pipeline;
 mod strategy;
+mod supervisor;
 mod target;
 
 pub mod eps;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 pub mod verify;
 
 #[allow(deprecated)]
@@ -136,4 +159,5 @@ pub use hwprog::{HwProgram, RegisterWindow};
 pub use layout::Layout;
 pub use pipeline::{Compiler, Pass, PassReport};
 pub use strategy::{CompileOptions, FqCswapMode, Fusion, MrCcxMode, QubitCcxMode, Strategy};
+pub use supervisor::{Degradation, JobReport, JobStatus, Supervisor, SupervisorPolicy};
 pub use target::{Target, TopologySpec};

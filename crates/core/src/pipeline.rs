@@ -206,9 +206,40 @@ impl Compiler {
     /// # Errors
     ///
     /// Returns [`CompileError`] when the circuit is empty or malformed
-    /// (duplicate/missing operands, non-finite rotation angles) or the
-    /// topology cannot host it (too small, disconnected).
+    /// (duplicate/missing/out-of-range operands, non-finite rotation
+    /// angles) or the topology cannot host it (too small, disconnected).
     pub fn compile(&self, circuit: &Circuit) -> Result<CompileArtifact, CompileError> {
+        self.compile_until(circuit, None, 0)
+    }
+
+    /// [`Compiler::compile`] under a wall-clock deadline: the budget is
+    /// checked at every pass boundary, and a compilation that runs past
+    /// it returns [`CompileError::DeadlineExceeded`] naming the first
+    /// pass that did not start in time. A pass already running is never
+    /// interrupted, so the overshoot is bounded by one pass.
+    pub fn compile_with_deadline(
+        &self,
+        circuit: &Circuit,
+        budget: std::time::Duration,
+    ) -> Result<CompileArtifact, CompileError> {
+        let budget_ms = budget.as_millis().min(u64::MAX as u128) as u64;
+        self.compile_until(circuit, Some(Instant::now() + budget), budget_ms)
+    }
+
+    /// The one pipeline implementation behind [`Compiler::compile`],
+    /// [`Compiler::compile_with_deadline`] and the supervised entry
+    /// points: every pass boundary runs through
+    /// [`crate::supervisor::begin_pass`], which enforces the deadline and
+    /// marks the running pass in thread-local state so a supervisor's
+    /// `catch_unwind` can attribute a panic to the pass that raised it.
+    pub(crate) fn compile_until(
+        &self,
+        circuit: &Circuit,
+        deadline: Option<Instant>,
+        budget_ms: u64,
+    ) -> Result<CompileArtifact, CompileError> {
+        use crate::supervisor::begin_pass;
+
         let topology = self.target.topology_for(circuit.n_qubits());
         validate(circuit, &topology, self.target.strategy())?;
         let strategy = *self.target.strategy();
@@ -216,6 +247,7 @@ impl Compiler {
         let mut reports: Vec<PassReport> = Vec::with_capacity(Pass::ALL.len());
 
         // -- Decompose ----------------------------------------------------
+        begin_pass(Pass::Decompose, deadline, budget_ms)?;
         let t0 = Instant::now();
         let prepared = match &strategy {
             Strategy::QubitOnly { ccx } => lower::qubit_only::preprocess(circuit, *ccx),
@@ -242,6 +274,7 @@ impl Compiler {
         });
 
         // -- Map ----------------------------------------------------------
+        begin_pass(Pass::Map, deadline, budget_ms)?;
         let t0 = Instant::now();
         let graph = match &strategy {
             Strategy::FullQuquart { .. } => InteractionGraph::encoded(topology),
@@ -262,6 +295,7 @@ impl Compiler {
         });
 
         // -- Route --------------------------------------------------------
+        begin_pass(Pass::Route, deadline, budget_ms)?;
         let t0 = Instant::now();
         let mut out: LowerOutput = match &strategy {
             Strategy::QubitOnly { ccx } => {
@@ -299,6 +333,7 @@ impl Compiler {
         // hosts shrink *outside* their windows too — gated by a cost
         // model that only keeps boundaries whose smaller registers save
         // more sweep-bytes than the reshape copy costs.
+        begin_pass(Pass::Analyze, deadline, budget_ms)?;
         let t0 = Instant::now();
         let bytes_of =
             |dims: &[u8]| STATE_BYTES_PER_AMP * dims.iter().map(|&d| d as usize).product::<usize>();
@@ -307,8 +342,14 @@ impl Compiler {
             out.prog.demote_to_occupancy();
         }
         let windowing = self.options.windowed_registers && !self.options.padded_registers;
+        // The window cost model prices each sweep's fixed overhead with
+        // the same constant the fusion model calibrated, unless pinned.
+        let window_fixed = self
+            .options
+            .window_sweep_fixed
+            .unwrap_or(self.fuse.sweep_fixed);
         let windows = if windowing {
-            out.prog.window_registers()
+            out.prog.window_registers_with(window_fixed)
         } else {
             Vec::new()
         };
@@ -383,10 +424,12 @@ impl Compiler {
                 ),
                 ("state_bytes_peak".into(), peak_bytes.to_string()),
                 ("state_bytes_mean".into(), format!("{mean_bytes:.1}")),
+                ("window_sweep_fixed".into(), window_fixed.to_string()),
             ],
         });
 
         // -- Schedule -----------------------------------------------------
+        begin_pass(Pass::Schedule, deadline, budget_ms)?;
         let t0 = Instant::now();
         let timed = out.prog.schedule(lib);
         let windowed_raw = windowed_active.then(|| out.prog.schedule_windowed(lib, &windows));
@@ -405,6 +448,7 @@ impl Compiler {
         });
 
         // -- Fuse ---------------------------------------------------------
+        begin_pass(Pass::Fuse, deadline, budget_ms)?;
         let t0 = Instant::now();
         let fused = match self.options.fusion {
             Fusion::Off => None,
@@ -447,6 +491,7 @@ impl Compiler {
         });
 
         // -- Lower --------------------------------------------------------
+        begin_pass(Pass::Lower, deadline, budget_ms)?;
         let t0 = Instant::now();
         let coherence_spans = build_spans(&strategy, &out, &timed);
         let stats = CompileStats {
@@ -495,57 +540,45 @@ impl Compiler {
     }
 
     /// Compiles a batch of circuits, fanning them across worker threads
-    /// with an atomic-counter work-stealing loop (scoped threads, no
-    /// rayon): each worker repeatedly claims the next unclaimed circuit,
-    /// so one big circuit next to many small ones no longer strands the
-    /// other workers the way static chunking did. Results are
-    /// element-wise identical to sequential [`Compiler::compile`] calls:
+    /// with an atomic-counter work-stealing loop: each worker repeatedly
+    /// claims the next unclaimed circuit, so one big circuit next to many
+    /// small ones never strands the other workers. Results are
+    /// element-wise identical to sequential [`Compiler::compile`] calls —
     /// each circuit compiles independently, and one circuit's failure
-    /// never poisons the rest of the batch.
+    /// never poisons the rest of the batch. Since the loop moved into
+    /// [`crate::Supervisor`] (which this method delegates to), that
+    /// isolation extends to panics: a pass that panics costs its own job
+    /// a [`CompileError::Internal`] while every sibling completes. Use a
+    /// [`crate::Supervisor`] directly for per-job [`crate::JobReport`]s,
+    /// deadlines, state-byte budgets and retry-with-degradation.
     pub fn compile_batch(
         &self,
         circuits: &[Circuit],
     ) -> Vec<Result<CompileArtifact, CompileError>> {
-        if circuits.is_empty() {
-            return Vec::new();
+        // Retry-with-degradation is off here: this entry point promises
+        // element-wise parity with sequential `compile` calls, so a
+        // panicked job must surface as its error, not as an artifact
+        // compiled under different options.
+        crate::supervisor::Supervisor::with_policy(
+            self.clone(),
+            crate::supervisor::SupervisorPolicy::default().with_retry_degraded(false),
+        )
+        .compile_batch(circuits)
+        .into_iter()
+        .map(|job| job.result)
+        .collect()
+    }
+
+    /// A compiler over the same target and fuse cache with different
+    /// options — the supervisor's degradation rungs recompile through
+    /// this, so retries reuse every memoized fused block.
+    pub(crate) fn reoptioned(&self, options: CompileOptions) -> Compiler {
+        Compiler {
+            target: self.target.clone(),
+            fuse: resolve_fuse_options(&options),
+            options,
+            fuse_cache: self.fuse_cache.clone(),
         }
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(circuits.len());
-        if threads == 1 {
-            return circuits.iter().map(|c| self.compile(c)).collect();
-        }
-        let mut results: Vec<Option<Result<CompileArtifact, CompileError>>> =
-            (0..circuits.len()).map(|_| None).collect();
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    let next = &next;
-                    scope.spawn(move || {
-                        let mut done: Vec<(usize, Result<CompileArtifact, CompileError>)> =
-                            Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                            if i >= circuits.len() {
-                                return done;
-                            }
-                            done.push((i, self.compile(&circuits[i])));
-                        }
-                    })
-                })
-                .collect();
-            for handle in handles {
-                for (i, result) in handle.join().expect("batch worker panicked") {
-                    results[i] = Some(result);
-                }
-            }
-        });
-        results
-            .into_iter()
-            .map(|r| r.expect("every batch slot filled"))
-            .collect()
     }
 }
 
@@ -569,6 +602,13 @@ fn validate(
             });
         }
         for (i, &q) in gate.qubits.iter().enumerate() {
+            if q >= circuit.n_qubits() {
+                return Err(CompileError::QubitOutOfRange {
+                    gate_index,
+                    qubit: q,
+                    n_qubits: circuit.n_qubits(),
+                });
+            }
             if gate.qubits[i + 1..].contains(&q) {
                 return Err(CompileError::DuplicateOperands {
                     gate_index,
@@ -831,8 +871,13 @@ mod tests {
 
     #[test]
     fn analyze_reports_windowed_segments_on_disjoint_enc_windows() {
+        // Pure byte pricing: the calibrated default fixed term is
+        // build-profile dependent and may merge cnu-6q's split.
         let circuit = toffoli_ladder_6q();
-        let compiler = Compiler::new(Target::paper(Strategy::mixed_radix_ccz()));
+        let compiler = Compiler::with_options(
+            Target::paper(Strategy::mixed_radix_ccz()),
+            CompileOptions::default().with_window_sweep_fixed(0),
+        );
         let artifact = compiler.compile(&circuit).unwrap();
         let analyze = artifact.report(Pass::Analyze);
         assert_eq!(analyze.diagnostic("windowed").unwrap(), "true");

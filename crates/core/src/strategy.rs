@@ -83,6 +83,17 @@ pub struct CompileOptions {
     /// `window_parity` suite); [`CompileOptions::padded_registers`]
     /// implies no windowing.
     pub windowed_registers: bool,
+    /// Override for the windowed-register cost model's fixed per-sweep
+    /// term: splitting the program costs two extra sweeps per boundary
+    /// (the reshape's read and write), each priced at this many
+    /// amplitude-multiplies on top of its amplitude count. `None` (the
+    /// default) reuses the fusion cost model's calibrated
+    /// [`waltz_sim::FuseOptions::sweep_fixed`] — per-sweep overhead is
+    /// the same quantity in both models — which stops short windows
+    /// (e.g. cnu-6q's) from splitting when the reshape's fixed costs
+    /// outweigh the byte savings. `Some(0)` restores the pure
+    /// byte-seconds balance.
+    pub window_sweep_fixed: Option<usize>,
 }
 
 impl Default for CompileOptions {
@@ -94,6 +105,7 @@ impl Default for CompileOptions {
             max_fused_span: None,
             padded_registers: false,
             windowed_registers: true,
+            window_sweep_fixed: None,
         }
     }
 }
@@ -136,6 +148,15 @@ impl CompileOptions {
     /// lifetime-maximum occupancy, no in-flight reshapes.
     pub fn with_windowed_registers(mut self, enabled: bool) -> Self {
         self.windowed_registers = enabled;
+        self
+    }
+
+    /// Pins the windowed-register cost model's fixed per-sweep term
+    /// instead of reusing the fusion calibration (see
+    /// [`CompileOptions::window_sweep_fixed`]); `0` restores the pure
+    /// byte-seconds balance with no fixed reshape cost.
+    pub fn with_window_sweep_fixed(mut self, fixed: usize) -> Self {
+        self.window_sweep_fixed = Some(fixed);
         self
     }
 }

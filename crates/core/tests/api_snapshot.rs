@@ -13,10 +13,13 @@ const EXPECTED: &[&str] = &[
     "CompileStats",
     "CompiledCircuit",
     "Compiler",
+    "Degradation",
     "EpsBreakdown",
     "FqCswapMode",
     "Fusion",
     "HwProgram",
+    "JobReport",
+    "JobStatus",
     "Layout",
     "MrCcxMode",
     "Pass",
@@ -25,6 +28,8 @@ const EXPECTED: &[&str] = &[
     "RegisterWindow",
     "Simulation",
     "Strategy",
+    "Supervisor",
+    "SupervisorPolicy",
     "Target",
     "TopologySpec",
     "compile",
@@ -32,6 +37,10 @@ const EXPECTED: &[&str] = &[
     "compile_on_with_options",
     "compile_with_options",
     "mod eps",
+    // The `fault-inject`-gated fault module: the parser reads `pub mod`
+    // lines without their `#[cfg]` attribute, so it appears in every
+    // configuration even though it only compiles with the feature on.
+    "mod fault",
     "mod verify",
 ];
 
@@ -109,8 +118,9 @@ fn snapshot_symbols_actually_exist() {
     use waltz_core::{
         compile, compile_on, compile_on_with_options, compile_with_options, CoherenceSpan,
         CompileArtifact, CompileError, CompileOptions, CompileStats, CompiledCircuit, Compiler,
-        EpsBreakdown, FqCswapMode, Fusion, HwProgram, Layout, MrCcxMode, Pass, PassReport,
-        QubitCcxMode, RegisterWindow, Simulation, Strategy, Target, TopologySpec,
+        Degradation, EpsBreakdown, FqCswapMode, Fusion, HwProgram, JobReport, JobStatus, Layout,
+        MrCcxMode, Pass, PassReport, QubitCcxMode, RegisterWindow, Simulation, Strategy,
+        Supervisor, SupervisorPolicy, Target, TopologySpec,
     };
     let _ = compile;
     let _ = compile_on;
@@ -138,6 +148,16 @@ fn snapshot_symbols_actually_exist() {
     assert_type::<Strategy>();
     assert_type::<Target>();
     assert_type::<TopologySpec>();
+    assert_type::<Degradation>();
+    assert_type::<JobReport>();
+    assert_type::<JobStatus>();
+    assert_type::<Supervisor>();
+    assert_type::<SupervisorPolicy>();
     let _ = waltz_core::eps::uniform_spans;
     let _ = waltz_core::verify::check;
+    #[cfg(feature = "fault-inject")]
+    {
+        let _ = waltz_core::fault::arm;
+        let _ = waltz_core::fault::disarm;
+    }
 }

@@ -82,6 +82,8 @@
 
 #![warn(missing_docs)]
 
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 mod register;
 mod session;
 mod state;

@@ -168,6 +168,14 @@ impl State {
         &self.amps
     }
 
+    /// Overwrites the first amplitude with NaN — the deterministic
+    /// amplitude-poisoning hook of the fault-injection harness
+    /// ([`crate::fault`]).
+    #[cfg(feature = "fault-inject")]
+    pub(crate) fn poison_first_amplitude(&mut self) {
+        self.amps[0] = C64::new(f64::NAN, f64::NAN);
+    }
+
     /// Probability of a computational basis state.
     pub fn probability_of(&self, idx: usize) -> f64 {
         self.amps[idx].norm_sqr()

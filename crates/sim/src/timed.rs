@@ -161,7 +161,7 @@ impl FuseCache {
 
     /// Number of memoized block shapes.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("fuse cache poisoned").len()
+        self.lock().len()
     }
 
     /// Whether nothing has been memoized yet.
@@ -169,16 +169,21 @@ impl FuseCache {
         self.len() == 0
     }
 
-    fn get(&self, key: &BlockKey) -> Option<CachedBlock> {
+    /// Poison-tolerant lock: entries are only ever inserted whole, so a
+    /// panic on another thread (isolated by a batch supervisor) cannot
+    /// leave a half-written entry — sibling jobs keep using the cache.
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<BlockKey, CachedBlock>> {
         self.inner
             .lock()
-            .expect("fuse cache poisoned")
-            .get(key)
-            .cloned()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn get(&self, key: &BlockKey) -> Option<CachedBlock> {
+        self.lock().get(key).cloned()
     }
 
     fn insert(&self, key: BlockKey, value: CachedBlock) {
-        let mut map = self.inner.lock().expect("fuse cache poisoned");
+        let mut map = self.lock();
         if map.len() < FUSE_CACHE_CAP {
             map.insert(key, value);
         }

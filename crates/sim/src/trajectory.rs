@@ -7,6 +7,8 @@
 //! drawn with probability `1 - F_gate` over the gate's calibrated error
 //! dimensions (mixed-radix gates draw from `P_2 (x) P_4`, §6.5).
 
+use std::sync::{Mutex, PoisonError};
+
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -95,6 +97,8 @@ fn run_ops<R: Rng + ?Sized>(
                     }
                 }
                 out.apply_op(op, ws);
+                #[cfg(feature = "fault-inject")]
+                crate::fault::tick_op(out);
                 // Busy-time damping: decoherence during the pulse itself.
                 if noise.damping && noise.busy_time_damping {
                     for &q in &op.operands {
@@ -137,6 +141,8 @@ fn run_ops<R: Rng + ?Sized>(
                     }
                 }
                 out.apply_op(op, ws);
+                #[cfg(feature = "fault-inject")]
+                crate::fault::tick_op(out);
                 for ev in events {
                     if noise.damping && noise.busy_time_damping {
                         for &q in &ev.operands {
@@ -340,16 +346,16 @@ fn estimate_over_trajectories<W>(
         .unwrap_or(1)
         .min(trajectories);
     let mut fidelities = vec![0.0f64; trajectories];
+    let chunk_size = trajectories.div_ceil(threads);
     std::thread::scope(|scope| {
-        let chunks: Vec<_> = fidelities
-            .chunks_mut(trajectories.div_ceil(threads))
-            .enumerate()
-            .collect();
+        let chunks: Vec<_> = fidelities.chunks_mut(chunk_size).enumerate().collect();
         for (chunk_idx, chunk) in chunks {
             let (make_worker, run_one) = (&make_worker, &run_one);
             scope.spawn(move || {
                 let mut worker = make_worker();
                 for (i, f) in chunk.iter_mut().enumerate() {
+                    #[cfg(feature = "fault-inject")]
+                    crate::fault::begin_trajectory(chunk_idx * chunk_size + i);
                     let mut rng = StdRng::seed_from_u64(trajectory_seed(seed, chunk_idx, i));
                     *f = run_one(&mut worker, &mut rng);
                 }
@@ -383,6 +389,294 @@ fn estimate_from(fidelities: &[f64]) -> FidelityEstimate {
 fn trajectory_seed(seed: u64, chunk_idx: usize, i: usize) -> u64 {
     seed.wrapping_add((chunk_idx * 1_000_003 + i) as u64)
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Health guards for the supervised estimators
+/// ([`average_fidelity_supervised_with`] and friends): when a trajectory
+/// trips a guard it is **quarantined** — its sample is dropped, the
+/// quarantine counted in [`RunHealth`], and the run keeps going.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthPolicy {
+    /// Quarantine a trajectory whose final noisy-state norm exceeds
+    /// `1 + max_norm_growth`. Growth-only on purpose: lossy reshapes at
+    /// segment boundaries legitimately *shrink* the norm, but nothing in
+    /// a trajectory may grow it.
+    pub max_norm_growth: f64,
+    /// Quarantine a fidelity sample outside
+    /// `[-fidelity_tolerance, 1 + fidelity_tolerance]` (or non-finite).
+    pub fidelity_tolerance: f64,
+    /// Stop early once the running standard error of the mean drops to
+    /// this threshold (after [`min_trajectories`](Self::min_trajectories)
+    /// healthy samples). `None` disables early stop.
+    pub target_std_error: Option<f64>,
+    /// Minimum healthy samples before early stop may trigger.
+    pub min_trajectories: usize,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            max_norm_growth: 1e-6,
+            fidelity_tolerance: 1e-6,
+            target_std_error: None,
+            min_trajectories: 16,
+        }
+    }
+}
+
+/// What actually happened during a supervised estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunHealth {
+    /// Trajectories requested by the caller.
+    pub requested: usize,
+    /// Healthy trajectories that contributed to the estimate.
+    pub completed: usize,
+    /// Trajectories quarantined by a health guard (NaN/Inf fidelity,
+    /// out-of-range fidelity, or norm growth).
+    pub quarantined: usize,
+    /// Whether the run stopped early on
+    /// [`HealthPolicy::target_std_error`].
+    pub early_stopped: bool,
+}
+
+/// The supervised counterpart of [`estimate_over_trajectories`]: same
+/// threading, chunking and per-trajectory seed stream, plus per-trajectory
+/// health guards, an optional early stop on the running standard error,
+/// and (under `fault-inject`) per-trajectory arming of the amplitude
+/// poison. `run_one` returns `(fidelity, final_noisy_norm)`.
+fn estimate_supervised<W>(
+    trajectories: usize,
+    seed: u64,
+    policy: &HealthPolicy,
+    make_worker: impl Fn() -> W + Sync,
+    run_one: impl Fn(&mut W, &mut StdRng) -> (f64, f64) + Sync,
+) -> (FidelityEstimate, RunHealth) {
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+    assert!(trajectories > 0, "need at least one trajectory");
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(trajectories);
+    let chunk_size = trajectories.div_ceil(threads);
+    // NaN marks a slot that never produced a healthy sample (skipped by
+    // early stop, or quarantined); the final estimate is taken over the
+    // finite slots only.
+    let mut fidelities = vec![f64::NAN; trajectories];
+    let stop = AtomicBool::new(false);
+    let quarantined = AtomicUsize::new(0);
+    // Running (count, sum, sum of squares) over healthy samples, for the
+    // early-stop standard-error check.
+    let tally = Mutex::new((0usize, 0.0f64, 0.0f64));
+    std::thread::scope(|scope| {
+        for (chunk_idx, chunk) in fidelities.chunks_mut(chunk_size).enumerate() {
+            let (make_worker, run_one) = (&make_worker, &run_one);
+            let (stop, quarantined, tally, policy) = (&stop, &quarantined, &tally, &policy);
+            scope.spawn(move || {
+                let mut worker = make_worker();
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    #[cfg(feature = "fault-inject")]
+                    crate::fault::begin_trajectory(chunk_idx * chunk_size + i);
+                    let mut rng = StdRng::seed_from_u64(trajectory_seed(seed, chunk_idx, i));
+                    let (f, norm) = run_one(&mut worker, &mut rng);
+                    let healthy = f.is_finite()
+                        && norm.is_finite()
+                        && f >= -policy.fidelity_tolerance
+                        && f <= 1.0 + policy.fidelity_tolerance
+                        && norm <= 1.0 + policy.max_norm_growth;
+                    if !healthy {
+                        quarantined.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    *slot = f;
+                    if let Some(target) = policy.target_std_error {
+                        let mut t = tally.lock().unwrap_or_else(PoisonError::into_inner);
+                        t.0 += 1;
+                        t.1 += f;
+                        t.2 += f * f;
+                        if t.0 >= policy.min_trajectories.max(2) {
+                            let n = t.0 as f64;
+                            let var = ((t.2 - t.1 * t.1 / n) / (n - 1.0)).max(0.0);
+                            if (var / n).sqrt() <= target {
+                                stop.store(true, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let kept: Vec<f64> = fidelities
+        .iter()
+        .copied()
+        .filter(|f| f.is_finite())
+        .collect();
+    let health = RunHealth {
+        requested: trajectories,
+        completed: kept.len(),
+        quarantined: quarantined.load(std::sync::atomic::Ordering::Relaxed),
+        early_stopped: stop.load(std::sync::atomic::Ordering::Relaxed),
+    };
+    let estimate = if kept.is_empty() {
+        FidelityEstimate {
+            mean: f64::NAN,
+            std_error: f64::NAN,
+            trajectories: 0,
+        }
+    } else {
+        estimate_from(&kept)
+    };
+    (estimate, health)
+}
+
+/// [`average_fidelity`] with health supervision: per-trajectory NaN/Inf
+/// and norm-growth guards (quarantine, count, keep going) and an optional
+/// early stop when the running standard error reaches
+/// [`HealthPolicy::target_std_error`]. Returns the estimate over healthy
+/// trajectories plus a [`RunHealth`] report.
+pub fn average_fidelity_supervised(
+    circuit: &TimedCircuit,
+    noise: &NoiseModel,
+    trajectories: usize,
+    seed: u64,
+    policy: &HealthPolicy,
+) -> (FidelityEstimate, RunHealth) {
+    average_fidelity_supervised_with(circuit, noise, trajectories, seed, policy, |_, rng, out| {
+        out.fill_random_qubit_product(rng)
+    })
+}
+
+/// [`average_fidelity_supervised`] with a custom initial-state factory;
+/// same buffer-reuse and seed-stream discipline as
+/// [`average_fidelity_with`], so a fully healthy supervised run (no
+/// quarantine, no early stop) reproduces its estimate exactly.
+pub fn average_fidelity_supervised_with(
+    circuit: &TimedCircuit,
+    noise: &NoiseModel,
+    trajectories: usize,
+    seed: u64,
+    policy: &HealthPolicy,
+    write_initial: impl Fn(&crate::Register, &mut StdRng, &mut State) + Sync,
+) -> (FidelityEstimate, RunHealth) {
+    struct Worker {
+        ws: Workspace,
+        initial: State,
+        noisy_out: State,
+        ideal_out: State,
+        cached_initial: State,
+        ideal_cached: bool,
+    }
+    estimate_supervised(
+        trajectories,
+        seed,
+        policy,
+        || Worker {
+            ws: Workspace::serial(),
+            initial: State::zero(&circuit.register),
+            noisy_out: State::zero(&circuit.register),
+            ideal_out: State::zero(&circuit.register),
+            cached_initial: State::zero(&circuit.register),
+            ideal_cached: false,
+        },
+        |w, rng| {
+            write_initial(&circuit.register, rng, &mut w.initial);
+            if !(w.ideal_cached && w.cached_initial == w.initial) {
+                ideal::run_into(circuit, &w.initial, &mut w.ideal_out, &mut w.ws);
+                w.cached_initial.copy_from(&w.initial);
+                w.ideal_cached = true;
+            }
+            run_trajectory_into(circuit, &w.initial, noise, rng, &mut w.noisy_out, &mut w.ws);
+            (w.ideal_out.fidelity(&w.noisy_out), w.noisy_out.norm())
+        },
+    )
+}
+
+/// [`average_fidelity_segmented`] with health supervision — the segmented
+/// counterpart of [`average_fidelity_supervised`].
+pub fn average_fidelity_segmented_supervised(
+    circuit: &SegmentedCircuit,
+    noise: &NoiseModel,
+    trajectories: usize,
+    seed: u64,
+    policy: &HealthPolicy,
+) -> (FidelityEstimate, RunHealth) {
+    average_fidelity_segmented_supervised_with(
+        circuit,
+        noise,
+        trajectories,
+        seed,
+        policy,
+        |_, rng, out| out.fill_random_qubit_product(rng),
+    )
+}
+
+/// [`average_fidelity_segmented_supervised`] with a custom initial-state
+/// factory; same buffers and seed stream as
+/// [`average_fidelity_segmented_with`].
+pub fn average_fidelity_segmented_supervised_with(
+    circuit: &SegmentedCircuit,
+    noise: &NoiseModel,
+    trajectories: usize,
+    seed: u64,
+    policy: &HealthPolicy,
+    write_initial: impl Fn(&crate::Register, &mut StdRng, &mut State) + Sync,
+) -> (FidelityEstimate, RunHealth) {
+    struct Worker {
+        ws: Workspace,
+        initial: State,
+        noisy_out: State,
+        noisy_scratch: State,
+        ideal_out: State,
+        ideal_scratch: State,
+        cached_initial: State,
+        ideal_cached: bool,
+    }
+    estimate_supervised(
+        trajectories,
+        seed,
+        policy,
+        || {
+            let (noisy_out, noisy_scratch) = circuit.rolling_buffers();
+            let (ideal_out, ideal_scratch) = circuit.rolling_buffers();
+            Worker {
+                ws: Workspace::serial(),
+                initial: State::zero(circuit.first_register()),
+                noisy_out,
+                noisy_scratch,
+                ideal_out,
+                ideal_scratch,
+                cached_initial: State::zero(circuit.first_register()),
+                ideal_cached: false,
+            }
+        },
+        |w, rng| {
+            write_initial(circuit.first_register(), rng, &mut w.initial);
+            if !(w.ideal_cached && w.cached_initial == w.initial) {
+                ideal::run_segmented_into(
+                    circuit,
+                    &w.initial,
+                    &mut w.ideal_out,
+                    &mut w.ideal_scratch,
+                    &mut w.ws,
+                );
+                w.cached_initial.copy_from(&w.initial);
+                w.ideal_cached = true;
+            }
+            run_trajectory_segmented_into(
+                circuit,
+                &w.initial,
+                noise,
+                rng,
+                &mut w.noisy_out,
+                &mut w.noisy_scratch,
+                &mut w.ws,
+            );
+            (w.ideal_out.fidelity(&w.noisy_out), w.noisy_out.norm())
+        },
+    )
 }
 
 /// [`average_fidelity`] over a windowed-register schedule

@@ -1,0 +1,63 @@
+//! Supervised batch submission: compile a mixed workload where individual
+//! jobs may fail, run over deadline, or bust the memory budget — without
+//! any of them taking down the batch.
+//!
+//! A `Supervisor` wraps the compiler with per-job `catch_unwind`
+//! isolation, a wall-clock deadline, and a live state-byte budget whose
+//! overruns walk a degradation ladder (forced windowed registers, then
+//! the whole-program demoted register) before being rejected with a
+//! structured `OverBudget` error. Each job comes back as a `JobReport`:
+//! match on its status instead of unwrapping a batch-wide `Result`.
+//!
+//! Run: `cargo run --release --example supervised_batch`
+
+use quantum_waltz::circuits::{cuccaro_adder, generalized_toffoli, qram};
+use quantum_waltz::core::{
+    CompileError, Compiler, JobStatus, Strategy, Supervisor, SupervisorPolicy, Target,
+};
+use quantum_waltz::prelude::*;
+
+fn main() {
+    // A realistic sweep: mostly healthy circuits, one malformed entry
+    // (no qubits), one big enough to stress a deliberately small budget.
+    let batch = vec![
+        generalized_toffoli(2),
+        generalized_toffoli(3),
+        Circuit::new(0), // malformed: fails validation, nothing else
+        cuccaro_adder(2),
+        qram(2),
+    ];
+
+    let supervisor = Supervisor::with_policy(
+        Compiler::new(Target::paper(Strategy::mixed_radix_ccz())),
+        SupervisorPolicy::default()
+            .with_deadline_ms(30_000)
+            // Small on purpose: watch larger registers degrade to fit.
+            .with_state_budget_bytes(1 << 12),
+    );
+
+    for job in supervisor.compile_batch(&batch) {
+        print!("job {}: ", job.index);
+        match (&job.status, &job.result) {
+            (JobStatus::Ok, Ok(artifact)) => {
+                let fid = artifact.simulate().with_seed(11).average_fidelity(50);
+                println!(
+                    "ok via {:?} — {} pulses, peak state {} B, fidelity {:.3} ± {:.3} ({:.0} ms)",
+                    job.degradation,
+                    artifact.stats.hw_ops,
+                    artifact.sim_state_bytes_peak(),
+                    fid.mean,
+                    fid.std_error,
+                    job.wall_ms,
+                );
+            }
+            (JobStatus::OverBudget, Err(CompileError::OverBudget { needed, limit })) => {
+                println!("rejected — needs {needed} state bytes, budget {limit}");
+            }
+            (JobStatus::TimedOut, Err(e)) => println!("deadline: {e}"),
+            (JobStatus::Panicked, Err(e)) => println!("isolated panic: {e}"),
+            (_, Err(e)) => println!("error: {e}"),
+            (status, Ok(_)) => unreachable!("status {status:?} with an artifact"),
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Deterministic fault-injection suite for the supervised batch engine
+//! (`cargo test --features fault-inject --test fault_injection`).
+//!
+//! Each test arms a process-wide [`waltz_core::fault::FaultPlan`] and
+//! asserts the supervisor/health-guard response: pass panics isolated to
+//! their job, over-budget registers walked down the degradation ladder,
+//! NaN-poisoned trajectories quarantined, and a mid-batch budget shrink
+//! applied to later jobs only. The plan is global, so every test holds
+//! the shared [`LOCK`] and disarms on exit.
+#![cfg(feature = "fault-inject")]
+
+use std::sync::Mutex;
+
+use quantum_waltz::circuit::Circuit;
+use quantum_waltz::core::fault::{self, FaultPlan};
+use quantum_waltz::core::{
+    CompileError, CompileOptions, Compiler, Degradation, JobStatus, Pass, Strategy, Supervisor,
+    SupervisorPolicy, Target,
+};
+
+/// Serializes the tests that arm the process-wide fault plan.
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// Holds the plan lock for one test and disarms on drop, so a failing
+/// assertion cannot leak an armed plan into the next test.
+struct Armed<'a>(#[allow(dead_code)] std::sync::MutexGuard<'a, ()>);
+
+impl<'a> Armed<'a> {
+    fn arm(plan: FaultPlan) -> Self {
+        let guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        fault::arm(plan);
+        Armed(guard)
+    }
+}
+
+impl Drop for Armed<'_> {
+    fn drop(&mut self) {
+        fault::disarm();
+    }
+}
+
+fn toffoli_chain() -> Circuit {
+    let mut c = Circuit::new(3);
+    c.h(0).ccx(0, 1, 2);
+    c
+}
+
+fn ladder_6q() -> Circuit {
+    let mut c = Circuit::new(6);
+    c.ccx(0, 1, 3).ccx(2, 3, 4).ccx(2, 4, 5);
+    c
+}
+
+fn compiler() -> Compiler {
+    Compiler::new(Target::paper(Strategy::mixed_radix_ccz()))
+}
+
+#[test]
+fn panic_in_any_pass_fails_only_that_job() {
+    for pass in Pass::ALL {
+        let _armed = Armed::arm(FaultPlan {
+            panic_in_pass: Some((pass, 1)),
+            ..FaultPlan::default()
+        });
+        let supervisor = Supervisor::with_policy(
+            compiler(),
+            SupervisorPolicy::default().with_retry_degraded(false),
+        );
+        let batch = [toffoli_chain(), toffoli_chain(), toffoli_chain()];
+        let reports = supervisor.compile_batch(&batch);
+        assert_eq!(reports.len(), 3);
+        // Siblings complete untouched.
+        assert_eq!(reports[0].status, JobStatus::Ok, "{pass:?}: job 0");
+        assert_eq!(reports[2].status, JobStatus::Ok, "{pass:?}: job 2");
+        // The faulted job reports the injected panic, attributed to the
+        // injected pass.
+        assert_eq!(reports[1].status, JobStatus::Panicked, "{pass:?}: job 1");
+        match &reports[1].result {
+            Err(CompileError::Internal {
+                pass: reported,
+                payload,
+            }) => {
+                assert_eq!(*reported, pass);
+                assert!(
+                    payload.contains("injected fault"),
+                    "unexpected payload: {payload}"
+                );
+            }
+            other => panic!("{pass:?}: expected Internal, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn transient_panic_retries_through_the_safe_pipeline() {
+    let _armed = Armed::arm(FaultPlan {
+        panic_in_pass: Some((Pass::Fuse, 0)),
+        transient: true,
+        ..FaultPlan::default()
+    });
+    let supervisor = Supervisor::new(compiler());
+    let job = supervisor.compile_one(&toffoli_chain());
+    assert_eq!(job.status, JobStatus::Ok);
+    assert_eq!(job.degradation, Degradation::SafePipeline);
+    assert!(job.retried);
+    assert!(job.result.unwrap().timed.validate().is_ok());
+}
+
+#[test]
+fn deterministic_panic_survives_the_retry() {
+    let _armed = Armed::arm(FaultPlan {
+        panic_in_pass: Some((Pass::Route, 0)),
+        ..FaultPlan::default()
+    });
+    let supervisor = Supervisor::new(compiler());
+    let job = supervisor.compile_one(&toffoli_chain());
+    assert_eq!(job.status, JobStatus::Panicked);
+    assert!(job.retried, "the retry ran (and re-hit the fault)");
+    assert!(matches!(
+        job.result,
+        Err(CompileError::Internal {
+            pass: Pass::Route,
+            ..
+        })
+    ));
+}
+
+#[test]
+fn over_budget_register_degrades_down_the_ladder_before_rejecting() {
+    let _armed = Armed::arm(FaultPlan::default());
+    // A compiler pinned to whole-program registers: its own artifact
+    // busts the budget, the ladder's windowed rung fits.
+    let whole = Compiler::with_options(
+        Target::paper(Strategy::mixed_radix_ccz()),
+        CompileOptions::default().with_windowed_registers(false),
+    );
+    let circuit = ladder_6q();
+    let whole_peak = whole.compile(&circuit).unwrap().sim_state_bytes_peak();
+    let windowed_peak = Compiler::with_options(
+        Target::paper(Strategy::mixed_radix_ccz()),
+        CompileOptions::default().with_window_sweep_fixed(0),
+    )
+    .compile(&circuit)
+    .unwrap()
+    .sim_state_bytes_peak();
+    assert!(windowed_peak < whole_peak);
+
+    // Rung 1: windowed registers fit.
+    let supervisor = Supervisor::with_policy(
+        whole.clone(),
+        SupervisorPolicy::default().with_state_budget_bytes(windowed_peak),
+    );
+    let job = supervisor.compile_one(&circuit);
+    assert_eq!(job.status, JobStatus::Ok);
+    assert_eq!(job.degradation, Degradation::Windowed);
+    assert!(job.result.unwrap().sim_state_bytes_peak() <= windowed_peak);
+
+    // No rung fits: structured rejection carrying the ladder's best peak.
+    let supervisor = Supervisor::with_policy(
+        whole,
+        SupervisorPolicy::default().with_state_budget_bytes(windowed_peak - 1),
+    );
+    let job = supervisor.compile_one(&circuit);
+    assert_eq!(job.status, JobStatus::OverBudget);
+    assert_eq!(
+        job.result.unwrap_err(),
+        CompileError::OverBudget {
+            needed: windowed_peak,
+            limit: windowed_peak - 1
+        }
+    );
+}
+
+#[test]
+fn nan_poisoned_trajectory_is_quarantined_and_the_mean_stays_sound() {
+    let trajectories = 24;
+    let artifact = compiler().compile(&toffoli_chain()).unwrap();
+
+    let clean = {
+        let _armed = Armed::arm(FaultPlan::default());
+        artifact.simulate().average_fidelity(trajectories)
+    };
+    assert!(clean.mean.is_finite());
+
+    let _armed = Armed::arm(FaultPlan {
+        poison: Some((3, 2)),
+        ..FaultPlan::default()
+    });
+    let (poisoned, health) = artifact
+        .simulate()
+        .average_fidelity_supervised(trajectories, &Default::default());
+    assert_eq!(health.requested, trajectories);
+    assert_eq!(health.quarantined, 1, "exactly the poisoned trajectory");
+    assert_eq!(health.completed, trajectories - 1);
+    assert!(!health.early_stopped);
+    assert!(poisoned.mean.is_finite(), "quarantine kept the mean finite");
+    assert_eq!(poisoned.trajectories, trajectories - 1);
+    // Dropping one healthy-sized sample moves the mean by far less than
+    // one standard error.
+    let tolerance = clean.std_error.max(poisoned.std_error);
+    assert!(
+        (poisoned.mean - clean.mean).abs() <= tolerance,
+        "poisoned mean {} drifted more than one standard error ({tolerance}) from clean {}",
+        poisoned.mean,
+        clean.mean
+    );
+}
+
+#[test]
+fn unsupervised_estimator_is_poisoned_without_the_guards() {
+    // The control experiment: the same fault without supervision lands a
+    // NaN in the plain estimator's mean — this is exactly what the
+    // quarantine prevents.
+    let _armed = Armed::arm(FaultPlan {
+        poison: Some((3, 2)),
+        ..FaultPlan::default()
+    });
+    let artifact = compiler().compile(&toffoli_chain()).unwrap();
+    let estimate = artifact.simulate().average_fidelity(24);
+    assert!(estimate.mean.is_nan());
+}
+
+#[test]
+fn budget_shrink_mid_batch_rejects_later_jobs_only() {
+    let _armed = Armed::arm(FaultPlan {
+        shrink_budget: Some((2, 1)),
+        ..FaultPlan::default()
+    });
+    // One worker thread makes completion order = submission order, so
+    // "after two completed jobs" is deterministic.
+    let supervisor =
+        Supervisor::with_policy(compiler(), SupervisorPolicy::default().with_threads(1));
+    let batch = [ladder_6q(), ladder_6q(), ladder_6q(), ladder_6q()];
+    let reports = supervisor.compile_batch(&batch);
+    assert_eq!(reports[0].status, JobStatus::Ok);
+    assert_eq!(reports[1].status, JobStatus::Ok);
+    assert_eq!(reports[2].status, JobStatus::OverBudget, "shrunk budget");
+    assert_eq!(reports[3].status, JobStatus::OverBudget);
+    assert_eq!(supervisor.budget_bytes(), Some(1));
+}
+
+#[test]
+fn early_stop_fires_once_the_error_target_is_met() {
+    let _armed = Armed::arm(FaultPlan::default());
+    let artifact = compiler().compile(&toffoli_chain()).unwrap();
+    let policy = quantum_waltz::sim::trajectory::HealthPolicy {
+        target_std_error: Some(1.0), // any two samples satisfy this
+        min_trajectories: 2,
+        ..Default::default()
+    };
+    let (estimate, health) = artifact
+        .simulate()
+        .average_fidelity_supervised(4096, &policy);
+    assert!(health.early_stopped);
+    assert!(health.completed < 4096, "stopped well short of the request");
+    assert!(estimate.mean.is_finite());
+    assert!(estimate.std_error <= 1.0);
+}

@@ -142,6 +142,72 @@ proptest! {
     }
 }
 
+/// A proptest strategy producing *hostile* circuits: raw [`Gate`] values
+/// (the struct's fields are public, so the checked constructor can be
+/// bypassed) with duplicate operands, wrong arities — including empty
+/// operand lists — non-finite rotation angles, and sometimes no gates
+/// or no qubits at all. Qubit indices are folded into the declared
+/// range, the one invariant [`Circuit::push`] itself enforces.
+fn adversarial_circuit(max_gates: usize) -> impl proptest::strategy::Strategy<Value = Circuit> {
+    let gate = (
+        0usize..8,
+        proptest::collection::vec(0usize..7, 0..5),
+        0usize..5,
+        -3.0f64..3.0,
+    );
+    (0usize..5, proptest::collection::vec(gate, 0..max_gates)).prop_map(move |(n, gates)| {
+        let mut c = Circuit::new(n);
+        for (kind, raw_qubits, angle_kind, angle) in gates {
+            let qubits: Vec<usize> = if n == 0 {
+                Vec::new() // any operand would be out of range
+            } else {
+                raw_qubits.iter().map(|q| q % n).collect()
+            };
+            let angle = match angle_kind {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                _ => angle,
+            };
+            let kind = match kind {
+                0 => GateKind::One(Q1Gate::H),
+                1 => GateKind::One(Q1Gate::Rz(angle)),
+                2 => GateKind::Cx,
+                3 => GateKind::Cz,
+                4 => GateKind::Swap,
+                5 => GateKind::Ccx,
+                6 => GateKind::Ccz,
+                _ => GateKind::Cswap,
+            };
+            c.push(Gate { kind, qubits });
+        }
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn compile_never_panics_on_adversarial_input(
+        circuit in adversarial_circuit(8),
+    ) {
+        // Every malformed input must surface as a typed `CompileError` —
+        // never a panic — on every strategy, including a 1-device
+        // topology too small for anything.
+        for strategy in [Waltz::qubit_only(), Waltz::mixed_radix_ccz(), Waltz::full_ququart()] {
+            for target in [
+                Target::paper(strategy),
+                Target::paper(strategy).with_topology(waltz_arch::Topology::grid(1)),
+            ] {
+                if let Ok(artifact) = Compiler::new(target).compile(&circuit) {
+                    prop_assert!(artifact.timed.validate().is_ok());
+                }
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 

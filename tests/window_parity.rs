@@ -20,12 +20,18 @@ use waltz_sim::{ideal, trajectory, State, Workspace};
 
 const TOL: f64 = 1e-12;
 
-/// Compiles with the default (windowed) and the PR 4 whole-program
-/// demoted registers.
+/// Compiles with windowed registers under the pure byte-seconds cost
+/// model (`window_sweep_fixed = 0`, the PR 5 pricing this suite pins —
+/// the calibrated default additionally merges marginal boundaries, see
+/// `calibrated_sweep_cost_merges_marginal_splits`) and with the PR 4
+/// whole-program demoted registers.
 fn compile_both(circuit: &Circuit, strategy: Strategy) -> (CompileArtifact, CompileArtifact) {
-    let windowed = Compiler::new(Target::paper(strategy))
-        .compile(circuit)
-        .expect("windowed compile");
+    let windowed = Compiler::with_options(
+        Target::paper(strategy),
+        CompileOptions::default().with_window_sweep_fixed(0),
+    )
+    .compile(circuit)
+    .expect("windowed compile");
     let whole = Compiler::with_options(
         Target::paper(strategy),
         CompileOptions::default().with_windowed_registers(false),
@@ -161,6 +167,50 @@ fn disjoint_windows_beat_whole_program_demotion() {
         );
         assert!(segments.mean_state_bytes() < whole.timed.register.state_bytes() as f64);
         assert!(runner::artifact_simulable(&windowed));
+    }
+}
+
+/// The window cost model folds a fixed per-sweep term into boundary
+/// pricing: a large term merges every marginal split back into the
+/// whole-program register, zero restores pure byte pricing, and the
+/// *default* (fusion's machine-calibrated constant, so the exact value
+/// is build-profile dependent) must sit monotonically between the two —
+/// never splitting more than pure byte pricing does.
+#[test]
+fn calibrated_sweep_cost_merges_marginal_splits() {
+    let compile_fixed = |circuit: &Circuit, fixed: Option<usize>| {
+        let mut options = CompileOptions::default();
+        if let Some(fixed) = fixed {
+            options = options.with_window_sweep_fixed(fixed);
+        }
+        Compiler::with_options(Target::paper(Strategy::mixed_radix_ccz()), options)
+            .compile(circuit)
+            .expect("compile")
+    };
+    let seg_count =
+        |artifact: &CompileArtifact| artifact.sim_segments().map_or(1, |s| s.n_segments());
+
+    let mut ladder = Circuit::new(6);
+    ladder.ccz(0, 1, 2).ccz(3, 4, 5);
+    for circuit in [ladder, generalized_toffoli(3)] {
+        let free = compile_fixed(&circuit, Some(0));
+        assert!(
+            seg_count(&free) > 1,
+            "pure byte pricing must split the disjoint ENC windows"
+        );
+        let taxed = compile_fixed(&circuit, Some(1 << 30));
+        assert!(
+            taxed.sim_segments().is_none(),
+            "a prohibitive fixed term must merge every boundary"
+        );
+        let calibrated = compile_fixed(&circuit, None);
+        assert!(
+            seg_count(&calibrated) <= seg_count(&free),
+            "the calibrated term must only ever merge boundaries, not add them"
+        );
+        // Whatever the calibration decides, the peak never exceeds the
+        // whole-program register.
+        assert!(calibrated.sim_state_bytes_peak() <= calibrated.timed.register.state_bytes());
     }
 }
 
