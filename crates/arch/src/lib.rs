@@ -17,6 +17,7 @@
 
 mod interaction;
 mod topology;
+mod wire;
 
 pub use interaction::{InteractionGraph, Site};
 pub use topology::{Topology, TopologyKind};

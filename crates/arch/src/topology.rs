@@ -36,6 +36,17 @@ pub struct Topology {
 }
 
 impl Topology {
+    /// Rebuilds a topology from its edge list — the wire-format decode
+    /// path (`wire.rs`); the public constructors stay the only way to
+    /// *author* a topology.
+    pub(crate) fn from_parts(
+        kind: TopologyKind,
+        n_devices: usize,
+        edges: &[(usize, usize)],
+    ) -> Self {
+        Topology::from_edges(kind, n_devices, edges)
+    }
+
     fn from_edges(kind: TopologyKind, n_devices: usize, edges: &[(usize, usize)]) -> Self {
         let mut adjacency = vec![Vec::new(); n_devices];
         for &(a, b) in edges {

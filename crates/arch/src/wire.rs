@@ -1,0 +1,131 @@
+//! Wire-format ([`waltz_codec`]) implementations for the architecture
+//! types.
+//!
+//! A [`Topology`] travels as its kind, device count and canonical edge
+//! list (each edge once, `a < b`, ascending); decode rebuilds the
+//! adjacency lists through the same path the public constructors use, so
+//! a round-tripped topology is structurally identical to the original.
+
+use waltz_codec::{ByteReader, ByteWriter, Decode, DecodeError, Encode};
+
+use crate::{Site, Topology, TopologyKind};
+
+impl Encode for TopologyKind {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u8(match self {
+            TopologyKind::Line => 0,
+            TopologyKind::Grid => 1,
+            TopologyKind::HeavyHex => 2,
+            TopologyKind::FullyConnected => 3,
+        });
+    }
+}
+
+impl Decode for TopologyKind {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(match r.get_u8()? {
+            0 => TopologyKind::Line,
+            1 => TopologyKind::Grid,
+            2 => TopologyKind::HeavyHex,
+            3 => TopologyKind::FullyConnected,
+            tag => {
+                return Err(DecodeError::BadTag {
+                    ty: "TopologyKind",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+impl Encode for Topology {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.kind().encode(w);
+        w.put_usize(self.n_devices());
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for a in 0..self.n_devices() {
+            for &b in self.neighbors(a) {
+                if a < b {
+                    edges.push((a, b));
+                }
+            }
+        }
+        edges.encode(w);
+    }
+}
+
+impl Decode for Topology {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        let kind = TopologyKind::decode(r)?;
+        let n_devices = r.get_usize()?;
+        let edges: Vec<(usize, usize)> = Vec::decode(r)?;
+        if edges
+            .iter()
+            .any(|&(a, b)| a >= n_devices || b >= n_devices || a == b)
+        {
+            return Err(DecodeError::Invalid("topology edge out of range"));
+        }
+        Ok(Topology::from_parts(kind, n_devices, &edges))
+    }
+}
+
+impl Encode for Site {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_usize(self.device);
+        w.put_usize(self.slot);
+    }
+}
+
+impl Decode for Site {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        let device = r.get_usize()?;
+        let slot = r.get_usize()?;
+        Ok(Site::new(device, slot))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use waltz_codec::{decode_from_slice, encode_to_vec};
+
+    use super::*;
+
+    #[test]
+    fn topologies_round_trip_structurally() {
+        for topo in [
+            Topology::line(5),
+            Topology::grid(9),
+            Topology::heavy_hex(2, 3),
+            Topology::fully_connected(4),
+        ] {
+            let bytes = encode_to_vec(&topo);
+            let back: Topology = decode_from_slice(&bytes).unwrap();
+            assert_eq!(back.kind(), topo.kind());
+            assert_eq!(back.n_devices(), topo.n_devices());
+            for d in 0..topo.n_devices() {
+                assert_eq!(back.neighbors(d), topo.neighbors(d));
+            }
+            assert_eq!(encode_to_vec(&back), bytes);
+        }
+    }
+
+    #[test]
+    fn out_of_range_edge_is_rejected() {
+        let bytes = encode_to_vec(&Topology::line(3));
+        // Rebuild with a device count smaller than the edges reference.
+        let mut w = waltz_codec::ByteWriter::new();
+        TopologyKind::Line.encode(&mut w);
+        w.put_usize(1);
+        vec![(0usize, 2usize)].encode(&mut w);
+        assert!(decode_from_slice::<Topology>(w.as_bytes()).is_err());
+        // The untampered bytes still decode.
+        assert!(decode_from_slice::<Topology>(&bytes).is_ok());
+    }
+
+    #[test]
+    fn site_round_trips() {
+        let s = Site::new(3, 1);
+        let back: Site = decode_from_slice(&encode_to_vec(&s)).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -27,6 +27,7 @@
 
 mod circuit;
 mod gate;
+mod wire;
 
 pub mod decompose;
 pub mod moments;

@@ -1,0 +1,147 @@
+//! Wire-format ([`waltz_codec`]) implementations for the logical IR.
+//!
+//! Decoding funnels through [`Gate::new`] and [`Circuit::push`], so a
+//! decoded circuit satisfies the same arity/range invariants as one built
+//! through the API — corrupt operand lists are a [`DecodeError`], never a
+//! malformed value.
+
+use waltz_codec::{ByteReader, ByteWriter, Decode, DecodeError, Encode};
+use waltz_gates::Q1Gate;
+
+use crate::{Circuit, Gate, GateKind};
+
+impl Encode for GateKind {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            GateKind::One(g) => {
+                w.put_u8(0);
+                g.encode(w);
+            }
+            GateKind::Cx => w.put_u8(1),
+            GateKind::Cz => w.put_u8(2),
+            GateKind::Swap => w.put_u8(3),
+            GateKind::Csdg => w.put_u8(4),
+            GateKind::Ccx => w.put_u8(5),
+            GateKind::Ccz => w.put_u8(6),
+            GateKind::Cswap => w.put_u8(7),
+        }
+    }
+}
+
+impl Decode for GateKind {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(match r.get_u8()? {
+            0 => GateKind::One(Q1Gate::decode(r)?),
+            1 => GateKind::Cx,
+            2 => GateKind::Cz,
+            3 => GateKind::Swap,
+            4 => GateKind::Csdg,
+            5 => GateKind::Ccx,
+            6 => GateKind::Ccz,
+            7 => GateKind::Cswap,
+            tag => {
+                return Err(DecodeError::BadTag {
+                    ty: "GateKind",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+impl Encode for Gate {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.kind.encode(w);
+        self.qubits.encode(w);
+    }
+}
+
+impl Decode for Gate {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        let kind = GateKind::decode(r)?;
+        let qubits: Vec<usize> = Vec::decode(r)?;
+        if qubits.len() != kind.arity() {
+            return Err(DecodeError::Invalid("gate operand count != arity"));
+        }
+        for (i, a) in qubits.iter().enumerate() {
+            if qubits.iter().skip(i + 1).any(|b| a == b) {
+                return Err(DecodeError::Invalid("gate operands repeat"));
+            }
+        }
+        Ok(Gate::new(kind, qubits))
+    }
+}
+
+impl Encode for Circuit {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_usize(self.n_qubits());
+        w.put_usize(self.len());
+        for g in self.iter() {
+            g.encode(w);
+        }
+    }
+}
+
+impl Decode for Circuit {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        let n_qubits = r.get_usize()?;
+        let len = r.get_usize()?;
+        let mut c = Circuit::new(n_qubits);
+        for _ in 0..len {
+            let gate = Gate::decode(r)?;
+            if gate.qubits.iter().any(|&q| q >= n_qubits) {
+                return Err(DecodeError::Invalid("gate operand out of range"));
+            }
+            c.push(gate);
+        }
+        Ok(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use waltz_codec::{content_hash, decode_from_slice, encode_to_vec};
+
+    use super::*;
+
+    #[test]
+    fn circuit_round_trip_is_byte_identical() {
+        let mut c = Circuit::new(4);
+        c.h(0)
+            .cx(0, 1)
+            .one(Q1Gate::Rz(0.75), 2)
+            .ccx(0, 1, 3)
+            .push(Gate::new(GateKind::Cswap, vec![1, 2, 3]));
+        let bytes = encode_to_vec(&c);
+        let back: Circuit = decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, c);
+        assert_eq!(encode_to_vec(&back), bytes);
+        assert_eq!(content_hash(&back), content_hash(&c));
+    }
+
+    #[test]
+    fn distinct_circuits_hash_differently() {
+        let mut a = Circuit::new(2);
+        a.cx(0, 1);
+        let mut b = Circuit::new(2);
+        b.cx(1, 0);
+        assert_ne!(content_hash(&a), content_hash(&b));
+    }
+
+    #[test]
+    fn corrupt_operands_error_instead_of_panicking() {
+        // A CX with three operands.
+        let mut w = waltz_codec::ByteWriter::new();
+        GateKind::Cx.encode(&mut w);
+        vec![0usize, 1, 2].encode(&mut w);
+        assert!(decode_from_slice::<Gate>(w.as_bytes()).is_err());
+
+        // A gate referencing a qubit outside the circuit's width.
+        let mut w = waltz_codec::ByteWriter::new();
+        w.put_usize(1); // n_qubits
+        w.put_usize(1); // gate count
+        GateKind::Cx.encode(&mut w);
+        vec![0usize, 5].encode(&mut w);
+        assert!(decode_from_slice::<Circuit>(w.as_bytes()).is_err());
+    }
+}

@@ -30,6 +30,10 @@ pub struct CompileArtifact {
     compiled: CompiledCircuit,
     reports: Vec<PassReport>,
     noise: NoiseModel,
+    /// Provenance marker: `true` when this artifact was replayed from an
+    /// [`crate::ArtifactCache`] instead of compiled fresh. Never enters
+    /// the wire format, so the content hash is load-path independent.
+    cached: bool,
 }
 
 impl Deref for CompileArtifact {
@@ -50,7 +54,21 @@ impl CompileArtifact {
             compiled,
             reports,
             noise,
+            cached: false,
         }
+    }
+
+    /// Whether this artifact came out of an [`crate::ArtifactCache`]
+    /// (memory or disk tier) rather than a fresh pipeline run. Cached
+    /// artifacts carry the pass reports of the compilation that produced
+    /// them; the flag is the only difference.
+    pub fn is_cached(&self) -> bool {
+        self.cached
+    }
+
+    /// Marks the artifact's provenance (set by the cache on load).
+    pub(crate) fn set_cached(&mut self, cached: bool) {
+        self.cached = cached;
     }
 
     /// The wrapped compiled circuit.

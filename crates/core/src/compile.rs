@@ -1,21 +1,16 @@
-//! The compiled-circuit artifact, compilation errors, and the deprecated
-//! free-function entry points (thin shims over [`crate::Compiler`]).
+//! The compiled-circuit artifact and compilation errors.
 
 use std::error::Error;
 use std::fmt;
 
-use waltz_arch::{Site, Topology};
-use waltz_circuit::Circuit;
-use waltz_gates::GateLibrary;
+use waltz_arch::Site;
 use waltz_math::C64;
 use waltz_noise::CoherenceModel;
 use waltz_sim::{Register, SegmentedCircuit, State, TimedCircuit};
 
 use crate::eps::{self, CoherenceSpan, EpsBreakdown};
 use crate::lower::LowerOutput;
-use crate::strategy::{CompileOptions, Strategy};
-use crate::target::Target;
-use crate::Compiler;
+use crate::strategy::Strategy;
 
 /// Compilation failure, surfaced through the pipeline's entry validation
 /// so malformed user input never panics deep inside a pass.
@@ -498,95 +493,6 @@ impl CompiledCircuit {
     }
 }
 
-/// Compiles `circuit` under `strategy` on the paper's 2D-mesh topology
-/// sized for the strategy's device count (§6.2), with default
-/// [`CompileOptions`] (gate fusion on).
-///
-/// # Errors
-///
-/// Returns [`CompileError`] when the circuit is empty or malformed.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `Compiler::new(Target::paper(strategy)).compile(&circuit)`"
-)]
-pub fn compile(
-    circuit: &Circuit,
-    strategy: &Strategy,
-    lib: &GateLibrary,
-) -> Result<CompiledCircuit, CompileError> {
-    #[allow(deprecated)]
-    compile_with_options(circuit, strategy, lib, CompileOptions::default())
-}
-
-/// [`compile`] with explicit lowering options (see [`crate::Fusion`]).
-///
-/// # Errors
-///
-/// Returns [`CompileError`] when the circuit is empty or malformed.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `Compiler::with_options(Target::paper(strategy), options).compile(&circuit)`"
-)]
-pub fn compile_with_options(
-    circuit: &Circuit,
-    strategy: &Strategy,
-    lib: &GateLibrary,
-    options: CompileOptions,
-) -> Result<CompiledCircuit, CompileError> {
-    Compiler::with_options(Target::paper(*strategy).with_library(lib.clone()), options)
-        .compile(circuit)
-        .map(|artifact| artifact.into_compiled())
-}
-
-/// Compiles `circuit` under `strategy` on a caller-provided topology with
-/// default [`CompileOptions`].
-///
-/// # Errors
-///
-/// Returns [`CompileError`] when the circuit is empty or malformed, or
-/// the topology cannot host it.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `Compiler::new(Target::paper(strategy).with_topology(topology)).compile(&circuit)`"
-)]
-pub fn compile_on(
-    circuit: &Circuit,
-    topology: Topology,
-    strategy: &Strategy,
-    lib: &GateLibrary,
-) -> Result<CompiledCircuit, CompileError> {
-    #[allow(deprecated)]
-    compile_on_with_options(circuit, topology, strategy, lib, CompileOptions::default())
-}
-
-/// [`compile_on`] with explicit lowering options (see [`crate::Fusion`]).
-///
-/// # Errors
-///
-/// Returns [`CompileError`] when the circuit is empty or malformed, or
-/// the topology cannot host it.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `Compiler::with_options(Target::paper(strategy).with_topology(topology), \
-            options).compile(&circuit)`"
-)]
-pub fn compile_on_with_options(
-    circuit: &Circuit,
-    topology: Topology,
-    strategy: &Strategy,
-    lib: &GateLibrary,
-    options: CompileOptions,
-) -> Result<CompiledCircuit, CompileError> {
-    Compiler::with_options(
-        Target::paper(*strategy)
-            .with_library(lib.clone())
-            .with_topology(topology),
-        options,
-    )
-    .compile(circuit)
-    .map(|artifact| artifact.into_compiled())
-}
-
 /// Builds the per-device maximum-level timeline (§6.3): weight 1 in the
 /// qubit regime, 3 while encoded.
 pub(crate) fn build_spans(
@@ -657,7 +563,9 @@ pub(crate) fn build_spans(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{CompileArtifact, Strategy};
+    use crate::target::Target;
+    use crate::{CompileArtifact, Compiler, Strategy};
+    use waltz_arch::Topology;
     use waltz_circuit::Circuit;
 
     /// Builder-path compile with the paper library.

@@ -111,29 +111,53 @@
 //! assert!(estimate.mean > 0.5);
 //! ```
 //!
-//! # Migrating from the free functions
+//! # Persistence & caching
 //!
-//! The four original entry points still work but are `#[deprecated]`
-//! shims over the builder (parity-pinned by `tests/shim_parity.rs`):
+//! Every artifact in the chain — [`waltz_circuit::Circuit`],
+//! [`waltz_sim::TimedCircuit`], [`CompiledCircuit`], [`PassReport`], the
+//! full [`CompileArtifact`] — implements the [`waltz_codec`] wire format:
+//! a self-contained, versioned binary encoding
+//! ([`waltz_codec::encode_versioned`] /
+//! [`waltz_codec::decode_versioned`]) with a stable 64-bit content hash
+//! ([`waltz_codec::content_hash`]) over the canonical bytes. Derived
+//! state (gate kernels, register strides) is recomputed on decode, never
+//! stored, and encode→decode→re-encode is byte-identical — pinned by the
+//! `codec_roundtrip` suite.
 //!
-//! | Old call | Builder equivalent |
-//! |----------|--------------------|
-//! | `compile(&c, &s, &lib)` | `Compiler::new(Target::paper(s).with_library(lib)).compile(&c)` |
-//! | `compile_with_options(&c, &s, &lib, opts)` | `Compiler::with_options(Target::paper(s).with_library(lib), opts).compile(&c)` |
-//! | `compile_on(&c, topo, &s, &lib)` | `Compiler::new(Target::paper(s).with_library(lib).with_topology(topo)).compile(&c)` |
-//! | `compile_on_with_options(&c, topo, &s, &lib, opts)` | `Compiler::with_options(Target::paper(s).with_library(lib).with_topology(topo), opts).compile(&c)` |
+//! **Format versioning policy.** The format carries a magic and
+//! [`waltz_codec::CODEC_VERSION`]; decoding rejects any other version
+//! rather than guessing. Any change to an encoding — field order, a new
+//! field, a widened type — must bump `CODEC_VERSION` and regenerate the
+//! matching `tests/golden/codec_v<N>.bin` fixture (CI gates on the pair
+//! moving together). There is no in-place migration: a store written by
+//! an older version simply misses and recompiles.
 //!
-//! The shims return the bare [`CompiledCircuit`]; the builder returns a
-//! [`CompileArtifact`], which dereferences to `CompiledCircuit` and adds
-//! per-pass reports, target-aware [`CompileArtifact::eps`], and the
-//! [`Simulation`] session ([`CompileArtifact::simulate`]) that owns the
-//! simulator's workspace and buffers. A separately-threaded
-//! `CoherenceModel` is no longer needed — the `Target` carries the noise
-//! environment.
+//! **Fingerprints.** [`Target::fingerprint`] hashes the strategy, gate
+//! library, topology spec and noise model over their wire encodings;
+//! [`Compiler::fingerprint`] folds in the compile options and the
+//! *resolved* cost-model constants (host-calibrated fuse constants,
+//! window pricing), so two processes with different calibrations never
+//! mistake each other's artifacts for their own. Stability rules: a
+//! fingerprint is a pure function of wire bytes — stable across process
+//! restarts and rebuilds, changed exactly when a compilation-relevant
+//! field (or `CODEC_VERSION` itself) changes.
+//!
+//! **The artifact cache.** [`ArtifactCache`] stores versioned artifact
+//! bytes keyed on `(circuit content hash, compiler fingerprint)` in an
+//! in-memory LRU tier plus an optional one-file-per-key on-disk store
+//! ([`ArtifactCache::with_disk_dir`]). Attach one via
+//! [`Compiler::with_artifact_cache`] and repeat compilations replay the
+//! stored artifact — skipping all seven passes, marked via
+//! [`CompileArtifact::is_cached`] / [`JobReport::cached`] — while still
+//! passing the supervisor's live byte-budget gate. Every hit decodes
+//! from bytes, so a cache-loaded artifact simulates bit-identically to a
+//! fresh compile (1e-12, pinned by `tests/artifact_cache.rs`) and the
+//! same guarantee holds for a store written by another process.
 
 #![warn(missing_docs)]
 
 mod artifact;
+mod cache;
 mod compile;
 mod hwprog;
 mod layout;
@@ -143,16 +167,15 @@ mod pipeline;
 mod strategy;
 mod supervisor;
 mod target;
+mod wire;
 
 pub mod eps;
 #[cfg(feature = "fault-inject")]
 pub mod fault;
 pub mod verify;
 
-#[allow(deprecated)]
-pub use compile::{compile, compile_on, compile_on_with_options, compile_with_options};
-
 pub use artifact::{CompileArtifact, Simulation};
+pub use cache::ArtifactCache;
 pub use compile::{CompileError, CompileStats, CompiledCircuit};
 pub use eps::{CoherenceSpan, EpsBreakdown};
 pub use hwprog::{HwProgram, RegisterWindow};

@@ -14,6 +14,7 @@ use waltz_gates::Q1Gate;
 use waltz_sim::{FuseCache, FuseOptions, GateKernel, Register, State, TimedCircuit, Workspace};
 
 use crate::artifact::CompileArtifact;
+use crate::cache::ArtifactCache;
 use crate::compile::{build_spans, CompileError, CompileStats, CompiledCircuit};
 use crate::lower::{self, LowerOutput};
 use crate::mapping;
@@ -166,6 +167,12 @@ pub struct Compiler {
     /// batches of structurally similar circuits multiply each repeated
     /// block shape once instead of once per circuit.
     fuse_cache: FuseCache,
+    /// Content-addressed artifact cache
+    /// ([`Compiler::with_artifact_cache`]): repeat compilations of the
+    /// same circuit against the same target replay the stored artifact
+    /// instead of running the pipeline. `None` (the default) compiles
+    /// every call.
+    artifact_cache: Option<ArtifactCache>,
 }
 
 impl Compiler {
@@ -183,7 +190,45 @@ impl Compiler {
             options,
             fuse,
             fuse_cache: FuseCache::new(),
+            artifact_cache: None,
         }
+    }
+
+    /// Attaches a content-addressed [`ArtifactCache`]: before running the
+    /// pipeline, [`Compiler::compile`] (and everything built on it —
+    /// [`Compiler::compile_batch`], [`crate::Supervisor`]) looks the
+    /// circuit up under the key `(circuit content hash, compiler
+    /// fingerprint)` and replays a stored artifact instead of compiling,
+    /// marking it via [`CompileArtifact::is_cached`]. Fresh compilations
+    /// are stored on the way out.
+    pub fn with_artifact_cache(mut self, cache: ArtifactCache) -> Self {
+        self.artifact_cache = Some(cache);
+        self
+    }
+
+    /// The attached artifact cache, when one was configured.
+    pub fn artifact_cache(&self) -> Option<&ArtifactCache> {
+        self.artifact_cache.as_ref()
+    }
+
+    /// The compiler half of the [`ArtifactCache`] key: the target's
+    /// [`Target::fingerprint`] folded with the compile options and the
+    /// *resolved* cost-model constants — so host-calibrated fuse
+    /// constants and the resolved window pricing are part of the key, and
+    /// a cache shared across processes never replays an artifact compiled
+    /// under different constants as if it matched.
+    pub fn fingerprint(&self) -> u64 {
+        use waltz_codec::Encode;
+        let mut w = waltz_codec::ByteWriter::new();
+        w.put_u64(self.target.fingerprint());
+        self.options.encode(&mut w);
+        self.fuse.encode(&mut w);
+        w.put_usize(
+            self.options
+                .window_sweep_fixed
+                .unwrap_or(self.fuse.sweep_fixed),
+        );
+        waltz_codec::fnv1a64(w.as_bytes())
     }
 
     /// The target this compiler was built from.
@@ -242,6 +287,18 @@ impl Compiler {
 
         let topology = self.target.topology_for(circuit.n_qubits());
         validate(circuit, &topology, self.target.strategy())?;
+        // Content-addressed replay: a hit skips every pass below. The
+        // key is computed only when a cache is attached (hashing the
+        // circuit costs one canonical encoding).
+        let cache_key = self
+            .artifact_cache
+            .as_ref()
+            .map(|_| (waltz_codec::content_hash(circuit), self.fingerprint()));
+        if let (Some(cache), Some(key)) = (&self.artifact_cache, cache_key) {
+            if let Some(artifact) = cache.lookup(key) {
+                return Ok(artifact);
+            }
+        }
         let strategy = *self.target.strategy();
         let lib = self.target.library();
         let mut reports: Vec<PassReport> = Vec::with_capacity(Pass::ALL.len());
@@ -487,6 +544,15 @@ impl Compiler {
                         self.fuse.max_block_span.to_string()
                     },
                 ),
+                ("fuse_cache_hits".into(), self.fuse_cache.hits().to_string()),
+                (
+                    "fuse_cache_misses".into(),
+                    self.fuse_cache.misses().to_string(),
+                ),
+                (
+                    "fuse_cache_evictions".into(),
+                    self.fuse_cache.evictions().to_string(),
+                ),
             ],
         });
 
@@ -513,6 +579,24 @@ impl Compiler {
         };
         // Lower assembles spans and stats without touching the ops, so its
         // op/depth fields report the simulation schedule unchanged.
+        let mut lower_diagnostics = vec![
+            (
+                "coherence_spans".into(),
+                compiled.coherence_spans.len().to_string(),
+            ),
+            (
+                "gate_eps".into(),
+                format!("{:.6}", compiled.timed.gate_eps()),
+            ),
+        ];
+        if let Some(cache) = &self.artifact_cache {
+            lower_diagnostics.push(("artifact_cache_hits".into(), cache.hits().to_string()));
+            lower_diagnostics.push(("artifact_cache_misses".into(), cache.misses().to_string()));
+            lower_diagnostics.push((
+                "artifact_cache_evictions".into(),
+                cache.evictions().to_string(),
+            ));
+        }
         reports.push(PassReport {
             pass: Pass::Lower,
             wall_ms: t0.elapsed().as_secs_f64() * 1e3,
@@ -520,23 +604,14 @@ impl Compiler {
             ops_out: sim_ops,
             depth_in: sim_depth,
             depth_out: sim_depth,
-            diagnostics: vec![
-                (
-                    "coherence_spans".into(),
-                    compiled.coherence_spans.len().to_string(),
-                ),
-                (
-                    "gate_eps".into(),
-                    format!("{:.6}", compiled.timed.gate_eps()),
-                ),
-            ],
+            diagnostics: lower_diagnostics,
         });
 
-        Ok(CompileArtifact::new(
-            compiled,
-            reports,
-            self.target.noise().clone(),
-        ))
+        let artifact = CompileArtifact::new(compiled, reports, self.target.noise().clone());
+        if let (Some(cache), Some(key)) = (&self.artifact_cache, cache_key) {
+            cache.store(key, &artifact);
+        }
+        Ok(artifact)
     }
 
     /// Compiles a batch of circuits, fanning them across worker threads
@@ -578,6 +653,10 @@ impl Compiler {
             fuse: resolve_fuse_options(&options),
             options,
             fuse_cache: self.fuse_cache.clone(),
+            // Degraded rungs keep the cache: their options change the
+            // fingerprint, so rung artifacts are cached under their own
+            // keys and a retried batch warms up too.
+            artifact_cache: self.artifact_cache.clone(),
         }
     }
 }

@@ -192,6 +192,12 @@ pub struct JobReport {
     /// Whether the job ran more than one pipeline attempt (panic retry or
     /// budget ladder).
     pub retried: bool,
+    /// Whether the artifact was replayed from the compiler's
+    /// [`crate::ArtifactCache`] instead of compiled fresh
+    /// ([`CompileArtifact::is_cached`]). Cached artifacts still pass the
+    /// live state-byte budget gate like any other. Always `false` for
+    /// errors.
+    pub cached: bool,
     /// Wall-clock time the job took, across all attempts, in
     /// milliseconds.
     pub wall_ms: f64,
@@ -206,12 +212,14 @@ impl JobReport {
             Err(CompileError::OverBudget { .. }) => JobStatus::OverBudget,
             Err(_) => JobStatus::Err,
         };
+        let cached = matches!(&result, Ok(artifact) if artifact.is_cached());
         JobReport {
             index,
             result,
             status,
             degradation: Degradation::None,
             retried: false,
+            cached,
             wall_ms: 0.0,
         }
     }

@@ -16,7 +16,7 @@ use crate::strategy::Strategy;
 #[derive(Debug, Clone)]
 pub enum TopologySpec {
     /// The paper's 2D mesh (§6.2), sized per circuit from the strategy's
-    /// device count — what [`crate::compile`] always did.
+    /// device count (the default).
     Auto,
     /// A caller-provided topology shared by every compilation.
     Fixed(Topology),
@@ -115,6 +115,29 @@ impl Target {
         &self.noise.coherence
     }
 
+    /// A stable 64-bit fingerprint of everything about this target that
+    /// shapes a compiled artifact: the strategy, the calibrated gate
+    /// library, the topology spec and the noise model, hashed over their
+    /// canonical wire encodings ([`waltz_codec`]'s FNV-1a).
+    ///
+    /// Two targets with the same fingerprint compile any circuit to the
+    /// same artifact (up to wall-clock timings in the pass reports), so
+    /// the fingerprint is the target half of an [`crate::ArtifactCache`]
+    /// key. Stability rules: the fingerprint is a pure function of the
+    /// target's wire encoding — it survives process restarts and
+    /// rebuilds, and changes exactly when a field with compilation
+    /// consequences changes (or when `waltz_codec::CODEC_VERSION` revs
+    /// the encodings themselves).
+    pub fn fingerprint(&self) -> u64 {
+        use waltz_codec::Encode;
+        let mut w = waltz_codec::ByteWriter::new();
+        self.strategy.encode(&mut w);
+        self.library.encode(&mut w);
+        self.topology.encode(&mut w);
+        self.noise.encode(&mut w);
+        waltz_codec::fnv1a64(w.as_bytes())
+    }
+
     /// Resolves the topology for an `n_qubits`-wide circuit: the fixed
     /// graph when pinned, otherwise the paper mesh sized from the
     /// strategy's device count.
@@ -152,6 +175,34 @@ mod tests {
         assert!(matches!(t.topology_spec(), TopologySpec::Fixed(_)));
         let t = t.with_auto_topology();
         assert!(matches!(t.topology_spec(), TopologySpec::Auto));
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        let a = Target::paper(Strategy::mixed_radix_ccz());
+        let b = Target::paper(Strategy::mixed_radix_ccz());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Every compilation-relevant field moves the fingerprint.
+        assert_ne!(
+            a.fingerprint(),
+            Target::paper(Strategy::full_ququart()).fingerprint()
+        );
+        assert_ne!(
+            a.fingerprint(),
+            b.clone().with_topology(Topology::line(9)).fingerprint()
+        );
+        assert_ne!(
+            a.fingerprint(),
+            b.clone()
+                .with_noise(waltz_noise::NoiseModel::noiseless())
+                .fingerprint()
+        );
+        assert_ne!(
+            a.fingerprint(),
+            b.clone()
+                .with_coherence(CoherenceModel::with_t1_ns(1e5))
+                .fingerprint()
+        );
     }
 
     #[test]

@@ -1,0 +1,450 @@
+//! Wire-format ([`waltz_codec`]) implementations for the compiler's
+//! artifact chain: strategies and options, per-pass reports, the
+//! [`CompiledCircuit`] and the full [`CompileArtifact`].
+//!
+//! Provenance never enters the format: the artifact's `cached` marker is
+//! set by the [`crate::ArtifactCache`] on load, not serialized, so an
+//! artifact's content hash is the same whether it was compiled fresh or
+//! replayed from a store.
+
+use waltz_codec::{ByteReader, ByteWriter, Decode, DecodeError, Encode};
+
+use crate::artifact::CompileArtifact;
+use crate::compile::{CompileStats, CompiledCircuit};
+use crate::eps::CoherenceSpan;
+use crate::pipeline::{Pass, PassReport};
+use crate::strategy::{CompileOptions, FqCswapMode, Fusion, MrCcxMode, QubitCcxMode, Strategy};
+use crate::target::TopologySpec;
+
+impl Encode for Fusion {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u8(match self {
+            Fusion::Off => 0,
+            Fusion::TwoQudit => 1,
+        });
+    }
+}
+
+impl Decode for Fusion {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        match r.get_u8()? {
+            0 => Ok(Fusion::Off),
+            1 => Ok(Fusion::TwoQudit),
+            tag => Err(DecodeError::BadTag { ty: "Fusion", tag }),
+        }
+    }
+}
+
+impl Encode for QubitCcxMode {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u8(match self {
+            QubitCcxMode::EightCx => 0,
+            QubitCcxMode::IToffoli => 1,
+        });
+    }
+}
+
+impl Decode for QubitCcxMode {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        match r.get_u8()? {
+            0 => Ok(QubitCcxMode::EightCx),
+            1 => Ok(QubitCcxMode::IToffoli),
+            tag => Err(DecodeError::BadTag {
+                ty: "QubitCcxMode",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Encode for MrCcxMode {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u8(match self {
+            MrCcxMode::Raw => 0,
+            MrCcxMode::Retarget => 1,
+            MrCcxMode::CczTransform => 2,
+        });
+    }
+}
+
+impl Decode for MrCcxMode {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        match r.get_u8()? {
+            0 => Ok(MrCcxMode::Raw),
+            1 => Ok(MrCcxMode::Retarget),
+            2 => Ok(MrCcxMode::CczTransform),
+            tag => Err(DecodeError::BadTag {
+                ty: "MrCcxMode",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Encode for FqCswapMode {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u8(match self {
+            FqCswapMode::Decompose => 0,
+            FqCswapMode::Native => 1,
+            FqCswapMode::NativeOriented => 2,
+        });
+    }
+}
+
+impl Decode for FqCswapMode {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        match r.get_u8()? {
+            0 => Ok(FqCswapMode::Decompose),
+            1 => Ok(FqCswapMode::Native),
+            2 => Ok(FqCswapMode::NativeOriented),
+            tag => Err(DecodeError::BadTag {
+                ty: "FqCswapMode",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Encode for Strategy {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            Strategy::QubitOnly { ccx } => {
+                w.put_u8(0);
+                ccx.encode(w);
+            }
+            Strategy::MixedRadix { ccx, native_cswap } => {
+                w.put_u8(1);
+                ccx.encode(w);
+                w.put_bool(*native_cswap);
+            }
+            Strategy::FullQuquart { use_ccz, cswap } => {
+                w.put_u8(2);
+                w.put_bool(*use_ccz);
+                cswap.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for Strategy {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        match r.get_u8()? {
+            0 => Ok(Strategy::QubitOnly {
+                ccx: QubitCcxMode::decode(r)?,
+            }),
+            1 => Ok(Strategy::MixedRadix {
+                ccx: MrCcxMode::decode(r)?,
+                native_cswap: r.get_bool()?,
+            }),
+            2 => Ok(Strategy::FullQuquart {
+                use_ccz: r.get_bool()?,
+                cswap: FqCswapMode::decode(r)?,
+            }),
+            tag => Err(DecodeError::BadTag {
+                ty: "Strategy",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Encode for CompileOptions {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.fusion.encode(w);
+        self.fuse_sweep_overhead.encode(w);
+        self.fuse_sweep_fixed.encode(w);
+        self.max_fused_span.encode(w);
+        w.put_bool(self.padded_registers);
+        w.put_bool(self.windowed_registers);
+        self.window_sweep_fixed.encode(w);
+    }
+}
+
+impl Decode for CompileOptions {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(CompileOptions {
+            fusion: Fusion::decode(r)?,
+            fuse_sweep_overhead: Option::decode(r)?,
+            fuse_sweep_fixed: Option::decode(r)?,
+            max_fused_span: Option::decode(r)?,
+            padded_registers: r.get_bool()?,
+            windowed_registers: r.get_bool()?,
+            window_sweep_fixed: Option::decode(r)?,
+        })
+    }
+}
+
+impl Encode for CompileStats {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_usize(self.routing_swaps);
+        w.put_usize(self.enc_windows);
+        w.put_usize(self.hw_ops);
+        w.put_f64(self.total_duration_ns);
+    }
+}
+
+impl Decode for CompileStats {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(CompileStats {
+            routing_swaps: r.get_usize()?,
+            enc_windows: r.get_usize()?,
+            hw_ops: r.get_usize()?,
+            total_duration_ns: r.get_f64()?,
+        })
+    }
+}
+
+impl Encode for CoherenceSpan {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_usize(self.device);
+        w.put_usize(self.level);
+        w.put_f64(self.start_ns);
+        w.put_f64(self.end_ns);
+    }
+}
+
+impl Decode for CoherenceSpan {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(CoherenceSpan {
+            device: r.get_usize()?,
+            level: r.get_usize()?,
+            start_ns: r.get_f64()?,
+            end_ns: r.get_f64()?,
+        })
+    }
+}
+
+impl Encode for Pass {
+    fn encode(&self, w: &mut ByteWriter) {
+        // Tag = position in execution order (Pass::ALL).
+        let tag = Pass::ALL
+            .iter()
+            .position(|p| p == self)
+            .expect("every pass is in Pass::ALL") as u8;
+        w.put_u8(tag);
+    }
+}
+
+impl Decode for Pass {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        let tag = r.get_u8()?;
+        Pass::ALL
+            .get(tag as usize)
+            .copied()
+            .ok_or(DecodeError::BadTag { ty: "Pass", tag })
+    }
+}
+
+impl Encode for PassReport {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.pass.encode(w);
+        w.put_f64(self.wall_ms);
+        w.put_usize(self.ops_in);
+        w.put_usize(self.ops_out);
+        w.put_usize(self.depth_in);
+        w.put_usize(self.depth_out);
+        self.diagnostics.encode(w);
+    }
+}
+
+impl Decode for PassReport {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(PassReport {
+            pass: Pass::decode(r)?,
+            wall_ms: r.get_f64()?,
+            ops_in: r.get_usize()?,
+            ops_out: r.get_usize()?,
+            depth_in: r.get_usize()?,
+            depth_out: r.get_usize()?,
+            diagnostics: Vec::decode(r)?,
+        })
+    }
+}
+
+impl Encode for TopologySpec {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            TopologySpec::Auto => w.put_u8(0),
+            TopologySpec::Fixed(t) => {
+                w.put_u8(1);
+                t.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for TopologySpec {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        match r.get_u8()? {
+            0 => Ok(TopologySpec::Auto),
+            1 => Ok(TopologySpec::Fixed(waltz_arch::Topology::decode(r)?)),
+            tag => Err(DecodeError::BadTag {
+                ty: "TopologySpec",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Encode for CompiledCircuit {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.timed.encode(w);
+        self.fused.encode(w);
+        self.windowed.encode(w);
+        self.strategy.encode(w);
+        self.initial_sites.encode(w);
+        self.final_sites.encode(w);
+        self.coherence_spans.encode(w);
+        self.stats.encode(w);
+        w.put_usize(self.slots_per_device);
+    }
+}
+
+impl Decode for CompiledCircuit {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        let compiled = CompiledCircuit {
+            timed: Decode::decode(r)?,
+            fused: Option::decode(r)?,
+            windowed: Option::decode(r)?,
+            strategy: Strategy::decode(r)?,
+            initial_sites: Vec::decode(r)?,
+            final_sites: Vec::decode(r)?,
+            coherence_spans: Vec::decode(r)?,
+            stats: CompileStats::decode(r)?,
+            slots_per_device: r.get_usize()?,
+        };
+        let n_devices = compiled.timed.register.n_qudits();
+        if compiled
+            .initial_sites
+            .iter()
+            .chain(&compiled.final_sites)
+            .any(|s| s.device >= n_devices)
+        {
+            return Err(DecodeError::Invalid("site names a device out of range"));
+        }
+        if !(1..=2).contains(&compiled.slots_per_device) {
+            return Err(DecodeError::Invalid("slots per device must be 1 or 2"));
+        }
+        Ok(compiled)
+    }
+}
+
+impl Encode for CompileArtifact {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.compiled().encode(w);
+        w.put_usize(self.reports().len());
+        for report in self.reports() {
+            report.encode(w);
+        }
+        self.noise().encode(w);
+        // `cached` is provenance, not content: deliberately not encoded.
+    }
+}
+
+impl Decode for CompileArtifact {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        let compiled = CompiledCircuit::decode(r)?;
+        let reports: Vec<PassReport> = Vec::decode(r)?;
+        let noise = waltz_noise::NoiseModel::decode(r)?;
+        Ok(CompileArtifact::new(compiled, reports, noise))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use waltz_circuit::Circuit;
+    use waltz_codec::{content_hash, decode_from_slice, encode_to_vec};
+
+    use super::*;
+    use crate::{Compiler, Target};
+
+    fn cnu_artifact(strategy: Strategy) -> CompileArtifact {
+        let mut c = Circuit::new(6);
+        c.ccx(0, 1, 3).ccx(2, 3, 4).ccx(2, 4, 5);
+        Compiler::new(Target::paper(strategy)).compile(&c).unwrap()
+    }
+
+    #[test]
+    fn strategies_and_options_round_trip() {
+        for strategy in [
+            Strategy::qubit_only(),
+            Strategy::qubit_only_itoffoli(),
+            Strategy::mixed_radix_raw(),
+            Strategy::mixed_radix_retarget(),
+            Strategy::mixed_radix_ccz(),
+            Strategy::full_ququart(),
+            Strategy::MixedRadix {
+                ccx: MrCcxMode::Retarget,
+                native_cswap: true,
+            },
+            Strategy::FullQuquart {
+                use_ccz: false,
+                cswap: FqCswapMode::NativeOriented,
+            },
+        ] {
+            let bytes = encode_to_vec(&strategy);
+            let back: Strategy = decode_from_slice(&bytes).unwrap();
+            assert_eq!(back, strategy);
+        }
+        for options in [
+            CompileOptions::default(),
+            CompileOptions::unfused(),
+            CompileOptions::default()
+                .with_fuse_constants(7, 1234)
+                .with_max_fused_span(3)
+                .with_window_sweep_fixed(0),
+        ] {
+            let bytes = encode_to_vec(&options);
+            let back: CompileOptions = decode_from_slice(&bytes).unwrap();
+            assert_eq!(back, options);
+        }
+    }
+
+    #[test]
+    fn every_pass_round_trips() {
+        for pass in Pass::ALL {
+            let bytes = encode_to_vec(&pass);
+            assert_eq!(decode_from_slice::<Pass>(&bytes).unwrap(), pass);
+        }
+        let bytes = encode_to_vec(&7u8);
+        assert!(decode_from_slice::<Pass>(&bytes).is_err());
+    }
+
+    #[test]
+    fn compiled_artifact_round_trips_byte_identical() {
+        for strategy in [
+            Strategy::qubit_only(),
+            Strategy::mixed_radix_ccz(),
+            Strategy::full_ququart(),
+        ] {
+            let artifact = cnu_artifact(strategy);
+            let bytes = encode_to_vec(&artifact);
+            let back: CompileArtifact = decode_from_slice(&bytes).unwrap();
+            assert_eq!(encode_to_vec(&back), bytes, "{}", strategy.name());
+            assert_eq!(content_hash(&back), content_hash(&artifact));
+            assert_eq!(back.stats, artifact.stats);
+            assert_eq!(back.reports().len(), artifact.reports().len());
+            assert!(!back.is_cached(), "cached is provenance, not content");
+        }
+    }
+
+    #[test]
+    fn cached_marker_does_not_change_the_encoding() {
+        let artifact = cnu_artifact(Strategy::mixed_radix_ccz());
+        let bytes = encode_to_vec(&artifact);
+        let mut marked = artifact.clone();
+        marked.set_cached(true);
+        assert!(marked.is_cached());
+        assert_eq!(encode_to_vec(&marked), bytes);
+    }
+
+    #[test]
+    fn corrupt_artifact_bytes_are_rejected_not_panicked() {
+        let artifact = cnu_artifact(Strategy::qubit_only());
+        let bytes = encode_to_vec(&artifact);
+        // Truncation at every eighth cut must error cleanly.
+        for cut in (0..bytes.len()).step_by(8) {
+            assert!(decode_from_slice::<CompileArtifact>(&bytes[..cut]).is_err());
+        }
+    }
+}

@@ -1,11 +1,12 @@
 //! Public-API snapshot: the exported symbol list of `waltz_core` is
 //! pinned here so future surface drift is deliberate — adding, removing
-//! or renaming a re-export must update this test (and the migration
-//! docs) in the same change.
+//! or renaming a re-export must update this test (and the crate docs)
+//! in the same change.
 
 /// Symbols re-exported at the crate root (`pub use`) plus public modules
 /// (`pub mod`), alphabetically. Update deliberately.
 const EXPECTED: &[&str] = &[
+    "ArtifactCache",
     "CoherenceSpan",
     "CompileArtifact",
     "CompileError",
@@ -32,10 +33,6 @@ const EXPECTED: &[&str] = &[
     "SupervisorPolicy",
     "Target",
     "TopologySpec",
-    "compile",
-    "compile_on",
-    "compile_on_with_options",
-    "compile_with_options",
     "mod eps",
     // The `fault-inject`-gated fault module: the parser reads `pub mod`
     // lines without their `#[cfg]` attribute, so it appears in every
@@ -111,22 +108,17 @@ fn waltz_core_export_surface_is_pinned() {
 }
 
 #[test]
-#[allow(deprecated)]
 fn snapshot_symbols_actually_exist() {
     // A compile-time cross-check that the pinned names refer to real
     // exports (renames that keep the list length would otherwise slip).
     use waltz_core::{
-        compile, compile_on, compile_on_with_options, compile_with_options, CoherenceSpan,
-        CompileArtifact, CompileError, CompileOptions, CompileStats, CompiledCircuit, Compiler,
-        Degradation, EpsBreakdown, FqCswapMode, Fusion, HwProgram, JobReport, JobStatus, Layout,
-        MrCcxMode, Pass, PassReport, QubitCcxMode, RegisterWindow, Simulation, Strategy,
-        Supervisor, SupervisorPolicy, Target, TopologySpec,
+        ArtifactCache, CoherenceSpan, CompileArtifact, CompileError, CompileOptions, CompileStats,
+        CompiledCircuit, Compiler, Degradation, EpsBreakdown, FqCswapMode, Fusion, HwProgram,
+        JobReport, JobStatus, Layout, MrCcxMode, Pass, PassReport, QubitCcxMode, RegisterWindow,
+        Simulation, Strategy, Supervisor, SupervisorPolicy, Target, TopologySpec,
     };
-    let _ = compile;
-    let _ = compile_on;
-    let _ = compile_with_options;
-    let _ = compile_on_with_options;
     fn assert_type<T: ?Sized>() {}
+    assert_type::<ArtifactCache>();
     assert_type::<CoherenceSpan>();
     assert_type::<CompileArtifact>();
     assert_type::<CompileError>();

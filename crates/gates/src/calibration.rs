@@ -188,6 +188,51 @@ impl Default for GateLibrary {
     }
 }
 
+// The wire-format impls live here rather than in `wire.rs` because the
+// calibration fields are module-private: the codec is the one consumer
+// allowed to see all six knobs at once (target fingerprints hash them).
+impl waltz_codec::Encode for GateLibrary {
+    fn encode(&self, w: &mut waltz_codec::ByteWriter) {
+        w.put_f64(self.single_qubit_fidelity);
+        w.put_f64(self.single_quart_fidelity);
+        w.put_f64(self.two_qubit_fidelity);
+        w.put_f64(self.two_device_quart_fidelity);
+        w.put_f64(self.itoffoli_fidelity);
+        w.put_f64(self.ququart_error_scale);
+    }
+}
+
+impl waltz_codec::Decode for GateLibrary {
+    fn decode(r: &mut waltz_codec::ByteReader<'_>) -> Result<Self, waltz_codec::DecodeError> {
+        let lib = GateLibrary {
+            single_qubit_fidelity: r.get_f64()?,
+            single_quart_fidelity: r.get_f64()?,
+            two_qubit_fidelity: r.get_f64()?,
+            two_device_quart_fidelity: r.get_f64()?,
+            itoffoli_fidelity: r.get_f64()?,
+            ququart_error_scale: r.get_f64()?,
+        };
+        let fidelities = [
+            lib.single_qubit_fidelity,
+            lib.single_quart_fidelity,
+            lib.two_qubit_fidelity,
+            lib.two_device_quart_fidelity,
+            lib.itoffoli_fidelity,
+        ];
+        if !fidelities.iter().all(|f| (0.0..=1.0).contains(f)) {
+            return Err(waltz_codec::DecodeError::Invalid(
+                "gate fidelity outside [0, 1]",
+            ));
+        }
+        if lib.ququart_error_scale.is_nan() || lib.ququart_error_scale < 0.0 {
+            return Err(waltz_codec::DecodeError::Invalid(
+                "negative ququart error scale",
+            ));
+        }
+        Ok(lib)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

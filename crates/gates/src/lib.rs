@@ -40,6 +40,8 @@ pub mod hw;
 pub mod mixed;
 pub mod standard;
 
+mod wire;
+
 pub use calibration::GateLibrary;
 pub use hw::{HwGate, Q1Gate, Slot};
 

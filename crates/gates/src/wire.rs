@@ -1,0 +1,94 @@
+//! Wire-format ([`waltz_codec`]) implementation for [`Q1Gate`].
+//!
+//! Variants travel as a one-byte tag; the parameterized rotations append
+//! their angle as an IEEE-754 bit pattern so round trips are bit-exact.
+
+use waltz_codec::{ByteReader, ByteWriter, Decode, DecodeError, Encode};
+
+use crate::Q1Gate;
+
+impl Encode for Q1Gate {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            Q1Gate::I => w.put_u8(0),
+            Q1Gate::X => w.put_u8(1),
+            Q1Gate::Y => w.put_u8(2),
+            Q1Gate::Z => w.put_u8(3),
+            Q1Gate::H => w.put_u8(4),
+            Q1Gate::S => w.put_u8(5),
+            Q1Gate::Sdg => w.put_u8(6),
+            Q1Gate::T => w.put_u8(7),
+            Q1Gate::Tdg => w.put_u8(8),
+            Q1Gate::Rx(theta) => {
+                w.put_u8(9);
+                w.put_f64(*theta);
+            }
+            Q1Gate::Ry(theta) => {
+                w.put_u8(10);
+                w.put_f64(*theta);
+            }
+            Q1Gate::Rz(theta) => {
+                w.put_u8(11);
+                w.put_f64(*theta);
+            }
+        }
+    }
+}
+
+impl Decode for Q1Gate {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(match r.get_u8()? {
+            0 => Q1Gate::I,
+            1 => Q1Gate::X,
+            2 => Q1Gate::Y,
+            3 => Q1Gate::Z,
+            4 => Q1Gate::H,
+            5 => Q1Gate::S,
+            6 => Q1Gate::Sdg,
+            7 => Q1Gate::T,
+            8 => Q1Gate::Tdg,
+            9 => Q1Gate::Rx(r.get_f64()?),
+            10 => Q1Gate::Ry(r.get_f64()?),
+            11 => Q1Gate::Rz(r.get_f64()?),
+            tag => return Err(DecodeError::BadTag { ty: "Q1Gate", tag }),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use waltz_codec::{decode_from_slice, encode_to_vec};
+
+    use super::*;
+
+    #[test]
+    fn every_variant_round_trips() {
+        for g in [
+            Q1Gate::I,
+            Q1Gate::X,
+            Q1Gate::Y,
+            Q1Gate::Z,
+            Q1Gate::H,
+            Q1Gate::S,
+            Q1Gate::Sdg,
+            Q1Gate::T,
+            Q1Gate::Tdg,
+            Q1Gate::Rx(0.5),
+            Q1Gate::Ry(-1.25),
+            Q1Gate::Rz(std::f64::consts::PI),
+        ] {
+            let bytes = encode_to_vec(&g);
+            let back: Q1Gate = decode_from_slice(&bytes).unwrap();
+            assert_eq!(back, g);
+            assert_eq!(encode_to_vec(&back), bytes);
+        }
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        assert!(matches!(
+            decode_from_slice::<Q1Gate>(&[99]).unwrap_err(),
+            DecodeError::BadTag { ty: "Q1Gate", .. }
+        ));
+    }
+}

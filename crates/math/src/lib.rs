@@ -38,6 +38,7 @@
 
 mod complex;
 mod matrix;
+mod wire;
 
 pub mod expm;
 pub mod linalg;

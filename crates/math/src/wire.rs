@@ -1,0 +1,88 @@
+//! Wire-format ([`waltz_codec`]) implementations for the math types.
+//!
+//! Complex scalars travel as two IEEE-754 bit patterns and matrices as
+//! `rows || cols || data`, so round trips are bit-exact — the property
+//! every downstream content hash depends on.
+
+use waltz_codec::{ByteReader, ByteWriter, Decode, DecodeError, Encode};
+
+use crate::{Matrix, C64};
+
+impl Encode for C64 {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_f64(self.re);
+        w.put_f64(self.im);
+    }
+}
+
+impl Decode for C64 {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        let re = r.get_f64()?;
+        let im = r.get_f64()?;
+        Ok(C64::new(re, im))
+    }
+}
+
+impl Encode for Matrix {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_usize(self.rows());
+        w.put_usize(self.cols());
+        for c in self.as_slice() {
+            c.encode(w);
+        }
+    }
+}
+
+impl Decode for Matrix {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        let rows = r.get_usize()?;
+        let cols = r.get_usize()?;
+        let Some(len) = rows.checked_mul(cols) else {
+            return Err(DecodeError::Invalid("matrix dimensions overflow"));
+        };
+        // 16 bytes per amplitude: reject length prefixes the remaining
+        // input cannot possibly satisfy before allocating.
+        if r.remaining() < len.saturating_mul(16) {
+            return Err(DecodeError::Eof);
+        }
+        let mut data = Vec::with_capacity(len);
+        for _ in 0..len {
+            data.push(C64::decode(r)?);
+        }
+        if rows == 0 || cols == 0 {
+            return Err(DecodeError::Invalid("matrix must be non-empty"));
+        }
+        Ok(Matrix::from_fn(rows, cols, |r, c| data[r * cols + c]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use waltz_codec::{content_hash, decode_from_slice, encode_to_vec};
+
+    use super::*;
+
+    #[test]
+    fn matrix_round_trip_is_byte_identical() {
+        let m = Matrix::from_fn(3, 5, |r, c| C64::new(r as f64 + 0.25, -(c as f64)));
+        let bytes = encode_to_vec(&m);
+        let back: Matrix = decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(encode_to_vec(&back), bytes);
+        assert_eq!(content_hash(&back), content_hash(&m));
+    }
+
+    #[test]
+    fn negative_zero_survives() {
+        let m = Matrix::from_diag(&[C64::new(-0.0, 0.0)]);
+        let back: Matrix = decode_from_slice(&encode_to_vec(&m)).unwrap();
+        assert_eq!(back.as_slice()[0].re.to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn truncated_matrix_is_an_error() {
+        let m = Matrix::identity(4);
+        let bytes = encode_to_vec(&m);
+        assert!(decode_from_slice::<Matrix>(&bytes[..bytes.len() - 1]).is_err());
+    }
+}

@@ -20,6 +20,8 @@ pub mod coherence;
 pub mod damping;
 pub mod pauli;
 
+mod wire;
+
 pub use coherence::CoherenceModel;
 pub use pauli::PauliOp;
 

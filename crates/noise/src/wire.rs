@@ -1,0 +1,84 @@
+//! Wire-format ([`waltz_codec`]) implementations for the noise models.
+//!
+//! Decoding rebuilds a [`CoherenceModel`] through its validating
+//! constructors, so a decoded model satisfies the same positivity
+//! invariants as one built in code.
+
+use waltz_codec::{ByteReader, ByteWriter, Decode, DecodeError, Encode};
+
+use crate::{CoherenceModel, NoiseModel};
+
+impl Encode for CoherenceModel {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_f64(self.t1_ns());
+        w.put_f64(self.high_level_rate_scale());
+    }
+}
+
+impl Decode for CoherenceModel {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        let t1_ns = r.get_f64()?;
+        let scale = r.get_f64()?;
+        if t1_ns.is_nan() || t1_ns <= 0.0 {
+            return Err(DecodeError::Invalid("T1 must be positive"));
+        }
+        if scale.is_nan() || scale < 0.0 {
+            return Err(DecodeError::Invalid("negative high-level rate scale"));
+        }
+        Ok(CoherenceModel::with_t1_ns(t1_ns).with_high_level_rate_scale(scale))
+    }
+}
+
+impl Encode for NoiseModel {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.coherence.encode(w);
+        w.put_bool(self.depolarizing);
+        w.put_bool(self.damping);
+        w.put_bool(self.busy_time_damping);
+    }
+}
+
+impl Decode for NoiseModel {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(NoiseModel {
+            coherence: CoherenceModel::decode(r)?,
+            depolarizing: r.get_bool()?,
+            damping: r.get_bool()?,
+            busy_time_damping: r.get_bool()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use waltz_codec::{decode_from_slice, encode_to_vec};
+
+    use super::*;
+
+    #[test]
+    fn noise_models_round_trip_byte_identical() {
+        for model in [
+            NoiseModel::paper(),
+            NoiseModel::noiseless(),
+            NoiseModel {
+                coherence: CoherenceModel::with_t1_ns(50_000.0).with_high_level_rate_scale(2.5),
+                depolarizing: true,
+                damping: false,
+                busy_time_damping: true,
+            },
+        ] {
+            let bytes = encode_to_vec(&model);
+            let back: NoiseModel = decode_from_slice(&bytes).unwrap();
+            assert_eq!(back, model);
+            assert_eq!(encode_to_vec(&back), bytes);
+        }
+    }
+
+    #[test]
+    fn nonpositive_t1_is_rejected() {
+        let mut w = waltz_codec::ByteWriter::new();
+        w.put_f64(-1.0);
+        w.put_f64(1.0);
+        assert!(decode_from_slice::<CoherenceModel>(w.as_bytes()).is_err());
+    }
+}

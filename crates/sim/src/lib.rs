@@ -88,6 +88,7 @@ mod register;
 mod session;
 mod state;
 mod timed;
+mod wire;
 
 pub mod ideal;
 pub mod kernel;

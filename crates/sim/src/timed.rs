@@ -3,6 +3,7 @@
 //! ([`TimedCircuit::fuse`]).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use waltz_math::{structure, Matrix};
@@ -105,7 +106,7 @@ impl FuseClass {
 /// exact unitary entries (as `f64` bit patterns, so the key is `Eq` +
 /// `Hash`). Two blocks with the same key multiply to the same matrix
 /// regardless of which physical devices they sit on or when they start.
-#[derive(Debug, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct BlockKey {
     dims: Vec<usize>,
     parts: Vec<BlockPart>,
@@ -134,9 +135,22 @@ struct CachedBlock {
     kernel: GateKernel,
 }
 
-/// Entries the cache holds at most; further block shapes are computed
-/// but not remembered, bounding memory on unboundedly diverse batches.
+/// Entries the cache holds by default; [`FuseCache::with_capacity`]
+/// tunes it per deployment.
 const FUSE_CACHE_CAP: usize = 4096;
+
+/// Shared store behind [`FuseCache`]: the memo map (tagged with
+/// last-use ticks for LRU eviction) plus lifetime hit/miss/eviction
+/// counters.
+#[derive(Debug)]
+struct FuseCacheInner {
+    map: Mutex<HashMap<BlockKey, (u64, CachedBlock)>>,
+    capacity: usize,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
 
 /// Memoizes fused-block products across [`TimedCircuit::fuse_with_cache`]
 /// calls: repeated (operand-dims, constituent-run) shapes — ubiquitous in
@@ -148,15 +162,47 @@ const FUSE_CACHE_CAP: usize = 4096;
 /// how a compiler hands one cache to every worker of a batch compile.
 /// Correctness does not depend on the cache: keys identify the exact
 /// unitary entries, so a hit returns bit-identical blocks.
-#[derive(Debug, Clone, Default)]
+///
+/// The store holds at most [`FuseCache::capacity`] shapes (default 4096,
+/// tunable via [`FuseCache::with_capacity`]); overflow evicts the
+/// least-recently-used entry. Lifetime [`FuseCache::hits`] /
+/// [`FuseCache::misses`] / [`FuseCache::evictions`] counters expose the
+/// cache's effectiveness to compile-pass diagnostics.
+#[derive(Debug, Clone)]
 pub struct FuseCache {
-    inner: Arc<Mutex<HashMap<BlockKey, CachedBlock>>>,
+    inner: Arc<FuseCacheInner>,
+}
+
+impl Default for FuseCache {
+    fn default() -> Self {
+        FuseCache::new()
+    }
 }
 
 impl FuseCache {
-    /// An empty cache.
+    /// An empty cache with the default capacity.
     pub fn new() -> Self {
-        FuseCache::default()
+        FuseCache::with_capacity(FUSE_CACHE_CAP)
+    }
+
+    /// An empty cache holding at most `capacity` block shapes. A capacity
+    /// of 0 disables memoization (every lookup misses, nothing is stored).
+    pub fn with_capacity(capacity: usize) -> Self {
+        FuseCache {
+            inner: Arc::new(FuseCacheInner {
+                map: Mutex::new(HashMap::new()),
+                capacity,
+                tick: AtomicU64::new(0),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                evictions: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Maximum number of memoized block shapes.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
     }
 
     /// Number of memoized block shapes.
@@ -169,24 +215,70 @@ impl FuseCache {
         self.len() == 0
     }
 
+    /// Lifetime lookup hits across every handle sharing this store.
+    pub fn hits(&self) -> u64 {
+        self.inner.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime lookup misses across every handle sharing this store.
+    pub fn misses(&self) -> u64 {
+        self.inner.misses.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime LRU evictions across every handle sharing this store.
+    pub fn evictions(&self) -> u64 {
+        self.inner.evictions.load(Ordering::Relaxed)
+    }
+
     /// Poison-tolerant lock: entries are only ever inserted whole, so a
     /// panic on another thread (isolated by a batch supervisor) cannot
     /// leave a half-written entry — sibling jobs keep using the cache.
-    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<BlockKey, CachedBlock>> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<BlockKey, (u64, CachedBlock)>> {
         self.inner
+            .map
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     fn get(&self, key: &BlockKey) -> Option<CachedBlock> {
-        self.lock().get(key).cloned()
+        let tick = self.inner.tick.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.lock();
+        match map.get_mut(key) {
+            Some((last_use, block)) => {
+                *last_use = tick;
+                let block = block.clone();
+                drop(map);
+                self.inner.hits.fetch_add(1, Ordering::Relaxed);
+                Some(block)
+            }
+            None => {
+                drop(map);
+                self.inner.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
     }
 
     fn insert(&self, key: BlockKey, value: CachedBlock) {
-        let mut map = self.lock();
-        if map.len() < FUSE_CACHE_CAP {
-            map.insert(key, value);
+        if self.inner.capacity == 0 {
+            return;
         }
+        let tick = self.inner.tick.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.lock();
+        if map.len() >= self.inner.capacity && !map.contains_key(&key) {
+            // Evict the least-recently-used shape. O(len) scan: eviction
+            // only happens past `capacity` distinct shapes, far off the
+            // per-block hot path.
+            if let Some(oldest) = map
+                .iter()
+                .min_by_key(|(_, (last_use, _))| *last_use)
+                .map(|(k, _)| k.clone())
+            {
+                map.remove(&oldest);
+                self.inner.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        map.insert(key, (tick, value));
     }
 }
 
@@ -1141,6 +1233,56 @@ mod tests {
         let _ = tc.fuse_with_cache(&FuseOptions::default(), &cache);
         assert!(!cache.is_empty());
         assert_eq!(clone.len(), cache.len(), "clones share the Arc'd store");
+        assert_eq!(clone.hits(), cache.hits(), "counters are shared too");
+    }
+
+    #[test]
+    fn fuse_cache_counts_hits_and_misses() {
+        let cache = FuseCache::new();
+        assert_eq!(cache.capacity(), 4096);
+        let tc = four_op_run();
+        let _ = tc.fuse_with_cache(&FuseOptions::default(), &cache);
+        let first_misses = cache.misses();
+        assert!(first_misses > 0, "a cold cache must record misses");
+        assert_eq!(cache.evictions(), 0);
+        let hits_before = cache.hits();
+        let _ = tc.fuse_with_cache(&FuseOptions::default(), &cache);
+        assert!(cache.hits() > hits_before, "warm re-fuse must hit");
+        assert_eq!(cache.misses(), first_misses, "warm re-fuse must not miss");
+    }
+
+    #[test]
+    fn fuse_cache_capacity_one_evicts_lru() {
+        // A tiny cache forced to evict: two distinct block shapes compete
+        // for a single slot.
+        let cache = FuseCache::with_capacity(1);
+        assert_eq!(cache.capacity(), 1);
+        let a = four_op_run();
+        let mut b = four_op_run();
+        // A different trailing gate changes the block shapes.
+        b.ops.pop();
+        b.ops.push(op("x", standard::x(), vec![0], 286.0, 35.0));
+        let fused_a = a.fuse_with_cache(&FuseOptions::default(), &cache);
+        let _ = b.fuse_with_cache(&FuseOptions::default(), &cache);
+        assert!(cache.len() <= 1, "capacity bound must hold");
+        assert!(cache.evictions() > 0, "overflow must evict, not drop");
+        // Evictions never change results: re-fusing stays bit-identical.
+        let fused_a_again = a.fuse_with_cache(&FuseOptions::default(), &cache);
+        assert_eq!(fused_a.len(), fused_a_again.len());
+        for (x, y) in fused_a.ops.iter().zip(&fused_a_again.ops) {
+            assert_eq!(x.unitary, y.unitary);
+        }
+    }
+
+    #[test]
+    fn fuse_cache_zero_capacity_disables_memoization() {
+        let cache = FuseCache::with_capacity(0);
+        let tc = four_op_run();
+        let fused = tc.fuse_with_cache(&FuseOptions::default(), &cache);
+        assert!(cache.is_empty(), "nothing may be stored at capacity 0");
+        assert_eq!(cache.hits(), 0);
+        let fresh = tc.fuse_with(&FuseOptions::default());
+        assert_eq!(fused.len(), fresh.len());
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! | [`pulse`] | GRAPE optimal control against the Eq. 2 transmon Hamiltonian |
 //! | [`rb`] | randomized benchmarking on the encoded ququart (Fig. 2) |
 //! | [`circuits`] | CNU / Cuccaro / QRAM / Select / synthetic benchmarks (§6.1) |
+//! | [`codec`] | the versioned wire format and content hashing behind persistent artifacts |
 //! | [`core`] | **the Quantum Waltz compiler** (§5): mapping, routing, configuration selection, scheduling, EPS |
 //!
 //! # Quickstart
@@ -48,16 +49,19 @@
 //! assert!(estimate.mean > 0.5);
 //! ```
 //!
-//! Batches fan across threads with [`core::Compiler::compile_batch`], and
-//! the old free functions (`compile`, `compile_on`, …) remain as
-//! deprecated shims — see the `waltz_core` crate docs for the migration
-//! table.
+//! Batches fan across threads with [`core::Compiler::compile_batch`],
+//! and compiled artifacts persist: every stage of the chain implements
+//! the [`codec`] wire format, and a [`core::ArtifactCache`] attached via
+//! [`core::Compiler::with_artifact_cache`] replays repeat compilations
+//! from their stored encodings — see the `waltz_core` crate docs'
+//! "Persistence & caching" section.
 
 #![warn(missing_docs)]
 
 pub use waltz_arch as arch;
 pub use waltz_circuit as circuit;
 pub use waltz_circuits as circuits;
+pub use waltz_codec as codec;
 pub use waltz_core as core;
 pub use waltz_gates as gates;
 pub use waltz_math as math;
@@ -69,11 +73,9 @@ pub use waltz_sim as sim;
 /// The most common imports for working with the compiler end to end.
 pub mod prelude {
     pub use waltz_circuit::Circuit;
-    #[allow(deprecated)]
-    pub use waltz_core::{compile, compile_on};
     pub use waltz_core::{
-        CompileArtifact, CompileOptions, CompiledCircuit, Compiler, FqCswapMode, MrCcxMode, Pass,
-        PassReport, Simulation, Strategy, Target,
+        ArtifactCache, CompileArtifact, CompileOptions, CompiledCircuit, Compiler, FqCswapMode,
+        MrCcxMode, Pass, PassReport, Simulation, Strategy, Target,
     };
     pub use waltz_gates::GateLibrary;
     pub use waltz_noise::{CoherenceModel, NoiseModel};
