@@ -41,8 +41,12 @@ struct ArtifactCacheInner {
     misses: AtomicU64,
     /// Memory-tier entries displaced to make room.
     evictions: AtomicU64,
+    /// Disk-tier entries pruned to respect `disk_capacity`.
+    evictions_disk: AtomicU64,
     /// Disk tier root; one file per key.
     dir: Option<PathBuf>,
+    /// Disk-tier capacity in artifacts; `None` leaves the tier unbounded.
+    disk_capacity: Option<usize>,
 }
 
 /// A content-addressed store of compiled artifacts, shared by every
@@ -96,7 +100,9 @@ impl ArtifactCache {
                 hits: AtomicU64::new(0),
                 misses: AtomicU64::new(0),
                 evictions: AtomicU64::new(0),
+                evictions_disk: AtomicU64::new(0),
                 dir: None,
+                disk_capacity: None,
             }),
         }
     }
@@ -117,7 +123,33 @@ impl ArtifactCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            evictions_disk: AtomicU64::new(0),
             dir: Some(dir.into()),
+            disk_capacity: self.inner.disk_capacity,
+        };
+        ArtifactCache {
+            inner: Arc::new(inner),
+        }
+    }
+
+    /// Caps the on-disk tier at `max_entries` artifacts: every store that
+    /// pushes the directory over the cap prunes the oldest files first
+    /// (by modification time — the disk tier's write order), counted in
+    /// [`ArtifactCache::evictions_disk`]. Without a cap the disk tier
+    /// grows without bound, which is fine for a developer cache but not
+    /// for a long-lived server. A cap of 0 keeps the tier write-through
+    /// but immediately pruned — effectively disabling it.
+    pub fn with_disk_capacity(self, max_entries: usize) -> Self {
+        let inner = ArtifactCacheInner {
+            map: Mutex::new(HashMap::new()),
+            capacity: self.inner.capacity,
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            evictions_disk: AtomicU64::new(0),
+            dir: self.inner.dir.clone(),
+            disk_capacity: Some(max_entries),
         };
         ArtifactCache {
             inner: Arc::new(inner),
@@ -149,9 +181,34 @@ impl ArtifactCache {
         self.inner.evictions.load(Ordering::Relaxed)
     }
 
+    /// Disk-tier entries pruned (oldest first) to respect
+    /// [`ArtifactCache::with_disk_capacity`], since construction.
+    pub fn evictions_disk(&self) -> u64 {
+        self.inner.evictions_disk.load(Ordering::Relaxed)
+    }
+
     /// The on-disk tier's root, when one was configured.
     pub fn disk_dir(&self) -> Option<&Path> {
         self.inner.dir.as_deref()
+    }
+
+    /// The disk tier's max-entries cap, when one was configured.
+    pub fn disk_capacity(&self) -> Option<usize> {
+        self.inner.disk_capacity
+    }
+
+    /// One aggregated snapshot of every counter — what
+    /// [`crate::Supervisor::cache_stats`] and the serving stack's stats
+    /// endpoint surface, replacing the habit of digging the same numbers
+    /// out of per-job Lower-pass diagnostics.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits(),
+            misses: self.misses(),
+            evictions_memory: self.evictions(),
+            evictions_disk: self.evictions_disk(),
+            memory_entries: self.len(),
+        }
     }
 
     /// The map lock, tolerating poisoning: a panicked compilation thread
@@ -166,6 +223,17 @@ impl ArtifactCache {
     /// The disk tier's file for a key.
     fn path_for(dir: &Path, key: CacheKey) -> PathBuf {
         dir.join(format!("{:016x}-{:016x}.waltz", key.0, key.1))
+    }
+
+    /// Looks up a stored artifact by its content address — the circuit's
+    /// [`waltz_codec::content_hash`] and the owning compiler's
+    /// [`crate::Compiler::fingerprint`] — decoding it from its stored
+    /// bytes. This is the keyed entry point remote fronts use to resolve
+    /// artifact references without re-submitting the circuit; the
+    /// returned artifact is marked [`CompileArtifact::is_cached`], and a
+    /// lookup counts as a hit or miss like any other.
+    pub fn get(&self, circuit_hash: u64, fingerprint: u64) -> Option<CompileArtifact> {
+        self.lookup((circuit_hash, fingerprint))
     }
 
     /// Looks up an artifact, decoding it from its stored bytes; the
@@ -216,8 +284,55 @@ impl ArtifactCache {
             if std::fs::write(&tmp, &bytes).is_ok() {
                 let _ = std::fs::rename(&tmp, &path);
             }
+            if let Some(cap) = self.inner.disk_capacity {
+                self.prune_disk(dir, cap, &path);
+            }
         }
         self.insert_memory(key, bytes);
+    }
+
+    /// Prunes the disk tier down to `cap` entries, removing the oldest
+    /// files (by modification time) first and never the entry just
+    /// written. Directory scans are per-store and O(entries) — cheap next
+    /// to a compilation, and only walked when a cap is configured.
+    fn prune_disk(&self, dir: &Path, cap: usize, just_written: &Path) {
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        let mut files: Vec<(std::time::SystemTime, PathBuf)> = entries
+            .flatten()
+            .filter_map(|e| {
+                let path = e.path();
+                if path.extension().is_some_and(|x| x == "waltz") {
+                    let modified = e.metadata().and_then(|m| m.modified()).ok()?;
+                    Some((modified, path))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        if files.len() <= cap {
+            return;
+        }
+        // Oldest first; ties broken by path so pruning is deterministic
+        // even on filesystems with coarse mtime granularity.
+        files.sort();
+        let mut excess = files.len() - cap;
+        for (_, path) in files {
+            if excess == 0 {
+                break;
+            }
+            // Never prune the entry this store just wrote (mtime ties on
+            // coarse-granularity filesystems could sort it early) —
+            // unless the cap is 0, where nothing may stay.
+            if cap > 0 && path == just_written {
+                continue;
+            }
+            if std::fs::remove_file(&path).is_ok() {
+                self.inner.evictions_disk.fetch_add(1, Ordering::Relaxed);
+                excess -= 1;
+            }
+        }
     }
 
     /// Inserts into the memory tier, evicting the least recently used
@@ -240,6 +355,23 @@ impl ArtifactCache {
         let tick = self.inner.tick.fetch_add(1, Ordering::Relaxed);
         map.insert(key, (tick, bytes));
     }
+}
+
+/// One aggregated snapshot of an [`ArtifactCache`]'s counters
+/// ([`ArtifactCache::stats`]). Implements the wire format, so a serving
+/// front can ship it inside a stats frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from either tier.
+    pub hits: u64,
+    /// Lookups that found nothing (or only corrupt bytes).
+    pub misses: u64,
+    /// Memory-tier entries displaced to make room.
+    pub evictions_memory: u64,
+    /// Disk-tier entries pruned to respect the max-entries cap.
+    pub evictions_disk: u64,
+    /// Artifacts currently held in the memory tier.
+    pub memory_entries: usize,
 }
 
 #[cfg(test)]
@@ -296,6 +428,33 @@ mod tests {
         cache.store(key, &artifact);
         assert!(cache.is_empty());
         assert!(cache.lookup(key).is_none());
+    }
+
+    #[test]
+    fn disk_capacity_prunes_oldest_first_and_counts_evictions() {
+        let dir = std::env::temp_dir().join(format!("waltz-cache-cap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Memory tier off: every lookup must go to disk.
+        let cache = ArtifactCache::with_capacity(0)
+            .with_disk_dir(&dir)
+            .with_disk_capacity(2);
+        assert_eq!(cache.disk_capacity(), Some(2));
+        let (_, artifact) = artifact_for(1);
+        for k in 1..=4u64 {
+            cache.store((k, 42), &artifact);
+            // Distinct mtimes even on coarse-granularity filesystems.
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(cache.evictions_disk(), 2, "two oldest entries pruned");
+        assert!(cache.lookup((1, 42)).is_none());
+        assert!(cache.lookup((2, 42)).is_none());
+        assert!(cache.lookup((3, 42)).is_some());
+        assert!(cache.lookup((4, 42)).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.evictions_disk, 2);
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 2);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -153,6 +153,18 @@
 //! from bytes, so a cache-loaded artifact simulates bit-identically to a
 //! fresh compile (1e-12, pinned by `tests/artifact_cache.rs`) and the
 //! same guarantee holds for a store written by another process.
+//!
+//! # Serving
+//!
+//! Everything above also runs across a network boundary: the
+//! `waltz_serve` crate frames the wire format over TCP and fronts the
+//! [`Supervisor`] remotely — batches submitted by a client are compiled
+//! by the same worker pool, share one [`ArtifactCache`] across every
+//! connection, and stream back [`JobReport`]s element-wise identical
+//! to an in-process [`Compiler::compile_batch`]. Failed jobs surface
+//! as typed error frames carrying the original [`CompileError`], so
+//! remote callers keep the full supervised-failure vocabulary
+//! (deadline, budget, panic isolation) without linking the compiler.
 
 #![warn(missing_docs)]
 
@@ -175,7 +187,7 @@ pub mod fault;
 pub mod verify;
 
 pub use artifact::{CompileArtifact, Simulation};
-pub use cache::ArtifactCache;
+pub use cache::{ArtifactCache, CacheStats};
 pub use compile::{CompileError, CompileStats, CompiledCircuit};
 pub use eps::{CoherenceSpan, EpsBreakdown};
 pub use hwprog::{HwProgram, RegisterWindow};

@@ -596,6 +596,10 @@ impl Compiler {
                 "artifact_cache_evictions".into(),
                 cache.evictions().to_string(),
             ));
+            lower_diagnostics.push((
+                "artifact_cache_evictions_disk".into(),
+                cache.evictions_disk().to_string(),
+            ));
         }
         reports.push(PassReport {
             pass: Pass::Lower,

@@ -163,6 +163,22 @@ pub enum JobStatus {
     OverBudget,
 }
 
+impl JobStatus {
+    /// The coarse outcome classification of a job result — the one
+    /// mapping [`JobReport::status`] is derived from, exposed so remote
+    /// fronts reconstructing reports from typed error frames classify
+    /// identically.
+    pub fn classify(result: &Result<CompileArtifact, CompileError>) -> JobStatus {
+        match result {
+            Ok(_) => JobStatus::Ok,
+            Err(CompileError::Internal { .. }) => JobStatus::Panicked,
+            Err(CompileError::DeadlineExceeded { .. }) => JobStatus::TimedOut,
+            Err(CompileError::OverBudget { .. }) => JobStatus::OverBudget,
+            Err(_) => JobStatus::Err,
+        }
+    }
+}
+
 /// Which rung of the ladder produced a job's artifact.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Degradation {
@@ -205,13 +221,7 @@ pub struct JobReport {
 
 impl JobReport {
     fn new(index: usize, result: Result<CompileArtifact, CompileError>) -> Self {
-        let status = match &result {
-            Ok(_) => JobStatus::Ok,
-            Err(CompileError::Internal { .. }) => JobStatus::Panicked,
-            Err(CompileError::DeadlineExceeded { .. }) => JobStatus::TimedOut,
-            Err(CompileError::OverBudget { .. }) => JobStatus::OverBudget,
-            Err(_) => JobStatus::Err,
-        };
+        let status = JobStatus::classify(&result);
         let cached = matches!(&result, Ok(artifact) if artifact.is_cached());
         JobReport {
             index,
@@ -295,9 +305,25 @@ impl Supervisor {
             .store(bytes.unwrap_or(usize::MAX), Ordering::Relaxed);
     }
 
+    /// Aggregated counters of the wrapped compiler's
+    /// [`crate::ArtifactCache`] (`None` when no cache is attached) — the
+    /// sanctioned way to read cache effectiveness, instead of digging
+    /// `artifact_cache_*` counters out of per-job Lower-pass diagnostics.
+    pub fn cache_stats(&self) -> Option<crate::CacheStats> {
+        self.compiler.artifact_cache().map(|c| c.stats())
+    }
+
     /// Runs one job under full supervision.
     pub fn compile_one(&self, circuit: &Circuit) -> JobReport {
         self.run_job(0, circuit)
+    }
+
+    /// Runs one job under full supervision, reported as batch index
+    /// `index` — the entry point for external batch fronts (a network
+    /// service managing its own queue) that want per-job supervision and
+    /// fault attribution identical to [`Supervisor::compile_batch`]'s.
+    pub fn compile_indexed(&self, index: usize, circuit: &Circuit) -> JobReport {
+        self.run_job(index, circuit)
     }
 
     /// Runs a batch of jobs across worker threads with the atomic-counter

@@ -10,10 +10,12 @@
 use waltz_codec::{ByteReader, ByteWriter, Decode, DecodeError, Encode};
 
 use crate::artifact::CompileArtifact;
-use crate::compile::{CompileStats, CompiledCircuit};
+use crate::cache::CacheStats;
+use crate::compile::{CompileError, CompileStats, CompiledCircuit};
 use crate::eps::CoherenceSpan;
 use crate::pipeline::{Pass, PassReport};
 use crate::strategy::{CompileOptions, FqCswapMode, Fusion, MrCcxMode, QubitCcxMode, Strategy};
+use crate::supervisor::{Degradation, JobReport, JobStatus};
 use crate::target::TopologySpec;
 
 impl Encode for Fusion {
@@ -350,6 +352,267 @@ impl Decode for CompileArtifact {
     }
 }
 
+impl Encode for CompileError {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            CompileError::EmptyCircuit => w.put_u8(0),
+            CompileError::TopologyTooSmall { needed, available } => {
+                w.put_u8(1);
+                w.put_usize(*needed);
+                w.put_usize(*available);
+            }
+            CompileError::DuplicateOperands { gate_index, qubit } => {
+                w.put_u8(2);
+                w.put_usize(*gate_index);
+                w.put_usize(*qubit);
+            }
+            CompileError::WrongOperandCount {
+                gate_index,
+                expected,
+                got,
+            } => {
+                w.put_u8(3);
+                w.put_usize(*gate_index);
+                w.put_usize(*expected);
+                w.put_usize(*got);
+            }
+            CompileError::NonFiniteAngle { gate_index } => {
+                w.put_u8(4);
+                w.put_usize(*gate_index);
+            }
+            CompileError::DisconnectedTopology { devices } => {
+                w.put_u8(5);
+                w.put_usize(*devices);
+            }
+            CompileError::QubitOutOfRange {
+                gate_index,
+                qubit,
+                n_qubits,
+            } => {
+                w.put_u8(6);
+                w.put_usize(*gate_index);
+                w.put_usize(*qubit);
+                w.put_usize(*n_qubits);
+            }
+            CompileError::Internal { pass, payload } => {
+                w.put_u8(7);
+                pass.encode(w);
+                w.put_str(payload);
+            }
+            CompileError::DeadlineExceeded { pass, budget_ms } => {
+                w.put_u8(8);
+                pass.encode(w);
+                w.put_u64(*budget_ms);
+            }
+            CompileError::OverBudget { needed, limit } => {
+                w.put_u8(9);
+                w.put_usize(*needed);
+                w.put_usize(*limit);
+            }
+        }
+    }
+}
+
+impl Decode for CompileError {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(match r.get_u8()? {
+            0 => CompileError::EmptyCircuit,
+            1 => CompileError::TopologyTooSmall {
+                needed: r.get_usize()?,
+                available: r.get_usize()?,
+            },
+            2 => CompileError::DuplicateOperands {
+                gate_index: r.get_usize()?,
+                qubit: r.get_usize()?,
+            },
+            3 => CompileError::WrongOperandCount {
+                gate_index: r.get_usize()?,
+                expected: r.get_usize()?,
+                got: r.get_usize()?,
+            },
+            4 => CompileError::NonFiniteAngle {
+                gate_index: r.get_usize()?,
+            },
+            5 => CompileError::DisconnectedTopology {
+                devices: r.get_usize()?,
+            },
+            6 => CompileError::QubitOutOfRange {
+                gate_index: r.get_usize()?,
+                qubit: r.get_usize()?,
+                n_qubits: r.get_usize()?,
+            },
+            7 => CompileError::Internal {
+                pass: Pass::decode(r)?,
+                payload: r.get_str()?,
+            },
+            8 => CompileError::DeadlineExceeded {
+                pass: Pass::decode(r)?,
+                budget_ms: r.get_u64()?,
+            },
+            9 => CompileError::OverBudget {
+                needed: r.get_usize()?,
+                limit: r.get_usize()?,
+            },
+            tag => {
+                return Err(DecodeError::BadTag {
+                    ty: "CompileError",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+impl Encode for JobStatus {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u8(match self {
+            JobStatus::Ok => 0,
+            JobStatus::Err => 1,
+            JobStatus::Panicked => 2,
+            JobStatus::TimedOut => 3,
+            JobStatus::OverBudget => 4,
+        });
+    }
+}
+
+impl Decode for JobStatus {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(match r.get_u8()? {
+            0 => JobStatus::Ok,
+            1 => JobStatus::Err,
+            2 => JobStatus::Panicked,
+            3 => JobStatus::TimedOut,
+            4 => JobStatus::OverBudget,
+            tag => {
+                return Err(DecodeError::BadTag {
+                    ty: "JobStatus",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+impl Encode for Degradation {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u8(match self {
+            Degradation::None => 0,
+            Degradation::SafePipeline => 1,
+            Degradation::Windowed => 2,
+            Degradation::WholeDemoted => 3,
+        });
+    }
+}
+
+impl Decode for Degradation {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(match r.get_u8()? {
+            0 => Degradation::None,
+            1 => Degradation::SafePipeline,
+            2 => Degradation::Windowed,
+            3 => Degradation::WholeDemoted,
+            tag => {
+                return Err(DecodeError::BadTag {
+                    ty: "Degradation",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+impl Encode for JobReport {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_usize(self.index);
+        match &self.result {
+            Ok(artifact) => {
+                w.put_u8(0);
+                artifact.encode(w);
+            }
+            Err(error) => {
+                w.put_u8(1);
+                error.encode(w);
+            }
+        }
+        self.status.encode(w);
+        self.degradation.encode(w);
+        w.put_bool(self.retried);
+        // `cached` is provenance on the artifact side but *content* on a
+        // job report: the whole point of shipping a report across a
+        // process boundary is telling the submitter whether the shared
+        // cache answered.
+        w.put_bool(self.cached);
+        w.put_f64(self.wall_ms);
+    }
+}
+
+impl Decode for JobReport {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        let index = r.get_usize()?;
+        let result = match r.get_u8()? {
+            0 => Ok(CompileArtifact::decode(r)?),
+            1 => Err(CompileError::decode(r)?),
+            tag => {
+                return Err(DecodeError::BadTag {
+                    ty: "JobReport.result",
+                    tag,
+                })
+            }
+        };
+        let status = JobStatus::decode(r)?;
+        if status != JobStatus::classify(&result) {
+            return Err(DecodeError::Invalid("job status contradicts its result"));
+        }
+        let degradation = Degradation::decode(r)?;
+        let retried = r.get_bool()?;
+        let cached = r.get_bool()?;
+        if cached && result.is_err() {
+            return Err(DecodeError::Invalid("a failed job cannot be cached"));
+        }
+        let wall_ms = r.get_f64()?;
+        if !wall_ms.is_finite() || wall_ms < 0.0 {
+            return Err(DecodeError::Invalid("job wall_ms must be finite and >= 0"));
+        }
+        let mut result = result;
+        if cached {
+            if let Ok(artifact) = &mut result {
+                artifact.set_cached(true);
+            }
+        }
+        Ok(JobReport {
+            index,
+            result,
+            status,
+            degradation,
+            retried,
+            cached,
+            wall_ms,
+        })
+    }
+}
+
+impl Encode for CacheStats {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u64(self.hits);
+        w.put_u64(self.misses);
+        w.put_u64(self.evictions_memory);
+        w.put_u64(self.evictions_disk);
+        w.put_usize(self.memory_entries);
+    }
+}
+
+impl Decode for CacheStats {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(CacheStats {
+            hits: r.get_u64()?,
+            misses: r.get_u64()?,
+            evictions_memory: r.get_u64()?,
+            evictions_disk: r.get_u64()?,
+            memory_entries: r.get_usize()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use waltz_circuit::Circuit;
@@ -436,6 +699,120 @@ mod tests {
         marked.set_cached(true);
         assert!(marked.is_cached());
         assert_eq!(encode_to_vec(&marked), bytes);
+    }
+
+    #[test]
+    fn compile_errors_round_trip() {
+        let errors = [
+            CompileError::EmptyCircuit,
+            CompileError::TopologyTooSmall {
+                needed: 9,
+                available: 4,
+            },
+            CompileError::DuplicateOperands {
+                gate_index: 3,
+                qubit: 1,
+            },
+            CompileError::WrongOperandCount {
+                gate_index: 0,
+                expected: 3,
+                got: 2,
+            },
+            CompileError::NonFiniteAngle { gate_index: 7 },
+            CompileError::DisconnectedTopology { devices: 5 },
+            CompileError::QubitOutOfRange {
+                gate_index: 2,
+                qubit: 9,
+                n_qubits: 4,
+            },
+            CompileError::Internal {
+                pass: Pass::Route,
+                payload: "injected".into(),
+            },
+            CompileError::DeadlineExceeded {
+                pass: Pass::Fuse,
+                budget_ms: 250,
+            },
+            CompileError::OverBudget {
+                needed: 4096,
+                limit: 1024,
+            },
+        ];
+        for error in errors {
+            let bytes = encode_to_vec(&error);
+            assert_eq!(decode_from_slice::<CompileError>(&bytes).unwrap(), error);
+        }
+        let bytes = encode_to_vec(&200u8);
+        assert!(decode_from_slice::<CompileError>(&bytes).is_err());
+    }
+
+    #[test]
+    fn job_reports_round_trip_ok_and_err() {
+        use crate::{Degradation, JobStatus, Supervisor};
+
+        let mut c = Circuit::new(6);
+        c.ccx(0, 1, 3).ccx(2, 3, 4).ccx(2, 4, 5);
+        let supervisor = Supervisor::new(Compiler::new(Target::paper(Strategy::mixed_radix_ccz())));
+        let ok = supervisor.compile_one(&c);
+        assert_eq!(ok.status, JobStatus::Ok);
+        let bytes = encode_to_vec(&ok);
+        let back: crate::JobReport = decode_from_slice(&bytes).unwrap();
+        assert_eq!(back.index, ok.index);
+        assert_eq!(back.status, ok.status);
+        assert_eq!(back.degradation, ok.degradation);
+        assert_eq!(back.retried, ok.retried);
+        assert_eq!(back.cached, ok.cached);
+        assert_eq!(back.wall_ms.to_bits(), ok.wall_ms.to_bits());
+        assert_eq!(
+            encode_to_vec(back.result.as_ref().unwrap()),
+            encode_to_vec(ok.result.as_ref().unwrap()),
+            "artifact bytes survive the report round trip"
+        );
+        // Re-encode of the whole report is byte-identical.
+        assert_eq!(encode_to_vec(&back), bytes);
+
+        let err = supervisor.compile_one(&Circuit::new(0));
+        assert_eq!(err.status, JobStatus::Err);
+        let bytes = encode_to_vec(&err);
+        let back: crate::JobReport = decode_from_slice(&bytes).unwrap();
+        assert_eq!(back.status, JobStatus::Err);
+        assert_eq!(back.degradation, Degradation::None);
+        assert_eq!(
+            back.result.as_ref().unwrap_err(),
+            &CompileError::EmptyCircuit
+        );
+        assert_eq!(encode_to_vec(&back), bytes);
+    }
+
+    #[test]
+    fn job_report_decode_rejects_contradictory_status() {
+        use crate::{Degradation, JobStatus};
+        let mut w = ByteWriter::new();
+        w.put_usize(0);
+        w.put_u8(1); // Err
+        CompileError::EmptyCircuit.encode(&mut w);
+        JobStatus::Panicked.encode(&mut w); // contradicts EmptyCircuit
+        Degradation::None.encode(&mut w);
+        w.put_bool(false);
+        w.put_bool(false);
+        w.put_f64(1.0);
+        assert!(matches!(
+            decode_from_slice::<crate::JobReport>(w.as_bytes()),
+            Err(waltz_codec::DecodeError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn cache_stats_round_trip() {
+        let stats = CacheStats {
+            hits: 10,
+            misses: 3,
+            evictions_memory: 2,
+            evictions_disk: 5,
+            memory_entries: 7,
+        };
+        let bytes = encode_to_vec(&stats);
+        assert_eq!(decode_from_slice::<CacheStats>(&bytes).unwrap(), stats);
     }
 
     #[test]

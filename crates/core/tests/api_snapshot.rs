@@ -7,6 +7,7 @@
 /// (`pub mod`), alphabetically. Update deliberately.
 const EXPECTED: &[&str] = &[
     "ArtifactCache",
+    "CacheStats",
     "CoherenceSpan",
     "CompileArtifact",
     "CompileError",
@@ -112,13 +113,14 @@ fn snapshot_symbols_actually_exist() {
     // A compile-time cross-check that the pinned names refer to real
     // exports (renames that keep the list length would otherwise slip).
     use waltz_core::{
-        ArtifactCache, CoherenceSpan, CompileArtifact, CompileError, CompileOptions, CompileStats,
-        CompiledCircuit, Compiler, Degradation, EpsBreakdown, FqCswapMode, Fusion, HwProgram,
-        JobReport, JobStatus, Layout, MrCcxMode, Pass, PassReport, QubitCcxMode, RegisterWindow,
-        Simulation, Strategy, Supervisor, SupervisorPolicy, Target, TopologySpec,
+        ArtifactCache, CacheStats, CoherenceSpan, CompileArtifact, CompileError, CompileOptions,
+        CompileStats, CompiledCircuit, Compiler, Degradation, EpsBreakdown, FqCswapMode, Fusion,
+        HwProgram, JobReport, JobStatus, Layout, MrCcxMode, Pass, PassReport, QubitCcxMode,
+        RegisterWindow, Simulation, Strategy, Supervisor, SupervisorPolicy, Target, TopologySpec,
     };
     fn assert_type<T: ?Sized>() {}
     assert_type::<ArtifactCache>();
+    assert_type::<CacheStats>();
     assert_type::<CoherenceSpan>();
     assert_type::<CompileArtifact>();
     assert_type::<CompileError>();

@@ -1,0 +1,73 @@
+//! The serve daemon: binds a compile-and-simulate service on a TCP
+//! address and runs until stdin closes (Ctrl-D, or the parent closing
+//! the pipe), then drains gracefully and prints the stats report.
+//!
+//! ```text
+//! waltz_serve [ADDR] [--workers N] [--queue N] [--deadline-ms N] [--budget-bytes N]
+//! ```
+
+use std::io::BufRead;
+
+use waltz_core::{Compiler, Strategy, SupervisorPolicy, Target};
+use waltz_serve::{Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: waltz_serve [ADDR] [--workers N] [--queue N] \
+         [--deadline-ms N] [--budget-bytes N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(value: Option<String>) -> T {
+    match value.and_then(|v| v.parse().ok()) {
+        Some(v) => v,
+        None => usage(),
+    }
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7747".to_string();
+    let mut config = ServerConfig::default();
+    let mut policy = SupervisorPolicy::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => config.workers = parse(args.next()),
+            "--queue" => config.queue_capacity = parse(args.next()),
+            "--deadline-ms" => policy = policy.with_deadline_ms(parse(args.next())),
+            "--budget-bytes" => policy = policy.with_state_budget_bytes(parse(args.next())),
+            "--help" | "-h" => usage(),
+            other if !other.starts_with('-') => addr = other.to_string(),
+            _ => usage(),
+        }
+    }
+    config.policy = policy;
+
+    // The paper's primary mixed-radix target; the artifact cache is
+    // attached by Server::bind.
+    let compiler = Compiler::new(Target::paper(Strategy::mixed_radix_ccz()));
+    let server = match Server::bind(&addr, compiler, config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("waltz_serve: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("waltz-serve listening on {}", server.local_addr());
+    println!("close stdin (Ctrl-D) to drain and stop");
+
+    // Park until stdin closes; every line is ignored except "stats".
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(l) if l.trim() == "stats" => println!("{}", server.stats().render()),
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+
+    println!("draining…");
+    let stats = server.shutdown();
+    println!("{}", stats.render());
+}

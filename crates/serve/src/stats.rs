@@ -1,0 +1,350 @@
+//! Server observability: lock-free counters every connection and worker
+//! bumps, snapshotted into an encodable [`StatsSnapshot`] for the
+//! [`crate::protocol::Request::Stats`] endpoint and the server binary's
+//! shutdown report.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use waltz_codec::{ByteReader, ByteWriter, Decode, DecodeError, Encode};
+use waltz_core::{CacheStats, JobReport, JobStatus, Pass};
+
+/// Live counters, shared (behind an `Arc`) by the acceptor, every
+/// connection handler and every worker. All relaxed atomics: the numbers
+/// are monitoring, not synchronization.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted over the server's lifetime.
+    connections: AtomicU64,
+    /// Jobs admitted to the queue.
+    jobs_accepted: AtomicU64,
+    /// Jobs refused at admission (queue full or shutdown).
+    jobs_rejected: AtomicU64,
+    /// Jobs that produced an artifact.
+    jobs_completed: AtomicU64,
+    /// Jobs failed on a typed input/validation error.
+    jobs_failed: AtomicU64,
+    /// Jobs whose pipeline panicked (isolated by the supervisor).
+    jobs_panicked: AtomicU64,
+    /// Jobs that ran past their deadline.
+    jobs_timed_out: AtomicU64,
+    /// Jobs no degradation rung could fit in the byte budget.
+    jobs_over_budget: AtomicU64,
+    /// Queued jobs dropped by a client cancel.
+    jobs_cancelled: AtomicU64,
+    /// Jobs served from the artifact cache (all passes skipped).
+    jobs_cached: AtomicU64,
+    /// Batches accepted.
+    batches: AtomicU64,
+    /// Simulate requests served.
+    simulations: AtomicU64,
+    /// Trajectories run across all simulations.
+    trajectories: AtomicU64,
+    /// Jobs currently waiting in the queue.
+    queue_depth: AtomicUsize,
+    /// Deepest the queue has ever been.
+    queue_high_water: AtomicUsize,
+    /// Frame bytes written to clients.
+    bytes_sent: AtomicU64,
+    /// Frame bytes read from clients.
+    bytes_received: AtomicU64,
+    /// Aggregate per-pass wall time in microseconds, indexed like
+    /// [`Pass::ALL`]. Cached replays are skipped — they re-run no pass.
+    pass_wall_us: [AtomicU64; Pass::ALL.len()],
+}
+
+impl ServerStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        ServerStats::default()
+    }
+
+    /// Records an accepted connection.
+    pub fn connection(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a batch admission of `jobs` jobs.
+    pub fn batch_accepted(&self, jobs: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.jobs_accepted.fetch_add(jobs as u64, Ordering::Relaxed);
+    }
+
+    /// Records `jobs` jobs refused at admission.
+    pub fn jobs_rejected(&self, jobs: usize) {
+        self.jobs_rejected.fetch_add(jobs as u64, Ordering::Relaxed);
+    }
+
+    /// Records a queued job dropped by a cancel.
+    pub fn job_cancelled(&self) {
+        self.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a finished job: outcome class, cache provenance and (for
+    /// fresh compiles) the per-pass wall-time aggregate.
+    pub fn job_finished(&self, report: &JobReport) {
+        let counter = match report.status {
+            JobStatus::Ok => &self.jobs_completed,
+            JobStatus::Err => &self.jobs_failed,
+            JobStatus::Panicked => &self.jobs_panicked,
+            JobStatus::TimedOut => &self.jobs_timed_out,
+            JobStatus::OverBudget => &self.jobs_over_budget,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        if report.cached {
+            self.jobs_cached.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if let Ok(artifact) = &report.result {
+            for pass_report in artifact.reports() {
+                if let Some(slot) = Pass::ALL.iter().position(|p| *p == pass_report.pass) {
+                    let us = (pass_report.wall_ms * 1e3).max(0.0) as u64;
+                    self.pass_wall_us[slot].fetch_add(us, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Records a simulate request of `trajectories` shots.
+    pub fn simulation(&self, trajectories: usize) {
+        self.simulations.fetch_add(1, Ordering::Relaxed);
+        self.trajectories
+            .fetch_add(trajectories as u64, Ordering::Relaxed);
+    }
+
+    /// Records the queue growing to `depth`, tracking the high-water
+    /// mark.
+    pub fn queue_depth(&self, depth: usize) {
+        self.queue_depth.store(depth, Ordering::Relaxed);
+        self.queue_high_water.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Records `n` frame bytes written to a client.
+    pub fn sent(&self, n: usize) {
+        self.bytes_sent.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// Records `n` frame bytes read from a client.
+    pub fn received(&self, n: usize) {
+        self.bytes_received.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// One coherent snapshot of every counter. `cache` is the serving
+    /// supervisor's [`waltz_core::Supervisor::cache_stats`] at snapshot
+    /// time.
+    pub fn snapshot(&self, cache: Option<CacheStats>) -> StatsSnapshot {
+        StatsSnapshot {
+            connections: self.connections.load(Ordering::Relaxed),
+            jobs_accepted: self.jobs_accepted.load(Ordering::Relaxed),
+            jobs_rejected: self.jobs_rejected.load(Ordering::Relaxed),
+            jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
+            jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
+            jobs_panicked: self.jobs_panicked.load(Ordering::Relaxed),
+            jobs_timed_out: self.jobs_timed_out.load(Ordering::Relaxed),
+            jobs_over_budget: self.jobs_over_budget.load(Ordering::Relaxed),
+            jobs_cancelled: self.jobs_cancelled.load(Ordering::Relaxed),
+            jobs_cached: self.jobs_cached.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            simulations: self.simulations.load(Ordering::Relaxed),
+            trajectories: self.trajectories.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed) as u64,
+            queue_high_water: self.queue_high_water.load(Ordering::Relaxed) as u64,
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+            cache,
+            pass_wall_ms: Pass::ALL
+                .iter()
+                .enumerate()
+                .map(|(i, pass)| {
+                    let us = self.pass_wall_us[i].load(Ordering::Relaxed);
+                    (pass.name().to_string(), us as f64 / 1e3)
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One encodable snapshot of a server's counters — the payload of
+/// [`crate::protocol::Response::Stats`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StatsSnapshot {
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// Jobs admitted to the queue.
+    pub jobs_accepted: u64,
+    /// Jobs refused at admission (queue full or shutdown).
+    pub jobs_rejected: u64,
+    /// Jobs that produced an artifact.
+    pub jobs_completed: u64,
+    /// Jobs failed on a typed input/validation error.
+    pub jobs_failed: u64,
+    /// Jobs whose pipeline panicked.
+    pub jobs_panicked: u64,
+    /// Jobs that ran past their deadline.
+    pub jobs_timed_out: u64,
+    /// Jobs rejected by the state-byte budget.
+    pub jobs_over_budget: u64,
+    /// Queued jobs dropped by client cancels.
+    pub jobs_cancelled: u64,
+    /// Jobs served from the artifact cache.
+    pub jobs_cached: u64,
+    /// Batches accepted.
+    pub batches: u64,
+    /// Simulate requests served.
+    pub simulations: u64,
+    /// Trajectories run across all simulations.
+    pub trajectories: u64,
+    /// Jobs waiting in the queue at snapshot time.
+    pub queue_depth: u64,
+    /// Deepest the queue has ever been.
+    pub queue_high_water: u64,
+    /// Frame bytes written to clients.
+    pub bytes_sent: u64,
+    /// Frame bytes read from clients.
+    pub bytes_received: u64,
+    /// The artifact cache's counters (`None` when no cache is attached).
+    pub cache: Option<CacheStats>,
+    /// Aggregate wall time per pass (`(pass name, total ms)`), in
+    /// pipeline order, excluding cached replays.
+    pub pass_wall_ms: Vec<(String, f64)>,
+}
+
+impl StatsSnapshot {
+    /// A compact multi-line rendering for logs and the server binary's
+    /// shutdown report.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "connections={} batches={} jobs: accepted={} rejected={} \
+             completed={} failed={} panicked={} timed-out={} over-budget={} \
+             cancelled={} cached={}",
+            self.connections,
+            self.batches,
+            self.jobs_accepted,
+            self.jobs_rejected,
+            self.jobs_completed,
+            self.jobs_failed,
+            self.jobs_panicked,
+            self.jobs_timed_out,
+            self.jobs_over_budget,
+            self.jobs_cancelled,
+            self.jobs_cached,
+        );
+        let _ = writeln!(
+            out,
+            "queue: depth={} high-water={}  wire: sent={}B received={}B  \
+             simulate: runs={} trajectories={}",
+            self.queue_depth,
+            self.queue_high_water,
+            self.bytes_sent,
+            self.bytes_received,
+            self.simulations,
+            self.trajectories,
+        );
+        if let Some(cache) = &self.cache {
+            let _ = writeln!(
+                out,
+                "cache: hits={} misses={} evictions: memory={} disk={} entries={}",
+                cache.hits,
+                cache.misses,
+                cache.evictions_memory,
+                cache.evictions_disk,
+                cache.memory_entries,
+            );
+        }
+        let passes: Vec<String> = self
+            .pass_wall_ms
+            .iter()
+            .map(|(name, ms)| format!("{name}={ms:.1}ms"))
+            .collect();
+        let _ = write!(out, "pass wall: {}", passes.join(" "));
+        out
+    }
+}
+
+impl Encode for StatsSnapshot {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u64(self.connections);
+        w.put_u64(self.jobs_accepted);
+        w.put_u64(self.jobs_rejected);
+        w.put_u64(self.jobs_completed);
+        w.put_u64(self.jobs_failed);
+        w.put_u64(self.jobs_panicked);
+        w.put_u64(self.jobs_timed_out);
+        w.put_u64(self.jobs_over_budget);
+        w.put_u64(self.jobs_cancelled);
+        w.put_u64(self.jobs_cached);
+        w.put_u64(self.batches);
+        w.put_u64(self.simulations);
+        w.put_u64(self.trajectories);
+        w.put_u64(self.queue_depth);
+        w.put_u64(self.queue_high_water);
+        w.put_u64(self.bytes_sent);
+        w.put_u64(self.bytes_received);
+        self.cache.encode(w);
+        self.pass_wall_ms.encode(w);
+    }
+}
+
+impl Decode for StatsSnapshot {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(StatsSnapshot {
+            connections: r.get_u64()?,
+            jobs_accepted: r.get_u64()?,
+            jobs_rejected: r.get_u64()?,
+            jobs_completed: r.get_u64()?,
+            jobs_failed: r.get_u64()?,
+            jobs_panicked: r.get_u64()?,
+            jobs_timed_out: r.get_u64()?,
+            jobs_over_budget: r.get_u64()?,
+            jobs_cancelled: r.get_u64()?,
+            jobs_cached: r.get_u64()?,
+            batches: r.get_u64()?,
+            simulations: r.get_u64()?,
+            trajectories: r.get_u64()?,
+            queue_depth: r.get_u64()?,
+            queue_high_water: r.get_u64()?,
+            bytes_sent: r.get_u64()?,
+            bytes_received: r.get_u64()?,
+            cache: Option::decode(r)?,
+            pass_wall_ms: Vec::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waltz_codec::{decode_from_slice, encode_to_vec};
+
+    #[test]
+    fn snapshot_round_trips_byte_identically() {
+        let stats = ServerStats::new();
+        stats.connection();
+        stats.batch_accepted(8);
+        stats.jobs_rejected(2);
+        stats.queue_depth(8);
+        stats.queue_depth(3);
+        stats.sent(120);
+        stats.received(64);
+        stats.simulation(32);
+        let snapshot = stats.snapshot(Some(CacheStats {
+            hits: 5,
+            misses: 3,
+            evictions_memory: 1,
+            evictions_disk: 0,
+            memory_entries: 4,
+        }));
+        assert_eq!(snapshot.connections, 1);
+        assert_eq!(snapshot.jobs_accepted, 8);
+        assert_eq!(snapshot.queue_high_water, 8);
+        assert_eq!(snapshot.queue_depth, 3);
+        assert_eq!(snapshot.pass_wall_ms.len(), Pass::ALL.len());
+        let bytes = encode_to_vec(&snapshot);
+        let back: StatsSnapshot = decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, snapshot);
+        assert_eq!(encode_to_vec(&back), bytes);
+        assert!(back.render().contains("high-water=8"));
+    }
+}

@@ -1,0 +1,83 @@
+//! The compile-and-simulate service end to end: bind a loopback
+//! server, stream a batch from a client, resubmit to hit the shared
+//! artifact cache, then simulate a compiled circuit server-side by
+//! cache reference — no artifact bytes on the wire.
+//!
+//! The server fronts the same supervised batch engine as
+//! `examples/supervised_batch.rs`; every report that comes back over
+//! TCP is element-wise identical to an in-process
+//! `Supervisor::compile_batch`.
+//!
+//! Run: `cargo run --release --example serve_demo`
+
+use quantum_waltz::circuits::{cuccaro_adder, generalized_toffoli, qram};
+use quantum_waltz::codec::content_hash;
+use quantum_waltz::core::{Compiler, Strategy, Target};
+use quantum_waltz::prelude::*;
+use quantum_waltz::serve::{ArtifactSource, BatchEvent, BatchOptions, ServeClient};
+
+fn main() {
+    // Port 0: let the OS pick, as a test harness would. The server
+    // attaches a process-wide ArtifactCache shared by every connection.
+    let compiler = Compiler::new(Target::paper(Strategy::mixed_radix_ccz()));
+    let server =
+        Server::bind("127.0.0.1:0", compiler, ServerConfig::default()).expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    println!("serving on {addr}");
+
+    let batch = vec![generalized_toffoli(3), cuccaro_adder(2), qram(2)];
+    let fingerprint = server.supervisor().compiler().fingerprint();
+    let first_hash = content_hash(&batch[0]);
+
+    // Stream the batch event by event: start updates, per-job reports,
+    // the closing tally.
+    let mut client = ServeClient::connect(&addr).expect("connect");
+    let mut stream = client
+        .submit_batch(batch.clone(), BatchOptions::default().with_updates())
+        .expect("batch admitted");
+    while let Some(event) = stream.next_event().expect("stream") {
+        match event {
+            BatchEvent::Update { index, phase } => println!("job {index}: {phase:?}"),
+            BatchEvent::Done(report) => println!(
+                "job {}: {:?} via {:?} ({:.0} ms, cached: {})",
+                report.index, report.status, report.degradation, report.wall_ms, report.cached
+            ),
+            BatchEvent::Complete {
+                ok,
+                failed,
+                cancelled,
+            } => {
+                println!("batch complete: {ok} ok, {failed} failed, {cancelled} cancelled")
+            }
+        }
+    }
+
+    // Resubmit: every job replays from the shared cache, all passes
+    // skipped.
+    let reports = client.compile_batch(batch).expect("warm batch");
+    assert!(reports.iter().all(|r| r.cached));
+    println!("warm resubmission: {} jobs, all cached", reports.len());
+
+    // Simulate by cache reference — the client never held the artifact.
+    let estimate = client
+        .simulate(
+            ArtifactSource::Cached {
+                circuit_hash: first_hash,
+                fingerprint,
+            },
+            40,
+            11,
+            16,
+        )
+        .expect("remote simulate");
+    println!(
+        "remote fidelity over {} trajectories: {:.3} ± {:.3}",
+        estimate.fidelities.len(),
+        estimate.mean,
+        estimate.std_error
+    );
+
+    drop(client);
+    let stats = server.shutdown();
+    println!("{}", stats.render());
+}

@@ -20,6 +20,7 @@
 //! | [`circuits`] | CNU / Cuccaro / QRAM / Select / synthetic benchmarks (§6.1) |
 //! | [`codec`] | the versioned wire format and content hashing behind persistent artifacts |
 //! | [`core`] | **the Quantum Waltz compiler** (§5): mapping, routing, configuration selection, scheduling, EPS |
+//! | [`serve`] | the networked compile-and-simulate service: framed TCP protocol, supervised server, streaming client |
 //!
 //! # Quickstart
 //!
@@ -55,6 +56,18 @@
 //! [`core::Compiler::with_artifact_cache`] replays repeat compilations
 //! from their stored encodings — see the `waltz_core` crate docs'
 //! "Persistence & caching" section.
+//!
+//! # Serving
+//!
+//! The whole chain also runs across a network boundary: [`serve`]
+//! frames the [`codec`] wire format over TCP and fronts the same
+//! supervised batch engine remotely. A [`serve::Server`] binds a
+//! listener over any compiler (sharing one [`core::ArtifactCache`]
+//! across every connection), and a [`serve::ServeClient`] submits
+//! batches, streams per-job reports, and simulates compiled artifacts
+//! server-side — results are element-wise identical to calling
+//! [`core::Compiler::compile_batch`] in process. See the `waltz_serve`
+//! crate docs and `examples/serve_demo.rs`.
 
 #![warn(missing_docs)]
 
@@ -68,6 +81,7 @@ pub use waltz_math as math;
 pub use waltz_noise as noise;
 pub use waltz_pulse as pulse;
 pub use waltz_rb as rb;
+pub use waltz_serve as serve;
 pub use waltz_sim as sim;
 
 /// The most common imports for working with the compiler end to end.
@@ -79,5 +93,6 @@ pub mod prelude {
     };
     pub use waltz_gates::GateLibrary;
     pub use waltz_noise::{CoherenceModel, NoiseModel};
+    pub use waltz_serve::{ServeClient, Server, ServerConfig};
     pub use waltz_sim::trajectory::average_fidelity;
 }
