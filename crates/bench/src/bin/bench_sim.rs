@@ -1,10 +1,11 @@
 //! Emits the `BENCH_sim.json` perf baseline: gate-apply ns/op by kernel
-//! class at 4^8 amplitudes (specialized vs. the generic dense path),
+//! class at 4^8 amplitudes (SIMD vs. scalar sweep bodies, specialized
+//! vs. the generic dense path, with a guard-aware parallel column),
 //! windowed vs. whole-register vs. unfused vs. kernel-demoted vs.
-//! register-padded trajectory throughput on the cnu-6q benchmark,
-//! per-strategy state bytes with per-segment occupancy and reshape
-//! counts, compile times, and per-pass pipeline wall times (schema
-//! `bench_sim/v5`).
+//! register-padded trajectory throughput on the cnu-6q benchmark plus a
+//! trajectories/sec-vs-threads scaling curve, per-strategy state bytes
+//! with per-segment occupancy and reshape counts, compile times, and
+//! per-pass pipeline wall times (schema `bench_sim/v6`).
 //!
 //! Usage: `cargo run --release -p waltz-bench --bin bench_sim [--out PATH]
 //! [--budget-ms N]`.
@@ -21,10 +22,17 @@ use waltz_core::{CompileOptions, Compiler, Strategy};
 use waltz_gates::GateLibrary;
 use waltz_math::Matrix;
 use waltz_noise::NoiseModel;
-use waltz_sim::{GateKernel, Register, State, Workspace};
+use waltz_sim::{GateKernel, Register, SimdLevel, State, TrajectoryPool, Workspace};
 
-/// One gate-apply comparison: the specialized kernel path (serial and
-/// parallel workspaces) against the generic dense reference.
+/// One gate-apply comparison: the specialized kernel at the detected
+/// SIMD tier (serial and parallel workspaces) against the same kernel
+/// pinned to the scalar sweep body and against the generic dense
+/// reference.
+///
+/// Honesty guard: when [`Workspace::would_split_sweep`] rejects the
+/// shape, the "parallel" workspace runs the identical serial code path —
+/// the column then *reports* the serial number instead of re-measuring
+/// the same loop and presenting timer noise as a speedup or regression.
 fn apply_case(
     name: &str,
     u: &Matrix,
@@ -34,28 +42,43 @@ fn apply_case(
 ) -> JsonObject {
     let kernel = GateKernel::classify(u, operands.len());
     assert_eq!(kernel.name(), name, "unexpected kernel class for {name}");
+    let mut scalar = Workspace::serial();
+    scalar.set_simd_level(SimdLevel::Scalar);
+    let scalar_t = time_ns(budget, || {
+        state.apply_kernel(&kernel, u, operands, &mut scalar)
+    });
     let mut serial = Workspace::serial();
     let kernel_t = time_ns(budget, || {
         state.apply_kernel(&kernel, u, operands, &mut serial)
     });
     let mut parallel = Workspace::new();
-    let parallel_t = time_ns(budget, || {
-        state.apply_kernel(&kernel, u, operands, &mut parallel)
-    });
+    let splits = parallel.would_split_sweep(state.register(), operands);
+    let parallel_ns = if splits {
+        time_ns(budget, || {
+            state.apply_kernel(&kernel, u, operands, &mut parallel)
+        })
+        .ns_per_op
+    } else {
+        kernel_t.ns_per_op
+    };
     let generic_t = time_ns(budget, || state.apply_unitary(u, operands));
     let mut o = JsonObject::new();
     o.num("kernel_ns", kernel_t.ns_per_op)
-        .num("kernel_parallel_ns", parallel_t.ns_per_op)
+        .num("kernel_scalar_ns", scalar_t.ns_per_op)
+        .num("kernel_parallel_ns", parallel_ns)
         .num("generic_ns", generic_t.ns_per_op)
         .num("speedup", generic_t.ns_per_op / kernel_t.ns_per_op)
-        .num(
-            "speedup_parallel",
-            generic_t.ns_per_op / parallel_t.ns_per_op,
-        );
+        .num("speedup_simd", scalar_t.ns_per_op / kernel_t.ns_per_op)
+        .num("speedup_parallel", generic_t.ns_per_op / parallel_ns)
+        .int("parallel_split", u64::from(splits));
     println!(
-        "apply/{name:<14} kernel {:>12.0} ns  parallel {:>12.0} ns  generic {:>12.0} ns  ({:.1}x)",
+        "apply/{name:<14} simd {:>10.0} ns  scalar {:>10.0} ns ({:.2}x)  parallel {:>10.0} ns{}  \
+         generic {:>11.0} ns  ({:.1}x)",
         kernel_t.ns_per_op,
-        parallel_t.ns_per_op,
+        scalar_t.ns_per_op,
+        scalar_t.ns_per_op / kernel_t.ns_per_op,
+        parallel_ns,
+        if splits { "" } else { "*" },
         generic_t.ns_per_op,
         generic_t.ns_per_op / kernel_t.ns_per_op
     );
@@ -110,11 +133,19 @@ fn main() {
         &apply_case("single-qudit", &u4, &[3], &mut state, budget),
     );
 
-    // Two-qudit dense: Haar 16x16.
+    // Two-qudit dense: Haar 16x16 (the L1-tiled gather arm).
     let u16 = waltz_math::linalg::haar_unitary(16, &mut rng);
     apply.obj(
         "two-qudit",
         &apply_case("two-qudit", &u16, &[3, 4], &mut state, budget),
+    );
+
+    // General dense block: Haar 64x64 over three ququarts — the dense
+    // FMA arm at its largest stack-resident block size.
+    let u64m = waltz_math::linalg::haar_unitary(64, &mut rng);
+    apply.obj(
+        "general-dense",
+        &apply_case("general-dense", &u64m, &[2, 4, 6], &mut state, budget),
     );
 
     // --- Compile + trajectory throughput on cnu-6q. ----------------------
@@ -286,24 +317,68 @@ fn main() {
         );
     }
 
-    // --- Report. ---------------------------------------------------------
-    let threads = std::thread::available_parallelism()
+    // --- Trajectory scaling curve on cnu-6q. -----------------------------
+    // Best-of-three trajectories/sec at each pool width (1, 2, 4, ...,
+    // host cores) on the mixed-radix compile; the estimate itself is
+    // bit-identical at every width, so only the rate is recorded.
+    let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    let scaling_compiled = runner::compiler_for(&Strategy::mixed_radix_ccz(), &lib)
+        .compile(&circuit)
+        .unwrap();
+    let mut widths: Vec<usize> = Vec::new();
+    let mut w = 1;
+    while w < host_cores {
+        widths.push(w);
+        w *= 2;
+    }
+    widths.push(host_cores);
+    let mut scaling = JsonObject::new();
+    let mut base_rate = 0.0f64;
+    for &threads in &widths {
+        let pool = TrajectoryPool::new(threads);
+        let mut best = 0.0f64;
+        for _ in 0..3 {
+            let (_, r) = runner::simulate_timed_on(&pool, &scaling_compiled, &noise, 400, 7);
+            best = best.max(r);
+        }
+        if threads == 1 {
+            base_rate = best;
+        }
+        let efficiency = best / (threads as f64 * base_rate);
+        let mut point = JsonObject::new();
+        point
+            .int("threads", threads as u64)
+            .num("trajectories_per_sec", best)
+            .num("parallel_efficiency", efficiency);
+        scaling.obj(&format!("threads_{threads}"), &point);
+        println!(
+            "scaling/cnu-6q/mixed-radix  {threads:>3} threads  {best:>8.0} traj/s  \
+             efficiency {efficiency:.2}"
+        );
+    }
+
+    // --- Report. ---------------------------------------------------------
+    let threads = host_cores;
     let mut report = JsonObject::new();
     report
-        .str("schema", "bench_sim/v5")
+        .str("schema", "bench_sim/v6")
         .str(
             "bench",
-            "kernel-specialized state-vector engine + gate fusion + occupancy-demoted registers \
-             + windowed (time-sliced) registers",
+            "SIMD-vectorized kernel-specialized state-vector engine + gate fusion + \
+             occupancy-demoted registers + windowed (time-sliced) registers + pooled \
+             trajectory engine",
         )
         .int("threads", threads as u64)
+        .int("host_cores", host_cores as u64)
+        .str("simd_level", SimdLevel::detect().name())
         .int("amplitudes", reg.total_dim() as u64)
         .obj("gate_apply_4pow8", &apply)
         .obj("compile_ms_cnu6q", &compile_obj)
         .obj("pipeline_ms_cnu6q", &pipeline_obj)
-        .obj("trajectory_cnu6q", &traj_obj);
+        .obj("trajectory_cnu6q", &traj_obj)
+        .obj("trajectory_scaling_cnu6q", &scaling);
     let rendered = report.render_pretty();
     std::fs::write(&out_path, &rendered).expect("write BENCH_sim.json");
     println!("wrote {out_path}");

@@ -218,6 +218,27 @@ pub fn simulate_timed(
     (est, rate)
 }
 
+/// [`simulate_timed`] on a caller-chosen [`waltz_sim::TrajectoryPool`] —
+/// the thread-scaling axis of the perf baseline. The estimate is
+/// bit-identical for any pool width; only the rate moves.
+pub fn simulate_timed_on(
+    pool: &waltz_sim::TrajectoryPool,
+    compiled: &CompiledCircuit,
+    noise: &NoiseModel,
+    trajectories: usize,
+    seed: u64,
+) -> (FidelityEstimate, f64) {
+    let t0 = std::time::Instant::now();
+    let est = compiled.estimate_average_fidelity_on(pool, noise, trajectories, seed);
+    let secs = t0.elapsed().as_secs_f64();
+    let rate = if secs > 0.0 {
+        trajectories as f64 / secs
+    } else {
+        f64::INFINITY
+    };
+    (est, rate)
+}
+
 /// EPS-only evaluation (no simulation) — used where the paper itself falls
 /// back to the analytic model (Fig. 8, large mixed-radix sizes).
 ///

@@ -2,12 +2,13 @@
 //! reports, and the [`Simulation`] session handle that runs it.
 
 use std::ops::Deref;
+use std::sync::Arc;
 
 use rand::Rng;
 
 use waltz_noise::NoiseModel;
 use waltz_sim::trajectory::{FidelityEstimate, HealthPolicy, RunHealth};
-use waltz_sim::{SegmentedSession, Session, State};
+use waltz_sim::{SegmentedSession, Session, State, TrajectoryPool};
 
 use crate::compile::CompiledCircuit;
 use crate::eps::EpsBreakdown;
@@ -125,6 +126,7 @@ impl CompileArtifact {
             compiled: &self.compiled,
             noise: self.noise.clone(),
             seed: DEFAULT_SEED,
+            pool: None,
             session: None,
         }
     }
@@ -145,6 +147,9 @@ pub struct Simulation<'a> {
     compiled: &'a CompiledCircuit,
     noise: NoiseModel,
     seed: u64,
+    /// Batch estimates run here; `None` means the process-wide
+    /// [`TrajectoryPool::global`].
+    pool: Option<Arc<TrajectoryPool>>,
     /// Created on the first serial run — the batched estimator manages
     /// its own per-worker buffers, so a pure `average_fidelity` call
     /// never allocates a session.
@@ -174,6 +179,19 @@ impl<'a> Simulation<'a> {
         self
     }
 
+    /// Runs batch estimates on `pool` instead of the process-wide
+    /// [`TrajectoryPool::global`]. Seeds are per-trajectory-index, so the
+    /// estimate itself is bit-identical for any pool width.
+    pub fn with_pool(mut self, pool: Arc<TrajectoryPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// The pool batch estimates run on.
+    fn active_pool(&self) -> Arc<TrajectoryPool> {
+        self.pool.clone().unwrap_or_else(TrajectoryPool::global)
+    }
+
     /// The active noise model.
     pub fn noise(&self) -> &NoiseModel {
         &self.noise
@@ -188,8 +206,25 @@ impl<'a> Simulation<'a> {
     /// ([`CompiledCircuit::sim_circuit`]) otherwise
     /// ([`CompiledCircuit::estimate_average_fidelity`]).
     pub fn average_fidelity(&self, trajectories: usize) -> FidelityEstimate {
-        self.compiled
-            .estimate_average_fidelity(&self.noise, trajectories, self.seed)
+        self.compiled.estimate_average_fidelity_on(
+            &self.active_pool(),
+            &self.noise,
+            trajectories,
+            self.seed,
+        )
+    }
+
+    /// The raw per-trajectory fidelity samples behind
+    /// [`Simulation::average_fidelity`] — `samples[g]` depends only on
+    /// the session seed and the global index `g`, never on the pool
+    /// width ([`CompiledCircuit::sample_fidelities_on`]).
+    pub fn fidelity_samples(&self, trajectories: usize) -> Vec<f64> {
+        self.compiled.sample_fidelities_on(
+            &self.active_pool(),
+            &self.noise,
+            trajectories,
+            self.seed,
+        )
     }
 
     /// [`Simulation::average_fidelity`] under trajectory health
@@ -203,7 +238,8 @@ impl<'a> Simulation<'a> {
         trajectories: usize,
         policy: &HealthPolicy,
     ) -> (FidelityEstimate, RunHealth) {
-        self.compiled.estimate_average_fidelity_supervised(
+        self.compiled.estimate_average_fidelity_supervised_on(
+            &self.active_pool(),
             &self.noise,
             trajectories,
             self.seed,

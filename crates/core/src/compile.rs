@@ -255,19 +255,75 @@ impl CompiledCircuit {
         trajectories: usize,
         seed: u64,
     ) -> waltz_sim::trajectory::FidelityEstimate {
+        self.estimate_average_fidelity_on(
+            &waltz_sim::TrajectoryPool::global(),
+            noise,
+            trajectories,
+            seed,
+        )
+    }
+
+    /// [`CompiledCircuit::estimate_average_fidelity`] on a caller-chosen
+    /// [`waltz_sim::TrajectoryPool`].
+    pub fn estimate_average_fidelity_on(
+        &self,
+        pool: &waltz_sim::TrajectoryPool,
+        noise: &waltz_noise::NoiseModel,
+        trajectories: usize,
+        seed: u64,
+    ) -> waltz_sim::trajectory::FidelityEstimate {
         use waltz_sim::trajectory;
         let write = |_: &Register, rng: &mut rand::rngs::StdRng, out: &mut State| {
             self.write_random_product_initial_state(rng, out)
         };
         match self.sim_segments() {
-            Some(segments) => trajectory::average_fidelity_segmented_with(
+            Some(segments) => trajectory::average_fidelity_segmented_with_on(
+                pool,
                 segments,
                 noise,
                 trajectories,
                 seed,
                 write,
             ),
-            None => trajectory::average_fidelity_with(
+            None => trajectory::average_fidelity_with_on(
+                pool,
+                self.sim_circuit(),
+                noise,
+                trajectories,
+                seed,
+                write,
+            ),
+        }
+    }
+
+    /// The raw per-trajectory fidelity samples behind
+    /// [`CompiledCircuit::estimate_average_fidelity_on`]: `samples[g]` is
+    /// the fidelity of the trajectory with global index `g`, whose seed
+    /// depends only on `(seed, g)` — bit-identical for any pool width and
+    /// the same engine dispatch (windowed vs. whole-program) as the
+    /// estimator.
+    pub fn sample_fidelities_on(
+        &self,
+        pool: &waltz_sim::TrajectoryPool,
+        noise: &waltz_noise::NoiseModel,
+        trajectories: usize,
+        seed: u64,
+    ) -> Vec<f64> {
+        use waltz_sim::trajectory;
+        let write = |_: &Register, rng: &mut rand::rngs::StdRng, out: &mut State| {
+            self.write_random_product_initial_state(rng, out)
+        };
+        match self.sim_segments() {
+            Some(segments) => trajectory::fidelity_samples_segmented_with_on(
+                pool,
+                segments,
+                noise,
+                trajectories,
+                seed,
+                write,
+            ),
+            None => trajectory::fidelity_samples_with_on(
+                pool,
                 self.sim_circuit(),
                 noise,
                 trajectories,
@@ -294,12 +350,35 @@ impl CompiledCircuit {
         waltz_sim::trajectory::FidelityEstimate,
         waltz_sim::trajectory::RunHealth,
     ) {
+        self.estimate_average_fidelity_supervised_on(
+            &waltz_sim::TrajectoryPool::global(),
+            noise,
+            trajectories,
+            seed,
+            policy,
+        )
+    }
+
+    /// [`CompiledCircuit::estimate_average_fidelity_supervised`] on a
+    /// caller-chosen [`waltz_sim::TrajectoryPool`].
+    pub fn estimate_average_fidelity_supervised_on(
+        &self,
+        pool: &waltz_sim::TrajectoryPool,
+        noise: &waltz_noise::NoiseModel,
+        trajectories: usize,
+        seed: u64,
+        policy: &waltz_sim::trajectory::HealthPolicy,
+    ) -> (
+        waltz_sim::trajectory::FidelityEstimate,
+        waltz_sim::trajectory::RunHealth,
+    ) {
         use waltz_sim::trajectory;
         let write = |_: &Register, rng: &mut rand::rngs::StdRng, out: &mut State| {
             self.write_random_product_initial_state(rng, out)
         };
         match self.sim_segments() {
-            Some(segments) => trajectory::average_fidelity_segmented_supervised_with(
+            Some(segments) => trajectory::average_fidelity_segmented_supervised_with_on(
+                pool,
                 segments,
                 noise,
                 trajectories,
@@ -307,7 +386,8 @@ impl CompiledCircuit {
                 policy,
                 write,
             ),
-            None => trajectory::average_fidelity_supervised_with(
+            None => trajectory::average_fidelity_supervised_with_on(
+                pool,
                 self.sim_circuit(),
                 noise,
                 trajectories,

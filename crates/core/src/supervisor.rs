@@ -262,6 +262,10 @@ pub struct Supervisor {
     /// snapshot it at admission, so shrinking it mid-batch
     /// ([`Supervisor::set_budget_bytes`]) applies to every later job.
     budget: AtomicUsize,
+    /// Pool that simulation work driven from this supervisor's jobs runs
+    /// on (the serve layer's estimate requests); compile jobs themselves
+    /// use the batch worker threads.
+    traj_pool: std::sync::Arc<waltz_sim::TrajectoryPool>,
 }
 
 impl Supervisor {
@@ -278,7 +282,21 @@ impl Supervisor {
             compiler,
             policy,
             budget,
+            traj_pool: waltz_sim::TrajectoryPool::global(),
         }
+    }
+
+    /// Replaces the [`waltz_sim::TrajectoryPool`] that simulation work
+    /// attached to this supervisor runs on (defaults to the process-wide
+    /// pool).
+    pub fn with_trajectory_pool(mut self, pool: std::sync::Arc<waltz_sim::TrajectoryPool>) -> Self {
+        self.traj_pool = pool;
+        self
+    }
+
+    /// The pool simulation work attached to this supervisor runs on.
+    pub fn trajectory_pool(&self) -> &std::sync::Arc<waltz_sim::TrajectoryPool> {
+        &self.traj_pool
     }
 
     /// The wrapped compiler.

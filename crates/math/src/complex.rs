@@ -20,7 +20,11 @@ use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssi
 /// assert_eq!(i * i, -C64::ONE);
 /// assert!((C64::from_polar(1.0, std::f64::consts::PI) + C64::ONE).abs() < 1e-15);
 /// ```
+/// `repr(C)` so a `&[C64]` is guaranteed to be an interleaved
+/// `[re, im, re, im, ...]` array of `f64` — the SIMD sweep kernels in
+/// `waltz_sim` reinterpret amplitude slices this way.
 #[derive(Clone, Copy, PartialEq, Default)]
+#[repr(C)]
 pub struct C64 {
     /// Real part.
     pub re: f64,

@@ -43,7 +43,10 @@ use crate::stats::StatsSnapshot;
 /// on **any** change to the request/response surface and regenerate the
 /// matching `tests/golden/protocol_v<N>.bin` fixture — CI gates on the
 /// pair moving together, exactly like [`waltz_codec::CODEC_VERSION`].
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// History: v2 added `simd_level` and `worker_threads` to
+/// [`StatsSnapshot`].
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Four magic bytes opening every frame (distinct from the codec's
 /// `WLTZ` envelope magic, so a file of cached artifacts is never

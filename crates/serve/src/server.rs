@@ -45,8 +45,6 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use waltz_circuit::Circuit;
 use waltz_core::{
     ArtifactCache, CompileArtifact, Compiler, JobReport, Supervisor, SupervisorPolicy,
@@ -237,7 +235,11 @@ impl Shared {
     }
 
     fn snapshot(&self) -> StatsSnapshot {
-        let mut snap = self.stats.snapshot(self.supervisor.cache_stats());
+        let mut snap = self.stats.snapshot(
+            self.supervisor.cache_stats(),
+            waltz_sim::SimdLevel::detect().name(),
+            self.supervisor.trajectory_pool().threads(),
+        );
         // The depth gauge is last-writer-wins across acceptor and
         // workers; the live queue length is authoritative.
         snap.queue_depth = self.queue.len() as u64;
@@ -660,11 +662,14 @@ impl Connection<'_> {
         })
     }
 
-    /// The simulate flow: resolve the artifact, run the serial
-    /// trajectory loop, stream fidelity chunks, close with the summary.
-    /// The run is deterministic given the seed — one RNG drives initial
-    /// states and noise in trajectory order — so a client can replay it
-    /// locally on the same artifact bit for bit.
+    /// The simulate flow: resolve the artifact, fan the trajectories
+    /// across the supervisor's [`waltz_sim::TrajectoryPool`], stream
+    /// fidelity chunks, close with the summary. The run is deterministic
+    /// given the seed — every trajectory's RNG seed derives from the
+    /// request seed and the trajectory's global index alone — so the
+    /// stream is bit-identical for any worker-thread count, and a client
+    /// can replay it locally with
+    /// [`waltz_core::Simulation::fidelity_samples`] on the same artifact.
     fn run_simulate(
         &mut self,
         source: ArtifactSource,
@@ -699,38 +704,26 @@ impl Connection<'_> {
         };
         let chunk = if chunk == 0 { DEFAULT_SIM_CHUNK } else { chunk };
         self.shared.stats.simulation(trajectories);
-        let mut sim = artifact.simulate();
-        let mut rng = StdRng::seed_from_u64(seed);
-        let (mut sum, mut sum_sq) = (0.0f64, 0.0f64);
-        let mut pending: Vec<f64> = Vec::with_capacity(chunk.min(trajectories));
-        for t in 0..trajectories {
-            let initial = sim.random_initial_state(&mut rng);
-            let ideal = sim.run_ideal(&initial).clone();
-            let noisy = sim.run_trajectory(&initial, &mut rng);
-            let fidelity = noisy.fidelity(&ideal);
-            sum += fidelity;
-            sum_sq += fidelity * fidelity;
-            pending.push(fidelity);
-            if pending.len() == chunk {
-                let start = t + 1 - pending.len();
-                if !self.send(&Response::TrajectoryChunk {
-                    start,
-                    fidelities: std::mem::take(&mut pending),
-                }) {
-                    return false;
-                }
-            }
-        }
-        if !pending.is_empty() {
-            let start = trajectories - pending.len();
+        let samples = if trajectories == 0 {
+            Vec::new()
+        } else {
+            artifact
+                .simulate()
+                .with_seed(seed)
+                .with_pool(Arc::clone(self.shared.supervisor.trajectory_pool()))
+                .fidelity_samples(trajectories)
+        };
+        for (c, fidelities) in samples.chunks(chunk).enumerate() {
             if !self.send(&Response::TrajectoryChunk {
-                start,
-                fidelities: pending,
+                start: c * chunk,
+                fidelities: fidelities.to_vec(),
             }) {
                 return false;
             }
         }
         let n = trajectories as f64;
+        let sum: f64 = samples.iter().sum();
+        let sum_sq: f64 = samples.iter().map(|f| f * f).sum();
         let mean = if trajectories == 0 { 0.0 } else { sum / n };
         let std_error = if trajectories > 1 {
             let var = ((sum_sq - n * mean * mean) / (n - 1.0)).max(0.0);

@@ -130,9 +130,18 @@ impl ServerStats {
 
     /// One coherent snapshot of every counter. `cache` is the serving
     /// supervisor's [`waltz_core::Supervisor::cache_stats`] at snapshot
-    /// time.
-    pub fn snapshot(&self, cache: Option<CacheStats>) -> StatsSnapshot {
+    /// time; `simd_level` and `worker_threads` describe the host the
+    /// numbers were produced on (the detected sweep-kernel SIMD tier and
+    /// the trajectory pool's width).
+    pub fn snapshot(
+        &self,
+        cache: Option<CacheStats>,
+        simd_level: &str,
+        worker_threads: usize,
+    ) -> StatsSnapshot {
         StatsSnapshot {
+            simd_level: simd_level.to_string(),
+            worker_threads: worker_threads as u64,
             connections: self.connections.load(Ordering::Relaxed),
             jobs_accepted: self.jobs_accepted.load(Ordering::Relaxed),
             jobs_rejected: self.jobs_rejected.load(Ordering::Relaxed),
@@ -201,6 +210,13 @@ pub struct StatsSnapshot {
     pub bytes_sent: u64,
     /// Frame bytes read from clients.
     pub bytes_received: u64,
+    /// The sweep-kernel SIMD tier the server detected at startup (e.g.
+    /// `"avx2+fma"` or `"scalar"`), as reported by the simulator's
+    /// runtime dispatcher.
+    pub simd_level: String,
+    /// Width of the trajectory pool simulate requests run on (caller
+    /// included).
+    pub worker_threads: u64,
     /// The artifact cache's counters (`None` when no cache is attached).
     pub cache: Option<CacheStats>,
     /// Aggregate wall time per pass (`(pass name, total ms)`), in
@@ -242,6 +258,16 @@ impl StatsSnapshot {
             self.simulations,
             self.trajectories,
         );
+        let _ = writeln!(
+            out,
+            "host: simd={} trajectory-threads={}",
+            if self.simd_level.is_empty() {
+                "unknown"
+            } else {
+                &self.simd_level
+            },
+            self.worker_threads,
+        );
         if let Some(cache) = &self.cache {
             let _ = writeln!(
                 out,
@@ -282,6 +308,8 @@ impl Encode for StatsSnapshot {
         w.put_u64(self.queue_high_water);
         w.put_u64(self.bytes_sent);
         w.put_u64(self.bytes_received);
+        self.simd_level.encode(w);
+        w.put_u64(self.worker_threads);
         self.cache.encode(w);
         self.pass_wall_ms.encode(w);
     }
@@ -307,6 +335,8 @@ impl Decode for StatsSnapshot {
             queue_high_water: r.get_u64()?,
             bytes_sent: r.get_u64()?,
             bytes_received: r.get_u64()?,
+            simd_level: String::decode(r)?,
+            worker_threads: r.get_u64()?,
             cache: Option::decode(r)?,
             pass_wall_ms: Vec::decode(r)?,
         })
@@ -329,14 +359,20 @@ mod tests {
         stats.sent(120);
         stats.received(64);
         stats.simulation(32);
-        let snapshot = stats.snapshot(Some(CacheStats {
-            hits: 5,
-            misses: 3,
-            evictions_memory: 1,
-            evictions_disk: 0,
-            memory_entries: 4,
-        }));
+        let snapshot = stats.snapshot(
+            Some(CacheStats {
+                hits: 5,
+                misses: 3,
+                evictions_memory: 1,
+                evictions_disk: 0,
+                memory_entries: 4,
+            }),
+            "avx2+fma",
+            6,
+        );
         assert_eq!(snapshot.connections, 1);
+        assert_eq!(snapshot.simd_level, "avx2+fma");
+        assert_eq!(snapshot.worker_threads, 6);
         assert_eq!(snapshot.jobs_accepted, 8);
         assert_eq!(snapshot.queue_high_water, 8);
         assert_eq!(snapshot.queue_depth, 3);
@@ -346,5 +382,6 @@ mod tests {
         assert_eq!(back, snapshot);
         assert_eq!(encode_to_vec(&back), bytes);
         assert!(back.render().contains("high-water=8"));
+        assert!(back.render().contains("simd=avx2+fma trajectory-threads=6"));
     }
 }

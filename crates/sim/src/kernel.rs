@@ -25,6 +25,7 @@
 use waltz_math::structure::{self, MatrixStructure};
 use waltz_math::{Matrix, C64};
 
+use crate::simd::{self, SimdLevel};
 use crate::Register;
 
 /// Entries with modulus at or below this are treated as structural zeros
@@ -41,31 +42,85 @@ const MAX_STACK_BLOCK: usize = 64;
 /// gather-once/apply-many path below uses scratch of exactly this size.
 const MAX_TWO_QUDIT_BLOCK: usize = 16;
 
-/// Default minimum amplitude count before a sweep is split across
-/// threads, tuned on the CI-class container; override per host with the
-/// `WALTZ_PAR_MIN_AMPS` environment variable or per workspace with
-/// [`Workspace::set_par_min_amps`].
+/// The historical parallel-sweep threshold, kept as the middle rung of
+/// the calibration ladder and as the documented order of magnitude where
+/// splitting *can* start to pay. The actual process-wide default is
+/// **measured** once per process (see [`Workspace::par_min_amps`]);
+/// override per host with the `WALTZ_PAR_MIN_AMPS` environment variable
+/// or per workspace with [`Workspace::set_par_min_amps`].
 pub const DEFAULT_PAR_MIN_AMPS: usize = 1 << 15;
 
-/// The process-wide parallel-sweep threshold: `WALTZ_PAR_MIN_AMPS` when
-/// set to a valid count, [`DEFAULT_PAR_MIN_AMPS`] otherwise. Read once.
-fn env_par_min_amps() -> usize {
+/// The process-wide parallel-sweep threshold, resolved once:
+/// `WALTZ_PAR_MIN_AMPS` wins when set to a valid count; a host without a
+/// second core can never profit from splitting, so it pins the threshold
+/// to `usize::MAX` without measuring; otherwise the threshold is
+/// **calibrated** — the same measure-once-per-process pattern as the
+/// fuse-cost constants — by timing a representative diagonal sweep
+/// serial vs split at a ladder of state sizes and keeping the first size
+/// where the split wins by ≥ 10%.
+fn calibrated_par_min_amps() -> usize {
     static CACHED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
     *CACHED.get_or_init(|| {
-        std::env::var("WALTZ_PAR_MIN_AMPS")
+        if let Some(v) = std::env::var("WALTZ_PAR_MIN_AMPS")
             .ok()
             .and_then(|v| v.parse::<usize>().ok())
+        {
             // Clamp like `set_par_min_amps`: a zero threshold would split
             // every sweep.
-            .map(|v| v.max(1))
-            .unwrap_or(DEFAULT_PAR_MIN_AMPS)
+            return v.max(1);
+        }
+        if sweep_threads() <= 1 {
+            return usize::MAX;
+        }
+        measure_par_min_amps()
     })
+}
+
+/// Best-of-`reps` wall time per iteration of `f`, in nanoseconds.
+fn best_time_ns(reps: usize, iters: usize, mut f: impl FnMut()) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..reps {
+        let start = std::time::Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min((start.elapsed().as_nanos() / iters.max(1) as u128) as u64);
+    }
+    best
+}
+
+/// Times a CZ-class diagonal sweep (the cheapest kernel per amplitude,
+/// i.e. the hardest case for threading to win) serial vs split at a
+/// ladder of qubit-register sizes around [`DEFAULT_PAR_MIN_AMPS`] and
+/// returns the first size where the split is ≥ 10% faster — or
+/// `usize::MAX` when threading never pays on this host, which is exactly
+/// what single-core containers measure.
+fn measure_par_min_amps() -> usize {
+    let u = Matrix::from_diag(&[C64::ONE, C64::ONE, C64::ONE, -C64::ONE]);
+    let kernel = GateKernel::classify(&u, 2);
+    for shift in [13usize, 15, 17] {
+        let reg = Register::qubits(shift);
+        let mut amps = vec![C64::new(0.5, -0.5); 1 << shift];
+        let iters = (1usize << (19 - shift)).clamp(2, 64);
+        let mut ws_serial = Workspace::with_settings(false, 1);
+        let serial = best_time_ns(3, iters, || {
+            apply(&mut amps, &reg, &kernel, &u, &[0, 1], &mut ws_serial)
+        });
+        let mut ws_split = Workspace::with_settings(true, 1);
+        let split = best_time_ns(3, iters, || {
+            apply(&mut amps, &reg, &kernel, &u, &[0, 1], &mut ws_split)
+        });
+        if split.saturating_mul(10) <= serial.saturating_mul(9) {
+            return 1 << shift;
+        }
+    }
+    usize::MAX
 }
 
 /// The one guard for every threaded sweep: splitting pays off only when
 /// the workspace allows it, the state is at least `min_amps` amplitudes,
 /// and there are enough independent units to give each worker a few.
-fn par_sweep_worthwhile(
+pub(crate) fn par_sweep_worthwhile(
     parallel: bool,
     total_amps: usize,
     units: usize,
@@ -190,11 +245,30 @@ pub struct Workspace {
     pub(crate) parallel: bool,
     /// Minimum amplitude count before a sweep is split across threads.
     pub(crate) par_min_amps: usize,
+    /// The SIMD tier the sweep bodies run at.
+    pub(crate) simd: SimdLevel,
 }
 
 impl Workspace {
-    /// A workspace that parallelizes large sweeps.
+    /// A workspace that parallelizes large sweeps. The first
+    /// threading-capable workspace of the process calibrates the
+    /// parallel-sweep threshold (see [`Workspace::par_min_amps`]).
     pub fn new() -> Self {
+        Workspace::with_settings(true, calibrated_par_min_amps())
+    }
+
+    /// A workspace that never spawns threads — for use inside an outer
+    /// parallel loop such as the trajectory runner. Never triggers the
+    /// threshold calibration: a workspace that cannot split has no use
+    /// for the measurement.
+    pub fn serial() -> Self {
+        Workspace::with_settings(false, usize::MAX)
+    }
+
+    /// Direct constructor bypassing the once-per-process calibration —
+    /// used *by* the calibration itself (which would otherwise deadlock
+    /// re-entering the `OnceLock`) and by [`Workspace::serial`].
+    fn with_settings(parallel: bool, par_min_amps: usize) -> Self {
         Workspace {
             offsets: Vec::new(),
             others: Vec::new(),
@@ -202,24 +276,17 @@ impl Workspace {
             lambdas: Vec::new(),
             jump_p: Vec::new(),
             free_at: Vec::new(),
-            parallel: true,
-            par_min_amps: env_par_min_amps(),
-        }
-    }
-
-    /// A workspace that never spawns threads — for use inside an outer
-    /// parallel loop such as the trajectory runner.
-    pub fn serial() -> Self {
-        Workspace {
-            parallel: false,
-            ..Workspace::new()
+            parallel,
+            par_min_amps: par_min_amps.max(1),
+            simd: SimdLevel::detect(),
         }
     }
 
     /// The minimum amplitude count before this workspace's sweeps split
-    /// across threads ([`DEFAULT_PAR_MIN_AMPS`] unless overridden by the
-    /// `WALTZ_PAR_MIN_AMPS` environment variable or
-    /// [`Workspace::set_par_min_amps`]).
+    /// across threads. Resolution order: `WALTZ_PAR_MIN_AMPS` if set,
+    /// else a once-per-process measured calibration (`usize::MAX` on
+    /// single-core hosts — splitting can never pay there), overridable
+    /// per workspace with [`Workspace::set_par_min_amps`].
     pub fn par_min_amps(&self) -> usize {
         self.par_min_amps
     }
@@ -229,6 +296,52 @@ impl Workspace {
     /// already profit from splitting.
     pub fn set_par_min_amps(&mut self, min_amps: usize) {
         self.par_min_amps = min_amps.max(1);
+    }
+
+    /// The SIMD tier this workspace's sweep bodies run at
+    /// ([`SimdLevel::detect`] at construction).
+    pub fn simd_level(&self) -> SimdLevel {
+        self.simd
+    }
+
+    /// Pins this workspace's sweep bodies to `level` — the knob the
+    /// parity tests use to compare the vector arms against the scalar
+    /// fallback in one process. Requests above what the host supports
+    /// are clamped down to [`SimdLevel::detect`].
+    pub fn set_simd_level(&mut self, level: SimdLevel) {
+        self.simd = if level.accelerated() && !SimdLevel::detect().accelerated() {
+            SimdLevel::Scalar
+        } else {
+            level
+        };
+    }
+
+    /// Whether [`crate::State::apply_op`] through this workspace would
+    /// split its sweep across threads for a kernel on `operands` over
+    /// `reg`. This is the bench's honesty guard: when the shape is
+    /// rejected, a "parallel" measurement runs the *same* code path as
+    /// the serial one and must be reported as such rather than as an
+    /// independent sample of measurement noise.
+    pub fn would_split_sweep(&self, reg: &Register, operands: &[usize]) -> bool {
+        let mut units: usize = (0..reg.n_qudits())
+            .filter(|q| !operands.contains(q))
+            .map(|q| reg.dim(q))
+            .product();
+        // The vector arms sweep in two-configuration pairs.
+        if self.simd.accelerated() {
+            if let Some(innermost) = (0..reg.n_qudits()).rfind(|q| !operands.contains(q)) {
+                if reg.stride(innermost) == 1 && reg.dim(innermost).is_multiple_of(2) {
+                    units /= 2;
+                }
+            }
+        }
+        par_sweep_worthwhile(
+            self.parallel,
+            reg.total_dim(),
+            units,
+            sweep_threads(),
+            self.par_min_amps,
+        )
     }
 }
 
@@ -265,7 +378,7 @@ pub(crate) fn compute_offsets(
 /// Largest register (in qudits) the sweep's stack-allocated mixed-radix
 /// counters support; a 64-qubit register is already far past state-vector
 /// reach.
-const MAX_QUDITS: usize = 64;
+pub(crate) const MAX_QUDITS: usize = 64;
 
 /// Base amplitude offset of the `linear`-th configuration of `others`.
 fn base_of(reg: &Register, others: &[usize], mut linear: usize) -> usize {
@@ -278,9 +391,55 @@ fn base_of(reg: &Register, others: &[usize], mut linear: usize) -> usize {
     base
 }
 
-/// Runs `f(state, base)` for configurations `lo..hi` of `others`,
-/// walking the bases with an incremental mixed-radix counter (amortized
-/// O(1) per step, no divisions in the loop).
+/// Calls `f(base)` for positions `lo..hi` of a mixed-radix counter over
+/// `dims` (last digit fastest) with per-digit strides, walking the bases
+/// incrementally (amortized O(1) per step, no divisions in the loop).
+/// Shared by the scalar sweep bodies and the vector arms in
+/// [`crate::simd`], whose paired layouts substitute their own
+/// dims/strides; `#[inline(always)]` so it specializes into the
+/// `#[target_feature]` callers.
+#[inline(always)]
+pub(crate) fn walk_bases(
+    dims: &[usize],
+    strides: &[usize],
+    lo: usize,
+    hi: usize,
+    mut f: impl FnMut(usize),
+) {
+    assert!(dims.len() <= MAX_QUDITS, "register too large for sweep");
+    let mut counter = [0usize; MAX_QUDITS];
+    // Seed the counter and base from `lo` (the only division site).
+    let mut rem = lo;
+    for slot in (0..dims.len()).rev() {
+        counter[slot] = rem % dims[slot];
+        rem /= dims[slot];
+    }
+    let mut base = counter[..dims.len()]
+        .iter()
+        .zip(strides)
+        .map(|(&digit, &stride)| digit * stride)
+        .sum::<usize>();
+    for _ in lo..hi {
+        f(base);
+        let mut pos = dims.len();
+        loop {
+            if pos == 0 {
+                break;
+            }
+            pos -= 1;
+            counter[pos] += 1;
+            base += strides[pos];
+            if counter[pos] < dims[pos] {
+                break;
+            }
+            counter[pos] = 0;
+            base -= dims[pos] * strides[pos];
+        }
+    }
+}
+
+/// Runs `f(state, base)` for configurations `lo..hi` of `others` via
+/// [`walk_bases`].
 fn run_range<S, F: Fn(&mut S, usize)>(
     reg: &Register,
     others: &[usize],
@@ -290,37 +449,14 @@ fn run_range<S, F: Fn(&mut S, usize)>(
     f: &F,
 ) {
     assert!(others.len() <= MAX_QUDITS, "register too large for sweep");
-    let mut counter = [0usize; MAX_QUDITS];
-    // Seed the counter and base from `lo` (the only division site).
-    let mut rem = lo;
-    for (slot, &q) in others.iter().enumerate().rev() {
-        let d = reg.dim(q);
-        counter[slot] = rem % d;
-        rem /= d;
+    let mut dims = [0usize; MAX_QUDITS];
+    let mut strides = [0usize; MAX_QUDITS];
+    for (slot, &q) in others.iter().enumerate() {
+        dims[slot] = reg.dim(q);
+        strides[slot] = reg.stride(q);
     }
-    let mut base = others
-        .iter()
-        .zip(&counter)
-        .map(|(&q, &digit)| digit * reg.stride(q))
-        .sum::<usize>();
-    for _ in lo..hi {
-        f(state, base);
-        let mut pos = others.len();
-        loop {
-            if pos == 0 {
-                break;
-            }
-            pos -= 1;
-            let q = others[pos];
-            counter[pos] += 1;
-            base += reg.stride(q);
-            if counter[pos] < reg.dim(q) {
-                break;
-            }
-            counter[pos] = 0;
-            base -= reg.dim(q) * reg.stride(q);
-        }
-    }
+    let n = others.len();
+    walk_bases(&dims[..n], &strides[..n], lo, hi, |base| f(state, base));
 }
 
 /// Shared mutable amplitude pointer for the threaded sweep. Soundness:
@@ -328,7 +464,7 @@ fn run_range<S, F: Fn(&mut S, usize)>(
 /// every amplitude index decomposes uniquely into (non-operand digits,
 /// operand digits), so workers write disjoint index sets.
 #[derive(Clone, Copy)]
-struct SharedAmps(*mut C64);
+pub(crate) struct SharedAmps(*mut C64);
 unsafe impl Sync for SharedAmps {}
 unsafe impl Send for SharedAmps {}
 
@@ -340,13 +476,13 @@ impl SharedAmps {
     /// `idx` must be in bounds and no other thread may access it
     /// concurrently. (Going through a method also makes closures capture
     /// the whole `Sync` wrapper rather than the raw pointer field.)
-    unsafe fn at(self, idx: usize) -> *mut C64 {
+    pub(crate) unsafe fn at(self, idx: usize) -> *mut C64 {
         unsafe { self.0.add(idx) }
     }
 }
 
 /// Number of worker threads for a parallel sweep.
-fn sweep_threads() -> usize {
+pub(crate) fn sweep_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
@@ -426,7 +562,7 @@ pub(crate) fn apply(
 
     // Fast path: diagonal on a single qudit is a contiguous slice scale.
     if let (GateKernel::Diagonal { phases }, [q]) = (kernel, operands) {
-        return apply_diagonal_single(amps, reg, phases, *q, ws.parallel, ws.par_min_amps);
+        return apply_diagonal_single(amps, reg, phases, *q, ws.parallel, ws.par_min_amps, ws.simd);
     }
 
     ws.others.clear();
@@ -439,10 +575,23 @@ pub(crate) fn apply(
     let others: &[usize] = &ws.others;
     let parallel = ws.parallel;
     let min_amps = ws.par_min_amps;
+    let ctx = simd::SweepCtx {
+        reg,
+        others,
+        offsets,
+        shared,
+        total_amps: total,
+        parallel,
+        min_amps,
+        level: ws.simd,
+    };
 
     match kernel {
         GateKernel::Identity => {}
         GateKernel::Diagonal { phases } => {
+            if simd::diag_sweep(&ctx, phases) {
+                return;
+            }
             // SAFETY: disjoint bases per worker (see SharedAmps).
             sweep(
                 reg,
@@ -460,6 +609,9 @@ pub(crate) fn apply(
             );
         }
         GateKernel::Permutation { cycles, phases, .. } => {
+            if simd::perm_sweep(&ctx, cycles, phases) {
+                return;
+            }
             // SAFETY: disjoint bases per worker (see SharedAmps).
             sweep(
                 reg,
@@ -476,6 +628,9 @@ pub(crate) fn apply(
             );
         }
         GateKernel::SingleQudit if u.rows() == 2 => {
+            if simd::dense_sweep(&ctx, u.as_slice(), false) {
+                return;
+            }
             let m = u.as_slice();
             let (m00, m01, m10, m11) = (m[0], m[1], m[2], m[3]);
             // SAFETY: disjoint bases per worker (see SharedAmps).
@@ -496,6 +651,9 @@ pub(crate) fn apply(
             );
         }
         GateKernel::SingleQudit if u.rows() == 4 => {
+            if simd::dense_sweep(&ctx, u.as_slice(), false) {
+                return;
+            }
             let mut m = [C64::ZERO; 16];
             m.copy_from_slice(u.as_slice());
             // SAFETY: disjoint bases per worker (see SharedAmps).
@@ -520,10 +678,14 @@ pub(crate) fn apply(
             );
         }
         GateKernel::TwoQudit if block <= MAX_TWO_QUDIT_BLOCK => {
-            // Gather-once/apply-many two-qudit path: one shared dense
-            // sweep body, with the stack scratch sized to the 16-wide
-            // blocks the fusion layer produces instead of the 64-wide
-            // general buffer.
+            // Gather-once/apply-many two-qudit path: the vector arm
+            // cache-blocks pair-units into an L1-resident tile; the
+            // scalar form is one shared dense sweep body with the stack
+            // scratch sized to the 16-wide blocks the fusion layer
+            // produces instead of the 64-wide general buffer.
+            if simd::dense_sweep(&ctx, u.as_slice(), true) {
+                return;
+            }
             dense_block_sweep::<MAX_TWO_QUDIT_BLOCK>(
                 reg, others, total, parallel, min_amps, shared, offsets, u,
             );
@@ -531,6 +693,9 @@ pub(crate) fn apply(
         GateKernel::SingleQudit | GateKernel::TwoQudit | GateKernel::GeneralDense
             if block <= MAX_STACK_BLOCK =>
         {
+            if simd::dense_sweep(&ctx, u.as_slice(), false) {
+                return;
+            }
             dense_block_sweep::<MAX_STACK_BLOCK>(
                 reg, others, total, parallel, min_amps, shared, offsets, u,
             );
@@ -670,6 +835,7 @@ unsafe fn walk_cycle(
 }
 
 /// Diagonal gate on one qudit: scale contiguous level slices in place.
+#[allow(clippy::too_many_arguments)]
 fn apply_diagonal_single(
     amps: &mut [C64],
     reg: &Register,
@@ -677,11 +843,15 @@ fn apply_diagonal_single(
     q: usize,
     parallel: bool,
     min_amps: usize,
+    level: SimdLevel,
 ) {
     let stride = reg.stride(q);
     let dim = reg.dim(q);
     let span = stride * dim;
     let scale_block = |chunk: &mut [C64]| {
+        if simd::scale_diag_chunk(level, chunk, phases, stride) {
+            return;
+        }
         for block in chunk.chunks_exact_mut(span) {
             for (lvl, &phase) in phases.iter().enumerate() {
                 if phase == C64::ONE {

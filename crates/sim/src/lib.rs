@@ -49,6 +49,42 @@
 //! pulse. Fused programs run through the same [`ideal`] / [`trajectory`]
 //! entry points and are parity-pinned against the unfused engine.
 //!
+//! # SIMD dispatch & threading
+//!
+//! Every sweep body exists in two forms: a portable scalar loop (always
+//! compiled, the parity reference) and an explicit AVX2+FMA form in
+//! [`simd`] working on 256-bit lanes over the interleaved complex
+//! layout. One [`SimdLevel`] picks between them at run time; detection
+//! order is
+//!
+//! 1. the `WALTZ_SIMD` environment variable (`0`/`off`/`scalar` forces
+//!    the scalar bodies),
+//! 2. `is_x86_feature_detected!("avx2")` **and** `("fma")` on x86_64,
+//! 3. scalar everywhere else.
+//!
+//! The level is probed once per process, stored per [`Workspace`], and
+//! overridable per workspace with [`Workspace::set_simd_level`] (requests
+//! for unavailable levels clamp to scalar). The vector arms pair
+//! consecutive sweep configurations along the innermost stride-1
+//! non-operand qudit — see the [`simd`] module docs — and fall back to
+//! the scalar body whenever no pairing exists, so results never depend on
+//! shape-specific support.
+//!
+//! Threaded sweeps are gated by a measured threshold: the first
+//! [`Workspace::new`] in a process times a serial vs. split diagonal
+//! sweep at increasing state sizes and records the smallest size where
+//! splitting wins ([`DEFAULT_PAR_MIN_AMPS`] is the ladder's middle
+//! rung; single-core hosts calibrate to "never split"). The
+//! `WALTZ_PAR_MIN_AMPS` environment variable or
+//! [`Workspace::set_par_min_amps`] overrides the calibration.
+//! Trajectory ensembles run on the persistent [`TrajectoryPool`]
+//! (`WALTZ_TRAJ_THREADS` caps its workers): workers steal trajectory
+//! indices one at a time, every trajectory derives its RNG seed from its
+//! *global* index, and each worker reuses one `Workspace` + state
+//! buffers across trajectories — so for a fixed seed the estimate is
+//! bit-identical no matter the thread count, including the pure serial
+//! path.
+//!
 //! # Windowed registers (segmented schedules)
 //!
 //! A [`SegmentedCircuit`] is a schedule cut at the points where a
@@ -92,10 +128,14 @@ mod wire;
 
 pub mod ideal;
 pub mod kernel;
+pub mod pool;
+pub mod simd;
 pub mod trajectory;
 
 pub use kernel::{GateKernel, Workspace, DEFAULT_PAR_MIN_AMPS};
+pub use pool::TrajectoryPool;
 pub use register::Register;
 pub use session::{SegmentedSession, Session};
+pub use simd::SimdLevel;
 pub use state::{State, RESHAPE_LEAK_TOL};
 pub use timed::{FuseCache, FuseOptions, NoiseEvent, SegmentedCircuit, TimedCircuit, TimedOp};

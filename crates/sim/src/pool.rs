@@ -1,0 +1,352 @@
+//! Persistent worker pool for trajectory ensembles.
+//!
+//! The trajectory estimators are embarrassingly parallel — hundreds of
+//! independent noisy replays, each a few milliseconds — but the engine
+//! used to pay a `thread::spawn` per worker *per estimate call*, and
+//! static chunking meant an early-stopped run (via
+//! [`crate::trajectory::HealthPolicy`]) left whole chunks idle.
+//! [`TrajectoryPool`] fixes both:
+//!
+//! * workers are spawned **once** and parked on a condvar between runs,
+//!   so per-call overhead is one lock + notify;
+//! * work is **stolen** one trajectory index at a time from a shared
+//!   atomic counter, so stragglers and early stops keep every core busy;
+//! * each worker lazily builds one per-run state (a `Workspace` plus
+//!   reusable state buffers) and carries it across all the trajectories
+//!   it claims — no per-trajectory allocation.
+//!
+//! Determinism: the pool hands out *global* trajectory indices, and the
+//! trajectory layer derives each replay's RNG seed from that index alone.
+//! Results land in per-index slots, so a fixed seed produces bit-identical
+//! estimates for any thread count — including the inline serial path a
+//! 1-thread pool takes.
+//!
+//! The process-wide default pool ([`TrajectoryPool::global`]) sizes
+//! itself to `available_parallelism`, overridable with the
+//! `WALTZ_TRAJ_THREADS` environment variable.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// A task published to the helper threads for one run: called once per
+/// helper with its worker index. The `'static` is a lie told by
+/// [`TrajectoryPool::run`], which erases the real (shorter) lifetime and
+/// is sound because it never returns before every helper has finished
+/// with the reference.
+type Task = &'static (dyn Fn(usize) + Sync);
+
+/// What the helpers watch: an epoch counter (bumped per published task),
+/// the task itself, and how many helpers have yet to finish it.
+struct PoolState {
+    epoch: u64,
+    task: Option<Task>,
+    remaining: usize,
+    panicked: bool,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Helpers park here between runs.
+    work_cv: Condvar,
+    /// The publishing caller parks here until `remaining` hits zero.
+    done_cv: Condvar,
+}
+
+struct Helpers {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+/// A persistent pool of worker threads for trajectory ensembles.
+///
+/// See the [module docs](self) for semantics. A pool with one thread
+/// spawns nothing and runs every task inline on the caller; calls into a
+/// wider pool are serialized by an internal lock (the caller participates
+/// as worker 0, helpers are workers `1..threads`).
+pub struct TrajectoryPool {
+    threads: usize,
+    helpers: Option<Helpers>,
+    run_lock: Mutex<()>,
+}
+
+impl TrajectoryPool {
+    /// Creates a pool with exactly `threads` workers (clamped to at
+    /// least 1). `threads - 1` helper threads are spawned immediately;
+    /// the caller of [`TrajectoryPool::run_units`] is always worker 0.
+    pub fn new(threads: usize) -> TrajectoryPool {
+        let threads = threads.max(1);
+        let helpers = (threads > 1).then(|| {
+            let shared = Arc::new(Shared {
+                state: Mutex::new(PoolState {
+                    epoch: 0,
+                    task: None,
+                    remaining: 0,
+                    panicked: false,
+                    shutdown: false,
+                }),
+                work_cv: Condvar::new(),
+                done_cv: Condvar::new(),
+            });
+            let handles = (1..threads)
+                .map(|worker| {
+                    let shared = Arc::clone(&shared);
+                    std::thread::Builder::new()
+                        .name(format!("waltz-traj-{worker}"))
+                        .spawn(move || helper_loop(shared, worker))
+                        .expect("spawn trajectory worker")
+                })
+                .collect();
+            Helpers { shared, handles }
+        });
+        TrajectoryPool {
+            threads,
+            helpers,
+            run_lock: Mutex::new(()),
+        }
+    }
+
+    /// A single-threaded pool: every task runs inline on the caller.
+    pub fn serial() -> TrajectoryPool {
+        TrajectoryPool::new(1)
+    }
+
+    /// The process-wide shared pool, created on first use with
+    /// `WALTZ_TRAJ_THREADS` workers if that variable is set (clamped to
+    /// `1..=256`), else one worker per available core.
+    pub fn global() -> Arc<TrajectoryPool> {
+        static GLOBAL: OnceLock<Arc<TrajectoryPool>> = OnceLock::new();
+        Arc::clone(GLOBAL.get_or_init(|| Arc::new(TrajectoryPool::new(default_threads()))))
+    }
+
+    /// Number of workers (caller included).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `units` independent work items across the pool with
+    /// work-stealing: workers repeatedly claim the next unclaimed global
+    /// index `g` and call `f(state, g)`, where `state` is built at most
+    /// once per worker per call by `init(worker)` (workers that never
+    /// claim a unit never build one).
+    ///
+    /// Blocks until every unit has run. If any worker panics, the panic
+    /// is re-raised here — after all other workers have finished, so no
+    /// borrow published to the pool outlives the call.
+    pub fn run_units<S, I, F>(&self, units: usize, init: I, f: F)
+    where
+        I: Fn(usize) -> S + Sync,
+        F: Fn(&mut S, usize) + Sync,
+    {
+        if units == 0 {
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        self.run(&|worker| {
+            let mut state: Option<S> = None;
+            loop {
+                let g = next.fetch_add(1, Ordering::Relaxed);
+                if g >= units {
+                    break;
+                }
+                f(state.get_or_insert_with(|| init(worker)), g);
+            }
+        });
+    }
+
+    /// Publishes `f` to every helper and runs it as worker 0, returning
+    /// once all workers are done.
+    fn run(&self, f: &(dyn Fn(usize) + Sync)) {
+        // A panic re-raised below poisons this lock; it guards no data,
+        // so a poisoned acquisition is still a valid serialization.
+        let _serialize = self.run_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(helpers) = &self.helpers else {
+            f(0);
+            return;
+        };
+        // SAFETY: the erased reference is only reachable by the helper
+        // threads between here and the `remaining == 0` wait below; we
+        // do not return (even on panic) until that wait completes, so
+        // the reference never outlives the closure it points to.
+        let task: Task = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f)
+        };
+        {
+            let mut st = helpers.shared.state.lock().unwrap();
+            st.epoch += 1;
+            st.task = Some(task);
+            st.remaining = self.threads - 1;
+            st.panicked = false;
+            helpers.shared.work_cv.notify_all();
+        }
+        let caller = catch_unwind(AssertUnwindSafe(|| f(0)));
+        let helper_panicked = {
+            let mut st = helpers.shared.state.lock().unwrap();
+            while st.remaining > 0 {
+                st = helpers.shared.done_cv.wait(st).unwrap();
+            }
+            st.task = None;
+            st.panicked
+        };
+        match caller {
+            Err(payload) => resume_unwind(payload),
+            Ok(()) if helper_panicked => panic!("trajectory pool worker panicked"),
+            Ok(()) => {}
+        }
+    }
+}
+
+impl Drop for TrajectoryPool {
+    fn drop(&mut self) {
+        if let Some(helpers) = self.helpers.take() {
+            {
+                let mut st = helpers.shared.state.lock().unwrap();
+                st.shutdown = true;
+                helpers.shared.work_cv.notify_all();
+            }
+            for handle in helpers.handles {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for TrajectoryPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrajectoryPool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+fn helper_loop(shared: Arc<Shared>, worker: usize) {
+    let mut seen = 0u64;
+    loop {
+        let task = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen {
+                    seen = st.epoch;
+                    break st.task.expect("published epoch carries a task");
+                }
+                st = shared.work_cv.wait(st).unwrap();
+            }
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| task(worker)));
+        let mut st = shared.state.lock().unwrap();
+        if result.is_err() {
+            st.panicked = true;
+        }
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+fn default_threads() -> usize {
+    if let Some(n) = std::env::var("WALTZ_TRAJ_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        return n.clamp(1, 256);
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn serial_pool_runs_inline_and_in_order() {
+        let pool = TrajectoryPool::serial();
+        assert_eq!(pool.threads(), 1);
+        let seen = Mutex::new(Vec::new());
+        pool.run_units(5, |w| w, |&mut w, g| seen.lock().unwrap().push((w, g)));
+        assert_eq!(
+            *seen.lock().unwrap(),
+            vec![(0, 0), (0, 1), (0, 2), (0, 3), (0, 4)]
+        );
+    }
+
+    #[test]
+    fn every_unit_runs_exactly_once() {
+        let pool = TrajectoryPool::new(4);
+        let hits: Vec<AtomicU64> = (0..137).map(|_| AtomicU64::new(0)).collect();
+        pool.run_units(
+            hits.len(),
+            |_| (),
+            |(), g| {
+                hits[g].fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        // The pool is reusable: a second run sees fresh counters.
+        pool.run_units(
+            hits.len(),
+            |_| (),
+            |(), g| {
+                hits[g].fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 2));
+    }
+
+    #[test]
+    fn init_runs_at_most_once_per_worker() {
+        let pool = TrajectoryPool::new(3);
+        let inits = AtomicU64::new(0);
+        pool.run_units(
+            64,
+            |w| {
+                inits.fetch_add(1, Ordering::Relaxed);
+                w
+            },
+            |_, _| {},
+        );
+        let n = inits.load(Ordering::Relaxed);
+        assert!((1..=3).contains(&n), "saw {n} inits");
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let pool = TrajectoryPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_units(
+                8,
+                |_| (),
+                |(), g| {
+                    if g == 3 {
+                        panic!("boom");
+                    }
+                },
+            );
+        }));
+        assert!(result.is_err());
+        // Still usable after a panicking run.
+        let count = AtomicU64::new(0);
+        pool.run_units(
+            8,
+            |_| (),
+            |(), _| {
+                count.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(count.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn zero_units_is_a_no_op() {
+        let pool = TrajectoryPool::new(2);
+        pool.run_units(0, |_| panic!("init must not run"), |_: &mut (), _| {});
+    }
+}

@@ -16,6 +16,7 @@ use rand::SeedableRng;
 use waltz_noise::{pauli, NoiseModel};
 
 use crate::kernel::Workspace;
+use crate::pool::TrajectoryPool;
 use crate::{ideal, SegmentedCircuit, State, TimedCircuit};
 
 /// Runs one noisy trajectory, returning the final (normalized) state.
@@ -267,14 +268,31 @@ pub struct FidelityEstimate {
 /// trajectory a fresh random qubit-product state is drawn (§6.4, "random
 /// quantum states as classical inputs are not always affected by quantum
 /// errors"), the ideal and noisy final states are computed, and their
-/// overlap recorded.
+/// overlap recorded. Runs on the process-wide [`TrajectoryPool`].
 pub fn average_fidelity(
     circuit: &TimedCircuit,
     noise: &NoiseModel,
     trajectories: usize,
     seed: u64,
 ) -> FidelityEstimate {
-    average_fidelity_with(circuit, noise, trajectories, seed, |_, rng, out| {
+    average_fidelity_on(
+        &TrajectoryPool::global(),
+        circuit,
+        noise,
+        trajectories,
+        seed,
+    )
+}
+
+/// [`average_fidelity`] on a caller-chosen [`TrajectoryPool`].
+pub fn average_fidelity_on(
+    pool: &TrajectoryPool,
+    circuit: &TimedCircuit,
+    noise: &NoiseModel,
+    trajectories: usize,
+    seed: u64,
+) -> FidelityEstimate {
+    average_fidelity_with_on(pool, circuit, noise, trajectories, seed, |_, rng, out| {
         out.fill_random_qubit_product(rng)
     })
 }
@@ -282,13 +300,13 @@ pub fn average_fidelity(
 /// [`average_fidelity`] with a custom initial-state factory.
 ///
 /// The factory **writes into a caller-owned buffer** (`write_initial(reg,
-/// rng, out)` overwrites `out` in place): each worker thread owns one
+/// rng, out)` overwrites `out` in place): each pool worker owns one
 /// [`Workspace`] and a fixed set of state buffers reused across all of
-/// its trajectories, so the steady-state loop performs no per-trajectory
-/// heap allocation at all — not even for the initial state. The ideal
-/// output is memoized per worker: when the factory is deterministic
-/// (ignores its RNG, e.g. a fixed input state), the noiseless circuit
-/// runs once per worker instead of once per trajectory.
+/// the trajectories it steals, so the steady-state loop performs no
+/// per-trajectory heap allocation at all — not even for the initial
+/// state. The ideal output is memoized per worker: when the factory is
+/// deterministic (ignores its RNG, e.g. a fixed input state), the
+/// noiseless circuit runs once per worker instead of once per trajectory.
 pub fn average_fidelity_with(
     circuit: &TimedCircuit,
     noise: &NoiseModel,
@@ -296,6 +314,63 @@ pub fn average_fidelity_with(
     seed: u64,
     write_initial: impl Fn(&crate::Register, &mut StdRng, &mut State) + Sync,
 ) -> FidelityEstimate {
+    average_fidelity_with_on(
+        &TrajectoryPool::global(),
+        circuit,
+        noise,
+        trajectories,
+        seed,
+        write_initial,
+    )
+}
+
+/// [`average_fidelity_with`] on a caller-chosen [`TrajectoryPool`].
+pub fn average_fidelity_with_on(
+    pool: &TrajectoryPool,
+    circuit: &TimedCircuit,
+    noise: &NoiseModel,
+    trajectories: usize,
+    seed: u64,
+    write_initial: impl Fn(&crate::Register, &mut StdRng, &mut State) + Sync,
+) -> FidelityEstimate {
+    estimate_from(&fidelity_samples_with_on(
+        pool,
+        circuit,
+        noise,
+        trajectories,
+        seed,
+        write_initial,
+    ))
+}
+
+/// The raw per-trajectory fidelity samples behind [`average_fidelity`]:
+/// `samples[g]` is the fidelity of the trajectory with global index `g`,
+/// whose RNG seed depends only on `(seed, g)` — so the vector is
+/// bit-identical for any pool width, and downstream consumers (the serve
+/// layer's replay check, incremental tallies) can reference individual
+/// trajectories stably.
+pub fn fidelity_samples_on(
+    pool: &TrajectoryPool,
+    circuit: &TimedCircuit,
+    noise: &NoiseModel,
+    trajectories: usize,
+    seed: u64,
+) -> Vec<f64> {
+    fidelity_samples_with_on(pool, circuit, noise, trajectories, seed, |_, rng, out| {
+        out.fill_random_qubit_product(rng)
+    })
+}
+
+/// [`fidelity_samples_on`] with a custom initial-state factory (the
+/// sample-vector form of [`average_fidelity_with_on`]).
+pub fn fidelity_samples_with_on(
+    pool: &TrajectoryPool,
+    circuit: &TimedCircuit,
+    noise: &NoiseModel,
+    trajectories: usize,
+    seed: u64,
+    write_initial: impl Fn(&crate::Register, &mut StdRng, &mut State) + Sync,
+) -> Vec<f64> {
     struct Worker {
         ws: Workspace,
         initial: State,
@@ -304,7 +379,8 @@ pub fn average_fidelity_with(
         cached_initial: State,
         ideal_cached: bool,
     }
-    estimate_over_trajectories(
+    sample_over_trajectories(
+        pool,
         trajectories,
         seed,
         || Worker {
@@ -328,41 +404,52 @@ pub fn average_fidelity_with(
     )
 }
 
-/// The one Monte-Carlo driver behind every fidelity estimator: splits
-/// `trajectories` across worker threads (one chunk per worker), hands
-/// each worker its own buffer state from `make_worker`, and collects one
-/// fidelity per trajectory from `run_one`. Centralizing the chunking and
-/// the per-trajectory seeding here is what guarantees the whole-program
-/// and segmented estimators consume **identical** seed streams.
-fn estimate_over_trajectories<W>(
+/// Per-index fidelity slots written concurrently by pool workers. Sound
+/// because [`TrajectoryPool::run_units`] hands out each global index
+/// exactly once, so distinct workers never touch the same slot.
+struct SharedSlots(*mut f64);
+unsafe impl Sync for SharedSlots {}
+unsafe impl Send for SharedSlots {}
+
+impl SharedSlots {
+    /// # Safety
+    ///
+    /// `idx` must be in bounds and claimed by exactly one worker.
+    unsafe fn write(&self, idx: usize, value: f64) {
+        unsafe { *self.0.add(idx) = value }
+    }
+}
+
+/// The one Monte-Carlo driver behind every fidelity estimator: workers
+/// steal global trajectory indices from `pool`, each carrying one buffer
+/// state from `make_worker` across all the indices it claims, and
+/// `run_one`'s fidelity lands in the per-index slot. Centralizing the
+/// stealing and the per-index seeding here is what guarantees (a) the
+/// whole-program and segmented estimators consume **identical** seed
+/// streams and (b) the sample vector does not depend on the pool width.
+fn sample_over_trajectories<W>(
+    pool: &TrajectoryPool,
     trajectories: usize,
     seed: u64,
     make_worker: impl Fn() -> W + Sync,
     run_one: impl Fn(&mut W, &mut StdRng) -> f64 + Sync,
-) -> FidelityEstimate {
+) -> Vec<f64> {
     assert!(trajectories > 0, "need at least one trajectory");
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(trajectories);
     let mut fidelities = vec![0.0f64; trajectories];
-    let chunk_size = trajectories.div_ceil(threads);
-    std::thread::scope(|scope| {
-        let chunks: Vec<_> = fidelities.chunks_mut(chunk_size).enumerate().collect();
-        for (chunk_idx, chunk) in chunks {
-            let (make_worker, run_one) = (&make_worker, &run_one);
-            scope.spawn(move || {
-                let mut worker = make_worker();
-                for (i, f) in chunk.iter_mut().enumerate() {
-                    #[cfg(feature = "fault-inject")]
-                    crate::fault::begin_trajectory(chunk_idx * chunk_size + i);
-                    let mut rng = StdRng::seed_from_u64(trajectory_seed(seed, chunk_idx, i));
-                    *f = run_one(&mut worker, &mut rng);
-                }
-            });
-        }
-    });
-    estimate_from(&fidelities)
+    let slots = SharedSlots(fidelities.as_mut_ptr());
+    pool.run_units(
+        trajectories,
+        |_| make_worker(),
+        |worker, g| {
+            #[cfg(feature = "fault-inject")]
+            crate::fault::begin_trajectory(g);
+            let mut rng = StdRng::seed_from_u64(trajectory_seed(seed, g));
+            let f = run_one(worker, &mut rng);
+            // SAFETY: `g` is in `0..trajectories` and claimed once.
+            unsafe { slots.write(g, f) };
+        },
+    );
+    fidelities
 }
 
 /// Mean and Bessel-corrected standard error of a fidelity sample.
@@ -384,10 +471,12 @@ fn estimate_from(fidelities: &[f64]) -> FidelityEstimate {
     }
 }
 
-/// Deterministic per-trajectory RNG seed (applied inside
-/// [`estimate_over_trajectories`]).
-fn trajectory_seed(seed: u64, chunk_idx: usize, i: usize) -> u64 {
-    seed.wrapping_add((chunk_idx * 1_000_003 + i) as u64)
+/// Deterministic RNG seed of the trajectory with global index `g` — a
+/// function of `(seed, g)` only, never of which worker ran it or how the
+/// indices were distributed, which is what makes every estimate
+/// thread-count-invariant.
+fn trajectory_seed(seed: u64, g: usize) -> u64 {
+    seed.wrapping_add(g as u64)
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
@@ -439,12 +528,16 @@ pub struct RunHealth {
     pub early_stopped: bool,
 }
 
-/// The supervised counterpart of [`estimate_over_trajectories`]: same
-/// threading, chunking and per-trajectory seed stream, plus per-trajectory
+/// The supervised counterpart of [`sample_over_trajectories`]: same pool,
+/// same work-stealing and per-index seed stream, plus per-trajectory
 /// health guards, an optional early stop on the running standard error,
 /// and (under `fault-inject`) per-trajectory arming of the amplitude
-/// poison. `run_one` returns `(fidelity, final_noisy_norm)`.
+/// poison. Because indices are stolen one at a time, an early stop or a
+/// straggling trajectory never strands a static chunk: every worker stays
+/// busy until the stop flag flips. `run_one` returns
+/// `(fidelity, final_noisy_norm)`.
 fn estimate_supervised<W>(
+    pool: &TrajectoryPool,
     trajectories: usize,
     seed: u64,
     policy: &HealthPolicy,
@@ -454,61 +547,53 @@ fn estimate_supervised<W>(
     use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
     assert!(trajectories > 0, "need at least one trajectory");
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(trajectories);
-    let chunk_size = trajectories.div_ceil(threads);
     // NaN marks a slot that never produced a healthy sample (skipped by
     // early stop, or quarantined); the final estimate is taken over the
     // finite slots only.
     let mut fidelities = vec![f64::NAN; trajectories];
+    let slots = SharedSlots(fidelities.as_mut_ptr());
     let stop = AtomicBool::new(false);
     let quarantined = AtomicUsize::new(0);
     // Running (count, sum, sum of squares) over healthy samples, for the
     // early-stop standard-error check.
     let tally = Mutex::new((0usize, 0.0f64, 0.0f64));
-    std::thread::scope(|scope| {
-        for (chunk_idx, chunk) in fidelities.chunks_mut(chunk_size).enumerate() {
-            let (make_worker, run_one) = (&make_worker, &run_one);
-            let (stop, quarantined, tally, policy) = (&stop, &quarantined, &tally, &policy);
-            scope.spawn(move || {
-                let mut worker = make_worker();
-                for (i, slot) in chunk.iter_mut().enumerate() {
-                    if stop.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    #[cfg(feature = "fault-inject")]
-                    crate::fault::begin_trajectory(chunk_idx * chunk_size + i);
-                    let mut rng = StdRng::seed_from_u64(trajectory_seed(seed, chunk_idx, i));
-                    let (f, norm) = run_one(&mut worker, &mut rng);
-                    let healthy = f.is_finite()
-                        && norm.is_finite()
-                        && f >= -policy.fidelity_tolerance
-                        && f <= 1.0 + policy.fidelity_tolerance
-                        && norm <= 1.0 + policy.max_norm_growth;
-                    if !healthy {
-                        quarantined.fetch_add(1, Ordering::Relaxed);
-                        continue;
-                    }
-                    *slot = f;
-                    if let Some(target) = policy.target_std_error {
-                        let mut t = tally.lock().unwrap_or_else(PoisonError::into_inner);
-                        t.0 += 1;
-                        t.1 += f;
-                        t.2 += f * f;
-                        if t.0 >= policy.min_trajectories.max(2) {
-                            let n = t.0 as f64;
-                            let var = ((t.2 - t.1 * t.1 / n) / (n - 1.0)).max(0.0);
-                            if (var / n).sqrt() <= target {
-                                stop.store(true, Ordering::Relaxed);
-                            }
-                        }
+    pool.run_units(
+        trajectories,
+        |_| make_worker(),
+        |worker, g| {
+            if stop.load(Ordering::Relaxed) {
+                return;
+            }
+            #[cfg(feature = "fault-inject")]
+            crate::fault::begin_trajectory(g);
+            let mut rng = StdRng::seed_from_u64(trajectory_seed(seed, g));
+            let (f, norm) = run_one(worker, &mut rng);
+            let healthy = f.is_finite()
+                && norm.is_finite()
+                && f >= -policy.fidelity_tolerance
+                && f <= 1.0 + policy.fidelity_tolerance
+                && norm <= 1.0 + policy.max_norm_growth;
+            if !healthy {
+                quarantined.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            // SAFETY: `g` is in `0..trajectories` and claimed once.
+            unsafe { slots.write(g, f) };
+            if let Some(target) = policy.target_std_error {
+                let mut t = tally.lock().unwrap_or_else(PoisonError::into_inner);
+                t.0 += 1;
+                t.1 += f;
+                t.2 += f * f;
+                if t.0 >= policy.min_trajectories.max(2) {
+                    let n = t.0 as f64;
+                    let var = ((t.2 - t.1 * t.1 / n) / (n - 1.0)).max(0.0);
+                    if (var / n).sqrt() <= target {
+                        stop.store(true, Ordering::Relaxed);
                     }
                 }
-            });
-        }
-    });
+            }
+        },
+    );
     let kept: Vec<f64> = fidelities
         .iter()
         .copied()
@@ -549,11 +634,53 @@ pub fn average_fidelity_supervised(
     })
 }
 
+/// [`average_fidelity_supervised`] on a caller-chosen [`TrajectoryPool`].
+pub fn average_fidelity_supervised_on(
+    pool: &TrajectoryPool,
+    circuit: &TimedCircuit,
+    noise: &NoiseModel,
+    trajectories: usize,
+    seed: u64,
+    policy: &HealthPolicy,
+) -> (FidelityEstimate, RunHealth) {
+    average_fidelity_supervised_with_on(
+        pool,
+        circuit,
+        noise,
+        trajectories,
+        seed,
+        policy,
+        |_, rng, out| out.fill_random_qubit_product(rng),
+    )
+}
+
 /// [`average_fidelity_supervised`] with a custom initial-state factory;
 /// same buffer-reuse and seed-stream discipline as
 /// [`average_fidelity_with`], so a fully healthy supervised run (no
 /// quarantine, no early stop) reproduces its estimate exactly.
 pub fn average_fidelity_supervised_with(
+    circuit: &TimedCircuit,
+    noise: &NoiseModel,
+    trajectories: usize,
+    seed: u64,
+    policy: &HealthPolicy,
+    write_initial: impl Fn(&crate::Register, &mut StdRng, &mut State) + Sync,
+) -> (FidelityEstimate, RunHealth) {
+    average_fidelity_supervised_with_on(
+        &TrajectoryPool::global(),
+        circuit,
+        noise,
+        trajectories,
+        seed,
+        policy,
+        write_initial,
+    )
+}
+
+/// [`average_fidelity_supervised_with`] on a caller-chosen
+/// [`TrajectoryPool`].
+pub fn average_fidelity_supervised_with_on(
+    pool: &TrajectoryPool,
     circuit: &TimedCircuit,
     noise: &NoiseModel,
     trajectories: usize,
@@ -570,6 +697,7 @@ pub fn average_fidelity_supervised_with(
         ideal_cached: bool,
     }
     estimate_supervised(
+        pool,
         trajectories,
         seed,
         policy,
@@ -613,10 +741,53 @@ pub fn average_fidelity_segmented_supervised(
     )
 }
 
+/// [`average_fidelity_segmented_supervised`] on a caller-chosen
+/// [`TrajectoryPool`].
+pub fn average_fidelity_segmented_supervised_on(
+    pool: &TrajectoryPool,
+    circuit: &SegmentedCircuit,
+    noise: &NoiseModel,
+    trajectories: usize,
+    seed: u64,
+    policy: &HealthPolicy,
+) -> (FidelityEstimate, RunHealth) {
+    average_fidelity_segmented_supervised_with_on(
+        pool,
+        circuit,
+        noise,
+        trajectories,
+        seed,
+        policy,
+        |_, rng, out| out.fill_random_qubit_product(rng),
+    )
+}
+
 /// [`average_fidelity_segmented_supervised`] with a custom initial-state
 /// factory; same buffers and seed stream as
 /// [`average_fidelity_segmented_with`].
 pub fn average_fidelity_segmented_supervised_with(
+    circuit: &SegmentedCircuit,
+    noise: &NoiseModel,
+    trajectories: usize,
+    seed: u64,
+    policy: &HealthPolicy,
+    write_initial: impl Fn(&crate::Register, &mut StdRng, &mut State) + Sync,
+) -> (FidelityEstimate, RunHealth) {
+    average_fidelity_segmented_supervised_with_on(
+        &TrajectoryPool::global(),
+        circuit,
+        noise,
+        trajectories,
+        seed,
+        policy,
+        write_initial,
+    )
+}
+
+/// [`average_fidelity_segmented_supervised_with`] on a caller-chosen
+/// [`TrajectoryPool`].
+pub fn average_fidelity_segmented_supervised_with_on(
+    pool: &TrajectoryPool,
     circuit: &SegmentedCircuit,
     noise: &NoiseModel,
     trajectories: usize,
@@ -635,6 +806,7 @@ pub fn average_fidelity_segmented_supervised_with(
         ideal_cached: bool,
     }
     estimate_supervised(
+        pool,
         trajectories,
         seed,
         policy,
@@ -694,6 +866,19 @@ pub fn average_fidelity_segmented(
     })
 }
 
+/// [`average_fidelity_segmented`] on a caller-chosen [`TrajectoryPool`].
+pub fn average_fidelity_segmented_on(
+    pool: &TrajectoryPool,
+    circuit: &SegmentedCircuit,
+    noise: &NoiseModel,
+    trajectories: usize,
+    seed: u64,
+) -> FidelityEstimate {
+    average_fidelity_segmented_with_on(pool, circuit, noise, trajectories, seed, |_, rng, out| {
+        out.fill_random_qubit_product(rng)
+    })
+}
+
 /// [`average_fidelity_segmented`] with a custom initial-state factory
 /// (`write_initial(first_register, rng, out)` overwrites `out` in place).
 ///
@@ -711,6 +896,47 @@ pub fn average_fidelity_segmented_with(
     seed: u64,
     write_initial: impl Fn(&crate::Register, &mut StdRng, &mut State) + Sync,
 ) -> FidelityEstimate {
+    average_fidelity_segmented_with_on(
+        &TrajectoryPool::global(),
+        circuit,
+        noise,
+        trajectories,
+        seed,
+        write_initial,
+    )
+}
+
+/// [`average_fidelity_segmented_with`] on a caller-chosen
+/// [`TrajectoryPool`].
+pub fn average_fidelity_segmented_with_on(
+    pool: &TrajectoryPool,
+    circuit: &SegmentedCircuit,
+    noise: &NoiseModel,
+    trajectories: usize,
+    seed: u64,
+    write_initial: impl Fn(&crate::Register, &mut StdRng, &mut State) + Sync,
+) -> FidelityEstimate {
+    estimate_from(&fidelity_samples_segmented_with_on(
+        pool,
+        circuit,
+        noise,
+        trajectories,
+        seed,
+        write_initial,
+    ))
+}
+
+/// The segmented counterpart of [`fidelity_samples_with_on`]: raw
+/// per-global-index fidelity samples over a windowed-register schedule,
+/// bit-identical for any pool width.
+pub fn fidelity_samples_segmented_with_on(
+    pool: &TrajectoryPool,
+    circuit: &SegmentedCircuit,
+    noise: &NoiseModel,
+    trajectories: usize,
+    seed: u64,
+    write_initial: impl Fn(&crate::Register, &mut StdRng, &mut State) + Sync,
+) -> Vec<f64> {
     struct Worker {
         ws: Workspace,
         initial: State,
@@ -721,7 +947,8 @@ pub fn average_fidelity_segmented_with(
         cached_initial: State,
         ideal_cached: bool,
     }
-    estimate_over_trajectories(
+    sample_over_trajectories(
+        pool,
         trajectories,
         seed,
         || {

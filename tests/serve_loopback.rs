@@ -10,9 +10,6 @@
 
 use std::sync::OnceLock;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
 use quantum_waltz::circuit::Circuit;
 use quantum_waltz::core::{
     CompileArtifact, CompileError, CompileOptions, CompiledCircuit, Compiler, JobReport, JobStatus,
@@ -326,17 +323,14 @@ fn remote_simulation_matches_a_local_replay_of_the_same_seed() {
         .expect("remote simulate");
     assert_eq!(remote.fidelities.len(), trajectories);
 
-    // Local replay of the server's exact loop, on the artifact the wire
-    // delivered: bit-for-bit the same stream of fidelities.
-    let mut sim = artifact.simulate();
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut local = Vec::with_capacity(trajectories);
-    for _ in 0..trajectories {
-        let initial = sim.random_initial_state(&mut rng);
-        let ideal = sim.run_ideal(&initial).clone();
-        let noisy = sim.run_trajectory(&initial, &mut rng);
-        local.push(noisy.fidelity(&ideal));
-    }
+    // Local replay of the server's exact sampler, on the artifact the
+    // wire delivered: bit-for-bit the same stream of fidelities. Seeds
+    // derive from (request seed, trajectory index), so this holds for
+    // any trajectory-pool width on either side.
+    let local = artifact
+        .simulate()
+        .with_seed(seed)
+        .fidelity_samples(trajectories);
     assert_eq!(
         remote.fidelities, local,
         "remote stream drifted from local replay"

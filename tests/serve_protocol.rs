@@ -1,4 +1,4 @@
-//! The serve protocol's wire contract: the v1 frame stream is pinned by
+//! The serve protocol's wire contract: the current frame stream is pinned by
 //! a golden-bytes fixture (regenerate with `WALTZ_REGEN_GOLDEN=1` — only
 //! when `PROTOCOL_VERSION` revs, with a matching fixture filename), and
 //! a live server answers malformed, truncated, oversized and
@@ -178,7 +178,7 @@ proptest! {
     }
 
     #[test]
-    fn fuzzed_foreign_version_is_always_typed(version in 2u32..u32::MAX) {
+    fn fuzzed_foreign_version_is_always_typed(version in PROTOCOL_VERSION + 1..u32::MAX) {
         let bytes = raw_frame(FRAME_MAGIC, version, 0, &[]);
         let frame = send_expect_error(&bytes);
         prop_assert_eq!(frame.code, ErrorCode::UNSUPPORTED_VERSION);
@@ -230,7 +230,7 @@ fn error_codes_are_pinned_protocol_constants() {
     // These numeric values are wire contract: changing any of them (or
     // the protocol version / magic) requires a PROTOCOL_VERSION bump and
     // a regenerated golden fixture.
-    assert_eq!(PROTOCOL_VERSION, 1);
+    assert_eq!(PROTOCOL_VERSION, 2);
     assert_eq!(&FRAME_MAGIC, b"WSRV");
     assert_eq!(MAX_FRAME_BYTES, 64 << 20);
     assert_eq!(ErrorCode::MALFORMED_FRAME.0, 1);
