@@ -3,9 +3,11 @@
 //! vs. the generic dense path, with a guard-aware parallel column),
 //! windowed vs. whole-register vs. unfused vs. kernel-demoted vs.
 //! register-padded trajectory throughput on the cnu-6q benchmark plus a
-//! trajectories/sec-vs-threads scaling curve, per-strategy state bytes
+//! trajectories/sec-vs-threads scaling curve, dense vs. density-adaptive
+//! sparse throughput on basis inputs with the sparse support trajectory
+//! (peak nnz, densities, final representation), per-strategy state bytes
 //! with per-segment occupancy and reshape counts, compile times, and
-//! per-pass pipeline wall times (schema `bench_sim/v6`).
+//! per-pass pipeline wall times (schema `bench_sim/v7`).
 //!
 //! Usage: `cargo run --release -p waltz-bench --bin bench_sim [--out PATH]
 //! [--budget-ms N]`.
@@ -20,9 +22,12 @@ use waltz_bench::runner;
 use waltz_circuits::generalized_toffoli;
 use waltz_core::{CompileOptions, Compiler, Strategy};
 use waltz_gates::GateLibrary;
-use waltz_math::Matrix;
+use waltz_math::{Matrix, C64};
 use waltz_noise::NoiseModel;
-use waltz_sim::{GateKernel, Register, SimdLevel, State, TrajectoryPool, Workspace};
+use waltz_sim::{
+    ideal, trajectory, AdaptiveState, GateKernel, Register, SimdLevel, SparsePolicy, SparseState,
+    State, TrajectoryPool, Workspace,
+};
 
 /// One gate-apply comparison: the specialized kernel at the detected
 /// SIMD tier (serial and parallel workspaces) against the same kernel
@@ -227,6 +232,27 @@ fn main() {
             padded_rate = padded_rate.max(r);
         }
         let (est, est_unfused) = (est.expect("measured"), est_unfused.expect("measured"));
+        // Honesty guards on the headline windowed-vs-whole column. When
+        // the analysis produced no segmented schedule the "windowed" run
+        // executes the identical whole-register code path, so (as in
+        // `apply_case`) the column reports the whole-register rate
+        // instead of presenting timer noise as a speedup or regression.
+        // When it did split, the pair gets two extra interleaved
+        // best-of-N rounds: on a single-core host best-of-3 still lets
+        // timer jitter read as a sub-1.0 "regression" (0.992 on
+        // mixed-radix), and best-of-5 converges both sides onto their
+        // true best rate.
+        let windowed_split = compiled.sim_segments().is_some();
+        if windowed_split {
+            for _ in 0..2 {
+                let (_, r) = runner::simulate_timed(&compiled, &noise, trajectories, 7);
+                rate = rate.max(r);
+                let (_, r) = runner::simulate_timed(&whole, &noise, trajectories, 7);
+                whole_rate = whole_rate.max(r);
+            }
+        } else {
+            rate = whole_rate;
+        }
         let register = &whole.timed.register;
         let mut occupancy = JsonObject::new();
         for dim in [2u8, 4u8] {
@@ -268,6 +294,110 @@ fn main() {
                         .join(","),
                 ),
             };
+        // --- Dense vs density-adaptive sparse, on basis inputs. ----------
+        // Random product inputs are dense from the first op, so the
+        // adaptive engine is exercised where it matters: classical
+        // basis-state inputs (the Toffoli/qram regime the sparse
+        // representation exists for), same schedule, same noise, same
+        // seed on both sides.
+        let policy = SparsePolicy::default();
+        let basis_dense = |_reg: &Register, _rng: &mut StdRng, out: &mut State| {
+            out.fill_product_with(|_, lvl| if lvl == 0 { C64::ONE } else { C64::ZERO });
+        };
+        let basis_sparse = |_reg: &Register, _rng: &mut StdRng, out: &mut SparseState| {
+            out.fill_basis(0);
+        };
+        let (mut dense_basis_rate, mut adaptive_basis_rate) = (0.0f64, 0.0f64);
+        for _ in 0..3 {
+            let t0 = std::time::Instant::now();
+            match compiled.sim_segments() {
+                Some(seg) => {
+                    trajectory::average_fidelity_segmented_with(
+                        seg,
+                        &noise,
+                        trajectories,
+                        7,
+                        basis_dense,
+                    );
+                }
+                None => {
+                    trajectory::average_fidelity_with(
+                        compiled.sim_circuit(),
+                        &noise,
+                        trajectories,
+                        7,
+                        basis_dense,
+                    );
+                }
+            }
+            dense_basis_rate =
+                dense_basis_rate.max(trajectories as f64 / t0.elapsed().as_secs_f64().max(1e-9));
+            let t0 = std::time::Instant::now();
+            match compiled.sim_segments() {
+                Some(seg) => {
+                    trajectory::average_fidelity_segmented_adaptive_with(
+                        seg,
+                        &noise,
+                        trajectories,
+                        7,
+                        &policy,
+                        basis_sparse,
+                    );
+                }
+                None => {
+                    trajectory::average_fidelity_adaptive_with(
+                        compiled.sim_circuit(),
+                        &noise,
+                        trajectories,
+                        7,
+                        &policy,
+                        basis_sparse,
+                    );
+                }
+            }
+            adaptive_basis_rate =
+                adaptive_basis_rate.max(trajectories as f64 / t0.elapsed().as_secs_f64().max(1e-9));
+        }
+        // One noiseless adaptive run traces the support: peak nnz, the
+        // density it implies against the dense amplitude count, and
+        // which representation the state ended in.
+        let mut sparse_ws = Workspace::serial();
+        sparse_ws.set_sparse_density_threshold(policy.density_threshold);
+        sparse_ws.set_sparse_epsilon(policy.epsilon);
+        let (nnz_peak, sparse_peak_bytes, density_final, repr_final) = match compiled.sim_segments()
+        {
+            Some(seg) => {
+                let initial = SparseState::basis(seg.first_register(), 0);
+                let mut out = AdaptiveState::zero(seg.first_register());
+                let mut scratch = AdaptiveState::zero(seg.first_register());
+                ideal::run_segmented_adaptive_into(
+                    seg,
+                    &initial,
+                    &mut out,
+                    &mut scratch,
+                    &mut sparse_ws,
+                );
+                (
+                    out.peak_nnz(),
+                    out.peak_state_bytes(),
+                    out.density(),
+                    if out.is_dense() { "dense" } else { "sparse" },
+                )
+            }
+            None => {
+                let tc = compiled.sim_circuit();
+                let initial = SparseState::basis(&tc.register, 0);
+                let mut out = AdaptiveState::zero(&tc.register);
+                ideal::run_adaptive_into(tc, &initial, &mut out, &mut sparse_ws);
+                (
+                    out.peak_nnz(),
+                    out.peak_state_bytes(),
+                    out.density(),
+                    if out.is_dense() { "dense" } else { "sparse" },
+                )
+            }
+        };
+        let dense_peak_amps = (peak_bytes / 16).max(1);
         let mut t = JsonObject::new();
         t.num("trajectories_per_sec", rate)
             .num("trajectories_per_sec_whole", whole_rate)
@@ -275,9 +405,28 @@ fn main() {
             .num("trajectories_per_sec_dense", dense_rate)
             .num("trajectories_per_sec_padded", padded_rate)
             .num("speedup_windowed_vs_whole", rate / whole_rate)
+            .int("windowed_split", u64::from(windowed_split))
             .num("speedup_fused_vs_unfused", whole_rate / unfused_rate)
             .num("speedup_unfused_vs_dense", unfused_rate / dense_rate)
             .num("speedup_demoted_vs_padded", whole_rate / padded_rate)
+            .num("trajectories_per_sec_dense_basis", dense_basis_rate)
+            .num("trajectories_per_sec_adaptive_basis", adaptive_basis_rate)
+            .num(
+                "speedup_adaptive_vs_dense_basis",
+                adaptive_basis_rate / dense_basis_rate,
+            )
+            .int("sparse_nnz_peak_basis", nnz_peak as u64)
+            .int("sparse_state_bytes_peak_basis", sparse_peak_bytes as u64)
+            .num(
+                "sparse_density_peak_basis",
+                nnz_peak as f64 / dense_peak_amps as f64,
+            )
+            .num("sparse_density_final_basis", density_final)
+            .str("sparse_repr_final_basis", repr_final)
+            .int(
+                "sparse_state_bytes_pred",
+                compiled.sparse_state_bytes_pred().unwrap_or(0) as u64,
+            )
             .int("state_bytes", register.state_bytes() as u64)
             .int(
                 "state_bytes_padded",
@@ -314,6 +463,17 @@ fn main() {
             padded.timed.register.total_dim(),
             register.total_dim(),
             est.mean
+        );
+        println!(
+            "trajectory/cnu-6q/{:<22} basis: dense {:>8.0} traj/s  adaptive {:>8.0} traj/s \
+             ({:.2}x)  nnz peak {} / {} amps  final repr {}",
+            strategy.name(),
+            dense_basis_rate,
+            adaptive_basis_rate,
+            adaptive_basis_rate / dense_basis_rate,
+            nnz_peak,
+            dense_peak_amps,
+            repr_final
         );
     }
 
@@ -363,12 +523,12 @@ fn main() {
     let threads = host_cores;
     let mut report = JsonObject::new();
     report
-        .str("schema", "bench_sim/v6")
+        .str("schema", "bench_sim/v7")
         .str(
             "bench",
             "SIMD-vectorized kernel-specialized state-vector engine + gate fusion + \
              occupancy-demoted registers + windowed (time-sliced) registers + pooled \
-             trajectory engine",
+             trajectory engine + density-adaptive sparse amplitude-map state",
         )
         .int("threads", threads as u64)
         .int("host_cores", host_cores as u64)

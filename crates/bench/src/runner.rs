@@ -143,11 +143,14 @@ pub fn evaluate(
 /// [`evaluate`] run through a budgeted [`Supervisor`] instead of a
 /// boolean skip: the job compiles under a [`MAX_STATE_BYTES`] state-byte
 /// budget, an over-budget register walks the supervisor's degradation
-/// ladder (forced windowing, then the whole-program demoted register)
-/// before the point is given up on, and only a structured
-/// [`CompileError::OverBudget`] rejection — no rung fits — returns
-/// `Ok(None)`. The per-circuit follow-up to the optimistic [`simulable`]
-/// pre-filter.
+/// ladder (forced windowing, then the whole-program demoted register,
+/// then sparse admission) before the point is given up on, and a
+/// structured [`CompileError::OverBudget`] rejection — no rung fits —
+/// returns `Ok(None)`. Sparse-admitted artifacts
+/// ([`waltz_core::Degradation::Sparse`]) also return `Ok(None)`: they
+/// fit the budget only under the density-adaptive engine on basis
+/// inputs, not this sweep's dense random-input trajectories. The
+/// per-circuit follow-up to the optimistic [`simulable`] pre-filter.
 ///
 /// # Errors
 ///
@@ -165,7 +168,16 @@ pub fn try_evaluate(
         compiler_for(strategy, lib),
         SupervisorPolicy::default().with_state_budget_bytes(MAX_STATE_BYTES),
     );
-    let compiled = match supervisor.compile_one(circuit).result {
+    let job = supervisor.compile_one(circuit);
+    // A sparse-admitted artifact fits the budget only under the
+    // density-adaptive engine on basis inputs; this sweep runs dense
+    // random-product-input trajectories, so simulating it here would
+    // blow the very budget it was admitted under. Skip the point like a
+    // budget rejection.
+    if job.degradation == waltz_core::Degradation::Sparse {
+        return Ok(None);
+    }
+    let compiled = match job.result {
         Ok(artifact) => artifact,
         Err(CompileError::OverBudget { .. }) => return Ok(None),
         Err(e) => return Err(e),

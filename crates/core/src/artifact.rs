@@ -101,6 +101,24 @@ impl CompileArtifact {
             .expect("pipeline records every pass")
     }
 
+    /// The analyze pass's predicted peak sparse state size in bytes
+    /// (the `sparse_state_bytes_pred` diagnostic): the basis-input
+    /// support bound walked over the simulation schedule, times the
+    /// bytes one sparse amplitude-map entry occupies. `None` for
+    /// artifacts whose analyze report predates the sparse predictor
+    /// (e.g. decoded from an old wire frame). The supervisor's budget
+    /// ladder uses this as its last rung: an otherwise over-budget
+    /// artifact is admitted as [`crate::Degradation::Sparse`] when this
+    /// prediction fits.
+    pub fn sparse_state_bytes_pred(&self) -> Option<usize> {
+        self.reports
+            .iter()
+            .find(|r| r.pass == Pass::Analyze)?
+            .diagnostic("sparse_state_bytes_pred")?
+            .parse()
+            .ok()
+    }
+
     /// Total wall-clock compile time across all passes, in milliseconds.
     pub fn total_wall_ms(&self) -> f64 {
         self.reports.iter().map(|r| r.wall_ms).sum()

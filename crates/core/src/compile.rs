@@ -88,8 +88,8 @@ pub enum CompileError {
     },
     /// The compiled register needs more state bytes than the supervisor's
     /// budget allows, even after walking the degradation ladder
-    /// (windowed → whole-program-demoted) — the structured rejection that
-    /// replaces silently skipping the job.
+    /// (windowed → whole-program-demoted → sparse admission) — the
+    /// structured rejection that replaces silently skipping the job.
     OverBudget {
         /// Peak state bytes of the smallest artifact any degradation rung
         /// produced.

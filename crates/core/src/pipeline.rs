@@ -126,6 +126,56 @@ impl PassReport {
 /// [`Register::state_bytes`] by construction.
 const STATE_BYTES_PER_AMP: usize = std::mem::size_of::<waltz_math::C64>();
 
+/// Bytes one sparse amplitude-map entry occupies (packed basis index
+/// plus amplitude) — the unit of the analyze pass's sparse-size
+/// prediction, kept identical to `SparseState::state_bytes` by
+/// construction.
+const SPARSE_BYTES_PER_ENTRY: usize = std::mem::size_of::<(u64, waltz_math::C64)>();
+
+/// Predicted peak sparse support (nonzero amplitude count) of the
+/// compiled simulation schedule, assuming a classical basis input
+/// (support 1). Identity, diagonal and permutation kernels preserve the
+/// support exactly; dense kernels multiply it by the gate's block
+/// dimension; the (segment) register size caps it. Windowed schedules
+/// walk each segment in order with the support carried across reshape
+/// boundaries (a reshape never grows the support).
+fn predict_sparse_peak_nnz(compiled: &crate::compile::CompiledCircuit) -> usize {
+    fn walk(ops: &[waltz_sim::TimedOp], total: u128, nnz: &mut u128, peak: &mut u128) {
+        *nnz = (*nnz).min(total.max(1));
+        *peak = (*peak).max(*nnz);
+        for op in ops {
+            match &op.kernel {
+                GateKernel::Identity
+                | GateKernel::Diagonal { .. }
+                | GateKernel::Permutation { .. } => {}
+                _ => *nnz = (*nnz * op.unitary.rows() as u128).min(total.max(1)),
+            }
+            *peak = (*peak).max(*nnz);
+        }
+    }
+    let mut nnz: u128 = 1;
+    let mut peak: u128 = 1;
+    if let Some(segmented) = compiled.sim_segments() {
+        for segment in &segmented.segments {
+            walk(
+                &segment.ops,
+                segment.register.total_dim() as u128,
+                &mut nnz,
+                &mut peak,
+            );
+        }
+    } else {
+        let circuit = compiled.sim_circuit();
+        walk(
+            &circuit.ops,
+            circuit.register.total_dim() as u128,
+            &mut nnz,
+            &mut peak,
+        );
+    }
+    peak.min(usize::MAX as u128) as usize
+}
+
 /// Number of distinct pulse start times — the scheduled analogue of
 /// circuit depth.
 fn schedule_depth(timed: &TimedCircuit) -> usize {
@@ -392,8 +442,13 @@ impl Compiler {
         // more sweep-bytes than the reshape copy costs.
         begin_pass(Pass::Analyze, deadline, budget_ms)?;
         let t0 = Instant::now();
-        let bytes_of =
-            |dims: &[u8]| STATE_BYTES_PER_AMP * dims.iter().map(|&d| d as usize).product::<usize>();
+        // Saturating like `Register::state_bytes`: a 38-qubit register's
+        // byte count must not wrap into something a budget would admit.
+        let bytes_of = |dims: &[u8]| {
+            dims.iter()
+                .map(|&d| d as usize)
+                .fold(STATE_BYTES_PER_AMP, usize::saturating_mul)
+        };
         let padded_bytes = bytes_of(out.prog.dims());
         if !self.options.padded_registers {
             out.prog.demote_to_occupancy();
@@ -610,6 +665,44 @@ impl Compiler {
             depth_out: sim_depth,
             diagnostics: lower_diagnostics,
         });
+
+        // -- Sparse-representation prediction ------------------------------
+        // Appended to the analyze report retroactively: the prediction
+        // walks the *fused* simulation schedule (fusion reclassifies
+        // blocks, which changes which ops preserve the support), so it
+        // cannot run until the Fuse pass has.
+        let sparse_peak_nnz = predict_sparse_peak_nnz(&compiled);
+        let sparse_bytes_pred = sparse_peak_nnz.saturating_mul(SPARSE_BYTES_PER_ENTRY);
+        let dense_bytes_peak = compiled.sim_state_bytes_peak();
+        if let Some(analyze) = reports.iter_mut().find(|r| r.pass == Pass::Analyze) {
+            analyze
+                .diagnostics
+                .push(("sparse_peak_nnz_pred".into(), sparse_peak_nnz.to_string()));
+            analyze.diagnostics.push((
+                "sparse_state_bytes_pred".into(),
+                sparse_bytes_pred.to_string(),
+            ));
+            analyze.diagnostics.push((
+                "repr_plan".into(),
+                if sparse_bytes_pred < dense_bytes_peak {
+                    "sparse"
+                } else {
+                    "dense"
+                }
+                .to_string(),
+            ));
+            analyze.diagnostics.push((
+                "sparse_density_threshold".into(),
+                self.options
+                    .sparse_density_threshold()
+                    .unwrap_or(waltz_sim::DEFAULT_SPARSE_DENSITY_THRESHOLD)
+                    .to_string(),
+            ));
+            analyze.diagnostics.push((
+                "sparse_epsilon".into(),
+                self.options.sparse_epsilon().unwrap_or(0.0).to_string(),
+            ));
+        }
 
         let artifact = CompileArtifact::new(compiled, reports, self.target.noise().clone());
         if let (Some(cache), Some(key)) = (&self.artifact_cache, cache_key) {

@@ -94,6 +94,21 @@ pub struct CompileOptions {
     /// outweigh the byte savings. `Some(0)` restores the pure
     /// byte-seconds balance.
     pub window_sweep_fixed: Option<usize>,
+    /// Override for the sparse → dense density threshold the simulation
+    /// layer's adaptive states switch at
+    /// ([`waltz_sim::DEFAULT_SPARSE_DENSITY_THRESHOLD`] when `None`).
+    /// Stored as the `f64`'s IEEE-754 bit pattern so the options stay
+    /// `Eq + Hash` (compile-cache keys); use
+    /// [`CompileOptions::with_sparse_density_threshold`] /
+    /// [`CompileOptions::sparse_density_threshold`] to set/read the
+    /// float. The analyze pass records the effective value in its
+    /// diagnostics so simulation hosts configure their workspaces from
+    /// the artifact.
+    pub sparse_density_threshold_bits: Option<u64>,
+    /// Override for the sparse truncation epsilon (`0.0`, lossless, when
+    /// `None`). Same bit-pattern encoding as
+    /// [`CompileOptions::sparse_density_threshold_bits`].
+    pub sparse_epsilon_bits: Option<u64>,
 }
 
 impl Default for CompileOptions {
@@ -106,6 +121,8 @@ impl Default for CompileOptions {
             padded_registers: false,
             windowed_registers: true,
             window_sweep_fixed: None,
+            sparse_density_threshold_bits: None,
+            sparse_epsilon_bits: None,
         }
     }
 }
@@ -158,6 +175,31 @@ impl CompileOptions {
     pub fn with_window_sweep_fixed(mut self, fixed: usize) -> Self {
         self.window_sweep_fixed = Some(fixed);
         self
+    }
+
+    /// Pins the sparse → dense density threshold adaptive simulation of
+    /// this artifact should switch at (clamped to be non-negative; `0.0`
+    /// forces dense from the first apply, above `1.0` never densifies).
+    pub fn with_sparse_density_threshold(mut self, threshold: f64) -> Self {
+        self.sparse_density_threshold_bits = Some(threshold.max(0.0).to_bits());
+        self
+    }
+
+    /// The pinned sparse density threshold, if any.
+    pub fn sparse_density_threshold(&self) -> Option<f64> {
+        self.sparse_density_threshold_bits.map(f64::from_bits)
+    }
+
+    /// Pins the sparse truncation epsilon (clamped to be non-negative;
+    /// nonzero values trade norm for entry count and are not lossless).
+    pub fn with_sparse_epsilon(mut self, epsilon: f64) -> Self {
+        self.sparse_epsilon_bits = Some(epsilon.max(0.0).to_bits());
+        self
+    }
+
+    /// The pinned sparse truncation epsilon, if any.
+    pub fn sparse_epsilon(&self) -> Option<f64> {
+        self.sparse_epsilon_bits.map(f64::from_bits)
     }
 }
 

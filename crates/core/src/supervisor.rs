@@ -23,9 +23,11 @@
 //!   is an admission limit on the artifact's peak simulation state size
 //!   ([`crate::CompiledCircuit::sim_state_bytes_peak`]). An over-budget
 //!   job walks the degradation ladder — forced windowed registers, then
-//!   the whole-program demoted register — and only when no rung fits does
-//!   it reject with [`CompileError::OverBudget`] carrying the smallest
-//!   peak any rung achieved. The budget is a live knob
+//!   the whole-program demoted register, then sparse admission of the
+//!   original artifact when the analyze pass predicts its
+//!   density-adaptive state fits ([`Degradation::Sparse`]) — and only
+//!   when no rung fits does it reject with [`CompileError::OverBudget`]
+//!   carrying the smallest dense peak any rung achieved. The budget is a live knob
 //!   ([`Supervisor::set_budget_bytes`]): shrinking it mid-batch applies
 //!   to every job admitted after the change.
 
@@ -191,6 +193,14 @@ pub enum Degradation {
     Windowed,
     /// The whole-program demoted register to fit the budget.
     WholeDemoted,
+    /// No register shape fit densely, but the analyze pass's sparse
+    /// state-size prediction
+    /// ([`crate::CompileArtifact::sparse_state_bytes_pred`]) does: the
+    /// *original* artifact is admitted on the promise that a
+    /// density-adaptive simulation (basis inputs, sparse amplitude map)
+    /// stays within the budget. Dense random-input sweeps must not be
+    /// run against such an artifact.
+    Sparse,
 }
 
 /// The per-job outcome of a supervised compilation.
@@ -489,6 +499,7 @@ impl Supervisor {
         if limit != usize::MAX {
             if let Ok(artifact) = &result {
                 let mut needed = artifact.sim_state_bytes_peak();
+                let sparse_pred = artifact.sparse_state_bytes_pred();
                 if needed > limit {
                     let base = *self.compiler.options();
                     let ladder = [
@@ -539,6 +550,21 @@ impl Supervisor {
                         Some((rung, candidate)) => {
                             result = Ok(candidate);
                             degradation = rung;
+                        }
+                        // Last rung: no dense register shape fits, but
+                        // the sparse state-size prediction does — admit
+                        // the *original* artifact for density-adaptive
+                        // simulation. `needed` keeps reporting the dense
+                        // requirement so a rejection (prediction also
+                        // over budget) stays honest about what a dense
+                        // run would take. `WALTZ_SPARSE=0` closes this
+                        // rung: forced-dense simulation of such an
+                        // artifact would blow the very budget it was
+                        // admitted under.
+                        None if waltz_sim::sparse_enabled()
+                            && sparse_pred.is_some_and(|bytes| bytes <= limit) =>
+                        {
+                            degradation = Degradation::Sparse;
                         }
                         None => result = Err(CompileError::OverBudget { needed, limit }),
                     }
@@ -688,6 +714,65 @@ mod tests {
         assert_eq!(job.degradation, Degradation::Windowed);
         assert!(job.retried);
         assert!(job.result.unwrap().sim_state_bytes_peak() <= windowed_peak);
+    }
+
+    #[test]
+    fn sparse_rung_admits_the_original_artifact() {
+        // A permutation-only circuit: X/CX pulses never grow the
+        // basis-input support, so the analyze pass predicts a one-entry
+        // sparse state no matter how large the dense register is.
+        let mut circuit = Circuit::new(6);
+        circuit.x(0).cx(0, 1).cx(1, 2).cx(2, 3).cx(3, 4).cx(4, 5);
+        let compiler = Compiler::new(Target::paper(Strategy::mixed_radix_ccz()));
+        let artifact = compiler.compile(&circuit).unwrap();
+        let pred = artifact
+            .sparse_state_bytes_pred()
+            .expect("analyze records the sparse prediction");
+        let dense_peak = artifact.sim_state_bytes_peak();
+        assert!(
+            pred < dense_peak,
+            "sparse-rung test needs a circuit whose sparse prediction ({pred}) \
+             beats the dense peak ({dense_peak})"
+        );
+        // A budget below every dense rung but above the prediction: only
+        // the sparse rung can admit.
+        let windowed_opts = crate::CompileOptions::default()
+            .with_windowed_registers(true)
+            .with_window_sweep_fixed(0);
+        let whole_opts = crate::CompileOptions::default().with_windowed_registers(false);
+        let rung_min = [windowed_opts, whole_opts]
+            .into_iter()
+            .map(|o| {
+                compiler
+                    .reoptioned(o)
+                    .compile(&circuit)
+                    .unwrap()
+                    .sim_state_bytes_peak()
+            })
+            .min()
+            .unwrap()
+            .min(dense_peak);
+        let budget = rung_min - 1;
+        assert!(pred <= budget);
+        let supervisor = Supervisor::with_policy(
+            compiler,
+            SupervisorPolicy::default().with_state_budget_bytes(budget),
+        );
+        let job = supervisor.compile_one(&circuit);
+        if waltz_sim::sparse_enabled() {
+            assert_eq!(job.status, JobStatus::Ok);
+            assert_eq!(job.degradation, Degradation::Sparse);
+            assert!(job.retried);
+            // The rung admits the *original* artifact: its dense peak
+            // still exceeds the budget — only the adaptive engine fits.
+            let admitted = job.result.unwrap();
+            assert!(admitted.sim_state_bytes_peak() > budget);
+            assert_eq!(admitted.sparse_state_bytes_pred(), Some(pred));
+        } else {
+            // WALTZ_SPARSE=0 closes the rung: forced-dense simulation
+            // cannot honor a sparse admission.
+            assert_eq!(job.status, JobStatus::OverBudget);
+        }
     }
 
     #[test]

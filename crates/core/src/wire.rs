@@ -159,6 +159,8 @@ impl Encode for CompileOptions {
         w.put_bool(self.padded_registers);
         w.put_bool(self.windowed_registers);
         self.window_sweep_fixed.encode(w);
+        self.sparse_density_threshold_bits.encode(w);
+        self.sparse_epsilon_bits.encode(w);
     }
 }
 
@@ -172,6 +174,8 @@ impl Decode for CompileOptions {
             padded_registers: r.get_bool()?,
             windowed_registers: r.get_bool()?,
             window_sweep_fixed: Option::decode(r)?,
+            sparse_density_threshold_bits: Option::decode(r)?,
+            sparse_epsilon_bits: Option::decode(r)?,
         })
     }
 }
@@ -500,6 +504,7 @@ impl Encode for Degradation {
             Degradation::SafePipeline => 1,
             Degradation::Windowed => 2,
             Degradation::WholeDemoted => 3,
+            Degradation::Sparse => 4,
         });
     }
 }
@@ -511,6 +516,7 @@ impl Decode for Degradation {
             1 => Degradation::SafePipeline,
             2 => Degradation::Windowed,
             3 => Degradation::WholeDemoted,
+            4 => Degradation::Sparse,
             tag => {
                 return Err(DecodeError::BadTag {
                     ty: "Degradation",
@@ -656,6 +662,9 @@ mod tests {
                 .with_fuse_constants(7, 1234)
                 .with_max_fused_span(3)
                 .with_window_sweep_fixed(0),
+            CompileOptions::default()
+                .with_sparse_density_threshold(0.125)
+                .with_sparse_epsilon(1e-10),
         ] {
             let bytes = encode_to_vec(&options);
             let back: CompileOptions = decode_from_slice(&bytes).unwrap();

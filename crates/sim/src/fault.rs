@@ -58,13 +58,20 @@ pub fn begin_trajectory(global_index: usize) {
 /// Per-op hook in the trajectory loop: counts down and poisons the state
 /// when the armed op index is reached.
 pub(crate) fn tick_op(out: &mut State) {
+    tick_op_with(|| out.poison_first_amplitude());
+}
+
+/// [`tick_op`] for state representations other than the dense [`State`]:
+/// counts down identically and invokes `poison` when the armed op index
+/// is reached.
+pub(crate) fn tick_op_with(poison: impl FnOnce()) {
     COUNTDOWN.with(|c| {
         let remaining = c.get();
         if remaining < 0 {
             return;
         }
         if remaining == 0 {
-            out.poison_first_amplitude();
+            poison();
         }
         c.set(remaining - 1);
     });

@@ -7,7 +7,8 @@
 //! pulse, which is where the fusion pass earns its keep.
 
 use crate::kernel::Workspace;
-use crate::{SegmentedCircuit, State, TimedCircuit};
+use crate::sparse::{AdaptiveState, SparseState};
+use crate::{SegmentedCircuit, State, TimedCircuit, RESHAPE_LEAK_TOL};
 
 /// Runs the circuit on `initial` with no noise, returning the final state.
 ///
@@ -88,6 +89,74 @@ pub fn run_segmented_into(
         if k > 0 {
             scratch.remap(&segment.register);
             out.reshape_into(scratch);
+            std::mem::swap(out, scratch);
+        }
+        for op in &segment.ops {
+            out.apply_op(op, ws);
+        }
+    }
+}
+
+/// [`run_into`] on a density-adaptive state: starts from a sparse
+/// initial state, applies every op through the representation-switching
+/// [`AdaptiveState::apply_op`], and leaves the final state (in whichever
+/// representation it ended up) in `out`. The workspace's
+/// [`Workspace::sparse_density_threshold`] / `sparse_epsilon` knobs
+/// govern the switching.
+///
+/// # Panics
+///
+/// Panics if the initial state's register differs from the circuit's.
+pub fn run_adaptive_into(
+    circuit: &TimedCircuit,
+    initial: &SparseState,
+    out: &mut AdaptiveState,
+    ws: &mut Workspace,
+) {
+    assert_eq!(
+        initial.register(),
+        &circuit.register,
+        "state register does not match circuit register"
+    );
+    out.reset_from_sparse(initial, ws);
+    for op in &circuit.ops {
+        out.apply_op(op, ws);
+    }
+}
+
+/// [`run_segmented_into`] on density-adaptive rolling buffers: between
+/// segments the state is reshaped through
+/// [`AdaptiveState::reshape_into_lossy`] — which is also where a dense
+/// state may drop back to sparse — and, as in the strict dense reshape,
+/// a clipped amplitude above [`RESHAPE_LEAK_TOL`] panics (noiseless
+/// occupancy analysis must prove clipped levels unpopulated).
+///
+/// # Panics
+///
+/// Panics if the initial state's register differs from the first
+/// segment's, or a reshape clips a nonzero amplitude.
+pub fn run_segmented_adaptive_into(
+    circuit: &SegmentedCircuit,
+    initial: &SparseState,
+    out: &mut AdaptiveState,
+    scratch: &mut AdaptiveState,
+    ws: &mut Workspace,
+) {
+    assert_eq!(
+        initial.register(),
+        circuit.first_register(),
+        "state register does not match the first segment"
+    );
+    out.reset_from_sparse(initial, ws);
+    for (k, segment) in circuit.segments.iter().enumerate() {
+        if k > 0 {
+            scratch.remap(&segment.register);
+            let leaked = out.reshape_into_lossy(scratch, ws);
+            assert!(
+                leaked <= RESHAPE_LEAK_TOL * RESHAPE_LEAK_TOL,
+                "reshape clipped a nonzero amplitude (probability {leaked:.3e}): \
+                 the occupancy analysis must prove clipped levels unpopulated"
+            );
             std::mem::swap(out, scratch);
         }
         for op in &segment.ops {

@@ -36,7 +36,7 @@ pub const CLASSIFY_TOL: f64 = 1e-14;
 /// Largest dense block applied through stack buffers; bigger blocks fall
 /// back to a heap-allocating serial path (beyond any gate this workspace
 /// compiles — three ququart operands give a block of 64).
-const MAX_STACK_BLOCK: usize = 64;
+pub(crate) const MAX_STACK_BLOCK: usize = 64;
 
 /// Largest two-qudit dense block (two ququarts) — the dedicated
 /// gather-once/apply-many path below uses scratch of exactly this size.
@@ -247,6 +247,15 @@ pub struct Workspace {
     pub(crate) par_min_amps: usize,
     /// The SIMD tier the sweep bodies run at.
     pub(crate) simd: SimdLevel,
+    /// nnz/amps ratio above which an adaptive state switches sparse →
+    /// dense (see [`crate::sparse::AdaptiveState`]).
+    pub(crate) sparse_density_threshold: f64,
+    /// Truncation epsilon for sparse entry rebuilds (`0.0` = lossless).
+    pub(crate) sparse_epsilon: f64,
+    /// Sparse gather-scatter scratch: (coset base, operand sub, amp).
+    pub(crate) sparse_gather: Vec<(u64, u32, C64)>,
+    /// Sparse rebuilt-entry scratch.
+    pub(crate) sparse_out: Vec<(u64, C64)>,
 }
 
 impl Workspace {
@@ -279,6 +288,10 @@ impl Workspace {
             parallel,
             par_min_amps: par_min_amps.max(1),
             simd: SimdLevel::detect(),
+            sparse_density_threshold: crate::sparse::DEFAULT_SPARSE_DENSITY_THRESHOLD,
+            sparse_epsilon: 0.0,
+            sparse_gather: Vec::new(),
+            sparse_out: Vec::new(),
         }
     }
 
@@ -314,6 +327,32 @@ impl Workspace {
         } else {
             level
         };
+    }
+
+    /// The nnz/amps density above which an adaptive state through this
+    /// workspace switches sparse → dense
+    /// ([`crate::sparse::DEFAULT_SPARSE_DENSITY_THRESHOLD`] by default).
+    pub fn sparse_density_threshold(&self) -> f64 {
+        self.sparse_density_threshold
+    }
+
+    /// Overrides the sparse → dense density threshold (clamped to be
+    /// non-negative; `0.0` densifies on first apply, anything above
+    /// `1.0` never densifies).
+    pub fn set_sparse_density_threshold(&mut self, threshold: f64) {
+        self.sparse_density_threshold = threshold.max(0.0);
+    }
+
+    /// The truncation epsilon the sparse rebuild arms apply through
+    /// this workspace (`0.0` by default — exact zeros only, lossless).
+    pub fn sparse_epsilon(&self) -> f64 {
+        self.sparse_epsilon
+    }
+
+    /// Overrides the sparse truncation epsilon (clamped to be
+    /// non-negative).
+    pub fn set_sparse_epsilon(&mut self, epsilon: f64) {
+        self.sparse_epsilon = epsilon.max(0.0);
     }
 
     /// Whether [`crate::State::apply_op`] through this workspace would

@@ -85,6 +85,42 @@
 //! bit-identical no matter the thread count, including the pure serial
 //! path.
 //!
+//! # State representations (dense vs sparse)
+//!
+//! The engine has two state representations behind one interface:
+//!
+//! * **Dense** — [`State`], one amplitude per basis state (16 bytes
+//!   each), SIMD + threaded sweeps. The reference representation.
+//! * **Sparse** — [`SparseState`], a sorted `(index, amplitude)` map
+//!   holding only nonzero amplitudes (24 bytes per entry), with
+//!   kernel-specialized arms: diagonal gates phase the stored entries
+//!   in place, permutations remap indices and re-sort, and dense blocks
+//!   gather each populated operand-stride coset into a stack buffer and
+//!   run the *same scalar matvec form* as the dense sweep — so with
+//!   truncation epsilon `0` the sparse arms are bit-identical to the
+//!   scalar dense path on every nonzero amplitude.
+//!
+//! [`AdaptiveState`] switches between them per trajectory: it starts
+//! sparse and densifies when the population density `nnz/amps` crosses
+//! [`Workspace::sparse_density_threshold`]
+//! ([`sparse::DEFAULT_SPARSE_DENSITY_THRESHOLD`] by default), and at
+//! reshape/segment boundaries — where every amplitude is re-scanned
+//! anyway — a dense state whose surviving population fits back under
+//! the threshold is rebuilt sparse. Knobs: `WALTZ_SPARSE=0` forces the
+//! dense path everywhere (mirrors `WALTZ_SIMD=0`);
+//! [`Workspace::set_sparse_density_threshold`] and
+//! [`Workspace::set_sparse_epsilon`] tune the switch point and the
+//! truncation epsilon (nonzero epsilon trades norm for entry count and
+//! is *not* lossless). The adaptive trajectory runners
+//! ([`trajectory::run_trajectory_adaptive_into`],
+//! [`trajectory::average_fidelity_adaptive_with`], and the segmented
+//! twins) consume RNG streams identical to the dense runners, so for a
+//! fixed seed an estimate is invariant under the representation path
+//! and the pool width. Classical basis inputs through
+//! Toffoli-ladder/qram-style circuits stay at a handful of entries
+//! inside registers far past dense reach — the sparse map is what lets
+//! 20+ qubit mixed-radix programs run inside a 256 MiB budget.
+//!
 //! # Windowed registers (segmented schedules)
 //!
 //! A [`SegmentedCircuit`] is a schedule cut at the points where a
@@ -130,6 +166,7 @@ pub mod ideal;
 pub mod kernel;
 pub mod pool;
 pub mod simd;
+pub mod sparse;
 pub mod trajectory;
 
 pub use kernel::{GateKernel, Workspace, DEFAULT_PAR_MIN_AMPS};
@@ -137,5 +174,8 @@ pub use pool::TrajectoryPool;
 pub use register::Register;
 pub use session::{SegmentedSession, Session};
 pub use simd::SimdLevel;
+pub use sparse::{
+    sparse_enabled, AdaptiveState, SparsePolicy, SparseState, DEFAULT_SPARSE_DENSITY_THRESHOLD,
+};
 pub use state::{State, RESHAPE_LEAK_TOL};
 pub use timed::{FuseCache, FuseOptions, NoiseEvent, SegmentedCircuit, TimedCircuit, TimedOp};

@@ -55,9 +55,12 @@ impl Register {
         let n = dims.len();
         let mut strides = vec![1usize; n];
         for i in (0..n - 1).rev() {
-            strides[i] = strides[i + 1] * dims[i + 1] as usize;
+            // Saturating: a register only a sparse state can represent
+            // (≥ 2^63 amplitudes on 64-bit) must not wrap these into
+            // small numbers that look affordable to byte budgets.
+            strides[i] = strides[i + 1].saturating_mul(dims[i + 1] as usize);
         }
-        let total = strides[0] * dims[0] as usize;
+        let total = strides[0].saturating_mul(dims[0] as usize);
         Register {
             dims,
             strides,
@@ -97,9 +100,12 @@ impl Register {
 
     /// Bytes a state vector over this register occupies (16 bytes per
     /// complex amplitude) — the quantity simulation byte budgets are
-    /// written against.
+    /// written against. Saturates: a register too large to even *size*
+    /// in bytes (≥ 2^60 amplitudes) reports `usize::MAX`, not a wrapped
+    /// small number a budget check would happily admit.
     pub fn state_bytes(&self) -> usize {
-        self.total * std::mem::size_of::<waltz_math::C64>()
+        self.total
+            .saturating_mul(std::mem::size_of::<waltz_math::C64>())
     }
 
     /// Row-major stride of qudit `q`.

@@ -942,7 +942,7 @@ impl SegmentedCircuit {
         let weighted: f64 = self
             .segments
             .iter()
-            .map(|s| (s.len() * s.register.state_bytes()) as f64)
+            .map(|s| s.len() as f64 * s.register.state_bytes() as f64)
             .sum();
         weighted / ops as f64
     }

@@ -13,11 +13,80 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
 
-use waltz_noise::{pauli, NoiseModel};
+use waltz_noise::{pauli, CoherenceModel, NoiseModel, PauliOp};
 
 use crate::kernel::Workspace;
 use crate::pool::TrajectoryPool;
-use crate::{ideal, SegmentedCircuit, State, TimedCircuit};
+use crate::sparse::{AdaptiveState, SparsePolicy, SparseState};
+use crate::{ideal, SegmentedCircuit, State, TimedCircuit, TimedOp};
+
+/// The state-representation interface the shared per-op noise loop runs
+/// against. Dense [`State`] and the density-adaptive
+/// [`AdaptiveState`] both implement it, so the noise accounting — idle
+/// and busy damping windows, depolarizing draws, the order of every RNG
+/// consumption — is *the same code* for both representations, which is
+/// what makes adaptive estimates bit-compatible with dense ones for a
+/// fixed seed.
+pub(crate) trait NoisyTarget {
+    fn apply_op(&mut self, op: &TimedOp, ws: &mut Workspace);
+    fn apply_pauli(&mut self, op: PauliOp, qudit: usize);
+    fn damping_step_with<R: Rng + ?Sized>(
+        &mut self,
+        model: &CoherenceModel,
+        qudit: usize,
+        dt_ns: f64,
+        rng: &mut R,
+        ws: &mut Workspace,
+    );
+    #[cfg(feature = "fault-inject")]
+    fn fault_tick(&mut self);
+}
+
+impl NoisyTarget for State {
+    fn apply_op(&mut self, op: &TimedOp, ws: &mut Workspace) {
+        State::apply_op(self, op, ws);
+    }
+    fn apply_pauli(&mut self, op: PauliOp, qudit: usize) {
+        State::apply_pauli(self, op, qudit);
+    }
+    fn damping_step_with<R: Rng + ?Sized>(
+        &mut self,
+        model: &CoherenceModel,
+        qudit: usize,
+        dt_ns: f64,
+        rng: &mut R,
+        ws: &mut Workspace,
+    ) {
+        State::damping_step_with(self, model, qudit, dt_ns, rng, ws);
+    }
+    #[cfg(feature = "fault-inject")]
+    fn fault_tick(&mut self) {
+        crate::fault::tick_op(self);
+    }
+}
+
+impl NoisyTarget for AdaptiveState {
+    fn apply_op(&mut self, op: &TimedOp, ws: &mut Workspace) {
+        AdaptiveState::apply_op(self, op, ws);
+    }
+    fn apply_pauli(&mut self, op: PauliOp, qudit: usize) {
+        AdaptiveState::apply_pauli(self, op, qudit);
+    }
+    fn damping_step_with<R: Rng + ?Sized>(
+        &mut self,
+        model: &CoherenceModel,
+        qudit: usize,
+        dt_ns: f64,
+        rng: &mut R,
+        ws: &mut Workspace,
+    ) {
+        AdaptiveState::damping_step_with(self, model, qudit, dt_ns, rng, ws);
+    }
+    #[cfg(feature = "fault-inject")]
+    fn fault_tick(&mut self) {
+        crate::fault::tick_op_with(|| self.poison_first_amplitude());
+    }
+}
 
 /// Runs one noisy trajectory, returning the final (normalized) state.
 ///
@@ -78,11 +147,11 @@ pub fn run_trajectory_into<R: Rng + ?Sized>(
 /// replays fused-block noise events, and draws depolarizing errors —
 /// continuing from (and updating) the per-device busy times in
 /// `ws.free_at`, which the caller owns across segments.
-fn run_ops<R: Rng + ?Sized>(
+fn run_ops<S: NoisyTarget, R: Rng + ?Sized>(
     circuit: &TimedCircuit,
     noise: &NoiseModel,
     rng: &mut R,
-    out: &mut State,
+    out: &mut S,
     ws: &mut Workspace,
 ) {
     for op in &circuit.ops {
@@ -99,7 +168,7 @@ fn run_ops<R: Rng + ?Sized>(
                 }
                 out.apply_op(op, ws);
                 #[cfg(feature = "fault-inject")]
-                crate::fault::tick_op(out);
+                out.fault_tick();
                 // Busy-time damping: decoherence during the pulse itself.
                 if noise.damping && noise.busy_time_damping {
                     for &q in &op.operands {
@@ -143,7 +212,7 @@ fn run_ops<R: Rng + ?Sized>(
                 }
                 out.apply_op(op, ws);
                 #[cfg(feature = "fault-inject")]
-                crate::fault::tick_op(out);
+                out.fault_tick();
                 for ev in events {
                     if noise.damping && noise.busy_time_damping {
                         for &q in &ev.operands {
@@ -990,6 +1059,289 @@ pub fn fidelity_samples_segmented_with_on(
             w.ideal_out.fidelity(&w.noisy_out)
         },
     )
+}
+
+/// [`run_trajectory_into`] on a density-adaptive state: starts from a
+/// sparse initial state, runs the **same** per-op noise loop (identical
+/// RNG stream to the dense runner), and leaves the final state — in
+/// whichever representation the density threshold chose — in `out`. The
+/// workspace's [`Workspace::sparse_density_threshold`] /
+/// `sparse_epsilon` knobs govern the switching.
+///
+/// # Panics
+///
+/// Panics if the initial state's register differs from the circuit's.
+pub fn run_trajectory_adaptive_into<R: Rng + ?Sized>(
+    circuit: &TimedCircuit,
+    initial: &SparseState,
+    noise: &NoiseModel,
+    rng: &mut R,
+    out: &mut AdaptiveState,
+    ws: &mut Workspace,
+) {
+    assert_eq!(
+        initial.register(),
+        &circuit.register,
+        "state register does not match circuit register"
+    );
+    out.reset_from_sparse(initial, ws);
+    ws.free_at.clear();
+    ws.free_at.resize(circuit.register.n_qudits(), 0.0);
+    run_ops(circuit, noise, rng, out, ws);
+    // Trailing idle until the circuit's wall-clock end.
+    if noise.damping {
+        for q in 0..circuit.register.n_qudits() {
+            let idle = circuit.total_duration_ns - ws.free_at[q];
+            if idle > 0.0 {
+                out.damping_step_with(&noise.coherence, q, idle, rng, ws);
+            }
+        }
+    }
+}
+
+/// [`run_trajectory_segmented_into`] on density-adaptive rolling
+/// buffers: segment boundaries reshape through
+/// [`AdaptiveState::reshape_into_lossy`], which is also where a dense
+/// state may drop back to sparse.
+///
+/// # Panics
+///
+/// Panics if the initial state's register differs from the first
+/// segment's.
+#[allow(clippy::too_many_arguments)]
+pub fn run_trajectory_segmented_adaptive_into<R: Rng + ?Sized>(
+    circuit: &SegmentedCircuit,
+    initial: &SparseState,
+    noise: &NoiseModel,
+    rng: &mut R,
+    out: &mut AdaptiveState,
+    scratch: &mut AdaptiveState,
+    ws: &mut Workspace,
+) {
+    assert_eq!(
+        initial.register(),
+        circuit.first_register(),
+        "state register does not match the first segment"
+    );
+    let n_qudits = circuit.first_register().n_qudits();
+    ws.free_at.clear();
+    ws.free_at.resize(n_qudits, 0.0);
+    out.reset_from_sparse(initial, ws);
+    for (k, segment) in circuit.segments.iter().enumerate() {
+        if k > 0 {
+            // Lossy for the same reason as the dense segmented runner:
+            // an error draw may populate levels the noiseless occupancy
+            // analysis proved empty.
+            scratch.remap(&segment.register);
+            let _leaked = out.reshape_into_lossy(scratch, ws);
+            std::mem::swap(out, scratch);
+        }
+        run_ops(segment, noise, rng, out, ws);
+    }
+    // Trailing idle until the program's wall-clock end, on the final
+    // register.
+    if noise.damping {
+        for q in 0..n_qudits {
+            let idle = circuit.total_duration_ns - ws.free_at[q];
+            if idle > 0.0 {
+                out.damping_step_with(&noise.coherence, q, idle, rng, ws);
+            }
+        }
+    }
+}
+
+/// Applies a [`SparsePolicy`] to a fresh serial worker workspace.
+fn sparse_worker_ws(policy: &SparsePolicy) -> Workspace {
+    let mut ws = Workspace::serial();
+    ws.set_sparse_density_threshold(policy.density_threshold);
+    ws.set_sparse_epsilon(policy.epsilon);
+    ws
+}
+
+/// [`average_fidelity_with`] through the density-adaptive engine:
+/// initial states are written into per-worker [`SparseState`] buffers
+/// (classical basis inputs stay at a handful of entries), every
+/// trajectory runs sparse until `policy.density_threshold` trips, and
+/// the estimate consumes the *same* seed stream as the dense
+/// estimators — with `policy.density_threshold` 0 it reproduces
+/// [`average_fidelity_with`] exactly.
+pub fn average_fidelity_adaptive_with(
+    circuit: &TimedCircuit,
+    noise: &NoiseModel,
+    trajectories: usize,
+    seed: u64,
+    policy: &SparsePolicy,
+    write_initial: impl Fn(&crate::Register, &mut StdRng, &mut SparseState) + Sync,
+) -> FidelityEstimate {
+    average_fidelity_adaptive_with_on(
+        &TrajectoryPool::global(),
+        circuit,
+        noise,
+        trajectories,
+        seed,
+        policy,
+        write_initial,
+    )
+}
+
+/// [`average_fidelity_adaptive_with`] on a caller-chosen
+/// [`TrajectoryPool`].
+pub fn average_fidelity_adaptive_with_on(
+    pool: &TrajectoryPool,
+    circuit: &TimedCircuit,
+    noise: &NoiseModel,
+    trajectories: usize,
+    seed: u64,
+    policy: &SparsePolicy,
+    write_initial: impl Fn(&crate::Register, &mut StdRng, &mut SparseState) + Sync,
+) -> FidelityEstimate {
+    estimate_from(&fidelity_samples_adaptive_with_on(
+        pool,
+        circuit,
+        noise,
+        trajectories,
+        seed,
+        policy,
+        write_initial,
+    ))
+}
+
+/// The raw per-trajectory samples behind
+/// [`average_fidelity_adaptive_with`] — same per-global-index seeding as
+/// [`fidelity_samples_with_on`], so the vector is bit-identical for any
+/// pool width.
+pub fn fidelity_samples_adaptive_with_on(
+    pool: &TrajectoryPool,
+    circuit: &TimedCircuit,
+    noise: &NoiseModel,
+    trajectories: usize,
+    seed: u64,
+    policy: &SparsePolicy,
+    write_initial: impl Fn(&crate::Register, &mut StdRng, &mut SparseState) + Sync,
+) -> Vec<f64> {
+    struct Worker {
+        ws: Workspace,
+        initial: SparseState,
+        noisy_out: AdaptiveState,
+        ideal_out: AdaptiveState,
+        cached_initial: SparseState,
+        ideal_cached: bool,
+    }
+    sample_over_trajectories(
+        pool,
+        trajectories,
+        seed,
+        || Worker {
+            ws: sparse_worker_ws(policy),
+            initial: SparseState::zero(&circuit.register),
+            noisy_out: AdaptiveState::zero(&circuit.register),
+            ideal_out: AdaptiveState::zero(&circuit.register),
+            cached_initial: SparseState::zero(&circuit.register),
+            ideal_cached: false,
+        },
+        |w, rng| {
+            write_initial(&circuit.register, rng, &mut w.initial);
+            if !(w.ideal_cached && w.cached_initial == w.initial) {
+                ideal::run_adaptive_into(circuit, &w.initial, &mut w.ideal_out, &mut w.ws);
+                w.cached_initial.copy_from(&w.initial);
+                w.ideal_cached = true;
+            }
+            run_trajectory_adaptive_into(
+                circuit,
+                &w.initial,
+                noise,
+                rng,
+                &mut w.noisy_out,
+                &mut w.ws,
+            );
+            w.ideal_out.fidelity(&w.noisy_out)
+        },
+    )
+}
+
+/// The segmented counterpart of [`average_fidelity_adaptive_with`]:
+/// windowed-register schedules through the density-adaptive engine,
+/// with the same seed stream as the dense segmented estimators.
+pub fn average_fidelity_segmented_adaptive_with(
+    circuit: &SegmentedCircuit,
+    noise: &NoiseModel,
+    trajectories: usize,
+    seed: u64,
+    policy: &SparsePolicy,
+    write_initial: impl Fn(&crate::Register, &mut StdRng, &mut SparseState) + Sync,
+) -> FidelityEstimate {
+    average_fidelity_segmented_adaptive_with_on(
+        &TrajectoryPool::global(),
+        circuit,
+        noise,
+        trajectories,
+        seed,
+        policy,
+        write_initial,
+    )
+}
+
+/// [`average_fidelity_segmented_adaptive_with`] on a caller-chosen
+/// [`TrajectoryPool`].
+pub fn average_fidelity_segmented_adaptive_with_on(
+    pool: &TrajectoryPool,
+    circuit: &SegmentedCircuit,
+    noise: &NoiseModel,
+    trajectories: usize,
+    seed: u64,
+    policy: &SparsePolicy,
+    write_initial: impl Fn(&crate::Register, &mut StdRng, &mut SparseState) + Sync,
+) -> FidelityEstimate {
+    struct Worker {
+        ws: Workspace,
+        initial: SparseState,
+        noisy_out: AdaptiveState,
+        noisy_scratch: AdaptiveState,
+        ideal_out: AdaptiveState,
+        ideal_scratch: AdaptiveState,
+        cached_initial: SparseState,
+        ideal_cached: bool,
+    }
+    let samples = sample_over_trajectories(
+        pool,
+        trajectories,
+        seed,
+        || Worker {
+            ws: sparse_worker_ws(policy),
+            initial: SparseState::zero(circuit.first_register()),
+            noisy_out: AdaptiveState::zero(circuit.first_register()),
+            noisy_scratch: AdaptiveState::zero(circuit.first_register()),
+            ideal_out: AdaptiveState::zero(circuit.first_register()),
+            ideal_scratch: AdaptiveState::zero(circuit.first_register()),
+            cached_initial: SparseState::zero(circuit.first_register()),
+            ideal_cached: false,
+        },
+        |w, rng| {
+            write_initial(circuit.first_register(), rng, &mut w.initial);
+            if !(w.ideal_cached && w.cached_initial == w.initial) {
+                ideal::run_segmented_adaptive_into(
+                    circuit,
+                    &w.initial,
+                    &mut w.ideal_out,
+                    &mut w.ideal_scratch,
+                    &mut w.ws,
+                );
+                w.cached_initial.copy_from(&w.initial);
+                w.ideal_cached = true;
+            }
+            run_trajectory_segmented_adaptive_into(
+                circuit,
+                &w.initial,
+                noise,
+                rng,
+                &mut w.noisy_out,
+                &mut w.noisy_scratch,
+                &mut w.ws,
+            );
+            w.ideal_out.fidelity(&w.noisy_out)
+        },
+    );
+    estimate_from(&samples)
 }
 
 #[cfg(test)]
